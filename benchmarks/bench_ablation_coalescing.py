@@ -1,0 +1,60 @@
+"""Ablation — suffix coalescing on/off.
+
+DWARF's headline claim ([12], adopted by the paper): suffix coalescing
+detects duplicate aggregates *before* they are computed.  Disabling it
+materialises every view privately; this bench quantifies the node/cell
+blow-up and the build-time cost on the bike data.
+"""
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.dwarf.builder import DwarfBuilder
+from repro.smartcity.bikes import bikes_pipeline
+
+from benchmarks.conftest import report_table
+
+#: Without coalescing cube size explodes; keep to the small datasets.
+DATASET_SUBSET = ["Day", "Week"]
+
+
+@pytest.mark.parametrize("dataset", DATASET_SUBSET)
+@pytest.mark.parametrize("coalesce", [True, False], ids=["coalesced", "exploded"])
+def test_coalescing_ablation(benchmark, dataset, coalesce):
+    bundle = load_dataset(dataset)
+    facts = bikes_pipeline().extract(bundle.documents).sorted()
+    builder = DwarfBuilder(facts.schema, coalesce=coalesce)
+
+    cube = benchmark.pedantic(lambda: builder.build(facts), rounds=1, iterations=1)
+    stats = cube.stats
+    assert cube.total() == bundle.cube.total()
+
+    label = "coalesced" if coalesce else "exploded"
+    rows = report_table(
+        "Ablation: suffix coalescing (cells / build ms)", DATASET_SUBSET
+    )
+    for metric in ("cells", "build ms"):
+        rows.setdefault(f"{label} {metric}", [None] * len(DATASET_SUBSET))
+    column = DATASET_SUBSET.index(dataset)
+    rows[f"{label} cells"][column] = stats.cell_count
+    rows[f"{label} build ms"][column] = round(benchmark.stats["mean"] * 1000)
+
+    if coalesce:
+        assert stats.shared_node_count > 0
+    else:
+        assert stats.shared_node_count == 0
+
+
+def test_coalescing_shrinks_cube(benchmark):
+    bundle = load_dataset("Day")
+    facts = bikes_pipeline().extract(bundle.documents).sorted()
+
+    def both():
+        on = DwarfBuilder(facts.schema, coalesce=True).build(facts)
+        off = DwarfBuilder(facts.schema, coalesce=False).build(facts)
+        return on, off
+
+    on, off = benchmark.pedantic(both, rounds=1, iterations=1)
+    # The compression claim: coalescing must cut the structure hard.
+    assert off.stats.node_count > 2 * on.stats.node_count
+    assert off.stats.cell_count > 2 * on.stats.cell_count

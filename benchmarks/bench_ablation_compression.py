@@ -1,0 +1,48 @@
+"""Ablation — SSTable block compression on/off.
+
+Block compression is the mechanism that keeps the NoSQL schemas
+competitive with MySQL-Min on size (Table 4); switching it off shows the
+raw cost of the Cassandra 2.x (name, timestamp, value) cell format.
+"""
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.nosqldb.engine import NoSQLEngine
+
+from benchmarks.conftest import report_table
+
+MODES = ["compressed", "uncompressed"]
+SIZES = {}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_compression_ablation(benchmark, mode):
+    bundle = load_dataset("Week")
+    mapper = NoSQLDwarfMapper(NoSQLEngine(), compression=(mode == "compressed"))
+    mapper.install()
+
+    schema_id = benchmark.pedantic(
+        lambda: mapper.store(bundle.cube, probe_size=False), rounds=1, iterations=1
+    )
+    size_mb = mapper.size_bytes() / (1024 * 1024)
+    SIZES[mode] = size_mb
+    assert mapper.load(schema_id).total() == bundle.cube.total()
+
+    rows = report_table(
+        "Ablation: SSTable compression (NoSQL-DWARF @ Week)", MODES
+    )
+    rows.setdefault("size MB", [None, None])
+    rows.setdefault("insert ms", [None, None])
+    column = MODES.index(mode)
+    rows["size MB"][column] = round(size_mb, 2)
+    rows["insert ms"][column] = round(benchmark.stats["mean"] * 1000)
+
+
+def test_compression_ratio(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(SIZES) == set(MODES), "run both modes first"
+    ratio = SIZES["compressed"] / SIZES["uncompressed"]
+    # zlib-1/1KB chunks approximate LZ4: expect roughly 3:1 on feed data.
+    assert 0.15 <= ratio <= 0.6, SIZES

@@ -1,0 +1,63 @@
+"""DWARF construction scaling: build time vs tuples and dimensions.
+
+Not a table in the paper, but the substrate behind all of them: cube
+construction must scale near-linearly in tuples for the pipeline to keep
+up with a stream.
+"""
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.core.schema import CubeSchema
+from repro.core.tuples import TupleSet
+from repro.dwarf.builder import DwarfBuilder
+
+from benchmarks.conftest import report_table
+
+DATASET_SUBSET = ["Day", "Week", "Month", "TMonth"]
+
+
+@pytest.mark.parametrize("dataset", DATASET_SUBSET)
+def test_build_scaling_in_tuples(benchmark, dataset):
+    bundle = load_dataset(dataset)
+    from repro.smartcity.bikes import bikes_pipeline
+
+    facts = bikes_pipeline().extract(bundle.documents).sorted()
+    builder = DwarfBuilder(facts.schema)
+
+    cube = benchmark.pedantic(lambda: builder.build(facts), rounds=1, iterations=1)
+    assert cube.n_source_tuples == bundle.n_tuples
+
+    rows = report_table(
+        "DWARF construction: build time (ms) by dataset", DATASET_SUBSET
+    )
+    rows.setdefault("build (measured)", [None] * len(DATASET_SUBSET))
+    rows["build (measured)"][DATASET_SUBSET.index(dataset)] = round(
+        benchmark.stats["mean"] * 1000
+    )
+
+
+@pytest.mark.parametrize("n_dims", [4, 6, 8])
+def test_build_scaling_in_dimensions(benchmark, n_dims):
+    """Higher dimensionality multiplies the group-by views to coalesce."""
+    bundle = load_dataset("Week")
+    from repro.smartcity.bikes import bikes_pipeline
+
+    full = bikes_pipeline().extract(bundle.documents)
+    schema = CubeSchema("proj", full.schema.dimension_names[:n_dims])
+    projected = TupleSet(schema)
+    for fact in full:
+        projected.append(fact.keys[:n_dims] + (fact.measure,))
+    builder = DwarfBuilder(schema)
+
+    cube = benchmark.pedantic(lambda: builder.build(projected), rounds=1, iterations=1)
+    assert cube.total() == sum(f.measure for f in full)
+
+    rows = report_table(
+        "DWARF construction: build time (ms) by dimensionality (Week)",
+        ["4", "6", "8"],
+    )
+    rows.setdefault("build (measured)", [None, None, None])
+    rows["build (measured)"][[4, 6, 8].index(n_dims)] = round(
+        benchmark.stats["mean"] * 1000
+    )

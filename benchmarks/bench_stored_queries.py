@@ -1,0 +1,59 @@
+"""Stored-cube point-query latency per schema (paper §7's direction).
+
+The paper stores cubes so they can be queried "for future retrieval and
+querying"; this bench measures point queries answered directly against
+each schema's storage — the workload that justifies NoSQL-Min's
+secondary indexes and exposes MySQL-Min's reconstruction cost.
+"""
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.dwarf.cell import ALL
+from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
+from repro.mapping.stored_query import stored_point_query
+
+from benchmarks.conftest import report_table
+
+SCHEMAS = list(MAPPER_FACTORIES)
+N_QUERIES = 50
+
+MEASURED = {}
+
+
+def _query_vectors(cube, count):
+    """A deterministic mix of full-point and partial-ALL queries."""
+    stations = cube.members("station")
+    days = cube.members("day")
+    vectors = []
+    for index in range(count):
+        vector = [ALL] * cube.schema.n_dimensions
+        vector[cube.schema.dimension_index("station")] = stations[index % len(stations)]
+        if index % 2:
+            vector[cube.schema.dimension_index("day")] = days[index % len(days)]
+        vectors.append(vector)
+    return vectors
+
+
+@pytest.mark.parametrize("schema_name", SCHEMAS)
+def test_stored_point_queries(benchmark, schema_name):
+    bundle = load_dataset("Week")
+    mapper = make_mapper(schema_name)
+    schema_id = mapper.store(bundle.cube, probe_size=False)
+    vectors = _query_vectors(bundle.cube, N_QUERIES)
+    expected = [bundle.cube.value(v) for v in vectors]
+
+    def run_queries():
+        return [stored_point_query(mapper, schema_id, v) for v in vectors]
+
+    answers = benchmark.pedantic(run_queries, rounds=1, iterations=1)
+    assert answers == expected
+
+    per_query_ms = benchmark.stats["mean"] * 1000 / N_QUERIES
+    MEASURED[schema_name] = per_query_ms
+    rows = report_table(
+        "Stored-cube point queries (ms/query, Week)", SCHEMAS,
+        note="NoSQL-Min uses its secondary indexes; MySQL-Min must reconstruct nodes",
+    )
+    rows.setdefault("latency", [None] * len(SCHEMAS))
+    rows["latency"][SCHEMAS.index(schema_name)] = round(per_query_ms, 2)

@@ -1,0 +1,66 @@
+"""Table 2 — the datasets used in the experiments.
+
+Regenerates the five bike-feed periods, reporting raw document size (MB)
+and tuple count next to the paper's values, and benchmarks the ETL
+extraction over each period's documents.
+"""
+
+import pytest
+
+from repro.bench.datasets import DATASETS, current_scale, load_dataset
+from repro.smartcity.bikes import bikes_pipeline
+
+from benchmarks.conftest import report_table
+
+COLUMNS = [spec.name for spec in DATASETS]
+
+
+@pytest.mark.parametrize("spec", DATASETS, ids=lambda s: s.name)
+def test_table2_dataset(benchmark, spec):
+    bundle = load_dataset(spec.name)
+
+    def extract():
+        return bikes_pipeline().extract(bundle.documents)
+
+    facts = benchmark.pedantic(extract, rounds=1, iterations=1)
+    assert len(facts) == bundle.n_tuples
+
+    scale = current_scale()
+    column = COLUMNS.index(spec.name)
+
+    rows = report_table(
+        "Table 2: datasets (size MB / number of tuples)",
+        COLUMNS,
+        note=(
+            "paper rows are the full-size datasets; measured rows are this "
+            "run's REPRO_SCALE-scaled regeneration"
+        ),
+    )
+    for label in (
+        "paper size (MB)", "paper tuples", "paper tuples (scaled)",
+        "measured size (MB)", "measured tuples",
+    ):
+        rows.setdefault(label, [None] * len(COLUMNS))
+    rows["paper size (MB)"][column] = spec.paper_size_mb
+    rows["paper tuples"][column] = spec.paper_tuples
+    rows["paper tuples (scaled)"][column] = round(spec.paper_tuples * scale)
+    rows["measured size (MB)"][column] = round(bundle.documents.size_mb, 2)
+    rows["measured tuples"][column] = bundle.n_tuples
+
+    # Shape: the per-record document density must sit near the paper's
+    # ~300 B/record (Table 2: 2.1 MB / 7358 tuples).
+    per_record = bundle.documents.size_bytes / bundle.n_tuples
+    assert 200 <= per_record <= 500
+
+    # Tuple counts hit the scaled paper counts exactly.
+    assert bundle.n_tuples == max(1, round(spec.paper_tuples * scale))
+
+
+def test_table2_monotone_growth(benchmark):
+    bundles = benchmark.pedantic(
+        lambda: [load_dataset(spec.name) for spec in DATASETS], rounds=1, iterations=1
+    )
+    sizes = [bundle.documents.size_bytes for bundle in bundles]
+    assert sizes == sorted(sizes)
+    tuples = [bundle.n_tuples for bundle in bundles]
+    assert tuples == sorted(tuples)

@@ -1,0 +1,86 @@
+"""Table 4 — DWARF storage performance (MB used to store a DWARF cube).
+
+Stores every dataset's cube under all four schemas and reports on-disk
+size next to the paper's values.  The benchmarked operation is the
+paper's ``size_as_mb`` probe (§4); the store itself runs as setup.
+Insert timing is Table 5's job (bench_table5_insert_time.py).
+"""
+
+import pytest
+
+from repro.bench.datasets import DATASETS, load_dataset
+from repro.bench.runner import PAPER_TABLE4_MB
+from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
+
+from benchmarks.conftest import report_table
+
+COLUMNS = [spec.name for spec in DATASETS]
+SCHEMAS = list(MAPPER_FACTORIES)
+
+#: Measured sizes per schema, filled as cells run (file-scope registry so
+#: the final shape test can assert orderings across all cells).
+MEASURED = {}
+
+_MAPPERS = {}
+
+
+def _mapper(schema_name):
+    if schema_name not in _MAPPERS:
+        _MAPPERS[schema_name] = make_mapper(schema_name)
+    return _MAPPERS[schema_name]
+
+
+@pytest.mark.parametrize("dataset", COLUMNS)
+@pytest.mark.parametrize("schema_name", SCHEMAS)
+def test_table4_cell(benchmark, schema_name, dataset):
+    bundle = load_dataset(dataset)
+    mapper = _mapper(schema_name)
+    mapper.reset()
+    schema_id = mapper.store(bundle.cube, probe_size=False)
+
+    size_mb = benchmark.pedantic(
+        lambda: mapper.probe_size(schema_id), rounds=1, iterations=1
+    )
+    exact_mb = mapper.size_bytes() / (1024 * 1024)
+    assert size_mb == int(exact_mb)
+    assert mapper.info(schema_id).size_as_mb == size_mb
+    MEASURED.setdefault(schema_name, {})[dataset] = exact_mb
+
+    rows = report_table(
+        "Table 4: size (MB) used to store a DWARF cube",
+        COLUMNS,
+        note="paper values are full-scale; measured values are REPRO_SCALE-scaled",
+    )
+    rows.setdefault(f"{schema_name} (paper)", list(PAPER_TABLE4_MB[schema_name]))
+    measured_label = f"{schema_name} (measured)"
+    rows.setdefault(measured_label, [None] * len(COLUMNS))
+    rows[measured_label][COLUMNS.index(dataset)] = round(exact_mb, 2)
+
+
+def test_table4_shape(benchmark):
+    """The size orderings the paper reports, asserted on every dataset."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(len(MEASURED[s]) == len(COLUMNS) for s in SCHEMAS), (
+        "run the full matrix before the shape check"
+    )
+    for dataset in COLUMNS:
+        sizes = {schema: MEASURED[schema][dataset] for schema in SCHEMAS}
+        # MySQL-DWARF is the largest store at every size (paper §5.1).
+        assert sizes["MySQL-DWARF"] == max(sizes.values()), (dataset, sizes)
+        # The secondary indexes make NoSQL-Min bigger than NoSQL-DWARF.
+        assert sizes["NoSQL-Min"] > sizes["NoSQL-DWARF"], (dataset, sizes)
+        # MySQL-Min and NoSQL-DWARF stay close (within 35% — the paper has
+        # them within a few percent, crossing at SMonth).
+        ratio = sizes["MySQL-Min"] / sizes["NoSQL-DWARF"]
+        assert 0.65 <= ratio <= 1.35, (dataset, sizes)
+
+    rows = report_table(
+        "Table 4 §5.1 note: Bao et al. [1] comparison",
+        ["tuples", "dims", "size MB"],
+    )
+    rows["Bao et al. standard DWARF (paper)"] = [400_000, 8, 200]
+    rows["this paper, NoSQL-DWARF @ SMonth (paper)"] = [1_181_344, 8, 182]
+    smonth = load_dataset("SMonth")
+    rows["this run, NoSQL-DWARF @ SMonth (measured)"] = [
+        smonth.n_tuples, 8, round(MEASURED["NoSQL-DWARF"]["SMonth"], 1),
+    ]

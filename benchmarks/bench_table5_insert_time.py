@@ -1,0 +1,86 @@
+"""Table 5 — DWARF storage time performance (ms to insert a DWARF cube).
+
+Times the paper's insert pipeline per (schema, dataset) cell: the BFS
+transformation traversal plus the bulk insert of every node/cell row
+(``store`` with the size probe deferred, exactly the paper's timed
+region).
+"""
+
+import pytest
+
+from repro.bench.datasets import DATASETS, load_dataset
+from repro.bench.runner import PAPER_TABLE5_MS
+from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
+
+from benchmarks.conftest import report_table
+
+COLUMNS = [spec.name for spec in DATASETS]
+SCHEMAS = list(MAPPER_FACTORIES)
+
+MEASURED = {}
+
+_MAPPERS = {}
+
+
+def _mapper(schema_name):
+    if schema_name not in _MAPPERS:
+        _MAPPERS[schema_name] = make_mapper(schema_name)
+    return _MAPPERS[schema_name]
+
+
+@pytest.mark.parametrize("dataset", COLUMNS)
+@pytest.mark.parametrize("schema_name", SCHEMAS)
+def test_table5_cell(benchmark, schema_name, dataset):
+    bundle = load_dataset(dataset)
+    mapper = _mapper(schema_name)
+
+    def bulk_insert():
+        return mapper.store(bundle.cube, probe_size=False)
+
+    # Two rounds (min) for the closely-matched schemas; NoSQL-Min's wide
+    # margin doesn't justify doubling its multi-minute SMonth cell.
+    rounds = 1 if schema_name == "NoSQL-Min" else 2
+    schema_id = benchmark.pedantic(
+        bulk_insert, setup=lambda: mapper.reset(), rounds=rounds, iterations=1
+    )
+    info = mapper.info(schema_id)
+    assert info.cell_count == bundle.cube.stats.cell_count
+
+    insert_ms = benchmark.stats["min"] * 1000.0
+    MEASURED.setdefault(schema_name, {})[dataset] = insert_ms
+
+    rows = report_table(
+        "Table 5: time (ms) to insert a DWARF cube",
+        COLUMNS,
+        note="paper values are full-scale on 2013 hardware; measured are scaled",
+    )
+    rows.setdefault(f"{schema_name} (paper)", list(PAPER_TABLE5_MS[schema_name]))
+    measured_label = f"{schema_name} (measured)"
+    rows.setdefault(measured_label, [None] * len(COLUMNS))
+    rows[measured_label][COLUMNS.index(dataset)] = round(insert_ms)
+
+
+def test_table5_shape(benchmark):
+    """The insert-time orderings of the paper's analysis (§5.1)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(len(MEASURED[s]) == len(COLUMNS) for s in SCHEMAS)
+    # Single-round wall-clock times jitter; judge the shape on the three
+    # largest datasets where the signal dominates.
+    for dataset in ("Month", "TMonth", "SMonth"):
+        times = {schema: MEASURED[schema][dataset] for schema in SCHEMAS}
+        # "The NoSQL-DWARF schema performed best" (15% allowance: MySQL-Min
+        # runs genuinely close in this simulation — see EXPERIMENTS.md).
+        assert times["NoSQL-DWARF"] <= 1.15 * min(times.values()), (dataset, times)
+        # "The NoSQL-Min schema performed worst overall" — by a wide margin.
+        assert times["NoSQL-Min"] == max(times.values()), (dataset, times)
+        assert times["NoSQL-Min"] > 3.0 * times["NoSQL-DWARF"], (dataset, times)
+        # The relational link tables make MySQL-DWARF slower than MySQL-Min
+        # (strict at the two largest sizes; 20% jitter allowance at Month,
+        # where single-round cells are only ~1.5 s).
+        slack = 0.8 if dataset == "Month" else 1.0
+        assert times["MySQL-DWARF"] > slack * times["MySQL-Min"], (dataset, times)
+
+    # Growth is roughly linear in cube size: SMonth should cost an order
+    # of magnitude more than Day for every schema, as in the paper.
+    for schema in SCHEMAS:
+        assert MEASURED[schema]["SMonth"] > 10 * MEASURED[schema]["Day"], schema

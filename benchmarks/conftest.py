@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing: the paper-vs-measured report.
+
+Every bench registers its measured rows here; after the run a terminal
+summary prints each of the paper's tables next to this run's values
+(scaled by ``REPRO_SCALE``), which is also what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.bench.datasets import current_scale
+from repro.bench.reporting import format_table
+
+#: title -> (columns, ordered rows {label: [values]}, note)
+_REPORTS: "OrderedDict[str, tuple]" = OrderedDict()
+
+
+def pytest_configure(config):
+    # Collector pauses are harness noise, not engine cost (the systems the
+    # engines simulate run outside CPython); keep them out of timed regions.
+    if hasattr(config.option, "benchmark_disable_gc"):
+        config.option.benchmark_disable_gc = True
+
+
+def report_table(title: str, columns, note: str = ""):
+    """Get (or create) the mutable row dict for one report table."""
+    if title not in _REPORTS:
+        _REPORTS[title] = (list(columns), OrderedDict(), note)
+    return _REPORTS[title][1]
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep(
+        "=", f"paper reproduction report (REPRO_SCALE={current_scale():g})"
+    )
+    for title, (columns, rows, note) in _REPORTS.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(format_table(title, columns, rows, note))
+    terminalreporter.write_line("")

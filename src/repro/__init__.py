@@ -1,0 +1,67 @@
+"""repro: efficient cube construction for smart city data.
+
+A from-scratch reproduction of Scriney & Roantree (EDBT 2016): DWARF
+cubes built from XML/JSON smart-city streams and stored through a
+bi-directional mapper in a columnar NoSQL engine, evaluated against
+three comparison schemas on MySQL-style and Cassandra-style substrates.
+
+Quickstart::
+
+    from repro import CubeConstructionPipeline
+    from repro.smartcity import BikeFeedGenerator, bikes_pipeline
+    from repro.mapping import NoSQLDwarfMapper
+
+    docs = BikeFeedGenerator().generate_documents(days=1, total_records=7358)
+    pipeline = CubeConstructionPipeline(bikes_pipeline(), NoSQLDwarfMapper())
+    report = pipeline.run(docs)
+    cube = pipeline.reload(report.schema_id)
+    cube.value(station="Fenian St")
+"""
+
+from repro.core.aggregators import AVG, COUNT, MAX, MIN, SUM, Aggregator
+from repro.core.errors import (
+    PipelineError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    TupleShapeError,
+)
+from repro.core.pipeline import CubeConstructionPipeline, PipelineReport
+from repro.core.schema import CubeSchema, Dimension
+from repro.core.tuples import FactTuple, TupleSet
+from repro.dwarf import (
+    ALL,
+    DwarfBuilder,
+    DwarfCube,
+    build_cube,
+    extract_subcube,
+    merge_cubes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL",
+    "AVG",
+    "Aggregator",
+    "COUNT",
+    "CubeConstructionPipeline",
+    "CubeSchema",
+    "Dimension",
+    "DwarfBuilder",
+    "DwarfCube",
+    "FactTuple",
+    "MAX",
+    "MIN",
+    "PipelineError",
+    "PipelineReport",
+    "QueryError",
+    "ReproError",
+    "SUM",
+    "SchemaError",
+    "TupleSet",
+    "TupleShapeError",
+    "build_cube",
+    "extract_subcube",
+    "merge_cubes",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+``generate``
+    Write synthetic bike-feed documents (XML or JSON) to a directory —
+    useful for feeding external tools or inspecting the feed shape.
+``pipeline``
+    Run the full paper pipeline on a generated feed: ETL → DWARF →
+    storage under a chosen schema, then print cube statistics and a few
+    sample queries.
+``bench``
+    Run the Table 4/5 matrix for chosen datasets/schemas and print the
+    paper-style comparison tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.bench.datasets import DATASETS_BY_NAME, current_scale
+from repro.bench.reporting import format_table
+from repro.bench.runner import DATASET_ORDER, PAPER_TABLE4_MB, PAPER_TABLE5_MS, run_matrix
+from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient cube construction for smart city data (EDBT'16 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write synthetic bike-feed documents")
+    generate.add_argument("--days", type=int, default=1)
+    generate.add_argument("--records", type=int, default=7358)
+    generate.add_argument("--format", choices=("xml", "json"), default="xml")
+    generate.add_argument("--output", type=Path, required=True, help="output directory")
+    generate.add_argument("--seed", type=int, default=20160315)
+
+    pipeline = commands.add_parser("pipeline", help="run feed -> cube -> store -> queries")
+    pipeline.add_argument("--days", type=int, default=1)
+    pipeline.add_argument("--records", type=int, default=7358)
+    pipeline.add_argument(
+        "--schema", choices=tuple(MAPPER_FACTORIES), default="NoSQL-DWARF"
+    )
+    pipeline.add_argument("--seed", type=int, default=20160315)
+
+    bench = commands.add_parser("bench", help="run the Table 4/5 matrix")
+    bench.add_argument(
+        "--datasets",
+        default="Day,Week",
+        help=f"comma-separated subset of {','.join(DATASET_ORDER)}",
+    )
+    bench.add_argument(
+        "--schemas",
+        default=",".join(MAPPER_FACTORIES),
+        help="comma-separated subset of the four schema names",
+    )
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from repro.smartcity.bikes import BikeFeedGenerator
+    from repro.smartcity.city import CityModel
+
+    feed = BikeFeedGenerator(CityModel(seed=args.seed))
+    documents = feed.generate_documents(
+        days=args.days, total_records=args.records, content_type=args.format
+    )
+    args.output.mkdir(parents=True, exist_ok=True)
+    for document in documents:
+        path = args.output / f"snapshot_{document.sequence:05d}.{args.format}"
+        path.write_text(document.content, encoding="utf-8")
+    batch = documents.batch()
+    print(
+        f"wrote {len(documents)} {args.format} documents "
+        f"({batch.size_mb:.2f} MB, {args.records} records) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.core.pipeline import CubeConstructionPipeline
+    from repro.smartcity.bikes import BikeFeedGenerator, bikes_pipeline
+    from repro.smartcity.city import CityModel
+
+    feed = BikeFeedGenerator(CityModel(seed=args.seed))
+    documents = feed.generate_documents(days=args.days, total_records=args.records)
+    mapper = make_mapper(args.schema)
+    pipeline = CubeConstructionPipeline(bikes_pipeline(), mapper)
+    report = pipeline.run(documents)
+    print(
+        f"{report.n_documents} documents -> {report.n_facts} facts -> "
+        f"DWARF {report.n_nodes} nodes / {report.n_cells} cells -> "
+        f"{args.schema} schema_id={report.schema_id} "
+        f"({mapper.size_bytes() / 1048576:.2f} MB)"
+    )
+    cube = pipeline.reload(report.schema_id)
+    print(f"grand total:        {cube.total()}")
+    for dimension in ("daypart", "district", "status"):
+        member = cube.members(dimension)[0]
+        print(f"{dimension} = {member!r}: {cube.value(**{dimension: member})}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    datasets = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    schemas = [name.strip() for name in args.schemas.split(",") if name.strip()]
+    for name in datasets:
+        if name not in DATASETS_BY_NAME:
+            print(f"unknown dataset {name!r}; choose from {DATASET_ORDER}", file=sys.stderr)
+            return 2
+    for name in schemas:
+        if name not in MAPPER_FACTORIES:
+            print(f"unknown schema {name!r}; choose from {tuple(MAPPER_FACTORIES)}",
+                  file=sys.stderr)
+            return 2
+
+    results = run_matrix(datasets=datasets, schemas=schemas)
+    size_rows = {}
+    time_rows = {}
+    for schema in schemas:
+        paper4 = dict(zip(DATASET_ORDER, PAPER_TABLE4_MB[schema]))
+        paper5 = dict(zip(DATASET_ORDER, PAPER_TABLE5_MS[schema]))
+        size_rows[f"{schema} (paper)"] = [paper4[d] for d in datasets]
+        time_rows[f"{schema} (paper)"] = [paper5[d] for d in datasets]
+        cells = [r for r in results if r.schema == schema]
+        size_rows[f"{schema} (measured)"] = [
+            round(next(c.size_mb for c in cells if c.dataset == d), 2) for d in datasets
+        ]
+        time_rows[f"{schema} (measured)"] = [
+            round(next(c.insert_ms for c in cells if c.dataset == d)) for d in datasets
+        ]
+    note = f"REPRO_SCALE={current_scale():g}; paper values are full-scale"
+    print(format_table("Table 4: size (MB) to store a DWARF cube", datasets, size_rows, note))
+    print()
+    print(format_table("Table 5: time (ms) to insert a DWARF cube", datasets, time_rows, note))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "pipeline": _cmd_pipeline,
+        "bench": _cmd_bench,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Core vocabulary: schemas, fact tuples, aggregators and the pipeline."""
+
+from repro.core.aggregators import AVG, COUNT, MAX, MIN, SUM, Aggregator
+from repro.core.errors import (
+    PipelineError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    TupleShapeError,
+)
+from repro.core.schema import CubeSchema, Dimension
+from repro.core.tuples import FactTuple, TupleSet
+
+__all__ = [
+    "AVG",
+    "Aggregator",
+    "COUNT",
+    "CubeSchema",
+    "Dimension",
+    "FactTuple",
+    "MAX",
+    "MIN",
+    "PipelineError",
+    "QueryError",
+    "ReproError",
+    "SUM",
+    "SchemaError",
+    "TupleSet",
+    "TupleShapeError",
+]

@@ -1,0 +1,132 @@
+"""Aggregate functions applied to DWARF cube measures.
+
+A DWARF cube stores one aggregate per cell.  The classic DWARF paper (and
+the EDBT'16 system reproduced here) uses SUM; the registry below also
+provides the other distributive/algebraic functions commonly required by
+smart-city dashboards so that cubes can be built over any of them.
+
+An aggregator must be *decomposable*: ``merge`` combines two already
+aggregated states, which is what SuffixCoalesce relies on when it merges
+sub-dwarfs to build ALL cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+from repro.core.errors import SchemaError
+
+Number = Union[int, float]
+
+
+class Aggregator:
+    """A named, decomposable aggregate function.
+
+    The aggregator operates on *states*.  For SUM/COUNT/MIN/MAX the state
+    is the running number itself; for AVG the state is a ``(total, n)``
+    pair and :meth:`finalize` turns the state into the reported value.
+    """
+
+    #: Registry of named aggregators, populated at import time.
+    _registry: Dict[str, "Aggregator"] = {}
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- state protocol -------------------------------------------------
+    def lift(self, measure: Number):
+        """Turn one raw measure into an aggregation state."""
+        raise NotImplementedError
+
+    def merge(self, left, right):
+        """Combine two aggregation states."""
+        raise NotImplementedError
+
+    def finalize(self, state) -> Number:
+        """Turn a state into the value reported to query clients."""
+        return state
+
+    # -- conveniences ----------------------------------------------------
+    def aggregate(self, measures: Iterable[Number]) -> Number:
+        """Aggregate raw measures directly (used by tests as an oracle)."""
+        state = None
+        for measure in measures:
+            lifted = self.lift(measure)
+            state = lifted if state is None else self.merge(state, lifted)
+        if state is None:
+            raise SchemaError(f"{self.name}: cannot aggregate zero measures")
+        return self.finalize(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Aggregator({self.name!r})"
+
+    # -- registry --------------------------------------------------------
+    @classmethod
+    def register(cls, aggregator: "Aggregator") -> "Aggregator":
+        cls._registry[aggregator.name] = aggregator
+        return aggregator
+
+    @classmethod
+    def get(cls, name: str) -> "Aggregator":
+        try:
+            return cls._registry[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(cls._registry))
+            raise SchemaError(f"unknown aggregator {name!r} (known: {known})") from None
+
+    @classmethod
+    def names(cls) -> Tuple[str, ...]:
+        return tuple(sorted(cls._registry))
+
+
+class _Sum(Aggregator):
+    def lift(self, measure: Number) -> Number:
+        return measure
+
+    def merge(self, left: Number, right: Number) -> Number:
+        return left + right
+
+
+class _Count(Aggregator):
+    def lift(self, measure: Number) -> int:
+        return 1
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+
+class _Min(Aggregator):
+    def lift(self, measure: Number) -> Number:
+        return measure
+
+    def merge(self, left: Number, right: Number) -> Number:
+        return left if left <= right else right
+
+
+class _Max(Aggregator):
+    def lift(self, measure: Number) -> Number:
+        return measure
+
+    def merge(self, left: Number, right: Number) -> Number:
+        return left if left >= right else right
+
+
+class _Avg(Aggregator):
+    """Algebraic mean; state is ``(total, count)``."""
+
+    def lift(self, measure: Number) -> Tuple[Number, int]:
+        return (measure, 1)
+
+    def merge(self, left: Tuple[Number, int], right: Tuple[Number, int]):
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state: Tuple[Number, int]) -> float:
+        total, count = state
+        return total / count
+
+
+SUM = Aggregator.register(_Sum("sum"))
+COUNT = Aggregator.register(_Count("count"))
+MIN = Aggregator.register(_Min("min"))
+MAX = Aggregator.register(_Max("max"))
+AVG = Aggregator.register(_Avg("avg"))

@@ -1,0 +1,29 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+Each substrate (the NoSQL engine, the relational engine, the DWARF core,
+the ETL pipeline and the mappers) derives its own errors from
+:class:`ReproError` so that callers can catch one base class at the
+pipeline boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A cube schema definition is inconsistent or incomplete."""
+
+
+class TupleShapeError(ReproError):
+    """A fact tuple does not match the shape declared by its schema."""
+
+
+class QueryError(ReproError):
+    """A cube query is malformed or references unknown dimensions."""
+
+
+class PipelineError(ReproError):
+    """A cube-construction pipeline stage failed."""

@@ -1,0 +1,145 @@
+"""Cube schema definitions.
+
+A :class:`CubeSchema` declares the ordered list of dimensions, the measure
+and the aggregate function of a cube, mirroring the tuple shape the paper
+feeds into DWARF construction::
+
+    (dimension_1, dimension_2, ..., dimension_n, measure)
+
+Dimension order matters in a DWARF: earlier dimensions sit nearer the root
+and the paper's datasets all use 8 dimensions.  A dimension may carry an
+optional ``dimension_table`` name, which the NoSQL mapper copies into the
+``dimension_table_name`` column of every cell at that level (Fig. 3 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.aggregators import SUM, Aggregator
+from repro.core.errors import SchemaError
+
+
+class Dimension:
+    """One dimension of a cube.
+
+    Parameters
+    ----------
+    name:
+        Dimension name, unique within a schema.
+    dimension_table:
+        Optional name of an external dimension table holding attributes of
+        the members of this dimension; recorded per-cell on storage.
+    hierarchy:
+        Optional list of level names, coarsest first, for the hierarchical
+        DWARF extension (paper §6, ref [11]).  A plain dimension has a
+        single implicit level equal to its name.
+    """
+
+    __slots__ = ("name", "dimension_table", "hierarchy")
+
+    def __init__(
+        self,
+        name: str,
+        dimension_table: Optional[str] = None,
+        hierarchy: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"dimension name must be a non-empty string, got {name!r}")
+        self.name = name
+        self.dimension_table = dimension_table
+        self.hierarchy: Tuple[str, ...] = tuple(hierarchy) if hierarchy else (name,)
+        if len(set(self.hierarchy)) != len(self.hierarchy):
+            raise SchemaError(f"dimension {name!r}: duplicate hierarchy levels")
+
+    def __repr__(self) -> str:
+        extra = f", dimension_table={self.dimension_table!r}" if self.dimension_table else ""
+        return f"Dimension({self.name!r}{extra})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Dimension)
+            and self.name == other.name
+            and self.dimension_table == other.dimension_table
+            and self.hierarchy == other.hierarchy
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dimension_table, self.hierarchy))
+
+
+class CubeSchema:
+    """Ordered dimensions + measure + aggregate function of one cube."""
+
+    __slots__ = ("name", "dimensions", "measure", "aggregator", "_index")
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: Iterable,
+        measure: str = "measure",
+        aggregator: Aggregator = SUM,
+    ) -> None:
+        if not name:
+            raise SchemaError("cube schema needs a non-empty name")
+        dims: List[Dimension] = []
+        for dim in dimensions:
+            dims.append(dim if isinstance(dim, Dimension) else Dimension(str(dim)))
+        if not dims:
+            raise SchemaError("cube schema needs at least one dimension")
+        names = [d.name for d in dims]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in schema {name!r}: {names}")
+        if measure in set(names):
+            raise SchemaError(f"measure {measure!r} collides with a dimension name")
+        if isinstance(aggregator, str):
+            aggregator = Aggregator.get(aggregator)
+        self.name = name
+        self.dimensions: Tuple[Dimension, ...] = tuple(dims)
+        self.measure = measure
+        self.aggregator = aggregator
+        self._index = {d.name: i for i, d in enumerate(self.dimensions)}
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    @property
+    def n_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    def dimension_index(self, name: str) -> int:
+        """Position of dimension ``name`` (root = 0)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no dimension {name!r}; "
+                f"dimensions are {self.dimension_names}"
+            ) from None
+
+    def dimension(self, name: str) -> Dimension:
+        return self.dimensions[self.dimension_index(name)]
+
+    def __len__(self) -> int:
+        return self.n_dimensions
+
+    def __repr__(self) -> str:
+        return (
+            f"CubeSchema({self.name!r}, dimensions={list(self.dimension_names)}, "
+            f"measure={self.measure!r}, aggregator={self.aggregator.name!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CubeSchema)
+            and self.name == other.name
+            and self.dimensions == other.dimensions
+            and self.measure == other.measure
+            and self.aggregator.name == other.aggregator.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dimensions, self.measure, self.aggregator.name))

@@ -1,0 +1,118 @@
+"""Fact tuples: the input format of DWARF construction.
+
+The paper (Fig. 1) feeds the cube builder a list of tuples of the form
+``(dimension_1, ..., dimension_n, measure)``.  :class:`FactTuple` is a thin
+immutable wrapper over that shape and :class:`TupleSet` is a validated,
+sortable collection of them bound to a :class:`~repro.core.schema.CubeSchema`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.core.errors import TupleShapeError
+from repro.core.schema import CubeSchema
+
+Number = Union[int, float]
+DimensionKey = Union[str, int]
+
+
+class FactTuple:
+    """One fact: an ordered dimension-key vector plus a numeric measure."""
+
+    __slots__ = ("keys", "measure")
+
+    def __init__(self, keys: Sequence[DimensionKey], measure: Number) -> None:
+        self.keys: Tuple[DimensionKey, ...] = tuple(keys)
+        self.measure = measure
+
+    @classmethod
+    def from_row(cls, row: Sequence) -> "FactTuple":
+        """Build from a flat ``(d1, ..., dn, measure)`` row as in Fig. 1."""
+        if len(row) < 2:
+            raise TupleShapeError(f"fact row needs >=1 dimension and a measure, got {row!r}")
+        return cls(tuple(row[:-1]), row[-1])
+
+    def as_row(self) -> Tuple:
+        """Flatten back to the paper's ``(d1, ..., dn, measure)`` shape."""
+        return self.keys + (self.measure,)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FactTuple)
+            and self.keys == other.keys
+            and self.measure == other.measure
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.keys, self.measure))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(k) for k in self.as_row())
+        return f"FactTuple({inner})"
+
+
+class TupleSet:
+    """A schema-validated collection of fact tuples.
+
+    DWARF construction requires its input sorted by dimension order; the
+    builder calls :meth:`sorted` rather than assuming the caller did.  Keys
+    of mixed types within one dimension are ordered by ``(type name, value)``
+    so that heterogeneous smart-city feeds still sort deterministically.
+    """
+
+    __slots__ = ("schema", "_tuples")
+
+    def __init__(self, schema: CubeSchema, tuples: Iterable = ()) -> None:
+        self.schema = schema
+        self._tuples: List[FactTuple] = []
+        self.extend(tuples)
+
+    # -- mutation ----------------------------------------------------------
+    def append(self, item: Union[FactTuple, Sequence]) -> None:
+        fact = item if isinstance(item, FactTuple) else FactTuple.from_row(item)
+        if len(fact) != self.schema.n_dimensions:
+            raise TupleShapeError(
+                f"schema {self.schema.name!r} expects {self.schema.n_dimensions} "
+                f"dimensions, tuple has {len(fact)}: {fact!r}"
+            )
+        self._tuples.append(fact)
+
+    def extend(self, items: Iterable) -> None:
+        for item in items:
+            self.append(item)
+
+    # -- access -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[FactTuple]:
+        return iter(self._tuples)
+
+    def __getitem__(self, index: int) -> FactTuple:
+        return self._tuples[index]
+
+    def rows(self) -> Iterator[Tuple]:
+        """Iterate the flat ``(d1, ..., dn, measure)`` rows."""
+        return (fact.as_row() for fact in self._tuples)
+
+    def sorted(self) -> "TupleSet":
+        """Return a new TupleSet ordered by dimension keys (root first)."""
+        clone = TupleSet(self.schema)
+        clone._tuples = sorted(self._tuples, key=lambda f: _sort_key(f.keys))
+        return clone
+
+    def is_sorted(self) -> bool:
+        keys = [_sort_key(f.keys) for f in self._tuples]
+        return all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1))
+
+    def __repr__(self) -> str:
+        return f"TupleSet(schema={self.schema.name!r}, n={len(self)})"
+
+
+def _sort_key(keys: Sequence[DimensionKey]) -> Tuple:
+    """Total order over possibly mixed-type dimension keys."""
+    return tuple((type(k).__name__, k) for k in keys)

@@ -1,0 +1,80 @@
+"""DWARF cells.
+
+A DWARF cell is the smallest structure in a DWARF cube (paper §2): it has a
+*key* (one dimension member, e.g. ``"Fenian St"``), lives inside a DWARF
+node, and either
+
+* points to a DWARF node one level down (*non-leaf cell*), or
+* carries an aggregation state derived from the fact measures (*leaf cell*).
+
+Every node additionally owns one special *ALL cell* whose key is the
+:data:`ALL` sentinel; it represents the aggregate over the node's dimension
+and is what prefix/suffix coalescing shares between parents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class _AllKey:
+    """Singleton sentinel used as the key of ALL cells.
+
+    A dedicated object (rather than ``"*"``) cannot collide with dimension
+    members arriving from arbitrary smart-city feeds.
+    """
+
+    _instance: Optional["_AllKey"] = None
+
+    def __new__(cls) -> "_AllKey":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ALL"
+
+    def __reduce__(self):
+        return (_AllKey, ())
+
+
+#: The sentinel key for ALL cells ("aggregate over this dimension").
+ALL = _AllKey()
+
+
+class DwarfCell:
+    """One cell of a DWARF cube.
+
+    Attributes
+    ----------
+    key:
+        The dimension member this cell represents, or :data:`ALL`.
+    node:
+        The child :class:`~repro.dwarf.node.DwarfNode` this cell points to;
+        ``None`` for leaf cells.
+    value:
+        The aggregation *state* held by a leaf cell (``None`` for non-leaf
+        cells).  States are finalized by the cube's aggregator at query
+        time, so AVG cubes can keep ``(total, count)`` pairs here.
+    """
+
+    __slots__ = ("key", "node", "value")
+
+    def __init__(self, key, node=None, value=None) -> None:
+        self.key = key
+        self.node = node
+        self.value = value
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the cell terminates the tree (paper: *leaf cell*)."""
+        return self.node is None
+
+    @property
+    def is_all(self) -> bool:
+        return self.key is ALL
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"DwarfCell({self.key!r}, value={self.value!r})"
+        return f"DwarfCell({self.key!r} -> node@L{self.node.level})"

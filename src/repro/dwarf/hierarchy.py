@@ -1,0 +1,180 @@
+"""Hierarchical DWARF extension: ROLLUP and DRILL DOWN.
+
+Classic DWARF has no dimensional hierarchies; the paper's related work
+(§6, ref [11] "Hierarchical dwarfs for the rollup cube") sketches the
+extension and notes that the ``DWARF_Node`` schema of Table 1-B could
+accommodate it.  This module implements the extension in two pieces:
+
+* :class:`DimensionHierarchy` — a member → parent mapping per level pair
+  (e.g. station → district → city), validated to be a proper function;
+* :func:`rollup` / :func:`drilldown` — OLAP operators over a cube:
+  ``rollup`` regroups a dimension's members by their ancestors at a
+  coarser level and re-aggregates; ``drilldown`` is its inverse,
+  expanding one coarse group back into fine members.
+
+Rather than mutating the DWARF structure, rollup builds a derived cube
+whose dimension holds the coarse members — the "partial DWARF" of [11] —
+so all the ordinary query primitives keep working on the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.errors import QueryError, SchemaError
+from repro.core.schema import CubeSchema, Dimension
+from repro.core.tuples import TupleSet
+from repro.dwarf.cube import DwarfCube
+from repro.dwarf.query import Each, In, select
+
+
+class DimensionHierarchy:
+    """A multi-level hierarchy over one dimension.
+
+    ``levels`` are named coarsest-last in the mapping chain: construction
+    takes the *fine* level name plus a list of ``(coarse_level_name,
+    child_to_parent_mapping)`` pairs, finest-to-coarsest.
+
+    >>> h = DimensionHierarchy(
+    ...     "station",
+    ...     [("district", {"Fenian St": "D2"}), ("city", {"D2": "Dublin"})],
+    ... )
+    >>> h.ancestor("Fenian St", "city")
+    'Dublin'
+    """
+
+    def __init__(
+        self,
+        base_level: str,
+        parents: Iterable[Tuple[str, Mapping[object, object]]],
+    ) -> None:
+        self.base_level = base_level
+        self._levels: List[str] = [base_level]
+        self._maps: Dict[str, Dict[object, object]] = {}
+        for level_name, mapping in parents:
+            if level_name in self._levels:
+                raise SchemaError(f"duplicate hierarchy level {level_name!r}")
+            self._maps[level_name] = dict(mapping)
+            self._levels.append(level_name)
+        if len(self._levels) < 2:
+            raise SchemaError("a hierarchy needs at least one parent level")
+
+    @property
+    def levels(self) -> Tuple[str, ...]:
+        """Level names, finest first."""
+        return tuple(self._levels)
+
+    def parent_level(self, level: str) -> Optional[str]:
+        index = self._levels.index(level)
+        return self._levels[index + 1] if index + 1 < len(self._levels) else None
+
+    def ancestor(self, member, level: str):
+        """Ancestor of a base-level ``member`` at ``level``."""
+        if level == self.base_level:
+            return member
+        if level not in self._maps:
+            raise QueryError(
+                f"unknown hierarchy level {level!r}; levels are {self.levels}"
+            )
+        current = member
+        for name in self._levels[1:]:
+            mapping = self._maps[name]
+            if current not in mapping:
+                raise QueryError(f"member {current!r} has no parent at level {name!r}")
+            current = mapping[current]
+            if name == level:
+                return current
+        raise QueryError(f"unreachable level {level!r}")  # pragma: no cover
+
+    def children(self, group, level: str) -> Tuple:
+        """Base-level members whose ancestor at ``level`` equals ``group``."""
+        if level not in self._maps:
+            raise QueryError(
+                f"unknown hierarchy level {level!r}; levels are {self.levels}"
+            )
+        members = set()
+        for member in self._base_members():
+            try:
+                if self.ancestor(member, level) == group:
+                    members.add(member)
+            except QueryError:
+                continue
+        return tuple(sorted(members, key=repr))
+
+    def _base_members(self) -> Tuple:
+        first_parent = self._levels[1]
+        return tuple(self._maps[first_parent].keys())
+
+
+def rollup(
+    cube: DwarfCube,
+    dimension: str,
+    hierarchy: DimensionHierarchy,
+    level: str,
+) -> DwarfCube:
+    """ROLLUP: coarsen ``dimension`` to ``level`` of ``hierarchy``.
+
+    Returns a new DWARF whose ``dimension`` members are the coarse groups;
+    all other dimensions are untouched.  Exact for distributive
+    aggregators (SUM/COUNT/MIN/MAX).
+    """
+    if hierarchy.base_level != dimension and dimension not in hierarchy.levels:
+        raise QueryError(
+            f"hierarchy (base {hierarchy.base_level!r}) does not cover "
+            f"dimension {dimension!r}"
+        )
+    schema = cube.schema
+    dim_index = schema.dimension_index(dimension)
+    spec = {name: Each() for name in schema.dimension_names}
+    rolled = TupleSet(_renamed_schema(schema, dim_index, level))
+    for coords, value in select(cube, spec):
+        coarse = hierarchy.ancestor(coords[dim_index], level)
+        row = coords[:dim_index] + (coarse,) + coords[dim_index + 1:] + (value,)
+        rolled.append(row)
+
+    from repro.dwarf.builder import DwarfBuilder
+
+    return DwarfBuilder(rolled.schema).build(rolled)
+
+
+def drilldown(
+    cube: DwarfCube,
+    dimension: str,
+    hierarchy: DimensionHierarchy,
+    level: str,
+    group,
+) -> DwarfCube:
+    """DRILL DOWN: expand one coarse ``group`` back to base members.
+
+    ``cube`` must be the *base* cube (fine-grained); the result contains
+    only facts whose ``dimension`` member rolls up into ``group`` at
+    ``level``.
+    """
+    members = hierarchy.children(group, level)
+    if not members:
+        raise QueryError(f"group {group!r} has no members at level {level!r}")
+
+    from repro.dwarf.subcube import extract_subcube
+
+    present = set(cube.members(dimension))
+    keep = [m for m in members if m in present]
+    if not keep:
+        raise QueryError(f"group {group!r} has no members present in the cube")
+    return extract_subcube(cube, {dimension: In(keep)})
+
+
+def _renamed_schema(schema: CubeSchema, dim_index: int, new_name: str) -> CubeSchema:
+    dims = list(schema.dimensions)
+    old = dims[dim_index]
+    taken = {d.name for i, d in enumerate(dims) if i != dim_index}
+    if new_name in taken:
+        # e.g. rolling "station" up to "district" when the cube already has
+        # a district dimension: qualify the rolled-up name.
+        new_name = f"{old.name}_{new_name}"
+    dims[dim_index] = Dimension(new_name, dimension_table=old.dimension_table)
+    return CubeSchema(
+        f"{schema.name}@{new_name}",
+        dims,
+        measure=schema.measure,
+        aggregator=schema.aggregator,
+    )

@@ -1,0 +1,82 @@
+"""DWARF nodes.
+
+A DWARF node is a container for the cells that share the same parent
+(paper §2).  Cells are kept in a dict ordered by insertion; because DWARF
+construction consumes tuples in sorted order, and the merge step inserts
+keys in sorted order, iteration over :meth:`DwarfNode.cells` always yields
+keys in ascending order — range queries rely on this.
+
+Nodes form a DAG, not a tree: suffix coalescing makes several parent cells
+point at one shared node ("multiple inheritance" in the paper's wording),
+which is why traversal and mapping code always deduplicates by node
+identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.dwarf.cell import ALL, DwarfCell
+
+
+class DwarfNode:
+    """A container of sibling :class:`DwarfCell` objects at one level.
+
+    Attributes
+    ----------
+    level:
+        0-based dimension index; the root node is level 0 and leaf nodes
+        sit at ``n_dimensions - 1``.
+    all_cell:
+        The node's ALL cell, created when the node is *closed* during
+        construction (SuffixCoalesce).  ``None`` while the node is still
+        open.
+    """
+
+    __slots__ = ("level", "_cells", "all_cell")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self._cells: Dict[object, DwarfCell] = {}
+        self.all_cell: Optional[DwarfCell] = None
+
+    # -- cell access --------------------------------------------------------
+    def cell(self, key) -> Optional[DwarfCell]:
+        """The cell for ``key`` (the ALL sentinel selects the ALL cell)."""
+        if key is ALL:
+            return self.all_cell
+        return self._cells.get(key)
+
+    def add_cell(self, cell: DwarfCell) -> None:
+        self._cells[cell.key] = cell
+
+    def cells(self) -> Iterator[DwarfCell]:
+        """Iterate the ordinary (non-ALL) cells in ascending key order."""
+        return iter(self._cells.values())
+
+    def all_cells(self) -> Iterator[DwarfCell]:
+        """Iterate ordinary cells then the ALL cell (when present)."""
+        yield from self._cells.values()
+        if self.all_cell is not None:
+            yield self.all_cell
+
+    def keys(self):
+        return self._cells.keys()
+
+    @property
+    def n_cells(self) -> int:
+        """Number of ordinary cells (the ALL cell is counted separately)."""
+        return len(self._cells)
+
+    @property
+    def is_closed(self) -> bool:
+        return self.all_cell is not None
+
+    def __contains__(self, key) -> bool:
+        return key in self._cells
+
+    def __repr__(self) -> str:
+        keys = list(self._cells)
+        shown = keys if len(keys) <= 4 else keys[:4] + ["..."]
+        closed = "closed" if self.is_closed else "open"
+        return f"DwarfNode(L{self.level}, {closed}, keys={shown})"

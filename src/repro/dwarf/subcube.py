@@ -1,0 +1,62 @@
+"""Sub-cube extraction.
+
+The ``DWARF_Schema`` column family carries an ``is_cube`` flag marking
+records that are "a DWARF cube constructed from querying a DWARF schema"
+(paper §3).  :func:`extract_subcube` is that query: it filters the base
+facts of a cube by per-dimension constraints and builds a new, smaller
+DWARF over the surviving facts, which a mapper can then store with
+``is_cube=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.tuples import TupleSet
+from repro.dwarf.cube import DwarfCube
+from repro.dwarf.query import Constraint, Each, select
+
+
+def extract_subcube(
+    cube: DwarfCube,
+    constraints: Optional[Mapping[str, Constraint]] = None,
+    name: Optional[str] = None,
+    **by_name: Constraint,
+) -> DwarfCube:
+    """Build a new DWARF containing only the facts matching ``constraints``.
+
+    Constraints use the vocabulary of :mod:`repro.dwarf.query`
+    (``Member``/``In``/``Range``); dimensions not mentioned are kept whole.
+    The result is a complete DWARF (with its own ALL cells), suitable for
+    storage as an ``is_cube`` record.
+
+    Note: with a non-SUM aggregator the extracted cube aggregates the
+    *finalized* leaf values of the source cube, which is exact for
+    SUM/COUNT/MIN/MAX; for AVG the sub-cube's upper aggregates become an
+    average of averages.
+    """
+    from repro.core.schema import CubeSchema
+    from repro.dwarf.builder import DwarfBuilder
+
+    spec: Dict[str, Constraint] = dict(constraints or {})
+    spec.update(by_name)
+    # Every dimension must contribute a coordinate so the matching base
+    # facts can be re-assembled into rows.
+    for dim_name in cube.schema.dimension_names:
+        constraint = spec.get(dim_name)
+        if constraint is None or not constraint.grouped:
+            spec[dim_name] = Each()
+
+    schema = cube.schema
+    if name and name != schema.name:
+        schema = CubeSchema(
+            name,
+            schema.dimensions,
+            measure=schema.measure,
+            aggregator=schema.aggregator,
+        )
+
+    facts = TupleSet(schema)
+    for coords, value in select(cube, spec):
+        facts.append(coords + (value,))
+    return DwarfBuilder(schema).build(facts)

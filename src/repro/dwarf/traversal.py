@@ -1,0 +1,62 @@
+"""Breadth-first DWARF traversal with the paper's visited lookup table.
+
+Section 4 of the paper mandates a breadth-first, top-down traversal that
+visits every node and cell exactly once; because the DWARF is a DAG
+("multiple inheritance"), a lookup table of already-visited nodes guards
+against reprocessing.  The mappers, the statistics module and the storage
+transformations all share this traversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, NamedTuple, Optional
+
+from repro.dwarf.cell import DwarfCell
+from repro.dwarf.node import DwarfNode
+
+
+class Visit(NamedTuple):
+    """One traversal event.
+
+    ``cell`` is ``None`` for node events; for cell events ``node`` is the
+    node *containing* the cell (its parent node).
+    """
+
+    node: DwarfNode
+    cell: Optional[DwarfCell]
+
+
+def breadth_first(root: DwarfNode) -> Iterator[Visit]:
+    """Yield every node and cell of the DWARF exactly once, BFS order.
+
+    For each node a ``Visit(node, None)`` event is emitted first, followed
+    by one ``Visit(node, cell)`` event per cell (ordinary cells in key
+    order, then the ALL cell).  Shared nodes are emitted only on first
+    encounter, mirroring the paper's lookup-table guard.
+    """
+    visited = {id(root)}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        yield Visit(node, None)
+        for cell in node.all_cells():
+            yield Visit(node, cell)
+            child = cell.node
+            if child is not None and id(child) not in visited:
+                visited.add(id(child))
+                queue.append(child)
+
+
+def iter_nodes(root: DwarfNode) -> Iterator[DwarfNode]:
+    """Yield each distinct node once, in BFS order."""
+    for visit in breadth_first(root):
+        if visit.cell is None:
+            yield visit.node
+
+
+def iter_cells(root: DwarfNode) -> Iterator[Visit]:
+    """Yield each cell once as ``Visit(parent_node, cell)``, in BFS order."""
+    for visit in breadth_first(root):
+        if visit.cell is not None:
+            yield visit

@@ -1,0 +1,24 @@
+"""ETL: XML/JSON smart-city documents → flat records → fact tuples."""
+
+from repro.etl.documents import DocumentBatch, SourceDocument
+from repro.etl.extractor import FactMapping
+from repro.etl.inference import infer_mapping, profile_records
+from repro.etl.json_source import parse_json_records
+from repro.etl.pipeline import EtlPipeline
+from repro.etl.stream import DocumentStream, window_by_count, window_by_period
+from repro.etl.xml_source import count_xml_records, parse_xml_records
+
+__all__ = [
+    "DocumentBatch",
+    "DocumentStream",
+    "EtlPipeline",
+    "FactMapping",
+    "SourceDocument",
+    "count_xml_records",
+    "infer_mapping",
+    "parse_json_records",
+    "profile_records",
+    "parse_xml_records",
+    "window_by_count",
+    "window_by_period",
+]

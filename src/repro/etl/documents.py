@@ -1,0 +1,70 @@
+"""Source documents: the web-generated payloads of smart-city services.
+
+The paper's pipeline consumes XML and JSON objects published by city
+services (bike schemes, car parks, sensors).  A :class:`SourceDocument`
+carries the raw text plus light metadata; format-specific readers turn
+documents into flat records (dicts) for the extractor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+
+class SourceDocument:
+    """One harvested document (e.g. a station-feed snapshot)."""
+
+    __slots__ = ("content", "content_type", "source", "sequence")
+
+    def __init__(
+        self,
+        content: str,
+        content_type: str,
+        source: str = "",
+        sequence: int = 0,
+    ) -> None:
+        if content_type not in ("xml", "json"):
+            raise ValueError(f"content_type must be 'xml' or 'json', got {content_type!r}")
+        self.content = content
+        self.content_type = content_type
+        self.source = source
+        self.sequence = sequence
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.content.encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceDocument({self.content_type}, source={self.source!r}, "
+            f"seq={self.sequence}, {self.size_bytes}B)"
+        )
+
+
+class DocumentBatch:
+    """An ordered collection of documents with aggregate accounting."""
+
+    __slots__ = ("_documents",)
+
+    def __init__(self, documents: Optional[List[SourceDocument]] = None) -> None:
+        self._documents: List[SourceDocument] = list(documents or [])
+
+    def append(self, document: SourceDocument) -> None:
+        self._documents.append(document)
+
+    def __iter__(self) -> Iterator[SourceDocument]:
+        return iter(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(d.size_bytes for d in self._documents)
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+    def __repr__(self) -> str:
+        return f"DocumentBatch({len(self)} docs, {self.size_mb:.2f} MB)"

@@ -1,0 +1,91 @@
+"""Record → fact-tuple extraction.
+
+A :class:`FactMapping` declares how a flat record from a feed becomes
+one DWARF input tuple ``(d1, ..., dn, measure)``: which record field (or
+derivation) feeds each dimension of a :class:`~repro.core.schema.CubeSchema`,
+and which field is the measure.  This is the "abstraction from the source
+format" step the paper shares with the XML-cube literature (§6): once a
+record is flat, XML and JSON sources are handled identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Union
+
+from repro.core.errors import PipelineError
+from repro.core.schema import CubeSchema
+from repro.core.tuples import FactTuple, TupleSet
+
+FieldSpec = Union[str, Callable[[Dict[str, object]], object]]
+
+
+class FactMapping:
+    """Binds a cube schema to record fields.
+
+    ``dimension_fields`` maps each dimension name to either a record field
+    name or a callable deriving the value from the whole record (for
+    computed dimensions like *weekday* from a timestamp).  ``measure_field``
+    works the same way for the measure.
+
+    ``on_missing`` controls behaviour when a record lacks a field:
+    ``"error"`` raises, ``"skip"`` silently drops the record — the right
+    choice for noisy public feeds.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        dimension_fields: Mapping[str, FieldSpec],
+        measure_field: FieldSpec,
+        measure_cast: Callable[[object], object] = int,
+        on_missing: str = "error",
+    ) -> None:
+        missing = set(schema.dimension_names) - set(dimension_fields)
+        if missing:
+            raise PipelineError(f"no field mapping for dimensions: {sorted(missing)}")
+        unknown = set(dimension_fields) - set(schema.dimension_names)
+        if unknown:
+            raise PipelineError(f"mapping for unknown dimensions: {sorted(unknown)}")
+        if on_missing not in ("error", "skip"):
+            raise PipelineError(f"on_missing must be 'error' or 'skip', got {on_missing!r}")
+        self.schema = schema
+        self.dimension_fields = dict(dimension_fields)
+        self.measure_field = measure_field
+        self.measure_cast = measure_cast
+        self.on_missing = on_missing
+        self.n_skipped = 0
+
+    # ------------------------------------------------------------------
+    def _field(self, record: Dict[str, object], spec: FieldSpec):
+        if callable(spec):
+            return spec(record)
+        if spec not in record or record[spec] is None:
+            raise KeyError(spec)
+        return record[spec]
+
+    def extract_one(self, record: Dict[str, object]) -> Optional[FactTuple]:
+        """Map one record to a fact tuple, or None when skipped."""
+        try:
+            keys = tuple(
+                self._field(record, self.dimension_fields[name])
+                for name in self.schema.dimension_names
+            )
+            measure = self.measure_cast(self._field(record, self.measure_field))
+        except (KeyError, ValueError, TypeError) as exc:
+            if self.on_missing == "skip":
+                self.n_skipped += 1
+                return None
+            raise PipelineError(f"cannot extract fact from record {record!r}: {exc}") from exc
+        return FactTuple(keys, measure)
+
+    def extract(self, records: Iterable[Dict[str, object]]) -> TupleSet:
+        """Map an iterable of records into a validated :class:`TupleSet`."""
+        facts = TupleSet(self.schema)
+        for record in records:
+            fact = self.extract_one(record)
+            if fact is not None:
+                facts.append(fact)
+        return facts
+
+    def __repr__(self) -> str:
+        return f"FactMapping(schema={self.schema.name!r}, measure={self.measure_field!r})"

@@ -1,0 +1,161 @@
+"""Schema inference: derive a cube definition from raw feed records.
+
+The paper's goal is a *canonical* approach to managing arbitrary XML and
+JSON streams; new feeds should not require hand-written cube wiring.
+:func:`infer_mapping` inspects a sample of flat records and proposes a
+:class:`~repro.core.schema.CubeSchema` plus
+:class:`~repro.etl.extractor.FactMapping`:
+
+* fields missing from too many records are dropped;
+* numeric fields are measure candidates — the chosen measure is the one
+  with the most distinct values (most measure-like), unless named
+  explicitly;
+* the remaining fields become dimensions, ordered by decreasing
+  cardinality (the DWARF-friendly order of [12]);
+* high-cardinality non-numeric fields (e.g. free text, timestamps) can
+  be capped out with ``max_dimension_cardinality``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import PipelineError
+from repro.core.schema import CubeSchema, Dimension
+from repro.etl.extractor import FactMapping
+
+#: A field must appear in at least this fraction of sampled records.
+MIN_PRESENCE = 0.9
+
+
+class FieldProfile:
+    """What the sampler learned about one record field."""
+
+    __slots__ = ("name", "present", "numeric", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.present = 0
+        self.numeric = True
+        self.values = set()
+
+    def observe(self, value) -> None:
+        self.present += 1
+        if self.numeric and _as_number(value) is None:
+            self.numeric = False
+        if len(self.values) <= 10_000:
+            self.values.add(str(value))
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+
+def _as_number(value):
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            return int(text)
+        except ValueError:
+            try:
+                return float(text)
+            except ValueError:
+                return None
+    return None
+
+
+def profile_records(records: Iterable[Dict[str, object]]) -> Tuple[List[FieldProfile], int]:
+    """Scan records once and profile every field."""
+    profiles: Dict[str, FieldProfile] = {}
+    n_records = 0
+    for record in records:
+        n_records += 1
+        for name, value in record.items():
+            if value is None:
+                continue
+            profile = profiles.get(name)
+            if profile is None:
+                profile = profiles[name] = FieldProfile(name)
+            profile.observe(value)
+    return list(profiles.values()), n_records
+
+
+def infer_mapping(
+    records: Sequence[Dict[str, object]],
+    name: str = "inferred",
+    measure: Optional[str] = None,
+    max_dimension_cardinality: Optional[int] = None,
+    max_dimensions: int = 8,
+) -> FactMapping:
+    """Propose a cube schema and field mapping for ``records``.
+
+    ``records`` must be a re-iterable sample (a list); raises
+    :class:`PipelineError` when no viable measure or dimensions exist.
+    """
+    profiles, n_records = profile_records(records)
+    if n_records == 0:
+        raise PipelineError("cannot infer a schema from zero records")
+    usable = [p for p in profiles if p.present >= MIN_PRESENCE * n_records]
+    if not usable:
+        raise PipelineError("no field is present in enough records")
+
+    numeric = [p for p in usable if p.numeric]
+    if measure is not None:
+        chosen = next((p for p in usable if p.name == measure), None)
+        if chosen is None:
+            raise PipelineError(f"requested measure {measure!r} not found or too sparse")
+        if not chosen.numeric:
+            raise PipelineError(f"requested measure {measure!r} is not numeric")
+    else:
+        if not numeric:
+            raise PipelineError("no numeric field to use as the measure")
+        # The most distinct numeric field is the most measure-like.
+        chosen = max(numeric, key=lambda p: (p.cardinality, p.name))
+
+    dimension_profiles = [p for p in usable if p.name != chosen.name]
+    if max_dimension_cardinality is not None:
+        dimension_profiles = [
+            p for p in dimension_profiles if p.cardinality <= max_dimension_cardinality
+        ]
+    if not dimension_profiles:
+        raise PipelineError("no dimension fields survive the cardinality cap")
+    # Decreasing cardinality near the root compresses best ([12]).
+    dimension_profiles.sort(key=lambda p: (-p.cardinality, p.name))
+    dimension_profiles = dimension_profiles[:max_dimensions]
+
+    schema = CubeSchema(
+        name,
+        [Dimension(p.name) for p in dimension_profiles],
+        measure=chosen.name if chosen.name not in
+        {p.name for p in dimension_profiles} else f"{chosen.name}_measure",
+    )
+    measure_is_int = all(
+        isinstance(_as_number(v), int) for v in list(chosen.values)[:100]
+    )
+
+    def make_getter(field_name: str):
+        def get(record: Dict[str, object]):
+            value = record[field_name]
+            if value is None:
+                raise KeyError(field_name)
+            return value if not isinstance(value, str) else value
+
+        return get
+
+    def get_measure(record: Dict[str, object]):
+        number = _as_number(record[chosen.name])
+        if number is None:
+            raise KeyError(chosen.name)
+        return number
+
+    return FactMapping(
+        schema,
+        dimension_fields={p.name: make_getter(p.name) for p in dimension_profiles},
+        measure_field=get_measure,
+        measure_cast=int if measure_is_int else float,
+        on_missing="skip",
+    )

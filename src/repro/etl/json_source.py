@@ -1,0 +1,63 @@
+"""JSON record extraction.
+
+The JSON twin of :mod:`repro.etl.xml_source`: locates the record array in
+a feed object via a simple dotted path and yields flat records, merging
+optional top-level context fields into each.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, Sequence
+
+from repro.core.errors import PipelineError
+from repro.etl.documents import SourceDocument
+
+
+def parse_json_records(
+    document: SourceDocument,
+    records_path: str,
+    context_fields: Sequence[str] = (),
+) -> Iterator[Dict[str, object]]:
+    """Yield one record dict per element of the array at ``records_path``.
+
+    ``records_path`` is a dotted path from the document root, e.g.
+    ``"data.stations"``.  Nested objects inside a record are flattened
+    one level with ``parent.child`` keys.
+    """
+    if document.content_type != "json":
+        raise PipelineError(f"expected a JSON document, got {document.content_type!r}")
+    try:
+        payload = json.loads(document.content)
+    except json.JSONDecodeError as exc:
+        raise PipelineError(f"malformed JSON from {document.source!r}: {exc}") from exc
+
+    context: Dict[str, object] = {}
+    if isinstance(payload, dict):
+        for field in context_fields:
+            if field in payload:
+                context[field] = payload[field]
+
+    records = payload
+    if records_path:
+        for part in records_path.split("."):
+            if not isinstance(records, dict) or part not in records:
+                raise PipelineError(
+                    f"records path {records_path!r} not found in JSON from "
+                    f"{document.source!r}"
+                )
+            records = records[part]
+    if not isinstance(records, list):
+        raise PipelineError(f"records path {records_path!r} is not an array")
+
+    for entry in records:
+        if not isinstance(entry, dict):
+            raise PipelineError("record array elements must be objects")
+        record = dict(context)
+        for key, value in entry.items():
+            if isinstance(value, dict):
+                for inner_key, inner_value in value.items():
+                    record[f"{key}.{inner_key}"] = inner_value
+            else:
+                record[key] = value
+        yield record

@@ -1,0 +1,70 @@
+"""Data streams and windows.
+
+The paper maintains cubes over *periods* of a stream (one day, one week,
+one month, ...).  A :class:`DocumentStream` is an ordered source of
+documents; :func:`window_by_count` and :func:`window_by_period` cut it
+into batches that the pipeline turns into per-period cubes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.etl.documents import DocumentBatch, SourceDocument
+
+
+class DocumentStream:
+    """An ordered, replayable stream of source documents."""
+
+    def __init__(self, documents: Iterable[SourceDocument]) -> None:
+        self._documents: List[SourceDocument] = list(documents)
+
+    def __iter__(self) -> Iterator[SourceDocument]:
+        return iter(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def batch(self) -> DocumentBatch:
+        return DocumentBatch(self._documents)
+
+    def __repr__(self) -> str:
+        return f"DocumentStream({len(self)} documents)"
+
+
+def window_by_count(
+    stream: Iterable[SourceDocument], batch_size: int
+) -> Iterator[DocumentBatch]:
+    """Cut a stream into consecutive batches of ``batch_size`` documents."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    current = DocumentBatch()
+    for document in stream:
+        current.append(document)
+        if len(current) == batch_size:
+            yield current
+            current = DocumentBatch()
+    if len(current):
+        yield current
+
+
+def window_by_period(
+    stream: Iterable[SourceDocument],
+    period_of: Callable[[SourceDocument], object],
+) -> Iterator[DocumentBatch]:
+    """Cut a stream into batches sharing ``period_of(document)``.
+
+    Documents must arrive period-ordered (true of harvested feeds); a
+    change in the period value closes the current window.
+    """
+    current = DocumentBatch()
+    current_period: Optional[object] = None
+    for document in stream:
+        period = period_of(document)
+        if current_period is not None and period != current_period and len(current):
+            yield current
+            current = DocumentBatch()
+        current_period = period
+        current.append(document)
+    if len(current):
+        yield current

@@ -1,0 +1,57 @@
+"""XML record extraction.
+
+Parses a feed document with :mod:`xml.etree.ElementTree` and yields one
+flat record per repeated *record element* (e.g. ``<station>``).  Child
+elements and attributes become record fields; a parent-level context
+(e.g. the snapshot timestamp on the feed root) can be merged into every
+record via ``context_fields``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Iterator, Sequence
+
+from repro.core.errors import PipelineError
+from repro.etl.documents import SourceDocument
+
+
+def parse_xml_records(
+    document: SourceDocument,
+    record_tag: str,
+    context_fields: Sequence[str] = (),
+) -> Iterator[Dict[str, str]]:
+    """Yield one ``{field: text}`` record per ``record_tag`` element.
+
+    ``context_fields`` names attributes or child elements of the *root*
+    element copied into every record (the paper's feeds carry the
+    harvest timestamp there).
+    """
+    if document.content_type != "xml":
+        raise PipelineError(f"expected an XML document, got {document.content_type!r}")
+    try:
+        root = ET.fromstring(document.content)
+    except ET.ParseError as exc:
+        raise PipelineError(f"malformed XML from {document.source!r}: {exc}") from exc
+
+    context: Dict[str, str] = {}
+    for field in context_fields:
+        value = root.get(field)
+        if value is None:
+            child = root.find(field)
+            value = child.text if child is not None else None
+        if value is not None:
+            context[field] = value
+
+    for element in root.iter(record_tag):
+        record = dict(context)
+        record.update(element.attrib)
+        for child in element:
+            if len(child) == 0:  # leaf element
+                record[child.tag] = (child.text or "").strip()
+        yield record
+
+
+def count_xml_records(document: SourceDocument, record_tag: str) -> int:
+    """Number of ``record_tag`` elements in the document."""
+    return sum(1 for _ in parse_xml_records(document, record_tag))

@@ -1,0 +1,54 @@
+"""Bi-directional DWARF ⇄ storage mappers: the paper's four schemas."""
+
+from repro.mapping.base import (
+    ALL_KEY_TEXT,
+    CellRecord,
+    CubeMapper,
+    MappingError,
+    NodeRecord,
+    StoredSchemaInfo,
+    TransformedCube,
+    decode_member,
+    derive_levels,
+    encode_member,
+    rebuild_cube,
+    schema_from_rows,
+    schema_to_rows,
+    transform_cube,
+)
+from repro.mapping.lookup import LookupTable
+from repro.mapping.mysql_dwarf import MySQLDwarfMapper
+from repro.mapping.mysql_min import MySQLMinMapper
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.mapping.nosql_min import NoSQLMinMapper
+from repro.mapping.registry import MAPPER_FACTORIES, all_mappers, make_mapper
+from repro.mapping.dimension_tables import DimensionTableStore
+from repro.mapping.stored_query import stored_point_query, stored_select
+
+__all__ = [
+    "ALL_KEY_TEXT",
+    "CellRecord",
+    "CubeMapper",
+    "DimensionTableStore",
+    "LookupTable",
+    "MAPPER_FACTORIES",
+    "MappingError",
+    "MySQLDwarfMapper",
+    "MySQLMinMapper",
+    "NoSQLDwarfMapper",
+    "NoSQLMinMapper",
+    "NodeRecord",
+    "StoredSchemaInfo",
+    "TransformedCube",
+    "all_mappers",
+    "decode_member",
+    "derive_levels",
+    "encode_member",
+    "make_mapper",
+    "rebuild_cube",
+    "schema_from_rows",
+    "schema_to_rows",
+    "stored_point_query",
+    "stored_select",
+    "transform_cube",
+]

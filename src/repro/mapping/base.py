@@ -1,0 +1,355 @@
+"""The mapper contract and shared transformation machinery.
+
+A :class:`CubeMapper` is one storage schema from the paper's evaluation
+(NoSQL-DWARF, NoSQL-Min, MySQL-DWARF, MySQL-Min).  Every mapper is
+*bi-directional*: ``store`` walks the in-memory DWARF breadth-first
+(with the §4 lookup-table guard), emits one INSERT per node/cell and
+executes them in bulk; ``load`` reads the rows back and reassembles an
+identical, queryable :class:`~repro.dwarf.cube.DwarfCube`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.core.errors import ReproError
+from repro.core.schema import CubeSchema, Dimension
+from repro.dwarf.cell import ALL, DwarfCell
+from repro.dwarf.cube import DwarfCube
+from repro.dwarf.node import DwarfNode
+from repro.dwarf.traversal import breadth_first
+from repro.mapping.lookup import LookupTable
+
+#: Reserved ``key`` text of ALL cells in storage.
+ALL_KEY_TEXT = "__ALL__"
+
+
+class MappingError(ReproError):
+    """A cube cannot be mapped to / reconstructed from storage."""
+
+
+class StoredSchemaInfo(NamedTuple):
+    """One row of the schema/cube registry (paper Table 1-A)."""
+
+    schema_id: int
+    node_count: int
+    cell_count: int
+    size_as_mb: int
+    entry_node_id: Optional[int]
+    is_cube: bool
+
+
+# ----------------------------------------------------------------------
+# member <-> text codec
+# ----------------------------------------------------------------------
+def encode_member(key) -> str:
+    """Losslessly encode a dimension member into the ``key text`` column.
+
+    The paper stores cell keys as ``text``; feeds also produce integer
+    members (e.g. the hour), so a one-character type prefix keeps the
+    round trip exact: ``s:Fenian St``, ``i:8``, ``f:3.5``, ``b:1``.
+    """
+    if key is ALL:
+        return ALL_KEY_TEXT
+    if isinstance(key, bool):
+        return f"b:{int(key)}"
+    if isinstance(key, int):
+        return f"i:{key}"
+    if isinstance(key, float):
+        return f"f:{key!r}"
+    if isinstance(key, str):
+        return f"s:{key}"
+    raise MappingError(f"unsupported dimension member type: {type(key).__name__}")
+
+
+def decode_member(text: str):
+    """Inverse of :func:`encode_member` (does not decode ALL_KEY_TEXT)."""
+    if len(text) < 2 or text[1] != ":":
+        raise MappingError(f"corrupt member encoding: {text!r}")
+    tag, payload = text[0], text[2:]
+    if tag == "s":
+        return payload
+    if tag == "i":
+        return int(payload)
+    if tag == "f":
+        return float(payload)
+    if tag == "b":
+        return bool(int(payload))
+    raise MappingError(f"corrupt member tag in {text!r}")
+
+
+# ----------------------------------------------------------------------
+# traversal -> flat transformation records
+# ----------------------------------------------------------------------
+class NodeRecord(NamedTuple):
+    node_id: int
+    level: int
+    is_root: bool
+    children_cell_ids: Tuple[int, ...]
+    parent_cell_ids: Tuple[int, ...]
+
+
+class CellRecord(NamedTuple):
+    cell_id: int
+    key_text: str
+    measure: Optional[int]
+    parent_node_id: int
+    pointer_node_id: Optional[int]
+    is_leaf: bool
+    is_root_cell: bool
+    dimension_table: Optional[str]
+    level: int
+
+
+class TransformedCube(NamedTuple):
+    """The flat form every mapper stores: one record per node and cell."""
+
+    nodes: List[NodeRecord]
+    cells: List[CellRecord]
+    entry_node_id: int
+
+
+def transform_cube(
+    cube: DwarfCube,
+    first_node_id: int = 1,
+    first_cell_id: int = 1,
+) -> TransformedCube:
+    """Flatten a DWARF into node/cell records, BFS order (paper §4).
+
+    Raises :class:`MappingError` for cubes whose aggregation states are
+    not integers — the paper's column families type ``measure`` as
+    ``int`` (Table 1-C), which covers SUM/COUNT/MIN/MAX over integer
+    measures but not AVG states.
+    """
+    node_table = LookupTable(first_node_id)
+    cell_table = LookupTable(first_cell_id)
+    nodes: Dict[int, NodeRecord] = {}
+    parent_cells: Dict[int, List[int]] = {}
+    cells: List[CellRecord] = []
+    dimensions = cube.schema.dimensions
+
+    root_id, _ = node_table.assign(cube.root)
+    for visit in breadth_first(cube.root):
+        if visit.cell is None:
+            node = visit.node
+            node_id = node_table.id_of(node)
+            child_ids = []
+            for cell in node.all_cells():
+                cell_id, _ = cell_table.assign(cell)
+                child_ids.append(cell_id)
+            nodes[node_id] = NodeRecord(
+                node_id=node_id,
+                level=node.level,
+                is_root=node is cube.root,
+                children_cell_ids=tuple(child_ids),
+                parent_cell_ids=(),  # filled after the scan
+            )
+        else:
+            node, cell = visit.node, visit.cell
+            cell_id = cell_table.id_of(cell)
+            pointer_id: Optional[int] = None
+            if cell.node is not None:
+                pointer_id, _ = node_table.assign(cell.node)
+                parent_cells.setdefault(pointer_id, []).append(cell_id)
+            measure: Optional[int] = None
+            if cell.is_leaf:
+                if not isinstance(cell.value, int) or isinstance(cell.value, bool):
+                    raise MappingError(
+                        "storage schemas type measure as int (paper Table 1-C); "
+                        f"cannot store aggregation state {cell.value!r} — use an "
+                        "integer-valued distributive aggregator"
+                    )
+                measure = cell.value
+            dimension = dimensions[node.level]
+            cells.append(
+                CellRecord(
+                    cell_id=cell_id,
+                    key_text=encode_member(cell.key),
+                    measure=measure,
+                    parent_node_id=node_table.id_of(node),
+                    pointer_node_id=pointer_id,
+                    is_leaf=cell.is_leaf,
+                    is_root_cell=node is cube.root,
+                    dimension_table=dimension.dimension_table,
+                    level=node.level,
+                )
+            )
+
+    node_records = [
+        record._replace(parent_cell_ids=tuple(parent_cells.get(record.node_id, ())))
+        for record in nodes.values()
+    ]
+    return TransformedCube(nodes=node_records, cells=cells, entry_node_id=root_id)
+
+
+# ----------------------------------------------------------------------
+# flat records -> DWARF (the reverse direction)
+# ----------------------------------------------------------------------
+def rebuild_cube(
+    schema: CubeSchema,
+    nodes: List[NodeRecord],
+    cells: List[CellRecord],
+    entry_node_id: int,
+    n_source_tuples: int = 0,
+) -> DwarfCube:
+    """Reassemble an in-memory DWARF from flat node/cell records.
+
+    Joins nodes and cells on their unique ids (paper §3: "reading the
+    records ... and joining them based on their unique ids").
+    """
+    from repro.dwarf.builder import _member_key
+
+    node_objects: Dict[int, DwarfNode] = {
+        record.node_id: DwarfNode(record.level) for record in nodes
+    }
+    if entry_node_id not in node_objects:
+        raise MappingError(f"entry node {entry_node_id} missing from node records")
+
+    by_parent: Dict[int, List[CellRecord]] = {}
+    for record in cells:
+        by_parent.setdefault(record.parent_node_id, []).append(record)
+
+    for node_record in nodes:
+        node = node_objects[node_record.node_id]
+        members: List[Tuple[object, CellRecord]] = []
+        all_record: Optional[CellRecord] = None
+        for cell_record in by_parent.get(node_record.node_id, ()):
+            if cell_record.key_text == ALL_KEY_TEXT:
+                all_record = cell_record
+            else:
+                members.append((decode_member(cell_record.key_text), cell_record))
+        members.sort(key=lambda pair: _member_key(pair[0]))
+        for key, cell_record in members:
+            node.add_cell(_build_cell(key, cell_record, node_objects))
+        if all_record is not None:
+            node.all_cell = _build_cell(ALL, all_record, node_objects)
+
+    return DwarfCube(schema, node_objects[entry_node_id], n_source_tuples=n_source_tuples)
+
+
+def _build_cell(key, record: CellRecord, node_objects: Dict[int, DwarfNode]) -> DwarfCell:
+    if record.is_leaf:
+        return DwarfCell(key, value=record.measure)
+    pointer = node_objects.get(record.pointer_node_id)
+    if pointer is None:
+        raise MappingError(
+            f"cell {record.cell_id} points at missing node {record.pointer_node_id}"
+        )
+    return DwarfCell(key, node=pointer)
+
+
+def derive_levels(cells: List[CellRecord], entry_node_id: int) -> Dict[int, int]:
+    """Dimension level of every node id, derived from the cell graph.
+
+    Storage schemas do not persist node levels; they follow from a BFS
+    over parent-node → pointer-node edges starting at the entry node.
+    """
+    from collections import deque
+
+    children: Dict[int, List[int]] = {}
+    for record in cells:
+        if record.pointer_node_id is not None:
+            children.setdefault(record.parent_node_id, []).append(record.pointer_node_id)
+
+    levels: Dict[int, int] = {entry_node_id: 0}
+    queue = deque([entry_node_id])
+    while queue:
+        node_id = queue.popleft()
+        for child_id in children.get(node_id, ()):
+            if child_id not in levels:
+                levels[child_id] = levels[node_id] + 1
+                queue.append(child_id)
+    return levels
+
+
+# ----------------------------------------------------------------------
+# the mapper contract
+# ----------------------------------------------------------------------
+class CubeMapper:
+    """One storage schema: install, store, probe, reload.
+
+    Subclasses set :attr:`name` to the paper's schema label and implement
+    the five primitives.
+    """
+
+    #: Label used in benchmark tables, e.g. ``"NoSQL-DWARF"``.
+    name = "?"
+
+    def install(self) -> None:
+        """Create the keyspace/database and its tables (idempotent)."""
+        raise NotImplementedError
+
+    def store(self, cube: DwarfCube, is_cube: bool = False) -> int:
+        """Persist ``cube``; returns the new schema/cube id."""
+        raise NotImplementedError
+
+    def load(self, schema_id: int, schema: Optional[CubeSchema] = None) -> DwarfCube:
+        """Rebuild the DWARF stored under ``schema_id``."""
+        raise NotImplementedError
+
+    def info(self, schema_id: int) -> StoredSchemaInfo:
+        """The registry row for ``schema_id``."""
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        """Total on-disk footprint of this mapper's storage."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Remove all stored cubes (TRUNCATE every table)."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+    @staticmethod
+    def _size_as_mb(size_bytes: int) -> int:
+        return size_bytes // (1024 * 1024)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# schema metadata persistence (shared by all mappers)
+# ----------------------------------------------------------------------
+def schema_to_rows(schema: CubeSchema, schema_id: int) -> List[Dict[str, object]]:
+    """Dimension-registry rows making ``load`` self-contained.
+
+    The paper's Table 1 stores no dimension names (it assumes the caller
+    knows the cube definition); a bi-directional mapper needs them, so
+    every mapper adds one small ``dwarf_dimension`` table.  Documented as
+    a substitution in DESIGN.md.
+    """
+    rows = []
+    for position, dimension in enumerate(schema.dimensions):
+        rows.append(
+            {
+                "id": schema_id * 1000 + position,
+                "schema_id": schema_id,
+                "position": position,
+                "name": dimension.name,
+                "dimension_table": dimension.dimension_table,
+                "schema_name": schema.name,
+                "measure": schema.measure,
+                "aggregator": schema.aggregator.name,
+            }
+        )
+    return rows
+
+
+def schema_from_rows(rows: List[Dict[str, object]]) -> CubeSchema:
+    """Rebuild a :class:`CubeSchema` from dimension-registry rows."""
+    if not rows:
+        raise MappingError("no dimension metadata stored for this schema id")
+    ordered = sorted(rows, key=lambda row: row["position"])
+    from repro.core.aggregators import Aggregator
+
+    first = ordered[0]
+    dimensions = [
+        Dimension(row["name"], dimension_table=row["dimension_table"]) for row in ordered
+    ]
+    return CubeSchema(
+        first["schema_name"],
+        dimensions,
+        measure=first["measure"],
+        aggregator=Aggregator.get(first["aggregator"]),
+    )

@@ -1,0 +1,50 @@
+"""The traversal lookup table (paper §4).
+
+A DWARF contains multiple inheritance — nodes with several parent cells —
+so the transformation "records each Node and Cell visited by assigning
+them a unique ID.  Upon visiting a Cell or Node ... the lookup table is
+first checked to ensure that is has not already been transformed."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class LookupTable:
+    """Assigns sequential unique ids to objects on first visit.
+
+    Keyed by object identity; the table holds a reference to each object
+    so CPython cannot recycle an id() while the table is alive.
+    """
+
+    def __init__(self, first_id: int = 1) -> None:
+        self._next_id = first_id
+        self._ids: Dict[int, int] = {}
+        self._objects: Dict[int, object] = {}
+
+    def seen(self, obj) -> bool:
+        return id(obj) in self._ids
+
+    def assign(self, obj) -> Tuple[int, bool]:
+        """Return ``(unique_id, first_visit)`` for ``obj``."""
+        key = id(obj)
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing, False
+        assigned = self._next_id
+        self._next_id += 1
+        self._ids[key] = assigned
+        self._objects[key] = obj
+        return assigned, True
+
+    def id_of(self, obj) -> int:
+        """The id previously assigned to ``obj`` (KeyError when unseen)."""
+        return self._ids[id(obj)]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def items(self) -> Iterator[Tuple[object, int]]:
+        for key, assigned in self._ids.items():
+            yield self._objects[key], assigned

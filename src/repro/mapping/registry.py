@@ -1,0 +1,36 @@
+"""Registry of the paper's four storage schemas."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.mapping.base import CubeMapper
+from repro.mapping.mysql_dwarf import MySQLDwarfMapper
+from repro.mapping.mysql_min import MySQLMinMapper
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.mapping.nosql_min import NoSQLMinMapper
+
+#: Schema label -> mapper factory, in the paper's Table 4/5 row order.
+MAPPER_FACTORIES: Dict[str, Callable[[], CubeMapper]] = {
+    "MySQL-DWARF": MySQLDwarfMapper,
+    "MySQL-Min": MySQLMinMapper,
+    "NoSQL-DWARF": NoSQLDwarfMapper,
+    "NoSQL-Min": NoSQLMinMapper,
+}
+
+
+def make_mapper(name: str) -> CubeMapper:
+    """Instantiate (and install) a mapper by its paper label."""
+    try:
+        factory = MAPPER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(MAPPER_FACTORIES)
+        raise KeyError(f"unknown schema {name!r} (known: {known})") from None
+    mapper = factory()
+    mapper.install()
+    return mapper
+
+
+def all_mappers() -> List[CubeMapper]:
+    """Fresh, installed instances of all four mappers, paper order."""
+    return [make_mapper(name) for name in MAPPER_FACTORIES]

@@ -1,0 +1,52 @@
+"""A columnar NoSQL storage engine (Cassandra substitute).
+
+Keyspaces hold column families; writes go commit log -> memtable ->
+compressed SSTables with size-tiered compaction; secondary indexes are
+maintained synchronously in write-through B-trees.  Clients drive it
+through CQL sessions (:class:`Session`), exactly how the paper's system
+drives Cassandra.
+"""
+
+from repro.nosqldb.columnfamily import Column, ColumnFamily, SecondaryIndex
+from repro.nosqldb.commitlog import CommitLog
+from repro.nosqldb.engine import NoSQLEngine
+from repro.nosqldb.errors import AlreadyExists, CQLSyntaxError, InvalidRequest, NoSQLError
+from repro.nosqldb.keyspace import Keyspace
+from repro.nosqldb.memtable import Memtable
+from repro.nosqldb.session import PreparedStatement, Session
+from repro.nosqldb.sstable import SSTable
+from repro.nosqldb.types import (
+    BigIntType,
+    BooleanType,
+    CQLType,
+    DoubleType,
+    IntType,
+    SetType,
+    TextType,
+    parse_type,
+)
+
+__all__ = [
+    "AlreadyExists",
+    "BigIntType",
+    "BooleanType",
+    "CQLSyntaxError",
+    "CQLType",
+    "Column",
+    "ColumnFamily",
+    "CommitLog",
+    "DoubleType",
+    "IntType",
+    "InvalidRequest",
+    "Keyspace",
+    "Memtable",
+    "NoSQLEngine",
+    "NoSQLError",
+    "PreparedStatement",
+    "SSTable",
+    "SecondaryIndex",
+    "Session",
+    "SetType",
+    "TextType",
+    "parse_type",
+]

@@ -1,0 +1,66 @@
+"""The commit log: the durability half of Cassandra's write path.
+
+Every mutation is appended here, fully serialised, *before* it reaches a
+memtable.  After a crash the memtables are gone but the log survives;
+:meth:`CommitLog.replay` re-applies every mutation recorded since the
+last checkpoint.  SSTables are never in the log's scope — once a
+memtable flushes, :meth:`checkpoint` discards the covered segment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.storage.btree import encode_key
+from repro.storage.encoding import decode_bytes, decode_text, encode_bytes, encode_text
+from repro.nosqldb.sstable import _decode_key
+
+#: Per-record header: segment id, position, checksum.
+RECORD_HEADER_BYTES = 12
+
+
+class CommitLog:
+    """An append-only, replayable mutation log for one keyspace."""
+
+    __slots__ = ("_buffer", "_n_records")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._n_records = 0
+
+    def append(self, table_name: str, key, encoded_row: bytes) -> None:
+        """Record one mutation (called before the memtable write)."""
+        self._buffer += b"\x00" * RECORD_HEADER_BYTES
+        self._buffer += encode_text(table_name)
+        self._buffer += encode_key(key)
+        self._buffer += encode_bytes(encoded_row)
+        self._n_records += 1
+
+    def records(self) -> Iterator[Tuple[str, object, bytes]]:
+        """Decode every logged ``(table, key, encoded_row)`` mutation."""
+        buffer = self._buffer
+        offset = 0
+        end = len(buffer)
+        while offset < end:
+            offset += RECORD_HEADER_BYTES
+            table_name, offset = decode_text(buffer, offset)
+            key, offset = _decode_key(buffer, offset)
+            encoded_row, offset = decode_bytes(buffer, offset)
+            yield table_name, key, encoded_row
+
+    def checkpoint(self) -> None:
+        """Discard the log (all covered memtables flushed)."""
+        del self._buffer[:]
+        self._n_records = 0
+
+    def __len__(self) -> int:
+        return self._n_records
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._buffer)
+
+    # bytearray-compatible growth used by legacy callers
+    def __iadd__(self, raw: bytes) -> "CommitLog":  # pragma: no cover - compat
+        self._buffer += raw
+        return self

@@ -1,0 +1,12 @@
+"""A CQL subset: enough of the Cassandra Query Language to drive the paper.
+
+Supported statements: CREATE KEYSPACE / TABLE / INDEX, DROP, USE,
+INSERT, SELECT (point, index, filtered and full scans, COUNT(*)),
+UPDATE, DELETE, TRUNCATE — with positional ``?`` bind markers for
+prepared statements.
+"""
+
+from repro.nosqldb.cql.parser import parse
+from repro.nosqldb.cql.executor import execute
+
+__all__ = ["parse", "execute"]

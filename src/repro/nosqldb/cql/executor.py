@@ -1,0 +1,311 @@
+"""CQL execution against a :class:`~repro.nosqldb.engine.NoSQLEngine`."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nosqldb.columnfamily import Column, ColumnFamily
+from repro.nosqldb.cql import ast
+from repro.nosqldb.errors import InvalidRequest
+from repro.nosqldb.types import parse_type
+
+
+class ResultSet:
+    """Rows returned by a SELECT (list of column-name -> value dicts)."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: List[Dict[str, object]]) -> None:
+        self.rows = rows
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def one(self) -> Optional[Dict[str, object]]:
+        return self.rows[0] if self.rows else None
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self.rows)} rows)"
+
+
+def execute(
+    engine,
+    statement: ast.Statement,
+    params: Sequence = (),
+    current_keyspace: Optional[str] = None,
+) -> Tuple[Optional[ResultSet], Optional[str]]:
+    """Run ``statement``; returns ``(result_set, new_current_keyspace)``.
+
+    ``new_current_keyspace`` is non-None only for USE statements.
+    """
+    runner = _Executor(engine, params, current_keyspace)
+    return runner.run(statement)
+
+
+def make_insert_plan(engine, statement: ast.Statement, current_keyspace: Optional[str]):
+    """Compile a simple prepared INSERT into a per-row callable.
+
+    This is the server-side prepared-statement plan: the table and column
+    template are resolved once, so batch execution only binds parameters
+    and calls the storage engine.  Returns ``None`` when the statement is
+    not a plain INSERT (collection literals with inner bind markers and
+    non-INSERT statements fall back to the generic executor).
+    """
+    if not isinstance(statement, ast.Insert):
+        return None
+    keyspace_name = statement.ref.keyspace or current_keyspace
+    if keyspace_name is None:
+        return None
+    table = engine.keyspace(keyspace_name).table(statement.ref.table)
+    template = []
+    pk_slot = None
+    for name, value in zip(statement.columns, statement.values):
+        if isinstance(value, ast.SetLiteral):
+            return None
+        column = table.column(name)
+        is_bind = isinstance(value, ast.Placeholder)
+        slot = (column, is_bind, value.index if is_bind else value)
+        if name == table.primary_key:
+            pk_slot = slot
+        template.append(slot)
+    if pk_slot is None:
+        return None
+    insert_bound = table.insert_bound
+    pk_column, pk_is_bind, pk_value = pk_slot
+
+    def run(params: Sequence) -> None:
+        key = params[pk_value] if pk_is_bind else pk_value
+        if key is None:
+            raise InvalidRequest(f"INSERT into {table.name!r} misses primary key")
+        bound = []
+        for column, is_bind, value in template:
+            resolved = params[value] if is_bind else value
+            if resolved is not None:
+                bound.append((column, resolved))
+        insert_bound(key, bound)
+
+    return run
+
+
+class _Executor:
+    def __init__(self, engine, params: Sequence, current_keyspace: Optional[str]) -> None:
+        self.engine = engine
+        self.params = tuple(params)
+        self.current_keyspace = current_keyspace
+
+    # -- value resolution ----------------------------------------------------
+    def _resolve(self, value):
+        if isinstance(value, ast.Placeholder):
+            if value.index >= len(self.params):
+                raise InvalidRequest(
+                    f"statement has bind marker ?{value.index} but only "
+                    f"{len(self.params)} parameters were supplied"
+                )
+            return self.params[value.index]
+        if isinstance(value, ast.SetLiteral):
+            return {self._resolve(item) for item in value.items}
+        return value
+
+    def _table(self, ref: ast.TableRef) -> ColumnFamily:
+        keyspace_name = ref.keyspace or self.current_keyspace
+        if keyspace_name is None:
+            raise InvalidRequest(f"no keyspace specified for table {ref.table!r}")
+        return self.engine.keyspace(keyspace_name).table(ref.table)
+
+    # -- dispatch ---------------------------------------------------------------
+    def run(self, statement: ast.Statement):
+        handler = {
+            ast.CreateKeyspace: self._create_keyspace,
+            ast.CreateTable: self._create_table,
+            ast.CreateIndex: self._create_index,
+            ast.DropTable: self._drop_table,
+            ast.DropKeyspace: self._drop_keyspace,
+            ast.Use: self._use,
+            ast.Insert: self._insert,
+            ast.Select: self._select,
+            ast.Update: self._update,
+            ast.Delete: self._delete,
+            ast.Truncate: self._truncate,
+            ast.Batch: self._batch,
+        }.get(type(statement))
+        if handler is None:
+            raise InvalidRequest(f"unsupported statement {type(statement).__name__}")
+        return handler(statement)
+
+    # -- DDL ---------------------------------------------------------------------
+    def _create_keyspace(self, stmt: ast.CreateKeyspace):
+        self.engine.create_keyspace(
+            stmt.name, durable_writes=stmt.durable_writes, if_not_exists=stmt.if_not_exists
+        )
+        return None, None
+
+    def _create_table(self, stmt: ast.CreateTable):
+        keyspace_name = stmt.ref.keyspace or self.current_keyspace
+        if keyspace_name is None:
+            raise InvalidRequest("CREATE TABLE without a keyspace")
+        keyspace = self.engine.keyspace(keyspace_name)
+        columns = [Column(name, parse_type(type_text)) for name, type_text in stmt.columns]
+        keyspace.create_table(
+            stmt.ref.table,
+            columns,
+            stmt.primary_key,
+            compression=stmt.compression,
+            if_not_exists=stmt.if_not_exists,
+        )
+        return None, None
+
+    def _create_index(self, stmt: ast.CreateIndex):
+        table = self._table(stmt.ref)
+        index_name = stmt.name or f"{table.name}_{stmt.column}_idx"
+        if stmt.if_not_exists and table.has_index(stmt.column):
+            return None, None
+        table.create_index(index_name, stmt.column)
+        return None, None
+
+    def _drop_table(self, stmt: ast.DropTable):
+        keyspace_name = stmt.ref.keyspace or self.current_keyspace
+        if keyspace_name is None:
+            raise InvalidRequest("DROP TABLE without a keyspace")
+        self.engine.keyspace(keyspace_name).drop_table(stmt.ref.table)
+        return None, None
+
+    def _drop_keyspace(self, stmt: ast.DropKeyspace):
+        self.engine.drop_keyspace(stmt.name)
+        return None, None
+
+    def _use(self, stmt: ast.Use):
+        self.engine.keyspace(stmt.name)  # validates existence
+        return None, stmt.name
+
+    # -- DML ----------------------------------------------------------------------
+    def _insert(self, stmt: ast.Insert):
+        table = self._table(stmt.ref)
+        row = {}
+        for column, value in zip(stmt.columns, stmt.values):
+            resolved = self._resolve(value)
+            if resolved is not None:
+                row[column] = resolved
+        table.insert(row)
+        return None, None
+
+    def _select(self, stmt: ast.Select):
+        table = self._table(stmt.ref)
+        rows = self._candidate_rows(table, stmt.where, stmt.allow_filtering)
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        if stmt.count:
+            return ResultSet([{"count": len(rows)}]), None
+        if stmt.columns:
+            for name in stmt.columns:
+                table.column(name)  # validate
+            rows = [{name: row[name] for name in stmt.columns} for row in rows]
+        return ResultSet(rows), None
+
+    def _candidate_rows(
+        self,
+        table: ColumnFamily,
+        where: List[ast.Condition],
+        allow_filtering: bool,
+    ) -> List[Dict[str, object]]:
+        remaining = list(where)
+
+        # 1. primary-key point or IN lookup
+        pk_condition = next(
+            (c for c in remaining if c.column == table.primary_key and c.op in ("=", "IN")),
+            None,
+        )
+        if pk_condition is not None:
+            remaining.remove(pk_condition)
+            if pk_condition.op == "=":
+                keys = [self._resolve(pk_condition.value)]
+            else:
+                keys = [self._resolve(v) for v in pk_condition.value]
+            rows = [row for row in (table.get(k) for k in keys) if row is not None]
+            return self._filter(rows, remaining, table, allow_filtering, indexed=True)
+
+        # 2. secondary-index equality lookup
+        index_condition = next(
+            (c for c in remaining if c.op == "=" and table.has_index(c.column)),
+            None,
+        )
+        if index_condition is not None:
+            remaining.remove(index_condition)
+            rows = table.lookup_indexed(
+                index_condition.column, self._resolve(index_condition.value)
+            )
+            return self._filter(rows, remaining, table, allow_filtering, indexed=True)
+
+        # 3. full scan
+        if remaining and not allow_filtering:
+            raise InvalidRequest(
+                "this query requires a full scan; add ALLOW FILTERING to accept the cost"
+            )
+        return self._filter(list(table.scan()), remaining, table, allow_filtering=True, indexed=True)
+
+    def _filter(
+        self,
+        rows: List[Dict[str, object]],
+        conditions: List[ast.Condition],
+        table: ColumnFamily,
+        allow_filtering: bool,
+        indexed: bool,
+    ) -> List[Dict[str, object]]:
+        if conditions and not allow_filtering and not indexed:
+            raise InvalidRequest("filtering requires ALLOW FILTERING")
+        for condition in conditions:
+            table.column(condition.column)  # validate
+            rows = [row for row in rows if self._matches(row, condition)]
+        return rows
+
+    def _matches(self, row: Dict[str, object], condition: ast.Condition) -> bool:
+        actual = row.get(condition.column)
+        if condition.op == "IN":
+            targets = [self._resolve(v) for v in condition.value]
+            return actual in targets
+        expected = self._resolve(condition.value)
+        if actual is None:
+            return False
+        if condition.op == "=":
+            return actual == expected
+        if condition.op == "<":
+            return actual < expected
+        if condition.op == ">":
+            return actual > expected
+        if condition.op == "<=":
+            return actual <= expected
+        if condition.op == ">=":
+            return actual >= expected
+        raise InvalidRequest(f"unsupported operator {condition.op!r}")
+
+    def _update(self, stmt: ast.Update):
+        table = self._table(stmt.ref)
+        key = self._pk_from_where(table, stmt.where)
+        assignments = {column: self._resolve(value) for column, value in stmt.assignments}
+        table.update(key, assignments)
+        return None, None
+
+    def _delete(self, stmt: ast.Delete):
+        table = self._table(stmt.ref)
+        key = self._pk_from_where(table, stmt.where)
+        table.delete(key)
+        return None, None
+
+    def _pk_from_where(self, table: ColumnFamily, where: List[ast.Condition]):
+        if len(where) != 1 or where[0].column != table.primary_key or where[0].op != "=":
+            raise InvalidRequest(
+                f"statement must target the primary key: WHERE {table.primary_key} = ..."
+            )
+        return self._resolve(where[0].value)
+
+    def _truncate(self, stmt: ast.Truncate):
+        self._table(stmt.ref).truncate()
+        return None, None
+
+    def _batch(self, stmt: ast.Batch):
+        """Logged batch: apply every mutation in order."""
+        for inner in stmt.statements:
+            self.run(inner)
+        return None, None

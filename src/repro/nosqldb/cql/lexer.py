@@ -1,0 +1,57 @@
+"""CQL tokeniser.
+
+A small regex-driven scanner producing ``(kind, text, position)`` tokens.
+Keywords are recognised case-insensitively at the parser level; the lexer
+only distinguishes identifiers, literals and punctuation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.nosqldb.errors import CQLSyntaxError
+
+
+class Token(NamedTuple):
+    kind: str      # IDENT | NUMBER | STRING | OP | END
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>--[^\n]*|//[^\n]*)
+  | (?P<STRING>'(?:[^']|'')*')
+  | (?P<NUMBER>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><=|>=|!=|[(),.=<>*?{};\[\]:])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan ``text`` into tokens, ending with a single END token."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            snippet = text[position:position + 20]
+            raise CQLSyntaxError(f"cannot tokenise CQL at {position}: {snippet!r}")
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("END", "", length))
+    return tokens
+
+
+def unquote_string(text: str) -> str:
+    """Strip quotes and collapse doubled single quotes."""
+    return text[1:-1].replace("''", "'")

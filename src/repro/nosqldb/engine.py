@@ -1,0 +1,70 @@
+"""The NoSQL engine entry point (a single-node "cluster")."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.nosqldb.errors import AlreadyExists, InvalidRequest
+from repro.nosqldb.keyspace import Keyspace
+
+
+class NoSQLEngine:
+    """Holds the keyspaces and hands out CQL sessions.
+
+    The mappers and benchmarks talk to the engine exclusively through
+    :class:`~repro.nosqldb.session.Session` (CQL), mirroring how the
+    paper's system drives Cassandra.
+    """
+
+    def __init__(self, data_dir=None) -> None:
+        """``data_dir``: when set, SSTables are written under it on disk."""
+        self._keyspaces: Dict[str, Keyspace] = {}
+        self.data_dir = data_dir
+
+    def create_keyspace(
+        self,
+        name: str,
+        durable_writes: bool = True,
+        if_not_exists: bool = False,
+    ) -> Keyspace:
+        lowered = name.lower()
+        if lowered in self._keyspaces:
+            if if_not_exists:
+                return self._keyspaces[lowered]
+            raise AlreadyExists(f"keyspace {name!r} already exists")
+        keyspace_dir = None
+        if self.data_dir is not None:
+            from pathlib import Path
+
+            keyspace_dir = Path(self.data_dir) / lowered
+            keyspace_dir.mkdir(parents=True, exist_ok=True)
+        keyspace = Keyspace(name, durable_writes=durable_writes, data_dir=keyspace_dir)
+        self._keyspaces[lowered] = keyspace
+        return keyspace
+
+    def drop_keyspace(self, name: str) -> None:
+        if name.lower() not in self._keyspaces:
+            raise InvalidRequest(f"no keyspace {name!r}")
+        del self._keyspaces[name.lower()]
+
+    def keyspace(self, name: str) -> Keyspace:
+        try:
+            return self._keyspaces[name.lower()]
+        except KeyError:
+            raise InvalidRequest(f"no keyspace {name!r}") from None
+
+    def has_keyspace(self, name: str) -> bool:
+        return name.lower() in self._keyspaces
+
+    @property
+    def keyspaces(self) -> Tuple[Keyspace, ...]:
+        return tuple(self._keyspaces.values())
+
+    def connect(self, keyspace: str = ""):
+        """Open a CQL session, optionally bound to a keyspace."""
+        from repro.nosqldb.session import Session
+
+        return Session(self, keyspace or None)
+
+    def __repr__(self) -> str:
+        return f"NoSQLEngine(keyspaces={sorted(self._keyspaces)})"

@@ -1,0 +1,68 @@
+"""Memtables: the in-memory write buffer of a column family.
+
+Writes land here first (after the commit log) already encoded to their
+storage representation, so insertion time includes the real serialisation
+cost.  When the memtable exceeds its flush threshold the column family
+freezes it into an SSTable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Per-entry bookkeeping overhead charged against the flush threshold.
+ENTRY_OVERHEAD = 32
+
+
+class Memtable:
+    """Sorted-on-demand map of primary key -> encoded row."""
+
+    __slots__ = ("_rows", "_bytes", "_tombstones")
+
+    def __init__(self) -> None:
+        self._rows: Dict[object, bytes] = {}
+        self._tombstones: set = set()
+        self._bytes = 0
+
+    def put(self, key, row: bytes) -> None:
+        rows = self._rows
+        previous = rows.get(key)
+        if previous is None:
+            self._bytes += ENTRY_OVERHEAD + len(row)
+        else:
+            self._bytes += len(row) - len(previous)
+        rows[key] = row
+        if self._tombstones:
+            self._tombstones.discard(key)
+
+    def delete(self, key) -> None:
+        previous = self._rows.pop(key, None)
+        if previous is not None:
+            self._bytes -= len(previous)
+        self._tombstones.add(key)
+
+    def get(self, key) -> Optional[bytes]:
+        return self._rows.get(key)
+
+    def is_deleted(self, key) -> bool:
+        return key in self._tombstones
+
+    def __contains__(self, key) -> bool:
+        return key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def approximate_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def tombstones(self) -> frozenset:
+        return frozenset(self._tombstones)
+
+    def sorted_items(self) -> List[Tuple[object, bytes]]:
+        return sorted(self._rows.items(), key=lambda item: item[0])
+
+    def __iter__(self) -> Iterator[Tuple[object, bytes]]:
+        return iter(self._rows.items())

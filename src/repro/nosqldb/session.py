@@ -1,0 +1,88 @@
+"""CQL sessions: the client surface of the NoSQL engine.
+
+Mirrors the Python Cassandra driver: ``execute`` for one-off statements,
+``prepare`` + bound parameters for the hot insert path, and
+``execute_batch`` for the bulk loads the paper uses ("the DWARF cubes
+were inserted in bulk", §5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.nosqldb.cql import ast
+from repro.nosqldb.cql.executor import ResultSet, execute, make_insert_plan
+from repro.nosqldb.cql.parser import parse
+
+
+class PreparedStatement:
+    """A parsed statement with ``?`` bind markers, reusable across executions."""
+
+    __slots__ = ("statement", "text", "_plan_key", "_plan")
+
+    def __init__(self, text: str, statement: ast.Statement) -> None:
+        self.text = text
+        self.statement = statement
+        self._plan_key = None
+        self._plan = None
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.text!r})"
+
+
+class Session:
+    """A connection to the engine with an optional current keyspace."""
+
+    def __init__(self, engine, keyspace: Optional[str] = None) -> None:
+        self.engine = engine
+        self.keyspace = keyspace
+
+    # ------------------------------------------------------------------
+    def execute(self, cql: str, params: Sequence = ()) -> Optional[ResultSet]:
+        """Parse and run one CQL statement."""
+        statement = parse(cql)
+        result, new_keyspace = execute(self.engine, statement, params, self.keyspace)
+        if new_keyspace is not None:
+            self.keyspace = new_keyspace
+        return result
+
+    def prepare(self, cql: str) -> PreparedStatement:
+        return PreparedStatement(cql, parse(cql))
+
+    def execute_prepared(
+        self, prepared: PreparedStatement, params: Sequence = ()
+    ) -> Optional[ResultSet]:
+        result, new_keyspace = execute(self.engine, prepared.statement, params, self.keyspace)
+        if new_keyspace is not None:
+            self.keyspace = new_keyspace
+        return result
+
+    def execute_batch(
+        self, operations: Iterable[Tuple[PreparedStatement, Sequence]]
+    ) -> int:
+        """Run prepared mutations back-to-back; returns the count executed.
+
+        This models a CQL ``BEGIN BATCH ... APPLY BATCH`` bulk load: one
+        parse per statement shape, one execution plan per statement, then
+        pure engine work per row.
+        """
+        count = 0
+        for prepared, params in operations:
+            plan = self._plan_for(prepared)
+            if plan is not None:
+                plan(params)
+            else:
+                execute(self.engine, prepared.statement, params, self.keyspace)
+            count += 1
+        return count
+
+    def _plan_for(self, prepared: PreparedStatement):
+        """Cached server-side execution plan for a prepared INSERT."""
+        key = (id(self.engine), self.keyspace)
+        if prepared._plan_key != key:
+            prepared._plan_key = key
+            prepared._plan = make_insert_plan(self.engine, prepared.statement, self.keyspace)
+        return prepared._plan
+
+    def __repr__(self) -> str:
+        return f"Session(keyspace={self.keyspace!r})"

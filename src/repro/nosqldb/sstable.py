@@ -1,0 +1,257 @@
+"""SSTables: immutable, sorted, block-compressed row files.
+
+A flush turns a memtable into one SSTable: rows sorted by primary key,
+grouped into blocks of ~4 KiB, each block zlib-compressed (Cassandra
+compresses SSTables by default — this is the mechanism behind the NoSQL
+schemas' competitive sizes in Table 4).  A sparse index keeps the first
+key of every block for binary-searched point reads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.btree import encode_key
+from repro.storage.encoding import decode_bytes, encode_bytes
+from repro.storage.varint import decode_varint, encode_varint
+
+#: Uncompressed block size target, bytes.  Small chunks with zlib level 1
+#: approximate the compression ratio of Cassandra's default LZ4 chunk
+#: compressor on row data (~3:1 on these feeds); see DESIGN.md.
+BLOCK_BYTES = 1024
+
+#: Fixed per-SSTable footer/metadata charge (stats, bloom filter stub).
+SSTABLE_OVERHEAD = 96
+
+#: zlib level used for block compression.  Level 1 approximates the
+#: throughput/ratio trade-off of Cassandra's default LZ4 chunk compressor.
+COMPRESSION_LEVEL = 1
+
+#: Bloom filter sizing: bits per key and hash count (Cassandra defaults
+#: target ~1% false positives with ~10 bits/key).
+BLOOM_BITS_PER_KEY = 10
+BLOOM_HASHES = 3
+
+
+class BloomFilter:
+    """A plain Bloom filter over row keys.
+
+    Cassandra keeps one per SSTable so that point reads skip tables that
+    cannot contain the key — this is what keeps the read-before-write of
+    secondary-index maintenance affordable.
+    """
+
+    __slots__ = ("_bits", "_n_bits")
+
+    def __init__(self, n_keys: int) -> None:
+        self._n_bits = max(64, n_keys * BLOOM_BITS_PER_KEY)
+        self._bits = bytearray((self._n_bits + 7) // 8)
+
+    def _positions(self, key):
+        # Double hashing h1 + i*h2 mod m, with multiplicative mixing so
+        # that small integer keys (whose hash is the value itself) spread.
+        mixed = (hash(key) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        h1 = mixed >> 32
+        h2 = (mixed & 0xFFFFFFFF) | 1
+        for i in range(BLOOM_HASHES):
+            yield (h1 + i * h2) % self._n_bits
+
+    def add(self, key) -> None:
+        for position in self._positions(key):
+            self._bits[position >> 3] |= 1 << (position & 7)
+
+    def might_contain(self, key) -> bool:
+        for position in self._positions(key):
+            if not self._bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+
+class SSTable:
+    """One immutable sorted run of ``(key, encoded_row)`` entries."""
+
+    __slots__ = (
+        "_block_keys", "_blocks", "_index_bytes", "_n_rows", "compressed",
+        "_tombstones", "_bloom", "_path", "_offsets",
+    )
+
+    def __init__(
+        self,
+        sorted_items: Sequence[Tuple[object, bytes]],
+        compressed: bool = True,
+        tombstones: frozenset = frozenset(),
+        path=None,
+    ) -> None:
+        """Build an SSTable; with ``path`` the data blocks live on disk.
+
+        ``path`` is the data file to write (parent directory must
+        exist); block reads then really hit the filesystem.
+        """
+        self.compressed = compressed
+        self._block_keys: List[object] = []
+        self._blocks: List[bytes] = []
+        self._n_rows = len(sorted_items)
+        self._index_bytes = 0
+        self._tombstones = tombstones
+        self._path = path
+        self._offsets: List[Tuple[int, int]] = []
+        self._bloom = BloomFilter(len(sorted_items))
+        for key, _ in sorted_items:
+            self._bloom.add(key)
+        self._build(sorted_items)
+        if path is not None:
+            self._spill_to_disk()
+
+    def _spill_to_disk(self) -> None:
+        offset = 0
+        with open(self._path, "wb") as handle:
+            for block in self._blocks:
+                handle.write(block)
+                self._offsets.append((offset, len(block)))
+                offset += len(block)
+        self._blocks = []
+
+    def _block_data(self, index: int) -> bytes:
+        if self._path is None:
+            return self._blocks[index]
+        offset, length = self._offsets[index]
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
+
+    def delete_file(self) -> None:
+        """Remove the backing data file (after compaction superseded it)."""
+        if self._path is not None:
+            import os
+
+            try:
+                os.remove(self._path)
+            except FileNotFoundError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _build(self, sorted_items: Sequence[Tuple[object, bytes]]) -> None:
+        buffer = bytearray()
+        first_key: Optional[object] = None
+        for key, row in sorted_items:
+            if first_key is None:
+                first_key = key
+            entry = encode_key(key) + encode_bytes(row)
+            buffer += encode_varint(len(entry)) + entry
+            if len(buffer) >= BLOCK_BYTES:
+                self._seal_block(first_key, bytes(buffer))
+                buffer.clear()
+                first_key = None
+        if buffer:
+            self._seal_block(first_key, bytes(buffer))
+
+    def _seal_block(self, first_key, raw: bytes) -> None:
+        data = zlib.compress(raw, COMPRESSION_LEVEL) if self.compressed else raw
+        self._block_keys.append(first_key)
+        self._blocks.append(data)
+        self._index_bytes += len(encode_key(first_key)) + 8  # key + offset
+
+    # ------------------------------------------------------------------
+    def _block_items(self, block: bytes) -> Iterator[Tuple[object, bytes]]:
+        raw = zlib.decompress(block) if self.compressed else block
+        offset = 0
+        end = len(raw)
+        while offset < end:
+            entry_len, offset = decode_varint(raw, offset)
+            entry_end = offset + entry_len
+            key, key_end = _decode_key(raw, offset)
+            row, _ = decode_bytes(raw, key_end)
+            yield key, row
+            offset = entry_end
+
+    def get(self, key) -> Optional[bytes]:
+        """Encoded row for ``key`` or None (tombstoned keys return None)."""
+        if key in self._tombstones:
+            return None
+        if not self._block_keys or not self._bloom.might_contain(key):
+            return None
+        index = bisect.bisect_right(self._block_keys, key) - 1
+        if index < 0:
+            return None
+        for entry_key, row in self._block_items(self._block_data(index)):
+            if entry_key == key:
+                return row
+        return None
+
+    def is_deleted(self, key) -> bool:
+        return key in self._tombstones
+
+    def items(self) -> Iterator[Tuple[object, bytes]]:
+        for index in range(len(self._block_keys)):
+            yield from self._block_items(self._block_data(index))
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def size_bytes(self) -> int:
+        if self._path is not None:
+            data = sum(length for _, length in self._offsets)
+        else:
+            data = sum(len(b) for b in self._blocks)
+        return data + self._index_bytes + self._bloom.size_bytes + SSTABLE_OVERHEAD
+
+    @property
+    def tombstones(self) -> frozenset:
+        return self._tombstones
+
+
+def _decode_key(buffer, offset: int) -> Tuple[object, int]:
+    """Inverse of :func:`repro.storage.btree.encode_key`."""
+    from repro.storage.encoding import decode_bool, decode_float, decode_text
+
+    tag = buffer[offset]
+    offset += 1
+    if tag == 0x00:
+        return None, offset
+    if tag == 0x01:
+        return decode_varint(buffer, offset)
+    if tag == 0x02:
+        return decode_text(buffer, offset)
+    if tag == 0x03:
+        return decode_float(buffer, offset)
+    if tag == 0x04:
+        return decode_bool(buffer, offset)
+    if tag == 0x06:
+        return decode_bytes(buffer, offset)
+    if tag == 0x05:
+        count, offset = decode_varint(buffer, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_key(buffer, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise ValueError(f"corrupt key tag 0x{tag:02x}")
+
+
+def compact(tables: Sequence[SSTable], compressed: bool = True, path=None) -> SSTable:
+    """Size-tiered compaction: merge runs newest-last wins, drop shadowed rows.
+
+    Tombstones are applied (deleted keys vanish) and then discarded — the
+    result is a single clean run, like a Cassandra major compaction.
+    """
+    merged = {}
+    deleted = set()
+    for table in tables:  # oldest first; later tables overwrite
+        deleted |= set(table.tombstones)
+        for key, row in table.items():
+            merged[key] = row
+            deleted.discard(key)
+    for key in deleted:
+        merged.pop(key, None)
+    items = sorted(merged.items(), key=lambda item: item[0])
+    result = SSTable(items, compressed=compressed, path=path)
+    for table in tables:
+        table.delete_file()
+    return result

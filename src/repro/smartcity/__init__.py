@@ -1,0 +1,65 @@
+"""Synthetic smart-city data sources (paper §1's stream inventory).
+
+Every generator is deterministic under its :class:`CityModel` seed and
+ships a ready-made cube schema, field mapping and ETL pipeline, so an
+example can go feed → cube in three calls.
+"""
+
+from repro.smartcity.airquality import (
+    AirQualityFeedGenerator,
+    airquality_mapping,
+    airquality_pipeline,
+    airquality_schema,
+)
+from repro.smartcity.auctions import (
+    AuctionFeedGenerator,
+    auctions_mapping,
+    auctions_pipeline,
+    auctions_schema,
+)
+from repro.smartcity.bikes import (
+    BikeFeedGenerator,
+    bikes_mapping,
+    bikes_pipeline,
+    bikes_schema,
+)
+from repro.smartcity.carpark import (
+    CarParkFeedGenerator,
+    carpark_mapping,
+    carpark_pipeline,
+    carpark_schema,
+)
+from repro.smartcity.city import CityModel, Station, capacity_bucket, daypart
+from repro.smartcity.sales import (
+    SalesFeedGenerator,
+    sales_mapping,
+    sales_pipeline,
+    sales_schema,
+)
+
+__all__ = [
+    "AirQualityFeedGenerator",
+    "AuctionFeedGenerator",
+    "BikeFeedGenerator",
+    "CarParkFeedGenerator",
+    "CityModel",
+    "SalesFeedGenerator",
+    "Station",
+    "airquality_mapping",
+    "airquality_pipeline",
+    "airquality_schema",
+    "auctions_mapping",
+    "auctions_pipeline",
+    "auctions_schema",
+    "bikes_mapping",
+    "bikes_pipeline",
+    "bikes_schema",
+    "capacity_bucket",
+    "carpark_mapping",
+    "carpark_pipeline",
+    "carpark_schema",
+    "daypart",
+    "sales_mapping",
+    "sales_pipeline",
+    "sales_schema",
+]

@@ -1,0 +1,118 @@
+"""Air-quality sensor feed (JSON), one of the paper's intro data sources."""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import math
+from typing import Dict, List, Optional
+
+from repro.core.aggregators import AVG
+from repro.core.schema import CubeSchema, Dimension
+from repro.etl.documents import SourceDocument
+from repro.etl.extractor import FactMapping
+from repro.etl.pipeline import EtlPipeline
+from repro.etl.stream import DocumentStream
+from repro.smartcity.city import CityModel, daypart
+
+FEED_START = dt.datetime(2015, 6, 1, 0, 0, 0)
+
+_POLLUTANTS = ("no2", "pm10", "pm25", "o3")
+
+
+class Sensor:
+    __slots__ = ("sensor_id", "district", "latitude", "longitude")
+
+    def __init__(self, sensor_id: str, district: str, latitude: float, longitude: float) -> None:
+        self.sensor_id = sensor_id
+        self.district = district
+        self.latitude = latitude
+        self.longitude = longitude
+
+
+class AirQualityFeedGenerator:
+    """Synthesises a JSON air-quality sensor network feed."""
+
+    def __init__(self, city: Optional[CityModel] = None, n_sensors: int = 16) -> None:
+        self.city = city or CityModel()
+        rng = self.city.rng("airquality")
+        districts = self.city.districts
+        self.sensors: List[Sensor] = [
+            Sensor(
+                sensor_id=f"AQ-{index:02d}",
+                district=districts[index % len(districts)],
+                latitude=round(53.33 + rng.uniform(-0.06, 0.06), 6),
+                longitude=round(-6.26 + rng.uniform(-0.07, 0.07), 6),
+            )
+            for index in range(1, n_sensors + 1)
+        ]
+        self._rng = self.city.rng("airquality-values")
+
+    def reading(self, sensor: Sensor, pollutant: str, when: dt.datetime) -> float:
+        hour = when.hour
+        traffic = 1.0 + 0.6 * math.exp(-((hour - 8.5) ** 2) / 6.0)
+        traffic += 0.5 * math.exp(-((hour - 17.5) ** 2) / 6.0)
+        base = {"no2": 28.0, "pm10": 16.0, "pm25": 9.0, "o3": 52.0}[pollutant]
+        if pollutant == "o3":
+            traffic = 2.0 - traffic * 0.5  # ozone dips with traffic NOx
+        return round(base * traffic + self._rng.uniform(-2.0, 2.0), 1)
+
+    def generate_documents(self, days: int, snapshots_per_day: int = 24) -> DocumentStream:
+        documents = []
+        step = dt.timedelta(seconds=24 * 3600 // snapshots_per_day)
+        for index in range(days * snapshots_per_day):
+            when = FEED_START + index * step
+            readings = [
+                {
+                    "sensor": sensor.sensor_id,
+                    "district": sensor.district,
+                    "pollutant": pollutant,
+                    "value": self.reading(sensor, pollutant, when),
+                    "unit": "ug/m3",
+                    "observed_at": when.isoformat(),
+                }
+                for sensor in self.sensors
+                for pollutant in _POLLUTANTS
+            ]
+            payload = {"network": "dublin-air", "timestamp": when.isoformat(), "readings": readings}
+            documents.append(
+                SourceDocument(json.dumps(payload), "json", source="air-quality", sequence=index)
+            )
+        return DocumentStream(documents)
+
+
+def airquality_schema(name: str = "airquality") -> CubeSchema:
+    return CubeSchema(
+        name,
+        [
+            Dimension("day"),
+            Dimension("daypart"),
+            Dimension("district"),
+            Dimension("sensor", dimension_table="Sensor"),
+            Dimension("pollutant"),
+        ],
+        measure="value",
+        aggregator=AVG,
+    )
+
+
+def airquality_mapping(schema: Optional[CubeSchema] = None) -> FactMapping:
+    def _hour(record: Dict) -> int:
+        return int(str(record["observed_at"])[11:13])
+
+    return FactMapping(
+        schema or airquality_schema(),
+        dimension_fields={
+            "day": lambda r: str(r["observed_at"])[:10],
+            "daypart": lambda r: daypart(_hour(r)),
+            "district": "district",
+            "sensor": "sensor",
+            "pollutant": "pollutant",
+        },
+        measure_field="value",
+        measure_cast=float,
+    )
+
+
+def airquality_pipeline(schema: Optional[CubeSchema] = None) -> EtlPipeline:
+    return EtlPipeline(airquality_mapping(schema), records_path="readings")

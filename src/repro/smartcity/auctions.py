@@ -1,0 +1,90 @@
+"""Online-auction feed (JSON): closing lots harvested from an auction site.
+
+One of the paper's "not directly associated with the smart city project"
+sources that still feed the cubes (§1).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+from typing import Dict, List, Optional
+
+from repro.core.schema import CubeSchema, Dimension
+from repro.etl.documents import SourceDocument
+from repro.etl.extractor import FactMapping
+from repro.etl.pipeline import EtlPipeline
+from repro.etl.stream import DocumentStream
+from repro.smartcity.city import CityModel
+
+FEED_START = dt.datetime(2015, 6, 1, 0, 0, 0)
+
+_CATEGORIES = ("electronics", "furniture", "vehicles", "collectibles", "fashion", "sports")
+_CONDITIONS = ("new", "used", "refurbished")
+
+
+class AuctionFeedGenerator:
+    """Synthesises batches of closed auction lots."""
+
+    def __init__(self, city: Optional[CityModel] = None) -> None:
+        self.city = city or CityModel()
+        self._rng = self.city.rng("auctions")
+
+    def generate_documents(self, days: int, lots_per_day: int = 120) -> DocumentStream:
+        documents = []
+        lot_number = 0
+        for day_index in range(days):
+            day = (FEED_START + dt.timedelta(days=day_index)).date()
+            lots: List[Dict] = []
+            for _ in range(lots_per_day):
+                lot_number += 1
+                category = self._rng.choice(_CATEGORIES)
+                start_price = self._rng.randint(5, 400)
+                n_bids = self._rng.randint(0, 25)
+                final_price = start_price + int(start_price * 0.12 * n_bids)
+                lots.append(
+                    {
+                        "lot": lot_number,
+                        "category": category,
+                        "condition": self._rng.choice(_CONDITIONS),
+                        "seller_district": self._rng.choice(self.city.districts),
+                        "bids": n_bids,
+                        "final_price": final_price,
+                        "closed_on": day.isoformat(),
+                    }
+                )
+            payload = {"site": "dublin-auctions", "date": day.isoformat(), "lots": lots}
+            documents.append(
+                SourceDocument(json.dumps(payload), "json", source="auctions", sequence=day_index)
+            )
+        return DocumentStream(documents)
+
+
+def auctions_schema(name: str = "auctions") -> CubeSchema:
+    return CubeSchema(
+        name,
+        [
+            Dimension("day"),
+            Dimension("category"),
+            Dimension("condition"),
+            Dimension("seller_district"),
+        ],
+        measure="final_price",
+    )
+
+
+def auctions_mapping(schema: Optional[CubeSchema] = None) -> FactMapping:
+    return FactMapping(
+        schema or auctions_schema(),
+        dimension_fields={
+            "day": "closed_on",
+            "category": "category",
+            "condition": "condition",
+            "seller_district": "seller_district",
+        },
+        measure_field="final_price",
+    )
+
+
+def auctions_pipeline(schema: Optional[CubeSchema] = None) -> EtlPipeline:
+    return EtlPipeline(auctions_mapping(schema), records_path="lots")

@@ -1,0 +1,116 @@
+"""Car-park occupancy feed (XML), one of the paper's intro data sources."""
+
+from __future__ import annotations
+
+import datetime as dt
+import math
+from typing import Dict, List, Optional
+
+from repro.core.schema import CubeSchema, Dimension
+from repro.etl.documents import SourceDocument
+from repro.etl.extractor import FactMapping
+from repro.etl.pipeline import EtlPipeline
+from repro.etl.stream import DocumentStream
+from repro.smartcity.city import CityModel, daypart
+
+FEED_START = dt.datetime(2015, 6, 1, 0, 0, 0)
+
+_ZONES = ("city-centre", "docklands", "northside", "southside")
+
+
+class CarPark:
+    __slots__ = ("code", "name", "zone", "spaces")
+
+    def __init__(self, code: str, name: str, zone: str, spaces: int) -> None:
+        self.code = code
+        self.name = name
+        self.zone = zone
+        self.spaces = spaces
+
+
+class CarParkFeedGenerator:
+    """Synthesises the city council's car-park occupancy XML feed."""
+
+    def __init__(self, city: Optional[CityModel] = None, n_carparks: int = 24) -> None:
+        self.city = city or CityModel()
+        rng = self.city.rng("carparks")
+        names = self.city.street_names(n_carparks, "carparks")
+        self.carparks: List[CarPark] = [
+            CarPark(
+                code=f"CP{index:03d}",
+                name=f"{name} Car Park",
+                zone=_ZONES[index % len(_ZONES)],
+                spaces=rng.choice((150, 220, 300, 420, 600)),
+            )
+            for index, name in enumerate(names, start=1)
+        ]
+        self._rng = self.city.rng("carparks-occupancy")
+
+    def occupancy(self, carpark: CarPark, when: dt.datetime) -> int:
+        hour = when.hour + when.minute / 60.0
+        weekend = when.weekday() >= 5
+        base = 0.35 + 0.45 * math.exp(-((hour - (14.0 if weekend else 11.0)) ** 2) / 18.0)
+        noise = self._rng.uniform(-0.08, 0.08)
+        fraction = min(1.0, max(0.02, base + noise))
+        return int(round(fraction * carpark.spaces))
+
+    def generate_documents(self, days: int, snapshots_per_day: int = 48) -> DocumentStream:
+        documents = []
+        step = dt.timedelta(seconds=24 * 3600 // snapshots_per_day)
+        for index in range(days * snapshots_per_day):
+            when = FEED_START + index * step
+            documents.append(
+                SourceDocument(self._render_xml(when), "xml", source="carparks", sequence=index)
+            )
+        return DocumentStream(documents)
+
+    def _render_xml(self, when: dt.datetime) -> str:
+        parts = [f'<carparks timestamp="{when.isoformat()}">\n']
+        for carpark in self.carparks:
+            taken = self.occupancy(carpark, when)
+            parts.append(
+                "  <carpark>"
+                f"<code>{carpark.code}</code>"
+                f"<name>{carpark.name}</name>"
+                f"<zone>{carpark.zone}</zone>"
+                f"<spaces>{carpark.spaces}</spaces>"
+                f"<occupied>{taken}</occupied>"
+                f"<free>{carpark.spaces - taken}</free>"
+                f"<updated>{when.isoformat()}</updated>"
+                "</carpark>\n"
+            )
+        parts.append("</carparks>\n")
+        return "".join(parts)
+
+
+def carpark_schema(name: str = "carparks") -> CubeSchema:
+    return CubeSchema(
+        name,
+        [
+            Dimension("day"),
+            Dimension("daypart"),
+            Dimension("zone"),
+            Dimension("carpark", dimension_table="CarPark"),
+        ],
+        measure="occupied",
+    )
+
+
+def carpark_mapping(schema: Optional[CubeSchema] = None) -> FactMapping:
+    def _hour(record: Dict) -> int:
+        return int(str(record["updated"])[11:13])
+
+    return FactMapping(
+        schema or carpark_schema(),
+        dimension_fields={
+            "day": lambda r: str(r["updated"])[:10],
+            "daypart": lambda r: daypart(_hour(r)),
+            "zone": "zone",
+            "carpark": "name",
+        },
+        measure_field="occupied",
+    )
+
+
+def carpark_pipeline(schema: Optional[CubeSchema] = None) -> EtlPipeline:
+    return EtlPipeline(carpark_mapping(schema), record_tag="carpark")

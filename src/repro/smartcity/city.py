@@ -1,0 +1,128 @@
+"""A deterministic model of the city behind all synthetic feeds.
+
+All generators share one :class:`CityModel` so that entities are
+consistent across services (the bike station in "Dublin 2" and the air
+quality sensor in "Dublin 2" refer to the same district) and every run
+with the same seed reproduces byte-identical feeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+#: Street-name stems used to synthesise station/car-park addresses.
+_STREETS = [
+    "Fenian", "Pearse", "Dame", "Capel", "Parnell", "Gardiner", "Baggot",
+    "Leeson", "Camden", "Thomas", "James", "Bolton", "Dorset", "Eccles",
+    "Talbot", "Abbey", "Store", "Mayor", "Sheriff", "Foley", "Mount",
+    "Merrion", "Fitzwilliam", "Hatch", "Harcourt", "Aungier", "Bride",
+    "Francis", "Meath", "Cork", "Newmarket", "Clanbrassil", "Heytesbury",
+    "Grantham", "Pleasants", "Kevin", "Bishop", "Golden", "Chancery",
+    "Ormond", "Arran", "Usher", "Watling", "Bonham", "Echlin", "Grand",
+    "Charlemont", "Portobello", "Rathmines", "Ranelagh", "Sandwith",
+    "Erne", "Lombard", "Westland", "Denzille", "Holles", "Ely", "Hume",
+]
+
+_STREET_KINDS = ["St", "Row", "Quay", "Place", "Square", "Lane", "Road"]
+
+#: Postal districts; each entity is assigned one.
+_DISTRICTS = [f"Dublin {n}" for n in (1, 2, 3, 4, 6, 7, 8, 9, 11, 12, 13, 15)]
+
+
+class Station:
+    """A bike-share station."""
+
+    __slots__ = ("number", "name", "district", "latitude", "longitude", "capacity")
+
+    def __init__(self, number, name, district, latitude, longitude, capacity):
+        self.number = number
+        self.name = name
+        self.district = district
+        self.latitude = latitude
+        self.longitude = longitude
+        self.capacity = capacity
+
+    def __repr__(self) -> str:
+        return f"Station({self.number}, {self.name!r}, {self.district!r})"
+
+
+class CityModel:
+    """Deterministic registry of city entities.
+
+    Parameters
+    ----------
+    seed:
+        Seed for all derived randomness; identical seeds reproduce
+        identical cities and feeds.
+    """
+
+    def __init__(self, seed: int = 20160315) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def rng(self, stream: str) -> random.Random:
+        """An independent deterministic RNG for one feed type."""
+        return random.Random(f"{self.seed}:{stream}")
+
+    @property
+    def districts(self) -> Sequence[str]:
+        return tuple(_DISTRICTS)
+
+    def street_names(self, count: int, stream: str) -> List[str]:
+        """``count`` distinct street names like ``"Fenian St"``."""
+        rng = self.rng(f"streets:{stream}")
+        names: List[str] = []
+        seen = set()
+        while len(names) < count:
+            name = f"{rng.choice(_STREETS)} {rng.choice(_STREET_KINDS)}"
+            if name in seen:
+                name = f"{name} {('Upper', 'Lower', 'North', 'South')[len(names) % 4]}"
+            if name in seen:
+                name = f"{name} {len(names)}"
+            seen.add(name)
+            names.append(name)
+        return names
+
+    def bike_stations(self, count: int) -> List[Station]:
+        """Deterministic bike-share stations spread over the districts."""
+        rng = self.rng("bikes")
+        names = self.street_names(count, "bikes")
+        stations: List[Station] = []
+        for number, name in enumerate(names, start=1):
+            district = _DISTRICTS[(number * 7) % len(_DISTRICTS)]
+            stations.append(
+                Station(
+                    number=number,
+                    name=name,
+                    district=district,
+                    latitude=round(53.33 + rng.uniform(-0.05, 0.05), 6),
+                    longitude=round(-6.26 + rng.uniform(-0.06, 0.06), 6),
+                    capacity=rng.choice((15, 20, 20, 25, 30, 30, 35, 40)),
+                )
+            )
+        return stations
+
+
+def daypart(hour: int) -> str:
+    """Coarse time-of-day bucket used as a cube dimension."""
+    if 0 <= hour < 7:
+        return "night"
+    if hour < 10:
+        return "morning-peak"
+    if hour < 16:
+        return "daytime"
+    if hour < 19:
+        return "evening-peak"
+    if hour < 24:
+        return "evening"
+    raise ValueError(f"hour out of range: {hour}")
+
+
+def capacity_bucket(capacity: int) -> str:
+    """Station-size bucket used as a cube dimension."""
+    if capacity <= 20:
+        return "small"
+    if capacity <= 30:
+        return "medium"
+    return "large"

@@ -1,0 +1,89 @@
+"""Retail sales feed (XML): daily point-of-sale rollups.
+
+The last of the paper's intro sources; exercises an XML feed whose
+records carry pre-aggregated measures.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Optional
+
+from repro.core.schema import CubeSchema, Dimension
+from repro.etl.documents import SourceDocument
+from repro.etl.extractor import FactMapping
+from repro.etl.pipeline import EtlPipeline
+from repro.etl.stream import DocumentStream
+from repro.smartcity.city import CityModel
+
+FEED_START = dt.datetime(2015, 6, 1, 0, 0, 0)
+
+_PRODUCT_LINES = ("grocery", "beverages", "household", "electronics", "clothing")
+
+
+class SalesFeedGenerator:
+    """Synthesises daily per-store, per-product-line sales documents."""
+
+    def __init__(self, city: Optional[CityModel] = None, n_stores: int = 12) -> None:
+        self.city = city or CityModel()
+        names = self.city.street_names(n_stores, "sales")
+        districts = self.city.districts
+        self.stores = [
+            {"code": f"S{index:02d}", "name": f"{name} Store", "district": districts[index % len(districts)]}
+            for index, name in enumerate(names, start=1)
+        ]
+        self._rng = self.city.rng("sales-values")
+
+    def generate_documents(self, days: int) -> DocumentStream:
+        documents = []
+        for day_index in range(days):
+            day = (FEED_START + dt.timedelta(days=day_index)).date()
+            weekend_boost = 1.4 if day.weekday() >= 5 else 1.0
+            parts = [f'<sales date="{day.isoformat()}">\n']
+            for store in self.stores:
+                for line in _PRODUCT_LINES:
+                    units = int(self._rng.randint(40, 400) * weekend_boost)
+                    parts.append(
+                        "  <record>"
+                        f"<store>{store['name']}</store>"
+                        f"<district>{store['district']}</district>"
+                        f"<product_line>{line}</product_line>"
+                        f"<units>{units}</units>"
+                        f"<revenue>{units * self._rng.randint(3, 40)}</revenue>"
+                        "</record>\n"
+                    )
+            parts.append("</sales>\n")
+            documents.append(
+                SourceDocument("".join(parts), "xml", source="sales", sequence=day_index)
+            )
+        return DocumentStream(documents)
+
+
+def sales_schema(name: str = "sales") -> CubeSchema:
+    return CubeSchema(
+        name,
+        [
+            Dimension("day"),
+            Dimension("district"),
+            Dimension("store", dimension_table="Store"),
+            Dimension("product_line"),
+        ],
+        measure="revenue",
+    )
+
+
+def sales_mapping(schema: Optional[CubeSchema] = None) -> FactMapping:
+    return FactMapping(
+        schema or sales_schema(),
+        dimension_fields={
+            "day": "date",
+            "district": "district",
+            "store": "store",
+            "product_line": "product_line",
+        },
+        measure_field="revenue",
+    )
+
+
+def sales_pipeline(schema: Optional[CubeSchema] = None) -> EtlPipeline:
+    return EtlPipeline(sales_mapping(schema), record_tag="record", context_fields=("date",))

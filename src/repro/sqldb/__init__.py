@@ -1,0 +1,44 @@
+"""A relational storage engine (MySQL/InnoDB substitute).
+
+Tables are clustered B-trees with per-row header overhead and page fill
+factors; the engine speaks an SQL subset through
+:class:`SQLSession`, exactly how the paper's system drives MySQL for the
+MySQL-DWARF and MySQL-Min comparison schemas.
+"""
+
+from repro.sqldb.database import Database
+from repro.sqldb.engine import SQLEngine
+from repro.sqldb.errors import IntegrityError, ProgrammingError, SQLError, SQLSyntaxError
+from repro.sqldb.session import SQLPreparedStatement, SQLSession
+from repro.sqldb.table import SQLColumn, Table
+from repro.sqldb.types import (
+    BigIntType,
+    BooleanType,
+    DoubleType,
+    IntType,
+    SQLType,
+    TextType,
+    VarCharType,
+    parse_type,
+)
+
+__all__ = [
+    "BigIntType",
+    "BooleanType",
+    "Database",
+    "DoubleType",
+    "IntegrityError",
+    "IntType",
+    "ProgrammingError",
+    "SQLColumn",
+    "SQLEngine",
+    "SQLError",
+    "SQLPreparedStatement",
+    "SQLSession",
+    "SQLSyntaxError",
+    "SQLType",
+    "Table",
+    "TextType",
+    "VarCharType",
+    "parse_type",
+]

@@ -1,0 +1,72 @@
+"""Databases (schemas) of the relational engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.sqldb.errors import ProgrammingError
+from repro.sqldb.table import SQLColumn, Table
+
+
+class Database:
+    """A named collection of tables."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        # Shared redo log: every table mutation appends here first.
+        self._redo_log = bytearray()
+        # Row-based binary log (replication), also per mutation.
+        self._binlog = bytearray()
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[SQLColumn],
+        primary_key: Sequence[str],
+        if_not_exists: bool = False,
+    ) -> Table:
+        lowered = name.lower()
+        if lowered in self._tables:
+            if if_not_exists:
+                return self._tables[lowered]
+            raise ProgrammingError(f"table {name!r} already exists in {self.name!r}")
+        table = Table(
+            name, columns, primary_key, redo_log=self._redo_log, binlog=self._binlog
+        )
+        self._tables[lowered] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name.lower() not in self._tables:
+            raise ProgrammingError(f"no table {name!r} in database {self.name!r}")
+        del self._tables[name.lower()]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise ProgrammingError(f"no table {name!r} in database {self.name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def tables(self) -> Tuple[Table, ...]:
+        return tuple(self._tables.values())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(table.size_bytes for table in self._tables.values())
+
+    @property
+    def redo_log_bytes(self) -> int:
+        return len(self._redo_log)
+
+    def checkpoint(self) -> None:
+        """Truncate the redo and binary logs (all pages flushed)."""
+        del self._redo_log[:]
+        del self._binlog[:]
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={sorted(self._tables)})"

@@ -1,0 +1,52 @@
+"""The relational engine entry point (a single-node MySQL stand-in)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.sqldb.database import Database
+from repro.sqldb.errors import ProgrammingError
+
+
+class SQLEngine:
+    """Holds databases and hands out SQL sessions."""
+
+    def __init__(self) -> None:
+        self._databases: Dict[str, Database] = {}
+
+    def create_database(self, name: str, if_not_exists: bool = False) -> Database:
+        lowered = name.lower()
+        if lowered in self._databases:
+            if if_not_exists:
+                return self._databases[lowered]
+            raise ProgrammingError(f"database {name!r} already exists")
+        database = Database(name)
+        self._databases[lowered] = database
+        return database
+
+    def drop_database(self, name: str) -> None:
+        if name.lower() not in self._databases:
+            raise ProgrammingError(f"no database {name!r}")
+        del self._databases[name.lower()]
+
+    def database(self, name: str) -> Database:
+        try:
+            return self._databases[name.lower()]
+        except KeyError:
+            raise ProgrammingError(f"no database {name!r}") from None
+
+    def has_database(self, name: str) -> bool:
+        return name.lower() in self._databases
+
+    @property
+    def databases(self) -> Tuple[Database, ...]:
+        return tuple(self._databases.values())
+
+    def connect(self, database: str = ""):
+        """Open a SQL session, optionally bound to a database."""
+        from repro.sqldb.session import SQLSession
+
+        return SQLSession(self, database or None)
+
+    def __repr__(self) -> str:
+        return f"SQLEngine(databases={sorted(self._databases)})"

@@ -1,0 +1,21 @@
+"""Errors raised by the relational engine."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+
+class SQLError(ReproError):
+    """Base class for relational engine errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenised or parsed."""
+
+
+class IntegrityError(SQLError):
+    """A constraint was violated (duplicate primary key, NOT NULL, ...)."""
+
+
+class ProgrammingError(SQLError):
+    """A valid statement is invalid against the current schema."""

@@ -1,0 +1,80 @@
+"""SQL sessions: the client surface of the relational engine.
+
+Mirrors a DB-API-ish driver: ``execute`` for one-off statements and
+``prepare`` + ``execute_many`` for bulk loads ("the DWARF cubes were
+inserted in bulk", paper §5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.sqldb.sql import ast
+from repro.sqldb.sql.executor import SQLResult, execute, make_insert_plan
+from repro.sqldb.sql.parser import parse
+
+
+class SQLPreparedStatement:
+    """A parsed statement with ``?`` bind markers, reusable across executions."""
+
+    __slots__ = ("statement", "text", "_plan_key", "_plan")
+
+    def __init__(self, text: str, statement: ast.Statement) -> None:
+        self.text = text
+        self.statement = statement
+        self._plan_key = None
+        self._plan = None
+
+    def __repr__(self) -> str:
+        return f"SQLPreparedStatement({self.text!r})"
+
+
+class SQLSession:
+    """A connection to the engine with an optional current database."""
+
+    def __init__(self, engine, database: Optional[str] = None) -> None:
+        self.engine = engine
+        self.database = database
+
+    def execute(self, sql: str, params: Sequence = ()) -> SQLResult:
+        statement = parse(sql)
+        result, new_database = execute(self.engine, statement, params, self.database)
+        if new_database is not None:
+            self.database = new_database
+        return result
+
+    def prepare(self, sql: str) -> SQLPreparedStatement:
+        return SQLPreparedStatement(sql, parse(sql))
+
+    def execute_prepared(
+        self, prepared: SQLPreparedStatement, params: Sequence = ()
+    ) -> SQLResult:
+        result, new_database = execute(
+            self.engine, prepared.statement, params, self.database
+        )
+        if new_database is not None:
+            self.database = new_database
+        return result
+
+    def execute_many(
+        self, prepared: SQLPreparedStatement, rows: Iterable[Sequence]
+    ) -> int:
+        """Run one prepared DML statement per parameter row; returns the count."""
+        key = (id(self.engine), self.database)
+        if prepared._plan_key != key:
+            prepared._plan_key = key
+            prepared._plan = make_insert_plan(self.engine, prepared.statement, self.database)
+        plan = prepared._plan
+        count = 0
+        if plan is not None:
+            for params in rows:
+                plan(params)
+                count += 1
+            return count
+        for params in rows:
+            execute(self.engine, prepared.statement, params, self.database)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"SQLSession(database={self.database!r})"

@@ -1,0 +1,554 @@
+"""SQL execution against a :class:`~repro.sqldb.engine.SQLEngine`.
+
+SELECTs run through a small pipeline: base-table access (point read when
+the WHERE clause pins the primary key or an indexed column, otherwise a
+scan), hash equi-joins in FROM order, residual filters, projection,
+ORDER BY and LIMIT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sqldb.errors import ProgrammingError
+from repro.sqldb.sql import ast
+from repro.sqldb.sql.parser import parse
+from repro.sqldb.table import Table
+from repro.sqldb.types import parse_type
+from repro.sqldb.table import SQLColumn
+
+
+class SQLResult:
+    """Rows returned by a SELECT, plus the affected-row count for DML."""
+
+    __slots__ = ("rows", "rowcount")
+
+    def __init__(self, rows: Optional[List[Dict[str, object]]] = None, rowcount: int = 0) -> None:
+        self.rows = rows if rows is not None else []
+        self.rowcount = rowcount
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def one(self) -> Optional[Dict[str, object]]:
+        return self.rows[0] if self.rows else None
+
+    def __repr__(self) -> str:
+        return f"SQLResult({len(self.rows)} rows, rowcount={self.rowcount})"
+
+
+def execute(
+    engine,
+    statement: ast.Statement,
+    params: Sequence = (),
+    current_database: Optional[str] = None,
+) -> Tuple[SQLResult, Optional[str]]:
+    return _Executor(engine, params, current_database).run(statement)
+
+
+def make_insert_plan(engine, statement: ast.Statement, current_database: Optional[str]):
+    """Compile a prepared single-row INSERT into a per-row callable.
+
+    The server-side plan for ``executemany``: table and column template
+    resolved once, per row only parameter binding and the storage call.
+    Returns ``None`` for anything but a one-row INSERT.
+    """
+    if not isinstance(statement, ast.Insert) or len(statement.rows) != 1:
+        return None
+    template = []
+    for column, value in zip(statement.columns, statement.rows[0]):
+        if isinstance(value, ast.Placeholder):
+            template.append((column, True, value.index))
+        else:
+            template.append((column, False, value))
+    database_name = statement.source.database or current_database
+    if database_name is None:
+        return None
+    table = engine.database(database_name).table(statement.source.table)
+    table_insert = table.insert
+
+    def run(params: Sequence) -> None:
+        row = {}
+        for column, is_bind, value in template:
+            resolved = params[value] if is_bind else value
+            if resolved is not None:
+                row[column] = resolved
+        table_insert(row)
+
+    return run
+
+
+class _Executor:
+    def __init__(self, engine, params: Sequence, current_database: Optional[str]) -> None:
+        self.engine = engine
+        self.params = tuple(params)
+        self.current_database = current_database
+
+    # -- helpers ------------------------------------------------------------
+    def _resolve(self, value):
+        if isinstance(value, ast.Placeholder):
+            if value.index >= len(self.params):
+                raise ProgrammingError(
+                    f"statement has bind marker ?{value.index} but only "
+                    f"{len(self.params)} parameters were supplied"
+                )
+            return self.params[value.index]
+        return value
+
+    def _table(self, source: ast.TableSource) -> Table:
+        database_name = source.database or self.current_database
+        if database_name is None:
+            raise ProgrammingError(f"no database selected for table {source.table!r}")
+        return self.engine.database(database_name).table(source.table)
+
+    # -- dispatch ---------------------------------------------------------------
+    def run(self, statement: ast.Statement):
+        handler = {
+            ast.CreateDatabase: self._create_database,
+            ast.CreateTable: self._create_table,
+            ast.CreateIndex: self._create_index,
+            ast.DropTable: self._drop_table,
+            ast.DropDatabase: self._drop_database,
+            ast.Use: self._use,
+            ast.Insert: self._insert,
+            ast.Select: self._select,
+            ast.Update: self._update,
+            ast.Delete: self._delete,
+            ast.Truncate: self._truncate,
+            ast.Explain: self._explain,
+        }.get(type(statement))
+        if handler is None:
+            raise ProgrammingError(f"unsupported statement {type(statement).__name__}")
+        return handler(statement)
+
+    # -- DDL ---------------------------------------------------------------------
+    def _create_database(self, stmt: ast.CreateDatabase):
+        self.engine.create_database(stmt.name, if_not_exists=stmt.if_not_exists)
+        return SQLResult(), None
+
+    def _create_table(self, stmt: ast.CreateTable):
+        database_name = stmt.source.database or self.current_database
+        if database_name is None:
+            raise ProgrammingError("CREATE TABLE without a database")
+        columns = [
+            SQLColumn(name, parse_type(type_text), not_null)
+            for name, type_text, not_null in stmt.columns
+        ]
+        self.engine.database(database_name).create_table(
+            stmt.source.table, columns, stmt.primary_key, if_not_exists=stmt.if_not_exists
+        )
+        return SQLResult(), None
+
+    def _create_index(self, stmt: ast.CreateIndex):
+        self._table(stmt.source).create_index(stmt.name, stmt.column)
+        return SQLResult(), None
+
+    def _drop_table(self, stmt: ast.DropTable):
+        database_name = stmt.source.database or self.current_database
+        if database_name is None:
+            raise ProgrammingError("DROP TABLE without a database")
+        self.engine.database(database_name).drop_table(stmt.source.table)
+        return SQLResult(), None
+
+    def _drop_database(self, stmt: ast.DropDatabase):
+        self.engine.drop_database(stmt.name)
+        return SQLResult(), None
+
+    def _use(self, stmt: ast.Use):
+        self.engine.database(stmt.name)  # validates existence
+        return SQLResult(), stmt.name
+
+    # -- DML ----------------------------------------------------------------------
+    def _insert(self, stmt: ast.Insert):
+        table = self._table(stmt.source)
+        count = 0
+        for values in stmt.rows:
+            row = {}
+            for column, value in zip(stmt.columns, values):
+                resolved = self._resolve(value)
+                if resolved is not None:
+                    row[column] = resolved
+            table.insert(row)
+            count += 1
+        return SQLResult(rowcount=count), None
+
+    # -- SELECT pipeline --------------------------------------------------------------
+    def _select(self, stmt: ast.Select):
+        sources = [stmt.source] + [join.source for join in stmt.joins]
+        aliases = [source.alias for source in sources]
+        if len(set(aliases)) != len(aliases):
+            raise ProgrammingError(f"duplicate table alias in {aliases}")
+        tables = {source.alias: self._table(source) for source in sources}
+
+        # Split WHERE into conjuncts usable for base access vs residual.
+        base_alias = stmt.source.alias
+        base_table = tables[base_alias]
+        residual = list(stmt.where)
+        rows = self._base_rows(base_table, base_alias, residual)
+
+        # namespace rows as {alias: row}
+        env_rows: List[Dict[str, Dict[str, object]]] = [{base_alias: row} for row in rows]
+        for join in stmt.joins:
+            env_rows = self._hash_join(env_rows, join, tables)
+
+        for condition in residual:
+            env_rows = [
+                env for env in env_rows if self._matches(env, condition, tables)
+            ]
+
+        if stmt.count:
+            return SQLResult([{"count": len(env_rows)}]), None
+        if stmt.aggregates:
+            return self._aggregate_select(stmt, env_rows, tables), None
+
+        for ref in stmt.columns:  # validate even when no rows matched
+            self._locate(ref, tables)
+        projected = [self._project(env, stmt.columns, tables) for env in env_rows]
+
+        if stmt.order_by is not None:
+            alias, name = self._locate(stmt.order_by, tables)
+            projected_pairs = sorted(
+                zip(env_rows, projected),
+                key=lambda pair: _null_safe_key(pair[0][alias][name]),
+                reverse=stmt.descending,
+            )
+            projected = [row for _, row in projected_pairs]
+        if stmt.limit is not None:
+            projected = projected[: stmt.limit]
+        return SQLResult(projected), None
+
+    @staticmethod
+    def _choose_base_access(
+        table: Table, alias: str, conditions: List[ast.Condition]
+    ) -> Tuple[str, Optional[ast.Condition]]:
+        """The access path the WHERE clause allows: ``(kind, condition)``.
+
+        Kinds mirror MySQL's EXPLAIN vocabulary: ``const`` (pk point),
+        ``range`` (pk IN), ``ref`` (pk prefix or secondary index), ``ALL``
+        (full scan).
+        """
+        single_pk = table.primary_key[0] if len(table.primary_key) == 1 else None
+        for condition in conditions:
+            if condition.column.qualifier not in (None, alias):
+                continue
+            name = condition.column.name
+            if condition.op == "=" and name == single_pk:
+                return "const", condition
+            if condition.op == "IN" and name == single_pk:
+                return "range", condition
+            if condition.op == "=" and name == table.primary_key[0]:
+                return "ref:pk-prefix", condition
+        for condition in conditions:
+            if condition.column.qualifier not in (None, alias):
+                continue
+            if condition.op == "=" and table.has_index(condition.column.name):
+                return "ref:index", condition
+        return "ALL", None
+
+    def _base_rows(
+        self,
+        table: Table,
+        alias: str,
+        residual: List[ast.Condition],
+    ) -> List[Dict[str, object]]:
+        """Pick the cheapest access path the WHERE clause allows."""
+        access, condition = self._choose_base_access(table, alias, residual)
+        if condition is not None:
+            residual.remove(condition)
+        if access == "const":
+            row = table.get(self._resolve(condition.value))
+            return [row] if row is not None else []
+        if access == "range":
+            keys = [self._resolve(v) for v in condition.value]
+            return [row for row in (table.get(k) for k in keys) if row is not None]
+        if access == "ref:pk-prefix":
+            return table.lookup_pk_prefix(self._resolve(condition.value))
+        if access == "ref:index":
+            return table.lookup_indexed(
+                condition.column.name, self._resolve(condition.value)
+            )
+        return list(table.scan())
+
+    def _aggregate_select(
+        self,
+        stmt: ast.Select,
+        env_rows: List[Dict[str, Dict[str, object]]],
+        tables: Dict[str, Table],
+    ) -> SQLResult:
+        """GROUP BY / aggregate evaluation over the filtered row set."""
+        group_refs = list(stmt.group_by)
+        group_slots = [self._locate(ref, tables) for ref in group_refs]
+        # Plain select items must be grouping columns (standard SQL rule).
+        group_names = {(ref.qualifier, ref.name) for ref in group_refs} | {
+            (None, ref.name) for ref in group_refs
+        }
+        for ref in stmt.columns:
+            if (ref.qualifier, ref.name) not in group_names:
+                raise ProgrammingError(
+                    f"column {ref!r} must appear in the GROUP BY clause"
+                )
+        aggregate_slots = [
+            (agg, self._locate(agg.column, tables) if agg.column is not None else None)
+            for agg in stmt.aggregates
+        ]
+
+        groups: Dict[tuple, List[Dict[str, Dict[str, object]]]] = {}
+        for env in env_rows:
+            key = tuple(env[alias][name] for alias, name in group_slots)
+            groups.setdefault(key, []).append(env)
+        if not group_refs and not groups:
+            groups[()] = []  # global aggregates over zero rows still report
+
+        out_rows: List[Dict[str, object]] = []
+        for key, members in groups.items():
+            row: Dict[str, object] = {}
+            for ref, value in zip(group_refs, key):
+                label = ref.name if ref.qualifier is None else f"{ref.qualifier}.{ref.name}"
+                row[label] = value
+            for agg, slot in aggregate_slots:
+                row[agg.label] = _evaluate_aggregate(agg, slot, members)
+            out_rows.append(row)
+
+        if stmt.order_by is not None:
+            label = (
+                stmt.order_by.name
+                if stmt.order_by.qualifier is None
+                else f"{stmt.order_by.qualifier}.{stmt.order_by.name}"
+            )
+            if out_rows and label not in out_rows[0]:
+                raise ProgrammingError(
+                    f"ORDER BY {label!r} must be a grouping column or aggregate label"
+                )
+            out_rows.sort(key=lambda r: _null_safe_key(r[label]), reverse=stmt.descending)
+        if stmt.limit is not None:
+            out_rows = out_rows[: stmt.limit]
+        return SQLResult(out_rows)
+
+    def _hash_join(
+        self,
+        env_rows: List[Dict[str, Dict[str, object]]],
+        join: ast.Join,
+        tables: Dict[str, Table],
+    ) -> List[Dict[str, Dict[str, object]]]:
+        right_alias = join.source.alias
+        right_table = tables[right_alias]
+
+        left_ref, right_ref = join.left, join.right
+        # Normalise so right_ref refers to the newly joined table.
+        if left_ref.qualifier == right_alias:
+            left_ref, right_ref = right_ref, left_ref
+        if right_ref.qualifier != right_alias:
+            raise ProgrammingError(
+                f"JOIN ON must reference {right_alias!r} on one side"
+            )
+        right_table.column(right_ref.name)
+        left_alias, left_name = self._locate_in_env(left_ref, tables, exclude=right_alias)
+
+        # Index nested-loop when the join column is the right table's
+        # primary key or an indexed column (MySQL's ref/eq_ref access);
+        # otherwise build a hash table over the right side.
+        probe = None
+        if (
+            len(right_table.primary_key) == 1
+            and right_ref.name == right_table.primary_key[0]
+        ):
+            def probe(key):
+                row = right_table.get(key)
+                return (row,) if row is not None else ()
+        elif right_table.has_index(right_ref.name):
+            def probe(key):
+                return right_table.lookup_indexed(right_ref.name, key)
+        else:
+            build: Dict[object, List[Dict[str, object]]] = {}
+            for row in right_table.scan():
+                key = row.get(right_ref.name)
+                if key is not None:
+                    build.setdefault(key, []).append(row)
+
+            def probe(key):
+                return build.get(key, ())
+
+        joined: List[Dict[str, Dict[str, object]]] = []
+        for env in env_rows:
+            key = env[left_alias][left_name]
+            if key is None:
+                continue
+            for right_row in probe(key):
+                merged = dict(env)
+                merged[right_alias] = right_row
+                joined.append(merged)
+        return joined
+
+    def _locate(self, ref: ast.ColumnRef, tables: Dict[str, Table]) -> Tuple[str, str]:
+        """Resolve a column reference to ``(alias, column_name)``."""
+        return self._locate_in_env(ref, tables, exclude=None)
+
+    def _locate_in_env(
+        self,
+        ref: ast.ColumnRef,
+        tables: Dict[str, Table],
+        exclude: Optional[str],
+    ) -> Tuple[str, str]:
+        if ref.qualifier is not None:
+            if ref.qualifier not in tables:
+                raise ProgrammingError(f"unknown table alias {ref.qualifier!r}")
+            tables[ref.qualifier].column(ref.name)
+            return ref.qualifier, ref.name
+        owners = [
+            alias
+            for alias, table in tables.items()
+            if alias != exclude and ref.name in table.column_names
+        ]
+        if not owners:
+            raise ProgrammingError(f"unknown column {ref.name!r}")
+        if len(owners) > 1:
+            raise ProgrammingError(f"ambiguous column {ref.name!r} (in {owners})")
+        return owners[0], ref.name
+
+    def _matches(
+        self,
+        env: Dict[str, Dict[str, object]],
+        condition: ast.Condition,
+        tables: Dict[str, Table],
+    ) -> bool:
+        alias, name = self._locate(condition.column, tables)
+        actual = env[alias][name]
+        op = condition.op
+        if op == "ISNULL":
+            return actual is None
+        if op == "NOTNULL":
+            return actual is not None
+        if op == "IN":
+            return actual in [self._resolve(v) for v in condition.value]
+        expected = self._resolve(condition.value)
+        if actual is None:
+            return False
+        if op == "=":
+            return actual == expected
+        if op == "!=":
+            return actual != expected
+        if op == "<":
+            return actual < expected
+        if op == ">":
+            return actual > expected
+        if op == "<=":
+            return actual <= expected
+        if op == ">=":
+            return actual >= expected
+        raise ProgrammingError(f"unsupported operator {op!r}")
+
+    def _project(
+        self,
+        env: Dict[str, Dict[str, object]],
+        columns: List[ast.ColumnRef],
+        tables: Dict[str, Table],
+    ) -> Dict[str, object]:
+        if not columns:  # SELECT *
+            merged: Dict[str, object] = {}
+            for alias, row in env.items():
+                for name, value in row.items():
+                    key = name if name not in merged else f"{alias}.{name}"
+                    merged[key] = value
+            return merged
+        out: Dict[str, object] = {}
+        for ref in columns:
+            alias, name = self._locate(ref, tables)
+            key = name if ref.qualifier is None else f"{alias}.{name}"
+            out[key] = env[alias][name]
+        return out
+
+    # -- UPDATE/DELETE ------------------------------------------------------------------
+    def _predicate(self, table: Table, alias: str, where: List[ast.Condition]):
+        tables = {alias: table}
+
+        def predicate(row: Dict[str, object]) -> bool:
+            env = {alias: row}
+            return all(self._matches(env, condition, tables) for condition in where)
+
+        return predicate
+
+    def _update(self, stmt: ast.Update):
+        table = self._table(stmt.source)
+        assignments = {name: self._resolve(value) for name, value in stmt.assignments}
+        count = table.update_where(
+            self._predicate(table, stmt.source.alias, stmt.where), assignments
+        )
+        return SQLResult(rowcount=count), None
+
+    def _delete(self, stmt: ast.Delete):
+        table = self._table(stmt.source)
+        count = table.delete_where(self._predicate(table, stmt.source.alias, stmt.where))
+        return SQLResult(rowcount=count), None
+
+    def _truncate(self, stmt: ast.Truncate):
+        self._table(stmt.source).truncate()
+        return SQLResult(), None
+
+    # -- EXPLAIN ------------------------------------------------------------------
+    def _explain(self, stmt: ast.Explain):
+        """Report the access path per table without executing the query."""
+        select = stmt.select
+        sources = [select.source] + [join.source for join in select.joins]
+        tables = {source.alias: self._table(source) for source in sources}
+
+        plan: List[Dict[str, object]] = []
+        base_alias = select.source.alias
+        access, condition = self._choose_base_access(
+            tables[base_alias], base_alias, list(select.where)
+        )
+        plan.append(
+            {
+                "step": 1,
+                "table": base_alias,
+                "access": access,
+                "key": str(condition.column) if condition is not None else None,
+            }
+        )
+        for step, join in enumerate(select.joins, start=2):
+            right_alias = join.source.alias
+            right_table = tables[right_alias]
+            left_ref, right_ref = join.left, join.right
+            if left_ref.qualifier == right_alias:
+                left_ref, right_ref = right_ref, left_ref
+            if (
+                len(right_table.primary_key) == 1
+                and right_ref.name == right_table.primary_key[0]
+            ):
+                access = "eq_ref"
+            elif right_table.has_index(right_ref.name):
+                access = "ref:index"
+            else:
+                access = "hash-join"
+            plan.append(
+                {"step": step, "table": right_alias, "access": access,
+                 "key": str(right_ref)}
+            )
+        return SQLResult(plan), None
+
+
+def _null_safe_key(value):
+    return (value is None, value)
+
+
+def _evaluate_aggregate(agg: ast.Aggregate, slot, members) -> object:
+    """One aggregate over one group's rows (NULLs ignored, as in SQL)."""
+    if agg.column is None:  # COUNT(*)
+        return len(members)
+    alias, name = slot
+    values = [env[alias][name] for env in members if env[alias][name] is not None]
+    if agg.func == "count":
+        return len(values)
+    if not values:
+        return None
+    if agg.func == "sum":
+        return sum(values)
+    if agg.func == "min":
+        return min(values)
+    if agg.func == "max":
+        return max(values)
+    if agg.func == "avg":
+        return sum(values) / len(values)
+    raise ProgrammingError(f"unknown aggregate {agg.func!r}")  # pragma: no cover

@@ -1,0 +1,58 @@
+"""SQL tokeniser (MySQL-flavoured: backtick identifiers, # comments)."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.sqldb.errors import SQLSyntaxError
+
+
+class Token(NamedTuple):
+    kind: str      # IDENT | NUMBER | STRING | OP | END
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>--[^\n]*|\#[^\n]*|/\*.*?\*/)
+  | (?P<STRING>'(?:[^'\\]|\\.|'')*'|"(?:[^"\\]|\\.)*")
+  | (?P<NUMBER>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<BACKTICK>`[^`]+`)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><=|>=|<>|!=|[(),.=<>*?;])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            snippet = text[position:position + 20]
+            raise SQLSyntaxError(f"cannot tokenise SQL at {position}: {snippet!r}")
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "BACKTICK":
+            tokens.append(Token("IDENT", value[1:-1], match.start()))
+        else:
+            tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("END", "", length))
+    return tokens
+
+
+def unquote_string(text: str) -> str:
+    quote = text[0]
+    body = text[1:-1]
+    if quote == "'":
+        body = body.replace("''", "'")
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")

@@ -1,0 +1,296 @@
+"""Relational tables: clustered B-tree storage with InnoDB-style costs.
+
+A table is a clustered index: rows live in the leaves of a B-tree keyed
+by the (possibly composite) primary key, exactly as InnoDB stores them.
+Each stored row is charged :data:`ROW_HEADER_BYTES` of header (record
+header, transaction id, roll pointer) and pages are assumed
+:data:`FILL_FACTOR` full — the per-row overhead that makes the
+relationship tables of the MySQL-DWARF schema expensive (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sqldb.errors import IntegrityError, ProgrammingError
+from repro.sqldb.types import SQLType
+from repro.storage.btree import BTree
+
+#: InnoDB record overhead: 5 B record header + 6 B DB_TRX_ID + 7 B DB_ROLL_PTR.
+ROW_HEADER_BYTES = 18
+
+#: Typical page fill after sequential bulk load (InnoDB leaves 1/16 free).
+FILL_FACTOR = 15 / 16
+
+#: Per-mutation redo log record header (LSN, type, table id, lengths).
+REDO_HEADER_BYTES = 24
+_REDO_HEADER = b"\x00" * REDO_HEADER_BYTES
+
+#: Insert undo record: type + table id + primary key reference.
+_UNDO_RECORD = b"\x00" * 20
+
+#: Row-based binary log event header (timestamp, server id, event size, ...).
+_BINLOG_HEADER = b"\x00" * 19
+
+#: Dirty-page volume that triggers a buffer-pool flush during bulk loads.
+DIRTY_FLUSH_BYTES = 2 * 1024 * 1024
+
+
+class SQLColumn:
+    __slots__ = ("name", "sql_type", "not_null")
+
+    def __init__(self, name: str, sql_type: SQLType, not_null: bool = False) -> None:
+        self.name = name
+        self.sql_type = sql_type
+        self.not_null = not_null
+
+    def __repr__(self) -> str:
+        suffix = " NOT NULL" if self.not_null else ""
+        return f"SQLColumn({self.name} {self.sql_type.name}{suffix})"
+
+
+class Table:
+    """One relational table with a clustered primary key."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[SQLColumn],
+        primary_key: Sequence[str],
+        redo_log: Optional[bytearray] = None,
+        binlog: Optional[bytearray] = None,
+    ) -> None:
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ProgrammingError(f"duplicate column in table {name!r}")
+        if not primary_key:
+            raise ProgrammingError(f"table {name!r} needs a primary key")
+        for part in primary_key:
+            if part not in names:
+                raise ProgrammingError(f"primary key column {part!r} not in table {name!r}")
+        self.name = name
+        self.columns: Tuple[SQLColumn, ...] = tuple(columns)
+        self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        self._by_name = {c.name: c for c in self.columns}
+        self._pk_positions = [names.index(part) for part in self.primary_key]
+        self._clustered = BTree()
+        self._secondary: Dict[str, BTree] = {}
+        self._index_names: Dict[str, str] = {}
+        self._redo_log = redo_log
+        self._binlog = binlog
+        self._n_rows = 0
+        self._dirty_bytes = 0
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> SQLColumn:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ProgrammingError(f"table {self.name!r} has no column {name!r}") from None
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def create_index(self, index_name: str, column: str) -> None:
+        self.column(column)
+        if column in self._secondary:
+            raise ProgrammingError(f"index on {self.name}.{column} already exists")
+        tree = BTree()
+        for pk, encoded in self._clustered.items():
+            row = self.decode_row(encoded)
+            if row.get(column) is not None:
+                tree.insert((row[column], pk))
+        self._secondary[column] = tree
+        self._index_names[column] = index_name
+
+    def has_index(self, column: str) -> bool:
+        return column in self._secondary
+
+    # ------------------------------------------------------------------
+    # row codec
+    # ------------------------------------------------------------------
+    def encode_row(self, row: Dict[str, object]) -> bytes:
+        n_cols = len(self.columns)
+        bitmap = bytearray((n_cols + 7) // 8)
+        parts: List[bytes] = []
+        for index, column in enumerate(self.columns):
+            value = row.get(column.name)
+            if value is None:
+                continue
+            bitmap[index >> 3] |= 1 << (index & 7)
+            parts.append(column.sql_type.encode(value))
+        return bytes(bitmap) + b"".join(parts)
+
+    def decode_row(self, encoded: bytes) -> Dict[str, object]:
+        n_cols = len(self.columns)
+        bitmap_len = (n_cols + 7) // 8
+        offset = bitmap_len
+        row: Dict[str, object] = {}
+        for index, column in enumerate(self.columns):
+            if encoded[index >> 3] & (1 << (index & 7)):
+                value, offset = column.sql_type.decode(encoded, offset)
+                row[column.name] = value
+            else:
+                row[column.name] = None
+        return row
+
+    def _pk_of(self, row: Dict[str, object]):
+        parts = []
+        for name in self.primary_key:
+            value = row.get(name)
+            if value is None:
+                raise IntegrityError(f"primary key column {name!r} cannot be NULL")
+            parts.append(value)
+        return parts[0] if len(parts) == 1 else tuple(parts)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Dict[str, object]) -> None:
+        for name in row:
+            if name not in self._by_name:
+                raise ProgrammingError(f"table {self.name!r} has no column {name!r}")
+        for column in self.columns:
+            value = row.get(column.name)
+            if value is None:
+                if column.not_null and column.name not in self.primary_key:
+                    raise IntegrityError(f"column {column.name!r} is NOT NULL")
+                continue
+            column.sql_type.validate(value)
+        key = self._pk_of(row)
+        if key in self._clustered:
+            raise IntegrityError(f"duplicate primary key {key!r} in table {self.name!r}")
+        encoded = self.encode_row(row)
+        if self._redo_log is not None:
+            # InnoDB writes each mutation to the redo log before touching
+            # the page, and builds an undo record for transaction rollback.
+            self._redo_log += _REDO_HEADER
+            self._redo_log += encoded
+            self._redo_log += _UNDO_RECORD
+        if self._binlog is not None:
+            # Row-based replication log (on by default in production MySQL).
+            self._binlog += _BINLOG_HEADER
+            self._binlog += encoded
+        self._clustered.insert(key, encoded)
+        for column_name, tree in self._secondary.items():
+            value = row.get(column_name)
+            if value is not None:
+                tree.insert((value, key))
+        self._n_rows += 1
+        # InnoDB flushes dirty buffer-pool pages continuously under bulk
+        # load; clients share that I/O cost.
+        self._dirty_bytes += len(encoded) + ROW_HEADER_BYTES
+        if self._dirty_bytes >= DIRTY_FLUSH_BYTES:
+            self._clustered.flush()
+            for tree in self._secondary.values():
+                tree.flush()
+            self._dirty_bytes = 0
+
+    def update_where(self, predicate, assignments: Dict[str, object]) -> int:
+        """Update all rows matching ``predicate(row)``; returns the count."""
+        for name in assignments:
+            if name in self.primary_key:
+                raise ProgrammingError("updating primary key columns is not supported")
+            self.column(name)
+        touched = 0
+        updates: List[Tuple[object, Dict[str, object]]] = []
+        for pk, encoded in self._clustered.items():
+            row = self.decode_row(encoded)
+            if predicate(row):
+                updates.append((pk, row))
+        for pk, row in updates:
+            for column_name, tree in self._secondary.items():
+                old = row.get(column_name)
+                if old is not None:
+                    tree.delete((old, pk))
+            row.update(assignments)
+            self._clustered.insert(pk, self.encode_row(row))
+            for column_name, tree in self._secondary.items():
+                new = row.get(column_name)
+                if new is not None:
+                    tree.insert((new, pk))
+            touched += 1
+        return touched
+
+    def delete_where(self, predicate) -> int:
+        victims: List[Tuple[object, Dict[str, object]]] = []
+        for pk, encoded in self._clustered.items():
+            row = self.decode_row(encoded)
+            if predicate(row):
+                victims.append((pk, row))
+        for pk, row in victims:
+            self._clustered.delete(pk)
+            for column_name, tree in self._secondary.items():
+                value = row.get(column_name)
+                if value is not None:
+                    tree.delete((value, pk))
+        self._n_rows -= len(victims)
+        return len(victims)
+
+    def truncate(self) -> None:
+        self._clustered = BTree()
+        for column_name in list(self._secondary):
+            self._secondary[column_name] = BTree()
+        self._n_rows = 0
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key) -> Optional[Dict[str, object]]:
+        encoded = self._clustered.get(key)
+        return self.decode_row(encoded) if encoded is not None else None
+
+    def scan(self) -> Iterator[Dict[str, object]]:
+        for _, encoded in self._clustered.items():
+            yield self.decode_row(encoded)
+
+    def lookup_pk_prefix(self, value) -> List[Dict[str, object]]:
+        """Rows whose *first* primary-key component equals ``value``.
+
+        The clustered-index prefix scan InnoDB uses for composite keys
+        (e.g. ``NODE_CHILDREN(node_id, cell_id)`` probed by ``node_id``).
+        """
+        if len(self.primary_key) < 2:
+            row = self.get(value)
+            return [row] if row is not None else []
+        rows = []
+        for key, encoded in self._clustered.items(lo=(value,)):
+            if key[0] != value:
+                break
+            rows.append(self.decode_row(encoded))
+        return rows
+
+    def lookup_indexed(self, column: str, value) -> List[Dict[str, object]]:
+        tree = self._secondary.get(column)
+        if tree is None:
+            raise ProgrammingError(f"no index on {self.name}.{column}")
+        rows = []
+        for composite, _ in tree.items(lo=(value,)):
+            if composite[0] != value:
+                break
+            row = self.get(composite[1])
+            if row is not None:
+                rows.append(row)
+        return rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """On-disk size: clustered pages + row headers + secondary indexes."""
+        data = self._clustered.size_bytes + ROW_HEADER_BYTES * self._n_rows
+        data = int(data / FILL_FACTOR)
+        for tree in self._secondary.values():
+            entries = len(tree)
+            data += int((tree.size_bytes + ROW_HEADER_BYTES // 2 * entries) / FILL_FACTOR)
+        return data
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, pk={list(self.primary_key)}, rows={self._n_rows})"

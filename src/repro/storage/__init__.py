@@ -1,0 +1,37 @@
+"""Low-level storage primitives shared by both database substrates.
+
+The columnar NoSQL engine (:mod:`repro.nosqldb`) and the relational engine
+(:mod:`repro.sqldb`) both sit on the same byte-level toolkit: variable
+length integer coding, length-prefixed strings, and a B-tree with
+write-through page encoding so that index maintenance has a realistic
+cost and a measurable on-disk size.
+"""
+
+from repro.storage.varint import decode_varint, encode_varint, zigzag_decode, zigzag_encode
+from repro.storage.encoding import (
+    decode_bool,
+    decode_bytes,
+    decode_float,
+    decode_text,
+    encode_bool,
+    encode_bytes,
+    encode_float,
+    encode_text,
+)
+from repro.storage.btree import BTree
+
+__all__ = [
+    "BTree",
+    "decode_bool",
+    "decode_bytes",
+    "decode_float",
+    "decode_text",
+    "decode_varint",
+    "encode_bool",
+    "encode_bytes",
+    "encode_float",
+    "encode_text",
+    "encode_varint",
+    "zigzag_decode",
+    "zigzag_encode",
+]

@@ -1,0 +1,289 @@
+"""An in-memory B-tree with page encoding and realistic maintenance costs.
+
+Used as:
+
+* the clustered primary index of the relational engine (InnoDB-style:
+  rows live in the leaf pages, pages are encoded lazily on flush — the
+  buffer-pool model);
+* the secondary indexes of both engines.  The NoSQL engine opens its
+  secondary indexes with ``write_through=True``: every insert re-encodes
+  the touched leaf page immediately, modelling the synchronous index
+  update path that makes Cassandra secondary indexes expensive — the
+  effect behind the paper's NoSQL-Min insertion times (Table 5).
+
+Keys must be mutually comparable (the engines compose homogeneous key
+tuples).  Keys are unique; writing an existing key overwrites its value.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.encoding import (
+    encode_bool,
+    encode_bytes,
+    encode_float,
+    encode_text,
+)
+from repro.storage.varint import encode_varint
+
+#: Maximum entries per page before a split (both leaf and internal).
+DEFAULT_PAGE_CAPACITY = 64
+
+#: Fixed per-page header: page id, type tag, entry count, next-page pointer.
+PAGE_HEADER_BYTES = 16
+
+
+def encode_key(key) -> bytes:
+    """Tagged, self-describing encoding for index keys."""
+    if key is None:
+        return b"\x00"
+    if isinstance(key, bool):  # must precede int
+        return b"\x04" + encode_bool(key)
+    if isinstance(key, int):
+        return b"\x01" + encode_varint(key)
+    if isinstance(key, str):
+        return b"\x02" + encode_text(key)
+    if isinstance(key, float):
+        return b"\x03" + encode_float(key)
+    if isinstance(key, bytes):
+        return b"\x06" + encode_bytes(key)
+    if isinstance(key, tuple):
+        parts = [b"\x05", encode_varint(len(key))]
+        parts.extend(encode_key(item) for item in key)
+        return b"".join(parts)
+    raise TypeError(f"unsupported index key type: {type(key).__name__}")
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "encoded", "dirty")
+
+    def __init__(self) -> None:
+        self.keys: List = []
+        self.values: List[Optional[bytes]] = []
+        self.next: Optional["_Leaf"] = None
+        self.encoded: bytes = b""
+        self.dirty = True
+
+    def encode(self) -> bytes:
+        parts = [encode_varint(len(self.keys))]
+        for key, value in zip(self.keys, self.values):
+            parts.append(encode_key(key))
+            parts.append(encode_bytes(value) if value is not None else b"\x00")
+        self.encoded = b"".join(parts)
+        self.dirty = False
+        return self.encoded
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] covers keys < keys[i]; children[-1] covers the rest.
+        self.keys: List = []
+        self.children: List = []
+
+
+class BTree:
+    """B-tree map with byte-accurate page accounting.
+
+    Parameters
+    ----------
+    page_capacity:
+        Entries per page before splitting.
+    write_through:
+        Re-encode a leaf page on *every* mutation (synchronous index
+        maintenance).  When False, pages are encoded lazily by
+        :meth:`flush` (buffer-pool behaviour).
+    """
+
+    def __init__(
+        self,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        write_through: bool = False,
+    ) -> None:
+        if page_capacity < 4:
+            raise ValueError("page_capacity must be >= 4")
+        self._capacity = page_capacity
+        self._write_through = write_through
+        self._root = _Leaf()
+        self._first_leaf: _Leaf = self._root
+        self._n_entries = 0
+        self._n_leaves = 1
+        self._n_internal = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, key, value: Optional[bytes] = None) -> None:
+        """Insert or overwrite ``key``; ``value`` is an opaque payload."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._n_internal += 1
+
+    def _insert(self, node, key, value):
+        if isinstance(node, _Leaf):
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                self._n_entries += 1
+            node.dirty = True
+            if len(node.keys) > self._capacity:
+                split = self._split_leaf(node)
+            else:
+                split = None
+            if self._write_through:
+                node.encode()
+                if split is not None:
+                    split[1].encode()
+            return split
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.children) > self._capacity:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[object, _Leaf]:
+        middle = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        leaf.next = right
+        leaf.dirty = True
+        right.dirty = True
+        self._n_leaves += 1
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> Tuple[object, _Internal]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Internal()
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        self._n_internal += 1
+        return separator, right
+
+    def delete(self, key) -> bool:
+        """Remove ``key``; returns True when it was present.
+
+        Pages are allowed to underflow (no rebalancing) — deletions are
+        rare in this workload and InnoDB likewise leaves sparse pages
+        behind until OPTIMIZE.
+        """
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        del leaf.keys[index]
+        del leaf.values[index]
+        leaf.dirty = True
+        if self._write_through:
+            leaf.encode()
+        self._n_entries -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        return node
+
+    def get(self, key, default=None):
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def items(self, lo=None, hi=None) -> Iterator[Tuple[object, Optional[bytes]]]:
+        """Yield ``(key, value)`` in key order, optionally within [lo, hi]."""
+        if lo is None:
+            leaf: Optional[_Leaf] = self._first_leaf
+            index = 0
+        else:
+            leaf = self._find_leaf(lo)
+            index = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if hi is not None and key > hi:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def keys(self, lo=None, hi=None) -> Iterator:
+        return (key for key, _ in self.items(lo, hi))
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    # ------------------------------------------------------------------
+    # storage accounting
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Encode every dirty leaf page (buffer-pool flush)."""
+        leaf: Optional[_Leaf] = self._first_leaf
+        while leaf is not None:
+            if leaf.dirty:
+                leaf.encode()
+            leaf = leaf.next
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk size: encoded leaf pages + headers + internal pages.
+
+        Internal pages are charged one encoded separator key per child
+        plus the page header.
+        """
+        self.flush()
+        total = 0
+        leaf: Optional[_Leaf] = self._first_leaf
+        while leaf is not None:
+            total += PAGE_HEADER_BYTES + len(leaf.encoded)
+            leaf = leaf.next
+        total += self._internal_bytes(self._root)
+        return total
+
+    def _internal_bytes(self, node) -> int:
+        if isinstance(node, _Leaf):
+            return 0
+        total = PAGE_HEADER_BYTES
+        for key in node.keys:
+            total += len(encode_key(key)) + 8  # separator + child pointer
+        total += 8  # last child pointer
+        for child in node.children:
+            total += self._internal_bytes(child)
+        return total
+
+    @property
+    def page_counts(self) -> Tuple[int, int]:
+        """``(leaf_pages, internal_pages)`` currently allocated."""
+        return self._n_leaves, self._n_internal

@@ -1,0 +1,52 @@
+"""Scalar byte encodings shared by the two storage engines.
+
+Everything is length- or tag-prefixed so rows can be decoded without a
+schema-side size table; all multi-byte numbers are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.storage.varint import decode_varint, encode_varint
+
+_FLOAT = struct.Struct("<d")
+
+
+def encode_text(value: str) -> bytes:
+    """UTF-8 with a varint byte-length prefix."""
+    raw = value.encode("utf-8")
+    return encode_varint(len(raw)) + raw
+
+
+def decode_text(buffer, offset: int = 0) -> Tuple[str, int]:
+    length, offset = decode_varint(buffer, offset)
+    end = offset + length
+    return bytes(buffer[offset:end]).decode("utf-8"), end
+
+
+def encode_bytes(value: bytes) -> bytes:
+    return encode_varint(len(value)) + value
+
+
+def decode_bytes(buffer, offset: int = 0) -> Tuple[bytes, int]:
+    length, offset = decode_varint(buffer, offset)
+    end = offset + length
+    return bytes(buffer[offset:end]), end
+
+
+def encode_bool(value: bool) -> bytes:
+    return b"\x01" if value else b"\x00"
+
+
+def decode_bool(buffer, offset: int = 0) -> Tuple[bool, int]:
+    return buffer[offset] != 0, offset + 1
+
+
+def encode_float(value: float) -> bytes:
+    return _FLOAT.pack(value)
+
+
+def decode_float(buffer, offset: int = 0) -> Tuple[float, int]:
+    return _FLOAT.unpack_from(buffer, offset)[0], offset + 8

@@ -1,0 +1,65 @@
+"""Shared fixtures: small cubes, engines and bike-feed bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schema import CubeSchema, Dimension
+from repro.core.tuples import TupleSet
+from repro.dwarf.builder import DwarfBuilder
+
+#: The Fig. 1-style sample input used across the DWARF tests: three
+#: dimensions (country, city, station) and an integer measure.
+SAMPLE_ROWS = [
+    ("France", "Paris", "Rue Cler", 7),
+    ("Ireland", "Cork", "Patrick St", 2),
+    ("Ireland", "Dublin", "Fenian St", 3),
+    ("Ireland", "Dublin", "Portobello", 5),
+]
+
+
+@pytest.fixture
+def sample_schema() -> CubeSchema:
+    return CubeSchema(
+        "bikes",
+        [
+            Dimension("country"),
+            Dimension("city"),
+            Dimension("station", dimension_table="Station"),
+        ],
+        measure="available_bikes",
+    )
+
+
+@pytest.fixture
+def sample_facts(sample_schema) -> TupleSet:
+    return TupleSet(sample_schema, SAMPLE_ROWS)
+
+
+@pytest.fixture
+def sample_cube(sample_facts):
+    return DwarfBuilder(sample_facts.schema).build(sample_facts)
+
+
+@pytest.fixture
+def bike_bundle():
+    """A small real bike-feed slice: documents, facts and cube."""
+    from repro.dwarf.builder import build_cube
+    from repro.smartcity.bikes import BikeFeedGenerator, bikes_pipeline
+
+    documents = BikeFeedGenerator(n_stations=24).generate_documents(
+        days=2, total_records=600
+    )
+    pipeline = bikes_pipeline()
+    facts = pipeline.extract(documents)
+    return documents, facts, build_cube(facts)
+
+
+def brute_force_value(rows, coords):
+    """Oracle: SUM over rows matching ``coords`` (None entries = ALL)."""
+    total = None
+    for row in rows:
+        keys, measure = row[:-1], row[-1]
+        if all(c is None or c == k for c, k in zip(coords, keys)):
+            total = measure if total is None else total + measure
+    return total

@@ -1,0 +1,92 @@
+"""Aggregator semantics: lift/merge/finalize and the registry."""
+
+import pytest
+
+from repro.core.aggregators import AVG, COUNT, MAX, MIN, SUM, Aggregator
+from repro.core.errors import SchemaError
+
+
+class TestSum:
+    def test_aggregate(self):
+        assert SUM.aggregate([1, 2, 3]) == 6
+
+    def test_single_value(self):
+        assert SUM.aggregate([7]) == 7
+
+    def test_merge_is_addition(self):
+        assert SUM.merge(SUM.lift(4), SUM.lift(5)) == 9
+
+    def test_floats(self):
+        assert SUM.aggregate([1.5, 2.5]) == 4.0
+
+
+class TestCount:
+    def test_counts_items_not_values(self):
+        assert COUNT.aggregate([10, 20, 30]) == 3
+
+    def test_lift_is_one(self):
+        assert COUNT.lift(999) == 1
+
+
+class TestMinMax:
+    def test_min(self):
+        assert MIN.aggregate([5, 2, 9]) == 2
+
+    def test_max(self):
+        assert MAX.aggregate([5, 2, 9]) == 9
+
+    def test_min_equal_values(self):
+        assert MIN.merge(3, 3) == 3
+
+
+class TestAvg:
+    def test_aggregate(self):
+        assert AVG.aggregate([2, 4, 6]) == 4.0
+
+    def test_state_is_total_count(self):
+        state = AVG.merge(AVG.lift(10), AVG.lift(20))
+        assert state == (30, 2)
+        assert AVG.finalize(state) == 15.0
+
+    def test_merge_is_weighted(self):
+        # (10, 20) merged with (40,) — not the mean of means.
+        left = AVG.merge(AVG.lift(10), AVG.lift(20))
+        merged = AVG.merge(left, AVG.lift(40))
+        assert AVG.finalize(merged) == pytest.approx(70 / 3)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert Aggregator.get("sum") is SUM
+        assert Aggregator.get("AVG") is AVG
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SchemaError, match="unknown aggregator"):
+            Aggregator.get("median")
+
+    def test_names_listed(self):
+        assert set(Aggregator.names()) >= {"sum", "count", "min", "max", "avg"}
+
+    def test_empty_aggregate_raises(self):
+        with pytest.raises(SchemaError, match="zero measures"):
+            SUM.aggregate([])
+
+
+class TestDecomposability:
+    """merge(agg(a), agg(b)) must equal agg(a + b) — what SuffixCoalesce needs."""
+
+    @pytest.mark.parametrize("agg", [SUM, COUNT, MIN, MAX, AVG], ids=lambda a: a.name)
+    def test_split_merge_equals_whole(self, agg):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        whole = agg.aggregate(values)
+        left = values[:3]
+        right = values[3:]
+
+        def state_of(chunk):
+            state = agg.lift(chunk[0])
+            for value in chunk[1:]:
+                state = agg.merge(state, agg.lift(value))
+            return state
+
+        combined = agg.finalize(agg.merge(state_of(left), state_of(right)))
+        assert combined == whole

@@ -1,0 +1,76 @@
+"""The command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_documents(self, tmp_path, capsys):
+        code = main([
+            "generate", "--days", "1", "--records", "60",
+            "--output", str(tmp_path / "feed"),
+        ])
+        assert code == 0
+        files = sorted((tmp_path / "feed").glob("*.xml"))
+        assert files
+        assert "<station>" in files[0].read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path):
+        main([
+            "generate", "--days", "1", "--records", "30", "--format", "json",
+            "--output", str(tmp_path / "feed"),
+        ])
+        files = sorted((tmp_path / "feed").glob("*.json"))
+        assert files
+        assert files[0].read_text().startswith("{")
+
+    def test_deterministic_by_seed(self, tmp_path):
+        for run in ("a", "b"):
+            main([
+                "generate", "--days", "1", "--records", "30", "--seed", "5",
+                "--output", str(tmp_path / run),
+            ])
+        a = sorted((tmp_path / "a").glob("*.xml"))[0].read_text()
+        b = sorted((tmp_path / "b").glob("*.xml"))[0].read_text()
+        assert a == b
+
+
+class TestPipeline:
+    def test_runs_and_reports(self, capsys):
+        code = main(["pipeline", "--records", "120", "--schema", "MySQL-Min"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "120 facts" in out
+        assert "MySQL-Min schema_id=1" in out
+        assert "grand total" in out
+
+
+class TestBench:
+    def test_small_matrix(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.002")
+        from repro.bench.datasets import clear_cache
+
+        clear_cache()
+        code = main(["bench", "--datasets", "Day", "--schemas", "NoSQL-DWARF,MySQL-Min"])
+        clear_cache()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "Table 5" in out
+        assert "NoSQL-DWARF (measured)" in out
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["bench", "--datasets", "Year"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_unknown_schema(self, capsys):
+        assert main(["bench", "--schemas", "Mongo"]) == 2
+        assert "unknown schema" in capsys.readouterr().err
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

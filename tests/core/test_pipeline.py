@@ -1,0 +1,93 @@
+"""CubeConstructionPipeline: the full documents → storage → reload loop."""
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.core.pipeline import CubeConstructionPipeline
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.smartcity.bikes import BikeFeedGenerator, bikes_pipeline
+
+
+@pytest.fixture
+def generator():
+    return BikeFeedGenerator(n_stations=12)
+
+
+@pytest.fixture
+def pipeline():
+    return CubeConstructionPipeline(bikes_pipeline(), NoSQLDwarfMapper())
+
+
+class TestBuild:
+    def test_build_in_memory(self, generator):
+        pipeline = CubeConstructionPipeline(bikes_pipeline())
+        cube = pipeline.build(generator.generate_documents(days=1, total_records=60))
+        assert cube.n_source_tuples == 60
+        assert pipeline.last_cube is cube
+
+    def test_empty_documents_rejected(self):
+        pipeline = CubeConstructionPipeline(bikes_pipeline())
+        with pytest.raises(PipelineError, match="no fact tuples"):
+            pipeline.build([])
+
+
+class TestRunAndReload:
+    def test_report_fields(self, pipeline, generator):
+        report = pipeline.run(generator.generate_documents(days=1, total_records=48))
+        assert report.n_documents == 4
+        assert report.n_records == 48
+        assert report.n_facts == 48
+        assert report.schema_id == 1
+        assert report.n_nodes > 0 and report.n_cells > report.n_nodes
+        assert report.stored_mb is not None
+
+    def test_reload_equals_memory(self, pipeline, generator):
+        report = pipeline.run(generator.generate_documents(days=1, total_records=48))
+        rebuilt = pipeline.reload(report.schema_id)
+        assert sorted(rebuilt.leaves()) == sorted(pipeline.last_cube.leaves())
+
+    def test_reload_without_mapper(self, generator):
+        pipeline = CubeConstructionPipeline(bikes_pipeline())
+        pipeline.build(generator.generate_documents(days=1, total_records=24))
+        with pytest.raises(PipelineError, match="no mapper"):
+            pipeline.reload(1)
+
+    def test_memory_only_report(self, generator):
+        pipeline = CubeConstructionPipeline(bikes_pipeline())
+        report = pipeline.run(generator.generate_documents(days=1, total_records=24))
+        assert report.schema_id is None
+        assert report.stored_mb is None
+
+    def test_two_runs_two_ids(self, pipeline, generator):
+        first = pipeline.run(generator.generate_documents(days=1, total_records=24))
+        second = pipeline.run(generator.generate_documents(days=1, total_records=24))
+        assert (first.schema_id, second.schema_id) == (1, 2)
+
+
+class TestIncrementalUpdate:
+    def test_update_merges_delta(self, generator):
+        pipeline = CubeConstructionPipeline(bikes_pipeline())
+        docs = list(generator.generate_documents(days=2, total_records=96))
+        pipeline.build(docs[:4])
+        merged = pipeline.update(docs[4:])
+        assert merged.n_source_tuples == 96
+        assert pipeline.last_cube is merged
+
+    def test_update_without_standing_cube_builds(self, generator):
+        pipeline = CubeConstructionPipeline(bikes_pipeline())
+        cube = pipeline.update(generator.generate_documents(days=1, total_records=24))
+        assert cube.n_source_tuples == 24
+
+    def test_update_equals_full_rebuild(self, generator):
+        docs = list(generator.generate_documents(days=2, total_records=96))
+        incremental = CubeConstructionPipeline(bikes_pipeline())
+        incremental.build(docs[:3])
+        incremental.update(docs[3:6])
+        incremental.update(docs[6:])
+        full = CubeConstructionPipeline(bikes_pipeline()).build(docs)
+        assert sorted(incremental.last_cube.leaves()) == sorted(full.leaves())
+
+    def test_empty_update_keeps_cube(self, generator):
+        pipeline = CubeConstructionPipeline(bikes_pipeline())
+        cube = pipeline.build(generator.generate_documents(days=1, total_records=24))
+        assert pipeline.update([]) is cube

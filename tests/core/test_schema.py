@@ -1,0 +1,86 @@
+"""CubeSchema and Dimension validation."""
+
+import pytest
+
+from repro.core.aggregators import AVG, SUM
+from repro.core.errors import SchemaError
+from repro.core.schema import CubeSchema, Dimension
+
+
+class TestDimension:
+    def test_plain(self):
+        d = Dimension("station")
+        assert d.name == "station"
+        assert d.dimension_table is None
+        assert d.hierarchy == ("station",)
+
+    def test_with_dimension_table(self):
+        d = Dimension("station", dimension_table="Station")
+        assert d.dimension_table == "Station"
+
+    def test_with_hierarchy(self):
+        d = Dimension("station", hierarchy=["station", "district", "city"])
+        assert d.hierarchy == ("station", "district", "city")
+
+    def test_duplicate_hierarchy_levels_rejected(self):
+        with pytest.raises(SchemaError):
+            Dimension("x", hierarchy=["a", "a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Dimension("")
+
+    def test_equality_and_hash(self):
+        assert Dimension("a") == Dimension("a")
+        assert Dimension("a") != Dimension("b")
+        assert hash(Dimension("a")) == hash(Dimension("a"))
+
+
+class TestCubeSchema:
+    def test_string_dimensions_promoted(self):
+        schema = CubeSchema("c", ["a", "b"])
+        assert all(isinstance(d, Dimension) for d in schema.dimensions)
+        assert schema.dimension_names == ("a", "b")
+
+    def test_dimension_index(self):
+        schema = CubeSchema("c", ["a", "b", "c3"])
+        assert schema.dimension_index("a") == 0
+        assert schema.dimension_index("c3") == 2
+
+    def test_unknown_dimension_raises(self):
+        schema = CubeSchema("c", ["a"])
+        with pytest.raises(SchemaError, match="no dimension"):
+            schema.dimension_index("zz")
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            CubeSchema("c", ["a", "a"])
+
+    def test_no_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema("c", [])
+
+    def test_measure_collision_rejected(self):
+        with pytest.raises(SchemaError, match="collides"):
+            CubeSchema("c", ["a"], measure="a")
+
+    def test_aggregator_by_name(self):
+        schema = CubeSchema("c", ["a"], aggregator="avg")
+        assert schema.aggregator is AVG
+
+    def test_default_aggregator_is_sum(self):
+        assert CubeSchema("c", ["a"]).aggregator is SUM
+
+    def test_len_is_dimension_count(self):
+        assert len(CubeSchema("c", ["a", "b"])) == 2
+
+    def test_equality(self):
+        a = CubeSchema("c", ["a", "b"])
+        b = CubeSchema("c", ["a", "b"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CubeSchema("c", ["a", "x"])
+
+    def test_eight_dimensions_like_the_paper(self):
+        schema = CubeSchema("bikes", [f"d{i}" for i in range(8)])
+        assert schema.n_dimensions == 8

@@ -1,0 +1,79 @@
+"""FactTuple / TupleSet behaviour: validation, sorting, iteration."""
+
+import pytest
+
+from repro.core.errors import TupleShapeError
+from repro.core.schema import CubeSchema
+from repro.core.tuples import FactTuple, TupleSet
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema("c", ["country", "city"])
+
+
+class TestFactTuple:
+    def test_from_row(self):
+        fact = FactTuple.from_row(("IE", "Dublin", 5))
+        assert fact.keys == ("IE", "Dublin")
+        assert fact.measure == 5
+
+    def test_as_row_round_trips(self):
+        row = ("IE", "Dublin", 5)
+        assert FactTuple.from_row(row).as_row() == row
+
+    def test_too_short_row_rejected(self):
+        with pytest.raises(TupleShapeError):
+            FactTuple.from_row((5,))
+
+    def test_equality_and_hash(self):
+        a = FactTuple(("IE",), 1)
+        assert a == FactTuple(("IE",), 1)
+        assert a != FactTuple(("IE",), 2)
+        assert hash(a) == hash(FactTuple(("IE",), 1))
+
+
+class TestTupleSet:
+    def test_append_rows_and_facts(self, schema):
+        ts = TupleSet(schema)
+        ts.append(("IE", "Dublin", 5))
+        ts.append(FactTuple(("FR", "Paris"), 2))
+        assert len(ts) == 2
+
+    def test_wrong_arity_rejected(self, schema):
+        ts = TupleSet(schema)
+        with pytest.raises(TupleShapeError, match="expects 2 dimensions"):
+            ts.append(("IE", "Dublin", "extra", 5))
+
+    def test_rows_iteration(self, schema):
+        ts = TupleSet(schema, [("IE", "Dublin", 5)])
+        assert list(ts.rows()) == [("IE", "Dublin", 5)]
+
+    def test_sorted_orders_by_dimensions(self, schema):
+        ts = TupleSet(schema, [("IE", "Dublin", 1), ("FR", "Paris", 2), ("IE", "Cork", 3)])
+        ordered = ts.sorted()
+        assert [f.keys for f in ordered] == [
+            ("FR", "Paris"), ("IE", "Cork"), ("IE", "Dublin"),
+        ]
+
+    def test_sorted_leaves_original_untouched(self, schema):
+        ts = TupleSet(schema, [("IE", "Dublin", 1), ("FR", "Paris", 2)])
+        ts.sorted()
+        assert ts[0].keys == ("IE", "Dublin")
+
+    def test_is_sorted(self, schema):
+        assert TupleSet(schema, [("A", "a", 1), ("B", "b", 1)]).is_sorted()
+        assert not TupleSet(schema, [("B", "b", 1), ("A", "a", 1)]).is_sorted()
+
+    def test_mixed_type_keys_sort_deterministically(self):
+        schema = CubeSchema("c", ["k"])
+        ts = TupleSet(schema, [(3, 1), ("a", 1), (1, 1), ("b", 1)])
+        ordered = [f.keys[0] for f in ts.sorted()]
+        assert ordered == [1, 3, "a", "b"]  # ints (by type name) before strs
+
+    def test_getitem(self, schema):
+        ts = TupleSet(schema, [("IE", "Dublin", 5)])
+        assert ts[0].measure == 5
+
+    def test_empty_is_sorted(self, schema):
+        assert TupleSet(schema).is_sorted()

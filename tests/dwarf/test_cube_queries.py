@@ -1,0 +1,72 @@
+"""DwarfCube query surface: value(), members(), leaves(), coordinates."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.dwarf.cell import ALL
+
+
+class TestValue:
+    def test_keyword_form(self, sample_cube):
+        assert sample_cube.value(country="Ireland") == 10
+        assert sample_cube.value(country="Ireland", city="Dublin") == 8
+
+    def test_mapping_form(self, sample_cube):
+        assert sample_cube.value({"city": "Paris"}) == 7
+
+    def test_positional_form(self, sample_cube):
+        assert sample_cube.value(["Ireland", "Dublin", "Portobello"]) == 5
+
+    def test_missing_member_returns_none(self, sample_cube):
+        assert sample_cube.value(country="Spain") is None
+        assert sample_cube.value(["Ireland", "Dublin", "Nowhere"]) is None
+
+    def test_wrong_arity_raises(self, sample_cube):
+        with pytest.raises(QueryError, match="expected 3 coordinates"):
+            sample_cube.value(["Ireland"])
+
+    def test_both_forms_raises(self, sample_cube):
+        with pytest.raises(QueryError):
+            sample_cube.value(["Ireland", ALL, ALL], country="Ireland")
+
+    def test_unknown_dimension_raises(self, sample_cube):
+        from repro.core.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            sample_cube.value(planet="Earth")
+
+    def test_no_constraints_is_total(self, sample_cube):
+        assert sample_cube.value() == sample_cube.total() == 17
+
+
+class TestMembers:
+    def test_members_of_each_level(self, sample_cube):
+        assert sample_cube.members("country") == ("France", "Ireland")
+        assert set(sample_cube.members("city")) == {"Cork", "Dublin", "Paris"}
+        assert len(sample_cube.members("station")) == 4
+
+    def test_members_sorted(self, sample_cube):
+        cities = sample_cube.members("city")
+        assert list(cities) == sorted(cities)
+
+
+class TestLeaves:
+    def test_leaves_match_source_rows(self, sample_cube):
+        from tests.conftest import SAMPLE_ROWS
+
+        expected = sorted((tuple(r[:-1]), r[-1]) for r in SAMPLE_ROWS)
+        assert sorted(sample_cube.leaves()) == expected
+
+    def test_leaves_aggregate_duplicates(self, sample_schema):
+        from repro.dwarf.builder import build_cube
+
+        cube = build_cube([("A", "B", "C", 1), ("A", "B", "C", 2)], sample_schema)
+        assert list(cube.leaves()) == [(("A", "B", "C"), 3)]
+
+
+class TestStatsCaching:
+    def test_stats_cached(self, sample_cube):
+        assert sample_cube.stats is sample_cube.stats
+
+    def test_repr(self, sample_cube):
+        assert "bikes" in repr(sample_cube)

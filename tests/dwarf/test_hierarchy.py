@@ -1,0 +1,109 @@
+"""Hierarchical DWARF extension: rollup and drilldown (paper §6, [11])."""
+
+import pytest
+
+from repro.core.errors import QueryError, SchemaError
+from repro.core.schema import CubeSchema
+from repro.dwarf.builder import build_cube
+from repro.dwarf.hierarchy import DimensionHierarchy, drilldown, rollup
+
+
+@pytest.fixture
+def station_hierarchy():
+    return DimensionHierarchy(
+        "station",
+        [
+            ("district", {
+                "Fenian St": "D2", "Portobello": "D8",
+                "Patrick St": "Cork-C", "Rue Cler": "7e",
+            }),
+            ("city", {"D2": "Dublin", "D8": "Dublin", "Cork-C": "Cork", "7e": "Paris"}),
+        ],
+    )
+
+
+@pytest.fixture
+def station_cube():
+    schema = CubeSchema("bikes", ["day", "station"])
+    rows = [
+        ("mon", "Fenian St", 3),
+        ("mon", "Portobello", 5),
+        ("mon", "Patrick St", 2),
+        ("tue", "Fenian St", 7),
+        ("tue", "Rue Cler", 1),
+    ]
+    return build_cube(rows, schema)
+
+
+class TestDimensionHierarchy:
+    def test_levels(self, station_hierarchy):
+        assert station_hierarchy.levels == ("station", "district", "city")
+
+    def test_ancestor(self, station_hierarchy):
+        assert station_hierarchy.ancestor("Fenian St", "district") == "D2"
+        assert station_hierarchy.ancestor("Fenian St", "city") == "Dublin"
+        assert station_hierarchy.ancestor("Fenian St", "station") == "Fenian St"
+
+    def test_unknown_level(self, station_hierarchy):
+        with pytest.raises(QueryError, match="unknown hierarchy level"):
+            station_hierarchy.ancestor("Fenian St", "continent")
+
+    def test_unmapped_member(self, station_hierarchy):
+        with pytest.raises(QueryError, match="no parent"):
+            station_hierarchy.ancestor("Nowhere", "city")
+
+    def test_children(self, station_hierarchy):
+        assert set(station_hierarchy.children("Dublin", "city")) == {
+            "Fenian St", "Portobello",
+        }
+        assert station_hierarchy.children("D2", "district") == ("Fenian St",)
+
+    def test_parent_level(self, station_hierarchy):
+        assert station_hierarchy.parent_level("station") == "district"
+        assert station_hierarchy.parent_level("city") is None
+
+    def test_needs_at_least_one_parent_level(self):
+        with pytest.raises(SchemaError):
+            DimensionHierarchy("x", [])
+
+    def test_duplicate_level_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionHierarchy("x", [("x", {})])
+
+
+class TestRollup:
+    def test_rollup_to_district(self, station_cube, station_hierarchy):
+        rolled = rollup(station_cube, "station", station_hierarchy, "district")
+        assert rolled.value(["mon", "D2"]) == 3
+        assert rolled.value(["tue", "D2"]) == 7
+        assert rolled.total() == station_cube.total()
+
+    def test_rollup_to_city_groups(self, station_cube, station_hierarchy):
+        rolled = rollup(station_cube, "station", station_hierarchy, "city")
+        assert rolled.value(["mon", "Dublin"]) == 8
+        assert rolled.value(["tue", "Paris"]) == 1
+        assert rolled.schema.dimension_names == ("day", "city")
+
+    def test_rollup_preserves_other_dimensions(self, station_cube, station_hierarchy):
+        rolled = rollup(station_cube, "station", station_hierarchy, "city")
+        assert set(rolled.members("day")) == {"mon", "tue"}
+
+    def test_rollup_wrong_dimension(self, station_cube, station_hierarchy):
+        with pytest.raises(QueryError):
+            rollup(station_cube, "day", station_hierarchy, "city")
+
+
+class TestDrilldown:
+    def test_drilldown_selects_group_members(self, station_cube, station_hierarchy):
+        sub = drilldown(station_cube, "station", station_hierarchy, "city", "Dublin")
+        assert sorted(sub.members("station")) == ["Fenian St", "Portobello"]
+        assert sub.total() == 15
+
+    def test_drilldown_unknown_group(self, station_cube, station_hierarchy):
+        with pytest.raises(QueryError):
+            drilldown(station_cube, "station", station_hierarchy, "city", "Atlantis")
+
+    def test_rollup_then_drilldown_consistent(self, station_cube, station_hierarchy):
+        rolled = rollup(station_cube, "station", station_hierarchy, "city")
+        sub = drilldown(station_cube, "station", station_hierarchy, "city", "Dublin")
+        assert rolled.value(city="Dublin") == sub.total()

@@ -1,0 +1,62 @@
+"""The paper's illustrative figures, asserted structurally.
+
+Fig. 1 shows a tuple list ``(dimension_1, ..., dimension_n, measure)``;
+Fig. 2 the resulting DWARF with a root node whose top cells include
+``Ireland`` and ``France`` and a leaf cell ``"Fenian St"`` with measure 3
+(also the cell used in Fig. 3's transformation example).
+"""
+
+from repro.dwarf.cell import ALL
+from repro.dwarf.builder import build_cube
+from repro.dwarf.traversal import iter_nodes
+
+from tests.conftest import SAMPLE_ROWS
+
+
+def test_fig1_input_format(sample_schema):
+    """Input is a flat tuple list, last element the measure."""
+    cube = build_cube(SAMPLE_ROWS, sample_schema)
+    assert cube.n_source_tuples == len(SAMPLE_ROWS)
+
+
+class TestFig2Structure:
+    def test_root_node_contains_top_cells(self, sample_cube):
+        """'At the top level of the tree ... there is a root node'."""
+        assert sample_cube.root.level == 0
+        assert "Ireland" in sample_cube.root
+        assert "France" in sample_cube.root
+
+    def test_cells_point_to_child_nodes(self, sample_cube):
+        """'It has a reference key and points to a DWARF node which
+        contains all of its child cells.'"""
+        ireland = sample_cube.root.cell("Ireland")
+        assert not ireland.is_leaf
+        assert set(ireland.node.keys()) == {"Cork", "Dublin"}
+
+    def test_leaf_cell_holds_the_measure(self, sample_cube):
+        """'The value of a leaf cell is derived from the measure item' —
+        Fenian St carries measure 3 (Fig. 3)."""
+        dublin = sample_cube.root.cell("Ireland").node.cell("Dublin")
+        fenian = dublin.node.cell("Fenian St")
+        assert fenian.is_leaf
+        assert fenian.value == 3
+
+    def test_cell_value_is_childs_aggregate(self, sample_cube):
+        """'The value of a DWARF cell is synonymous with its child's
+        aggregate cell': following Ireland's ALL path gives Ireland's sum."""
+        ireland = sample_cube.root.cell("Ireland")
+        aggregate = sample_cube.value(["Ireland", ALL, ALL])
+        assert aggregate == 2 + 3 + 5
+
+    def test_multiple_inheritance_exists(self, sample_cube):
+        """'Nodes can have multiple parent cells' (§4)."""
+        parents = {}
+        for node in iter_nodes(sample_cube.root):
+            for cell in node.all_cells():
+                if cell.node is not None:
+                    parents.setdefault(id(cell.node), 0)
+                    parents[id(cell.node)] += 1
+        assert any(count > 1 for count in parents.values())
+
+    def test_tree_depth_equals_dimensions(self, sample_cube):
+        assert sample_cube.stats.max_depth == sample_cube.schema.n_dimensions - 1

@@ -1,0 +1,99 @@
+"""Declarative select(): Member/In/Range/Each/All constraints."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.schema import CubeSchema
+from repro.dwarf.builder import build_cube
+from repro.dwarf.query import All, Each, In, Member, Range, select, slice_cube
+
+
+@pytest.fixture
+def hour_cube():
+    schema = CubeSchema("hours", ["day", "hour", "station"])
+    rows = [
+        ("mon", 8, "a", 1),
+        ("mon", 9, "a", 2),
+        ("mon", 9, "b", 4),
+        ("tue", 8, "a", 8),
+        ("tue", 17, "b", 16),
+    ]
+    return build_cube(rows, schema)
+
+
+class TestMember:
+    def test_slice_one_member(self, hour_cube):
+        results = dict(select(hour_cube, day=Member("mon")))
+        assert results == {("mon",): 7}
+
+    def test_absent_member_yields_nothing(self, hour_cube):
+        assert list(select(hour_cube, day=Member("sun"))) == []
+
+
+class TestEach:
+    def test_group_by_one_dimension(self, hour_cube):
+        results = dict(select(hour_cube, day=Each()))
+        assert results == {("mon",): 7, ("tue",): 24}
+
+    def test_group_by_two_dimensions(self, hour_cube):
+        results = dict(select(hour_cube, day=Each(), hour=Each()))
+        assert results[("mon", 9)] == 6
+        assert results[("tue", 17)] == 16
+        assert len(results) == 4
+
+    def test_coordinates_in_schema_order(self, hour_cube):
+        # station before day in the spec, but coordinates come in schema order
+        results = list(select(hour_cube, station=Each(), day=Member("mon")))
+        for coords, _ in results:
+            assert coords[0] == "mon"
+
+
+class TestIn:
+    def test_dice(self, hour_cube):
+        results = dict(select(hour_cube, hour=In([8, 17]), day=Each()))
+        assert results == {("mon", 8): 1, ("tue", 8): 8, ("tue", 17): 16}
+
+
+class TestRange:
+    def test_inclusive_range(self, hour_cube):
+        results = dict(select(hour_cube, hour=Range(8, 9), day=Each()))
+        assert results == {("mon", 8): 1, ("mon", 9): 6, ("tue", 8): 8}
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError, match="empty range"):
+            Range(9, 8)
+
+    def test_range_skips_incomparable_members(self):
+        schema = CubeSchema("m", ["k"])
+        cube = build_cube([(1, 1), ("x", 2), (5, 4)], schema)
+        results = dict(select(cube, k=Range(0, 9)))
+        assert results == {(1,): 1, (5,): 4}
+
+
+class TestAll:
+    def test_all_is_default(self, hour_cube):
+        assert list(select(hour_cube)) == [((), 31)]
+
+    def test_explicit_all_aggregates_away(self, hour_cube):
+        results = dict(select(hour_cube, day=Each(), hour=All()))
+        assert results == {("mon",): 7, ("tue",): 24}
+
+
+class TestSliceCube:
+    def test_slice_fixes_and_groups(self, hour_cube):
+        results = dict(slice_cube(hour_cube, day="mon"))
+        assert results == {("mon", 8, "a"): 1, ("mon", 9, "a"): 2, ("mon", 9, "b"): 4}
+
+
+class TestValidation:
+    def test_non_constraint_rejected(self, hour_cube):
+        with pytest.raises(QueryError, match="must be a Constraint"):
+            list(select(hour_cube, day="mon"))
+
+    def test_mapping_and_kwargs_conflict(self, hour_cube):
+        with pytest.raises(QueryError):
+            list(select(hour_cube, {"day": Each()}, hour=Each()))
+
+    def test_results_against_value_oracle(self, hour_cube):
+        for coords, value in select(hour_cube, day=Each(), hour=Each(), station=Each()):
+            assert hour_cube.value(list(coords)) == value

@@ -1,0 +1,55 @@
+"""Sub-cube extraction: the is_cube query of paper §3."""
+
+import pytest
+
+from repro.dwarf.builder import build_cube
+from repro.dwarf.query import In, Member, Range
+from repro.dwarf.subcube import extract_subcube
+
+from tests.conftest import SAMPLE_ROWS
+
+
+class TestExtract:
+    def test_member_filter(self, sample_cube):
+        sub = extract_subcube(sample_cube, country=Member("Ireland"))
+        assert sub.total() == 10
+        assert sub.n_source_tuples == 3
+        assert sub.members("country") == ("Ireland",)
+
+    def test_subcube_is_fully_queryable(self, sample_cube):
+        from repro.dwarf.cell import ALL
+
+        sub = extract_subcube(sample_cube, country=Member("Ireland"))
+        assert sub.value(["Ireland", "Dublin", ALL]) == 8
+        assert sub.value(city="Cork") == 2
+
+    def test_in_filter(self, sample_cube):
+        sub = extract_subcube(sample_cube, city=In(["Dublin", "Paris"]))
+        assert sub.total() == 15
+
+    def test_range_filter(self):
+        from repro.core.schema import CubeSchema
+
+        schema = CubeSchema("h", ["hour", "station"])
+        cube = build_cube([(8, "a", 1), (9, "a", 2), (17, "b", 4)], schema)
+        sub = extract_subcube(cube, hour=Range(8, 9))
+        assert sub.total() == 3
+
+    def test_unconstrained_extraction_copies(self, sample_cube):
+        sub = extract_subcube(sample_cube)
+        assert sorted(sub.leaves()) == sorted(sample_cube.leaves())
+
+    def test_renamed_subcube(self, sample_cube):
+        sub = extract_subcube(sample_cube, {"country": Member("France")}, name="france")
+        assert sub.schema.name == "france"
+        assert sub.schema.dimension_names == sample_cube.schema.dimension_names
+
+    def test_source_cube_untouched(self, sample_cube):
+        before = sorted(sample_cube.leaves())
+        extract_subcube(sample_cube, country=Member("Ireland"))
+        assert sorted(sample_cube.leaves()) == before
+
+    def test_empty_result_is_empty_cube(self, sample_cube):
+        sub = extract_subcube(sample_cube, country=Member("Spain"))
+        assert sub.total() is None
+        assert sub.n_source_tuples == 0

@@ -1,0 +1,57 @@
+"""BFS traversal: uniqueness, ordering and the lookup-table guard."""
+
+from repro.dwarf.builder import build_cube
+from repro.dwarf.traversal import breadth_first, iter_cells, iter_nodes
+
+
+class TestUniqueness:
+    def test_each_node_visited_once(self, sample_cube):
+        nodes = list(iter_nodes(sample_cube.root))
+        assert len(nodes) == len({id(n) for n in nodes})
+
+    def test_each_cell_visited_once(self, sample_cube):
+        cells = [v.cell for v in iter_cells(sample_cube.root)]
+        assert len(cells) == len({id(c) for c in cells})
+
+    def test_counts_match_stats(self, sample_cube):
+        stats = sample_cube.stats
+        assert len(list(iter_nodes(sample_cube.root))) == stats.node_count
+        assert len(list(iter_cells(sample_cube.root))) == stats.cell_count
+
+
+class TestOrdering:
+    def test_bfs_levels_non_decreasing(self, sample_cube):
+        levels = [n.level for n in iter_nodes(sample_cube.root)]
+        assert levels == sorted(levels)
+
+    def test_root_first(self, sample_cube):
+        first = next(breadth_first(sample_cube.root))
+        assert first.node is sample_cube.root
+        assert first.cell is None
+
+    def test_node_event_precedes_its_cells(self, sample_cube):
+        seen_nodes = set()
+        for visit in breadth_first(sample_cube.root):
+            if visit.cell is None:
+                seen_nodes.add(id(visit.node))
+            else:
+                assert id(visit.node) in seen_nodes
+
+    def test_cells_within_node_in_key_order_then_all(self, sample_cube):
+        by_node = {}
+        for visit in iter_cells(sample_cube.root):
+            by_node.setdefault(id(visit.node), []).append(visit.cell)
+        for cells in by_node.values():
+            assert cells[-1].is_all
+            keys = [c.key for c in cells[:-1]]
+            assert keys == sorted(keys, key=repr)
+
+
+class TestSharedNodes:
+    def test_shared_node_emitted_once(self, sample_schema):
+        # single-country cube: root ALL shares the country sub-dwarf
+        cube = build_cube([("IE", "D", "S", 1), ("IE", "C", "T", 2)], sample_schema)
+        nodes = list(iter_nodes(cube.root))
+        assert len(nodes) == len({id(n) for n in nodes})
+        # root has 1 member cell + ALL sharing the same child node
+        assert cube.root.all_cell.node is cube.root.cell("IE").node

@@ -1,0 +1,80 @@
+"""XML cube interchange (XCube-style, §6 related work)."""
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.core.schema import CubeSchema
+from repro.dwarf.builder import build_cube
+from repro.dwarf.xml_io import export_cube_xml, import_cube_xml
+
+
+class TestRoundTrip:
+    def test_sample_cube(self, sample_cube):
+        document = export_cube_xml(sample_cube)
+        rebuilt = import_cube_xml(document)
+        assert sorted(rebuilt.leaves()) == sorted(sample_cube.leaves())
+        assert rebuilt.total() == sample_cube.total()
+        assert rebuilt.schema.dimension_names == sample_cube.schema.dimension_names
+        assert rebuilt.schema.dimensions[2].dimension_table == "Station"
+
+    def test_aggregates_preserved(self, sample_cube):
+        from repro.dwarf.cell import ALL
+
+        rebuilt = import_cube_xml(export_cube_xml(sample_cube))
+        assert rebuilt.value(["Ireland", ALL, ALL]) == 10
+
+    def test_mixed_member_types(self):
+        schema = CubeSchema("m", ["day", "hour", "flag"])
+        cube = build_cube(
+            [("2015-06-01", 8, True, 3), ("2015-06-01", 9, False, -2), ("d", 8, True, 7)],
+            schema,
+        )
+        rebuilt = import_cube_xml(export_cube_xml(cube))
+        assert sorted(rebuilt.leaves()) == sorted(cube.leaves())
+        # types survive: int hour, bool flag
+        assert 8 in rebuilt.members("hour")
+        assert True in rebuilt.members("flag")
+
+    def test_special_characters_escaped(self):
+        schema = CubeSchema("s", ["name"])
+        cube = build_cube([("<O'Connell & Sons> \"Ltd\"", 1)], schema)
+        rebuilt = import_cube_xml(export_cube_xml(cube))
+        assert rebuilt.members("name") == ("<O'Connell & Sons> \"Ltd\"",)
+
+    def test_float_measures(self):
+        schema = CubeSchema("f", ["k"], aggregator="avg")
+        cube = build_cube([("a", 1.25), ("a", 2.75)], schema)
+        rebuilt = import_cube_xml(export_cube_xml(cube))
+        assert rebuilt.value(k="a") == pytest.approx(cube.value(k="a"))
+        assert rebuilt.schema.aggregator.name == "avg"
+
+    def test_bike_feed_cube(self, bike_bundle):
+        _, _, cube = bike_bundle
+        rebuilt = import_cube_xml(export_cube_xml(cube))
+        assert rebuilt.total() == cube.total()
+        assert rebuilt.stats.cell_count == cube.stats.cell_count
+
+
+class TestValidation:
+    def test_malformed_xml(self):
+        with pytest.raises(PipelineError, match="malformed"):
+            import_cube_xml("<cube")
+
+    def test_wrong_root(self):
+        with pytest.raises(PipelineError, match="not a cube"):
+            import_cube_xml("<stations/>")
+
+    def test_wrong_version(self):
+        with pytest.raises(PipelineError, match="version"):
+            import_cube_xml('<cube name="x" version="9.9" measure="m" aggregator="sum"/>')
+
+    def test_fact_arity_checked(self, sample_cube):
+        document = export_cube_xml(sample_cube).replace(
+            '<d t="str">Paris</d>', "", 1
+        )
+        with pytest.raises(PipelineError, match="does not match"):
+            import_cube_xml(document)
+
+    def test_missing_sections(self):
+        with pytest.raises(PipelineError, match="misses"):
+            import_cube_xml('<cube name="x" version="1.0" measure="m" aggregator="sum"/>')

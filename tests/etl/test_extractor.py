@@ -1,0 +1,82 @@
+"""FactMapping: record → fact tuple extraction."""
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.core.schema import CubeSchema
+from repro.etl.extractor import FactMapping
+
+
+@pytest.fixture
+def schema():
+    return CubeSchema("c", ["station", "hour"], measure="bikes")
+
+
+def make_mapping(schema, **kwargs):
+    return FactMapping(
+        schema,
+        dimension_fields={
+            "station": "name",
+            "hour": lambda r: int(str(r["ts"])[11:13]),
+        },
+        measure_field="available",
+        **kwargs,
+    )
+
+
+GOOD = {"name": "Fenian St", "ts": "2015-06-01T08:30:00", "available": "3"}
+
+
+class TestExtraction:
+    def test_field_and_callable_specs(self, schema):
+        fact = make_mapping(schema).extract_one(GOOD)
+        assert fact.keys == ("Fenian St", 8)
+        assert fact.measure == 3
+
+    def test_measure_cast(self, schema):
+        mapping = make_mapping(schema)
+        mapping.measure_cast = float
+        assert mapping.extract_one(GOOD).measure == 3.0
+
+    def test_extract_many(self, schema):
+        facts = make_mapping(schema).extract([GOOD, dict(GOOD, name="Other")])
+        assert len(facts) == 2
+        assert facts.schema is schema
+
+
+class TestValidation:
+    def test_missing_dimension_mapping_rejected(self, schema):
+        with pytest.raises(PipelineError, match="no field mapping"):
+            FactMapping(schema, {"station": "name"}, "available")
+
+    def test_unknown_dimension_mapping_rejected(self, schema):
+        with pytest.raises(PipelineError, match="unknown dimensions"):
+            FactMapping(
+                schema,
+                {"station": "name", "hour": "h", "bogus": "x"},
+                "available",
+            )
+
+    def test_bad_on_missing_rejected(self, schema):
+        with pytest.raises(PipelineError):
+            make_mapping(schema, on_missing="ignore")
+
+
+class TestMissingFields:
+    def test_error_mode_raises(self, schema):
+        with pytest.raises(PipelineError, match="cannot extract"):
+            make_mapping(schema).extract_one({"ts": GOOD["ts"], "available": 1})
+
+    def test_skip_mode_drops_and_counts(self, schema):
+        mapping = make_mapping(schema, on_missing="skip")
+        facts = mapping.extract([GOOD, {"available": 1}, {"name": "x", "ts": "bad", "available": 1}])
+        assert len(facts) == 1
+        assert mapping.n_skipped == 2
+
+    def test_null_field_treated_as_missing(self, schema):
+        mapping = make_mapping(schema, on_missing="skip")
+        assert mapping.extract_one(dict(GOOD, name=None)) is None
+
+    def test_uncastable_measure(self, schema):
+        mapping = make_mapping(schema, on_missing="skip")
+        assert mapping.extract_one(dict(GOOD, available="many")) is None

@@ -1,0 +1,113 @@
+"""Schema inference from raw records."""
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.dwarf.builder import build_cube
+from repro.etl.inference import infer_mapping, profile_records
+
+
+RECORDS = [
+    {"station": f"s{i % 5}", "district": f"d{i % 2}", "bikes": i % 7, "status": "OPEN"}
+    for i in range(40)
+]
+
+
+class TestProfiling:
+    def test_presence_and_cardinality(self):
+        profiles, count = profile_records(RECORDS)
+        assert count == 40
+        by_name = {p.name: p for p in profiles}
+        assert by_name["station"].cardinality == 5
+        assert by_name["district"].cardinality == 2
+        assert by_name["bikes"].numeric
+        assert not by_name["status"].numeric
+
+    def test_none_values_ignored(self):
+        profiles, _ = profile_records([{"a": None, "b": 1}])
+        assert [p.name for p in profiles] == ["b"]
+
+    def test_numeric_strings_detected(self):
+        profiles, _ = profile_records([{"n": "42"}, {"n": "7.5"}])
+        assert profiles[0].numeric
+
+
+class TestInference:
+    def test_measure_and_dimensions_chosen(self):
+        mapping = infer_mapping(RECORDS, name="bikes")
+        assert mapping.schema.measure == "bikes"
+        assert set(mapping.schema.dimension_names) == {"station", "district", "status"}
+
+    def test_dimensions_ordered_by_cardinality(self):
+        mapping = infer_mapping(RECORDS)
+        assert mapping.schema.dimension_names[0] == "station"  # 5 > 2 > 1
+
+    def test_explicit_measure(self):
+        records = [{"a": i, "b": i * 2, "k": "x"} for i in range(10)]
+        mapping = infer_mapping(records, measure="a")
+        assert mapping.schema.measure == "a"
+        # b becomes a dimension even though numeric
+        assert "b" in mapping.schema.dimension_names
+
+    def test_explicit_measure_missing(self):
+        with pytest.raises(PipelineError, match="not found"):
+            infer_mapping(RECORDS, measure="nope")
+
+    def test_non_numeric_measure_rejected(self):
+        with pytest.raises(PipelineError, match="not numeric"):
+            infer_mapping(RECORDS, measure="status")
+
+    def test_cardinality_cap(self):
+        records = [{"id": i, "group": f"g{i % 3}", "v": i} for i in range(50)]
+        mapping = infer_mapping(records, max_dimension_cardinality=10)
+        assert "id" not in mapping.schema.dimension_names
+        assert "group" in mapping.schema.dimension_names
+
+    def test_max_dimensions(self):
+        records = [
+            {f"d{j}": f"v{i % (j + 2)}" for j in range(12)} | {"m": i}
+            for i in range(30)
+        ]
+        mapping = infer_mapping(records, max_dimensions=4)
+        assert len(mapping.schema.dimension_names) == 4
+
+    def test_sparse_fields_dropped(self):
+        records = [{"a": "x", "m": 1}] * 20 + [{"a": "x", "m": 1, "rare": "y"}]
+        mapping = infer_mapping(records)
+        assert "rare" not in mapping.schema.dimension_names
+
+    def test_no_records(self):
+        with pytest.raises(PipelineError):
+            infer_mapping([])
+
+    def test_no_numeric_field(self):
+        with pytest.raises(PipelineError, match="numeric"):
+            infer_mapping([{"a": "x"}] * 5)
+
+    def test_float_measure_cast(self):
+        records = [{"k": "a", "v": "1.5"}, {"k": "b", "v": "2.5"}]
+        mapping = infer_mapping(records)
+        facts = mapping.extract(records)
+        assert facts[0].measure == 1.5
+
+
+class TestEndToEnd:
+    def test_inferred_cube_from_real_feed(self):
+        """Infer a cube for the air-quality JSON feed with zero wiring."""
+        from repro.etl.json_source import parse_json_records
+        from repro.smartcity.airquality import AirQualityFeedGenerator
+
+        documents = AirQualityFeedGenerator(n_sensors=3).generate_documents(
+            days=1, snapshots_per_day=3
+        )
+        records = [
+            record
+            for document in documents
+            for record in parse_json_records(document, "readings")
+        ]
+        mapping = infer_mapping(records, name="air", max_dimension_cardinality=50)
+        facts = mapping.extract(records)
+        assert len(facts) == len(records)
+        cube = build_cube(facts)
+        assert cube.total() == pytest.approx(sum(f.measure for f in facts))
+        assert "pollutant" in cube.schema.dimension_names

@@ -1,0 +1,68 @@
+"""JSON record extraction."""
+
+import json
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.etl.documents import SourceDocument
+from repro.etl.json_source import parse_json_records
+
+FEED = {
+    "timestamp": "2015-06-01T08:00:00",
+    "data": {
+        "stations": [
+            {"name": "Fenian St", "available_bikes": 3, "geo": {"lat": 53.3, "lon": -6.2}},
+            {"name": "Portobello", "available_bikes": 5},
+        ]
+    },
+}
+
+
+def doc(payload=None):
+    return SourceDocument(json.dumps(payload or FEED), "json", source="test")
+
+
+class TestParse:
+    def test_dotted_path(self):
+        records = list(parse_json_records(doc(), "data.stations"))
+        assert [r["name"] for r in records] == ["Fenian St", "Portobello"]
+
+    def test_context_fields(self):
+        records = list(parse_json_records(doc(), "data.stations", context_fields=("timestamp",)))
+        assert records[0]["timestamp"] == "2015-06-01T08:00:00"
+
+    def test_nested_objects_flattened_one_level(self):
+        records = list(parse_json_records(doc(), "data.stations"))
+        assert records[0]["geo.lat"] == 53.3
+
+    def test_top_level_array(self):
+        payload = [{"a": 1}, {"a": 2}]
+        records = list(parse_json_records(doc(payload), ""))
+        assert len(records) == 2
+
+    def test_values_keep_types(self):
+        records = list(parse_json_records(doc(), "data.stations"))
+        assert isinstance(records[0]["available_bikes"], int)
+
+
+class TestErrors:
+    def test_bad_path(self):
+        with pytest.raises(PipelineError, match="not found"):
+            list(parse_json_records(doc(), "data.nope"))
+
+    def test_path_to_non_array(self):
+        with pytest.raises(PipelineError, match="not an array"):
+            list(parse_json_records(doc(), "data"))
+
+    def test_malformed_json(self):
+        with pytest.raises(PipelineError, match="malformed JSON"):
+            list(parse_json_records(SourceDocument("{oops", "json"), ""))
+
+    def test_non_object_records(self):
+        with pytest.raises(PipelineError):
+            list(parse_json_records(doc([1, 2, 3]), ""))
+
+    def test_wrong_content_type(self):
+        with pytest.raises(PipelineError):
+            list(parse_json_records(SourceDocument("<x/>", "xml"), ""))

@@ -1,0 +1,42 @@
+"""EtlPipeline: documents through to tuple sets."""
+
+import json
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.core.schema import CubeSchema
+from repro.etl.documents import SourceDocument
+from repro.etl.extractor import FactMapping
+from repro.etl.pipeline import EtlPipeline
+
+
+@pytest.fixture
+def pipeline():
+    schema = CubeSchema("c", ["name"], measure="v")
+    mapping = FactMapping(schema, {"name": "name"}, "v", measure_cast=int)
+    return EtlPipeline(mapping, record_tag="r", records_path="rows")
+
+
+XML_DOC = SourceDocument("<f><r><name>a</name><v>1</v></r></f>", "xml")
+JSON_DOC = SourceDocument(json.dumps({"rows": [{"name": "b", "v": 2}]}), "json")
+
+
+class TestDispatch:
+    def test_xml_and_json_mixed(self, pipeline):
+        facts = pipeline.extract([XML_DOC, JSON_DOC])
+        assert sorted(f.as_row() for f in facts) == [("a", 1), ("b", 2)]
+
+    def test_counters(self, pipeline):
+        pipeline.extract([XML_DOC, JSON_DOC])
+        assert pipeline.n_documents == 2
+        assert pipeline.n_records == 2
+
+    def test_records_dispatch_xml(self, pipeline):
+        assert list(pipeline.records(XML_DOC)) == [{"name": "a", "v": "1"}]
+
+    def test_records_dispatch_json(self, pipeline):
+        assert list(pipeline.records(JSON_DOC)) == [{"name": "b", "v": 2}]
+
+    def test_empty_documents(self, pipeline):
+        assert len(pipeline.extract([])) == 0

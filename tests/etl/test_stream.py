@@ -1,0 +1,70 @@
+"""Stream windowing and document batches."""
+
+import pytest
+
+from repro.etl.documents import DocumentBatch, SourceDocument
+from repro.etl.stream import DocumentStream, window_by_count, window_by_period
+
+
+def docs(n):
+    return [SourceDocument(f"<d>{i}</d>", "xml", sequence=i) for i in range(n)]
+
+
+class TestDocumentBatch:
+    def test_size_accounting(self):
+        batch = DocumentBatch(docs(3))
+        assert batch.size_bytes == sum(d.size_bytes for d in batch)
+        assert batch.size_mb == batch.size_bytes / (1024 * 1024)
+
+    def test_append(self):
+        batch = DocumentBatch()
+        batch.append(docs(1)[0])
+        assert len(batch) == 1
+
+    def test_bad_content_type_rejected(self):
+        with pytest.raises(ValueError):
+            SourceDocument("x", "csv")
+
+
+class TestWindowByCount:
+    def test_even_split(self):
+        windows = list(window_by_count(docs(6), 2))
+        assert [len(w) for w in windows] == [2, 2, 2]
+
+    def test_remainder_window(self):
+        windows = list(window_by_count(docs(5), 2))
+        assert [len(w) for w in windows] == [2, 2, 1]
+
+    def test_preserves_order(self):
+        windows = list(window_by_count(docs(4), 3))
+        sequences = [d.sequence for w in windows for d in w]
+        assert sequences == [0, 1, 2, 3]
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(window_by_count(docs(1), 0))
+
+
+class TestWindowByPeriod:
+    def test_splits_on_period_change(self):
+        stream = docs(6)
+        windows = list(window_by_period(stream, lambda d: d.sequence // 2))
+        assert [len(w) for w in windows] == [2, 2, 2]
+
+    def test_uneven_periods(self):
+        stream = docs(5)
+        windows = list(window_by_period(stream, lambda d: 0 if d.sequence < 4 else 1))
+        assert [len(w) for w in windows] == [4, 1]
+
+    def test_empty_stream(self):
+        assert list(window_by_period([], lambda d: 0)) == []
+
+
+class TestDocumentStream:
+    def test_replayable(self):
+        stream = DocumentStream(docs(3))
+        assert len(list(stream)) == 3
+        assert len(list(stream)) == 3
+
+    def test_batch(self):
+        assert len(DocumentStream(docs(3)).batch()) == 3

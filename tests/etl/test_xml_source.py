@@ -1,0 +1,70 @@
+"""XML record extraction."""
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.etl.documents import SourceDocument
+from repro.etl.xml_source import count_xml_records, parse_xml_records
+
+FEED = """<?xml version="1.0"?>
+<stations timestamp="2015-06-01T08:00:00" city="Dublin">
+  <station id="1"><name>Fenian St</name><available_bikes>3</available_bikes></station>
+  <station id="2"><name>Portobello</name><available_bikes>5</available_bikes></station>
+</stations>
+"""
+
+
+def doc(content=FEED):
+    return SourceDocument(content, "xml", source="test")
+
+
+class TestParse:
+    def test_records_extracted(self):
+        records = list(parse_xml_records(doc(), "station"))
+        assert len(records) == 2
+        assert records[0]["name"] == "Fenian St"
+        assert records[1]["available_bikes"] == "5"
+
+    def test_attributes_become_fields(self):
+        records = list(parse_xml_records(doc(), "station"))
+        assert records[0]["id"] == "1"
+
+    def test_context_fields_from_root_attributes(self):
+        records = list(parse_xml_records(doc(), "station", context_fields=("timestamp",)))
+        assert all(r["timestamp"] == "2015-06-01T08:00:00" for r in records)
+
+    def test_context_fields_from_root_children(self):
+        xml = "<feed><meta>hello</meta><r><v>1</v></r></feed>"
+        records = list(parse_xml_records(doc(xml), "r", context_fields=("meta",)))
+        assert records[0]["meta"] == "hello"
+
+    def test_missing_context_field_skipped(self):
+        records = list(parse_xml_records(doc(), "station", context_fields=("nope",)))
+        assert "nope" not in records[0]
+
+    def test_no_matching_tag(self):
+        assert list(parse_xml_records(doc(), "bus")) == []
+
+    def test_nested_containers_not_flattened(self):
+        xml = "<f><r><a>1</a><sub><b>2</b></sub></r></f>"
+        record = next(parse_xml_records(doc(xml), "r"))
+        assert record["a"] == "1"
+        assert "sub" not in record  # non-leaf children skipped
+
+    def test_whitespace_stripped(self):
+        xml = "<f><r><a>  x </a></r></f>"
+        assert next(parse_xml_records(doc(xml), "r"))["a"] == "x"
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(PipelineError, match="malformed XML"):
+            list(parse_xml_records(doc("<oops"), "r"))
+
+    def test_wrong_content_type(self):
+        with pytest.raises(PipelineError):
+            list(parse_xml_records(SourceDocument("{}", "json"), "r"))
+
+
+def test_count_records():
+    assert count_xml_records(doc(), "station") == 2

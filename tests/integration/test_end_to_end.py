@@ -1,0 +1,74 @@
+"""End-to-end integration: feed → ETL → DWARF → all four stores → queries."""
+
+import pytest
+
+from repro.core.pipeline import CubeConstructionPipeline
+from repro.dwarf.cell import ALL
+from repro.dwarf.query import Each, Member, select
+from repro.mapping.registry import all_mappers
+from repro.smartcity.bikes import BikeFeedGenerator, bikes_pipeline
+
+
+@pytest.fixture(scope="module")
+def feed():
+    generator = BikeFeedGenerator(n_stations=18)
+    return generator.generate_documents(days=3, total_records=900)
+
+
+@pytest.fixture(scope="module")
+def reference_cube(feed):
+    return CubeConstructionPipeline(bikes_pipeline()).build(feed)
+
+
+class TestFourSchemasAgree:
+    def test_all_mappers_store_and_agree(self, feed, reference_cube):
+        """The same cube through all four schemas answers identically."""
+        totals = {}
+        for mapper in all_mappers():
+            pipeline = CubeConstructionPipeline(bikes_pipeline(), mapper)
+            report = pipeline.run(feed)
+            rebuilt = pipeline.reload(report.schema_id)
+            totals[mapper.name] = rebuilt.total()
+            assert sorted(rebuilt.leaves()) == sorted(reference_cube.leaves())
+        assert len(set(totals.values())) == 1
+
+    def test_sizes_ordered_like_table4(self, feed):
+        """MySQL-DWARF must be the largest store (Table 4's robust shape)."""
+        sizes = {}
+        for mapper in all_mappers():
+            pipeline = CubeConstructionPipeline(bikes_pipeline(), mapper)
+            pipeline.run(feed)
+            sizes[mapper.name] = mapper.size_bytes()
+        assert sizes["MySQL-DWARF"] == max(sizes.values())
+        assert sizes["NoSQL-Min"] > sizes["NoSQL-DWARF"]
+
+
+class TestAnalyticalQueries:
+    def test_daily_rhythm_query(self, reference_cube):
+        by_daypart = dict(select(reference_cube, daypart=Each()))
+        assert set(by_daypart) <= {
+            ("night",), ("morning-peak",), ("daytime",), ("evening-peak",), ("evening",),
+        }
+        assert sum(by_daypart.values()) == reference_cube.total()
+
+    def test_district_slice(self, reference_cube):
+        districts = reference_cube.members("district")
+        slices = [reference_cube.value(district=d) for d in districts]
+        assert sum(slices) == reference_cube.total()
+
+    def test_station_day_matrix(self, reference_cube):
+        results = list(select(reference_cube, day=Each(), station=Each()))
+        for coords, value in results[:50]:
+            assert reference_cube.value({"day": coords[0], "station": coords[1]}) == value
+
+    def test_weekday_functional_dependency_coalesces(self, reference_cube):
+        """day fixes weekday, so (day, weekday-ALL) equals (day, weekday)."""
+        day = reference_cube.members("day")[0]
+        weekday = next(
+            coords[1] for coords, _ in select(
+                reference_cube, day=Member(day), weekday=Each(),
+            )
+        )
+        assert reference_cube.value(day=day) == reference_cube.value(
+            {"day": day, "weekday": weekday}
+        )

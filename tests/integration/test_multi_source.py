@@ -1,0 +1,101 @@
+"""Multi-source smart-city scenario: several feeds, one warehouse.
+
+The paper's goal is "data cubes, fused from the multiple sources listed
+above" — this exercises several services' cubes living side by side in
+one NoSQL store, plus the hierarchy/subcube machinery over them.
+"""
+
+import pytest
+
+from repro.core.pipeline import CubeConstructionPipeline
+from repro.dwarf.hierarchy import DimensionHierarchy, rollup
+from repro.dwarf.query import Member
+from repro.dwarf.subcube import extract_subcube
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.nosqldb.engine import NoSQLEngine
+from repro.smartcity.auctions import AuctionFeedGenerator, auctions_pipeline
+from repro.smartcity.bikes import BikeFeedGenerator, bikes_pipeline
+from repro.smartcity.carpark import CarParkFeedGenerator, carpark_pipeline
+from repro.smartcity.city import CityModel
+from repro.smartcity.sales import SalesFeedGenerator, sales_pipeline
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    """One shared engine holding cubes from three different services."""
+    city = CityModel(seed=99)
+    engine = NoSQLEngine()
+    mapper = NoSQLDwarfMapper(engine)
+
+    stored = {}
+    sources = {
+        "bikes": (
+            BikeFeedGenerator(city, n_stations=10).generate_documents(2, 200),
+            bikes_pipeline(),
+        ),
+        "carparks": (
+            CarParkFeedGenerator(city, n_carparks=5).generate_documents(1, 6),
+            carpark_pipeline(),
+        ),
+        "sales": (
+            SalesFeedGenerator(city, n_stores=4).generate_documents(2),
+            sales_pipeline(),
+        ),
+    }
+    for name, (documents, etl) in sources.items():
+        pipeline = CubeConstructionPipeline(etl, mapper)
+        report = pipeline.run(documents)
+        stored[name] = (report, pipeline)
+    return engine, mapper, stored
+
+
+class TestCoexistence:
+    def test_three_schemas_registered(self, warehouse):
+        _, mapper, stored = warehouse
+        ids = [report.schema_id for report, _ in stored.values()]
+        assert ids == [1, 2, 3]
+        assert len(mapper.list_schemas()) == 3
+
+    def test_each_reloads_with_its_own_dimensions(self, warehouse):
+        _, mapper, stored = warehouse
+        bikes = mapper.load(stored["bikes"][0].schema_id)
+        sales = mapper.load(stored["sales"][0].schema_id)
+        assert "station" in bikes.schema.dimension_names
+        assert "product_line" in sales.schema.dimension_names
+        assert bikes.total() == stored["bikes"][1].last_cube.total()
+        assert sales.total() == stored["sales"][1].last_cube.total()
+
+    def test_ids_do_not_collide(self, warehouse):
+        engine, _, _ = warehouse
+        session = engine.connect("dwarf_warehouse")
+        count = session.execute("SELECT COUNT(*) FROM dwarf_cell").one()["count"]
+        ids = {row["id"] for row in session.execute("SELECT id FROM dwarf_cell")}
+        assert len(ids) == count
+
+
+class TestDerivedCubes:
+    def test_subcube_stored_with_is_cube_flag(self, warehouse):
+        _, mapper, stored = warehouse
+        bikes = stored["bikes"][1].last_cube
+        day = bikes.members("day")[0]
+        sub = extract_subcube(bikes, day=Member(day))
+        sub_id = mapper.store(sub, is_cube=True)
+        assert mapper.info(sub_id).is_cube
+        assert mapper.load(sub_id).total() == bikes.value(day=day)
+
+    def test_rollup_stations_to_district_matches_district_dim(self, warehouse):
+        _, _, stored = warehouse
+        bikes = stored["bikes"][1].last_cube
+        # Build station→district mapping from the generator's city model.
+        city = CityModel(seed=99)
+        stations = city.bike_stations(10)
+        hierarchy = DimensionHierarchy(
+            "station", [("district", {s.name: s.district for s in stations})]
+        )
+        rolled = rollup(bikes, "station", hierarchy, "district")
+        # "district" already exists in the bike schema, so the rolled-up
+        # dimension is qualified as "station_district" — and must agree
+        # with the native district dimension.
+        assert "station_district" in rolled.schema.dimension_names
+        for district in rolled.members("station_district"):
+            assert rolled.value(station_district=district) == bikes.value(district=district)

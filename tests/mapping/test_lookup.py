@@ -1,0 +1,63 @@
+"""The traversal lookup table (paper §4)."""
+
+from repro.mapping.lookup import LookupTable
+
+
+class Thing:
+    pass
+
+
+class TestLookupTable:
+    def test_sequential_ids(self):
+        table = LookupTable()
+        a, b = Thing(), Thing()
+        assert table.assign(a) == (1, True)
+        assert table.assign(b) == (2, True)
+
+    def test_revisit_returns_same_id(self):
+        table = LookupTable()
+        a = Thing()
+        first, fresh = table.assign(a)
+        second, again = table.assign(a)
+        assert first == second
+        assert fresh and not again
+
+    def test_custom_first_id(self):
+        table = LookupTable(first_id=100)
+        assert table.assign(Thing())[0] == 100
+
+    def test_id_of(self):
+        table = LookupTable()
+        a = Thing()
+        table.assign(a)
+        assert table.id_of(a) == 1
+
+    def test_seen(self):
+        table = LookupTable()
+        a = Thing()
+        assert not table.seen(a)
+        table.assign(a)
+        assert table.seen(a)
+
+    def test_equal_but_distinct_objects_get_distinct_ids(self):
+        # identity-based, not equality-based: two equal tuples are still
+        # two objects... but identical small ints/strs may be interned,
+        # so use fresh objects.
+        table = LookupTable()
+        a, b = [1, 2], [1, 2]
+        assert table.assign(a)[0] != table.assign(b)[0]
+
+    def test_items_lists_all(self):
+        table = LookupTable()
+        things = [Thing() for _ in range(5)]
+        for thing in things:
+            table.assign(thing)
+        assert len(table) == 5
+        assert {obj for obj, _ in table.items()} == set(things)
+
+    def test_holds_references_against_id_reuse(self):
+        table = LookupTable()
+        for _ in range(100):
+            table.assign(Thing())  # objects would be GC'd without the table
+        ids = [assigned for _, assigned in table.items()]
+        assert len(set(ids)) == 100

@@ -1,0 +1,79 @@
+"""Stored-cube query primitives: all four schemas answer without reload."""
+
+import pytest
+
+from repro.dwarf.builder import build_cube
+from repro.dwarf.cell import ALL
+from repro.mapping.base import MappingError
+from repro.mapping.mysql_dwarf import MySQLDwarfMapper
+from repro.mapping.mysql_min import MySQLMinMapper
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.mapping.nosql_min import NoSQLMinMapper
+from repro.mapping.stored_query import stored_point_query
+
+ALL_MAPPERS = [MySQLDwarfMapper, MySQLMinMapper, NoSQLDwarfMapper, NoSQLMinMapper]
+
+
+@pytest.fixture(params=ALL_MAPPERS, ids=lambda cls: cls.name)
+def stored(request, sample_cube):
+    mapper = request.param()
+    mapper.install()
+    schema_id = mapper.store(sample_cube)
+    return mapper, schema_id, sample_cube
+
+
+class TestStoredPointQuery:
+    def test_full_point(self, stored):
+        mapper, schema_id, cube = stored
+        value = stored_point_query(mapper, schema_id, ["Ireland", "Dublin", "Fenian St"])
+        assert value == 3
+
+    def test_partial_all(self, stored):
+        mapper, schema_id, cube = stored
+        assert stored_point_query(mapper, schema_id, ["Ireland", ALL, ALL]) == 10
+        assert stored_point_query(mapper, schema_id, [ALL, "Dublin", ALL]) == 8
+
+    def test_grand_total(self, stored):
+        mapper, schema_id, cube = stored
+        assert stored_point_query(mapper, schema_id, [ALL, ALL, ALL]) == cube.total()
+
+    def test_missing_member(self, stored):
+        mapper, schema_id, _ = stored
+        assert stored_point_query(mapper, schema_id, ["Spain", ALL, ALL]) is None
+        assert stored_point_query(mapper, schema_id, ["Ireland", "Dublin", "Nowhere"]) is None
+
+    def test_agrees_with_reloaded_cube_everywhere(self, stored):
+        mapper, schema_id, cube = stored
+        reloaded = mapper.load(schema_id)
+        members = [cube.members(d) + (ALL,) for d in cube.schema.dimension_names]
+        for country in members[0]:
+            for city in members[1][:3]:
+                coords = [country, city, ALL]
+                assert stored_point_query(mapper, schema_id, coords) == reloaded.value(coords)
+
+    def test_integer_members(self, stored):
+        mapper, _, _ = stored
+        from repro.core.schema import CubeSchema
+
+        schema = CubeSchema("ints", ["hour", "station"])
+        cube = build_cube([(8, "a", 1), (9, "a", 2), (9, "b", 4)], schema)
+        schema_id = mapper.store(cube)
+        assert stored_point_query(mapper, schema_id, [9, ALL]) == 6
+        assert stored_point_query(mapper, schema_id, [8, "a"]) == 1
+
+    def test_second_stored_cube_isolated(self, stored):
+        mapper, first_id, cube = stored
+        other = build_cube(
+            [("Ireland", "Dublin", "Fenian St", 100)], cube.schema
+        )
+        second_id = mapper.store(other)
+        assert stored_point_query(mapper, second_id, [ALL, ALL, ALL]) == 100
+        assert stored_point_query(mapper, first_id, [ALL, ALL, ALL]) == cube.total()
+
+
+def test_unknown_mapper_type_rejected(sample_cube):
+    class Fake:
+        pass
+
+    with pytest.raises(MappingError, match="strategy"):
+        stored_point_query(Fake(), 1, [ALL])

@@ -1,0 +1,74 @@
+"""Declarative select against the stored NoSQL-DWARF cube."""
+
+import pytest
+
+from repro.dwarf.builder import build_cube
+from repro.dwarf.query import Each, In, Member, Range, select
+from repro.mapping.base import MappingError
+from repro.mapping.mysql_min import MySQLMinMapper
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.mapping.stored_query import stored_select
+
+
+@pytest.fixture
+def stored(sample_cube):
+    mapper = NoSQLDwarfMapper()
+    mapper.install()
+    schema_id = mapper.store(sample_cube)
+    return mapper, schema_id, sample_cube
+
+
+class TestStoredSelect:
+    def test_group_by_matches_in_memory(self, stored):
+        mapper, schema_id, cube = stored
+        from_storage = dict(stored_select(mapper, schema_id, city=Each()))
+        in_memory = dict(select(cube, city=Each()))
+        assert from_storage == in_memory
+
+    def test_member_slice(self, stored):
+        mapper, schema_id, cube = stored
+        result = dict(stored_select(mapper, schema_id, country=Member("Ireland")))
+        assert result == {("Ireland",): 10}
+
+    def test_in_dice(self, stored):
+        mapper, schema_id, cube = stored
+        result = dict(
+            stored_select(mapper, schema_id, city=In(["Dublin", "Paris"]), country=Each())
+        )
+        assert result == dict(
+            select(cube, city=In(["Dublin", "Paris"]), country=Each())
+        )
+
+    def test_no_constraints_is_grand_total(self, stored):
+        mapper, schema_id, cube = stored
+        assert list(stored_select(mapper, schema_id)) == [((), cube.total())]
+
+    def test_full_leaf_enumeration(self, stored):
+        mapper, schema_id, cube = stored
+        spec = {name: Each() for name in cube.schema.dimension_names}
+        assert sorted(stored_select(mapper, schema_id, spec)) == sorted(cube.leaves())
+
+    def test_range_over_int_members(self):
+        from repro.core.schema import CubeSchema
+
+        schema = CubeSchema("h", ["hour", "station"])
+        cube = build_cube([(8, "a", 1), (9, "a", 2), (17, "b", 4)], schema)
+        mapper = NoSQLDwarfMapper()
+        mapper.install()
+        schema_id = mapper.store(cube)
+        result = dict(stored_select(mapper, schema_id, hour=Range(8, 9)))
+        assert result == {(8,): 1, (9,): 2}
+
+    def test_rejects_other_mappers(self, sample_cube):
+        mapper = MySQLMinMapper()
+        mapper.install()
+        mapper.store(sample_cube)
+        with pytest.raises(MappingError, match="NoSQL-DWARF"):
+            list(stored_select(mapper, 1))
+
+    def test_rejects_non_constraint(self, stored):
+        mapper, schema_id, _ = stored
+        from repro.core.errors import QueryError
+
+        with pytest.raises(QueryError):
+            list(stored_select(mapper, schema_id, city="Dublin"))

@@ -1,0 +1,118 @@
+"""Keyspace and engine management."""
+
+import pytest
+
+from repro.nosqldb.columnfamily import Column
+from repro.nosqldb.engine import NoSQLEngine
+from repro.nosqldb.errors import AlreadyExists, InvalidRequest
+from repro.nosqldb.types import parse_type
+
+
+def columns():
+    return [Column("id", parse_type("int")), Column("v", parse_type("text"))]
+
+
+class TestEngine:
+    def test_create_and_get(self):
+        engine = NoSQLEngine()
+        engine.create_keyspace("ks")
+        assert engine.has_keyspace("ks")
+        assert engine.keyspace("KS").name == "ks"  # case-insensitive
+
+    def test_duplicate_rejected(self):
+        engine = NoSQLEngine()
+        engine.create_keyspace("ks")
+        with pytest.raises(AlreadyExists):
+            engine.create_keyspace("ks")
+        engine.create_keyspace("ks", if_not_exists=True)  # no-op
+
+    def test_drop(self):
+        engine = NoSQLEngine()
+        engine.create_keyspace("ks")
+        engine.drop_keyspace("ks")
+        assert not engine.has_keyspace("ks")
+        with pytest.raises(InvalidRequest):
+            engine.drop_keyspace("ks")
+
+    def test_keyspaces_listing(self):
+        engine = NoSQLEngine()
+        engine.create_keyspace("a")
+        engine.create_keyspace("b")
+        assert {k.name for k in engine.keyspaces} == {"a", "b"}
+
+    def test_connect_binds_keyspace(self):
+        engine = NoSQLEngine()
+        engine.create_keyspace("ks")
+        session = engine.connect("ks")
+        assert session.keyspace == "ks"
+
+
+class TestKeyspace:
+    def test_create_table_and_lookup(self):
+        engine = NoSQLEngine()
+        ks = engine.create_keyspace("ks")
+        ks.create_table("t", columns(), "id")
+        assert ks.has_table("T")
+        assert ks.table("t").primary_key == "id"
+
+    def test_duplicate_table(self):
+        ks = NoSQLEngine().create_keyspace("ks")
+        ks.create_table("t", columns(), "id")
+        with pytest.raises(AlreadyExists):
+            ks.create_table("t", columns(), "id")
+        same = ks.create_table("t", columns(), "id", if_not_exists=True)
+        assert same is ks.table("t")
+
+    def test_drop_table(self):
+        ks = NoSQLEngine().create_keyspace("ks")
+        ks.create_table("t", columns(), "id")
+        ks.drop_table("t")
+        with pytest.raises(InvalidRequest):
+            ks.table("t")
+
+    def test_size_sums_tables(self):
+        ks = NoSQLEngine().create_keyspace("ks")
+        a = ks.create_table("a", columns(), "id")
+        b = ks.create_table("b", columns(), "id")
+        for i in range(50):
+            a.insert({"id": i, "v": "x" * 50})
+            b.insert({"id": i, "v": "y" * 50})
+        assert ks.size_bytes == a.size_bytes + b.size_bytes
+
+    def test_durable_writes_off_disables_commit_log(self):
+        ks = NoSQLEngine().create_keyspace("ks", durable_writes=False)
+        t = ks.create_table("t", columns(), "id")
+        t.insert({"id": 1, "v": "x"})
+        assert ks.commit_log_bytes == 0
+
+    def test_commit_log_shared_across_tables(self):
+        ks = NoSQLEngine().create_keyspace("ks")
+        a = ks.create_table("a", columns(), "id")
+        b = ks.create_table("b", columns(), "id")
+        a.insert({"id": 1, "v": "x"})
+        size_after_a = ks.commit_log_bytes
+        b.insert({"id": 1, "v": "x"})
+        assert ks.commit_log_bytes > size_after_a
+
+
+class TestSessionUse:
+    def test_create_keyspace_with_durable_writes_cql(self):
+        engine = NoSQLEngine()
+        session = engine.connect()
+        session.execute("CREATE KEYSPACE ks WITH DURABLE_WRITES = false")
+        assert engine.keyspace("ks").durable_writes is False
+
+    def test_qualified_table_without_use(self):
+        engine = NoSQLEngine()
+        session = engine.connect()
+        session.execute("CREATE KEYSPACE ks")
+        session.execute("CREATE TABLE ks.t (id int PRIMARY KEY, v text)")
+        session.execute("INSERT INTO ks.t (id, v) VALUES (1, 'x')")
+        assert session.execute("SELECT * FROM ks.t WHERE id = 1").one()["v"] == "x"
+
+    def test_table_uncompressed_option(self):
+        engine = NoSQLEngine()
+        session = engine.connect()
+        session.execute("CREATE KEYSPACE ks")
+        session.execute("CREATE TABLE ks.t (id int PRIMARY KEY, v text) WITH COMPRESSION = false")
+        assert engine.keyspace("ks").table("t").compression is False

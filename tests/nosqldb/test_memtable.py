@@ -1,0 +1,66 @@
+"""Memtable semantics: puts, overwrites, tombstones, accounting."""
+
+from repro.nosqldb.memtable import ENTRY_OVERHEAD, Memtable
+
+
+class TestPutGet:
+    def test_put_get(self):
+        m = Memtable()
+        m.put(1, b"row")
+        assert m.get(1) == b"row"
+        assert m.get(2) is None
+
+    def test_overwrite_replaces(self):
+        m = Memtable()
+        m.put(1, b"a")
+        m.put(1, b"bb")
+        assert m.get(1) == b"bb"
+        assert len(m) == 1
+
+    def test_contains(self):
+        m = Memtable()
+        m.put("k", b"v")
+        assert "k" in m and "x" not in m
+
+
+class TestAccounting:
+    def test_bytes_track_rows(self):
+        m = Memtable()
+        m.put(1, b"x" * 100)
+        assert m.approximate_bytes == 100 + ENTRY_OVERHEAD
+
+    def test_overwrite_adjusts_bytes(self):
+        m = Memtable()
+        m.put(1, b"x" * 100)
+        m.put(1, b"x" * 40)
+        assert m.approximate_bytes == 40 + ENTRY_OVERHEAD
+
+
+class TestTombstones:
+    def test_delete_marks_tombstone(self):
+        m = Memtable()
+        m.put(1, b"v")
+        m.delete(1)
+        assert m.get(1) is None
+        assert m.is_deleted(1)
+        assert 1 in m.tombstones
+
+    def test_delete_unknown_key_still_tombstones(self):
+        m = Memtable()
+        m.delete(9)
+        assert m.is_deleted(9)
+
+    def test_put_clears_tombstone(self):
+        m = Memtable()
+        m.delete(1)
+        m.put(1, b"v")
+        assert not m.is_deleted(1)
+        assert m.get(1) == b"v"
+
+
+class TestSortedItems:
+    def test_sorted_by_key(self):
+        m = Memtable()
+        for key in (5, 1, 3):
+            m.put(key, str(key).encode())
+        assert [k for k, _ in m.sorted_items()] == [1, 3, 5]

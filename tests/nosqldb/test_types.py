@@ -1,0 +1,122 @@
+"""CQL type system: validation, codecs and the type parser."""
+
+import pytest
+
+from repro.nosqldb.errors import InvalidRequest
+from repro.nosqldb.types import (
+    BooleanType,
+    DoubleType,
+    IntType,
+    SetType,
+    TextType,
+    parse_type,
+)
+
+
+class TestIntType:
+    def test_round_trip(self):
+        t = IntType()
+        assert t.decode(t.encode(-12345), 0)[0] == -12345
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidRequest):
+            IntType().validate(True)
+
+    def test_rejects_str(self):
+        with pytest.raises(InvalidRequest):
+            IntType().validate("5")
+
+    def test_validate_encode_fast_path(self):
+        t = IntType()
+        assert t.validate_encode(7) == t.encode(7)
+        with pytest.raises(InvalidRequest):
+            t.validate_encode("x")
+        with pytest.raises(InvalidRequest):
+            t.validate_encode(True)  # bool is not an int here
+
+
+class TestTextType:
+    def test_round_trip(self):
+        t = TextType()
+        assert t.decode(t.encode("Fenian St"), 0)[0] == "Fenian St"
+
+    def test_rejects_int(self):
+        with pytest.raises(InvalidRequest):
+            TextType().validate(5)
+
+
+class TestBooleanType:
+    def test_round_trip(self):
+        t = BooleanType()
+        assert t.decode(t.encode(True), 0)[0] is True
+        assert t.decode(t.encode(False), 0)[0] is False
+
+    def test_rejects_int(self):
+        with pytest.raises(InvalidRequest):
+            BooleanType().validate(1)
+
+    def test_validate_encode(self):
+        assert BooleanType().validate_encode(True) == b"\x01"
+        with pytest.raises(InvalidRequest):
+            BooleanType().validate_encode(1)
+
+
+class TestDoubleType:
+    def test_round_trip(self):
+        t = DoubleType()
+        assert t.decode(t.encode(2.5), 0)[0] == 2.5
+
+    def test_accepts_int(self):
+        t = DoubleType()
+        assert t.decode(t.encode(3), 0)[0] == 3.0
+
+
+class TestSetType:
+    def test_round_trip(self):
+        t = SetType(IntType())
+        value = {5, 1, 99}
+        assert t.decode(t.encode(value), 0)[0] == value
+
+    def test_empty_set(self):
+        t = SetType(IntType())
+        assert t.decode(t.encode(set()), 0)[0] == set()
+
+    def test_encoding_sorted_and_deterministic(self):
+        t = SetType(IntType())
+        assert t.encode({3, 1, 2}) == t.encode({2, 3, 1})
+
+    def test_validates_elements(self):
+        with pytest.raises(InvalidRequest):
+            SetType(IntType()).validate({1, "x"})
+
+    def test_rejects_list(self):
+        with pytest.raises(InvalidRequest):
+            SetType(IntType()).validate([1, 2])
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("int", IntType),
+            ("INT", IntType),
+            ("text", TextType),
+            ("boolean", BooleanType),
+            ("double", DoubleType),
+        ],
+    )
+    def test_scalars(self, spec, cls):
+        assert isinstance(parse_type(spec), cls)
+
+    def test_set_of_int(self):
+        t = parse_type("set<int>")
+        assert isinstance(t, SetType)
+        assert isinstance(t.element, IntType)
+
+    def test_nested_set_rejected(self):
+        with pytest.raises(InvalidRequest):
+            parse_type("set<set<int>>")
+
+    def test_unknown_type(self):
+        with pytest.raises(InvalidRequest, match="unknown CQL type"):
+            parse_type("map<int,int>")

@@ -1,0 +1,111 @@
+"""Bike-share feed generator: determinism, record counts, cube wiring."""
+
+import pytest
+
+from repro.dwarf.builder import build_cube
+from repro.smartcity.bikes import (
+    BikeFeedGenerator,
+    bikes_mapping,
+    bikes_pipeline,
+    bikes_schema,
+)
+from repro.smartcity.city import CityModel
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return BikeFeedGenerator(n_stations=20)
+
+
+class TestGeneration:
+    def test_exact_record_count(self, generator):
+        docs = generator.generate_documents(days=1, total_records=137)
+        facts = bikes_pipeline().extract(docs)
+        assert len(facts) == 137
+
+    def test_partial_final_snapshot(self, generator):
+        # 137 = 6 full snapshots of 20 + one partial of 17
+        docs = list(generator.generate_documents(days=1, total_records=137))
+        from repro.etl.xml_source import count_xml_records
+
+        counts = [count_xml_records(d, "station") for d in docs]
+        assert counts[:-1] == [20] * 6
+        assert counts[-1] == 17
+
+    def test_deterministic_across_instances(self):
+        a = BikeFeedGenerator(CityModel(seed=1), n_stations=10)
+        b = BikeFeedGenerator(CityModel(seed=1), n_stations=10)
+        docs_a = [d.content for d in a.generate_documents(1, 50)]
+        docs_b = [d.content for d in b.generate_documents(1, 50)]
+        assert docs_a == docs_b
+
+    def test_different_seeds_differ(self):
+        a = BikeFeedGenerator(CityModel(seed=1), n_stations=10)
+        b = BikeFeedGenerator(CityModel(seed=2), n_stations=10)
+        assert [d.content for d in a.generate_documents(1, 50)] != [
+            d.content for d in b.generate_documents(1, 50)
+        ]
+
+    def test_availability_within_capacity(self, generator):
+        import datetime as dt
+
+        for station in generator.stations:
+            for hour in range(0, 24, 3):
+                when = dt.datetime(2015, 6, 3, hour)
+                bikes = generator.availability(station, when)
+                assert 0 <= bikes <= station.capacity
+
+    def test_json_format(self, generator):
+        docs = generator.generate_documents(days=1, total_records=40, content_type="json")
+        facts = bikes_pipeline().extract(docs)
+        assert len(facts) == 40
+
+    def test_bad_content_type(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_documents(1, 10, content_type="csv")
+
+    def test_snapshot_times_span_period(self, generator):
+        times = generator.snapshot_times(days=2, total_records=200)
+        assert times[0].day == 1
+        assert (times[-1] - times[0]).total_seconds() <= 2 * 86400
+
+    def test_record_density_near_paper(self, generator):
+        """Table 2: Day = 2.1 MB / 7358 tuples ≈ 300 B per record."""
+        docs = generator.generate_documents(days=1, total_records=400).batch()
+        per_record = docs.size_bytes / 400
+        assert 250 <= per_record <= 450
+
+
+class TestCubeWiring:
+    def test_schema_has_eight_dimensions(self):
+        assert bikes_schema().n_dimensions == 8
+
+    def test_mapping_produces_valid_tuples(self, generator):
+        docs = generator.generate_documents(days=1, total_records=60)
+        facts = bikes_pipeline().extract(docs)
+        fact = facts[0]
+        day, weekday, daypart, hour, district, station, status, size = fact.keys
+        assert day == "2015-06-01"
+        assert weekday == "Monday"
+        assert 0 <= hour <= 23
+        assert status in ("OPEN", "CLOSED")
+        assert size in ("small", "medium", "large")
+        assert isinstance(fact.measure, int)
+
+    def test_functional_dependencies_hold(self, generator):
+        """station→district and day→weekday must be functions (drives
+        suffix coalescing)."""
+        docs = generator.generate_documents(days=3, total_records=300)
+        facts = bikes_pipeline().extract(docs)
+        station_district = {}
+        day_weekday = {}
+        for fact in facts:
+            day, weekday, _, _, district, station, _, _ = fact.keys
+            assert station_district.setdefault(station, district) == district
+            assert day_weekday.setdefault(day, weekday) == weekday
+
+    def test_cube_builds_from_feed(self, generator):
+        docs = generator.generate_documents(days=1, total_records=100)
+        facts = bikes_pipeline().extract(docs)
+        cube = build_cube(facts)
+        assert cube.total() == sum(f.measure for f in facts)

@@ -1,0 +1,60 @@
+"""Shared city model: determinism and helpers."""
+
+import pytest
+
+from repro.smartcity.city import CityModel, capacity_bucket, daypart
+
+
+class TestCityModel:
+    def test_stations_deterministic(self):
+        a = CityModel(seed=5).bike_stations(30)
+        b = CityModel(seed=5).bike_stations(30)
+        assert [(s.number, s.name, s.district, s.capacity) for s in a] == [
+            (s.number, s.name, s.district, s.capacity) for s in b
+        ]
+
+    def test_station_names_unique(self):
+        stations = CityModel().bike_stations(102)
+        names = [s.name for s in stations]
+        assert len(set(names)) == len(names)
+
+    def test_street_names_unique(self):
+        names = CityModel().street_names(150, "test")
+        assert len(set(names)) == 150
+
+    def test_independent_streams(self):
+        city = CityModel()
+        assert city.rng("a").random() != city.rng("b").random()
+
+    def test_districts_nonempty(self):
+        assert len(CityModel().districts) >= 10
+
+    def test_station_fields_plausible(self):
+        for station in CityModel().bike_stations(20):
+            assert station.capacity >= 15
+            assert 53.0 < station.latitude < 54.0
+            assert -7.0 < station.longitude < -6.0
+
+
+class TestDaypart:
+    @pytest.mark.parametrize(
+        "hour,expected",
+        [
+            (0, "night"), (6, "night"), (8, "morning-peak"),
+            (12, "daytime"), (17, "evening-peak"), (22, "evening"),
+        ],
+    )
+    def test_buckets(self, hour, expected):
+        assert daypart(hour) == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            daypart(24)
+
+
+class TestCapacityBucket:
+    @pytest.mark.parametrize(
+        "capacity,expected", [(15, "small"), (20, "small"), (25, "medium"), (40, "large")]
+    )
+    def test_buckets(self, capacity, expected):
+        assert capacity_bucket(capacity) == expected

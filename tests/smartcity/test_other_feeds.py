@@ -1,0 +1,82 @@
+"""The secondary feeds: car parks, air quality, auctions, sales."""
+
+import pytest
+
+from repro.dwarf.builder import build_cube
+from repro.smartcity.airquality import AirQualityFeedGenerator, airquality_pipeline
+from repro.smartcity.auctions import AuctionFeedGenerator, auctions_pipeline
+from repro.smartcity.carpark import CarParkFeedGenerator, carpark_pipeline
+from repro.smartcity.sales import SalesFeedGenerator, sales_pipeline
+
+
+class TestCarParks:
+    def test_feed_to_cube(self):
+        docs = CarParkFeedGenerator(n_carparks=6).generate_documents(days=1, snapshots_per_day=4)
+        facts = carpark_pipeline().extract(docs)
+        assert len(facts) == 6 * 4
+        cube = build_cube(facts)
+        assert cube.total() > 0
+
+    def test_occupancy_within_spaces(self):
+        import datetime as dt
+
+        gen = CarParkFeedGenerator(n_carparks=4)
+        for carpark in gen.carparks:
+            for hour in range(0, 24, 4):
+                taken = gen.occupancy(carpark, dt.datetime(2015, 6, 2, hour))
+                assert 0 <= taken <= carpark.spaces
+
+    def test_deterministic(self):
+        from repro.smartcity.city import CityModel
+
+        a = CarParkFeedGenerator(CityModel(3)).generate_documents(1, 2)
+        b = CarParkFeedGenerator(CityModel(3)).generate_documents(1, 2)
+        assert [d.content for d in a] == [d.content for d in b]
+
+
+class TestAirQuality:
+    def test_feed_to_avg_cube(self):
+        gen = AirQualityFeedGenerator(n_sensors=4)
+        docs = gen.generate_documents(days=1, snapshots_per_day=4)
+        facts = airquality_pipeline().extract(docs)
+        assert len(facts) == 4 * 4 * 4  # sensors x pollutants x snapshots
+        cube = build_cube(facts)
+        assert cube.schema.aggregator.name == "avg"
+        total = cube.total()
+        assert isinstance(total, float) and total > 0
+
+    def test_pollutant_members(self):
+        gen = AirQualityFeedGenerator(n_sensors=2)
+        docs = gen.generate_documents(days=1, snapshots_per_day=2)
+        cube = build_cube(airquality_pipeline().extract(docs))
+        assert set(cube.members("pollutant")) == {"no2", "pm10", "pm25", "o3"}
+
+
+class TestAuctions:
+    def test_feed_to_cube(self):
+        docs = AuctionFeedGenerator().generate_documents(days=2, lots_per_day=30)
+        facts = auctions_pipeline().extract(docs)
+        assert len(facts) == 60
+        cube = build_cube(facts)
+        assert set(cube.members("day")) == {"2015-06-01", "2015-06-02"}
+
+    def test_prices_positive(self):
+        docs = AuctionFeedGenerator().generate_documents(days=1, lots_per_day=50)
+        facts = auctions_pipeline().extract(docs)
+        assert all(f.measure > 0 for f in facts)
+
+
+class TestSales:
+    def test_feed_to_cube(self):
+        gen = SalesFeedGenerator(n_stores=3)
+        docs = gen.generate_documents(days=2)
+        facts = sales_pipeline().extract(docs)
+        assert len(facts) == 3 * 5 * 2  # stores x product lines x days
+        cube = build_cube(facts)
+        assert cube.value(product_line="grocery") > 0
+
+    def test_xml_context_date_applied(self):
+        gen = SalesFeedGenerator(n_stores=2)
+        docs = gen.generate_documents(days=1)
+        facts = sales_pipeline().extract(docs)
+        assert all(f.keys[0] == "2015-06-01" for f in facts)

@@ -1,0 +1,81 @@
+"""EXPLAIN: the optimizer's access-path choices, made visible."""
+
+import pytest
+
+from repro.sqldb.engine import SQLEngine
+
+
+@pytest.fixture
+def session():
+    s = SQLEngine().connect()
+    s.execute("CREATE DATABASE d")
+    s.execute("USE d")
+    s.execute("CREATE TABLE CELL (id INT PRIMARY KEY, cell_key VARCHAR(64), measure INT)")
+    s.execute(
+        "CREATE TABLE NODE_CHILDREN (node_id INT, cell_id INT, "
+        "PRIMARY KEY (node_id, cell_id))"
+    )
+    s.execute("CREATE TABLE TAGS (id INT PRIMARY KEY, label VARCHAR(16))")
+    return s
+
+
+class TestBaseAccess:
+    def test_pk_point_is_const(self, session):
+        plan = session.execute("EXPLAIN SELECT * FROM CELL WHERE id = 1").one()
+        assert plan["access"] == "const"
+        assert plan["key"] == "id"
+
+    def test_pk_in_is_range(self, session):
+        plan = session.execute("EXPLAIN SELECT * FROM CELL WHERE id IN (1, 2)").one()
+        assert plan["access"] == "range"
+
+    def test_composite_prefix_is_ref(self, session):
+        plan = session.execute(
+            "EXPLAIN SELECT * FROM NODE_CHILDREN WHERE node_id = 5"
+        ).one()
+        assert plan["access"] == "ref:pk-prefix"
+
+    def test_secondary_index_is_ref(self, session):
+        session.execute("CREATE INDEX m_idx ON CELL (measure)")
+        plan = session.execute("EXPLAIN SELECT * FROM CELL WHERE measure = 3").one()
+        assert plan["access"] == "ref:index"
+
+    def test_unindexed_filter_is_full_scan(self, session):
+        plan = session.execute(
+            "EXPLAIN SELECT * FROM CELL WHERE cell_key = 'x'"
+        ).one()
+        assert plan["access"] == "ALL"
+
+    def test_no_where_is_full_scan(self, session):
+        plan = session.execute("EXPLAIN SELECT * FROM CELL").one()
+        assert plan["access"] == "ALL"
+        assert plan["key"] is None
+
+
+class TestJoinAccess:
+    def test_join_on_pk_is_eq_ref(self, session):
+        rows = list(session.execute(
+            "EXPLAIN SELECT * FROM NODE_CHILDREN nc "
+            "JOIN CELL c ON nc.cell_id = c.id WHERE nc.node_id = 1"
+        ))
+        assert rows[0]["access"] == "ref:pk-prefix"
+        assert rows[1] == {"step": 2, "table": "c", "access": "eq_ref", "key": "c.id"}
+
+    def test_join_on_indexed_column(self, session):
+        session.execute("CREATE INDEX m_idx ON CELL (measure)")
+        rows = list(session.execute(
+            "EXPLAIN SELECT * FROM TAGS t JOIN CELL c ON t.id = c.measure"
+        ))
+        assert rows[1]["access"] == "ref:index"
+
+    def test_join_without_index_is_hash(self, session):
+        rows = list(session.execute(
+            "EXPLAIN SELECT * FROM TAGS t JOIN CELL c ON t.id = c.measure"
+        ))
+        assert rows[1]["access"] == "hash-join"
+
+    def test_explain_does_not_execute(self, session):
+        session.execute("INSERT INTO CELL (id, measure) VALUES (1, 5)")
+        before = session.execute("SELECT COUNT(*) FROM CELL").one()["count"]
+        session.execute("EXPLAIN SELECT * FROM CELL WHERE id = 1")
+        assert session.execute("SELECT COUNT(*) FROM CELL").one()["count"] == before

@@ -1,0 +1,157 @@
+"""SQL GROUP BY and aggregate functions."""
+
+import pytest
+
+from repro.sqldb.engine import SQLEngine
+from repro.sqldb.errors import ProgrammingError, SQLSyntaxError
+from repro.sqldb.sql.parser import parse
+
+
+@pytest.fixture
+def session():
+    s = SQLEngine().connect()
+    s.execute("CREATE DATABASE d")
+    s.execute("USE d")
+    s.execute(
+        "CREATE TABLE sales (id INT PRIMARY KEY, store VARCHAR(16), "
+        "line VARCHAR(16), units INT)"
+    )
+    rows = [
+        (1, "north", "grocery", 10), (2, "north", "grocery", 20),
+        (3, "north", "clothes", 5), (4, "south", "grocery", 7),
+        (5, "south", "clothes", None),
+    ]
+    values = ", ".join(
+        f"({i}, '{s_}', '{l}', {u if u is not None else 'NULL'})"
+        for i, s_, l, u in rows
+    )
+    s.execute(f"INSERT INTO sales (id, store, line, units) VALUES {values}")
+    return s
+
+
+class TestParsing:
+    def test_aggregate_items(self):
+        stmt = parse("SELECT store, SUM(units), COUNT(*) FROM sales GROUP BY store")
+        assert [a.label for a in stmt.aggregates] == ["sum(units)", "count"]
+        assert [r.name for r in stmt.group_by] == ["store"]
+
+    def test_plain_count_star_keeps_fast_path(self):
+        stmt = parse("SELECT COUNT(*) FROM sales")
+        assert stmt.count and not stmt.aggregates
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT store FROM sales GROUP BY store")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT SUM(*) FROM sales")
+
+    def test_column_named_like_function(self):
+        # "count" not followed by '(' is an ordinary column reference
+        stmt = parse("SELECT count FROM sales")
+        assert stmt.columns[0].name == "count"
+
+
+class TestExecution:
+    def test_group_sum(self, session):
+        rows = list(session.execute(
+            "SELECT store, SUM(units) FROM sales GROUP BY store ORDER BY store"
+        ))
+        assert rows == [
+            {"store": "north", "sum(units)": 35},
+            {"store": "south", "sum(units)": 7},
+        ]
+
+    def test_multiple_aggregates(self, session):
+        row = session.execute(
+            "SELECT SUM(units), MIN(units), MAX(units), AVG(units), COUNT(units), "
+            "COUNT(*) FROM sales"
+        ).one()
+        assert row["sum(units)"] == 42
+        assert row["min(units)"] == 5
+        assert row["max(units)"] == 20
+        assert row["avg(units)"] == pytest.approx(42 / 4)
+        assert row["count(units)"] == 4   # NULL excluded
+        assert row["count"] == 5          # COUNT(*) includes the NULL row
+
+    def test_group_by_two_columns(self, session):
+        rows = list(session.execute(
+            "SELECT store, line, COUNT(*) FROM sales GROUP BY store, line"
+        ))
+        assert len(rows) == 4
+
+    def test_group_with_where(self, session):
+        rows = list(session.execute(
+            "SELECT line, SUM(units) FROM sales WHERE store = 'north' GROUP BY line "
+            "ORDER BY line"
+        ))
+        assert rows == [
+            {"line": "clothes", "sum(units)": 5},
+            {"line": "grocery", "sum(units)": 30},
+        ]
+
+    def test_order_by_aggregate_label(self, session):
+        rows = list(session.execute(
+            "SELECT store, SUM(units) FROM sales GROUP BY store "
+            "ORDER BY store DESC LIMIT 1"
+        ))
+        assert rows[0]["store"] == "south"
+
+    def test_global_aggregate_on_empty_match(self, session):
+        row = session.execute(
+            "SELECT SUM(units), COUNT(*) FROM sales WHERE store = 'east'"
+        ).one()
+        assert row["sum(units)"] is None
+        assert row["count"] == 0
+
+    def test_non_grouped_column_rejected(self, session):
+        with pytest.raises(ProgrammingError, match="GROUP BY"):
+            session.execute("SELECT line, SUM(units) FROM sales GROUP BY store")
+
+    def test_group_by_over_join(self, session):
+        session.execute("CREATE TABLE stores (store VARCHAR(16) PRIMARY KEY, region VARCHAR(8))")
+        session.execute("INSERT INTO stores (store, region) VALUES ('north', 'N'), ('south', 'S')")
+        rows = list(session.execute(
+            "SELECT st.region, SUM(s.units) FROM sales s "
+            "JOIN stores st ON s.store = st.store GROUP BY st.region ORDER BY st.region"
+        ))
+        assert rows == [
+            {"st.region": "N", "sum(s.units)": 35},
+            {"st.region": "S", "sum(s.units)": 7},
+        ]
+
+
+class TestWarehouseVerification:
+    def test_stored_cube_audited_via_group_by(self, sample_cube):
+        """Audit a stored cube's structure with plain SQL aggregates."""
+        from repro.mapping.mysql_min import MySQLMinMapper
+
+        mapper = MySQLMinMapper()
+        mapper.install()
+        mapper.store(sample_cube)
+        stats = sample_cube.stats
+
+        counts = {
+            row["leaf"]: row["count"]
+            for row in mapper.session.execute(
+                "SELECT leaf, COUNT(*) FROM DWARF_CELL WHERE cubeid = 1 GROUP BY leaf"
+            )
+        }
+        assert counts[True] == stats.leaf_cell_count
+        assert counts[True] + counts[False] == stats.cell_count
+
+        # distinct parent nodes = node count, via GROUP BY parentNodeId
+        nodes = list(mapper.session.execute(
+            "SELECT parentNodeId, COUNT(*) FROM DWARF_CELL WHERE cubeid = 1 "
+            "GROUP BY parentNodeId"
+        ))
+        assert len(nodes) == stats.node_count
+
+        # the root node's grand-total ALL cell is reachable by SQL alone
+        root_all = mapper.session.execute(
+            "SELECT item FROM DWARF_CELL WHERE root = TRUE AND name = '__ALL__' "
+            "AND cubeid = 1"
+        ).one()
+        # 3-dim cube: the root ALL points down; follow two ALL hops
+        assert root_all is not None

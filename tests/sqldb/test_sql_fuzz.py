@@ -1,0 +1,63 @@
+"""Property-based fuzzing of the SQL path: literal text round trips."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sqldb.engine import SQLEngine
+
+text_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30
+)
+int_values = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+
+
+def _quote(value: str) -> str:
+    return "'" + value.replace("\\", "\\\\").replace("'", "''") + "'"
+
+
+def _fresh_session():
+    session = SQLEngine().connect()
+    session.execute("CREATE DATABASE d")
+    session.execute("USE d")
+    session.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, txt TEXT, num INT, flag BOOLEAN)"
+    )
+    return session
+
+
+@given(key=int_values, text=text_values, number=int_values, flag=st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_literal_insert_round_trips(key, text, number, flag):
+    session = _fresh_session()
+    session.execute(
+        f"INSERT INTO t (id, txt, num, flag) VALUES "
+        f"({key}, {_quote(text)}, {number}, {'TRUE' if flag else 'FALSE'})"
+    )
+    row = session.execute("SELECT * FROM t WHERE id = ?", (key,)).one()
+    assert row["txt"] == text
+    assert row["num"] == number
+    assert row["flag"] is flag
+
+
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=200), int_values),
+        min_size=1, max_size=20, unique_by=lambda r: r[0],
+    ),
+    threshold=int_values,
+)
+@settings(max_examples=60, deadline=None)
+def test_where_filters_match_python(rows, threshold):
+    session = _fresh_session()
+    values = ", ".join(f"({k}, 'x', {n}, TRUE)" for k, n in rows)
+    session.execute(f"INSERT INTO t (id, txt, num, flag) VALUES {values}")
+    got = {r["id"] for r in session.execute(
+        "SELECT id FROM t WHERE num >= ?", (threshold,)
+    )}
+    expected = {k for k, n in rows if n >= threshold}
+    assert got == expected
+
+    count = session.execute(
+        "SELECT COUNT(*) FROM t WHERE num < ?", (threshold,)
+    ).one()["count"]
+    assert count == len(rows) - len(expected)

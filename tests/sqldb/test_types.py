@@ -1,0 +1,93 @@
+"""SQL type system."""
+
+import pytest
+
+from repro.sqldb.errors import ProgrammingError
+from repro.sqldb.types import (
+    BigIntType,
+    BooleanType,
+    DoubleType,
+    IntType,
+    TextType,
+    VarCharType,
+    parse_type,
+)
+
+
+class TestIntTypes:
+    def test_round_trip(self):
+        t = IntType()
+        assert t.decode(t.encode(-42), 0)[0] == -42
+
+    def test_fixed_width(self):
+        assert len(IntType().encode(1)) == 4
+        assert len(BigIntType().encode(1)) == 8
+
+    def test_int_range_enforced(self):
+        with pytest.raises(ProgrammingError, match="out of range"):
+            IntType().validate(2 ** 31)
+        IntType().validate(2 ** 31 - 1)
+
+    def test_bigint_range(self):
+        BigIntType().validate(2 ** 62)
+        with pytest.raises(ProgrammingError):
+            BigIntType().validate(2 ** 63)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ProgrammingError):
+            IntType().validate(True)
+
+
+class TestVarChar:
+    def test_round_trip(self):
+        t = VarCharType(16)
+        assert t.decode(t.encode("Fenian"), 0)[0] == "Fenian"
+
+    def test_length_enforced(self):
+        with pytest.raises(ProgrammingError, match="exceeds"):
+            VarCharType(4).validate("abcde")
+
+    def test_text_is_wide_varchar(self):
+        TextType().validate("x" * 10_000)
+
+
+class TestBoolean:
+    def test_round_trip(self):
+        t = BooleanType()
+        assert t.decode(t.encode(True), 0)[0] is True
+
+    def test_accepts_int_like_mysql_tinyint(self):
+        BooleanType().validate(1)
+
+
+class TestDouble:
+    def test_round_trip(self):
+        t = DoubleType()
+        assert t.decode(t.encode(1.5), 0)[0] == 1.5
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "spec,name",
+        [
+            ("INT", "int"),
+            ("integer", "int"),
+            ("BIGINT", "bigint"),
+            ("BOOLEAN", "boolean"),
+            ("BOOL", "boolean"),
+            ("tinyint(1)", "boolean"),
+            ("TEXT", "text"),
+            ("DOUBLE", "double"),
+            ("VARCHAR(64)", "varchar(64)"),
+        ],
+    )
+    def test_specs(self, spec, name):
+        assert parse_type(spec).name == name
+
+    def test_bad_varchar_width(self):
+        with pytest.raises(ProgrammingError):
+            parse_type("varchar(abc)")
+
+    def test_unknown(self):
+        with pytest.raises(ProgrammingError):
+            parse_type("JSONB")

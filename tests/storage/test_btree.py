@@ -1,0 +1,165 @@
+"""B-tree invariants: ordering, splits, deletes, page accounting."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.storage.btree import BTree, encode_key
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        tree = BTree()
+        tree.insert(5, b"five")
+        assert tree.get(5) == b"five"
+        assert tree.get(6) is None
+
+    def test_get_default(self):
+        assert BTree().get(1, b"dflt") == b"dflt"
+
+    def test_overwrite_same_key(self):
+        tree = BTree()
+        tree.insert(1, b"a")
+        tree.insert(1, b"b")
+        assert tree.get(1) == b"b"
+        assert len(tree) == 1
+
+    def test_contains(self):
+        tree = BTree()
+        tree.insert("k", None)
+        assert "k" in tree
+        assert "x" not in tree
+
+    def test_value_may_be_none(self):
+        tree = BTree()
+        tree.insert(("v", 1))
+        assert ("v", 1) in tree
+        assert tree.get(("v", 1)) is None
+
+
+class TestOrderingAndSplits:
+    def test_items_sorted_after_random_inserts(self):
+        tree = BTree(page_capacity=8)
+        import random
+
+        rng = random.Random(7)
+        keys = list(range(500))
+        rng.shuffle(keys)
+        for key in keys:
+            tree.insert(key, str(key).encode())
+        assert [k for k, _ in tree.items()] == list(range(500))
+        assert len(tree) == 500
+
+    def test_range_scan(self):
+        tree = BTree(page_capacity=4)
+        for key in range(100):
+            tree.insert(key)
+        assert list(tree.keys(lo=10, hi=15)) == [10, 11, 12, 13, 14, 15]
+
+    def test_range_scan_open_start(self):
+        tree = BTree(page_capacity=4)
+        for key in range(20):
+            tree.insert(key)
+        assert list(tree.keys(hi=3)) == [0, 1, 2, 3]
+
+    def test_range_scan_missing_bounds(self):
+        tree = BTree(page_capacity=4)
+        for key in (1, 3, 5, 7, 9, 11):
+            tree.insert(key)
+        assert list(tree.keys(lo=2, hi=8)) == [3, 5, 7]
+
+    def test_page_counts_grow(self):
+        tree = BTree(page_capacity=4)
+        for key in range(100):
+            tree.insert(key)
+        leaves, internals = tree.page_counts
+        assert leaves > 10
+        assert internals >= 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BTree(page_capacity=2)
+
+
+class TestDelete:
+    def test_delete_present(self):
+        tree = BTree(page_capacity=4)
+        for key in range(50):
+            tree.insert(key)
+        assert tree.delete(25)
+        assert 25 not in tree
+        assert len(tree) == 49
+        assert 25 not in list(tree.keys())
+
+    def test_delete_absent(self):
+        tree = BTree()
+        tree.insert(1)
+        assert not tree.delete(99)
+        assert len(tree) == 1
+
+
+class TestSizeAccounting:
+    def test_size_grows_with_entries(self):
+        tree = BTree()
+        empty = tree.size_bytes
+        for key in range(1000):
+            tree.insert(key, b"x" * 20)
+        assert tree.size_bytes > empty + 1000 * 20
+
+    def test_write_through_keeps_pages_encoded(self):
+        tree = BTree(page_capacity=8, write_through=True)
+        for key in range(100):
+            tree.insert(key, b"v")
+        # no flush needed: every leaf already encoded
+        leaf = tree._first_leaf
+        while leaf is not None:
+            assert not leaf.dirty
+            leaf = leaf.next
+
+    def test_lazy_mode_dirty_until_flush(self):
+        tree = BTree(page_capacity=8)
+        tree.insert(1, b"v")
+        assert tree._first_leaf.dirty
+        tree.flush()
+        assert not tree._first_leaf.dirty
+
+
+class TestEncodeKey:
+    @pytest.mark.parametrize(
+        "key", [None, True, False, 0, -17, 2 ** 40, "text", b"raw", (1, "a"), ((1, 2), "b")]
+    )
+    def test_supported_types(self, key):
+        assert isinstance(encode_key(key), bytes)
+
+    def test_bool_distinct_from_int(self):
+        assert encode_key(True) != encode_key(1)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode_key(object())
+
+
+class TestPropertyVsDict:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "del"]),
+                st.integers(min_value=0, max_value=60),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_dict(self, ops):
+        tree = BTree(page_capacity=4)
+        reference = {}
+        for op, key in ops:
+            if op == "put":
+                tree.insert(key, str(key).encode())
+                reference[key] = str(key).encode()
+            else:
+                tree.delete(key)
+                reference.pop(key, None)
+        assert dict(tree.items()) == reference
+        assert [k for k, _ in tree.items()] == sorted(reference)
+        assert len(tree) == len(reference)

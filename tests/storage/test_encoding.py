@@ -1,0 +1,66 @@
+"""Scalar codecs: text, bytes, bool, float."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.storage.encoding import (
+    decode_bool,
+    decode_bytes,
+    decode_float,
+    decode_text,
+    encode_bool,
+    encode_bytes,
+    encode_float,
+    encode_text,
+)
+
+
+class TestText:
+    def test_round_trip(self):
+        value, offset = decode_text(encode_text("Fenian St"))
+        assert value == "Fenian St"
+
+    def test_empty_string(self):
+        assert decode_text(encode_text(""))[0] == ""
+
+    def test_unicode(self):
+        text = "Dún Laoghaire — ∆ 100µg/m³"
+        assert decode_text(encode_text(text))[0] == text
+
+    def test_offset_advances_past_value(self):
+        encoded = encode_text("ab") + encode_text("cd")
+        first, offset = decode_text(encoded)
+        second, end = decode_text(encoded, offset)
+        assert (first, second) == ("ab", "cd")
+        assert end == len(encoded)
+
+    @given(st.text(max_size=200))
+    def test_round_trip_any(self, text):
+        assert decode_text(encode_text(text))[0] == text
+
+
+class TestBytes:
+    @given(st.binary(max_size=200))
+    def test_round_trip(self, raw):
+        assert decode_bytes(encode_bytes(raw))[0] == raw
+
+
+class TestBool:
+    def test_true_false(self):
+        assert decode_bool(encode_bool(True))[0] is True
+        assert decode_bool(encode_bool(False))[0] is False
+
+    def test_one_byte(self):
+        assert len(encode_bool(True)) == 1
+
+
+class TestFloat:
+    def test_round_trip(self):
+        assert decode_float(encode_float(3.25))[0] == 3.25
+
+    @given(st.floats(allow_nan=False))
+    def test_round_trip_any(self, value):
+        assert decode_float(encode_float(value))[0] == value
+
+    def test_eight_bytes(self):
+        assert len(encode_float(1.0)) == 8

@@ -1,0 +1,62 @@
+"""Varint and zigzag coding."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.storage.varint import decode_varint, encode_varint, zigzag_decode, zigzag_encode
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)]
+    )
+    def test_known_mapping(self, value, expected):
+        assert zigzag_encode(value) == expected
+
+    def test_round_trip_small(self):
+        for value in range(-300, 300):
+            assert zigzag_decode(zigzag_encode(value)) == value
+
+    @given(st.integers())
+    def test_round_trip_any_int(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestVarint:
+    def test_single_byte_values(self):
+        assert encode_varint(0) == b"\x00"
+        assert len(encode_varint(63)) == 1
+        assert len(encode_varint(-64)) == 1
+
+    def test_multi_byte_boundaries(self):
+        assert len(encode_varint(64)) == 2
+        assert len(encode_varint(8191)) == 2
+        assert len(encode_varint(8192)) == 3
+
+    def test_decode_with_offset(self):
+        buffer = b"\xff" + encode_varint(1234)
+        value, offset = decode_varint(buffer, 1)
+        assert value == 1234
+        assert offset == len(buffer)
+
+    def test_concatenated_stream(self):
+        values = [0, -5, 100, 99999, -123456789]
+        buffer = b"".join(encode_varint(v) for v in values)
+        offset = 0
+        decoded = []
+        while offset < len(buffer):
+            value, offset = decode_varint(buffer, offset)
+            decoded.append(value)
+        assert decoded == values
+
+    @given(st.integers(min_value=-(2 ** 70), max_value=2 ** 70))
+    def test_round_trip(self, value):
+        assert decode_varint(encode_varint(value))[0] == value
+
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_cache_and_slow_path_agree(self, value):
+        # force the slow path by reimplementing it
+        from repro.storage.varint import _encode_uvarint, zigzag_encode
+
+        assert encode_varint(value) == _encode_uvarint(zigzag_encode(value))
