@@ -38,6 +38,7 @@ class CellResult(NamedTuple):
     size_mb: float
     node_count: int
     cell_count: int
+    size_bytes: int = 0
 
 
 def run_cell(schema_name: str, dataset_name: str, mapper=None) -> CellResult:
@@ -59,7 +60,13 @@ def run_cell(schema_name: str, dataset_name: str, mapper=None) -> CellResult:
     insert_ms = (time.perf_counter() - started) * 1000.0
 
     mapper.probe_size(schema_id)
-    size_mb = mapper.size_bytes() / (1024.0 * 1024.0)
+    # Report from the stored registry row: the exact byte count avoids the
+    # paper schema's integer-MB floor, which reads 0 for the small datasets.
+    info = mapper.info(schema_id)
+    size_bytes = info.size_as_bytes
+    if size_bytes is None:
+        size_bytes = mapper.size_bytes()
+    size_mb = size_bytes / (1024.0 * 1024.0)
     stats = bundle.cube.stats
     return CellResult(
         schema=schema_name,
@@ -69,6 +76,7 @@ def run_cell(schema_name: str, dataset_name: str, mapper=None) -> CellResult:
         size_mb=size_mb,
         node_count=stats.node_count,
         cell_count=stats.cell_count,
+        size_bytes=size_bytes,
     )
 
 

@@ -10,7 +10,7 @@ merge it into the standing cube.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.core.errors import PipelineError
 from repro.core.schema import CubeSchema
@@ -55,12 +55,18 @@ class CubeConstructionPipeline:
         lazily on first use.  ``None`` keeps cubes in memory only.
     coalesce:
         Suffix coalescing toggle, passed to the DWARF builder.
+    workers:
+        Construction worker count for the partitioned parallel builder.
+        ``None`` defers to ``REPRO_WORKERS`` / the CPU count; ``1`` pins
+        the classic serial scan.
     """
 
-    def __init__(self, etl, mapper=None, coalesce: bool = True) -> None:
+    def __init__(self, etl, mapper=None, coalesce: bool = True,
+                 workers: Optional[int] = None) -> None:
         self.etl = etl
         self.mapper = mapper
         self.coalesce = coalesce
+        self.workers = workers
         self._installed = False
         self.last_cube = None
 
@@ -71,12 +77,15 @@ class CubeConstructionPipeline:
     # ------------------------------------------------------------------
     def build(self, documents: Iterable):
         """Documents → in-memory DWARF cube (no storage)."""
-        from repro.dwarf.builder import DwarfBuilder
+        from repro.dwarf.parallel import ParallelDwarfBuilder
 
         facts = self.etl.extract(documents)
         if len(facts) == 0:
             raise PipelineError("no fact tuples extracted from the documents")
-        cube = DwarfBuilder(self.schema, coalesce=self.coalesce).build(facts)
+        builder = ParallelDwarfBuilder(
+            self.schema, coalesce=self.coalesce, workers=self.workers
+        )
+        cube = builder.build(facts)
         self.last_cube = cube
         return cube
 

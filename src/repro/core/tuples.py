@@ -64,12 +64,24 @@ class TupleSet:
     so that heterogeneous smart-city feeds still sort deterministically.
     """
 
-    __slots__ = ("schema", "_tuples")
+    __slots__ = ("schema", "_tuples", "_known_sorted")
 
     def __init__(self, schema: CubeSchema, tuples: Iterable = ()) -> None:
         self.schema = schema
         self._tuples: List[FactTuple] = []
+        # True once this set has been verified (or constructed) in sorted
+        # order; reset by mutation.  Lets repeated builds over one sorted
+        # set skip the O(n·d) re-verification.
+        self._known_sorted = False
         self.extend(tuples)
+
+    @classmethod
+    def _from_sorted_facts(cls, schema: CubeSchema, facts: List[FactTuple]) -> "TupleSet":
+        """Internal: adopt pre-validated, pre-sorted facts without copying."""
+        clone = cls(schema)
+        clone._tuples = facts
+        clone._known_sorted = True
+        return clone
 
     # -- mutation ----------------------------------------------------------
     def append(self, item: Union[FactTuple, Sequence]) -> None:
@@ -80,6 +92,7 @@ class TupleSet:
                 f"dimensions, tuple has {len(fact)}: {fact!r}"
             )
         self._tuples.append(fact)
+        self._known_sorted = False
 
     def extend(self, items: Iterable) -> None:
         for item in items:
@@ -100,19 +113,74 @@ class TupleSet:
         return (fact.as_row() for fact in self._tuples)
 
     def sorted(self) -> "TupleSet":
-        """Return a new TupleSet ordered by dimension keys (root first)."""
+        """Return a new TupleSet ordered by dimension keys (root first).
+
+        Sorting decorates each fact with memoised member keys (see
+        :func:`member_sort_key`): feeds repeat the same members millions of
+        times, and sharing one key tuple per distinct member makes tuple
+        comparisons hit CPython's identity fast path instead of re-comparing
+        equal strings.
+        """
+        key_of = make_member_key_memo()
+        decorated = sorted(
+            (tuple(map(key_of, fact.keys)), index, fact)
+            for index, fact in enumerate(self._tuples)
+        )
         clone = TupleSet(self.schema)
-        clone._tuples = sorted(self._tuples, key=lambda f: _sort_key(f.keys))
+        clone._tuples = [fact for _, _, fact in decorated]
+        clone._known_sorted = True
         return clone
 
     def is_sorted(self) -> bool:
-        keys = [_sort_key(f.keys) for f in self._tuples]
-        return all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1))
+        if self._known_sorted:
+            return True
+        key_of = make_member_key_memo()
+        previous = None
+        for fact in self._tuples:
+            current = tuple(map(key_of, fact.keys))
+            if previous is not None and current < previous:
+                return False
+            previous = current
+        self._known_sorted = True
+        return True
 
     def __repr__(self) -> str:
         return f"TupleSet(schema={self.schema.name!r}, n={len(self)})"
 
 
+def member_sort_key(key) -> Tuple[str, object]:
+    """Total order for dimension members of possibly mixed types.
+
+    Members order by ``(type name, value)`` so heterogeneous feeds sort
+    deterministically.  Float NaN — the one value unequal to itself —
+    would otherwise poison comparison sorts, so every NaN collapses onto
+    a single key that orders after all ordinary floats.
+    """
+    if key != key:  # NaN is the only scalar that is unequal to itself
+        return (type(key).__name__ + "~nan", 0)
+    return (type(key).__name__, key)
+
+
+def make_member_key_memo():
+    """A memoising ``member_sort_key``: one shared key tuple per member.
+
+    The memo is two-level (type name, then value) because a flat dict
+    would collapse ``1``, ``1.0`` and ``True`` onto one entry.
+    """
+    memos: dict = {}
+
+    def key_of(member):
+        inner = memos.get(type(member).__name__)
+        if inner is None:
+            inner = memos[type(member).__name__] = {}
+        cached = inner.get(member)
+        if cached is None:
+            cached = inner[member] = member_sort_key(member)
+        return cached
+
+    return key_of
+
+
 def _sort_key(keys: Sequence[DimensionKey]) -> Tuple:
     """Total order over possibly mixed-type dimension keys."""
-    return tuple((type(k).__name__, k) for k in keys)
+    return tuple(member_sort_key(k) for k in keys)

@@ -11,6 +11,7 @@ from repro.dwarf.cell import ALL, DwarfCell
 from repro.dwarf.cube import DwarfCube
 from repro.dwarf.hierarchy import DimensionHierarchy, drilldown, rollup
 from repro.dwarf.node import DwarfNode
+from repro.dwarf.parallel import ParallelDwarfBuilder, build_cube_parallel, resolve_workers
 from repro.dwarf.query import All, Constraint, Each, In, Member, Range, select, slice_cube
 from repro.dwarf.stats import CubeStats, compute_stats
 from repro.dwarf.subcube import extract_subcube
@@ -30,10 +31,12 @@ __all__ = [
     "Each",
     "In",
     "Member",
+    "ParallelDwarfBuilder",
     "Range",
     "Visit",
     "breadth_first",
     "build_cube",
+    "build_cube_parallel",
     "compute_stats",
     "drilldown",
     "export_cube_xml",
@@ -42,6 +45,7 @@ __all__ = [
     "iter_cells",
     "iter_nodes",
     "merge_cubes",
+    "resolve_workers",
     "rollup",
     "select",
     "slice_cube",

@@ -27,15 +27,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import SchemaError, TupleShapeError
 from repro.core.schema import CubeSchema
-from repro.core.tuples import TupleSet
+from repro.core.tuples import TupleSet, make_member_key_memo, member_sort_key
 from repro.dwarf.cell import ALL, DwarfCell
 from repro.dwarf.cube import DwarfCube
 from repro.dwarf.node import DwarfNode
 
-
-def _member_key(key) -> Tuple[str, object]:
-    """Total order for dimension members of possibly mixed types."""
-    return (type(key).__name__, key)
+#: Total order for dimension members of possibly mixed types (canonical
+#: definition lives in :mod:`repro.core.tuples`; re-exported here because
+#: the mapping layer historically imports it from the builder).
+_member_key = member_sort_key
 
 
 class DwarfBuilder:
@@ -59,15 +59,27 @@ class DwarfBuilder:
         # identical merge requests return the shared result (and so node
         # identities can never be recycled underneath the memo).
         self._merge_memo: Dict[Tuple[DwarfNode, ...], DwarfNode] = {}
+        # Memoised member sort keys: merge key unions re-rank the same
+        # members thousands of times per build, and sharing one key tuple
+        # per distinct member keeps the sort on the identity fast path.
+        self._member_key_memo = make_member_key_memo()
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def build(self, facts: Union[TupleSet, Iterable[Sequence]]) -> DwarfCube:
+    def build(
+        self,
+        facts: Union[TupleSet, Iterable[Sequence]],
+        close_root: bool = True,
+    ) -> DwarfCube:
         """Construct a DWARF cube from fact tuples.
 
         ``facts`` may be a :class:`TupleSet` or any iterable of flat
         ``(d1, ..., dn, measure)`` rows (the paper's Fig. 1 input format).
+
+        ``close_root=False`` leaves the root node open (no ALL cell): the
+        partitioned builder uses it to construct per-partition sub-dwarfs
+        whose roots are later stitched under one shared, then-closed root.
         """
         tuple_set = facts if isinstance(facts, TupleSet) else TupleSet(self.schema, facts)
         if tuple_set.schema.n_dimensions != self.schema.n_dimensions:
@@ -77,6 +89,7 @@ class DwarfBuilder:
             )
         ordered = tuple_set if tuple_set.is_sorted() else tuple_set.sorted()
         self._merge_memo.clear()
+        self._member_key_memo = make_member_key_memo()
 
         n_dims = self.schema.n_dimensions
         agg = self._aggregator
@@ -109,10 +122,15 @@ class DwarfBuilder:
             prev = keys
 
         if prev is not None:
-            for level in range(n_dims - 1, -1, -1):
+            bottom = -1 if close_root else 0
+            for level in range(n_dims - 1, bottom, -1):
                 self._close(path[level])
         n_merges = len(self._merge_memo)
-        self._merge_memo.clear()
+        if close_root:
+            self._merge_memo.clear()
+        # else: the partitioned builder harvests the memo so the final
+        # root close can reuse intra-partition merges exactly as the
+        # serial scan's accumulated memo would.
         return DwarfCube(self.schema, root, n_source_tuples=len(tuple_set), n_merges=n_merges)
 
     # ------------------------------------------------------------------
@@ -163,18 +181,35 @@ class DwarfBuilder:
 
         level = nodes[0].level
         merged = DwarfNode(level)
-        keys = sorted({k for node in nodes for k in node.keys()}, key=_member_key)
         leaf_level = level == self.schema.n_dimensions - 1
+        # One pass over every input node's cells accumulates the per-key
+        # union; probing each node per unique key (the textbook form) costs
+        # O(keys × nodes) dict lookups and dominated the construction
+        # profile.  Input-node order is preserved per key, so aggregation
+        # states merge in exactly the order the probing form produced.
+        key_of = self._member_key_memo
         if leaf_level:
-            agg = self._aggregator
-            for key in keys:
-                state = reduce(
-                    agg.merge, (n.cell(key).value for n in nodes if key in n)
-                )
-                merged.add_cell(DwarfCell(key, value=state))
+            agg_merge = self._aggregator.merge
+            states: Dict[object, object] = {}
+            for node in nodes:
+                for key, cell in node._cells.items():
+                    if key in states:
+                        states[key] = agg_merge(states[key], cell.value)
+                    else:
+                        states[key] = cell.value
+            for key in sorted(states, key=key_of):
+                merged.add_cell(DwarfCell(key, value=states[key]))
         else:
-            for key in keys:
-                sources = [n.cell(key).node for n in nodes if key in n]
+            sources_by_key: Dict[object, List[DwarfNode]] = {}
+            for node in nodes:
+                for key, cell in node._cells.items():
+                    sources = sources_by_key.get(key)
+                    if sources is None:
+                        sources_by_key[key] = [cell.node]
+                    else:
+                        sources.append(cell.node)
+            for key in sorted(sources_by_key, key=key_of):
+                sources = sources_by_key[key]
                 if len(sources) == 1:
                     child = sources[0] if self.coalesce else self._copy(sources[0])
                 else:

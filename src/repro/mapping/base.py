@@ -29,7 +29,13 @@ class MappingError(ReproError):
 
 
 class StoredSchemaInfo(NamedTuple):
-    """One row of the schema/cube registry (paper Table 1-A)."""
+    """One row of the schema/cube registry (paper Table 1-A).
+
+    ``size_as_mb`` keeps the paper's integer-megabyte column (Table 4);
+    ``size_as_bytes`` is the exact footprint, because at reduced
+    ``REPRO_SCALE`` every cube floors to 0 MB and the megabyte column
+    alone makes size comparisons degenerate.
+    """
 
     schema_id: int
     node_count: int
@@ -37,6 +43,7 @@ class StoredSchemaInfo(NamedTuple):
     size_as_mb: int
     entry_node_id: Optional[int]
     is_cube: bool
+    size_as_bytes: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -56,6 +63,15 @@ def encode_member(key) -> str:
     if isinstance(key, int):
         return f"i:{key}"
     if isinstance(key, float):
+        # Non-finite floats get canonical spellings instead of repr() so
+        # the stored text is platform-independent: parallel workers that
+        # serialise partition boundaries must not corrupt keys.
+        if key != key:
+            return "f:nan"
+        if key == float("inf"):
+            return "f:inf"
+        if key == float("-inf"):
+            return "f:-inf"
         return f"f:{key!r}"
     if isinstance(key, str):
         return f"s:{key}"
@@ -72,7 +88,16 @@ def decode_member(text: str):
     if tag == "i":
         return int(payload)
     if tag == "f":
-        return float(payload)
+        if payload == "nan":
+            return float("nan")
+        if payload == "inf":
+            return float("inf")
+        if payload == "-inf":
+            return float("-inf")
+        try:
+            return float(payload)
+        except ValueError:
+            raise MappingError(f"corrupt float member encoding: {text!r}") from None
     if tag == "b":
         return bool(int(payload))
     raise MappingError(f"corrupt member tag in {text!r}")

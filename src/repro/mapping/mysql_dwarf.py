@@ -38,6 +38,7 @@ _DDL = [
       node_count INT,
       cell_count INT,
       size_as_mb INT,
+      size_as_bytes INT,
       entry_node_id INT,
       is_cube BOOLEAN
     )
@@ -98,6 +99,7 @@ class MySQLDwarfMapper(CubeMapper):
         self.database_name = database
         self.session = self.engine.connect()
         self._prepared: Dict[str, object] = {}
+        self._compiled: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def install(self) -> None:
@@ -129,6 +131,12 @@ class MySQLDwarfMapper(CubeMapper):
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
             ),
         }
+        # The zero-parse fast path: the same statements fully planned so
+        # store() streams record batches straight into the heap/B-trees.
+        self._compiled = {
+            name: self.session.compile_insert(prepared.text)
+            for name, prepared in self._prepared.items()
+        }
 
     def _next_ids(self) -> Dict[str, int]:
         rows = self.session.execute("SELECT * FROM DWARF_SCHEMA")
@@ -142,7 +150,14 @@ class MySQLDwarfMapper(CubeMapper):
         return {"schema": schema_id, "node": node_id, "cell": cell_id}
 
     # ------------------------------------------------------------------
-    def store(self, cube: DwarfCube, is_cube: bool = False, probe_size: bool = True) -> int:
+    def store(
+        self,
+        cube: DwarfCube,
+        is_cube: bool = False,
+        probe_size: bool = True,
+        compiled: bool = True,
+    ) -> int:
+        """Persist ``cube``; ``compiled`` selects the zero-parse fast path."""
         if not self._prepared:
             raise MappingError(f"{self.name}: call install() before store()")
         ids = self._next_ids()
@@ -150,65 +165,63 @@ class MySQLDwarfMapper(CubeMapper):
             cube, first_node_id=ids["node"], first_cell_id=ids["cell"]
         )
         schema_id = ids["schema"]
-        self.session.execute_prepared(
-            self._prepared["schema"],
-            (
-                schema_id,
-                len(transformed.nodes),
-                len(transformed.cells),
-                0,
-                transformed.entry_node_id,
-                is_cube,
-            ),
+        schema_row = (
+            schema_id,
+            len(transformed.nodes),
+            len(transformed.cells),
+            0,
+            transformed.entry_node_id,
+            is_cube,
         )
-        self.session.execute_many(
-            self._prepared["node"],
-            ((r.node_id, r.is_root, schema_id) for r in transformed.nodes),
-        )
-        self.session.execute_many(
-            self._prepared["cell"],
-            (
-                (r.cell_id, r.key_text, r.measure, r.is_leaf, schema_id, r.dimension_table)
-                for r in transformed.cells
-            ),
+        node_rows = ((r.node_id, r.is_root, schema_id) for r in transformed.nodes)
+        cell_rows = (
+            (r.cell_id, r.key_text, r.measure, r.is_leaf, schema_id, r.dimension_table)
+            for r in transformed.cells
         )
         # Every node -> contained-cell relationship is one row.
-        self.session.execute_many(
-            self._prepared["node_child"],
-            (
-                (node.node_id, cell_id)
-                for node in transformed.nodes
-                for cell_id in node.children_cell_ids
-            ),
+        node_child_rows = (
+            (node.node_id, cell_id)
+            for node in transformed.nodes
+            for cell_id in node.children_cell_ids
         )
         # Every cell -> pointed-node relationship is one row.
-        self.session.execute_many(
-            self._prepared["cell_child"],
-            (
-                (r.cell_id, r.pointer_node_id)
-                for r in transformed.cells
-                if r.pointer_node_id is not None
-            ),
+        cell_child_rows = (
+            (r.cell_id, r.pointer_node_id)
+            for r in transformed.cells
+            if r.pointer_node_id is not None
         )
-        self.session.execute_many(
-            self._prepared["dimension"],
+        dimension_rows = (
             (
-                (
-                    row["id"], row["schema_id"], row["position"], row["name"],
-                    row["dimension_table"], row["schema_name"], row["measure"],
-                    row["aggregator"],
-                )
-                for row in schema_to_rows(cube.schema, schema_id)
-            ),
+                row["id"], row["schema_id"], row["position"], row["name"],
+                row["dimension_table"], row["schema_name"], row["measure"],
+                row["aggregator"],
+            )
+            for row in schema_to_rows(cube.schema, schema_id)
         )
+        if compiled:
+            self._compiled["schema"].execute(schema_row)
+            self._compiled["node"].execute_batch(node_rows)
+            self._compiled["cell"].execute_batch(cell_rows)
+            self._compiled["node_child"].execute_batch(node_child_rows)
+            self._compiled["cell_child"].execute_batch(cell_child_rows)
+            self._compiled["dimension"].execute_batch(dimension_rows)
+        else:
+            self.session.execute_prepared(self._prepared["schema"], schema_row)
+            self.session.execute_many(self._prepared["node"], node_rows)
+            self.session.execute_many(self._prepared["cell"], cell_rows)
+            self.session.execute_many(self._prepared["node_child"], node_child_rows)
+            self.session.execute_many(self._prepared["cell_child"], cell_child_rows)
+            self.session.execute_many(self._prepared["dimension"], dimension_rows)
         if probe_size:
             self.probe_size(schema_id)
         return schema_id
 
     def probe_size(self, schema_id: int) -> int:
-        size_mb = self._size_as_mb(self.size_bytes())
+        size_bytes = self.size_bytes()
+        size_mb = self._size_as_mb(size_bytes)
         self.session.execute(
-            "UPDATE DWARF_SCHEMA SET size_as_mb = ? WHERE id = ?", (size_mb, schema_id)
+            "UPDATE DWARF_SCHEMA SET size_as_mb = ?, size_as_bytes = ? WHERE id = ?",
+            (size_mb, size_bytes, schema_id),
         )
         return size_mb
 
@@ -226,6 +239,7 @@ class MySQLDwarfMapper(CubeMapper):
             size_as_mb=row["size_as_mb"],
             entry_node_id=row["entry_node_id"],
             is_cube=row["is_cube"],
+            size_as_bytes=row["size_as_bytes"],
         )
 
     def load(self, schema_id: int, schema: Optional[CubeSchema] = None) -> DwarfCube:

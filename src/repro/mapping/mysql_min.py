@@ -35,7 +35,8 @@ _DDL = [
       id INT PRIMARY KEY,
       node_count INT,
       cell_count INT,
-      size_as_mb INT
+      size_as_mb INT,
+      size_as_bytes INT
     )
     """,
     """
@@ -75,6 +76,7 @@ class MySQLMinMapper(CubeMapper):
         self.database_name = database
         self.session = self.engine.connect()
         self._prepared: Dict[str, object] = {}
+        self._compiled: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def install(self) -> None:
@@ -97,6 +99,12 @@ class MySQLMinMapper(CubeMapper):
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
             ),
         }
+        # The zero-parse fast path: the same statements fully planned so
+        # store() streams record batches straight into the heap/B-trees.
+        self._compiled = {
+            name: self.session.compile_insert(prepared.text)
+            for name, prepared in self._prepared.items()
+        }
 
     def _next_ids(self) -> Dict[str, int]:
         rows = self.session.execute("SELECT * FROM DWARF_CUBE")
@@ -110,7 +118,14 @@ class MySQLMinMapper(CubeMapper):
         return {"cube": cube_id, "node": node_id, "cell": cell_id}
 
     # ------------------------------------------------------------------
-    def store(self, cube: DwarfCube, is_cube: bool = False, probe_size: bool = True) -> int:
+    def store(
+        self,
+        cube: DwarfCube,
+        is_cube: bool = False,
+        probe_size: bool = True,
+        compiled: bool = True,
+    ) -> int:
+        """Persist ``cube``; ``compiled`` selects the zero-parse fast path."""
         if not self._prepared:
             raise MappingError(f"{self.name}: call install() before store()")
         ids = self._next_ids()
@@ -118,39 +133,40 @@ class MySQLMinMapper(CubeMapper):
             cube, first_node_id=ids["node"], first_cell_id=ids["cell"]
         )
         cube_id = ids["cube"]
-        self.session.execute_prepared(
-            self._prepared["cube"],
-            (cube_id, len(transformed.nodes), len(transformed.cells), 0),
-        )
-        self.session.execute_many(
-            self._prepared["cell"],
+        cube_row = (cube_id, len(transformed.nodes), len(transformed.cells), 0)
+        cell_rows = (
             (
-                (
-                    r.cell_id, r.measure, r.key_text, r.is_leaf, r.is_root_cell,
-                    cube_id, r.parent_node_id, r.pointer_node_id,
-                )
-                for r in transformed.cells
-            ),
+                r.cell_id, r.measure, r.key_text, r.is_leaf, r.is_root_cell,
+                cube_id, r.parent_node_id, r.pointer_node_id,
+            )
+            for r in transformed.cells
         )
-        self.session.execute_many(
-            self._prepared["dimension"],
+        dimension_rows = (
             (
-                (
-                    row["id"], row["schema_id"], row["position"], row["name"],
-                    row["dimension_table"], row["schema_name"], row["measure"],
-                    row["aggregator"],
-                )
-                for row in schema_to_rows(cube.schema, cube_id)
-            ),
+                row["id"], row["schema_id"], row["position"], row["name"],
+                row["dimension_table"], row["schema_name"], row["measure"],
+                row["aggregator"],
+            )
+            for row in schema_to_rows(cube.schema, cube_id)
         )
+        if compiled:
+            self._compiled["cube"].execute(cube_row)
+            self._compiled["cell"].execute_batch(cell_rows)
+            self._compiled["dimension"].execute_batch(dimension_rows)
+        else:
+            self.session.execute_prepared(self._prepared["cube"], cube_row)
+            self.session.execute_many(self._prepared["cell"], cell_rows)
+            self.session.execute_many(self._prepared["dimension"], dimension_rows)
         if probe_size:
             self.probe_size(cube_id)
         return cube_id
 
     def probe_size(self, cube_id: int) -> int:
-        size_mb = self._size_as_mb(self.size_bytes())
+        size_bytes = self.size_bytes()
+        size_mb = self._size_as_mb(size_bytes)
         self.session.execute(
-            "UPDATE DWARF_CUBE SET size_as_mb = ? WHERE id = ?", (size_mb, cube_id)
+            "UPDATE DWARF_CUBE SET size_as_mb = ?, size_as_bytes = ? WHERE id = ?",
+            (size_mb, size_bytes, cube_id),
         )
         return size_mb
 
@@ -168,6 +184,7 @@ class MySQLMinMapper(CubeMapper):
             size_as_mb=row["size_as_mb"],
             entry_node_id=None,
             is_cube=False,
+            size_as_bytes=row["size_as_bytes"],
         )
 
     def load(self, schema_id: int, schema: Optional[CubeSchema] = None) -> DwarfCube:

@@ -35,6 +35,7 @@ CREATE TABLE IF NOT EXISTS dwarf_schema (
   node_count int,
   cell_count int,
   size_as_mb int,
+  size_as_bytes int,
   entry_node_id int,
   is_cube boolean
 )
@@ -93,6 +94,7 @@ class NoSQLDwarfMapper(CubeMapper):
         self.compression = compression
         self.session = self.engine.connect()
         self._prepared: Dict[str, object] = {}
+        self._compiled: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def install(self) -> None:
@@ -120,6 +122,12 @@ class NoSQLDwarfMapper(CubeMapper):
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
             ),
         }
+        # The zero-parse fast path: the same statements fully planned so
+        # store() streams record batches straight into the memtable.
+        self._compiled = {
+            name: self.session.compile_insert(prepared.text)
+            for name, prepared in self._prepared.items()
+        }
 
     # ------------------------------------------------------------------
     def _next_ids(self) -> Dict[str, int]:
@@ -134,7 +142,20 @@ class NoSQLDwarfMapper(CubeMapper):
             cell_id += row["cell_count"]
         return {"schema": schema_id, "node": node_id, "cell": cell_id}
 
-    def store(self, cube: DwarfCube, is_cube: bool = False, probe_size: bool = True) -> int:
+    def store(
+        self,
+        cube: DwarfCube,
+        is_cube: bool = False,
+        probe_size: bool = True,
+        compiled: bool = True,
+    ) -> int:
+        """Persist ``cube``.
+
+        ``compiled=True`` (the default) streams the node/cell record
+        batches through the zero-parse compiled-statement path;
+        ``compiled=False`` keeps the per-row prepared-statement path.
+        Both produce byte-identical storage.
+        """
         if not self._prepared:
             raise MappingError(f"{self.name}: call install() before store()")
         ids = self._next_ids()
@@ -142,71 +163,82 @@ class NoSQLDwarfMapper(CubeMapper):
             cube, first_node_id=ids["node"], first_cell_id=ids["cell"]
         )
         schema_id = ids["schema"]
-        self.session.execute_prepared(
-            self._prepared["schema"],
-            (
-                schema_id,
-                len(transformed.nodes),
-                len(transformed.cells),
-                0,
-                transformed.entry_node_id,
-                is_cube,
-            ),
+        schema_row = (
+            schema_id,
+            len(transformed.nodes),
+            len(transformed.cells),
+            0,
+            transformed.entry_node_id,
+            is_cube,
         )
-        self.session.execute_batch(
+        node_rows = (
             (
-                self._prepared["node"],
-                (
-                    record.node_id,
-                    set(record.parent_cell_ids),
-                    set(record.children_cell_ids),
-                    record.is_root,
-                    schema_id,
-                ),
+                record.node_id,
+                set(record.parent_cell_ids),
+                set(record.children_cell_ids),
+                record.is_root,
+                schema_id,
             )
             for record in transformed.nodes
         )
-        self.session.execute_batch(
+        cell_rows = (
             (
-                self._prepared["cell"],
-                (
-                    record.cell_id,
-                    record.key_text,
-                    record.measure,
-                    record.parent_node_id,
-                    record.pointer_node_id,
-                    record.is_leaf,
-                    schema_id,
-                    record.dimension_table,
-                ),
+                record.cell_id,
+                record.key_text,
+                record.measure,
+                record.parent_node_id,
+                record.pointer_node_id,
+                record.is_leaf,
+                schema_id,
+                record.dimension_table,
             )
             for record in transformed.cells
         )
-        self.session.execute_batch(
+        dimension_rows = (
             (
-                self._prepared["dimension"],
-                (
-                    row["id"],
-                    row["schema_id"],
-                    row["position"],
-                    row["name"],
-                    row["dimension_table"],
-                    row["schema_name"],
-                    row["measure"],
-                    row["aggregator"],
-                ),
+                row["id"],
+                row["schema_id"],
+                row["position"],
+                row["name"],
+                row["dimension_table"],
+                row["schema_name"],
+                row["measure"],
+                row["aggregator"],
             )
             for row in schema_to_rows(cube.schema, schema_id)
         )
+        if compiled:
+            self._compiled["schema"].execute(schema_row)
+            self._compiled["node"].execute_batch(node_rows)
+            self._compiled["cell"].execute_batch(cell_rows)
+            self._compiled["dimension"].execute_batch(dimension_rows)
+        else:
+            self.session.execute_prepared(self._prepared["schema"], schema_row)
+            self.session.execute_batch(
+                (self._prepared["node"], row) for row in node_rows
+            )
+            self.session.execute_batch(
+                (self._prepared["cell"], row) for row in cell_rows
+            )
+            self.session.execute_batch(
+                (self._prepared["dimension"], row) for row in dimension_rows
+            )
         if probe_size:
             self.probe_size(schema_id)
         return schema_id
 
     def probe_size(self, schema_id: int) -> int:
-        """Measure the store and write ``size_as_mb`` back (paper §4)."""
-        size_mb = self._size_as_mb(self.size_bytes())
+        """Measure the store and write ``size_as_mb`` back (paper §4).
+
+        Also records the exact byte count: sub-megabyte cubes at reduced
+        ``REPRO_SCALE`` floor to 0 MB, and bench reporting needs a
+        non-degenerate size column.
+        """
+        size_bytes = self.size_bytes()
+        size_mb = self._size_as_mb(size_bytes)
         self.session.execute(
-            "UPDATE dwarf_schema SET size_as_mb = ? WHERE id = ?", (size_mb, schema_id)
+            "UPDATE dwarf_schema SET size_as_mb = ?, size_as_bytes = ? WHERE id = ?",
+            (size_mb, size_bytes, schema_id),
         )
         return size_mb
 
@@ -255,6 +287,7 @@ class NoSQLDwarfMapper(CubeMapper):
             size_as_mb=row["size_as_mb"],
             entry_node_id=row["entry_node_id"],
             is_cube=row["is_cube"],
+            size_as_bytes=row["size_as_bytes"],
         )
 
     def list_schemas(self) -> List[StoredSchemaInfo]:
@@ -263,7 +296,7 @@ class NoSQLDwarfMapper(CubeMapper):
             (
                 StoredSchemaInfo(
                     r["id"], r["node_count"], r["cell_count"], r["size_as_mb"],
-                    r["entry_node_id"], r["is_cube"],
+                    r["entry_node_id"], r["is_cube"], r["size_as_bytes"],
                 )
                 for r in rows
             ),

@@ -35,7 +35,8 @@ CREATE TABLE IF NOT EXISTS dwarf_cube (
   id int PRIMARY KEY,
   node_count int,
   cell_count int,
-  size_as_mb int
+  size_as_mb int,
+  size_as_bytes int
 )
 """
 
@@ -76,6 +77,7 @@ class NoSQLMinMapper(CubeMapper):
         self.keyspace_name = keyspace
         self.session = self.engine.connect()
         self._prepared: Dict[str, object] = {}
+        self._compiled: Dict[str, object] = {}
         # Table 3 stores no entry_node_id, so finding a cube's root takes
         # a filtered scan; clients cache it per cube id after first use.
         self._entry_cache: Dict[int, int] = {}
@@ -104,6 +106,12 @@ class NoSQLMinMapper(CubeMapper):
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
             ),
         }
+        # The zero-parse fast path: the same statements fully planned so
+        # store() streams record batches straight into the memtable.
+        self._compiled = {
+            name: self.session.compile_insert(prepared.text)
+            for name, prepared in self._prepared.items()
+        }
 
     def _next_ids(self) -> Dict[str, int]:
         result = self.session.execute("SELECT * FROM dwarf_cube")
@@ -117,7 +125,14 @@ class NoSQLMinMapper(CubeMapper):
         return {"cube": cube_id, "node": node_id, "cell": cell_id}
 
     # ------------------------------------------------------------------
-    def store(self, cube: DwarfCube, is_cube: bool = False, probe_size: bool = True) -> int:
+    def store(
+        self,
+        cube: DwarfCube,
+        is_cube: bool = False,
+        probe_size: bool = True,
+        compiled: bool = True,
+    ) -> int:
+        """Persist ``cube``; ``compiled`` selects the zero-parse fast path."""
         if not self._prepared:
             raise MappingError(f"{self.name}: call install() before store()")
         ids = self._next_ids()
@@ -125,51 +140,56 @@ class NoSQLMinMapper(CubeMapper):
             cube, first_node_id=ids["node"], first_cell_id=ids["cell"]
         )
         cube_id = ids["cube"]
-        self.session.execute_prepared(
-            self._prepared["cube"],
-            (cube_id, len(transformed.nodes), len(transformed.cells), 0),
-        )
-        self.session.execute_batch(
+        cube_row = (cube_id, len(transformed.nodes), len(transformed.cells), 0)
+        cell_rows = (
             (
-                self._prepared["cell"],
-                (
-                    record.cell_id,
-                    record.measure,
-                    record.key_text,
-                    record.is_leaf,
-                    record.is_root_cell,
-                    cube_id,
-                    record.parent_node_id,
-                    record.pointer_node_id,
-                ),
+                record.cell_id,
+                record.measure,
+                record.key_text,
+                record.is_leaf,
+                record.is_root_cell,
+                cube_id,
+                record.parent_node_id,
+                record.pointer_node_id,
             )
             for record in transformed.cells
         )
-        self.session.execute_batch(
+        dimension_rows = (
             (
-                self._prepared["dimension"],
-                (
-                    row["id"],
-                    row["schema_id"],
-                    row["position"],
-                    row["name"],
-                    row["dimension_table"],
-                    row["schema_name"],
-                    row["measure"],
-                    row["aggregator"],
-                ),
+                row["id"],
+                row["schema_id"],
+                row["position"],
+                row["name"],
+                row["dimension_table"],
+                row["schema_name"],
+                row["measure"],
+                row["aggregator"],
             )
             for row in schema_to_rows(cube.schema, cube_id)
         )
+        if compiled:
+            self._compiled["cube"].execute(cube_row)
+            self._compiled["cell"].execute_batch(cell_rows)
+            self._compiled["dimension"].execute_batch(dimension_rows)
+        else:
+            self.session.execute_prepared(self._prepared["cube"], cube_row)
+            self.session.execute_batch(
+                (self._prepared["cell"], row) for row in cell_rows
+            )
+            self.session.execute_batch(
+                (self._prepared["dimension"], row) for row in dimension_rows
+            )
         self._entry_cache[cube_id] = transformed.entry_node_id
         if probe_size:
             self.probe_size(cube_id)
         return cube_id
 
     def probe_size(self, cube_id: int) -> int:
-        size_mb = self._size_as_mb(self.size_bytes())
+        size_bytes = self.size_bytes()
+        size_mb = self._size_as_mb(size_bytes)
         self.session.execute(
-            "UPDATE dwarf_cube SET size_as_mb = ? WHERE id = ?", (size_mb, cube_id)
+            "UPDATE dwarf_cube SET size_as_mb = ?, size_as_bytes = ? WHERE id = ?",
+            (size_mb, size_bytes, cube_id),
         )
         return size_mb
 
@@ -187,6 +207,7 @@ class NoSQLMinMapper(CubeMapper):
             size_as_mb=row["size_as_mb"],
             entry_node_id=None,
             is_cube=False,
+            size_as_bytes=row["size_as_bytes"],
         )
 
     def load(self, schema_id: int, schema: Optional[CubeSchema] = None) -> DwarfCube:

@@ -45,14 +45,16 @@ def execute(
     return runner.run(statement)
 
 
-def make_insert_plan(engine, statement: ast.Statement, current_keyspace: Optional[str]):
-    """Compile a simple prepared INSERT into a per-row callable.
+def plan_insert_template(
+    engine, statement: ast.Statement, current_keyspace: Optional[str]
+):
+    """Resolve a plain INSERT to ``(table, template, pk_slot)``.
 
-    This is the server-side prepared-statement plan: the table and column
-    template are resolved once, so batch execution only binds parameters
-    and calls the storage engine.  Returns ``None`` when the statement is
-    not a plain INSERT (collection literals with inner bind markers and
-    non-INSERT statements fall back to the generic executor).
+    ``template`` is a list of ``(column, is_bind, index_or_constant)``
+    slots; ``pk_slot`` is the template entry for the primary key.  Returns
+    ``None`` when the statement cannot be planned ahead of execution
+    (collection literals with inner bind markers, non-INSERT statements,
+    no resolvable keyspace, no primary-key column).
     """
     if not isinstance(statement, ast.Insert):
         return None
@@ -73,6 +75,22 @@ def make_insert_plan(engine, statement: ast.Statement, current_keyspace: Optiona
         template.append(slot)
     if pk_slot is None:
         return None
+    return table, template, pk_slot
+
+
+def make_insert_plan(engine, statement: ast.Statement, current_keyspace: Optional[str]):
+    """Compile a simple prepared INSERT into a per-row callable.
+
+    This is the server-side prepared-statement plan: the table and column
+    template are resolved once, so batch execution only binds parameters
+    and calls the storage engine.  Returns ``None`` when the statement is
+    not a plain INSERT (collection literals with inner bind markers and
+    non-INSERT statements fall back to the generic executor).
+    """
+    planned = plan_insert_template(engine, statement, current_keyspace)
+    if planned is None:
+        return None
+    table, template, pk_slot = planned
     insert_bound = table.insert_bound
     pk_column, pk_is_bind, pk_value = pk_slot
 

@@ -11,8 +11,62 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.nosqldb.cql import ast
-from repro.nosqldb.cql.executor import ResultSet, execute, make_insert_plan
+from repro.nosqldb.cql.executor import (
+    ResultSet,
+    execute,
+    make_insert_plan,
+    plan_insert_template,
+)
 from repro.nosqldb.cql.parser import parse
+from repro.nosqldb.errors import InvalidRequest
+
+
+class CompiledInsert:
+    """A fully-planned INSERT bound to one table.
+
+    The zero-parse bulk-store fast path: the statement text is parsed and
+    planned exactly once at :meth:`Session.compile_insert` time; after
+    that, :meth:`execute_batch` binds parameter rows against the resolved
+    column template and streams them through the column family's bulk
+    write loop — no lexer, no parser, no executor dispatch, no per-row
+    plan lookup.  The stored bytes are identical to what per-row prepared
+    execution produces (same write-clock sequence, same cell encoding).
+    """
+
+    __slots__ = ("text", "table", "_template", "_pk_slot")
+
+    def __init__(self, text: str, table, template, pk_slot) -> None:
+        self.text = text
+        self.table = table
+        self._template = template
+        self._pk_slot = pk_slot
+
+    def execute(self, params: Sequence = ()) -> None:
+        """Insert one parameter row."""
+        self.execute_batch((params,))
+
+    def execute_batch(self, rows: Iterable[Sequence]) -> int:
+        """Insert many parameter rows; returns the count written."""
+        template = self._template
+        _, pk_is_bind, pk_value = self._pk_slot
+        table_name = self.table.name
+
+        def bound_rows():
+            for params in rows:
+                key = params[pk_value] if pk_is_bind else pk_value
+                if key is None:
+                    raise InvalidRequest(f"INSERT into {table_name!r} misses primary key")
+                bound = []
+                for column, is_bind, value in template:
+                    resolved = params[value] if is_bind else value
+                    if resolved is not None:
+                        bound.append((column, resolved))
+                yield key, bound
+
+        return self.table.insert_bound_many(bound_rows())
+
+    def __repr__(self) -> str:
+        return f"CompiledInsert({self.text!r})"
 
 
 class PreparedStatement:
@@ -48,6 +102,23 @@ class Session:
 
     def prepare(self, cql: str) -> PreparedStatement:
         return PreparedStatement(cql, parse(cql))
+
+    def compile_insert(self, cql: str) -> CompiledInsert:
+        """Plan a plain INSERT once, for zero-parse bulk execution.
+
+        Raises :class:`~repro.nosqldb.errors.InvalidRequest` when the
+        statement is anything but a simple INSERT (set literals with
+        inner bind markers, missing primary key, no keyspace): those
+        shapes need the generic executor.
+        """
+        statement = parse(cql)
+        planned = plan_insert_template(self.engine, statement, self.keyspace)
+        if planned is None:
+            raise InvalidRequest(
+                f"only plain INSERT statements can be compiled: {cql!r}"
+            )
+        table, template, pk_slot = planned
+        return CompiledInsert(cql, table, template, pk_slot)
 
     def execute_prepared(
         self, prepared: PreparedStatement, params: Sequence = ()

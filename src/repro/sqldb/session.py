@@ -9,9 +9,57 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from repro.sqldb.errors import ProgrammingError
 from repro.sqldb.sql import ast
-from repro.sqldb.sql.executor import SQLResult, execute, make_insert_plan
+from repro.sqldb.sql.executor import (
+    SQLResult,
+    execute,
+    make_insert_plan,
+    plan_insert_template,
+)
 from repro.sqldb.sql.parser import parse
+
+
+class SQLCompiledInsert:
+    """A fully-planned INSERT bound to one table.
+
+    The zero-parse bulk-store fast path: the statement is parsed and
+    planned exactly once at :meth:`SQLSession.compile_insert` time; after
+    that, :meth:`execute_batch` binds parameter rows against the resolved
+    column template and streams them through the table's bulk write loop
+    — no lexer, no parser, no executor dispatch, no per-row plan lookup.
+    The stored pages, redo log and binlog are identical to what per-row
+    prepared execution produces.
+    """
+
+    __slots__ = ("text", "table", "_template")
+
+    def __init__(self, text: str, table, template) -> None:
+        self.text = text
+        self.table = table
+        self._template = template
+
+    def execute(self, params: Sequence = ()) -> None:
+        """Insert one parameter row."""
+        self.execute_batch((params,))
+
+    def execute_batch(self, rows: Iterable[Sequence]) -> int:
+        """Insert many parameter rows; returns the count written."""
+        template = self._template
+
+        def dict_rows():
+            for params in rows:
+                row = {}
+                for column, is_bind, value in template:
+                    resolved = params[value] if is_bind else value
+                    if resolved is not None:
+                        row[column] = resolved
+                yield row
+
+        return self.table.insert_rows(dict_rows())
+
+    def __repr__(self) -> str:
+        return f"SQLCompiledInsert({self.text!r})"
 
 
 class SQLPreparedStatement:
@@ -45,6 +93,22 @@ class SQLSession:
 
     def prepare(self, sql: str) -> SQLPreparedStatement:
         return SQLPreparedStatement(sql, parse(sql))
+
+    def compile_insert(self, sql: str) -> SQLCompiledInsert:
+        """Plan a single-row INSERT once, for zero-parse bulk execution.
+
+        Raises :class:`~repro.sqldb.errors.ProgrammingError` for anything
+        but a one-row INSERT with a resolvable database: those shapes
+        need the generic executor.
+        """
+        statement = parse(sql)
+        planned = plan_insert_template(self.engine, statement, self.database)
+        if planned is None:
+            raise ProgrammingError(
+                f"only single-row INSERT statements can be compiled: {sql!r}"
+            )
+        table, template = planned
+        return SQLCompiledInsert(sql, table, template)
 
     def execute_prepared(
         self, prepared: SQLPreparedStatement, params: Sequence = ()

@@ -49,12 +49,14 @@ def execute(
     return _Executor(engine, params, current_database).run(statement)
 
 
-def make_insert_plan(engine, statement: ast.Statement, current_database: Optional[str]):
-    """Compile a prepared single-row INSERT into a per-row callable.
+def plan_insert_template(
+    engine, statement: ast.Statement, current_database: Optional[str]
+):
+    """Resolve a single-row INSERT to ``(table, template)``.
 
-    The server-side plan for ``executemany``: table and column template
-    resolved once, per row only parameter binding and the storage call.
-    Returns ``None`` for anything but a one-row INSERT.
+    ``template`` is a list of ``(column_name, is_bind, index_or_constant)``
+    slots.  Returns ``None`` for anything but a one-row INSERT with a
+    resolvable database.
     """
     if not isinstance(statement, ast.Insert) or len(statement.rows) != 1:
         return None
@@ -68,6 +70,20 @@ def make_insert_plan(engine, statement: ast.Statement, current_database: Optiona
     if database_name is None:
         return None
     table = engine.database(database_name).table(statement.source.table)
+    return table, template
+
+
+def make_insert_plan(engine, statement: ast.Statement, current_database: Optional[str]):
+    """Compile a prepared single-row INSERT into a per-row callable.
+
+    The server-side plan for ``executemany``: table and column template
+    resolved once, per row only parameter binding and the storage call.
+    Returns ``None`` for anything but a one-row INSERT.
+    """
+    planned = plan_insert_template(engine, statement, current_database)
+    if planned is None:
+        return None
+    table, template = planned
     table_insert = table.insert
 
     def run(params: Sequence) -> None:

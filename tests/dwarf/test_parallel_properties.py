@@ -1,0 +1,126 @@
+"""Property-based equivalence of the partitioned and serial builders.
+
+Two hypotheses the fast paths must never falsify:
+
+* ``ParallelDwarfBuilder`` produces a cube structurally identical to
+  ``DwarfBuilder`` for any tuple set, including ones dense with duplicate
+  dimension vectors (the fold-into-leaf path) — same transformation
+  records, same answers to every point and range query.
+* ``merge_cubes(build(A), build(B))`` answers every point and range query
+  identically to ``build(A + B)`` — the incremental-maintenance primitive
+  is indistinguishable from a rebuild.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.schema import CubeSchema
+from repro.dwarf.builder import DwarfBuilder, build_cube, merge_cubes
+from repro.dwarf.cell import ALL
+from repro.dwarf.parallel import ParallelDwarfBuilder
+from repro.dwarf.query import All, Member, Range, select
+from repro.mapping.base import transform_cube
+
+# A small member pool makes duplicate dimension vectors common, which is
+# exactly the regime where partition boundaries and leaf folding interact.
+_MEMBERS = ["a", "b", "c", "d"]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(_MEMBERS),
+        st.sampled_from(_MEMBERS),
+        st.sampled_from(_MEMBERS),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+coords_strategy = st.tuples(
+    st.sampled_from(_MEMBERS + [None]),
+    st.sampled_from(_MEMBERS + [None]),
+    st.sampled_from(_MEMBERS + [None]),
+)
+
+range_strategy = st.tuples(
+    st.sampled_from(_MEMBERS), st.sampled_from(_MEMBERS)
+)
+
+
+def _schema():
+    return CubeSchema("par-prop", ["x", "y", "z"])
+
+
+def _parallel(rows, workers):
+    return ParallelDwarfBuilder(
+        _schema(), workers=workers, mode="thread", min_parallel_tuples=2
+    ).build(rows)
+
+
+def _range_rows(cube, bounds):
+    lo, hi = min(bounds), max(bounds)
+    return sorted(select(cube, x=Range(lo, hi), y=All(), z=All()))
+
+
+@given(rows=rows_strategy, workers=st.integers(min_value=2, max_value=4))
+@settings(max_examples=80, deadline=None)
+def test_parallel_build_structurally_identical(rows, workers):
+    serial = build_cube(rows, _schema())
+    parallel = _parallel(rows, workers)
+    s, p = transform_cube(serial), transform_cube(parallel)
+    assert s.nodes == p.nodes
+    assert s.cells == p.cells
+    assert serial.n_merges == parallel.n_merges
+
+
+@given(rows=rows_strategy, coords=coords_strategy)
+@settings(max_examples=60, deadline=None)
+def test_parallel_point_queries_match_serial(rows, coords):
+    serial = build_cube(rows, _schema())
+    parallel = _parallel(rows, workers=3)
+    vector = [ALL if c is None else c for c in coords]
+    assert parallel.value(vector) == serial.value(vector)
+
+
+@given(rows=rows_strategy, bounds=range_strategy)
+@settings(max_examples=60, deadline=None)
+def test_parallel_range_queries_match_serial(rows, bounds):
+    serial = build_cube(rows, _schema())
+    parallel = _parallel(rows, workers=2)
+    assert _range_rows(parallel, bounds) == _range_rows(serial, bounds)
+
+
+@given(
+    rows=rows_strategy,
+    split=st.integers(min_value=1, max_value=59),
+    coords=coords_strategy,
+)
+@settings(max_examples=80, deadline=None)
+def test_merged_cubes_answer_point_queries_like_rebuild(rows, split, coords):
+    if split >= len(rows):
+        return
+    schema = _schema()
+    merged = merge_cubes(
+        build_cube(rows[:split], schema), build_cube(rows[split:], schema)
+    )
+    whole = build_cube(rows, schema)
+    vector = [ALL if c is None else c for c in coords]
+    assert merged.value(vector) == whole.value(vector)
+
+
+@given(rows=rows_strategy, split=st.integers(min_value=1, max_value=59),
+       bounds=range_strategy)
+@settings(max_examples=60, deadline=None)
+def test_merged_cubes_answer_range_queries_like_rebuild(rows, split, bounds):
+    if split >= len(rows):
+        return
+    schema = _schema()
+    merged = merge_cubes(
+        build_cube(rows[:split], schema), build_cube(rows[split:], schema)
+    )
+    whole = build_cube(rows, schema)
+    assert _range_rows(merged, bounds) == _range_rows(whole, bounds)
+    for member in _MEMBERS:
+        got = sorted(select(merged, x=Member(member)))
+        want = sorted(select(whole, x=Member(member)))
+        assert got == want

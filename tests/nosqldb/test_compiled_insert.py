@@ -1,0 +1,125 @@
+"""Compiled (zero-parse) inserts must be byte-identical to per-row inserts.
+
+``Session.compile_insert`` plans an INSERT once; ``execute_batch`` then
+streams bound rows straight into the memtable.  These tests drive the
+same rows through the classic per-statement path and the compiled path
+on twin engines and compare the raw storage state: encoded memtable
+rows, write clock, commit log records, and secondary index answers.
+"""
+
+import pytest
+
+from repro.nosqldb.engine import NoSQLEngine
+from repro.nosqldb.errors import InvalidRequest
+from repro.nosqldb.session import CompiledInsert
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS readings (
+  id int PRIMARY KEY,
+  station text,
+  level int,
+  ok boolean
+)
+"""
+
+_INSERT = "INSERT INTO readings (id, station, level, ok) VALUES (?, ?, ?, ?)"
+
+_ROWS = [
+    (1, "north", 10, True),
+    (2, "south", -3, False),
+    (3, "north", 7, True),
+    (4, None, 0, False),  # null value is skipped, not stored
+    (5, "east", 99, True),
+]
+
+
+def _fresh_session(with_index=False):
+    engine = NoSQLEngine()
+    session = engine.connect()
+    session.execute("CREATE KEYSPACE IF NOT EXISTS ks")
+    session.execute("USE ks")
+    session.execute(_DDL)
+    if with_index:
+        session.execute("CREATE INDEX IF NOT EXISTS ON readings (station)")
+    return engine, session
+
+
+def _table(engine):
+    return engine.keyspace("ks").table("readings")
+
+
+def _storage_state(engine):
+    table = _table(engine)
+    return dict(table._memtable._rows), table._write_clock
+
+
+@pytest.mark.parametrize("with_index", [False, True])
+def test_compiled_batch_matches_per_row_bytes(with_index):
+    classic_engine, classic = _fresh_session(with_index)
+    prepared = classic.prepare(_INSERT)
+    for row in _ROWS:
+        classic.execute_prepared(prepared, row)
+
+    compiled_engine, compiled_session = _fresh_session(with_index)
+    plan = compiled_session.compile_insert(_INSERT)
+    assert isinstance(plan, CompiledInsert)
+    assert plan.execute_batch(_ROWS) == len(_ROWS)
+
+    classic_rows, classic_clock = _storage_state(classic_engine)
+    compiled_rows, compiled_clock = _storage_state(compiled_engine)
+    assert compiled_rows == classic_rows  # byte-for-byte encoded rows
+    assert compiled_clock == classic_clock  # same timestamp sequence
+
+    classic_log = list(classic_engine.keyspace("ks")._commit_log.records())
+    compiled_log = list(compiled_engine.keyspace("ks")._commit_log.records())
+    assert compiled_log == classic_log
+
+    if with_index:
+        for station in ("north", "south", "east"):
+            assert sorted(_table(compiled_engine)._indexes["station"].lookup(station)) == \
+                sorted(_table(classic_engine)._indexes["station"].lookup(station))
+
+
+def test_compiled_single_execute_matches_insert():
+    classic_engine, classic = _fresh_session()
+    classic.execute(
+        "INSERT INTO readings (id, station, level, ok) VALUES (9, 'w', 5, true)"
+    )
+    compiled_engine, compiled_session = _fresh_session()
+    plan = compiled_session.compile_insert(_INSERT)
+    plan.execute((9, "w", 5, True))
+    assert _storage_state(compiled_engine) == _storage_state(classic_engine)
+
+
+def test_compiled_insert_constant_values():
+    # Mixed constants and binds in the compiled template.
+    classic_engine, classic = _fresh_session()
+    classic.execute("INSERT INTO readings (id, station, level) VALUES (1, 'fix', 3)")
+    compiled_engine, compiled_session = _fresh_session()
+    plan = compiled_session.compile_insert(
+        "INSERT INTO readings (id, station, level) VALUES (?, 'fix', 3)"
+    )
+    plan.execute_batch([(1,)])
+    assert _storage_state(compiled_engine) == _storage_state(classic_engine)
+
+
+def test_rows_visible_through_cql_after_compiled_batch():
+    engine, session = _fresh_session()
+    session.compile_insert(_INSERT).execute_batch(_ROWS)
+    rows = sorted(
+        (r["id"], r["station"]) for r in session.execute("SELECT * FROM readings")
+    )
+    assert rows == [(1, "north"), (2, "south"), (3, "north"), (4, None), (5, "east")]
+
+
+def test_compile_rejects_non_insert():
+    _, session = _fresh_session()
+    with pytest.raises(InvalidRequest):
+        session.compile_insert("UPDATE readings SET level = ? WHERE id = ?")
+
+
+def test_compiled_null_key_rejected():
+    _, session = _fresh_session()
+    plan = session.compile_insert(_INSERT)
+    with pytest.raises(InvalidRequest):
+        plan.execute_batch([(None, "x", 1, True)])

@@ -1,0 +1,112 @@
+"""Compiled (zero-parse) SQL inserts must match per-row inserts byte-wise.
+
+Twin databases receive the same rows through the classic parsed path and
+through ``SQLSession.compile_insert(...).execute_batch(...)``; the redo
+log, binlog, clustered B-tree and secondary indexes must end up
+identical, because the batch loop is the per-row insert with the parser
+removed — nothing else.
+"""
+
+import pytest
+
+from repro.sqldb.engine import SQLEngine
+from repro.sqldb.errors import IntegrityError, ProgrammingError
+from repro.sqldb.session import SQLCompiledInsert
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS readings (
+  id INT PRIMARY KEY,
+  station VARCHAR(32),
+  level INT
+)
+"""
+
+_INSERT = "INSERT INTO readings (id, station, level) VALUES (?, ?, ?)"
+
+_ROWS = [(1, "north", 10), (2, "south", -3), (3, "north", 7), (4, "east", 99)]
+
+
+def _fresh(with_index=False):
+    engine = SQLEngine()
+    session = engine.connect()
+    session.execute("CREATE DATABASE IF NOT EXISTS db")
+    session.execute("USE db")
+    session.execute(_DDL)
+    if with_index:
+        session.execute("CREATE INDEX idx_station ON readings (station)")
+    return engine, session
+
+
+def _state(engine):
+    database = engine.database("db")
+    table = database.table("readings")
+    return {
+        "redo": bytes(database._redo_log),
+        "binlog": bytes(database._binlog),
+        "clustered": list(table._clustered.items()),
+        "secondary": {
+            name: list(tree.items()) for name, tree in table._secondary.items()
+        },
+        "n_rows": table._n_rows,
+    }
+
+
+@pytest.mark.parametrize("with_index", [False, True])
+def test_compiled_batch_matches_per_row_bytes(with_index):
+    classic_engine, classic = _fresh(with_index)
+    prepared = classic.prepare(_INSERT)
+    for row in _ROWS:
+        classic.execute_prepared(prepared, row)
+
+    compiled_engine, compiled_session = _fresh(with_index)
+    plan = compiled_session.compile_insert(_INSERT)
+    assert isinstance(plan, SQLCompiledInsert)
+    assert plan.execute_batch(_ROWS) == len(_ROWS)
+
+    assert _state(compiled_engine) == _state(classic_engine)
+
+
+def test_compiled_single_execute_matches_literal_insert():
+    classic_engine, classic = _fresh()
+    classic.execute("INSERT INTO readings (id, station, level) VALUES (7, 'w', 5)")
+    compiled_engine, compiled_session = _fresh()
+    compiled_session.compile_insert(_INSERT).execute((7, "w", 5))
+    assert _state(compiled_engine) == _state(classic_engine)
+
+
+def test_compiled_insert_with_constants():
+    classic_engine, classic = _fresh()
+    classic.execute("INSERT INTO readings (id, station, level) VALUES (1, 'fix', 3)")
+    compiled_engine, compiled_session = _fresh()
+    plan = compiled_session.compile_insert(
+        "INSERT INTO readings (id, station, level) VALUES (?, 'fix', 3)"
+    )
+    plan.execute_batch([(1,)])
+    assert _state(compiled_engine) == _state(classic_engine)
+
+
+def test_rows_visible_through_sql_after_compiled_batch():
+    engine, session = _fresh()
+    session.compile_insert(_INSERT).execute_batch(_ROWS)
+    rows = sorted(
+        (r["id"], r["station"], r["level"])
+        for r in session.execute("SELECT * FROM readings")
+    )
+    assert rows == sorted(_ROWS)
+
+
+def test_duplicate_primary_key_raises():
+    engine, session = _fresh()
+    plan = session.compile_insert(_INSERT)
+    with pytest.raises(IntegrityError):
+        plan.execute_batch([(1, "a", 1), (1, "b", 2)])
+    # The first row landed before the duplicate was detected, exactly as
+    # two sequential single-row inserts would have behaved.
+    rows = list(session.execute("SELECT * FROM readings"))
+    assert len(rows) == 1 and rows[0]["station"] == "a"
+
+
+def test_compile_rejects_non_insert():
+    _, session = _fresh()
+    with pytest.raises(ProgrammingError):
+        session.compile_insert("UPDATE readings SET level = ? WHERE id = ?")
