@@ -1,0 +1,144 @@
+"""Runtime invariant checker for :class:`repro.storage.btree.BTree`.
+
+Covers the guarantees both engines lean on (DESIGN.md "storage layer"):
+
+* **Key ordering** — strictly ascending keys inside every leaf and
+  across the whole tree (clustered scans and range lookups iterate the
+  leaf chain in order).
+* **Separator correctness** — for an internal node, every key in
+  ``children[i]`` is ``< keys[i]`` and every key in ``children[i+1]`` is
+  ``>= keys[i]``; this is exactly what the ``bisect_right`` descent in
+  ``_find_leaf`` assumes.
+* **Leaf-chain integrity** — the ``next`` chain starting at the first
+  leaf visits exactly the leaves reachable from the root, in tree order.
+* **Page accounting** — entry/leaf/internal counters match the live
+  structure, pages respect the split capacity, and clean (non-dirty)
+  pages hold a byte-accurate encoded image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.violations import CheckReport
+from repro.storage.btree import BTree, _Internal, _Leaf, encode_key
+from repro.storage.encoding import encode_bytes
+from repro.storage.varint import encode_varint
+
+_CHECKER = "btree"
+
+
+def _expected_leaf_image(leaf: _Leaf) -> bytes:
+    """Recompute a leaf's encoded page without mutating it."""
+    parts = [encode_varint(len(leaf.keys))]
+    for key, value in zip(leaf.keys, leaf.values):
+        parts.append(encode_key(key))
+        parts.append(encode_bytes(value) if value is not None else b"\x00")
+    return b"".join(parts)
+
+
+def btree_check(tree: BTree, name: str = "btree") -> CheckReport:
+    """Check every structural invariant of ``tree``; never raises."""
+    report = CheckReport(f"btree_check[{name}]")
+    capacity = tree._capacity
+    leaves: List[_Leaf] = []
+    counts = {"entries": 0, "internal": 0}
+
+    def walk(node, lo, hi, depth: int) -> None:
+        location = f"{name}/page@depth{depth}"
+        if isinstance(node, _Leaf):
+            leaves.append(node)
+            counts["entries"] += len(node.keys)
+            report.check(
+                len(node.keys) == len(node.values), _CHECKER, "btree.page-shape",
+                location,
+                f"leaf holds {len(node.keys)} keys but {len(node.values)} values",
+            )
+            report.check(
+                len(node.keys) <= capacity, _CHECKER, "btree.page-capacity",
+                location,
+                f"leaf holds {len(node.keys)} entries, capacity is {capacity}",
+            )
+            previous = None
+            for key in node.keys:
+                try:
+                    if previous is not None:
+                        report.check(
+                            previous < key, _CHECKER, "btree.key-order",
+                            location,
+                            f"keys out of order: {previous!r} !< {key!r}",
+                        )
+                    if lo is not None:
+                        report.check(
+                            key >= lo, _CHECKER, "btree.separator", location,
+                            f"key {key!r} below its subtree's separator {lo!r}",
+                        )
+                    if hi is not None:
+                        report.check(
+                            key < hi, _CHECKER, "btree.separator", location,
+                            f"key {key!r} at or above the next separator {hi!r}",
+                        )
+                except TypeError:
+                    report.add(
+                        _CHECKER, "btree.key-order", location,
+                        f"uncomparable key {key!r} in an ordered page",
+                    )
+                previous = key
+            if not node.dirty:
+                report.check(
+                    node.encoded == _expected_leaf_image(node),
+                    _CHECKER, "btree.stale-page", location,
+                    "clean leaf's encoded image does not match its entries",
+                )
+            return
+        counts["internal"] += 1
+        report.check(
+            len(node.children) == len(node.keys) + 1, _CHECKER, "btree.fanout",
+            location,
+            f"internal page has {len(node.keys)} separators but "
+            f"{len(node.children)} children",
+        )
+        report.check(
+            len(node.children) <= capacity, _CHECKER, "btree.page-capacity",
+            location,
+            f"internal page has {len(node.children)} children, capacity is "
+            f"{capacity}",
+        )
+        bounds = [lo] + list(node.keys) + [hi]
+        for index, child in enumerate(node.children):
+            walk(child, bounds[index], bounds[index + 1], depth + 1)
+
+    walk(tree._root, None, None, 0)
+
+    report.check(
+        counts["entries"] == len(tree), _CHECKER, "btree.entry-count", name,
+        f"counter says {len(tree)} entries, pages hold {counts['entries']}",
+    )
+    report.check(
+        len(leaves) == tree._n_leaves, _CHECKER, "btree.page-count", name,
+        f"counter says {tree._n_leaves} leaf pages, tree holds {len(leaves)}",
+    )
+    report.check(
+        counts["internal"] == tree._n_internal, _CHECKER, "btree.page-count",
+        name,
+        f"counter says {tree._n_internal} internal pages, tree holds "
+        f"{counts['internal']}",
+    )
+
+    # Leaf chain: starting at the first leaf, `next` pointers must visit
+    # exactly the reachable leaves in tree order, then terminate.
+    chain: List[_Leaf] = []
+    leaf: Optional[_Leaf] = tree._first_leaf
+    limit = len(leaves) + 1
+    while leaf is not None and len(chain) <= limit:
+        chain.append(leaf)
+        leaf = leaf.next
+    ok = len(chain) == len(leaves) and all(
+        a is b for a, b in zip(chain, leaves)
+    )
+    report.check(
+        ok, _CHECKER, "btree.leaf-chain", name,
+        f"leaf chain visits {len(chain)} pages, tree order has {len(leaves)}"
+        " (broken, reordered or cyclic next pointers)",
+    )
+    return report

@@ -1,0 +1,105 @@
+"""Runtime invariant checker for relational (sqldb) tables.
+
+The "heap" of the MySQL-style engine is a clustered B-tree: rows live in
+the leaves keyed by primary key (DESIGN.md "SQL engine", paper §5.1).
+Beyond delegating the page-level structure to
+:func:`~repro.analysis.btree_check.btree_check`, this checker verifies
+the relational layer's own promises:
+
+* **Row accounting** — ``len(table)`` equals the clustered tree's entry
+  count (the dirty-page flush heuristic and ``size_bytes`` both scale
+  with it).
+* **Key faithfulness** — every stored row decodes to a primary key equal
+  to the clustered key it is filed under.
+* **Codec round-trip** — decoding then re-encoding a stored row
+  reproduces the stored bytes (null bitmap included).
+* **Constraint integrity** — NOT NULL columns hold values in every
+  stored row.
+* **Secondary-index ↔ heap agreement** — each secondary tree holds
+  exactly the ``(value, pk)`` pairs derivable from the clustered rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.analysis.btree_check import btree_check
+from repro.analysis.violations import CheckReport
+from repro.sqldb.table import Table
+
+_CHECKER = "heap"
+
+
+def heap_check(table: Table) -> CheckReport:
+    """Check every structural invariant of one sqldb table; never raises."""
+    report = CheckReport(f"heap_check[{table.name}]")
+    report.merge(btree_check(table._clustered, name=f"{table.name}/clustered"))
+
+    expected: Dict[str, Set[Tuple[object, object]]] = {
+        column: set() for column in table._secondary
+    }
+    not_null = [
+        column for column in table.columns
+        if column.not_null and column.name not in table.primary_key
+    ]
+    n_rows = 0
+    for pk, encoded in table._clustered.items():
+        n_rows += 1
+        location = f"{table.name}[{pk!r}]"
+        try:
+            row = table.decode_row(encoded)
+        except Exception as exc:
+            report.add(
+                _CHECKER, "heap.corrupt-row", location,
+                f"stored row failed to decode: {type(exc).__name__}: {exc}",
+            )
+            continue
+        try:
+            derived = table._pk_of(row)
+        except Exception:
+            derived = None
+        report.check(
+            derived == pk, _CHECKER, "heap.pk-agreement", location,
+            f"row decodes to primary key {derived!r}, filed under {pk!r}",
+        )
+        report.check(
+            table.encode_row(row) == encoded, _CHECKER, "heap.row-codec",
+            location,
+            "row does not re-encode to its stored bytes (codec round-trip)",
+        )
+        for column in not_null:
+            report.check(
+                row.get(column.name) is not None, _CHECKER, "heap.not-null",
+                location, f"NOT NULL column {column.name!r} stores NULL",
+            )
+        for column_name in expected:
+            value = row.get(column_name)
+            if value is not None:
+                expected[column_name].add((value, pk))
+
+    report.check(
+        n_rows == len(table), _CHECKER, "heap.row-count", table.name,
+        f"table reports {len(table)} rows, clustered tree holds {n_rows}",
+    )
+
+    for column_name, tree in table._secondary.items():
+        location = f"{table.name}/index[{column_name}]"
+        report.merge(btree_check(tree, name=location))
+        actual = set(tree.keys())
+        missing = expected[column_name] - actual
+        extra = actual - expected[column_name]
+        report.check(
+            not missing, _CHECKER, "heap.index-agreement", location,
+            f"{len(missing)} clustered row(s) missing from the index, e.g. "
+            f"{_example(missing)}",
+        )
+        report.check(
+            not extra, _CHECKER, "heap.index-agreement", location,
+            f"{len(extra)} index entrie(s) with no matching clustered row, "
+            f"e.g. {_example(extra)}",
+        )
+    return report
+
+
+def _example(entries: Set) -> str:
+    return repr(next(iter(entries))) if entries else "-"

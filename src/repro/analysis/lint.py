@@ -1,0 +1,307 @@
+"""A repo-specific AST lint pass (stdlib ``ast`` only, no flake8).
+
+Five rules, each guarding a failure mode this codebase has actually to
+care about:
+
+* **REPRO001 mutable-default** — a ``list``/``dict``/``set`` literal,
+  comprehension or constructor call as a parameter default is shared
+  across calls; engines and mappers are long-lived objects, so the
+  aliasing bites late and far from the definition.
+* **REPRO002 bare-except** — ``except:`` swallows ``KeyboardInterrupt``
+  and ``SystemExit`` and hides checker/engine bugs; catch something.
+* **REPRO003 dict-order-hash** — in cube-hashing code (``dwarf/``,
+  ``mapping/``, ``analysis/``), feeding ``.keys()``/``.values()``/
+  ``.items()`` into ``hash()`` or ``frozenset()`` without ``sorted()``
+  makes signatures depend on dict insertion order — exactly the bug the
+  serial↔parallel equivalence checks exist to rule out.
+* **REPRO004 undocumented-raise** — public functions of the engine
+  packages (``storage/``, ``sqldb/``, ``nosqldb/``, minus the query
+  front-ends) must name every error type they directly raise in their
+  docstring; callers program against those docstrings.
+* **REPRO005 layering** — the query front-ends (``sqldb/sql/``,
+  ``nosqldb/cql/``) must not import :mod:`repro.mapping` (parsers sit
+  *below* mappers), and ``storage/`` must not import any higher layer
+  (dwarf, sqldb, nosqldb, mapping, etl).
+
+Run via :func:`run_lint` or ``python -m repro check --lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.violations import CheckReport
+
+_CHECKER = "lint"
+
+#: Constructor names whose call as a default value is a shared mutable.
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter")
+
+#: AST nodes that literally build a fresh mutable per evaluation site.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+#: Suffixes of exception class names REPRO004 requires docstrings to name.
+_ERROR_SUFFIXES = ("Error", "Exception", "Exists", "Request", "Warning")
+
+#: Path fragments (posix) whose files REPRO003 applies to.
+_ORDER_SENSITIVE_PARTS = ("/dwarf/", "/mapping/", "/analysis/")
+
+#: Layering rules: (path fragment, forbidden import prefixes).
+_LAYERING = (
+    ("/sqldb/sql/", ("repro.mapping",)),
+    ("/nosqldb/cql/", ("repro.mapping",)),
+    (
+        "/storage/",
+        ("repro.dwarf", "repro.sqldb", "repro.nosqldb", "repro.mapping",
+         "repro.etl"),
+    ),
+)
+
+
+def package_root() -> Path:
+    """The ``repro`` package directory this lint defends by default."""
+    return Path(__file__).resolve().parents[1]
+
+
+def iter_source_files(paths: Optional[Sequence] = None) -> List[Path]:
+    """Resolve ``paths`` (files or directories) to a sorted ``.py`` list."""
+    roots = [Path(p) for p in paths] if paths else [package_root()]
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    return files
+
+
+def run_lint(paths: Optional[Sequence] = None) -> CheckReport:
+    """Lint every file under ``paths`` (default: the repro package)."""
+    report = CheckReport("lint")
+    for path in iter_source_files(paths):
+        lint_file(path, report)
+    return report
+
+
+def lint_file(path: Path, report: CheckReport) -> None:
+    """Run every rule over one file, appending findings to ``report``."""
+    location = _display(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        report.add(_CHECKER, "REPRO000", location, f"unparseable: {exc}")
+        return
+    posix = path.resolve().as_posix()
+    _check_mutable_defaults(tree, location, report)
+    _check_bare_except(tree, location, report)
+    if any(part in posix for part in _ORDER_SENSITIVE_PARTS):
+        _check_dict_order_hash(tree, location, report)
+    if _raise_docs_apply(posix):
+        _check_undocumented_raises(tree, location, report)
+    _check_layering(tree, posix, location, report)
+
+
+def _display(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# ----------------------------------------------------------------------
+# REPRO001 — mutable default arguments
+# ----------------------------------------------------------------------
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _check_mutable_defaults(tree: ast.AST, location: str,
+                            report: CheckReport) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            report.check(
+                not _is_mutable_default(default), _CHECKER, "REPRO001",
+                f"{location}:{default.lineno}",
+                f"mutable default argument in {node.name}() is shared "
+                "across calls; default to None and build inside",
+            )
+
+
+# ----------------------------------------------------------------------
+# REPRO002 — bare except
+# ----------------------------------------------------------------------
+def _check_bare_except(tree: ast.AST, location: str,
+                       report: CheckReport) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            report.check(
+                node.type is not None, _CHECKER, "REPRO002",
+                f"{location}:{node.lineno}",
+                "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception or something narrower",
+            )
+
+
+# ----------------------------------------------------------------------
+# REPRO003 — dict-iteration-order-dependent hashing in cube code
+# ----------------------------------------------------------------------
+def _view_calls(node: ast.AST) -> Iterable[ast.Call]:
+    """``.keys()``/``.values()``/``.items()`` calls in ``node``'s subtree."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in ("keys", "values", "items")
+            and not child.args and not child.keywords
+        ):
+            yield child
+
+
+def _check_dict_order_hash(tree: ast.AST, location: str,
+                           report: CheckReport) -> None:
+    sorted_views = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            for view in _view_calls(node):
+                sorted_views.add(id(view))
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("hash", "frozenset")
+        ):
+            continue
+        report.record()
+        for view in _view_calls(node):
+            if id(view) not in sorted_views:
+                report.add(
+                    _CHECKER, "REPRO003", f"{location}:{node.lineno}",
+                    f"{node.func.id}() over a dict .{view.func.attr}() view "
+                    "depends on insertion order; wrap the view in sorted() "
+                    "so cube signatures are canonical",
+                )
+
+
+# ----------------------------------------------------------------------
+# REPRO004 — public engine APIs must document what they raise
+# ----------------------------------------------------------------------
+def _raise_docs_apply(posix: str) -> bool:
+    if "/sql/" in posix or "/cql/" in posix:
+        return False
+    return any(
+        part in posix for part in ("/storage/", "/sqldb/", "/nosqldb/")
+    )
+
+
+def _public_functions(tree: ast.Module):
+    """Top-level public functions and public methods of top-level classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not item.name.startswith("_"):
+                        yield item
+
+
+def _raised_error_names(func: ast.AST) -> Iterable[ast.Raise]:
+    """Direct ``raise Name(...)``/``raise Name`` statements in ``func``.
+
+    Nested defs are skipped — their raises are not part of the enclosing
+    function's visible contract until the closure is called.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                             ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Raise):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _error_name(raise_node: ast.Raise) -> Optional[str]:
+    exc = raise_node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = None
+    if isinstance(exc, ast.Name):
+        name = exc.id
+    elif isinstance(exc, ast.Attribute):
+        name = exc.attr
+    if name == "NotImplementedError":
+        # An abstract-method stub is a contract for implementers, not an
+        # error callers of a concrete engine can observe.
+        return None
+    if name and name.endswith(_ERROR_SUFFIXES):
+        return name
+    return None
+
+
+def _check_undocumented_raises(tree: ast.Module, location: str,
+                               report: CheckReport) -> None:
+    for func in _public_functions(tree):
+        docstring = ast.get_docstring(func) or ""
+        for raise_node in _raised_error_names(func):
+            name = _error_name(raise_node)
+            if name is None:
+                continue
+            report.check(
+                name in docstring, _CHECKER, "REPRO004",
+                f"{location}:{raise_node.lineno}",
+                f"public {func.name}() raises {name} but its docstring "
+                "does not mention it; callers program against docstrings",
+            )
+
+
+# ----------------------------------------------------------------------
+# REPRO005 — layering
+# ----------------------------------------------------------------------
+def _imported_modules(tree: ast.AST) -> Iterable:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module:
+                yield node.module, node.lineno
+
+
+def _check_layering(tree: ast.AST, posix: str, location: str,
+                    report: CheckReport) -> None:
+    for fragment, forbidden in _LAYERING:
+        if fragment not in posix:
+            continue
+        for module, lineno in _imported_modules(tree):
+            for prefix in forbidden:
+                report.check(
+                    not (module == prefix or module.startswith(prefix + ".")),
+                    _CHECKER, "REPRO005", f"{location}:{lineno}",
+                    f"layer violation: {fragment.strip('/')} code imports "
+                    f"{module} (must stay below {prefix})",
+                )

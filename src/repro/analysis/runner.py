@@ -1,0 +1,94 @@
+"""The :class:`CheckRunner` facade and the ``REPRO_CHECK=1`` hook body.
+
+One entry point for every invariant checker: callers hand over a cube, a
+B-tree, an SSTable, a column family or a relational table and the runner
+dispatches to the matching checker.  The runtime hooks in the DWARF
+builders and both engine sessions call :func:`runtime_check`, which adds
+the raise-on-violation policy the sanitizer mode wants.
+
+Engine modules are imported lazily inside the dispatch table so that
+importing :mod:`repro.analysis` never drags in (or cycles with) the
+engines themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.flags import checks_enabled
+from repro.analysis.violations import CheckReport
+
+
+class CheckRunner:
+    """Dispatch facade over every runtime invariant checker.
+
+    ``runner.check(obj)`` picks the checker matching ``obj``'s type and
+    returns its :class:`CheckReport`; :meth:`check_all` folds several
+    targets into one report.  Raises :class:`TypeError` for objects no
+    checker covers.
+    """
+
+    def _dispatch(self) -> List[Tuple[type, Callable[[object], CheckReport]]]:
+        from repro.analysis.btree_check import btree_check
+        from repro.analysis.dwarf_check import dwarf_check
+        from repro.analysis.heap_check import heap_check
+        from repro.analysis.sstable_check import columnfamily_check, sstable_check
+        from repro.dwarf.cube import DwarfCube
+        from repro.nosqldb.columnfamily import ColumnFamily
+        from repro.nosqldb.sstable import SSTable
+        from repro.sqldb.table import Table
+        from repro.storage.btree import BTree
+
+        return [
+            (DwarfCube, dwarf_check),
+            (BTree, btree_check),
+            (SSTable, sstable_check),
+            (ColumnFamily, columnfamily_check),
+            (Table, heap_check),
+        ]
+
+    def check(self, target: object, **checker_kwargs) -> CheckReport:
+        """Run the checker matching ``target``'s type.
+
+        Extra keyword arguments are forwarded to the matched checker
+        (e.g. ``coalesce=False`` for an uncoalesced ablation cube).
+        Raises :class:`TypeError` when no checker covers the type.
+        """
+        for cls, checker in self._dispatch():
+            if isinstance(target, cls):
+                return checker(target, **checker_kwargs)
+        raise TypeError(
+            f"no invariant checker for {type(target).__name__}; checkable: "
+            "DwarfCube, BTree, SSTable, ColumnFamily, sqldb Table"
+        )
+
+    def check_all(self, targets, name: str = "check_all") -> CheckReport:
+        """Check every target, merged into one report."""
+        report = CheckReport(name)
+        for target in targets:
+            report.merge(self.check(target))
+        return report
+
+
+#: Shared runner used by the runtime hooks.
+_RUNNER = CheckRunner()
+
+
+def runtime_check(
+    target: object, label: Optional[str] = None, **checker_kwargs
+) -> Optional[CheckReport]:
+    """The ``REPRO_CHECK=1`` hook body: check ``target``, raise if broken.
+
+    Returns None without doing anything when checking is disabled, so
+    hook sites can call it unconditionally after a cheap
+    :func:`~repro.analysis.flags.checks_enabled` guard (or rely on this
+    one).  Extra keyword arguments reach the dispatched checker.  Raises
+    :class:`InvariantViolationError` on any violation.
+    """
+    if not checks_enabled():
+        return None
+    report = _RUNNER.check(target, **checker_kwargs)
+    if label:
+        report.name = f"{report.name} <- {label}"
+    report.raise_if_violations()
+    return report

@@ -1,0 +1,281 @@
+"""Runtime invariant checkers for SSTables and column families.
+
+SSTable invariants (DESIGN.md "NoSQL engine", paper §5 storage model):
+
+* **Sorted blocks** — block first-keys ascend strictly; entries inside a
+  block ascend strictly and start at the indexed first key; blocks do
+  not overlap (the binary-searched point read depends on all three).
+* **Bloom no-false-negative** — every stored key answers
+  ``might_contain() == True``; a false negative silently loses rows.
+* **Codec/compression round-trip** — each block decompresses, decodes
+  entry-by-entry, and re-encodes to the exact stored bytes.
+* **Row accounting** — entry count matches ``len(table)``; tombstoned
+  keys never coexist with a live row in the same table.
+
+Column-family invariants add the cross-structure checks:
+
+* **Memtable ↔ commit-log agreement** — in a durable keyspace, the
+  newest logged mutation for every unflushed key equals the memtable's
+  live row (or an empty payload for a tombstone); this is what makes
+  crash replay byte-faithful.
+* **Secondary-index ↔ data agreement** — index entries and live rows
+  describe each other exactly, in both directions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.btree_check import btree_check
+from repro.analysis.violations import CheckReport
+from repro.nosqldb.columnfamily import ColumnFamily
+from repro.nosqldb.sstable import SSTable, _decode_key
+from repro.storage.btree import encode_key
+from repro.storage.encoding import decode_bytes, encode_bytes
+from repro.storage.varint import decode_varint, encode_varint
+
+_CHECKER = "sstable"
+
+
+def sstable_check(table: SSTable, name: str = "sstable") -> CheckReport:
+    """Check every structural invariant of one SSTable; never raises.
+
+    Corruption that breaks decompression or decoding is reported as an
+    ``sstable.corrupt-block`` violation instead of propagating.
+    """
+    report = CheckReport(f"sstable_check[{name}]")
+    block_keys = table._block_keys
+
+    previous_block_key = None
+    for index, block_key in enumerate(block_keys):
+        if previous_block_key is not None:
+            try:
+                report.check(
+                    previous_block_key < block_key, _CHECKER,
+                    "sstable.block-order", f"{name}/block[{index}]",
+                    f"block first-keys out of order: {previous_block_key!r} "
+                    f"!< {block_key!r}",
+                )
+            except TypeError:
+                report.add(
+                    _CHECKER, "sstable.block-order", f"{name}/block[{index}]",
+                    f"uncomparable block first-key {block_key!r}",
+                )
+        previous_block_key = block_key
+
+    n_rows = 0
+    previous_key = None
+    for index in range(len(block_keys)):
+        location = f"{name}/block[{index}]"
+        try:
+            entries = list(_block_entries(table, index))
+        except Exception as exc:  # corrupt bytes surface as a violation
+            report.add(
+                _CHECKER, "sstable.corrupt-block", location,
+                f"block failed to decompress/decode: {type(exc).__name__}: {exc}",
+            )
+            continue
+        report.check(
+            bool(entries), _CHECKER, "sstable.empty-block", location,
+            "sealed block holds no entries",
+        )
+        for position, (key, row, raw_entry) in enumerate(entries):
+            n_rows += 1
+            if position == 0:
+                report.check(
+                    key == block_keys[index], _CHECKER, "sstable.block-index",
+                    location,
+                    f"sparse index says first key {block_keys[index]!r}, block "
+                    f"starts at {key!r}",
+                )
+            if previous_key is not None:
+                try:
+                    report.check(
+                        previous_key < key, _CHECKER, "sstable.key-order",
+                        location,
+                        f"row keys out of order: {previous_key!r} !< {key!r}",
+                    )
+                except TypeError:
+                    report.add(
+                        _CHECKER, "sstable.key-order", location,
+                        f"uncomparable row key {key!r}",
+                    )
+            previous_key = key
+            expected = encode_key(key) + encode_bytes(row)
+            report.check(
+                raw_entry == encode_varint(len(expected)) + expected,
+                _CHECKER, "sstable.codec-roundtrip", location,
+                f"entry for key {key!r} does not re-encode to its stored bytes",
+            )
+            report.check(
+                table._bloom.might_contain(key), _CHECKER,
+                "sstable.bloom-false-negative", location,
+                f"bloom filter misses stored key {key!r} (reads would skip "
+                "this table)",
+            )
+            report.check(
+                key not in table._tombstones, _CHECKER,
+                "sstable.tombstone-overlap", location,
+                f"key {key!r} is both live and tombstoned in one table",
+            )
+
+    report.check(
+        n_rows == len(table), _CHECKER, "sstable.row-count", name,
+        f"table reports {len(table)} rows, blocks hold {n_rows}",
+    )
+    return report
+
+
+def _block_entries(
+    table: SSTable, index: int
+) -> Iterator[Tuple[object, bytes, bytes]]:
+    """Decode one block, yielding ``(key, row, raw_entry_bytes)``."""
+    data = table._block_data(index)
+    raw = zlib.decompress(data) if table.compressed else data
+    offset = 0
+    end = len(raw)
+    while offset < end:
+        start = offset
+        entry_len, offset = decode_varint(raw, offset)
+        entry_end = offset + entry_len
+        if entry_end > end:
+            raise ValueError(
+                f"entry length {entry_len} overruns the block at offset {start}"
+            )
+        key, key_end = _decode_key(raw, offset)
+        row, row_end = decode_bytes(raw, key_end)
+        if row_end != entry_end:
+            raise ValueError(
+                f"entry for key {key!r} decodes {row_end - offset} bytes, "
+                f"header promised {entry_len}"
+            )
+        yield key, row, bytes(raw[start:entry_end])
+        offset = entry_end
+
+
+# ----------------------------------------------------------------------
+# column-family level
+# ----------------------------------------------------------------------
+def columnfamily_check(family: ColumnFamily) -> CheckReport:
+    """Check one column family: its SSTables plus cross-structure rules.
+
+    Deliberately avoids forcing flush/materialisation: only already-built
+    SSTables are checked, so running the checker never changes what a
+    subsequent read or benchmark observes.
+    """
+    report = CheckReport(f"columnfamily_check[{family.name}]")
+    for index, sstable in enumerate(family._sstables):
+        report.merge(
+            sstable_check(sstable, name=f"{family.name}/sstable[{index}]")
+        )
+    _check_commitlog_agreement(report, family)
+    _check_index_agreement(report, family)
+    for column_name, secondary in family._indexes.items():
+        report.merge(
+            btree_check(secondary._tree, name=f"{family.name}/index[{column_name}]")
+        )
+    return report
+
+
+def _unflushed_view(family: ColumnFamily) -> Dict[object, Optional[bytes]]:
+    """Newest unflushed mutation per key: encoded row, or None = tombstone."""
+    view: Dict[object, Optional[bytes]] = {}
+    memtables = [family._memtable] + list(reversed(family._pending))
+    for memtable in memtables:  # newest first; first hit wins
+        for key, encoded in memtable:
+            view.setdefault(key, encoded)
+        for key in memtable.tombstones:
+            view.setdefault(key, None)
+    return view
+
+
+def _check_commitlog_agreement(report: CheckReport, family: ColumnFamily) -> None:
+    log = family._commit_log
+    if log is None:
+        return
+    location = f"{family.name}/commitlog"
+    try:
+        latest: Dict[object, bytes] = {}
+        for table_name, key, encoded_row in log.records():
+            if table_name == family.name:
+                latest[key] = encoded_row
+    except Exception as exc:
+        report.add(
+            _CHECKER, "sstable.commitlog-corrupt", location,
+            f"commit log failed to decode: {type(exc).__name__}: {exc}",
+        )
+        return
+    for key, encoded in _unflushed_view(family).items():
+        logged = latest.get(key)
+        if encoded is None:  # tombstone: logged as an empty payload
+            report.check(
+                logged == b"", _CHECKER, "sstable.commitlog-agreement",
+                location,
+                f"memtable tombstone for key {key!r} is not the newest logged "
+                "mutation",
+            )
+        else:
+            report.check(
+                logged == encoded, _CHECKER, "sstable.commitlog-agreement",
+                location,
+                f"memtable row for key {key!r} differs from the newest logged "
+                "mutation (crash replay would diverge)",
+            )
+
+
+def _live_rows(family: ColumnFamily) -> Iterator[Tuple[object, bytes]]:
+    """Every live ``(key, encoded_row)`` without forcing materialisation."""
+    seen = set()
+    deleted = set()
+    memtables = [family._memtable] + list(reversed(family._pending))
+    for memtable in memtables:
+        for key, encoded in memtable:
+            if key not in seen and key not in deleted:
+                seen.add(key)
+                yield key, encoded
+        deleted |= set(memtable.tombstones)
+    for sstable in reversed(family._sstables):
+        for key, encoded in sstable.items():
+            if key not in seen and key not in deleted:
+                seen.add(key)
+                yield key, encoded
+        deleted |= set(sstable.tombstones)
+
+
+def _check_index_agreement(report: CheckReport, family: ColumnFamily) -> None:
+    if not family._indexes:
+        return
+    expected: Dict[str, set] = {column: set() for column in family._indexes}
+    for key, encoded in _live_rows(family):
+        try:
+            row = family.decode_row(encoded)
+        except Exception as exc:
+            report.add(
+                _CHECKER, "sstable.corrupt-row", f"{family.name}[{key!r}]",
+                f"stored row failed to decode: {type(exc).__name__}: {exc}",
+            )
+            continue
+        for column in expected:
+            value = row.get(column)
+            if value is not None:
+                expected[column].add((value, key))
+    for column, index in family._indexes.items():
+        actual = set(index._tree.keys())
+        location = f"{family.name}/index[{column}]"
+        missing = expected[column] - actual
+        extra = actual - expected[column]
+        report.check(
+            not missing, _CHECKER, "sstable.index-agreement", location,
+            f"{len(missing)} live row(s) missing from the index, e.g. "
+            f"{_example(missing)}",
+        )
+        report.check(
+            not extra, _CHECKER, "sstable.index-agreement", location,
+            f"{len(extra)} index entrie(s) with no matching live row, e.g. "
+            f"{_example(extra)}",
+        )
+
+
+def _example(entries: set) -> str:
+    return repr(next(iter(entries))) if entries else "-"

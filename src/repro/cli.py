@@ -12,6 +12,10 @@ Three commands cover the common workflows:
 ``bench``
     Run the Table 4/5 matrix for chosen datasets/schemas and print the
     paper-style comparison tables.
+``check``
+    The static-analysis gate: the repo-specific AST lint pass and/or the
+    cross-layer invariant suite (build a dataset's cube, store it under
+    every schema, and run every structural checker over the results).
 """
 
 from __future__ import annotations
@@ -59,6 +63,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemas",
         default=",".join(MAPPER_FACTORIES),
         help="comma-separated subset of the four schema names",
+    )
+
+    check = commands.add_parser("check", help="run the lint + invariant gate")
+    check.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the AST lint pass over src/repro",
+    )
+    check.add_argument(
+        "--invariants",
+        nargs="?",
+        const="Month",
+        default=None,
+        metavar="DATASET",
+        help="run the invariant suite on DATASET (default Month when the "
+        "flag is given bare; plain `repro check` uses Day)",
     )
     return parser
 
@@ -142,12 +162,75 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _print_report(report) -> bool:
+    print(report.summary())
+    for line in report.format_lines():
+        print(f"  {line}")
+    return report.ok
+
+
+def _check_invariants(dataset: str) -> bool:
+    """Run every structural checker over freshly built + stored cubes."""
+    from repro.analysis.dwarf_check import check_build_equivalence, dwarf_check
+    from repro.analysis.mapping_check import mapping_check
+    from repro.analysis.runner import CheckRunner
+    from repro.bench.datasets import load_dataset
+    from repro.dwarf.parallel import ParallelDwarfBuilder
+    from repro.smartcity.bikes import bikes_pipeline
+
+    if dataset not in DATASETS_BY_NAME:
+        print(f"unknown dataset {dataset!r}; choose from {DATASET_ORDER}", file=sys.stderr)
+        return False
+
+    ok = True
+    bundle = load_dataset(dataset)
+    print(f"dataset {dataset}: {bundle.n_tuples} tuples (REPRO_SCALE={current_scale():g})")
+    ok &= _print_report(dwarf_check(bundle.cube))
+
+    facts = bikes_pipeline().extract(bundle.documents)
+    parallel = ParallelDwarfBuilder(bundle.cube.schema, mode="thread").build(facts)
+    ok &= _print_report(check_build_equivalence(bundle.cube, parallel))
+
+    runner = CheckRunner()
+    for name in MAPPER_FACTORIES:
+        mapper = make_mapper(name)
+        ok &= _print_report(mapping_check(mapper, bundle.cube))
+        if hasattr(mapper, "database_name"):
+            tables = mapper.engine.database(mapper.database_name).tables
+        else:
+            tables = mapper.engine.keyspace(mapper.keyspace_name).tables
+        ok &= _print_report(
+            runner.check_all(tables, name=f"storage[{name}]")
+        )
+    return ok
+
+
+def _cmd_check(args) -> int:
+    from repro.analysis.lint import run_lint
+
+    # Plain `repro check` runs both passes; each flag narrows to one
+    # (giving both flags is the explicit spelling of the default).
+    run_lint_pass = args.lint or args.invariants is None
+    dataset = args.invariants
+    if dataset is None and not args.lint:
+        dataset = "Day"
+
+    ok = True
+    if run_lint_pass:
+        ok &= _print_report(run_lint())
+    if dataset is not None:
+        ok &= _check_invariants(dataset)
+    print("check: OK" if ok else "check: FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "generate": _cmd_generate,
         "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,
+        "check": _cmd_check,
     }[args.command]
     return handler(args)
 

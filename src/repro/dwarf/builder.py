@@ -25,6 +25,7 @@ from __future__ import annotations
 from functools import reduce
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.flags import checks_enabled
 from repro.core.errors import SchemaError, TupleShapeError
 from repro.core.schema import CubeSchema
 from repro.core.tuples import TupleSet, make_member_key_memo, member_sort_key
@@ -131,7 +132,19 @@ class DwarfBuilder:
         # else: the partitioned builder harvests the memo so the final
         # root close can reuse intra-partition merges exactly as the
         # serial scan's accumulated memo would.
-        return DwarfCube(self.schema, root, n_source_tuples=len(tuple_set), n_merges=n_merges)
+        cube = DwarfCube(self.schema, root, n_source_tuples=len(tuple_set), n_merges=n_merges)
+        if close_root and checks_enabled():
+            # REPRO_CHECK=1 sanitizer mode: a freshly closed cube must
+            # satisfy every structural invariant.  Open-root partition
+            # builds are checked by the parallel builder after stitching.
+            from repro.analysis.runner import runtime_check
+
+            runtime_check(
+                cube,
+                label=f"DwarfBuilder.build[{self.schema.name}]",
+                coalesce=self.coalesce,
+            )
+        return cube
 
     # ------------------------------------------------------------------
     # construction internals

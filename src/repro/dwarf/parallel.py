@@ -33,6 +33,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.flags import checks_enabled
 from repro.core.errors import TupleShapeError
 from repro.core.schema import CubeSchema
 from repro.core.tuples import FactTuple, TupleSet
@@ -230,12 +231,21 @@ class ParallelDwarfBuilder:
             for cell in part_root.cells():
                 root.add_cell(cell)
         finisher._close(root)
-        return DwarfCube(
+        cube = DwarfCube(
             self.schema,
             root,
             n_source_tuples=n_source_tuples,
             n_merges=len(memo),
         )
+        if checks_enabled():
+            # REPRO_CHECK=1 sanitizer mode: the stitched DAG must satisfy
+            # the same structural invariants as a serially built cube.
+            from repro.analysis.runner import runtime_check
+
+            runtime_check(
+                cube, label=f"ParallelDwarfBuilder.build[{self.schema.name}]"
+            )
+        return cube
 
     def __repr__(self) -> str:
         return (

@@ -4,6 +4,12 @@ The ``DWARF_Schema`` column family (paper Table 1-A) records ``node_count``,
 ``cell_count`` and ``size_as_mb`` per schema; these are obtained "by
 scanning the DWARF structure in-memory" (paper §4).  This module performs
 that scan.
+
+The storage structures the cube lands in report themselves the same way:
+:meth:`repro.storage.btree.BTree.stats` and
+:meth:`repro.nosqldb.sstable.SSTable.stats` are re-exported here (as
+:class:`BTreeStats` / :class:`SSTableStats`), and :func:`describe`
+dispatches a cube, tree or table to the right summary.
 """
 
 from __future__ import annotations
@@ -11,6 +17,16 @@ from __future__ import annotations
 from typing import Dict, NamedTuple
 
 from repro.dwarf.traversal import breadth_first
+from repro.nosqldb.sstable import SSTableStats
+from repro.storage.btree import BTreeStats
+
+__all__ = [
+    "BTreeStats",
+    "CubeStats",
+    "SSTableStats",
+    "compute_stats",
+    "describe",
+]
 
 
 class CubeStats(NamedTuple):
@@ -73,3 +89,23 @@ def compute_stats(cube) -> CubeStats:
         max_depth=max_depth,
         cells_per_level=cells_per_level,
     )
+
+
+def describe(target):
+    """One-stop stats: cube → :class:`CubeStats`, storage structure → its own.
+
+    Accepts a :class:`~repro.dwarf.cube.DwarfCube` (traversed via
+    :func:`compute_stats`) or anything exposing a ``stats()`` method —
+    :class:`~repro.storage.btree.BTree` and
+    :class:`~repro.nosqldb.sstable.SSTable` today.
+
+    Raises TypeError for objects with neither shape.
+    """
+    from repro.dwarf.cube import DwarfCube
+
+    if isinstance(target, DwarfCube):
+        return compute_stats(target)
+    stats = getattr(target, "stats", None)
+    if callable(stats):
+        return stats()
+    raise TypeError(f"no stats available for {type(target).__name__}")

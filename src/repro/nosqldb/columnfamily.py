@@ -125,6 +125,7 @@ class ColumnFamily:
     # schema
     # ------------------------------------------------------------------
     def column(self, name: str) -> Column:
+        """Raises InvalidRequest when the table has no such column."""
         try:
             return self._by_name[name]
         except KeyError:
@@ -135,6 +136,11 @@ class ColumnFamily:
         return tuple(c.name for c in self.columns)
 
     def create_index(self, index_name: str, column: str) -> SecondaryIndex:
+        """Create (and backfill) a secondary index on ``column``.
+
+        Raises InvalidRequest for unindexable columns (the primary key,
+        collections) and AlreadyExists for duplicate indexes.
+        """
         self.column(column)
         if column == self.primary_key:
             raise InvalidRequest("cannot create a secondary index on the primary key")
@@ -179,6 +185,7 @@ class ColumnFamily:
         return encode_varint(count) + b"".join(parts)
 
     def decode_row(self, encoded: bytes) -> Dict[str, object]:
+        """Raises InvalidRequest when a stored cell names an unknown column."""
         row: Dict[str, object] = {column.name: None for column in self.columns}
         count, offset = decode_varint(encoded, 0)
         for _ in range(count):
@@ -195,7 +202,10 @@ class ColumnFamily:
     # write path
     # ------------------------------------------------------------------
     def insert(self, row: Dict[str, object]) -> None:
-        """Upsert one row (CQL INSERT semantics)."""
+        """Upsert one row (CQL INSERT semantics).
+
+        Raises InvalidRequest for unknown columns or a missing primary key.
+        """
         key = row.get(self.primary_key)
         if key is None:
             raise InvalidRequest(f"INSERT into {self.name!r} misses primary key")
@@ -281,7 +291,10 @@ class ColumnFamily:
         return count
 
     def update(self, key, assignments: Dict[str, object]) -> None:
-        """CQL UPDATE: read-modify-write of non-key columns."""
+        """CQL UPDATE: read-modify-write of non-key columns.
+
+        Raises InvalidRequest when ``assignments`` touch the primary key.
+        """
         if self.primary_key in assignments:
             raise InvalidRequest("cannot update the primary key")
         current = self.get(key)
@@ -423,6 +436,7 @@ class ColumnFamily:
             yield self.decode_row(encoded)
 
     def lookup_indexed(self, column: str, value) -> List[Dict[str, object]]:
+        """Raises InvalidRequest when ``column`` has no secondary index."""
         index = self._indexes.get(column)
         if index is None:
             raise InvalidRequest(

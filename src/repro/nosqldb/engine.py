@@ -27,6 +27,10 @@ class NoSQLEngine:
         durable_writes: bool = True,
         if_not_exists: bool = False,
     ) -> Keyspace:
+        """Create a keyspace.
+
+        Raises AlreadyExists for duplicate names unless ``if_not_exists``.
+        """
         lowered = name.lower()
         if lowered in self._keyspaces:
             if if_not_exists:
@@ -43,11 +47,13 @@ class NoSQLEngine:
         return keyspace
 
     def drop_keyspace(self, name: str) -> None:
+        """Raises InvalidRequest when no such keyspace exists."""
         if name.lower() not in self._keyspaces:
             raise InvalidRequest(f"no keyspace {name!r}")
         del self._keyspaces[name.lower()]
 
     def keyspace(self, name: str) -> Keyspace:
+        """Raises InvalidRequest when no such keyspace exists."""
         try:
             return self._keyspaces[name.lower()]
         except KeyError:

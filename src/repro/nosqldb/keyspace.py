@@ -33,6 +33,10 @@ class Keyspace:
         compression: bool = True,
         if_not_exists: bool = False,
     ) -> ColumnFamily:
+        """Create a column family.
+
+        Raises AlreadyExists for duplicate names unless ``if_not_exists``.
+        """
         lowered = name.lower()
         if lowered in self._tables:
             if if_not_exists:
@@ -54,11 +58,13 @@ class Keyspace:
         return table
 
     def drop_table(self, name: str) -> None:
+        """Raises InvalidRequest when no such table exists."""
         if name.lower() not in self._tables:
             raise InvalidRequest(f"no table {name!r} in keyspace {self.name!r}")
         del self._tables[name.lower()]
 
     def table(self, name: str) -> ColumnFamily:
+        """Raises InvalidRequest when no such table exists."""
         try:
             return self._tables[name.lower()]
         except KeyError:
@@ -100,6 +106,9 @@ class Keyspace:
 
     def replay_commit_log(self) -> int:
         """Re-apply every logged mutation; returns the count replayed.
+
+        Raises InvalidRequest when the keyspace has durable writes
+        disabled (there is no log to replay).
 
         Mutations for tables that no longer exist are skipped (Cassandra
         logs a warning and moves on).  Secondary indexes are rebuilt from

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple
 
+from repro.analysis.flags import checks_enabled
 from repro.nosqldb.cql import ast
 from repro.nosqldb.cql.executor import (
     ResultSet,
@@ -63,7 +64,14 @@ class CompiledInsert:
                         bound.append((column, resolved))
                 yield key, bound
 
-        return self.table.insert_bound_many(bound_rows())
+        count = self.table.insert_bound_many(bound_rows())
+        if checks_enabled():
+            # REPRO_CHECK=1 sanitizer mode: after a bulk write the column
+            # family (SSTables, commit-log agreement, indexes) must be sound.
+            from repro.analysis.runner import runtime_check
+
+            runtime_check(self.table, label=f"execute_batch[{table_name}]")
+        return count
 
     def __repr__(self) -> str:
         return f"CompiledInsert({self.text!r})"
@@ -145,7 +153,19 @@ class Session:
             else:
                 execute(self.engine, prepared.statement, params, self.keyspace)
             count += 1
+        self._maybe_check()
         return count
+
+    def _maybe_check(self) -> None:
+        """REPRO_CHECK=1 hook: verify the current keyspace after a bulk load."""
+        if not checks_enabled() or self.keyspace is None:
+            return
+        from repro.analysis.runner import runtime_check
+
+        if not self.engine.has_keyspace(self.keyspace):
+            return
+        for table in self.engine.keyspace(self.keyspace).tables:
+            runtime_check(table, label=f"execute_batch[{self.keyspace}]")
 
     def _plan_for(self, prepared: PreparedStatement):
         """Cached server-side execution plan for a prepared INSERT."""

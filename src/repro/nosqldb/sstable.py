@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 import zlib
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.storage.btree import encode_key
 from repro.storage.encoding import decode_bytes, encode_bytes
@@ -71,6 +71,24 @@ class BloomFilter:
     @property
     def size_bytes(self) -> int:
         return len(self._bits)
+
+
+class SSTableStats(NamedTuple):
+    """A read-only structural summary of one :class:`SSTable`."""
+
+    rows: int
+    blocks: int
+    compressed: bool
+    on_disk: bool            # blocks spilled to a data file
+    tombstones: int
+    data_bytes: int          # stored block payload (post-compression)
+    index_bytes: int         # sparse block index
+    bloom_bytes: int
+    size_bytes: int          # data + index + bloom + fixed overhead
+
+    @property
+    def rows_per_block(self) -> float:
+        return self.rows / self.blocks if self.blocks else 0.0
 
 
 class SSTable:
@@ -205,6 +223,31 @@ class SSTable:
     @property
     def tombstones(self) -> frozenset:
         return self._tombstones
+
+    def stats(self) -> SSTableStats:
+        """A read-only :class:`SSTableStats` snapshot (no block reads)."""
+        if self._path is not None:
+            data = sum(length for _, length in self._offsets)
+        else:
+            data = sum(len(b) for b in self._blocks)
+        return SSTableStats(
+            rows=self._n_rows,
+            blocks=len(self._block_keys),
+            compressed=self.compressed,
+            on_disk=self._path is not None,
+            tombstones=len(self._tombstones),
+            data_bytes=data,
+            index_bytes=self._index_bytes,
+            bloom_bytes=self._bloom.size_bytes,
+            size_bytes=data + self._index_bytes + self._bloom.size_bytes + SSTABLE_OVERHEAD,
+        )
+
+    def __repr__(self) -> str:
+        where = "disk" if self._path is not None else "memory"
+        return (
+            f"SSTable(rows={self._n_rows}, blocks={len(self._block_keys)}, "
+            f"compressed={self.compressed}, {where})"
+        )
 
 
 def _decode_key(buffer, offset: int) -> Tuple[object, int]:

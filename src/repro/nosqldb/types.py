@@ -57,6 +57,7 @@ class IntType(CQLType):
     name = "int"
 
     def validate(self, value) -> None:
+        """Raises InvalidRequest for values that are not integers."""
         if not isinstance(value, int) or isinstance(value, bool):
             raise InvalidRequest(f"expected int, got {value!r}")
 
@@ -80,6 +81,7 @@ class TextType(CQLType):
     name = "text"
 
     def validate(self, value) -> None:
+        """Raises InvalidRequest for values that are not strings."""
         if not isinstance(value, str):
             raise InvalidRequest(f"expected text, got {value!r}")
 
@@ -99,6 +101,7 @@ class BooleanType(CQLType):
     name = "boolean"
 
     def validate(self, value) -> None:
+        """Raises InvalidRequest for values that are not booleans."""
         if not isinstance(value, bool):
             raise InvalidRequest(f"expected boolean, got {value!r}")
 
@@ -118,6 +121,7 @@ class DoubleType(CQLType):
     name = "double"
 
     def validate(self, value) -> None:
+        """Raises InvalidRequest for values that are not int/float."""
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise InvalidRequest(f"expected double, got {value!r}")
 
@@ -136,6 +140,7 @@ class SetType(CQLType):
         self.name = f"set<{element.name}>"
 
     def validate(self, value) -> None:
+        """Raises InvalidRequest for non-sets or ill-typed elements."""
         if not isinstance(value, (set, frozenset)):
             raise InvalidRequest(f"expected a set, got {value!r}")
         for item in value:
@@ -163,7 +168,10 @@ _SCALARS = {
 
 
 def parse_type(spec: str) -> CQLType:
-    """Resolve a type name like ``int`` or ``set<int>``."""
+    """Resolve a type name like ``int`` or ``set<int>``.
+
+    Raises InvalidRequest for unknown type names and nested sets.
+    """
     text = spec.strip().lower()
     if text in _SCALARS:
         return _SCALARS[text]

@@ -26,6 +26,10 @@ class Database:
         primary_key: Sequence[str],
         if_not_exists: bool = False,
     ) -> Table:
+        """Create a table.
+
+        Raises ProgrammingError for duplicate names unless ``if_not_exists``.
+        """
         lowered = name.lower()
         if lowered in self._tables:
             if if_not_exists:
@@ -38,11 +42,13 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
+        """Raises ProgrammingError when no such table exists."""
         if name.lower() not in self._tables:
             raise ProgrammingError(f"no table {name!r} in database {self.name!r}")
         del self._tables[name.lower()]
 
     def table(self, name: str) -> Table:
+        """Raises ProgrammingError when no such table exists."""
         try:
             return self._tables[name.lower()]
         except KeyError:

@@ -15,6 +15,10 @@ class SQLEngine:
         self._databases: Dict[str, Database] = {}
 
     def create_database(self, name: str, if_not_exists: bool = False) -> Database:
+        """Create a database.
+
+        Raises ProgrammingError for duplicate names unless ``if_not_exists``.
+        """
         lowered = name.lower()
         if lowered in self._databases:
             if if_not_exists:
@@ -25,11 +29,13 @@ class SQLEngine:
         return database
 
     def drop_database(self, name: str) -> None:
+        """Raises ProgrammingError when no such database exists."""
         if name.lower() not in self._databases:
             raise ProgrammingError(f"no database {name!r}")
         del self._databases[name.lower()]
 
     def database(self, name: str) -> Database:
+        """Raises ProgrammingError when no such database exists."""
         try:
             return self._databases[name.lower()]
         except KeyError:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from repro.analysis.flags import checks_enabled
 from repro.sqldb.errors import ProgrammingError
 from repro.sqldb.sql import ast
 from repro.sqldb.sql.executor import (
@@ -56,7 +57,14 @@ class SQLCompiledInsert:
                         row[column] = resolved
                 yield row
 
-        return self.table.insert_rows(dict_rows())
+        count = self.table.insert_rows(dict_rows())
+        if checks_enabled():
+            # REPRO_CHECK=1 sanitizer mode: after a bulk write the heap
+            # (clustered tree, row codec, secondary indexes) must be sound.
+            from repro.analysis.runner import runtime_check
+
+            runtime_check(self.table, label=f"execute_batch[{self.table.name}]")
+        return count
 
     def __repr__(self) -> str:
         return f"SQLCompiledInsert({self.text!r})"
@@ -134,11 +142,24 @@ class SQLSession:
             for params in rows:
                 plan(params)
                 count += 1
+            self._maybe_check(prepared)
             return count
         for params in rows:
             execute(self.engine, prepared.statement, params, self.database)
             count += 1
+        self._maybe_check(prepared)
         return count
+
+    def _maybe_check(self, prepared: SQLPreparedStatement) -> None:
+        """REPRO_CHECK=1 hook: verify the current database after a bulk load."""
+        if not checks_enabled() or self.database is None:
+            return
+        from repro.analysis.runner import runtime_check
+
+        if not self.engine.has_database(self.database):
+            return
+        for table in self.engine.database(self.database).tables:
+            runtime_check(table, label=f"execute_many[{prepared.text}]")
 
     def __repr__(self) -> str:
         return f"SQLSession(database={self.database!r})"

@@ -85,6 +85,7 @@ class Table:
     # schema
     # ------------------------------------------------------------------
     def column(self, name: str) -> SQLColumn:
+        """Raises ProgrammingError when the table has no such column."""
         try:
             return self._by_name[name]
         except KeyError:
@@ -95,6 +96,7 @@ class Table:
         return tuple(c.name for c in self.columns)
 
     def create_index(self, index_name: str, column: str) -> None:
+        """Raises ProgrammingError for unknown columns or duplicate indexes."""
         self.column(column)
         if column in self._secondary:
             raise ProgrammingError(f"index on {self.name}.{column} already exists")
@@ -150,6 +152,11 @@ class Table:
     # mutation
     # ------------------------------------------------------------------
     def insert(self, row: Dict[str, object]) -> None:
+        """Insert one row.
+
+        Raises ProgrammingError for unknown columns and IntegrityError for
+        NOT NULL or duplicate-primary-key violations.
+        """
         for name in row:
             if name not in self._by_name:
                 raise ProgrammingError(f"table {self.name!r} has no column {name!r}")
@@ -198,6 +205,9 @@ class Table:
         interpreter overhead (attribute walks, closure dispatch) hoisted
         out of the loop.  This is what a compiled statement's
         ``execute_batch`` feeds.
+
+        Raises ProgrammingError for unknown columns and IntegrityError for
+        NOT NULL or duplicate-primary-key violations.
         """
         by_name = self._by_name
         columns = self.columns
@@ -249,7 +259,10 @@ class Table:
         return count
 
     def update_where(self, predicate, assignments: Dict[str, object]) -> int:
-        """Update all rows matching ``predicate(row)``; returns the count."""
+        """Update all rows matching ``predicate(row)``; returns the count.
+
+        Raises ProgrammingError for unknown or primary-key assignments.
+        """
         for name in assignments:
             if name in self.primary_key:
                 raise ProgrammingError("updating primary key columns is not supported")
@@ -323,6 +336,7 @@ class Table:
         return rows
 
     def lookup_indexed(self, column: str, value) -> List[Dict[str, object]]:
+        """Raises ProgrammingError when ``column`` has no secondary index."""
         tree = self._secondary.get(column)
         if tree is None:
             raise ProgrammingError(f"no index on {self.name}.{column}")

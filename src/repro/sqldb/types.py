@@ -47,6 +47,7 @@ class IntType(SQLType):
     _range = (-(2 ** 31), 2 ** 31 - 1)
 
     def validate(self, value) -> None:
+        """Raises ProgrammingError for non-integers or out-of-range values."""
         if not isinstance(value, int) or isinstance(value, bool):
             raise ProgrammingError(f"expected {self.name.upper()}, got {value!r}")
         lo, hi = self._range
@@ -77,6 +78,7 @@ class BooleanType(SQLType):
     name = "boolean"
 
     def validate(self, value) -> None:
+        """Raises ProgrammingError for values that are not bool/int."""
         if not isinstance(value, (bool, int)):
             raise ProgrammingError(f"expected BOOLEAN, got {value!r}")
 
@@ -93,6 +95,7 @@ class VarCharType(SQLType):
         self.name = f"varchar({max_length})"
 
     def validate(self, value) -> None:
+        """Raises ProgrammingError for non-strings or over-length values."""
         if not isinstance(value, str):
             raise ProgrammingError(f"expected VARCHAR, got {value!r}")
         if len(value) > self.max_length:
@@ -117,6 +120,7 @@ class DoubleType(SQLType):
     name = "double"
 
     def validate(self, value) -> None:
+        """Raises ProgrammingError for values that are not int/float."""
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise ProgrammingError(f"expected DOUBLE, got {value!r}")
 
@@ -128,7 +132,10 @@ class DoubleType(SQLType):
 
 
 def parse_type(spec: str) -> SQLType:
-    """Resolve a type expression like ``INT`` or ``VARCHAR(64)``."""
+    """Resolve a type expression like ``INT`` or ``VARCHAR(64)``.
+
+    Raises ProgrammingError for unknown type names or bad VARCHAR widths.
+    """
     text = spec.strip().lower()
     if text in ("int", "integer"):
         return IntType()

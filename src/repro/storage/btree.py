@@ -18,7 +18,7 @@ tuples).  Keys are unique; writing an existing key overwrites its value.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.storage.encoding import (
     encode_bool,
@@ -36,7 +36,10 @@ PAGE_HEADER_BYTES = 16
 
 
 def encode_key(key) -> bytes:
-    """Tagged, self-describing encoding for index keys."""
+    """Tagged, self-describing encoding for index keys.
+
+    Raises TypeError for key types no engine produces.
+    """
     if key is None:
         return b"\x00"
     if isinstance(key, bool):  # must precede int
@@ -74,6 +77,27 @@ class _Leaf:
         self.encoded = b"".join(parts)
         self.dirty = False
         return self.encoded
+
+
+class BTreeStats(NamedTuple):
+    """A read-only structural summary of one :class:`BTree`.
+
+    Gathered without flushing or encoding anything, so probing stats never
+    changes what the size accounting observes afterwards.
+    """
+
+    entries: int
+    depth: int           # 1 for a single-leaf tree
+    leaf_pages: int
+    internal_pages: int
+    page_capacity: int
+
+    @property
+    def fill_ratio(self) -> float:
+        """Mean entries per leaf page relative to the split capacity."""
+        if not self.leaf_pages:
+            return 0.0
+        return self.entries / (self.leaf_pages * self.page_capacity)
 
 
 class _Internal:
@@ -287,3 +311,24 @@ class BTree:
     def page_counts(self) -> Tuple[int, int]:
         """``(leaf_pages, internal_pages)`` currently allocated."""
         return self._n_leaves, self._n_internal
+
+    def stats(self) -> BTreeStats:
+        """A read-only :class:`BTreeStats` snapshot (no flush, no encode)."""
+        depth = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            depth += 1
+            node = node.children[0]
+        return BTreeStats(
+            entries=self._n_entries,
+            depth=depth,
+            leaf_pages=self._n_leaves,
+            internal_pages=self._n_internal,
+            page_capacity=self._capacity,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BTree(entries={self._n_entries}, depth={self.stats().depth}, "
+            f"pages={self._n_leaves}+{self._n_internal})"
+        )

@@ -1,0 +1,84 @@
+"""B-tree structural invariants, and the stats()/repr surface."""
+
+from repro.analysis.btree_check import btree_check
+from repro.storage.btree import BTree, BTreeStats
+
+
+def make_tree(n=300, capacity=8) -> BTree:
+    tree = BTree(page_capacity=capacity)
+    for i in range(n):
+        tree.insert(i, b"v%d" % i)
+    return tree
+
+
+def rules_of(report):
+    return {violation.rule for violation in report.violations}
+
+
+class TestCleanTrees:
+    def test_multi_level_tree_passes(self):
+        report = btree_check(make_tree())
+        assert report.ok, "\n".join(report.format_lines())
+        assert report.n_checks > 0
+
+    def test_single_leaf_tree_passes(self):
+        assert btree_check(make_tree(n=3)).ok
+
+    def test_write_through_tree_passes(self):
+        tree = BTree(page_capacity=8, write_through=True)
+        for i in range(100):
+            tree.insert(i)
+        assert btree_check(tree).ok
+
+    def test_after_deletes_passes(self):
+        tree = make_tree()
+        for i in range(0, 300, 3):
+            tree.delete(i)
+        assert btree_check(tree).ok
+
+
+class TestCorruption:
+    def test_swapped_leaf_keys_flagged(self):
+        tree = make_tree()
+        leaf = tree._first_leaf
+        leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+        assert "btree.key-order" in rules_of(btree_check(tree))
+
+    def test_wrong_entry_count_flagged(self):
+        tree = make_tree()
+        tree._n_entries += 5
+        assert "btree.entry-count" in rules_of(btree_check(tree))
+
+    def test_stale_encoded_page_flagged(self):
+        tree = make_tree()
+        tree.flush()
+        leaf = tree._first_leaf
+        leaf.values[0] = b"overwritten-behind-the-cache"
+        leaf.dirty = False  # lie: claim the page image is current
+        assert "btree.stale-page" in rules_of(btree_check(tree))
+
+    def test_broken_leaf_chain_flagged(self):
+        tree = make_tree()
+        tree._first_leaf.next = None
+        assert "btree.leaf-chain" in rules_of(btree_check(tree))
+
+
+class TestStats:
+    def test_stats_match_structure(self):
+        tree = make_tree()
+        stats = tree.stats()
+        assert isinstance(stats, BTreeStats)
+        assert stats.entries == len(tree) == 300
+        assert (stats.leaf_pages, stats.internal_pages) == tree.page_counts
+        assert stats.depth >= 2
+        assert 0.0 < stats.fill_ratio <= 1.0
+
+    def test_stats_do_not_flush(self):
+        tree = make_tree()
+        stats = tree.stats()
+        assert stats.leaf_pages > 0
+        assert tree._first_leaf.dirty  # probing stats left pages untouched
+
+    def test_repr(self):
+        text = repr(make_tree(n=10, capacity=8))
+        assert text.startswith("BTree(entries=10")

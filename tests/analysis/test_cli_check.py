@@ -1,0 +1,23 @@
+"""The `repro check` CLI gate."""
+
+from repro.cli import main
+
+
+def test_check_lint_exits_zero(capsys):
+    assert main(["check", "--lint"]) == 0
+    out = capsys.readouterr().out
+    assert "lint:" in out
+    assert "check: OK" in out
+
+
+def test_check_invariants_day_exits_zero(capsys):
+    assert main(["check", "--invariants", "Day"]) == 0
+    out = capsys.readouterr().out
+    assert "dwarf_check" in out
+    assert "build_equivalence" in out
+    assert "check: OK" in out
+
+
+def test_check_unknown_dataset_exits_nonzero(capsys):
+    assert main(["check", "--invariants", "Nope"]) == 1
+    assert "check: FAILED" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""The repo-specific AST lint pass: clean repo + one case per rule."""
+
+import textwrap
+
+from repro.analysis.lint import lint_file, run_lint
+from repro.analysis.violations import CheckReport
+
+
+def lint_source(tmp_path, relative, source) -> CheckReport:
+    """Lint one synthetic file placed at ``tmp_path/relative``."""
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = CheckReport("lint")
+    lint_file(path, report)
+    return report
+
+
+def rules_of(report):
+    return {violation.rule for violation in report.violations}
+
+
+class TestRepoIsClean:
+    def test_package_passes_every_rule(self):
+        report = run_lint()
+        assert report.ok, "\n".join(report.format_lines())
+        assert report.n_checks > 0
+
+
+class TestRules:
+    def test_repro000_unparseable(self, tmp_path):
+        report = lint_source(tmp_path, "mod.py", "def broken(:\n")
+        assert rules_of(report) == {"REPRO000"}
+
+    def test_repro001_mutable_default(self, tmp_path):
+        report = lint_source(
+            tmp_path, "mod.py",
+            """
+            def collect(items=[]):
+                return items
+
+            def tag(labels={}, marks=set(), safe=()):
+                return labels, marks, safe
+            """,
+        )
+        assert rules_of(report) == {"REPRO001"}
+        assert len(report.violations) == 3  # the tuple default is fine
+
+    def test_repro002_bare_except(self, tmp_path):
+        report = lint_source(
+            tmp_path, "mod.py",
+            """
+            def swallow():
+                try:
+                    return 1
+                except:
+                    return None
+
+            def fine():
+                try:
+                    return 1
+                except ValueError:
+                    return None
+            """,
+        )
+        assert rules_of(report) == {"REPRO002"}
+        assert len(report.violations) == 1
+
+    def test_repro003_dict_order_hash_in_cube_code(self, tmp_path):
+        bad = """
+        def signature(cells):
+            return hash(tuple(cells.keys()))
+        """
+        assert rules_of(lint_source(tmp_path, "dwarf/mod.py", bad)) == {"REPRO003"}
+        # Wrapping the view in sorted() canonicalises it.
+        good = """
+        def signature(cells):
+            return hash(tuple(sorted(cells.keys())))
+        """
+        assert lint_source(tmp_path, "dwarf/mod.py", good).ok
+        # Outside cube-hashing code the rule does not apply.
+        assert lint_source(tmp_path, "smartcity/mod.py", bad).ok
+
+    def test_repro004_undocumented_raise(self, tmp_path):
+        bad = """
+        def parse_type(text):
+            '''Parse a type name.'''
+            raise ProgrammingError(text)
+        """
+        report = lint_source(tmp_path, "sqldb/mod.py", bad)
+        assert rules_of(report) == {"REPRO004"}
+        good = """
+        def parse_type(text):
+            '''Parse a type name.
+
+            Raises ProgrammingError for unknown names.
+            '''
+            raise ProgrammingError(text)
+        """
+        assert lint_source(tmp_path, "sqldb/mod.py", good).ok
+        # The rule only covers the engine packages.
+        assert lint_source(tmp_path, "bench/mod.py", bad).ok
+
+    def test_repro005_layering(self, tmp_path):
+        bad = """
+        from repro.dwarf.cube import DwarfCube
+
+        def peek(cube):
+            return cube.root
+        """
+        report = lint_source(tmp_path, "storage/mod.py", bad)
+        assert rules_of(report) == {"REPRO005"}
+        # The storage layer may import itself and the core.
+        good = """
+        from repro.storage.varint import encode_varint
+        """
+        assert lint_source(tmp_path, "storage/mod.py", good).ok
+        # Query front-ends must not import the mapping layer.
+        frontend = """
+        from repro.mapping.registry import make_mapper
+        """
+        assert rules_of(
+            lint_source(tmp_path, "sqldb/sql/mod.py", frontend)
+        ) == {"REPRO005"}

@@ -1,0 +1,40 @@
+"""Mapping invariants: codec round-trips and store/load fidelity per schema."""
+
+import pytest
+
+import repro.analysis.mapping_check as mapping_check_module
+from repro.analysis.mapping_check import mapping_check
+from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
+
+
+@pytest.mark.parametrize("schema_name", tuple(MAPPER_FACTORIES))
+def test_every_mapper_round_trips(schema_name, sample_cube):
+    mapper = make_mapper(schema_name)
+    report = mapping_check(mapper, sample_cube)
+    assert report.ok, "\n".join(report.format_lines())
+    assert report.n_checks > 0
+
+
+def test_lossy_member_codec_flagged(sample_cube, monkeypatch):
+    original = mapping_check_module.decode_member
+
+    def lossy(text):
+        value = original(text)
+        return value.upper() if isinstance(value, str) else value
+
+    monkeypatch.setattr(mapping_check_module, "decode_member", lossy)
+    report = mapping_check(make_mapper("NoSQL-DWARF"), sample_cube)
+    assert any(v.rule == "mapping.member-codec" for v in report.violations)
+
+
+def test_misreported_registry_counts_flagged(sample_cube):
+    mapper = make_mapper("MySQL-DWARF")
+    original = mapper.info
+
+    def inflated(schema_id):
+        info = original(schema_id)
+        return info._replace(node_count=info.node_count + 1)
+
+    mapper.info = inflated
+    report = mapping_check(mapper, sample_cube)
+    assert any(v.rule == "mapping.registry" for v in report.violations)
