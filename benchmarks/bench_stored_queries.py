@@ -4,16 +4,39 @@ The paper stores cubes so they can be queried "for future retrieval and
 querying"; this bench measures point queries answered directly against
 each schema's storage — the workload that justifies NoSQL-Min's
 secondary indexes and exposes MySQL-Min's reconstruction cost.
+
+Run standalone (not under pytest) for the read-path cache comparison::
+
+    PYTHONPATH=src python benchmarks/bench_stored_queries.py
+    PYTHONPATH=src python benchmarks/bench_stored_queries.py --quick
+
+The standalone mode times the NoSQL-DWARF walk in three cache
+configurations — uncached (every read re-decompresses its SSTable
+block), block cache only, and block + row cache — plus a cold-vs-warm
+pass per schema, asserting the answers identical to
+``DwarfCube.value`` throughout.  Emits machine-readable JSON (``--out``,
+default ``BENCH_stored_queries.json``) so later PRs can track the
+trajectory; CI asserts a nonzero warm block-cache hit rate from it.
 """
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, List
 
 import pytest
 
-from repro.bench.datasets import load_dataset
+from repro.bench.datasets import current_scale, load_dataset
 from repro.dwarf.cell import ALL
 from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
 from repro.mapping.stored_query import stored_point_query
-
-from benchmarks.conftest import report_table
 
 SCHEMAS = list(MAPPER_FACTORIES)
 N_QUERIES = 50
@@ -37,6 +60,8 @@ def _query_vectors(cube, count):
 
 @pytest.mark.parametrize("schema_name", SCHEMAS)
 def test_stored_point_queries(benchmark, schema_name):
+    from benchmarks.conftest import report_table
+
     bundle = load_dataset("Week")
     mapper = make_mapper(schema_name)
     schema_id = mapper.store(bundle.cube, probe_size=False)
@@ -57,3 +82,230 @@ def test_stored_point_queries(benchmark, schema_name):
     )
     rows.setdefault("latency", [None] * len(SCHEMAS))
     rows["latency"][SCHEMAS.index(schema_name)] = round(per_query_ms, 2)
+
+
+# ----------------------------------------------------------------------
+# standalone cache-comparison mode
+# ----------------------------------------------------------------------
+@contextmanager
+def _gc_paused():
+    """Collector pauses are harness noise, not algorithm cost (mirrors the
+    pytest-benchmark configuration in ``benchmarks/conftest.py``)."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+@contextmanager
+def _cache_env(block_bytes=None, row_bytes=None):
+    """Temporarily pin the cache budgets (read at table-creation time)."""
+    names = ("REPRO_BLOCK_CACHE_BYTES", "REPRO_ROW_CACHE_BYTES")
+    saved = {name: os.environ.get(name) for name in names}
+    if block_bytes is not None:
+        os.environ["REPRO_BLOCK_CACHE_BYTES"] = str(block_bytes)
+    if row_bytes is not None:
+        os.environ["REPRO_ROW_CACHE_BYTES"] = str(row_bytes)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        with _gc_paused():
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _flush_all(mapper) -> None:
+    """Materialise every column family so queries hit real SSTables —
+    the reload-later scenario the stored-query layer exists for."""
+    if hasattr(mapper, "keyspace_name"):
+        for table in mapper.engine.keyspace(mapper.keyspace_name).tables:
+            table.flush()
+
+
+def _cache_stats(mapper) -> Dict[str, Dict[str, int]]:
+    """Aggregate row/block cache counters across the mapper's tables."""
+    totals = {
+        "row_cache": {"hits": 0, "misses": 0, "evictions": 0, "entries": 0},
+        "block_cache": {"hits": 0, "misses": 0, "evictions": 0, "entries": 0},
+    }
+    if not hasattr(mapper, "keyspace_name"):
+        return totals
+    for table in mapper.engine.keyspace(mapper.keyspace_name).tables:
+        stats = table.stats()
+        for label, cache in (("row_cache", stats.row_cache), ("block_cache", stats.block_cache)):
+            totals[label]["hits"] += cache.hits
+            totals[label]["misses"] += cache.misses
+            totals[label]["evictions"] += cache.evictions
+            totals[label]["entries"] += cache.entries
+    return totals
+
+
+def _stats_delta(after: Dict, before: Dict) -> Dict[str, Dict[str, int]]:
+    return {
+        label: {
+            "hits": after[label]["hits"] - before[label]["hits"],
+            "misses": after[label]["misses"] - before[label]["misses"],
+            "evictions": after[label]["evictions"] - before[label]["evictions"],
+            "entries": after[label]["entries"],
+        }
+        for label in after
+    }
+
+
+def _timed_pass(mapper, schema_id, vectors):
+    """One full query pass: ``(answers, seconds)``."""
+    with _gc_paused():
+        started = time.perf_counter()
+        answers = [stored_point_query(mapper, schema_id, v) for v in vectors]
+        elapsed = time.perf_counter() - started
+    return answers, elapsed
+
+
+def bench_nosql_dwarf_configs(bundle, vectors, expected, repeats: int) -> Dict:
+    """The headline: NoSQL-DWARF in three cache configurations.
+
+    *uncached* re-decompresses an SSTable block for every cell read,
+    *block-only* decodes each block once (row cache off isolates the
+    block cache, so its warm hit rate is meaningful), *full* adds the
+    row cache on top.  Warm times are best-of ``repeats`` repeated
+    passes; answers must match the in-memory cube in every pass.
+    """
+    configs = {
+        "uncached": dict(block_bytes=0, row_bytes=0),
+        "block_only": dict(row_bytes=0),
+        "full": dict(),
+    }
+    results: Dict[str, Dict] = {}
+    for label, overrides in configs.items():
+        with _cache_env(**overrides):
+            mapper = make_mapper("NoSQL-DWARF")
+        schema_id = mapper.store(bundle.cube, probe_size=False)
+        _flush_all(mapper)
+        cold_answers, cold_s = _timed_pass(mapper, schema_id, vectors)
+        after_cold = _cache_stats(mapper)
+        warm_best = float("inf")
+        warm_answers = None
+        for _ in range(repeats):
+            warm_answers, elapsed = _timed_pass(mapper, schema_id, vectors)
+            warm_best = min(warm_best, elapsed)
+        warm_delta = _stats_delta(_cache_stats(mapper), after_cold)
+        results[label] = {
+            "cold_s": cold_s,
+            "warm_s": warm_best,
+            "answers_identical": cold_answers == expected and warm_answers == expected,
+            "warm_pass_cache_delta": warm_delta,
+        }
+    uncached_warm = results["uncached"]["warm_s"]
+    for label in ("block_only", "full"):
+        results[label]["warm_speedup_vs_uncached"] = uncached_warm / results[label]["warm_s"]
+    return results
+
+
+def bench_all_schemas(bundle, vectors, expected, repeats: int) -> Dict:
+    """Cold-vs-warm pass per schema with the default cache budgets."""
+    per_schema: Dict[str, Dict] = {}
+    for name in SCHEMAS:
+        mapper = make_mapper(name)
+        schema_id = mapper.store(bundle.cube, probe_size=False)
+        _flush_all(mapper)
+        cold_answers, cold_s = _timed_pass(mapper, schema_id, vectors)
+        warm_best = float("inf")
+        warm_answers = None
+        for _ in range(repeats):
+            warm_answers, elapsed = _timed_pass(mapper, schema_id, vectors)
+            warm_best = min(warm_best, elapsed)
+        per_schema[name] = {
+            "cold_s": cold_s,
+            "warm_s": warm_best,
+            "cold_ms_per_query": cold_s * 1000 / len(vectors),
+            "warm_ms_per_query": warm_best * 1000 / len(vectors),
+            "warm_speedup_vs_cold": cold_s / warm_best if warm_best else float("inf"),
+            "answers_identical": cold_answers == expected and warm_answers == expected,
+        }
+    return per_schema
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="Month", help="dataset name (default Month)")
+    parser.add_argument("--queries", type=int, default=N_QUERIES, help="queries per pass")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of warm repeats")
+    parser.add_argument("--out", default="BENCH_stored_queries.json", help="JSON output path")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: Day dataset, 20 queries, single warm repeat",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = "Day" if args.quick else args.dataset
+    n_queries = 20 if args.quick else args.queries
+    repeats = 1 if args.quick else args.repeats
+
+    bundle = load_dataset(dataset)
+    vectors = _query_vectors(bundle.cube, n_queries)
+    expected = [bundle.cube.value(v) for v in vectors]
+
+    configs = bench_nosql_dwarf_configs(bundle, vectors, expected, repeats)
+    per_schema = bench_all_schemas(bundle, vectors, expected, repeats)
+
+    identical = all(cell["answers_identical"] for cell in configs.values()) and all(
+        cell["answers_identical"] for cell in per_schema.values()
+    )
+    report = {
+        "bench": "stored_queries",
+        "dataset": dataset,
+        "n_tuples": bundle.n_tuples,
+        "n_queries": n_queries,
+        "repeats": repeats,
+        "repro_scale": current_scale(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "answers_identical": identical,
+        "nosql_dwarf_configs": configs,
+        "per_schema": per_schema,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"dataset={dataset} queries={n_queries} repeats={repeats} "
+          f"answers_identical={identical}")
+    for label in ("uncached", "block_only", "full"):
+        cell = configs[label]
+        speedup = cell.get("warm_speedup_vs_uncached")
+        suffix = f"   vs uncached {speedup:.2f}x" if speedup else ""
+        print(f"NoSQL-DWARF {label:10s} cold {cell['cold_s'] * 1000:8.1f} ms   "
+              f"warm {cell['warm_s'] * 1000:8.1f} ms{suffix}")
+    block_delta = configs["block_only"]["warm_pass_cache_delta"]["block_cache"]
+    print(f"            block-only warm pass: {block_delta['hits']} block hit(s), "
+          f"{block_delta['misses']} miss(es)")
+    for name, cell in per_schema.items():
+        print(f"{name:12s} cold {cell['cold_ms_per_query']:7.3f} ms/q   "
+              f"warm {cell['warm_ms_per_query']:7.3f} ms/q   "
+              f"warm speedup {cell['warm_speedup_vs_cold']:.2f}x")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("FAIL: stored-query answers diverged from DwarfCube.value", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

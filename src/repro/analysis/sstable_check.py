@@ -20,6 +20,12 @@ Column-family invariants add the cross-structure checks:
   crash replay byte-faithful.
 * **Secondary-index ↔ data agreement** — index entries and live rows
   describe each other exactly, in both directions.
+* **Row-cache agreement** — every cached row (or cached negative read)
+  matches what an uncached storage walk returns for that key; a stale
+  entry means a mutation skipped its strict invalidation
+  (docs/read_path.md).
+* **Live-count agreement** — the write-path-maintained row counter
+  equals the deduplicated live-row count across memtables and SSTables.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.analysis.btree_check import btree_check
 from repro.analysis.violations import CheckReport
+from repro.nosqldb.cache import NEGATIVE
 from repro.nosqldb.columnfamily import ColumnFamily
 from repro.nosqldb.sstable import SSTable, _decode_key
 from repro.storage.btree import encode_key
@@ -171,6 +178,8 @@ def columnfamily_check(family: ColumnFamily) -> CheckReport:
         )
     _check_commitlog_agreement(report, family)
     _check_index_agreement(report, family)
+    _check_row_cache_agreement(report, family)
+    _check_live_count(report, family)
     for column_name, secondary in family._indexes.items():
         report.merge(
             btree_check(secondary._tree, name=f"{family.name}/index[{column_name}]")
@@ -275,6 +284,40 @@ def _check_index_agreement(report: CheckReport, family: ColumnFamily) -> None:
             f"{len(extra)} index entrie(s) with no matching live row, e.g. "
             f"{_example(extra)}",
         )
+
+
+def _check_row_cache_agreement(report: CheckReport, family: ColumnFamily) -> None:
+    """Every cached row must match an uncached storage walk for its key.
+
+    This is the safety net behind the row cache's strict-invalidation
+    rules: any mutation path that forgets ``invalidate``/``clear`` shows
+    up here as a stale entry.
+    """
+    location = f"{family.name}/row-cache"
+    for key, cached in family._row_cache.items():
+        actual = family._read_encoded_uncached(key)
+        if cached is NEGATIVE:
+            report.check(
+                actual is None, _CHECKER, "sstable.row-cache-stale", location,
+                f"cache says key {key!r} is absent but storage holds a live row",
+            )
+        else:
+            report.check(
+                cached == actual, _CHECKER, "sstable.row-cache-stale", location,
+                f"cached row for key {key!r} differs from the stored row "
+                "(a mutation skipped invalidation)",
+            )
+
+
+def _check_live_count(report: CheckReport, family: ColumnFamily) -> None:
+    if family._n_live is None:  # marked dirty (crash recovery); nothing to hold
+        return
+    actual = sum(1 for _ in _live_rows(family))
+    report.check(
+        family._n_live == actual, _CHECKER, "sstable.live-count",
+        f"{family.name}/live-count",
+        f"write path counted {family._n_live} live row(s), storage holds {actual}",
+    )
 
 
 def _example(entries: set) -> str:

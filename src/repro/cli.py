@@ -169,6 +169,60 @@ def _print_report(report) -> bool:
     return report.ok
 
 
+def _sample_query_vectors(cube, limit: int = 8):
+    """A few point/ALL coordinate vectors covering every dimension."""
+    from repro.dwarf.cell import ALL
+
+    names = [d.name for d in cube.schema.dimensions]
+    vectors = [tuple(ALL for _ in names)]
+    for index, name in enumerate(names):
+        members = cube.members(name)
+        if members:
+            vector = [ALL] * len(names)
+            vector[index] = members[0]
+            vectors.append(tuple(vector))
+    point = tuple(
+        (cube.members(name) or [ALL])[0] for name in names
+    )
+    vectors.append(point)
+    return vectors[:limit]
+
+
+def _warm_query_pass(mapper, name: str, cube) -> bool:
+    """Run sample stored queries twice and surface the cache counters.
+
+    The second (warm) pass must return the same answers as the first and
+    as the in-memory cube; the printed hit rates make a cache bug that
+    silently stops caching (hit rate 0) visible in the gate logs.
+    """
+    from repro.dwarf.cell import ALL
+    from repro.mapping.stored_query import stored_point_query
+
+    schema_id = mapper.store(cube, is_cube=True)
+    names = [d.name for d in cube.schema.dimensions]
+    vectors = _sample_query_vectors(cube)
+    expected = [
+        cube.value(**{n: m for n, m in zip(names, vector) if m is not ALL})
+        for vector in vectors
+    ]
+    cold = [stored_point_query(mapper, schema_id, vector) for vector in vectors]
+    warm = [stored_point_query(mapper, schema_id, vector) for vector in vectors]
+    ok = cold == expected and warm == expected
+    status = "answers agree" if ok else f"ANSWERS DIVERGE (cube={expected}, cold={cold}, warm={warm})"
+    print(f"stored-query warm pass[{name}]: {len(vectors)} queries x2, {status}")
+    if hasattr(mapper, "keyspace_name"):
+        for table in mapper.engine.keyspace(mapper.keyspace_name).tables:
+            stats = table.stats()
+            row, block = stats.row_cache, stats.block_cache
+            print(
+                f"  cache[{name}/{table.name}]: "
+                f"row {row.hits}/{row.requests} hit(s) ({row.hit_rate:.0%}), "
+                f"block {block.hits}/{block.requests} hit(s) ({block.hit_rate:.0%}), "
+                f"{block.entries} decoded block(s) cached"
+            )
+    return ok
+
+
 def _check_invariants(dataset: str) -> bool:
     """Run every structural checker over freshly built + stored cubes."""
     from repro.analysis.dwarf_check import check_build_equivalence, dwarf_check
@@ -195,6 +249,7 @@ def _check_invariants(dataset: str) -> bool:
     for name in MAPPER_FACTORIES:
         mapper = make_mapper(name)
         ok &= _print_report(mapping_check(mapper, bundle.cube))
+        ok &= _warm_query_pass(mapper, name, bundle.cube)
         if hasattr(mapper, "database_name"):
             tables = mapper.engine.database(mapper.database_name).tables
         else:

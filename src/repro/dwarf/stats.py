@@ -6,10 +6,13 @@ scanning the DWARF structure in-memory" (paper §4).  This module performs
 that scan.
 
 The storage structures the cube lands in report themselves the same way:
-:meth:`repro.storage.btree.BTree.stats` and
-:meth:`repro.nosqldb.sstable.SSTable.stats` are re-exported here (as
-:class:`BTreeStats` / :class:`SSTableStats`), and :func:`describe`
-dispatches a cube, tree or table to the right summary.
+:meth:`repro.storage.btree.BTree.stats`,
+:meth:`repro.nosqldb.sstable.SSTable.stats` and
+:meth:`repro.nosqldb.columnfamily.ColumnFamily.stats` are re-exported
+here (as :class:`BTreeStats` / :class:`SSTableStats` /
+:class:`ColumnFamilyStats`, the latter carrying the read-path
+:class:`CacheStats` counters), and :func:`describe` dispatches a cube,
+tree or table to the right summary.
 """
 
 from __future__ import annotations
@@ -17,11 +20,15 @@ from __future__ import annotations
 from typing import Dict, NamedTuple
 
 from repro.dwarf.traversal import breadth_first
+from repro.nosqldb.cache import CacheStats
+from repro.nosqldb.columnfamily import ColumnFamilyStats
 from repro.nosqldb.sstable import SSTableStats
 from repro.storage.btree import BTreeStats
 
 __all__ = [
     "BTreeStats",
+    "CacheStats",
+    "ColumnFamilyStats",
     "CubeStats",
     "SSTableStats",
     "compute_stats",

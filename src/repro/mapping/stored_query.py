@@ -10,14 +10,19 @@ the whole cube, using whatever access paths the schema offers:
 * **NoSQL-Min** — no node rows: descend through the ``parentNodeId``
   *secondary index*, which is exactly the query workload the paper keeps
   those expensive indexes for.
-* **MySQL-DWARF** — one NODE_CHILDREN ⋈ CELL join per level.
+* **MySQL-DWARF** — a NODE_CHILDREN prefix probe plus one batched CELL
+  fetch per level.
 * **MySQL-Min** — no node construct and no indexes: the paper predicts
   "a significant impact on query times as DWARF Node reconstruction is
-  required"; the strategy scans the cube's cells once and reconstructs
-  nodes in memory before walking.
+  required"; the strategy scans the cube's cells once, reconstructs
+  nodes in memory, and keeps the reconstruction in a version-guarded
+  cache so repeated queries only rescan after a mutation.
 
 All strategies return the same answers as
-:meth:`repro.dwarf.cube.DwarfCube.value` on the reloaded cube.
+:meth:`repro.dwarf.cube.DwarfCube.value` on the reloaded cube, and all
+fetch a node's candidate cells through the engines' batched multi-get
+(``execute_many`` / ``select_many`` → ``get_many``) instead of one
+session round-trip per cell (docs/read_path.md).
 """
 
 from __future__ import annotations
@@ -31,6 +36,23 @@ from repro.mapping.mysql_dwarf import MySQLDwarfMapper
 from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
+
+
+def _prepared(mapper, text: str):
+    """A per-mapper prepared-statement cache for the stored-query walks.
+
+    Each distinct statement shape is parsed and planned once per mapper;
+    after that the walks only bind parameters.
+    """
+    cache = getattr(mapper, "_query_statements", None)
+    if cache is None:
+        cache = {}
+        mapper._query_statements = cache
+    statement = cache.get(text)
+    if statement is None:
+        statement = mapper.session.prepare(text)
+        cache[text] = statement
+    return statement
 
 
 def stored_point_query(
@@ -57,21 +79,22 @@ def stored_point_query(
 def _nosql_dwarf_point(mapper: NoSQLDwarfMapper, schema_id: int, keys: List[str]):
     session = mapper.session
     info = mapper.info(schema_id)
+    node_statement = _prepared(mapper, "SELECT childrenIds FROM dwarf_node WHERE id = ?")
+    cell_statement = _prepared(mapper, "SELECT * FROM dwarf_cell WHERE id = ?")
     node_id: Optional[int] = info.entry_node_id
     measure = None
     for level, key_text in enumerate(keys):
         if node_id is None:
             return None
-        node_row = session.execute(
-            "SELECT childrenIds FROM dwarf_node WHERE id = ?", (node_id,)
-        ).one()
+        node_row = session.execute_prepared(node_statement, (node_id,)).one()
         if node_row is None:
             raise MappingError(f"stored node {node_id} missing")
+        cell_ids = sorted(node_row["childrenIds"] or ())
+        # One batched multi-get for all candidate cells of this node —
+        # grouped by SSTable block — instead of one round-trip per cell.
         match = None
-        for cell_id in sorted(node_row["childrenIds"] or ()):
-            cell = session.execute(
-                "SELECT * FROM dwarf_cell WHERE id = ?", (cell_id,)
-            ).one()
+        for result in session.execute_many(cell_statement, [(c,) for c in cell_ids]):
+            cell = result.one()
             if cell is not None and cell["key"] == key_text:
                 match = cell
                 break
@@ -93,22 +116,27 @@ def _nosql_min_point(mapper: NoSQLMinMapper, schema_id: int, keys: List[str]):
     node_id: Optional[int] = mapper._entry_cache.get(schema_id)
     if node_id is None:
         # No entry_node_id in Table 3: one filtered scan, then cached.
-        first = session.execute(
-            "SELECT * FROM dwarf_cell WHERE root = true AND cubeid = ? ALLOW FILTERING",
+        first = session.execute_prepared(
+            _prepared(
+                mapper,
+                "SELECT * FROM dwarf_cell WHERE root = true AND cubeid = ? ALLOW FILTERING",
+            ),
             (schema_id,),
         ).one()
         if first is None:
             return None
         node_id = first["parentNodeId"]
         mapper._entry_cache[schema_id] = node_id
+    sibling_statement = _prepared(
+        mapper, "SELECT * FROM dwarf_cell WHERE parentNodeId = ?"
+    )
     measure = None
     for key_text in keys:
         if node_id is None:
             return None
-        # The secondary index the schema pays for (paper §5.1).
-        siblings = session.execute(
-            "SELECT * FROM dwarf_cell WHERE parentNodeId = ?", (node_id,)
-        )
+        # The secondary index the schema pays for (paper §5.1); the index
+        # resolves its candidate keys through the batched multi-get.
+        siblings = session.execute_prepared(sibling_statement, (node_id,))
         match = next((row for row in siblings if row["name"] == key_text), None)
         if match is None:
             return None
@@ -118,30 +146,45 @@ def _nosql_min_point(mapper: NoSQLMinMapper, schema_id: int, keys: List[str]):
 
 
 # ----------------------------------------------------------------------
-# MySQL-DWARF: one join per level
+# MySQL-DWARF: a NODE_CHILDREN prefix probe + one batched CELL fetch per level
 # ----------------------------------------------------------------------
 def _mysql_dwarf_point(mapper: MySQLDwarfMapper, schema_id: int, keys: List[str]):
     session = mapper.session
     info = mapper.info(schema_id)
+    children_statement = _prepared(
+        mapper, "SELECT cell_id FROM NODE_CHILDREN WHERE node_id = ?"
+    )
+    cell_statement = _prepared(
+        mapper, "SELECT id, cell_key, measure, leaf FROM CELL WHERE id = ?"
+    )
+    pointer_statement = _prepared(
+        mapper, "SELECT node_id FROM CELL_CHILDREN WHERE cell_id = ?"
+    )
     node_id: Optional[int] = info.entry_node_id
     measure = None
     for key_text in keys:
         if node_id is None:
             return None
-        row = session.execute(
-            "SELECT c.id, c.measure, c.leaf FROM NODE_CHILDREN nc "
-            "JOIN CELL c ON nc.cell_id = c.id "
-            "WHERE nc.node_id = ? AND c.cell_key = ?",
-            (node_id, key_text),
-        ).one()
-        if row is None:
+        # Clustered-prefix probe for the link rows, then all candidate
+        # cells in one batched point-select (Table.get_many) — same rows,
+        # in the same (cell_id-ascending) order, as the old per-level
+        # NODE_CHILDREN ⋈ CELL hash join.
+        children = session.execute_prepared(children_statement, (node_id,))
+        cell_ids = sorted(link["cell_id"] for link in children)
+        match = None
+        for result in session.select_many(cell_statement, [(c,) for c in cell_ids]):
+            cell = result.one()
+            if cell is not None and cell["cell_key"] == key_text:
+                match = cell
+                break
+        if match is None:
             return None
-        measure = row["c.measure"]
-        if row["c.leaf"]:
+        measure = match["measure"]
+        if match["leaf"]:
             node_id = None
         else:
-            pointer = session.execute(
-                "SELECT node_id FROM CELL_CHILDREN WHERE cell_id = ?", (row["c.id"],)
+            pointer = session.execute_prepared(
+                pointer_statement, (match["id"],)
             ).one()
             node_id = pointer["node_id"] if pointer else None
     return measure
@@ -153,19 +196,36 @@ def _mysql_dwarf_point(mapper: MySQLDwarfMapper, schema_id: int, keys: List[str]
 def _mysql_min_point(mapper: MySQLMinMapper, schema_id: int, keys: List[str]):
     session = mapper.session
     mapper.info(schema_id)  # validate
-    rows = list(
-        session.execute("SELECT * FROM DWARF_CELL WHERE cubeid = ?", (schema_id,))
-    )
-    if not rows:
-        return None
-    by_parent: Dict[int, List[dict]] = {}
-    entry: Optional[int] = None
-    for row in rows:
-        by_parent.setdefault(row["parentNodeId"], []).append(row)
-        if row["root"]:
-            entry = row["parentNodeId"]
-    if entry is None:
-        raise MappingError("stored cube has no root cells")
+    table = session.engine.database(mapper.database_name).table("DWARF_CELL")
+    # The reconstruction is cached against the table's mutation counter:
+    # repeated queries walk the cached node map and only rescan after a
+    # write invalidates it (cf. the paper's "DWARF Node reconstruction
+    # is required" cost, paid once per table version instead of per query).
+    cache = getattr(mapper, "_reconstruction_cache", None)
+    if cache is None:
+        cache = {}
+        mapper._reconstruction_cache = cache
+    cached = cache.get(schema_id)
+    if cached is not None and cached[0] == table.version:
+        _, by_parent, entry = cached
+    else:
+        rows = list(
+            session.execute_prepared(
+                _prepared(mapper, "SELECT * FROM DWARF_CELL WHERE cubeid = ?"),
+                (schema_id,),
+            )
+        )
+        if not rows:
+            return None
+        by_parent: Dict[int, List[dict]] = {}
+        entry: Optional[int] = None
+        for row in rows:
+            by_parent.setdefault(row["parentNodeId"], []).append(row)
+            if row["root"]:
+                entry = row["parentNodeId"]
+        if entry is None:
+            raise MappingError("stored cube has no root cells")
+        cache[schema_id] = (table.version, by_parent, entry)
     node_id: Optional[int] = entry
     measure = None
     for key_text in keys:
@@ -236,17 +296,17 @@ def stored_select(
     info = mapper.info(schema_id)
     n_dims = schema.n_dimensions
 
+    node_statement = _prepared(mapper, "SELECT childrenIds FROM dwarf_node WHERE id = ?")
+    cell_statement = _prepared(mapper, "SELECT * FROM dwarf_cell WHERE id = ?")
+
     def cells_of(node_id: int) -> List[dict]:
-        node_row = session.execute(
-            "SELECT childrenIds FROM dwarf_node WHERE id = ?", (node_id,)
-        ).one()
+        node_row = session.execute_prepared(node_statement, (node_id,)).one()
         if node_row is None:
             raise MappingError(f"stored node {node_id} missing")
+        cell_ids = sorted(node_row["childrenIds"] or ())
         cells = []
-        for cell_id in sorted(node_row["childrenIds"] or ()):
-            cell = session.execute(
-                "SELECT * FROM dwarf_cell WHERE id = ?", (cell_id,)
-            ).one()
+        for result in session.execute_many(cell_statement, [(c,) for c in cell_ids]):
+            cell = result.one()
             if cell is not None:
                 cells.append(cell)
         return cells

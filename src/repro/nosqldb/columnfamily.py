@@ -9,8 +9,16 @@ this is what the paper's ``size_as_mb`` probe reads (§4).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.nosqldb.cache import (
+    NEGATIVE,
+    BlockCache,
+    CacheStats,
+    RowCache,
+    block_cache_budget,
+    row_cache_budget,
+)
 from repro.nosqldb.errors import AlreadyExists, InvalidRequest
 from repro.nosqldb.memtable import Memtable
 from repro.nosqldb.sstable import SSTable, compact
@@ -24,6 +32,23 @@ FLUSH_THRESHOLD = 8 * 1024 * 1024
 
 #: Number of SSTables that triggers a size-tiered compaction.
 COMPACTION_THRESHOLD = 4
+
+#: Entry cap for the per-table decoded-row memo (cleared wholesale when
+#: full; content-addressed, so staleness is impossible by construction).
+_DECODE_MEMO_ENTRIES = 8192
+
+
+class ColumnFamilyStats(NamedTuple):
+    """A read-only structural + cache summary of one column family."""
+
+    rows: int                 # live rows (memtables + SSTables, deduplicated)
+    memtable_rows: int        # rows in the active memtable
+    pending_memtables: int    # sealed memtables awaiting the flusher
+    sstables: int
+    indexes: int
+    n_writes: int
+    row_cache: CacheStats
+    block_cache: CacheStats
 
 
 class Column:
@@ -94,7 +119,11 @@ class ColumnFamily:
         compression: bool = True,
         commit_log=None,
         data_dir=None,
+        block_cache_bytes: Optional[int] = None,
+        row_cache_bytes: Optional[int] = None,
     ) -> None:
+        """``block_cache_bytes`` / ``row_cache_bytes`` override the
+        environment-configured cache budgets (0 disables a cache)."""
         names = [c.name for c in columns]
         if len(set(names)) != len(names):
             raise InvalidRequest(f"duplicate column in {name!r}")
@@ -109,8 +138,8 @@ class ColumnFamily:
         self._memtable = Memtable()
         # Memtables handed to the (simulated) background flusher: sealed,
         # not yet built into SSTables.  Clients don't wait for flushes —
-        # but any read forces materialisation first (Cassandra reads see
-        # flushed data through SSTables).
+        # and reads search the sealed memtables directly, so a read never
+        # forces materialisation as a side effect (docs/read_path.md).
         self._pending: List[Memtable] = []
         self._sstables: List[SSTable] = []
         self._indexes: Dict[str, SecondaryIndex] = {}
@@ -118,6 +147,18 @@ class ColumnFamily:
         self._data_dir = data_dir
         self._generation = 0
         self._n_writes = 0
+        # Read-path caches (docs/read_path.md); a zero budget disables.
+        self._block_cache = BlockCache(
+            block_cache_budget() if block_cache_bytes is None else block_cache_bytes
+        )
+        self._row_cache = RowCache(
+            row_cache_budget() if row_cache_bytes is None else row_cache_bytes
+        )
+        # Content-addressed decode memo: encoded row bytes -> decoded dict.
+        self._decode_memo: Dict[bytes, Dict[str, object]] = {}
+        # Live-row count maintained by the write path; None = unknown
+        # (recomputed lazily after crash recovery dropped the memtables).
+        self._n_live: Optional[int] = 0
         # Deterministic write clock standing in for microsecond timestamps.
         self._write_clock = 1_400_000_000_000_000
 
@@ -185,7 +226,25 @@ class ColumnFamily:
         return encode_varint(count) + b"".join(parts)
 
     def decode_row(self, encoded: bytes) -> Dict[str, object]:
-        """Raises InvalidRequest when a stored cell names an unknown column."""
+        """Raises InvalidRequest when a stored cell names an unknown column.
+
+        Decoding is deterministic in ``encoded``, so repeated reads of the
+        same bytes are served from a content-addressed memo (never stale —
+        the key IS the input) while the row cache is enabled.  Callers get
+        a fresh shallow copy each time; cell values are immutable scalars.
+        """
+        if self._row_cache.enabled:
+            memo = self._decode_memo
+            row = memo.get(encoded)
+            if row is None:
+                row = self._decode_row_fresh(encoded)
+                if len(memo) >= _DECODE_MEMO_ENTRIES:
+                    memo.clear()
+                memo[encoded] = row
+            return dict(row)
+        return self._decode_row_fresh(encoded)
+
+    def _decode_row_fresh(self, encoded: bytes) -> Dict[str, object]:
         row: Dict[str, object] = {column.name: None for column in self.columns}
         count, offset = decode_varint(encoded, 0)
         for _ in range(count):
@@ -245,7 +304,15 @@ class ColumnFamily:
             new_values = {column.name: value for column, value in bound}
             for column_name, index in self._indexes.items():
                 index.add(new_values.get(column_name), key)
+            was_live = previous is not None
+        elif self._n_live is not None:
+            was_live = self._is_live(key)
+        else:
+            was_live = True  # counter dirty; the value is unused
         self._memtable.put(key, encoded)
+        self._row_cache.invalidate(key)
+        if self._n_live is not None and not was_live:
+            self._n_live += 1
         self._n_writes += 1
         if self._memtable.approximate_bytes >= FLUSH_THRESHOLD:
             self.seal_memtable()
@@ -262,6 +329,7 @@ class ColumnFamily:
         """
         commit_log = self._commit_log
         indexes = self._indexes
+        row_cache = self._row_cache
         count = 0
         for key, bound in items:
             self._write_clock += 1
@@ -283,7 +351,15 @@ class ColumnFamily:
                 new_values = {column.name: value for column, value in bound}
                 for column_name, index in indexes.items():
                     index.add(new_values.get(column_name), key)
+                was_live = previous is not None
+            elif self._n_live is not None:
+                was_live = self._is_live(key)
+            else:
+                was_live = True
             self._memtable.put(key, encoded)
+            row_cache.invalidate(key)
+            if self._n_live is not None and not was_live:
+                self._n_live += 1
             self._n_writes += 1
             if self._memtable.approximate_bytes >= FLUSH_THRESHOLD:
                 self.seal_memtable()
@@ -311,10 +387,18 @@ class ColumnFamily:
                 old_row = self.decode_row(previous)
                 for column_name, index in self._indexes.items():
                     index.remove(old_row.get(column_name), key)
+            was_live = previous is not None
+        elif self._n_live is not None:
+            was_live = self._is_live(key)
+        else:
+            was_live = False
         if self._commit_log is not None:
             # tombstones are logged as empty row payloads
             self._commit_log.append(self.name, key, b"")
         self._memtable.delete(key)
+        self._row_cache.invalidate(key)
+        if self._n_live is not None and was_live:
+            self._n_live -= 1
 
     def seal_memtable(self) -> None:
         """Hand the active memtable to the background flusher (cheap)."""
@@ -336,7 +420,12 @@ class ColumnFamily:
         return self._data_dir / f"{self.name.lower()}-{self._generation}-Data.db"
 
     def _materialize(self) -> None:
-        """Build SSTables for every sealed memtable (the flusher's work)."""
+        """Build SSTables for every sealed memtable (the flusher's work).
+
+        The live key→row mapping is unchanged, so neither cache needs
+        invalidating; the superseded tables of a compaction release their
+        cached blocks via ``delete_file``.
+        """
         for memtable in self._pending:
             self._sstables.append(
                 SSTable(
@@ -344,6 +433,7 @@ class ColumnFamily:
                     compressed=self.compression,
                     tombstones=memtable.tombstones,
                     path=self._next_data_path(),
+                    block_cache=self._block_cache,
                 )
             )
         self._pending.clear()
@@ -353,6 +443,7 @@ class ColumnFamily:
                     self._sstables,
                     compressed=self.compression,
                     path=self._next_data_path(),
+                    block_cache=self._block_cache,
                 )
             ]
 
@@ -362,6 +453,9 @@ class ColumnFamily:
         for sstable in self._sstables:
             sstable.delete_file()
         self._sstables = []
+        self._row_cache.clear()
+        self._decode_memo.clear()
+        self._n_live = 0
         for column_name in list(self._indexes):
             index = self._indexes[column_name]
             self._indexes[column_name] = SecondaryIndex(index.name, index.column)
@@ -370,38 +464,74 @@ class ColumnFamily:
     # crash recovery support
     # ------------------------------------------------------------------
     def drop_volatile_state(self) -> None:
-        """Lose everything a crash loses: memtables, not SSTables."""
+        """Lose everything a crash loses: memtables, not SSTables.
+
+        The row cache dies with the process, and the live-row counter is
+        marked unknown — ``__len__`` recounts lazily after replay.
+        """
         self._memtable = Memtable()
         self._pending = []
+        self._row_cache.clear()
+        self._decode_memo.clear()
+        self._n_live = None
 
     def apply_replayed(self, key, encoded_row: bytes) -> None:
         """Re-apply one commit-log mutation (empty payload = tombstone)."""
+        was_live = self._is_live(key) if self._n_live is not None else False
         if encoded_row:
             self._memtable.put(key, encoded_row)
+            if self._n_live is not None and not was_live:
+                self._n_live += 1
         else:
             self._memtable.delete(key)
+            if self._n_live is not None and was_live:
+                self._n_live -= 1
+        self._row_cache.invalidate(key)
 
     def rebuild_indexes(self) -> None:
-        """Rebuild every secondary index from the recovered data."""
-        for column_name in list(self._indexes):
-            old = self._indexes[column_name]
-            index = SecondaryIndex(old.name, old.column)
-            for key, encoded in self._all_items():
-                row = self.decode_row(encoded)
+        """Rebuild every secondary index from the recovered data.
+
+        One decode per row feeds every index; previously each index
+        re-decoded (and re-decompressed) the whole table for itself.
+        """
+        if not self._indexes:
+            return
+        fresh = {
+            column_name: SecondaryIndex(old.name, old.column)
+            for column_name, old in self._indexes.items()
+        }
+        for key, encoded in self._all_items():
+            row = self.decode_row(encoded)
+            for column_name, index in fresh.items():
                 index.add(row.get(column_name), key)
-            self._indexes[column_name] = index
+        self._indexes = fresh
 
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
     def _read_encoded(self, key) -> Optional[bytes]:
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            return None if cached is NEGATIVE else cached
+        encoded = self._read_encoded_uncached(key)
+        self._row_cache.put(key, encoded)
+        return encoded
+
+    def _read_encoded_uncached(self, key) -> Optional[bytes]:
+        """Walk active memtable → sealed memtables → SSTables, newest
+        first.  Sealed memtables are searched in place — a read never
+        forces the flusher's work as a side effect."""
         encoded = self._memtable.get(key)
         if encoded is not None:
             return encoded
         if self._memtable.is_deleted(key):
             return None
-        if self._pending:
-            self._materialize()
+        for memtable in reversed(self._pending):
+            encoded = memtable.get(key)
+            if encoded is not None:
+                return encoded
+            if memtable.is_deleted(key):
+                return None
         for sstable in reversed(self._sstables):
             if sstable.is_deleted(key):
                 return None
@@ -410,19 +540,104 @@ class ColumnFamily:
                 return encoded
         return None
 
+    def _is_live(self, key) -> bool:
+        """Whether ``key`` currently has a live row — the write path's
+        cheap probe for maintaining the live-row counter.  Uses
+        ``RowCache.peek`` so these internal probes leave the hit/miss
+        statistics to real read traffic."""
+        cached = self._row_cache.peek(key)
+        if cached is not None:
+            return cached is not NEGATIVE
+        if key in self._memtable:
+            return True
+        if self._memtable.is_deleted(key):
+            return False
+        for memtable in reversed(self._pending):
+            if key in memtable:
+                return True
+            if memtable.is_deleted(key):
+                return False
+        for sstable in reversed(self._sstables):
+            if sstable.is_deleted(key):
+                return False
+            if sstable.get(key) is not None:
+                return True
+        return False
+
     def get(self, key) -> Optional[Dict[str, object]]:
         encoded = self._read_encoded(key)
         return self.decode_row(encoded) if encoded is not None else None
 
+    def get_many_encoded(self, keys: Sequence) -> List[Optional[bytes]]:
+        """Encoded rows for ``keys`` (None for absent), order-preserving.
+
+        Equivalent to ``[self._read_encoded(k) for k in keys]`` but keys
+        that miss the row cache are resolved in one batched walk: per
+        SSTable a single :meth:`SSTable.get_many` groups them by block,
+        so each block is decompressed at most once per call.
+        """
+        results: List[Optional[bytes]] = [None] * len(keys)
+        positions: Dict[object, List[int]] = {}
+        for position, key in enumerate(keys):
+            cached = self._row_cache.get(key)
+            if cached is not None:
+                results[position] = None if cached is NEGATIVE else cached
+            else:
+                positions.setdefault(key, []).append(position)
+        if not positions:
+            return results
+        resolved: Dict[object, Optional[bytes]] = {}
+        unresolved = set(positions)
+        for memtable in (self._memtable, *reversed(self._pending)):
+            if not unresolved:
+                break
+            for key in list(unresolved):
+                encoded = memtable.get(key)
+                if encoded is not None:
+                    resolved[key] = encoded
+                    unresolved.discard(key)
+                elif memtable.is_deleted(key):
+                    resolved[key] = None
+                    unresolved.discard(key)
+        for sstable in reversed(self._sstables):
+            if not unresolved:
+                break
+            for key in [k for k in unresolved if sstable.is_deleted(k)]:
+                resolved[key] = None
+                unresolved.discard(key)
+            for key, encoded in sstable.get_many(list(unresolved)).items():
+                resolved[key] = encoded
+                unresolved.discard(key)
+        for key in unresolved:
+            resolved[key] = None
+        for key, encoded in resolved.items():
+            self._row_cache.put(key, encoded)
+            for position in positions[key]:
+                results[position] = encoded
+        return results
+
+    def get_many(self, keys: Sequence) -> List[Optional[Dict[str, object]]]:
+        """Decoded rows for ``keys``; ``get_many(ks) == [get(k) for k in ks]``."""
+        decode = self.decode_row
+        return [
+            decode(encoded) if encoded is not None else None
+            for encoded in self.get_many_encoded(keys)
+        ]
+
     def _all_items(self) -> Iterator[Tuple[object, bytes]]:
-        """Every live ``(key, encoded_row)``, newest version wins."""
-        if self._pending:
-            self._materialize()
+        """Every live ``(key, encoded_row)``, newest version wins.
+
+        Sealed memtables are layered between the active memtable and the
+        SSTables, so scanning never forces materialisation."""
         seen = set()
-        deleted = set(self._memtable.tombstones)
-        for key, encoded in self._memtable:
-            seen.add(key)
-            yield key, encoded
+        deleted = set()
+        for memtable in (self._memtable, *reversed(self._pending)):
+            for key, encoded in memtable:
+                if key in seen or key in deleted:
+                    continue
+                seen.add(key)
+                yield key, encoded
+            deleted |= set(memtable.tombstones)
         for sstable in reversed(self._sstables):
             for key, encoded in sstable.items():
                 if key in seen or key in deleted:
@@ -443,12 +658,7 @@ class ColumnFamily:
                 f"no secondary index on {self.name}.{column}; "
                 "use ALLOW FILTERING for a full scan"
             )
-        rows = []
-        for key in index.lookup(value):
-            row = self.get(key)
-            if row is not None:
-                rows.append(row)
-        return rows
+        return [row for row in self.get_many(index.lookup(value)) if row is not None]
 
     def has_index(self, column: str) -> bool:
         return column in self._indexes
@@ -457,7 +667,9 @@ class ColumnFamily:
     # accounting
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for _ in self._all_items())
+        if self._n_live is None:
+            self._n_live = sum(1 for _ in self._all_items())
+        return self._n_live
 
     @property
     def n_writes(self) -> int:
@@ -470,6 +682,19 @@ class ColumnFamily:
         total = sum(s.size_bytes for s in self._sstables)
         total += sum(ix.size_bytes for ix in self._indexes.values())
         return total
+
+    def stats(self) -> ColumnFamilyStats:
+        """A read-only structural + cache snapshot (no block reads)."""
+        return ColumnFamilyStats(
+            rows=len(self),
+            memtable_rows=len(self._memtable),
+            pending_memtables=len(self._pending),
+            sstables=len(self._sstables),
+            indexes=len(self._indexes),
+            n_writes=self._n_writes,
+            row_cache=self._row_cache.stats(),
+            block_cache=self._block_cache.stats(),
+        )
 
     def __repr__(self) -> str:
         return (

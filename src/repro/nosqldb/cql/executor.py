@@ -78,6 +78,40 @@ def plan_insert_template(
     return table, template, pk_slot
 
 
+def plan_point_select(
+    engine, statement: ast.Statement, current_keyspace: Optional[str]
+):
+    """Resolve ``SELECT ... WHERE <pk> = ?`` to a batched-fetch plan.
+
+    Returns ``(table, key_slot, columns, limit)`` where ``key_slot`` is
+    ``(is_bind, index_or_constant)``.  This is the shape
+    :meth:`~repro.nosqldb.session.Session.execute_many` turns into one
+    :meth:`~repro.nosqldb.columnfamily.ColumnFamily.get_many` call.
+    Returns ``None`` for any other statement shape (those fall back to
+    per-row execution through the generic executor).
+    """
+    if not isinstance(statement, ast.Select) or statement.count:
+        return None
+    keyspace_name = statement.ref.keyspace or current_keyspace
+    if keyspace_name is None:
+        return None
+    table = engine.keyspace(keyspace_name).table(statement.ref.table)
+    if len(statement.where) != 1:
+        return None
+    condition = statement.where[0]
+    if condition.column != table.primary_key or condition.op != "=":
+        return None
+    value = condition.value
+    if isinstance(value, ast.SetLiteral):
+        return None
+    is_bind = isinstance(value, ast.Placeholder)
+    columns = tuple(statement.columns or ())
+    for name in columns:
+        table.column(name)  # validate once, not per row
+    key_slot = (is_bind, value.index if is_bind else value)
+    return table, key_slot, columns, statement.limit
+
+
 def make_insert_plan(engine, statement: ast.Statement, current_keyspace: Optional[str]):
     """Compile a simple prepared INSERT into a per-row callable.
 
@@ -241,7 +275,9 @@ class _Executor:
                 keys = [self._resolve(pk_condition.value)]
             else:
                 keys = [self._resolve(v) for v in pk_condition.value]
-            rows = [row for row in (table.get(k) for k in keys) if row is not None]
+            # IN lists go through the batched multi-get: one block decode
+            # per touched SSTable block instead of one walk per key.
+            rows = [row for row in table.get_many(keys) if row is not None]
             return self._filter(rows, remaining, table, allow_filtering, indexed=True)
 
         # 2. secondary-index equality lookup

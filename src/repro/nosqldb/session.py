@@ -8,7 +8,7 @@ were inserted in bulk", §5).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.flags import checks_enabled
 from repro.nosqldb.cql import ast
@@ -17,6 +17,7 @@ from repro.nosqldb.cql.executor import (
     execute,
     make_insert_plan,
     plan_insert_template,
+    plan_point_select,
 )
 from repro.nosqldb.cql.parser import parse
 from repro.nosqldb.errors import InvalidRequest
@@ -80,13 +81,18 @@ class CompiledInsert:
 class PreparedStatement:
     """A parsed statement with ``?`` bind markers, reusable across executions."""
 
-    __slots__ = ("statement", "text", "_plan_key", "_plan")
+    __slots__ = (
+        "statement", "text", "_plan_key", "_plan",
+        "_select_plan_key", "_select_plan",
+    )
 
     def __init__(self, text: str, statement: ast.Statement) -> None:
         self.text = text
         self.statement = statement
         self._plan_key = None
         self._plan = None
+        self._select_plan_key = None
+        self._select_plan = None
 
     def __repr__(self) -> str:
         return f"PreparedStatement({self.text!r})"
@@ -155,6 +161,47 @@ class Session:
             count += 1
         self._maybe_check()
         return count
+
+    def execute_many(
+        self, statement, param_rows: Iterable[Sequence]
+    ) -> List[Optional[ResultSet]]:
+        """Run one statement shape over many parameter rows at once.
+
+        ``statement`` is a :class:`PreparedStatement` or a CQL string
+        (parsed once).  The point-select shape
+        ``SELECT ... WHERE <pk> = ?`` executes as a *single* batched
+        multi-get — all keys are bound up front and resolved by
+        :meth:`~repro.nosqldb.columnfamily.ColumnFamily.get_many`, which
+        groups them by SSTable block so each block is decompressed at
+        most once.  Every other shape falls back to per-row execution.
+        """
+        if isinstance(statement, str):
+            statement = self.prepare(statement)
+        rows_list = list(param_rows)
+        plan = self._select_plan_for(statement)
+        if plan is None:
+            return [self.execute_prepared(statement, params) for params in rows_list]
+        table, (is_bind, value), columns, limit = plan
+        keys = [params[value] if is_bind else value for params in rows_list]
+        results: List[Optional[ResultSet]] = []
+        for row in table.get_many(keys):
+            rows = [row] if row is not None else []
+            if limit is not None:
+                rows = rows[:limit]
+            if columns:
+                rows = [{name: r[name] for name in columns} for r in rows]
+            results.append(ResultSet(rows))
+        return results
+
+    def _select_plan_for(self, prepared: PreparedStatement):
+        """Cached point-select plan (None = not a point select)."""
+        key = (id(self.engine), self.keyspace)
+        if prepared._select_plan_key != key:
+            prepared._select_plan_key = key
+            prepared._select_plan = plan_point_select(
+                self.engine, prepared.statement, self.keyspace
+            )
+        return prepared._select_plan
 
     def _maybe_check(self) -> None:
         """REPRO_CHECK=1 hook: verify the current keyspace after a bulk load."""

@@ -10,9 +10,11 @@ key of every block for binary-searched point reads.
 from __future__ import annotations
 
 import bisect
+import itertools
 import zlib
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.nosqldb.cache import BlockCache
 from repro.storage.btree import encode_key
 from repro.storage.encoding import decode_bytes, encode_bytes
 from repro.storage.varint import decode_varint, encode_varint
@@ -91,12 +93,18 @@ class SSTableStats(NamedTuple):
         return self.rows / self.blocks if self.blocks else 0.0
 
 
+#: Process-wide SSTable id allocator: block-cache keys must survive the
+#: CPython id() recycling that follows garbage collection.
+_uid_counter = itertools.count(1)
+
+
 class SSTable:
     """One immutable sorted run of ``(key, encoded_row)`` entries."""
 
     __slots__ = (
         "_block_keys", "_blocks", "_index_bytes", "_n_rows", "compressed",
-        "_tombstones", "_bloom", "_path", "_offsets",
+        "_tombstones", "_bloom", "_path", "_offsets", "_uid", "_block_cache",
+        "_handle",
     )
 
     def __init__(
@@ -105,11 +113,15 @@ class SSTable:
         compressed: bool = True,
         tombstones: frozenset = frozenset(),
         path=None,
+        block_cache: Optional[BlockCache] = None,
     ) -> None:
         """Build an SSTable; with ``path`` the data blocks live on disk.
 
         ``path`` is the data file to write (parent directory must
         exist); block reads then really hit the filesystem.
+        ``block_cache`` (usually the owning column family's) memoises
+        decoded blocks so repeated reads skip decompression; without one
+        every read decodes its block from scratch.
         """
         self.compressed = compressed
         self._block_keys: List[object] = []
@@ -119,6 +131,9 @@ class SSTable:
         self._tombstones = tombstones
         self._path = path
         self._offsets: List[Tuple[int, int]] = []
+        self._uid = next(_uid_counter)
+        self._block_cache = block_cache
+        self._handle = None
         self._bloom = BloomFilter(len(sorted_items))
         for key, _ in sorted_items:
             self._bloom.add(key)
@@ -139,12 +154,25 @@ class SSTable:
         if self._path is None:
             return self._blocks[index]
         offset, length = self._offsets[index]
-        with open(self._path, "rb") as handle:
-            handle.seek(offset)
-            return handle.read(length)
+        # One persistent handle per table (Cassandra pools SSTable
+        # readers); reopening the data file per block read dominated the
+        # disk-backed read path before.
+        if self._handle is None:
+            self._handle = open(self._path, "rb")
+        self._handle.seek(offset)
+        return self._handle.read(length)
+
+    def close(self) -> None:
+        """Release the persistent file handle (reads reopen on demand)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
     def delete_file(self) -> None:
         """Remove the backing data file (after compaction superseded it)."""
+        self.close()
+        if self._block_cache is not None:
+            self._block_cache.drop_table(self._uid)
         if self._path is not None:
             import os
 
@@ -188,6 +216,27 @@ class SSTable:
             yield key, row
             offset = entry_end
 
+    def _decoded_block(self, index: int) -> Tuple[List, List]:
+        """Block ``index`` decoded once into sorted ``(keys, rows)`` lists.
+
+        Served from the block cache when possible; a miss decompresses
+        and decodes the block, then caches the decoded form so the next
+        read bisects instead of paying zlib again.
+        """
+        cache = self._block_cache
+        if cache is not None:
+            cached = cache.get(self._uid, index)
+            if cached is not None:
+                return cached
+        keys: List = []
+        rows: List[bytes] = []
+        for entry_key, row in self._block_items(self._block_data(index)):
+            keys.append(entry_key)
+            rows.append(row)
+        if cache is not None:
+            cache.put(self._uid, index, keys, rows)
+        return keys, rows
+
     def get(self, key) -> Optional[bytes]:
         """Encoded row for ``key`` or None (tombstoned keys return None)."""
         if key in self._tombstones:
@@ -197,17 +246,50 @@ class SSTable:
         index = bisect.bisect_right(self._block_keys, key) - 1
         if index < 0:
             return None
-        for entry_key, row in self._block_items(self._block_data(index)):
-            if entry_key == key:
-                return row
+        keys, rows = self._decoded_block(index)
+        position = bisect.bisect_left(keys, key)
+        if position < len(keys) and keys[position] == key:
+            return rows[position]
         return None
+
+    def get_many(self, keys: Sequence) -> Dict[object, bytes]:
+        """Encoded rows for every *found* key, one block decode per block.
+
+        Keys are grouped by the block the sparse index maps them to and
+        each needed block is decoded at most once — the core of the
+        engine's batched multi-get.  Tombstoned and absent keys are
+        simply missing from the result (call :meth:`is_deleted` to tell
+        the two apart).
+        """
+        found: Dict[object, bytes] = {}
+        if not self._block_keys:
+            return found
+        block_keys = self._block_keys
+        tombstones = self._tombstones
+        bloom = self._bloom
+        by_block: Dict[int, List] = {}
+        for key in keys:
+            if key in tombstones or not bloom.might_contain(key):
+                continue
+            index = bisect.bisect_right(block_keys, key) - 1
+            if index >= 0:
+                by_block.setdefault(index, []).append(key)
+        for index, wanted in by_block.items():
+            entry_keys, entry_rows = self._decoded_block(index)
+            n_entries = len(entry_keys)
+            for key in wanted:
+                position = bisect.bisect_left(entry_keys, key)
+                if position < n_entries and entry_keys[position] == key:
+                    found[key] = entry_rows[position]
+        return found
 
     def is_deleted(self, key) -> bool:
         return key in self._tombstones
 
     def items(self) -> Iterator[Tuple[object, bytes]]:
         for index in range(len(self._block_keys)):
-            yield from self._block_items(self._block_data(index))
+            keys, rows = self._decoded_block(index)
+            yield from zip(keys, rows)
 
     def __len__(self) -> int:
         return self._n_rows
@@ -278,11 +360,18 @@ def _decode_key(buffer, offset: int) -> Tuple[object, int]:
     raise ValueError(f"corrupt key tag 0x{tag:02x}")
 
 
-def compact(tables: Sequence[SSTable], compressed: bool = True, path=None) -> SSTable:
+def compact(
+    tables: Sequence[SSTable],
+    compressed: bool = True,
+    path=None,
+    block_cache: Optional[BlockCache] = None,
+) -> SSTable:
     """Size-tiered compaction: merge runs newest-last wins, drop shadowed rows.
 
     Tombstones are applied (deleted keys vanish) and then discarded — the
-    result is a single clean run, like a Cassandra major compaction.
+    result is a single clean run, like a Cassandra major compaction.  The
+    superseded tables' cached blocks are released (``delete_file``); the
+    merged table starts cold under ``block_cache``.
     """
     merged = {}
     deleted = set()
@@ -294,7 +383,7 @@ def compact(tables: Sequence[SSTable], compressed: bool = True, path=None) -> SS
     for key in deleted:
         merged.pop(key, None)
     items = sorted(merged.items(), key=lambda item: item[0])
-    result = SSTable(items, compressed=compressed, path=path)
+    result = SSTable(items, compressed=compressed, path=path, block_cache=block_cache)
     for table in tables:
         table.delete_file()
     return result

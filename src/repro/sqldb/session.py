@@ -7,7 +7,7 @@ inserted in bulk", paper §5).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.analysis.flags import checks_enabled
 from repro.sqldb.errors import ProgrammingError
@@ -17,6 +17,7 @@ from repro.sqldb.sql.executor import (
     execute,
     make_insert_plan,
     plan_insert_template,
+    plan_point_select,
 )
 from repro.sqldb.sql.parser import parse
 
@@ -73,13 +74,18 @@ class SQLCompiledInsert:
 class SQLPreparedStatement:
     """A parsed statement with ``?`` bind markers, reusable across executions."""
 
-    __slots__ = ("statement", "text", "_plan_key", "_plan")
+    __slots__ = (
+        "statement", "text", "_plan_key", "_plan",
+        "_select_plan_key", "_select_plan",
+    )
 
     def __init__(self, text: str, statement: ast.Statement) -> None:
         self.text = text
         self.statement = statement
         self._plan_key = None
         self._plan = None
+        self._select_plan_key = None
+        self._select_plan = None
 
     def __repr__(self) -> str:
         return f"SQLPreparedStatement({self.text!r})"
@@ -149,6 +155,45 @@ class SQLSession:
             count += 1
         self._maybe_check(prepared)
         return count
+
+    def select_many(
+        self, statement, param_rows: Iterable[Sequence]
+    ) -> List[SQLResult]:
+        """Run one SELECT shape over many parameter rows at once.
+
+        ``statement`` is an :class:`SQLPreparedStatement` or a SQL string
+        (parsed once).  The point-select shape
+        ``SELECT ... WHERE <pk> = ?`` binds all keys up front and
+        resolves them with one :meth:`~repro.sqldb.table.Table.get_many`
+        call; every other shape falls back to per-row execution.
+        """
+        if isinstance(statement, str):
+            statement = self.prepare(statement)
+        rows_list = list(param_rows)
+        plan = self._select_plan_for(statement)
+        if plan is None:
+            return [self.execute_prepared(statement, params) for params in rows_list]
+        table, (is_bind, value), columns, limit = plan
+        keys = [params[value] if is_bind else value for params in rows_list]
+        results: List[SQLResult] = []
+        for row in table.get_many(keys):
+            rows = [row] if row is not None else []
+            if limit is not None:
+                rows = rows[:limit]
+            if columns:
+                rows = [{name: r[name] for name in columns} for r in rows]
+            results.append(SQLResult(rows))
+        return results
+
+    def _select_plan_for(self, prepared: SQLPreparedStatement):
+        """Cached point-select plan (None = not a point select)."""
+        key = (id(self.engine), self.database)
+        if prepared._select_plan_key != key:
+            prepared._select_plan_key = key
+            prepared._select_plan = plan_point_select(
+                self.engine, prepared.statement, self.database
+            )
+        return prepared._select_plan
 
     def _maybe_check(self, prepared: SQLPreparedStatement) -> None:
         """REPRO_CHECK=1 hook: verify the current database after a bulk load."""

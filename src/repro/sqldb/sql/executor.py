@@ -73,6 +73,46 @@ def plan_insert_template(
     return table, template
 
 
+def plan_point_select(
+    engine, statement: ast.Statement, current_database: Optional[str]
+):
+    """Resolve ``SELECT ... FROM t WHERE <pk> = ?`` to a batched-fetch plan.
+
+    Returns ``(table, key_slot, columns, limit)`` where ``key_slot`` is
+    ``(is_bind, index_or_constant)`` and ``columns`` the projected names
+    (empty = ``*``).  This is the shape
+    :meth:`~repro.sqldb.session.SQLSession.select_many` turns into one
+    :meth:`~repro.sqldb.table.Table.get_many` call.  Returns ``None``
+    for any other shape (joins, aggregates, composite keys, ...) — those
+    fall back to per-row execution through the generic executor.
+    """
+    if not isinstance(statement, ast.Select) or statement.count:
+        return None
+    if statement.joins or statement.aggregates or statement.order_by is not None:
+        return None
+    database_name = statement.source.database or current_database
+    if database_name is None:
+        return None
+    table = engine.database(database_name).table(statement.source.table)
+    if len(table.primary_key) != 1 or len(statement.where) != 1:
+        return None
+    condition = statement.where[0]
+    if condition.op != "=" or condition.column.name != table.primary_key[0]:
+        return None
+    if condition.column.qualifier not in (None, statement.source.alias):
+        return None
+    columns = []
+    for ref in statement.columns:
+        if ref.qualifier not in (None, statement.source.alias):
+            return None
+        table.column(ref.name)  # validate once, not per row
+        columns.append(ref.name)
+    value = condition.value
+    is_bind = isinstance(value, ast.Placeholder)
+    key_slot = (is_bind, value.index if is_bind else value)
+    return table, key_slot, tuple(columns), statement.limit
+
+
 def make_insert_plan(engine, statement: ast.Statement, current_database: Optional[str]):
     """Compile a prepared single-row INSERT into a per-row callable.
 
@@ -279,7 +319,7 @@ class _Executor:
             return [row] if row is not None else []
         if access == "range":
             keys = [self._resolve(v) for v in condition.value]
-            return [row for row in (table.get(k) for k in keys) if row is not None]
+            return [row for row in table.get_many(keys) if row is not None]
         if access == "ref:pk-prefix":
             return table.lookup_pk_prefix(self._resolve(condition.value))
         if access == "ref:index":

@@ -80,6 +80,10 @@ class Table:
         self._binlog = binlog
         self._n_rows = 0
         self._dirty_bytes = 0
+        # Monotonic mutation counter; readers snapshot it to build
+        # version-guarded caches (e.g. the MySQL-Min reconstruction
+        # cache in repro.mapping.stored_query).
+        self._version = 0
 
     # ------------------------------------------------------------------
     # schema
@@ -187,6 +191,7 @@ class Table:
             if value is not None:
                 tree.insert((value, key))
         self._n_rows += 1
+        self._version += 1
         # InnoDB flushes dirty buffer-pool pages continuously under bulk
         # load; clients share that I/O cost.
         self._dirty_bytes += len(encoded) + ROW_HEADER_BYTES
@@ -249,6 +254,7 @@ class Table:
                 if value is not None:
                     tree.insert((value, key))
             self._n_rows += 1
+            self._version += 1
             self._dirty_bytes += len(encoded) + ROW_HEADER_BYTES
             if self._dirty_bytes >= DIRTY_FLUSH_BYTES:
                 clustered.flush()
@@ -285,6 +291,7 @@ class Table:
                 if new is not None:
                     tree.insert((new, pk))
             touched += 1
+            self._version += 1
         return touched
 
     def delete_where(self, predicate) -> int:
@@ -300,6 +307,7 @@ class Table:
                 if value is not None:
                     tree.delete((value, pk))
         self._n_rows -= len(victims)
+        self._version += len(victims)
         return len(victims)
 
     def truncate(self) -> None:
@@ -307,6 +315,12 @@ class Table:
         for column_name in list(self._secondary):
             self._secondary[column_name] = BTree()
         self._n_rows = 0
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: unchanged ⇒ every read result is still valid."""
+        return self._version
 
     # ------------------------------------------------------------------
     # reads
@@ -314,6 +328,21 @@ class Table:
     def get(self, key) -> Optional[Dict[str, object]]:
         encoded = self._clustered.get(key)
         return self.decode_row(encoded) if encoded is not None else None
+
+    def get_many(self, keys: Sequence) -> List[Optional[Dict[str, object]]]:
+        """Point-read many primary keys in one call, order-preserving.
+
+        The relational analogue of the NoSQL engine's batched multi-get:
+        one B-tree probe per key without per-statement executor overhead;
+        ``get_many(ks) == [get(k) for k in ks]``.
+        """
+        clustered_get = self._clustered.get
+        decode = self.decode_row
+        results: List[Optional[Dict[str, object]]] = []
+        for key in keys:
+            encoded = clustered_get(key)
+            results.append(decode(encoded) if encoded is not None else None)
+        return results
 
     def scan(self) -> Iterator[Dict[str, object]]:
         for _, encoded in self._clustered.items():

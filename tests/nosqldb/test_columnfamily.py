@@ -194,8 +194,14 @@ class TestFlushAndCompaction:
         cf.insert({"id": 1})
         cf.seal_memtable()
         assert cf._pending and not cf._sstables
-        # a read forces materialisation
+        # reads search sealed memtables in place — no materialisation
         assert cf.get(1) is not None
+        assert cf.get_many([1]) == [{c.name: (1 if c.name == "id" else None) for c in cf.columns}]
+        assert list(cf.scan())
+        assert len(cf) == 1
+        assert cf._pending and not cf._sstables
+        # only an explicit flush builds the SSTable
+        cf.flush()
         assert not cf._pending and cf._sstables
 
     def test_compaction_caps_sstable_count(self):
