@@ -36,7 +36,7 @@ import pytest
 from repro.bench.datasets import current_scale, load_dataset
 from repro.dwarf.cell import ALL
 from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
-from repro.mapping.stored_query import stored_point_query
+from repro.mapping.stored_query import explain_strategy, stored_point_query
 
 SCHEMAS = list(MAPPER_FACTORIES)
 N_QUERIES = 50
@@ -218,18 +218,27 @@ def bench_nosql_dwarf_configs(bundle, vectors, expected, repeats: int) -> Dict:
 
 
 def bench_all_schemas(bundle, vectors, expected, repeats: int) -> Dict:
-    """Cold-vs-warm pass per schema with the default cache budgets."""
+    """Cold-vs-warm pass per schema with the default cache budgets.
+
+    Each cell also records the strategy's access plans (one EXPLAIN per
+    statement shape, shared :mod:`repro.query` vocabulary) and the
+    session plan-cache hits the warm passes generated — CI asserts the
+    latter is nonzero, i.e. warm queries replay compiled plans instead
+    of re-parsing.
+    """
     per_schema: Dict[str, Dict] = {}
     for name in SCHEMAS:
         mapper = make_mapper(name)
         schema_id = mapper.store(bundle.cube, probe_size=False)
         _flush_all(mapper)
         cold_answers, cold_s = _timed_pass(mapper, schema_id, vectors)
+        hits_before_warm = mapper.session.plan_cache.stats().hits
         warm_best = float("inf")
         warm_answers = None
         for _ in range(repeats):
             warm_answers, elapsed = _timed_pass(mapper, schema_id, vectors)
             warm_best = min(warm_best, elapsed)
+        warm_plan_hits = mapper.session.plan_cache.stats().hits - hits_before_warm
         per_schema[name] = {
             "cold_s": cold_s,
             "warm_s": warm_best,
@@ -237,6 +246,8 @@ def bench_all_schemas(bundle, vectors, expected, repeats: int) -> Dict:
             "warm_ms_per_query": warm_best * 1000 / len(vectors),
             "warm_speedup_vs_cold": cold_s / warm_best if warm_best else float("inf"),
             "answers_identical": cold_answers == expected and warm_answers == expected,
+            "warm_plan_cache_hits": warm_plan_hits,
+            "explain": explain_strategy(mapper, schema_id),
         }
     return per_schema
 
@@ -298,7 +309,14 @@ def main(argv=None) -> int:
     for name, cell in per_schema.items():
         print(f"{name:12s} cold {cell['cold_ms_per_query']:7.3f} ms/q   "
               f"warm {cell['warm_ms_per_query']:7.3f} ms/q   "
-              f"warm speedup {cell['warm_speedup_vs_cold']:.2f}x")
+              f"warm speedup {cell['warm_speedup_vs_cold']:.2f}x   "
+              f"plan-cache hits {cell['warm_plan_cache_hits']}")
+        for label, rows in cell["explain"].items():
+            pipeline = " -> ".join(
+                row["node"] + (f"[{row['detail']}]" if row["detail"] else "")
+                for row in rows
+            )
+            print(f"{'':12s}   {label}: {pipeline}")
     print(f"wrote {args.out}")
 
     if not identical:

@@ -22,6 +22,11 @@ care about:
   ``nosqldb/cql/``) must not import :mod:`repro.mapping` (parsers sit
   *below* mappers), and ``storage/`` must not import any higher layer
   (dwarf, sqldb, nosqldb, mapping, etl).
+* **REPRO006 kernel-independence** — the shared query kernel
+  (``repro/query/``) must not import any other ``repro`` subpackage:
+  both engines compile their statements *onto* the kernel's operators,
+  so an engine import from inside the kernel would make the dependency
+  circular and the plan vocabulary engine-specific.
 
 Run via :func:`run_lint` or ``python -m repro check --lint``.
 """
@@ -103,6 +108,7 @@ def lint_file(path: Path, report: CheckReport) -> None:
     if _raise_docs_apply(posix):
         _check_undocumented_raises(tree, location, report)
     _check_layering(tree, posix, location, report)
+    _check_kernel_independence(tree, posix, location, report)
 
 
 def _display(path: Path) -> str:
@@ -305,3 +311,24 @@ def _check_layering(tree: ast.AST, posix: str, location: str,
                     f"layer violation: {fragment.strip('/')} code imports "
                     f"{module} (must stay below {prefix})",
                 )
+
+
+# ----------------------------------------------------------------------
+# REPRO006 — the query kernel imports no other repro subpackage
+# ----------------------------------------------------------------------
+_KERNEL_FRAGMENT = "/repro/query/"
+
+
+def _check_kernel_independence(tree: ast.AST, posix: str, location: str,
+                               report: CheckReport) -> None:
+    if _KERNEL_FRAGMENT not in posix:
+        return
+    for module, lineno in _imported_modules(tree):
+        inside_kernel = module == "repro.query" or module.startswith("repro.query.")
+        report.check(
+            inside_kernel or not (module == "repro" or module.startswith("repro.")),
+            _CHECKER, "REPRO006", f"{location}:{lineno}",
+            f"kernel violation: repro.query imports {module}; the query "
+            "kernel must stay engine-agnostic (engines import it, never "
+            "the reverse)",
+        )

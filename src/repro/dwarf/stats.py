@@ -102,16 +102,23 @@ def describe(target):
     """One-stop stats: cube → :class:`CubeStats`, storage structure → its own.
 
     Accepts a :class:`~repro.dwarf.cube.DwarfCube` (traversed via
-    :func:`compute_stats`) or anything exposing a ``stats()`` method —
-    :class:`~repro.storage.btree.BTree` and
-    :class:`~repro.nosqldb.sstable.SSTable` today.
+    :func:`compute_stats`), a query-kernel :class:`~repro.query.Plan` or
+    operator node (per-operator execution counters via
+    ``operator_stats()``), or anything exposing a ``stats()`` method —
+    :class:`~repro.storage.btree.BTree`,
+    :class:`~repro.nosqldb.sstable.SSTable`,
+    :class:`~repro.nosqldb.columnfamily.ColumnFamily` and
+    :class:`~repro.query.PlanCache` today.
 
-    Raises TypeError for objects with neither shape.
+    Raises TypeError for objects with none of those shapes.
     """
     from repro.dwarf.cube import DwarfCube
+    from repro.query import Plan, PlanNode
 
     if isinstance(target, DwarfCube):
         return compute_stats(target)
+    if isinstance(target, (Plan, PlanNode)):
+        return target.operator_stats()
     stats = getattr(target, "stats", None)
     if callable(stats):
         return stats()

@@ -18,11 +18,14 @@ the whole cube, using whatever access paths the schema offers:
   nodes in memory, and keeps the reconstruction in a version-guarded
   cache so repeated queries only rescan after a mutation.
 
-All strategies return the same answers as
-:meth:`repro.dwarf.cube.DwarfCube.value` on the reloaded cube, and all
-fetch a node's candidate cells through the engines' batched multi-get
-(``execute_many`` / ``select_many`` → ``get_many``) instead of one
-session round-trip per cell (docs/read_path.md).
+Every fetch the walks perform is a :mod:`repro.query` plan.  Statement
+shapes (node lookups, prefix probes, the reconstruction scan) go through
+the session's plan cache as prepared text; the per-level cell-match loops
+are *direct* kernel plans — ``MultiGet → Filter`` (or ``IndexScan →
+Filter`` for NoSQL-Min) — built once per mapper, cached in the same
+:class:`~repro.query.PlanCache` under ``stored:`` labels, and guarded
+against DDL exactly like session plans.  :func:`explain_strategy` renders
+each strategy's access paths in the shared EXPLAIN vocabulary.
 """
 
 from __future__ import annotations
@@ -36,13 +39,15 @@ from repro.mapping.mysql_dwarf import MySQLDwarfMapper
 from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
+from repro.query import Filter, IndexScan, MultiGet, Plan
 
 
 def _prepared(mapper, text: str):
     """A per-mapper prepared-statement cache for the stored-query walks.
 
-    Each distinct statement shape is parsed and planned once per mapper;
-    after that the walks only bind parameters.
+    Each distinct statement shape is parsed once per mapper; its plan
+    lives in the session's :class:`~repro.query.PlanCache`, so after the
+    first execution the walks only bind parameters.
     """
     cache = getattr(mapper, "_query_statements", None)
     if cache is None:
@@ -53,6 +58,92 @@ def _prepared(mapper, text: str):
         statement = mapper.session.prepare(text)
         cache[text] = statement
     return statement
+
+
+def _kernel_plan(mapper, label: str, build) -> Plan:
+    """A direct :mod:`repro.query` plan, memoised in the session's cache.
+
+    Keyed ``(scope, "stored:<label>")`` next to the statement-text
+    entries, so warm stored-query walks register as plan-cache hits and
+    DDL on the underlying table invalidates them through the plan's
+    guards like any other cached plan.
+    """
+    session = mapper.session
+    scope = getattr(mapper, "keyspace_name", None) or mapper.database_name
+    key = (scope, "stored:" + label)
+    plan = session.plan_cache.get(key)
+    if plan is None:
+        plan = build(mapper)
+        session.plan_cache.put(key, plan)
+    return plan
+
+
+def _cql_guard(mapper, name: str, table):
+    engine = mapper.session.engine
+    keyspace = mapper.keyspace_name
+    signature = frozenset(table.indexed_columns)
+
+    def guard() -> bool:
+        return (
+            engine.keyspace(keyspace).table(name) is table
+            and frozenset(table.indexed_columns) == signature
+        )
+
+    return guard
+
+
+def _sql_guard(mapper, name: str, table):
+    engine = mapper.session.engine
+    database = mapper.database_name
+    signature = frozenset(table.indexed_columns)
+
+    def guard() -> bool:
+        return (
+            engine.database(database).table(name) is table
+            and frozenset(table.indexed_columns) == signature
+        )
+
+    return guard
+
+
+def _build_nosql_cells(mapper) -> Plan:
+    """NoSQL-DWARF: all candidate cells of one node, block-batched."""
+    table = mapper.session.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+    fetch = MultiGet(
+        table, lambda params: params[0], "dwarf_cell", "id",
+        cache_probe=lambda: table.block_cache_hits,
+    )
+    return Plan(fetch, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+
+
+def _build_nosql_cell_match(mapper) -> Plan:
+    """NoSQL-DWARF: the per-level cell match, ``MultiGet → Filter``."""
+    table = mapper.session.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+    fetch = MultiGet(
+        table, lambda params: params[0], "dwarf_cell", "id",
+        cache_probe=lambda: table.block_cache_hits,
+    )
+    match = Filter(fetch, lambda row, params: row["key"] == params[1], "key = ?1")
+    return Plan(match, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+
+
+def _build_nosql_min_sibling_match(mapper) -> Plan:
+    """NoSQL-Min: the per-level descent, ``IndexScan → Filter``."""
+    table = mapper.session.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+    scan = IndexScan(
+        table, "parentNodeId", lambda params: params[0], "dwarf_cell",
+        cache_probe=lambda: table.block_cache_hits,
+    )
+    match = Filter(scan, lambda row, params: row["name"] == params[1], "name = ?1")
+    return Plan(match, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+
+
+def _build_mysql_cell_match(mapper) -> Plan:
+    """MySQL-DWARF: the per-level cell match, ``MultiGet → Filter``."""
+    table = mapper.session.engine.database(mapper.database_name).table("CELL")
+    fetch = MultiGet(table, lambda params: params[0], "CELL", "id")
+    match = Filter(fetch, lambda row, params: row["cell_key"] == params[1], "cell_key = ?1")
+    return Plan(match, guards=(_sql_guard(mapper, "CELL", table),))
 
 
 def stored_point_query(
@@ -80,7 +171,7 @@ def _nosql_dwarf_point(mapper: NoSQLDwarfMapper, schema_id: int, keys: List[str]
     session = mapper.session
     info = mapper.info(schema_id)
     node_statement = _prepared(mapper, "SELECT childrenIds FROM dwarf_node WHERE id = ?")
-    cell_statement = _prepared(mapper, "SELECT * FROM dwarf_cell WHERE id = ?")
+    cell_match = _kernel_plan(mapper, "nosql_dwarf:cell_match", _build_nosql_cell_match)
     node_id: Optional[int] = info.entry_node_id
     measure = None
     for level, key_text in enumerate(keys):
@@ -91,15 +182,12 @@ def _nosql_dwarf_point(mapper: NoSQLDwarfMapper, schema_id: int, keys: List[str]
             raise MappingError(f"stored node {node_id} missing")
         cell_ids = sorted(node_row["childrenIds"] or ())
         # One batched multi-get for all candidate cells of this node —
-        # grouped by SSTable block — instead of one round-trip per cell.
-        match = None
-        for result in session.execute_many(cell_statement, [(c,) for c in cell_ids]):
-            cell = result.one()
-            if cell is not None and cell["key"] == key_text:
-                match = cell
-                break
-        if match is None:
+        # grouped by SSTable block — with the key match applied by the
+        # plan's Filter operator.
+        matches = cell_match.run((cell_ids, key_text))
+        if not matches:
             return None
+        match = matches[0]
         node_id = match["pointerNode"]
         measure = match["measure"]
         if match["leaf"] and level != len(keys) - 1:
@@ -127,19 +215,19 @@ def _nosql_min_point(mapper: NoSQLMinMapper, schema_id: int, keys: List[str]):
             return None
         node_id = first["parentNodeId"]
         mapper._entry_cache[schema_id] = node_id
-    sibling_statement = _prepared(
-        mapper, "SELECT * FROM dwarf_cell WHERE parentNodeId = ?"
+    # The secondary index the schema pays for (paper §5.1), probed and
+    # name-matched by one IndexScan → Filter plan per level.
+    sibling_match = _kernel_plan(
+        mapper, "nosql_min:sibling_match", _build_nosql_min_sibling_match
     )
     measure = None
     for key_text in keys:
         if node_id is None:
             return None
-        # The secondary index the schema pays for (paper §5.1); the index
-        # resolves its candidate keys through the batched multi-get.
-        siblings = session.execute_prepared(sibling_statement, (node_id,))
-        match = next((row for row in siblings if row["name"] == key_text), None)
-        if match is None:
+        matches = sibling_match.run((node_id, key_text))
+        if not matches:
             return None
+        match = matches[0]
         node_id = match["childNodeId"]
         measure = match["item"]
     return measure
@@ -154,31 +242,26 @@ def _mysql_dwarf_point(mapper: MySQLDwarfMapper, schema_id: int, keys: List[str]
     children_statement = _prepared(
         mapper, "SELECT cell_id FROM NODE_CHILDREN WHERE node_id = ?"
     )
-    cell_statement = _prepared(
-        mapper, "SELECT id, cell_key, measure, leaf FROM CELL WHERE id = ?"
-    )
     pointer_statement = _prepared(
         mapper, "SELECT node_id FROM CELL_CHILDREN WHERE cell_id = ?"
     )
+    cell_match = _kernel_plan(mapper, "mysql_dwarf:cell_match", _build_mysql_cell_match)
     node_id: Optional[int] = info.entry_node_id
     measure = None
     for key_text in keys:
         if node_id is None:
             return None
         # Clustered-prefix probe for the link rows, then all candidate
-        # cells in one batched point-select (Table.get_many) — same rows,
-        # in the same (cell_id-ascending) order, as the old per-level
+        # cells in one batched MultiGet (Table.get_many) with the key
+        # match applied by the plan's Filter operator — same rows, in the
+        # same (cell_id-ascending) order, as the old per-level
         # NODE_CHILDREN ⋈ CELL hash join.
         children = session.execute_prepared(children_statement, (node_id,))
         cell_ids = sorted(link["cell_id"] for link in children)
-        match = None
-        for result in session.select_many(cell_statement, [(c,) for c in cell_ids]):
-            cell = result.one()
-            if cell is not None and cell["cell_key"] == key_text:
-                match = cell
-                break
-        if match is None:
+        matches = cell_match.run((cell_ids, key_text))
+        if not matches:
             return None
+        match = matches[0]
         measure = match["measure"]
         if match["leaf"]:
             node_id = None
@@ -250,6 +333,62 @@ _STRATEGIES = {
 }
 
 
+def _explain_statement(session, text: str) -> List[dict]:
+    return list(session.execute("EXPLAIN " + text))
+
+
+def explain_strategy(mapper, schema_id: Optional[int] = None) -> Dict[str, List[dict]]:
+    """EXPLAIN every access path a :func:`stored_point_query` walk uses.
+
+    Returns an ordered mapping of walk step → plan rows in the shared
+    :mod:`repro.query` EXPLAIN vocabulary (``step``/``node``/``table``/
+    ``key``/``detail``).  Plans are shape-level, so ``schema_id`` is
+    accepted for symmetry with the query functions but not required.
+    """
+    kind = type(mapper)
+    if kind not in _STRATEGIES:
+        raise MappingError(f"no stored-query strategy for {kind.__name__}")
+    session = mapper.session
+    if kind is NoSQLDwarfMapper:
+        return {
+            "node": _explain_statement(
+                session, "SELECT childrenIds FROM dwarf_node WHERE id = ?"
+            ),
+            "cells": _kernel_plan(
+                mapper, "nosql_dwarf:cell_match", _build_nosql_cell_match
+            ).explain(),
+        }
+    if kind is NoSQLMinMapper:
+        return {
+            "entry": _explain_statement(
+                session,
+                "SELECT * FROM dwarf_cell WHERE root = true AND cubeid = ? ALLOW FILTERING",
+            ),
+            "siblings": _kernel_plan(
+                mapper, "nosql_min:sibling_match", _build_nosql_min_sibling_match
+            ).explain(),
+        }
+    if kind is MySQLDwarfMapper:
+        return {
+            "children": _explain_statement(
+                session, "SELECT cell_id FROM NODE_CHILDREN WHERE node_id = ?"
+            ),
+            "cells": _kernel_plan(
+                mapper, "mysql_dwarf:cell_match", _build_mysql_cell_match
+            ).explain(),
+            "pointer": _explain_statement(
+                session, "SELECT node_id FROM CELL_CHILDREN WHERE cell_id = ?"
+            ),
+        }
+    if kind is MySQLMinMapper:
+        return {
+            "cells": _explain_statement(
+                session, "SELECT * FROM DWARF_CELL WHERE cubeid = ?"
+            ),
+        }
+    raise MappingError(f"no stored-query strategy for {kind.__name__}")
+
+
 # ----------------------------------------------------------------------
 # declarative select over the stored NoSQL-DWARF cube
 # ----------------------------------------------------------------------
@@ -297,19 +436,14 @@ def stored_select(
     n_dims = schema.n_dimensions
 
     node_statement = _prepared(mapper, "SELECT childrenIds FROM dwarf_node WHERE id = ?")
-    cell_statement = _prepared(mapper, "SELECT * FROM dwarf_cell WHERE id = ?")
+    cells_plan = _kernel_plan(mapper, "nosql_dwarf:cells", _build_nosql_cells)
 
     def cells_of(node_id: int) -> List[dict]:
         node_row = session.execute_prepared(node_statement, (node_id,)).one()
         if node_row is None:
             raise MappingError(f"stored node {node_id} missing")
         cell_ids = sorted(node_row["childrenIds"] or ())
-        cells = []
-        for result in session.execute_many(cell_statement, [(c,) for c in cell_ids]):
-            cell = result.one()
-            if cell is not None:
-                cells.append(cell)
-        return cells
+        return cells_plan.run((cell_ids,))
 
     def matching(constraint, cells: List[dict]) -> List[dict]:
         ordinary = [c for c in cells if c["key"] != ALL_KEY_TEXT]

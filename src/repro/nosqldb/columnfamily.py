@@ -202,6 +202,25 @@ class ColumnFamily:
     def indexes(self) -> Tuple[SecondaryIndex, ...]:
         return tuple(self._indexes.values())
 
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        """Names of the columns carrying a secondary index.
+
+        The query planner snapshots this as part of a cached plan's
+        validity signature: a CREATE INDEX changes it and invalidates
+        plans compiled before the index existed.
+        """
+        return tuple(self._indexes)
+
+    @property
+    def block_cache_hits(self) -> int:
+        """Cumulative block-cache hit count (a cheap counter read).
+
+        The query kernel probes this around each batched read to
+        attribute cache-backed block fetches to the plan's access node.
+        """
+        return self._block_cache.stats().hits
+
     # ------------------------------------------------------------------
     # row codec (Cassandra 2.x storage format)
     # ------------------------------------------------------------------

@@ -136,7 +136,10 @@ class Insert(Statement):
 
 
 class Select(Statement):
-    __slots__ = ("ref", "columns", "where", "limit", "allow_filtering", "count")
+    __slots__ = (
+        "ref", "columns", "where", "limit", "allow_filtering", "count",
+        "order_by", "descending",
+    )
 
     def __init__(
         self,
@@ -146,6 +149,8 @@ class Select(Statement):
         limit: Optional[int],
         allow_filtering: bool,
         count: bool,
+        order_by: Optional[str] = None,
+        descending: bool = False,
     ) -> None:
         self.ref = ref
         self.columns = columns
@@ -153,6 +158,8 @@ class Select(Statement):
         self.limit = limit
         self.allow_filtering = allow_filtering
         self.count = count
+        self.order_by = order_by
+        self.descending = descending
 
 
 class Update(Statement):
@@ -186,3 +193,12 @@ class Batch(Statement):
 
     def __init__(self, statements: List[Statement]) -> None:
         self.statements = statements
+
+
+class Explain(Statement):
+    """``EXPLAIN SELECT ...``: report the chosen plan, one row per operator."""
+
+    __slots__ = ("select",)
+
+    def __init__(self, select: "Select") -> None:
+        self.select = select

@@ -1,34 +1,52 @@
-"""CQL execution against a :class:`~repro.nosqldb.engine.NoSQLEngine`."""
+"""CQL execution against a :class:`~repro.nosqldb.engine.NoSQLEngine`.
+
+SELECTs are compiled into :mod:`repro.query` plans — the same operator
+vocabulary the SQL engine uses (PointLookup / MultiGet / IndexScan /
+FullScan / Filter / Sort / Limit / Aggregate) — so ``EXPLAIN SELECT``
+reads identically in both dialects.  This module is the CQL *binding*
+of the shared kernel: it compiles the dialect AST into the callables
+the plan nodes carry and keeps all engine-specific error behaviour
+(:class:`InvalidRequest`, the ALLOW FILTERING gate) on this side of the
+boundary.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.nosqldb.columnfamily import Column, ColumnFamily
 from repro.nosqldb.cql import ast
 from repro.nosqldb.errors import InvalidRequest
 from repro.nosqldb.types import parse_type
+from repro.query import (
+    ACCESS_INDEX,
+    ACCESS_MULTIGET,
+    ACCESS_POINT,
+    Aggregate,
+    Filter,
+    FullScan,
+    IndexScan,
+    Limit,
+    MultiGet,
+    Plan,
+    PointLookup,
+    Project,
+    ResultSet as _KernelResultSet,
+    Sort,
+    TableMeta,
+    choose_access,
+    compare,
+    null_safe_key,
+)
 
 
-class ResultSet:
+class ResultSet(_KernelResultSet):
     """Rows returned by a SELECT (list of column-name -> value dicts)."""
 
-    __slots__ = ("rows",)
+    __slots__ = ()
 
     def __init__(self, rows: List[Dict[str, object]]) -> None:
-        self.rows = rows
-
-    def __iter__(self):
-        return iter(self.rows)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def one(self) -> Optional[Dict[str, object]]:
-        return self.rows[0] if self.rows else None
-
-    def __repr__(self) -> str:
-        return f"ResultSet({len(self.rows)} rows)"
+        super().__init__(rows)
 
 
 def execute(
@@ -81,16 +99,18 @@ def plan_insert_template(
 def plan_point_select(
     engine, statement: ast.Statement, current_keyspace: Optional[str]
 ):
-    """Resolve ``SELECT ... WHERE <pk> = ?`` to a batched-fetch plan.
+    """Resolve ``SELECT ... WHERE <pk> = ?`` to a batched-fetch shape.
 
     Returns ``(table, key_slot, columns, limit)`` where ``key_slot`` is
     ``(is_bind, index_or_constant)``.  This is the shape
-    :meth:`~repro.nosqldb.session.Session.execute_many` turns into one
-    :meth:`~repro.nosqldb.columnfamily.ColumnFamily.get_many` call.
-    Returns ``None`` for any other statement shape (those fall back to
-    per-row execution through the generic executor).
+    :meth:`~repro.nosqldb.session.Session.execute_many` fuses into one
+    :class:`repro.query.MultiGet` execution.  Returns ``None`` for any
+    other statement shape (those fall back to per-row execution through
+    the generic executor).
     """
     if not isinstance(statement, ast.Select) or statement.count:
+        return None
+    if statement.order_by is not None:
         return None
     keyspace_name = statement.ref.keyspace or current_keyspace
     if keyspace_name is None:
@@ -110,6 +130,50 @@ def plan_point_select(
         table.column(name)  # validate once, not per row
     key_slot = (is_bind, value.index if is_bind else value)
     return table, key_slot, columns, statement.limit
+
+
+class FusedPointSelect:
+    """execute_many's server-side shape: one :class:`MultiGet` resolves
+    every bound key, key-aligned so each parameter row maps to its own
+    result.  Cached in the session plan cache under the statement text;
+    ``guards`` revalidate the resolved column family on every hit."""
+
+    __slots__ = ("node", "key_slot", "columns", "limit", "guards")
+
+    def __init__(self, node, key_slot, columns, limit, guards) -> None:
+        self.node = node
+        self.key_slot = key_slot
+        self.columns = columns
+        self.limit = limit
+        self.guards = guards
+
+    def fetch(self, keys: Sequence) -> List[Optional[Dict[str, object]]]:
+        """Key-aligned rows (None per missing key) for ``keys``."""
+        return self.node.run(keys)
+
+
+def make_select_many_plan(
+    engine, statement: ast.Statement, current_keyspace: Optional[str]
+) -> Optional[FusedPointSelect]:
+    """Compile the fused multi-get plan behind ``execute_many``.
+
+    Returns ``None`` when the statement is not the point-select shape.
+    """
+    planned = plan_point_select(engine, statement, current_keyspace)
+    if planned is None:
+        return None
+    table, key_slot, columns, limit = planned
+    node = MultiGet(
+        table,
+        keys=lambda keys: keys,
+        table_name=statement.ref.table,
+        key_desc=table.primary_key,
+        cache_probe=lambda: table.block_cache_hits,
+        keep_missing=True,
+    )
+    keyspace_name = statement.ref.keyspace or current_keyspace
+    guard = _table_guard(engine, keyspace_name, statement.ref.table, table)
+    return FusedPointSelect(node, key_slot, columns, limit, (guard,))
 
 
 def make_insert_plan(engine, statement: ast.Statement, current_keyspace: Optional[str]):
@@ -142,6 +206,166 @@ def make_insert_plan(engine, statement: ast.Statement, current_keyspace: Optiona
     return run
 
 
+# ----------------------------------------------------------------------
+# AST -> kernel-callable compilation helpers
+# ----------------------------------------------------------------------
+def _compile_value(value) -> Callable[[Sequence], object]:
+    """A ``resolve(params)`` callable for one literal/placeholder/set."""
+    if isinstance(value, ast.Placeholder):
+        index = value.index
+
+        def resolve(params: Sequence):
+            if index >= len(params):
+                raise InvalidRequest(
+                    f"statement has bind marker ?{index} but only "
+                    f"{len(params)} parameters were supplied"
+                )
+            return params[index]
+
+        return resolve
+    if isinstance(value, ast.SetLiteral):
+        items = [_compile_value(item) for item in value.items]
+        return lambda params: {resolve(params) for resolve in items}
+    return lambda params: value
+
+
+def _compile_value_list(values) -> Callable[[Sequence], List[object]]:
+    resolvers = [_compile_value(v) for v in values]
+    return lambda params: [resolve(params) for resolve in resolvers]
+
+
+def _condition_desc(condition: ast.Condition) -> str:
+    if condition.op == "IN":
+        return f"{condition.column} IN ({', '.join(repr(v) for v in condition.value)})"
+    return f"{condition.column} {condition.op} {condition.value!r}"
+
+
+def _table_guard(engine, keyspace_name: str, table_name: str, table: ColumnFamily):
+    """A plan-cache guard: same column family, same index signature."""
+    indexed = frozenset(table.indexed_columns)
+
+    def check() -> bool:
+        return (
+            engine.keyspace(keyspace_name).table(table_name) is table
+            and frozenset(table.indexed_columns) == indexed
+        )
+
+    return check
+
+
+def _table_meta(table: ColumnFamily) -> TableMeta:
+    return TableMeta(
+        name=table.name,
+        primary_key=(table.primary_key,),
+        indexed=frozenset(table.indexed_columns),
+        supports_pk_prefix=False,
+    )
+
+
+def build_select_plan(
+    engine, stmt: ast.Select, current_keyspace: Optional[str]
+) -> Plan:
+    """Compile a SELECT statement into an executable kernel plan.
+
+    Statement-shape validation — unknown tables/columns and Cassandra's
+    ALLOW FILTERING gate (a full scan with residual filters must be
+    opted into) — happens here, at plan-build time.  Raises
+    :class:`InvalidRequest` exactly where per-execution interpretation
+    used to.
+    """
+    keyspace_name = stmt.ref.keyspace or current_keyspace
+    if keyspace_name is None:
+        raise InvalidRequest(f"no keyspace specified for table {stmt.ref.table!r}")
+    table = engine.keyspace(keyspace_name).table(stmt.ref.table)
+    guards = (_table_guard(engine, keyspace_name, stmt.ref.table, table),)
+
+    conditions = list(stmt.where)
+    access, index = choose_access(
+        _table_meta(table), [(c.column, c.op) for c in conditions]
+    )
+    condition = conditions[index] if index is not None else None
+    residual = [c for c in conditions if c is not condition]
+
+    cache_probe = lambda: table.block_cache_hits
+    if access == ACCESS_POINT:
+        node = PointLookup(
+            table,
+            key=_compile_value(condition.value),
+            table_name=table.name,
+            key_desc=condition.column,
+            cache_probe=cache_probe,
+        )
+    elif access == ACCESS_MULTIGET:
+        # IN lists go through the batched multi-get: one block decode
+        # per touched SSTable block instead of one walk per key.
+        node = MultiGet(
+            table,
+            keys=_compile_value_list(condition.value),
+            table_name=table.name,
+            key_desc=condition.column,
+            cache_probe=cache_probe,
+        )
+    elif access == ACCESS_INDEX:
+        node = IndexScan(
+            table,
+            column=condition.column,
+            value=_compile_value(condition.value),
+            table_name=table.name,
+            access=IndexScan.SECONDARY,
+        )
+    else:
+        if residual and not stmt.allow_filtering:
+            raise InvalidRequest(
+                "this query requires a full scan; add ALLOW FILTERING to accept the cost"
+            )
+        node = FullScan(table, table.name)
+
+    for cond in residual:
+        table.column(cond.column)  # validate
+        node = Filter(node, _predicate(cond), _condition_desc(cond))
+
+    if stmt.order_by is not None:
+        table.column(stmt.order_by)  # validate
+        order_name = stmt.order_by
+        node = Sort(
+            node,
+            key=lambda row: null_safe_key(row.get(order_name)),
+            descending=stmt.descending,
+            detail=order_name,
+        )
+    if stmt.limit is not None:
+        node = Limit(node, stmt.limit)
+    if stmt.count:
+        # CQL counts what the statement returns, so LIMIT applies first
+        # (unlike SQL, where COUNT ignores it) — the Aggregate sits
+        # above the Limit node.
+        node = Aggregate(node, lambda rows, params: [{"count": len(rows)}], "count(*)")
+    elif stmt.columns:
+        names = list(stmt.columns)
+        for name in names:
+            table.column(name)  # validate
+        node = Project(
+            node,
+            lambda row: {name: row[name] for name in names},
+            ", ".join(names),
+        )
+    return Plan(node, guards=guards)
+
+
+def _predicate(condition: ast.Condition):
+    op = condition.op
+    column = condition.column
+    if op == "IN":
+        expected = _compile_value_list(condition.value)
+    else:
+        expected = _compile_value(condition.value)
+
+    def check(row, params):
+        return compare(op, row.get(column), expected(params))
+
+    return check
+
+
 class _Executor:
     def __init__(self, engine, params: Sequence, current_keyspace: Optional[str]) -> None:
         self.engine = engine
@@ -150,16 +374,7 @@ class _Executor:
 
     # -- value resolution ----------------------------------------------------
     def _resolve(self, value):
-        if isinstance(value, ast.Placeholder):
-            if value.index >= len(self.params):
-                raise InvalidRequest(
-                    f"statement has bind marker ?{value.index} but only "
-                    f"{len(self.params)} parameters were supplied"
-                )
-            return self.params[value.index]
-        if isinstance(value, ast.SetLiteral):
-            return {self._resolve(item) for item in value.items}
-        return value
+        return _compile_value(value)(self.params)
 
     def _table(self, ref: ast.TableRef) -> ColumnFamily:
         keyspace_name = ref.keyspace or self.current_keyspace
@@ -182,6 +397,7 @@ class _Executor:
             ast.Delete: self._delete,
             ast.Truncate: self._truncate,
             ast.Batch: self._batch,
+            ast.Explain: self._explain,
         }.get(type(statement))
         if handler is None:
             raise InvalidRequest(f"unsupported statement {type(statement).__name__}")
@@ -243,96 +459,10 @@ class _Executor:
         table.insert(row)
         return None, None
 
+    # -- SELECT -----------------------------------------------------------------
     def _select(self, stmt: ast.Select):
-        table = self._table(stmt.ref)
-        rows = self._candidate_rows(table, stmt.where, stmt.allow_filtering)
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
-        if stmt.count:
-            return ResultSet([{"count": len(rows)}]), None
-        if stmt.columns:
-            for name in stmt.columns:
-                table.column(name)  # validate
-            rows = [{name: row[name] for name in stmt.columns} for row in rows]
-        return ResultSet(rows), None
-
-    def _candidate_rows(
-        self,
-        table: ColumnFamily,
-        where: List[ast.Condition],
-        allow_filtering: bool,
-    ) -> List[Dict[str, object]]:
-        remaining = list(where)
-
-        # 1. primary-key point or IN lookup
-        pk_condition = next(
-            (c for c in remaining if c.column == table.primary_key and c.op in ("=", "IN")),
-            None,
-        )
-        if pk_condition is not None:
-            remaining.remove(pk_condition)
-            if pk_condition.op == "=":
-                keys = [self._resolve(pk_condition.value)]
-            else:
-                keys = [self._resolve(v) for v in pk_condition.value]
-            # IN lists go through the batched multi-get: one block decode
-            # per touched SSTable block instead of one walk per key.
-            rows = [row for row in table.get_many(keys) if row is not None]
-            return self._filter(rows, remaining, table, allow_filtering, indexed=True)
-
-        # 2. secondary-index equality lookup
-        index_condition = next(
-            (c for c in remaining if c.op == "=" and table.has_index(c.column)),
-            None,
-        )
-        if index_condition is not None:
-            remaining.remove(index_condition)
-            rows = table.lookup_indexed(
-                index_condition.column, self._resolve(index_condition.value)
-            )
-            return self._filter(rows, remaining, table, allow_filtering, indexed=True)
-
-        # 3. full scan
-        if remaining and not allow_filtering:
-            raise InvalidRequest(
-                "this query requires a full scan; add ALLOW FILTERING to accept the cost"
-            )
-        return self._filter(list(table.scan()), remaining, table, allow_filtering=True, indexed=True)
-
-    def _filter(
-        self,
-        rows: List[Dict[str, object]],
-        conditions: List[ast.Condition],
-        table: ColumnFamily,
-        allow_filtering: bool,
-        indexed: bool,
-    ) -> List[Dict[str, object]]:
-        if conditions and not allow_filtering and not indexed:
-            raise InvalidRequest("filtering requires ALLOW FILTERING")
-        for condition in conditions:
-            table.column(condition.column)  # validate
-            rows = [row for row in rows if self._matches(row, condition)]
-        return rows
-
-    def _matches(self, row: Dict[str, object], condition: ast.Condition) -> bool:
-        actual = row.get(condition.column)
-        if condition.op == "IN":
-            targets = [self._resolve(v) for v in condition.value]
-            return actual in targets
-        expected = self._resolve(condition.value)
-        if actual is None:
-            return False
-        if condition.op == "=":
-            return actual == expected
-        if condition.op == "<":
-            return actual < expected
-        if condition.op == ">":
-            return actual > expected
-        if condition.op == "<=":
-            return actual <= expected
-        if condition.op == ">=":
-            return actual >= expected
-        raise InvalidRequest(f"unsupported operator {condition.op!r}")
+        plan = build_select_plan(self.engine, stmt, self.current_keyspace)
+        return ResultSet(plan.run(self.params)), None
 
     def _update(self, stmt: ast.Update):
         table = self._table(stmt.ref)
@@ -363,3 +493,9 @@ class _Executor:
         for inner in stmt.statements:
             self.run(inner)
         return None, None
+
+    # -- EXPLAIN ------------------------------------------------------------------
+    def _explain(self, stmt: ast.Explain):
+        """Build (but do not run) the plan; one row per operator."""
+        plan = build_select_plan(self.engine, stmt.select, self.current_keyspace)
+        return ResultSet(plan.explain()), None

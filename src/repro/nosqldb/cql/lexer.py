@@ -11,6 +11,7 @@ import re
 from typing import List, NamedTuple
 
 from repro.nosqldb.errors import CQLSyntaxError
+from repro.query import syntax_error_message
 
 
 class Token(NamedTuple):
@@ -41,7 +42,9 @@ def tokenize(text: str) -> List[Token]:
         match = _TOKEN_RE.match(text, position)
         if match is None:
             snippet = text[position:position + 20]
-            raise CQLSyntaxError(f"cannot tokenise CQL at {position}: {snippet!r}")
+            raise CQLSyntaxError(
+                syntax_error_message("cannot tokenise CQL", text, position, snippet)
+            )
         kind = match.lastgroup
         value = match.group()
         position = match.end()

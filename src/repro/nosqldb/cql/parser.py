@@ -7,6 +7,7 @@ from typing import List, Optional, Tuple
 from repro.nosqldb.cql import ast
 from repro.nosqldb.cql.lexer import Token, tokenize, unquote_string
 from repro.nosqldb.errors import CQLSyntaxError
+from repro.query import syntax_error_message
 
 
 def parse(text: str) -> ast.Statement:
@@ -33,7 +34,9 @@ class _Parser:
 
     def _error(self, message: str) -> CQLSyntaxError:
         token = self._peek()
-        return CQLSyntaxError(f"{message} at position {token.position} (near {token.text!r})")
+        return CQLSyntaxError(
+            syntax_error_message(message, self.text, token.position, token.text)
+        )
 
     def _accept_keyword(self, word: str) -> bool:
         token = self._peek()
@@ -73,6 +76,9 @@ class _Parser:
         return statement
 
     def _statement(self) -> ast.Statement:
+        if self._accept_keyword("EXPLAIN"):
+            self._expect_keyword("SELECT")
+            return ast.Explain(self._select())
         if self._accept_keyword("BEGIN"):
             return self._batch()
         if self._accept_keyword("CREATE"):
@@ -239,6 +245,15 @@ class _Parser:
         self._expect_keyword("FROM")
         ref = self._table_ref()
         where = self._where_clause()
+        order_by: Optional[str] = None
+        descending = False
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._identifier()
+            if self._accept_keyword("DESC"):
+                descending = True
+            else:
+                self._accept_keyword("ASC")
         limit: Optional[int] = None
         if self._accept_keyword("LIMIT"):
             token = self._peek()
@@ -250,7 +265,10 @@ class _Parser:
         if self._accept_keyword("ALLOW"):
             self._expect_keyword("FILTERING")
             allow_filtering = True
-        return ast.Select(ref, columns, where, limit, allow_filtering, count)
+        return ast.Select(
+            ref, columns, where, limit, allow_filtering, count,
+            order_by=order_by, descending=descending,
+        )
 
     def _update(self) -> ast.Update:
         ref = self._table_ref()

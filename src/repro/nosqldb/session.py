@@ -14,13 +14,15 @@ from repro.analysis.flags import checks_enabled
 from repro.nosqldb.cql import ast
 from repro.nosqldb.cql.executor import (
     ResultSet,
+    build_select_plan,
     execute,
     make_insert_plan,
+    make_select_many_plan,
     plan_insert_template,
-    plan_point_select,
 )
 from repro.nosqldb.cql.parser import parse
 from repro.nosqldb.errors import InvalidRequest
+from repro.query import UNPLANNABLE, Plan, PlanCache
 
 
 class CompiledInsert:
@@ -81,41 +83,60 @@ class CompiledInsert:
 class PreparedStatement:
     """A parsed statement with ``?`` bind markers, reusable across executions."""
 
-    __slots__ = (
-        "statement", "text", "_plan_key", "_plan",
-        "_select_plan_key", "_select_plan",
-    )
+    __slots__ = ("statement", "text", "_plan_key", "_plan")
 
     def __init__(self, text: str, statement: ast.Statement) -> None:
         self.text = text
         self.statement = statement
         self._plan_key = None
         self._plan = None
-        self._select_plan_key = None
-        self._select_plan = None
 
     def __repr__(self) -> str:
         return f"PreparedStatement({self.text!r})"
 
 
 class Session:
-    """A connection to the engine with an optional current keyspace."""
+    """A connection to the engine with an optional current keyspace.
+
+    SELECTs are compiled into :mod:`repro.query` plans and memoised in
+    the session's :class:`~repro.query.PlanCache`, keyed on
+    ``(current keyspace, statement text)`` — a warm statement skips the
+    parser and the planner entirely and goes straight to the compiled
+    operator tree.  Cached plans carry guards that revalidate the
+    resolved column families (identity + index signature) on every hit,
+    so DDL invalidates them instead of silently replaying stale access
+    paths.
+    """
 
     def __init__(self, engine, keyspace: Optional[str] = None) -> None:
         self.engine = engine
         self.keyspace = keyspace
+        self.plan_cache = PlanCache()
 
     # ------------------------------------------------------------------
     def execute(self, cql: str, params: Sequence = ()) -> Optional[ResultSet]:
         """Parse and run one CQL statement."""
-        statement = parse(cql)
+        key = (self.keyspace, cql)
+        plan = self.plan_cache.get(key)
+        if isinstance(plan, Plan):
+            return ResultSet(plan.run(params))
+        return self._dispatch(parse(cql), cql, params)
+
+    def prepare(self, cql: str) -> PreparedStatement:
+        return PreparedStatement(cql, parse(cql))
+
+    def _dispatch(
+        self, statement: ast.Statement, text: str, params: Sequence
+    ) -> Optional[ResultSet]:
+        """Plan-and-cache SELECTs; everything else runs the generic executor."""
+        if type(statement) is ast.Select:
+            plan = build_select_plan(self.engine, statement, self.keyspace)
+            self.plan_cache.put((self.keyspace, text), plan)
+            return ResultSet(plan.run(params))
         result, new_keyspace = execute(self.engine, statement, params, self.keyspace)
         if new_keyspace is not None:
             self.keyspace = new_keyspace
         return result
-
-    def prepare(self, cql: str) -> PreparedStatement:
-        return PreparedStatement(cql, parse(cql))
 
     def compile_insert(self, cql: str) -> CompiledInsert:
         """Plan a plain INSERT once, for zero-parse bulk execution.
@@ -137,10 +158,11 @@ class Session:
     def execute_prepared(
         self, prepared: PreparedStatement, params: Sequence = ()
     ) -> Optional[ResultSet]:
-        result, new_keyspace = execute(self.engine, prepared.statement, params, self.keyspace)
-        if new_keyspace is not None:
-            self.keyspace = new_keyspace
-        return result
+        key = (self.keyspace, prepared.text)
+        plan = self.plan_cache.get(key)
+        if isinstance(plan, Plan):
+            return ResultSet(plan.run(params))
+        return self._dispatch(prepared.statement, prepared.text, params)
 
     def execute_batch(
         self, operations: Iterable[Tuple[PreparedStatement, Sequence]]
@@ -178,13 +200,14 @@ class Session:
         if isinstance(statement, str):
             statement = self.prepare(statement)
         rows_list = list(param_rows)
-        plan = self._select_plan_for(statement)
-        if plan is None:
+        fused = self._fused_plan_for(statement)
+        if fused is UNPLANNABLE:
             return [self.execute_prepared(statement, params) for params in rows_list]
-        table, (is_bind, value), columns, limit = plan
+        is_bind, value = fused.key_slot
+        columns, limit = fused.columns, fused.limit
         keys = [params[value] if is_bind else value for params in rows_list]
         results: List[Optional[ResultSet]] = []
-        for row in table.get_many(keys):
+        for row in fused.fetch(keys):
             rows = [row] if row is not None else []
             if limit is not None:
                 rows = rows[:limit]
@@ -193,15 +216,16 @@ class Session:
             results.append(ResultSet(rows))
         return results
 
-    def _select_plan_for(self, prepared: PreparedStatement):
-        """Cached point-select plan (None = not a point select)."""
-        key = (id(self.engine), self.keyspace)
-        if prepared._select_plan_key != key:
-            prepared._select_plan_key = key
-            prepared._select_plan = plan_point_select(
-                self.engine, prepared.statement, self.keyspace
-            )
-        return prepared._select_plan
+    def _fused_plan_for(self, prepared: PreparedStatement):
+        """Cached fused multi-get plan (UNPLANNABLE = not a point select)."""
+        key = (self.keyspace, "select_many", prepared.text)
+        fused = self.plan_cache.get(key)
+        if fused is None:
+            fused = make_select_many_plan(self.engine, prepared.statement, self.keyspace)
+            if fused is None:
+                fused = UNPLANNABLE
+            self.plan_cache.put(key, fused)
+        return fused
 
     def _maybe_check(self) -> None:
         """REPRO_CHECK=1 hook: verify the current keyspace after a bulk load."""

@@ -1,0 +1,76 @@
+"""The shared query kernel.
+
+One plan/operator layer under both database engines: a common
+:class:`ResultSet`, the expression evaluator, volcano-style plan nodes
+with per-operator counters, and the rule-based planner with its plan
+cache.  Engine front-ends (``repro.sqldb``, ``repro.nosqldb``) compile
+their dialects down to this layer; this package must never import an
+engine (lint rule REPRO006).
+"""
+
+from repro.query.errors import describe_position, line_and_column, syntax_error_message
+from repro.query.expr import COMPARISON_OPS, compare, evaluate_aggregate, null_safe_key
+from repro.query.plan import (
+    Aggregate,
+    Filter,
+    FullScan,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MultiGet,
+    OperatorStats,
+    Plan,
+    PlanNode,
+    PointLookup,
+    Project,
+    Sort,
+)
+from repro.query.planner import (
+    ACCESS_INDEX,
+    ACCESS_MULTIGET,
+    ACCESS_PK_PREFIX,
+    ACCESS_POINT,
+    ACCESS_SCAN,
+    PlanCache,
+    PlanCacheStats,
+    TableMeta,
+    UNPLANNABLE,
+    choose_access,
+    choose_join_access,
+)
+from repro.query.result import ResultSet
+
+__all__ = [
+    "ACCESS_INDEX",
+    "ACCESS_MULTIGET",
+    "ACCESS_PK_PREFIX",
+    "ACCESS_POINT",
+    "ACCESS_SCAN",
+    "Aggregate",
+    "COMPARISON_OPS",
+    "Filter",
+    "FullScan",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "MultiGet",
+    "OperatorStats",
+    "Plan",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanNode",
+    "PointLookup",
+    "Project",
+    "ResultSet",
+    "Sort",
+    "TableMeta",
+    "UNPLANNABLE",
+    "choose_access",
+    "choose_join_access",
+    "compare",
+    "describe_position",
+    "evaluate_aggregate",
+    "line_and_column",
+    "null_safe_key",
+    "syntax_error_message",
+]

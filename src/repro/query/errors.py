@@ -1,0 +1,41 @@
+"""Shared syntax-error formatting for both query front-ends.
+
+The SQL and CQL parsers historically drifted in how they reported
+positions (flat character offsets, different "near" spellings).  Both
+now render through :func:`syntax_error_message`, so an error at line 3
+column 7 reads identically — token for token — whichever dialect raised
+it, and tests can assert the format once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def line_and_column(text: str, offset: int) -> Tuple[int, int]:
+    """1-based ``(line, column)`` of character ``offset`` in ``text``.
+
+    Offsets past the end of ``text`` report the position just after the
+    last character — where an unexpected end-of-input sits.
+    """
+    offset = max(0, min(offset, len(text)))
+    line = text.count("\n", 0, offset) + 1
+    last_newline = text.rfind("\n", 0, offset)
+    return line, offset - last_newline  # column is 1-based via the -1 index
+
+
+def describe_position(text: str, offset: int) -> str:
+    """``"line L column C"`` for character ``offset`` in ``text``."""
+    line, column = line_and_column(text, offset)
+    return f"line {line} column {column}"
+
+
+def syntax_error_message(message: str, text: str, offset: int, near: str = "") -> str:
+    """The one syntax-error format both parsers and lexers emit.
+
+    ``near`` is the offending token's text; empty means end of input.
+    """
+    where = describe_position(text, offset)
+    if near:
+        return f"{message} at {where} (near {near!r})"
+    return f"{message} at {where} (at end of input)"

@@ -1,0 +1,78 @@
+"""The shared expression evaluator.
+
+Both engines' WHERE clauses, ORDER BY keys and aggregate functions boil
+down to the three primitives here.  Keeping them in one place is what
+makes the differential tests meaningful: a comparison-semantics bug
+cannot hide in one engine only.
+
+SQL three-valued logic is approximated the way both executors always
+did: a comparison against a NULL operand is false (never true), ``IN``
+compares raw values (so ``NULL IN (NULL)`` holds), and aggregates skip
+NULLs entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Comparison operators :func:`compare` accepts, in both dialects'
+#: normalised spelling (``<>`` is normalised to ``!=`` at parse time).
+COMPARISON_OPS = ("=", "!=", "<", ">", "<=", ">=", "IN", "ISNULL", "NOTNULL")
+
+
+def compare(op: str, actual, expected) -> bool:
+    """Evaluate ``actual OP expected`` with NULL-rejecting semantics.
+
+    ``expected`` is a collection for ``IN`` and ignored for the
+    null-test operators.  Unknown operators raise ValueError — engine
+    front-ends validate operators at plan-build time, so hitting this at
+    run time is a compiler bug, not bad user input.
+    """
+    if op == "IN":
+        return actual in expected
+    if op == "ISNULL":
+        return actual is None
+    if op == "NOTNULL":
+        return actual is not None
+    if actual is None:
+        return False
+    if op == "=":
+        return actual == expected
+    if op == "!=":
+        return actual != expected
+    if op == "<":
+        return actual < expected
+    if op == ">":
+        return actual > expected
+    if op == "<=":
+        return actual <= expected
+    if op == ">=":
+        return actual >= expected
+    raise ValueError(f"unsupported comparison operator {op!r}")
+
+
+def null_safe_key(value):
+    """An ORDER BY sort key that places NULLs last (ascending)."""
+    return (value is None, value)
+
+
+def evaluate_aggregate(func: str, values: Sequence) -> Optional[object]:
+    """One aggregate over a group's non-NULL ``values``.
+
+    ``count`` of an empty group is 0; every other aggregate of an empty
+    group is NULL, as in SQL.  Unknown functions raise ValueError (the
+    parsers only emit the five known ones).
+    """
+    if func == "count":
+        return len(values)
+    if not values:
+        return None
+    if func == "sum":
+        return sum(values)
+    if func == "min":
+        return min(values)
+    if func == "max":
+        return max(values)
+    if func == "avg":
+        return sum(values) / len(values)
+    raise ValueError(f"unknown aggregate {func!r}")

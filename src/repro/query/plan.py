@@ -1,0 +1,481 @@
+"""Volcano-style plan nodes shared by both engines.
+
+A plan is a tree of operators.  Leaves are *access paths* bound to a
+storage object (a relational :class:`~repro.sqldb.table.Table` or a
+:class:`~repro.nosqldb.columnfamily.ColumnFamily` — the kernel only
+relies on the common ``get``/``get_many``/``lookup_indexed``/``scan``
+duck type); inner nodes transform row streams.  Engine front-ends
+compile their dialect's AST into the callables each node carries —
+key resolvers take the bind-parameter tuple, predicates take
+``(row, params)`` — so the kernel never sees an AST and never imports
+an engine (lint rule REPRO006 enforces that direction).
+
+Every node keeps cumulative counters (``calls``, ``rows_in``,
+``rows_out``, plus ``keys_batched`` and ``blocks_cached`` on batched
+leaves) surfaced through :meth:`Plan.operator_stats` and
+:func:`repro.dwarf.stats.describe`.  ``EXPLAIN`` in either dialect is
+:meth:`Plan.explain`: one row per operator in execution order, with the
+same vocabulary everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class OperatorStats(NamedTuple):
+    """One operator's cumulative execution counters."""
+
+    node: str
+    table: Optional[str]
+    detail: str
+    calls: int
+    rows_in: int
+    rows_out: int
+    keys_batched: int
+    blocks_cached: int
+
+
+class _Context:
+    """Per-execution state threaded through the operator tree."""
+
+    __slots__ = ("params",)
+
+    def __init__(self, params: Sequence) -> None:
+        self.params = tuple(params)
+
+
+class PlanNode:
+    """Base operator: counters, children, and the EXPLAIN contract."""
+
+    kind = "PlanNode"
+    __slots__ = ("calls", "rows_in", "rows_out")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.rows_in = 0
+        self.rows_out = 0
+
+    # -- execution ---------------------------------------------------------
+    def run(self, params: Sequence = ()) -> List[Dict[str, object]]:
+        """Execute the subtree rooted here with ``params`` bound."""
+        return self.rows(_Context(params))
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        raise NotImplementedError
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    @property
+    def table_name(self) -> Optional[str]:
+        return None
+
+    @property
+    def key_desc(self) -> Optional[str]:
+        return None
+
+    def detail(self) -> str:
+        return ""
+
+    def explain(self) -> List[Dict[str, object]]:
+        """One row per operator, numbered in execution (leaf-first) order."""
+        rows: List[Dict[str, object]] = []
+        for step, node in enumerate(self._postorder(), start=1):
+            rows.append(
+                {
+                    "step": step,
+                    "node": node.kind,
+                    "table": node.table_name,
+                    "key": node.key_desc,
+                    "detail": node.detail(),
+                }
+            )
+        return rows
+
+    def operator_stats(self) -> List[OperatorStats]:
+        return [
+            OperatorStats(
+                node=node.kind,
+                table=node.table_name,
+                detail=node.detail(),
+                calls=node.calls,
+                rows_in=node.rows_in,
+                rows_out=node.rows_out,
+                keys_batched=getattr(node, "keys_batched", 0),
+                blocks_cached=getattr(node, "blocks_cached", 0),
+            )
+            for node in self._postorder()
+        ]
+
+    def reset_counters(self) -> None:
+        for node in self._postorder():
+            node.calls = 0
+            node.rows_in = 0
+            node.rows_out = 0
+            if hasattr(node, "keys_batched"):
+                node.keys_batched = 0
+                node.blocks_cached = 0
+
+    def _postorder(self) -> List["PlanNode"]:
+        out: List[PlanNode] = []
+        for child in self.children:
+            out.extend(child._postorder())
+        out.append(self)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.detail()})"
+
+
+# ----------------------------------------------------------------------
+# leaf access paths
+# ----------------------------------------------------------------------
+class _Access(PlanNode):
+    """Shared shape of the storage-bound leaves.
+
+    ``wrap`` (optional) re-shapes each fetched row before it enters the
+    stream — the SQL binding uses it to namespace rows as
+    ``{alias: row}`` for joins.  It is representation plumbing, not an
+    operator, so it never shows up in EXPLAIN.  ``cache_probe``
+    (optional) reads the storage object's block-cache hit counter so the
+    leaf can attribute cache-backed block reads to itself.
+    """
+
+    __slots__ = ("table", "_table_name", "_key_desc", "wrap", "cache_probe")
+
+    def __init__(self, table, table_name: str, key_desc: Optional[str],
+                 wrap: Optional[Callable] = None,
+                 cache_probe: Optional[Callable[[], int]] = None) -> None:
+        super().__init__()
+        self.table = table
+        self._table_name = table_name
+        self._key_desc = key_desc
+        self.wrap = wrap
+        self.cache_probe = cache_probe
+
+    @property
+    def table_name(self) -> Optional[str]:
+        return self._table_name
+
+    @property
+    def key_desc(self) -> Optional[str]:
+        return self._key_desc
+
+    def _emit(self, rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+        self.calls += 1
+        self.rows_out += len(rows)
+        if self.wrap is not None:
+            wrap = self.wrap
+            return [wrap(row) for row in rows]
+        return rows
+
+
+class PointLookup(_Access):
+    """One primary-key ``get``: the ``WHERE pk = x`` access path."""
+
+    kind = "PointLookup"
+    __slots__ = ("key", "keys_batched", "blocks_cached")
+
+    def __init__(self, table, key: Callable, table_name: str, key_desc: str,
+                 wrap=None, cache_probe=None) -> None:
+        super().__init__(table, table_name, key_desc, wrap, cache_probe)
+        self.key = key
+        self.keys_batched = 0
+        self.blocks_cached = 0
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        before = self.cache_probe() if self.cache_probe is not None else 0
+        row = self.table.get(self.key(ctx.params))
+        if self.cache_probe is not None:
+            self.blocks_cached += self.cache_probe() - before
+        self.keys_batched += 1
+        return self._emit([row] if row is not None else [])
+
+    def detail(self) -> str:
+        return "primary key"
+
+
+class MultiGet(_Access):
+    """One batched ``get_many`` over a runtime key list (pk ``IN``, and
+    the fused fetch behind ``execute_many``/``select_many``)."""
+
+    kind = "MultiGet"
+    __slots__ = ("keys", "keep_missing", "keys_batched", "blocks_cached")
+
+    def __init__(self, table, keys: Callable, table_name: str, key_desc: str,
+                 wrap=None, cache_probe=None, keep_missing: bool = False) -> None:
+        super().__init__(table, table_name, key_desc, wrap, cache_probe)
+        self.keys = keys
+        # keep_missing keeps a None placeholder per absent key so callers
+        # that need key-aligned results (select_many) can use this node.
+        self.keep_missing = keep_missing
+        self.keys_batched = 0
+        self.blocks_cached = 0
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        resolved = list(self.keys(ctx.params))
+        self.keys_batched += len(resolved)
+        before = self.cache_probe() if self.cache_probe is not None else 0
+        fetched = list(self.table.get_many(resolved))
+        if not self.keep_missing:
+            fetched = [row for row in fetched if row is not None]
+        if self.cache_probe is not None:
+            self.blocks_cached += self.cache_probe() - before
+        return self._emit(fetched)
+
+    def detail(self) -> str:
+        return "primary key, batched"
+
+
+class IndexScan(_Access):
+    """An equality probe through a secondary index — or, for relational
+    composite keys, a clustered primary-key *prefix* scan."""
+
+    kind = "IndexScan"
+    PK_PREFIX = "pk-prefix"
+    SECONDARY = "secondary-index"
+    __slots__ = ("column", "value", "access")
+
+    def __init__(self, table, column: str, value: Callable, table_name: str,
+                 access: str = SECONDARY, wrap=None, cache_probe=None) -> None:
+        super().__init__(table, table_name, column, wrap, cache_probe)
+        self.column = column
+        self.value = value
+        self.access = access
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        resolved = self.value(ctx.params)
+        if self.access == self.PK_PREFIX:
+            fetched = self.table.lookup_pk_prefix(resolved)
+        else:
+            fetched = self.table.lookup_indexed(self.column, resolved)
+        return self._emit(fetched)
+
+    def detail(self) -> str:
+        return self.access
+
+
+class FullScan(_Access):
+    """Read every live row — the path of last resort."""
+
+    kind = "FullScan"
+    __slots__ = ()
+
+    def __init__(self, table, table_name: str, wrap=None) -> None:
+        super().__init__(table, table_name, None, wrap)
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        return self._emit(list(self.table.scan()))
+
+    def detail(self) -> str:
+        return "full scan"
+
+
+# ----------------------------------------------------------------------
+# row-stream transforms
+# ----------------------------------------------------------------------
+class _Transform(PlanNode):
+    __slots__ = ("child", "_detail")
+
+    def __init__(self, child: PlanNode, detail: str) -> None:
+        super().__init__()
+        self.child = child
+        self._detail = detail
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def detail(self) -> str:
+        return self._detail
+
+    def _account(self, rows_in: int, rows_out: int) -> None:
+        self.calls += 1
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+
+
+class Filter(_Transform):
+    """Keep rows satisfying a compiled ``(row, params) -> bool`` predicate."""
+
+    kind = "Filter"
+    __slots__ = ("predicate",)
+
+    def __init__(self, child: PlanNode, predicate: Callable, detail: str) -> None:
+        super().__init__(child, detail)
+        self.predicate = predicate
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        incoming = self.child.rows(ctx)
+        predicate, params = self.predicate, ctx.params
+        kept = [row for row in incoming if predicate(row, params)]
+        self._account(len(incoming), len(kept))
+        return kept
+
+
+class Project(_Transform):
+    """Map each row through a compiled projection."""
+
+    kind = "Project"
+    __slots__ = ("projector",)
+
+    def __init__(self, child: PlanNode, projector: Callable, detail: str) -> None:
+        super().__init__(child, detail)
+        self.projector = projector
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        incoming = self.child.rows(ctx)
+        projector = self.projector
+        out = [projector(row) for row in incoming]
+        self._account(len(incoming), len(out))
+        return out
+
+
+class HashJoin(_Transform):
+    """Inner equi-join against a probe side built per execution.
+
+    ``probe_factory()`` returns a ``probe(key) -> rows`` callable — a
+    point/index lookup for eq_ref/index joins, or a freshly built hash
+    table for the general case.  ``key_of`` extracts the join key from a
+    left row; ``merge`` combines a left row with a matched right row.
+    """
+
+    kind = "HashJoin"
+    __slots__ = ("probe_factory", "key_of", "merge", "_table_name", "_key_desc")
+
+    def __init__(self, child: PlanNode, probe_factory: Callable,
+                 key_of: Callable, merge: Callable,
+                 table_name: str, detail: str,
+                 key_desc: Optional[str] = None) -> None:
+        super().__init__(child, detail)
+        self.probe_factory = probe_factory
+        self.key_of = key_of
+        self.merge = merge
+        self._table_name = table_name
+        self._key_desc = key_desc
+
+    @property
+    def table_name(self) -> Optional[str]:
+        return self._table_name
+
+    @property
+    def key_desc(self) -> Optional[str]:
+        return self._key_desc
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        incoming = self.child.rows(ctx)
+        probe = self.probe_factory()
+        key_of, merge = self.key_of, self.merge
+        joined: List[Dict[str, object]] = []
+        for row in incoming:
+            key = key_of(row)
+            if key is None:
+                continue
+            for right in probe(key):
+                joined.append(merge(row, right))
+        self._account(len(incoming), len(joined))
+        return joined
+
+
+class Aggregate(_Transform):
+    """Fold the child's rows into aggregate output rows.
+
+    The fold callable ``(rows, params) -> rows`` carries the dialect's
+    grouping/labelling rules, compiled by the engine front-end from the
+    shared :func:`repro.query.expr.evaluate_aggregate` primitive.
+    """
+
+    kind = "Aggregate"
+    __slots__ = ("fold",)
+
+    def __init__(self, child: PlanNode, fold: Callable, detail: str) -> None:
+        super().__init__(child, detail)
+        self.fold = fold
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        incoming = self.child.rows(ctx)
+        out = self.fold(incoming, ctx.params)
+        self._account(len(incoming), len(out))
+        return out
+
+
+class Sort(_Transform):
+    """Stable sort by a compiled key (NULLs last ascending)."""
+
+    kind = "Sort"
+    __slots__ = ("key", "descending")
+
+    def __init__(self, child: PlanNode, key: Callable, descending: bool, detail: str) -> None:
+        super().__init__(child, detail)
+        self.key = key
+        self.descending = descending
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        incoming = self.child.rows(ctx)
+        out = sorted(incoming, key=self.key, reverse=self.descending)
+        self._account(len(incoming), len(out))
+        return out
+
+    def detail(self) -> str:
+        return f"{self._detail} {'DESC' if self.descending else 'ASC'}"
+
+
+class Limit(_Transform):
+    """Truncate the stream to the first ``count`` rows."""
+
+    kind = "Limit"
+    __slots__ = ("count",)
+
+    def __init__(self, child: PlanNode, count: int) -> None:
+        super().__init__(child, str(count))
+        self.count = count
+
+    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        incoming = self.child.rows(ctx)
+        out = incoming[: self.count]
+        self._account(len(incoming), len(out))
+        return out
+
+
+# ----------------------------------------------------------------------
+# the executable unit
+# ----------------------------------------------------------------------
+class Plan:
+    """An operator tree plus the validity guards the plan cache checks.
+
+    ``guards`` are zero-argument callables that must all return True for
+    a cached plan to be replayed (the engine binding closes them over
+    the resolved tables and their index signatures).  ``meta`` is an
+    engine-private slot for companion compile results (projection
+    templates, limits) that ride along with the cached plan.
+    """
+
+    __slots__ = ("root", "guards", "meta")
+
+    def __init__(self, root: PlanNode, guards: Sequence[Callable[[], bool]] = (),
+                 meta=None) -> None:
+        self.root = root
+        self.guards = tuple(guards)
+        self.meta = meta
+
+    def run(self, params: Sequence = ()) -> List[Dict[str, object]]:
+        return self.root.run(params)
+
+    def valid(self) -> bool:
+        return all(guard() for guard in self.guards)
+
+    def explain(self) -> List[Dict[str, object]]:
+        return self.root.explain()
+
+    def operator_stats(self) -> List[OperatorStats]:
+        return self.root.operator_stats()
+
+    def reset_counters(self) -> None:
+        self.root.reset_counters()
+
+    def __repr__(self) -> str:
+        chain = " <- ".join(row["node"] for row in self.explain())
+        return f"Plan({chain})"

@@ -1,0 +1,35 @@
+"""The one result type both engines hand back for reads.
+
+Engine front-ends subclass :class:`ResultSet` purely to keep their
+historical names (``SQLResult``, CQL ``ResultSet``) and reprs; the
+behaviour — iteration, ``len``, ``one()``, DML ``rowcount`` — lives
+here so query-layer code can consume results from either engine without
+caring which one produced them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class ResultSet:
+    """Rows returned by a read (list of column-name -> value dicts),
+    plus the affected-row count for DML statements."""
+
+    __slots__ = ("rows", "rowcount")
+
+    def __init__(self, rows: Optional[List[Dict[str, object]]] = None, rowcount: int = 0) -> None:
+        self.rows = rows if rows is not None else []
+        self.rowcount = rowcount
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def one(self) -> Optional[Dict[str, object]]:
+        return self.rows[0] if self.rows else None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self.rows)} rows)"

@@ -10,14 +10,16 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from repro.analysis.flags import checks_enabled
+from repro.query import UNPLANNABLE, Plan, PlanCache
 from repro.sqldb.errors import ProgrammingError
 from repro.sqldb.sql import ast
 from repro.sqldb.sql.executor import (
     SQLResult,
+    build_select_plan,
     execute,
     make_insert_plan,
+    make_select_many_plan,
     plan_insert_template,
-    plan_point_select,
 )
 from repro.sqldb.sql.parser import parse
 
@@ -74,39 +76,55 @@ class SQLCompiledInsert:
 class SQLPreparedStatement:
     """A parsed statement with ``?`` bind markers, reusable across executions."""
 
-    __slots__ = (
-        "statement", "text", "_plan_key", "_plan",
-        "_select_plan_key", "_select_plan",
-    )
+    __slots__ = ("statement", "text", "_plan_key", "_plan")
 
     def __init__(self, text: str, statement: ast.Statement) -> None:
         self.text = text
         self.statement = statement
         self._plan_key = None
         self._plan = None
-        self._select_plan_key = None
-        self._select_plan = None
 
     def __repr__(self) -> str:
         return f"SQLPreparedStatement({self.text!r})"
 
 
 class SQLSession:
-    """A connection to the engine with an optional current database."""
+    """A connection to the engine with an optional current database.
+
+    SELECTs are compiled into :mod:`repro.query` plans and memoised in
+    the session's :class:`~repro.query.PlanCache`, keyed on
+    ``(current database, statement text)`` — a warm statement skips the
+    parser and the planner entirely and goes straight to the compiled
+    operator tree.  Cached plans carry guards that revalidate the
+    resolved tables (identity + index signature) on every hit, so DDL
+    invalidates them instead of silently replaying stale access paths.
+    """
 
     def __init__(self, engine, database: Optional[str] = None) -> None:
         self.engine = engine
         self.database = database
+        self.plan_cache = PlanCache()
 
     def execute(self, sql: str, params: Sequence = ()) -> SQLResult:
-        statement = parse(sql)
+        key = (self.database, sql)
+        plan = self.plan_cache.get(key)
+        if isinstance(plan, Plan):
+            return SQLResult(plan.run(params))
+        return self._dispatch(parse(sql), sql, params)
+
+    def prepare(self, sql: str) -> SQLPreparedStatement:
+        return SQLPreparedStatement(sql, parse(sql))
+
+    def _dispatch(self, statement: ast.Statement, text: str, params: Sequence) -> SQLResult:
+        """Plan-and-cache SELECTs; everything else runs the generic executor."""
+        if type(statement) is ast.Select:
+            plan = build_select_plan(self.engine, statement, self.database)
+            self.plan_cache.put((self.database, text), plan)
+            return SQLResult(plan.run(params))
         result, new_database = execute(self.engine, statement, params, self.database)
         if new_database is not None:
             self.database = new_database
         return result
-
-    def prepare(self, sql: str) -> SQLPreparedStatement:
-        return SQLPreparedStatement(sql, parse(sql))
 
     def compile_insert(self, sql: str) -> SQLCompiledInsert:
         """Plan a single-row INSERT once, for zero-parse bulk execution.
@@ -127,12 +145,11 @@ class SQLSession:
     def execute_prepared(
         self, prepared: SQLPreparedStatement, params: Sequence = ()
     ) -> SQLResult:
-        result, new_database = execute(
-            self.engine, prepared.statement, params, self.database
-        )
-        if new_database is not None:
-            self.database = new_database
-        return result
+        key = (self.database, prepared.text)
+        plan = self.plan_cache.get(key)
+        if isinstance(plan, Plan):
+            return SQLResult(plan.run(params))
+        return self._dispatch(prepared.statement, prepared.text, params)
 
     def execute_many(
         self, prepared: SQLPreparedStatement, rows: Iterable[Sequence]
@@ -170,13 +187,14 @@ class SQLSession:
         if isinstance(statement, str):
             statement = self.prepare(statement)
         rows_list = list(param_rows)
-        plan = self._select_plan_for(statement)
-        if plan is None:
+        fused = self._fused_plan_for(statement)
+        if fused is UNPLANNABLE:
             return [self.execute_prepared(statement, params) for params in rows_list]
-        table, (is_bind, value), columns, limit = plan
+        is_bind, value = fused.key_slot
+        columns, limit = fused.columns, fused.limit
         keys = [params[value] if is_bind else value for params in rows_list]
         results: List[SQLResult] = []
-        for row in table.get_many(keys):
+        for row in fused.fetch(keys):
             rows = [row] if row is not None else []
             if limit is not None:
                 rows = rows[:limit]
@@ -185,15 +203,16 @@ class SQLSession:
             results.append(SQLResult(rows))
         return results
 
-    def _select_plan_for(self, prepared: SQLPreparedStatement):
-        """Cached point-select plan (None = not a point select)."""
-        key = (id(self.engine), self.database)
-        if prepared._select_plan_key != key:
-            prepared._select_plan_key = key
-            prepared._select_plan = plan_point_select(
-                self.engine, prepared.statement, self.database
-            )
-        return prepared._select_plan
+    def _fused_plan_for(self, prepared: SQLPreparedStatement):
+        """Cached fused multi-get plan (UNPLANNABLE = not a point select)."""
+        key = (self.database, "select_many", prepared.text)
+        fused = self.plan_cache.get(key)
+        if fused is None:
+            fused = make_select_many_plan(self.engine, prepared.statement, self.database)
+            if fused is None:
+                fused = UNPLANNABLE
+            self.plan_cache.put(key, fused)
+        return fused
 
     def _maybe_check(self, prepared: SQLPreparedStatement) -> None:
         """REPRO_CHECK=1 hook: verify the current database after a bulk load."""

@@ -1,40 +1,54 @@
 """SQL execution against a :class:`~repro.sqldb.engine.SQLEngine`.
 
-SELECTs run through a small pipeline: base-table access (point read when
-the WHERE clause pins the primary key or an indexed column, otherwise a
-scan), hash equi-joins in FROM order, residual filters, projection,
-ORDER BY and LIMIT.
+SELECTs are compiled into :mod:`repro.query` plans: a storage-bound
+access leaf (point read when the WHERE clause pins the primary key or an
+indexed column, otherwise a scan), hash equi-joins in FROM order,
+residual filters, then sort/limit/projection or aggregation.  This
+module is the SQL *binding* of the shared kernel — it turns the dialect
+AST into the callables the plan nodes carry, and keeps all
+engine-specific error behaviour (:class:`ProgrammingError`) on this
+side of the boundary.  ``EXPLAIN SELECT`` renders the same plan tree
+without executing it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.query import (
+    ACCESS_INDEX,
+    ACCESS_MULTIGET,
+    ACCESS_PK_PREFIX,
+    ACCESS_POINT,
+    Aggregate,
+    Filter,
+    FullScan,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MultiGet,
+    Plan,
+    PointLookup,
+    Project,
+    ResultSet,
+    Sort,
+    TableMeta,
+    choose_access,
+    choose_join_access,
+    compare,
+    evaluate_aggregate,
+    null_safe_key,
+)
 from repro.sqldb.errors import ProgrammingError
 from repro.sqldb.sql import ast
-from repro.sqldb.sql.parser import parse
-from repro.sqldb.table import Table
+from repro.sqldb.table import SQLColumn, Table
 from repro.sqldb.types import parse_type
-from repro.sqldb.table import SQLColumn
 
 
-class SQLResult:
+class SQLResult(ResultSet):
     """Rows returned by a SELECT, plus the affected-row count for DML."""
 
-    __slots__ = ("rows", "rowcount")
-
-    def __init__(self, rows: Optional[List[Dict[str, object]]] = None, rowcount: int = 0) -> None:
-        self.rows = rows if rows is not None else []
-        self.rowcount = rowcount
-
-    def __iter__(self):
-        return iter(self.rows)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def one(self) -> Optional[Dict[str, object]]:
-        return self.rows[0] if self.rows else None
+    __slots__ = ()
 
     def __repr__(self) -> str:
         return f"SQLResult({len(self.rows)} rows, rowcount={self.rowcount})"
@@ -76,15 +90,15 @@ def plan_insert_template(
 def plan_point_select(
     engine, statement: ast.Statement, current_database: Optional[str]
 ):
-    """Resolve ``SELECT ... FROM t WHERE <pk> = ?`` to a batched-fetch plan.
+    """Resolve ``SELECT ... FROM t WHERE <pk> = ?`` to a batched-fetch shape.
 
     Returns ``(table, key_slot, columns, limit)`` where ``key_slot`` is
     ``(is_bind, index_or_constant)`` and ``columns`` the projected names
     (empty = ``*``).  This is the shape
-    :meth:`~repro.sqldb.session.SQLSession.select_many` turns into one
-    :meth:`~repro.sqldb.table.Table.get_many` call.  Returns ``None``
-    for any other shape (joins, aggregates, composite keys, ...) — those
-    fall back to per-row execution through the generic executor.
+    :meth:`~repro.sqldb.session.SQLSession.select_many` fuses into one
+    :class:`repro.query.MultiGet` execution.  Returns ``None`` for any
+    other shape (joins, aggregates, composite keys, ...) — those fall
+    back to per-row execution through the generic executor.
     """
     if not isinstance(statement, ast.Select) or statement.count:
         return None
@@ -113,6 +127,49 @@ def plan_point_select(
     return table, key_slot, tuple(columns), statement.limit
 
 
+class FusedPointSelect:
+    """select_many's server-side shape: one :class:`MultiGet` resolves
+    every bound key, key-aligned so each parameter row maps to its own
+    result.  Cached in the session plan cache under the statement text;
+    ``guards`` revalidate the resolved table on every hit."""
+
+    __slots__ = ("node", "key_slot", "columns", "limit", "guards")
+
+    def __init__(self, node, key_slot, columns, limit, guards) -> None:
+        self.node = node
+        self.key_slot = key_slot
+        self.columns = columns
+        self.limit = limit
+        self.guards = guards
+
+    def fetch(self, keys: Sequence) -> List[Optional[Dict[str, object]]]:
+        """Key-aligned rows (None per missing key) for ``keys``."""
+        return self.node.run(keys)
+
+
+def make_select_many_plan(
+    engine, statement: ast.Statement, current_database: Optional[str]
+) -> Optional[FusedPointSelect]:
+    """Compile the fused multi-get plan behind ``select_many``.
+
+    Returns ``None`` when the statement is not the point-select shape.
+    """
+    planned = plan_point_select(engine, statement, current_database)
+    if planned is None:
+        return None
+    table, key_slot, columns, limit = planned
+    node = MultiGet(
+        table,
+        keys=lambda keys: keys,
+        table_name=statement.source.table,
+        key_desc=table.primary_key[0],
+        keep_missing=True,
+    )
+    database_name = statement.source.database or current_database
+    guard = _table_guard(engine, database_name, statement.source.table, table)
+    return FusedPointSelect(node, key_slot, columns, limit, (guard,))
+
+
 def make_insert_plan(engine, statement: ast.Statement, current_database: Optional[str]):
     """Compile a prepared single-row INSERT into a per-row callable.
 
@@ -137,6 +194,416 @@ def make_insert_plan(engine, statement: ast.Statement, current_database: Optiona
     return run
 
 
+# ----------------------------------------------------------------------
+# AST -> kernel-callable compilation helpers
+# ----------------------------------------------------------------------
+def _compile_value(value) -> Callable[[Sequence], object]:
+    """A ``resolve(params)`` callable for one literal-or-placeholder."""
+    if isinstance(value, ast.Placeholder):
+        index = value.index
+
+        def resolve(params: Sequence):
+            if index >= len(params):
+                raise ProgrammingError(
+                    f"statement has bind marker ?{index} but only "
+                    f"{len(params)} parameters were supplied"
+                )
+            return params[index]
+
+        return resolve
+    return lambda params: value
+
+
+def _compile_value_list(values) -> Callable[[Sequence], List[object]]:
+    resolvers = [_compile_value(v) for v in values]
+    return lambda params: [resolve(params) for resolve in resolvers]
+
+
+def _value_desc(value) -> str:
+    if isinstance(value, ast.Placeholder):
+        return repr(value)
+    return repr(value)
+
+
+def _condition_desc(condition) -> str:
+    column, op, value = condition.column, condition.op, condition.value
+    if op == "ISNULL":
+        return f"{column} IS NULL"
+    if op == "NOTNULL":
+        return f"{column} IS NOT NULL"
+    if op == "IN":
+        return f"{column} IN ({', '.join(_value_desc(v) for v in value)})"
+    return f"{column} {op} {_value_desc(value)}"
+
+
+def _table_guard(engine, database_name: str, table_name: str, table: Table):
+    """A plan-cache guard: same table object, same index signature.
+
+    DROP/recreate swaps the object; CREATE INDEX changes the signature —
+    either way the cached plan is stale and must be rebuilt.
+    """
+    indexed = frozenset(table.indexed_columns)
+
+    def check() -> bool:
+        return (
+            engine.database(database_name).table(table_name) is table
+            and frozenset(table.indexed_columns) == indexed
+        )
+
+    return check
+
+
+def _table_meta(table: Table, alias: str) -> TableMeta:
+    return TableMeta(
+        name=alias,
+        primary_key=tuple(table.primary_key),
+        indexed=frozenset(table.indexed_columns),
+        supports_pk_prefix=len(table.primary_key) > 1,
+    )
+
+
+def build_select_plan(
+    engine, stmt: ast.Select, current_database: Optional[str]
+) -> Plan:
+    """Compile a SELECT statement into an executable kernel plan.
+
+    All statement-shape validation (unknown tables/columns, ambiguous
+    references, GROUP BY rules) happens here, at plan-build time; the
+    returned plan only binds parameters and runs.  Raises
+    :class:`ProgrammingError` exactly where per-execution interpretation
+    used to.
+    """
+    return _SelectPlanBuilder(engine, stmt, current_database).build()
+
+
+class _SelectPlanBuilder:
+    def __init__(self, engine, stmt: ast.Select, current_database: Optional[str]) -> None:
+        self.engine = engine
+        self.stmt = stmt
+        self.current_database = current_database
+        self.tables: Dict[str, Table] = {}
+        self.guards: List[Callable[[], bool]] = []
+
+    def build(self) -> Plan:
+        stmt = self.stmt
+        sources = [stmt.source] + [join.source for join in stmt.joins]
+        aliases = [source.alias for source in sources]
+        if len(set(aliases)) != len(aliases):
+            raise ProgrammingError(f"duplicate table alias in {aliases}")
+        for source in sources:
+            self.tables[source.alias] = self._resolve_table(source)
+
+        base_alias = stmt.source.alias
+        node, residual = self._base_access(base_alias, list(stmt.where))
+        for join in stmt.joins:
+            node = self._join(node, join)
+        for condition in residual:
+            node = Filter(
+                node, self._env_predicate(condition), _condition_desc(condition)
+            )
+
+        if stmt.count:
+            # SELECT COUNT(*) counts the filtered set; ORDER BY/LIMIT are
+            # ignored, as they always were on this fast path.
+            return self._finish(
+                Aggregate(node, lambda rows, params: [{"count": len(rows)}], "count(*)")
+            )
+        if stmt.aggregates:
+            return self._finish(self._aggregate_tail(node))
+
+        for ref in stmt.columns:  # validate even when no rows will match
+            self._locate(ref)
+        if stmt.order_by is not None:
+            alias, name = self._locate(stmt.order_by)
+            node = Sort(
+                node,
+                key=lambda env: null_safe_key(env[alias][name]),
+                descending=stmt.descending,
+                detail=str(stmt.order_by),
+            )
+        if stmt.limit is not None:
+            node = Limit(node, stmt.limit)
+        node = Project(node, self._projector(), self._projection_desc())
+        return self._finish(node)
+
+    def _finish(self, node) -> Plan:
+        return Plan(node, guards=tuple(self.guards))
+
+    # -- source resolution --------------------------------------------------
+    def _resolve_table(self, source: ast.TableSource) -> Table:
+        database_name = source.database or self.current_database
+        if database_name is None:
+            raise ProgrammingError(f"no database selected for table {source.table!r}")
+        table = self.engine.database(database_name).table(source.table)
+        self.guards.append(_table_guard(self.engine, database_name, source.table, table))
+        return table
+
+    # -- access-path selection ----------------------------------------------
+    def _base_access(self, alias: str, conditions: List[ast.Condition]):
+        """The cheapest access path the WHERE clause allows, plus the
+        residual conditions the chosen path does not consume."""
+        table = self.tables[alias]
+        eligible = [
+            c for c in conditions if c.column.qualifier in (None, alias)
+        ]
+        access, index = choose_access(
+            _table_meta(table, alias),
+            [(c.column.name, c.op) for c in eligible],
+        )
+        condition = eligible[index] if index is not None else None
+        residual = [c for c in conditions if c is not condition]
+
+        def wrap(row, _alias=alias):
+            return {_alias: row}
+
+        if access == ACCESS_POINT:
+            node = PointLookup(
+                table,
+                key=_compile_value(condition.value),
+                table_name=alias,
+                key_desc=str(condition.column),
+                wrap=wrap,
+            )
+        elif access == ACCESS_MULTIGET:
+            node = MultiGet(
+                table,
+                keys=_compile_value_list(condition.value),
+                table_name=alias,
+                key_desc=str(condition.column),
+                wrap=wrap,
+            )
+        elif access == ACCESS_PK_PREFIX:
+            node = IndexScan(
+                table,
+                column=condition.column.name,
+                value=_compile_value(condition.value),
+                table_name=alias,
+                access=IndexScan.PK_PREFIX,
+                wrap=wrap,
+            )
+        elif access == ACCESS_INDEX:
+            node = IndexScan(
+                table,
+                column=condition.column.name,
+                value=_compile_value(condition.value),
+                table_name=alias,
+                access=IndexScan.SECONDARY,
+                wrap=wrap,
+            )
+        else:
+            node = FullScan(table, alias, wrap=wrap)
+        return node, residual
+
+    # -- joins ---------------------------------------------------------------
+    def _join(self, node, join: ast.Join):
+        right_alias = join.source.alias
+        right_table = self.tables[right_alias]
+
+        left_ref, right_ref = join.left, join.right
+        # Normalise so right_ref refers to the newly joined table.
+        if left_ref.qualifier == right_alias:
+            left_ref, right_ref = right_ref, left_ref
+        if right_ref.qualifier != right_alias:
+            raise ProgrammingError(
+                f"JOIN ON must reference {right_alias!r} on one side"
+            )
+        right_table.column(right_ref.name)
+        left_alias, left_name = self._locate_in_env(left_ref, exclude=right_alias)
+
+        # Index nested-loop when the join column is the right table's
+        # primary key or an indexed column (MySQL's ref/eq_ref access);
+        # otherwise build a hash table over the right side per execution.
+        access = choose_join_access(
+            _table_meta(right_table, right_alias), right_ref.name
+        )
+        right_name = right_ref.name
+        if access == ACCESS_POINT:
+            detail = "eq_ref"
+
+            def probe_factory():
+                def probe(key):
+                    row = right_table.get(key)
+                    return (row,) if row is not None else ()
+
+                return probe
+
+        elif access == ACCESS_INDEX:
+            detail = "secondary-index"
+
+            def probe_factory():
+                def probe(key):
+                    return right_table.lookup_indexed(right_name, key)
+
+                return probe
+
+        else:
+            detail = "hash build"
+
+            def probe_factory():
+                build: Dict[object, List[Dict[str, object]]] = {}
+                for row in right_table.scan():
+                    key = row.get(right_name)
+                    if key is not None:
+                        build.setdefault(key, []).append(row)
+                return lambda key: build.get(key, ())
+
+        def key_of(env, _a=left_alias, _n=left_name):
+            return env[_a][_n]
+
+        def merge(env, right_row, _alias=right_alias):
+            merged = dict(env)
+            merged[_alias] = right_row
+            return merged
+
+        return HashJoin(
+            node,
+            probe_factory,
+            key_of,
+            merge,
+            table_name=right_alias,
+            detail=detail,
+            key_desc=str(right_ref),
+        )
+
+    # -- filters --------------------------------------------------------------
+    def _env_predicate(self, condition: ast.Condition):
+        alias, name = self._locate(condition.column)
+        op = condition.op
+        if op == "IN":
+            expected = _compile_value_list(condition.value)
+        elif op in ("ISNULL", "NOTNULL"):
+            expected = lambda params: None
+        else:
+            expected = _compile_value(condition.value)
+
+        def predicate(env, params):
+            return compare(op, env[alias][name], expected(params))
+
+        return predicate
+
+    # -- aggregation -----------------------------------------------------------
+    def _aggregate_tail(self, node):
+        """GROUP BY / aggregate evaluation over the filtered row set."""
+        stmt = self.stmt
+        group_refs = list(stmt.group_by)
+        group_slots = [self._locate(ref) for ref in group_refs]
+        # Plain select items must be grouping columns (standard SQL rule).
+        group_names = {(ref.qualifier, ref.name) for ref in group_refs} | {
+            (None, ref.name) for ref in group_refs
+        }
+        for ref in stmt.columns:
+            if (ref.qualifier, ref.name) not in group_names:
+                raise ProgrammingError(
+                    f"column {ref!r} must appear in the GROUP BY clause"
+                )
+        group_labels = [
+            ref.name if ref.qualifier is None else f"{ref.qualifier}.{ref.name}"
+            for ref in group_refs
+        ]
+        aggregate_slots = [
+            (agg, self._locate(agg.column) if agg.column is not None else None)
+            for agg in stmt.aggregates
+        ]
+
+        def fold(env_rows, params):
+            groups: Dict[tuple, List[Dict[str, Dict[str, object]]]] = {}
+            for env in env_rows:
+                key = tuple(env[alias][name] for alias, name in group_slots)
+                groups.setdefault(key, []).append(env)
+            if not group_refs and not groups:
+                groups[()] = []  # global aggregates over zero rows still report
+
+            out_rows: List[Dict[str, object]] = []
+            for key, members in groups.items():
+                row: Dict[str, object] = {}
+                for label, value in zip(group_labels, key):
+                    row[label] = value
+                for agg, slot in aggregate_slots:
+                    row[agg.label] = _run_aggregate(agg, slot, members)
+                out_rows.append(row)
+            return out_rows
+
+        detail = ", ".join(agg.label for agg in stmt.aggregates)
+        if group_labels:
+            detail += f" group by {', '.join(group_labels)}"
+        node = Aggregate(node, fold, detail)
+
+        if stmt.order_by is not None:
+            label = (
+                stmt.order_by.name
+                if stmt.order_by.qualifier is None
+                else f"{stmt.order_by.qualifier}.{stmt.order_by.name}"
+            )
+
+            def sort_key(row):
+                # Validated lazily so an empty group set never raises,
+                # matching the historical first-row membership check.
+                if label not in row:
+                    raise ProgrammingError(
+                        f"ORDER BY {label!r} must be a grouping column or aggregate label"
+                    )
+                return null_safe_key(row[label])
+
+            node = Sort(node, sort_key, stmt.descending, label)
+        if stmt.limit is not None:
+            node = Limit(node, stmt.limit)
+        return node
+
+    # -- projection --------------------------------------------------------------
+    def _projector(self):
+        columns = self.stmt.columns
+        if not columns:  # SELECT *
+
+            def project_star(env):
+                merged: Dict[str, object] = {}
+                for alias, row in env.items():
+                    for name, value in row.items():
+                        key = name if name not in merged else f"{alias}.{name}"
+                        merged[key] = value
+                return merged
+
+            return project_star
+        slots = []
+        for ref in columns:
+            alias, name = self._locate(ref)
+            label = name if ref.qualifier is None else f"{alias}.{name}"
+            slots.append((alias, name, label))
+
+        def project(env):
+            return {label: env[alias][name] for alias, name, label in slots}
+
+        return project
+
+    def _projection_desc(self) -> str:
+        if not self.stmt.columns:
+            return "*"
+        return ", ".join(str(ref) for ref in self.stmt.columns)
+
+    # -- column resolution ---------------------------------------------------------
+    def _locate(self, ref: ast.ColumnRef) -> Tuple[str, str]:
+        """Resolve a column reference to ``(alias, column_name)``."""
+        return self._locate_in_env(ref, exclude=None)
+
+    def _locate_in_env(
+        self, ref: ast.ColumnRef, exclude: Optional[str]
+    ) -> Tuple[str, str]:
+        if ref.qualifier is not None:
+            if ref.qualifier not in self.tables:
+                raise ProgrammingError(f"unknown table alias {ref.qualifier!r}")
+            self.tables[ref.qualifier].column(ref.name)
+            return ref.qualifier, ref.name
+        owners = [
+            alias
+            for alias, table in self.tables.items()
+            if alias != exclude and ref.name in table.column_names
+        ]
+        if not owners:
+            raise ProgrammingError(f"unknown column {ref.name!r}")
+        if len(owners) > 1:
+            raise ProgrammingError(f"ambiguous column {ref.name!r} (in {owners})")
+        return owners[0], ref.name
+
+
 class _Executor:
     def __init__(self, engine, params: Sequence, current_database: Optional[str]) -> None:
         self.engine = engine
@@ -145,14 +612,7 @@ class _Executor:
 
     # -- helpers ------------------------------------------------------------
     def _resolve(self, value):
-        if isinstance(value, ast.Placeholder):
-            if value.index >= len(self.params):
-                raise ProgrammingError(
-                    f"statement has bind marker ?{value.index} but only "
-                    f"{len(self.params)} parameters were supplied"
-                )
-            return self.params[value.index]
-        return value
+        return _compile_value(value)(self.params)
 
     def _table(self, source: ast.TableSource) -> Table:
         database_name = source.database or self.current_database
@@ -231,298 +691,25 @@ class _Executor:
             count += 1
         return SQLResult(rowcount=count), None
 
-    # -- SELECT pipeline --------------------------------------------------------------
+    # -- SELECT -----------------------------------------------------------------
     def _select(self, stmt: ast.Select):
-        sources = [stmt.source] + [join.source for join in stmt.joins]
-        aliases = [source.alias for source in sources]
-        if len(set(aliases)) != len(aliases):
-            raise ProgrammingError(f"duplicate table alias in {aliases}")
-        tables = {source.alias: self._table(source) for source in sources}
+        plan = build_select_plan(self.engine, stmt, self.current_database)
+        return SQLResult(plan.run(self.params)), None
 
-        # Split WHERE into conjuncts usable for base access vs residual.
-        base_alias = stmt.source.alias
-        base_table = tables[base_alias]
-        residual = list(stmt.where)
-        rows = self._base_rows(base_table, base_alias, residual)
-
-        # namespace rows as {alias: row}
-        env_rows: List[Dict[str, Dict[str, object]]] = [{base_alias: row} for row in rows]
-        for join in stmt.joins:
-            env_rows = self._hash_join(env_rows, join, tables)
-
-        for condition in residual:
-            env_rows = [
-                env for env in env_rows if self._matches(env, condition, tables)
-            ]
-
-        if stmt.count:
-            return SQLResult([{"count": len(env_rows)}]), None
-        if stmt.aggregates:
-            return self._aggregate_select(stmt, env_rows, tables), None
-
-        for ref in stmt.columns:  # validate even when no rows matched
-            self._locate(ref, tables)
-        projected = [self._project(env, stmt.columns, tables) for env in env_rows]
-
-        if stmt.order_by is not None:
-            alias, name = self._locate(stmt.order_by, tables)
-            projected_pairs = sorted(
-                zip(env_rows, projected),
-                key=lambda pair: _null_safe_key(pair[0][alias][name]),
-                reverse=stmt.descending,
-            )
-            projected = [row for _, row in projected_pairs]
-        if stmt.limit is not None:
-            projected = projected[: stmt.limit]
-        return SQLResult(projected), None
-
-    @staticmethod
-    def _choose_base_access(
-        table: Table, alias: str, conditions: List[ast.Condition]
-    ) -> Tuple[str, Optional[ast.Condition]]:
-        """The access path the WHERE clause allows: ``(kind, condition)``.
-
-        Kinds mirror MySQL's EXPLAIN vocabulary: ``const`` (pk point),
-        ``range`` (pk IN), ``ref`` (pk prefix or secondary index), ``ALL``
-        (full scan).
-        """
-        single_pk = table.primary_key[0] if len(table.primary_key) == 1 else None
-        for condition in conditions:
-            if condition.column.qualifier not in (None, alias):
-                continue
-            name = condition.column.name
-            if condition.op == "=" and name == single_pk:
-                return "const", condition
-            if condition.op == "IN" and name == single_pk:
-                return "range", condition
-            if condition.op == "=" and name == table.primary_key[0]:
-                return "ref:pk-prefix", condition
-        for condition in conditions:
-            if condition.column.qualifier not in (None, alias):
-                continue
-            if condition.op == "=" and table.has_index(condition.column.name):
-                return "ref:index", condition
-        return "ALL", None
-
-    def _base_rows(
-        self,
-        table: Table,
-        alias: str,
-        residual: List[ast.Condition],
-    ) -> List[Dict[str, object]]:
-        """Pick the cheapest access path the WHERE clause allows."""
-        access, condition = self._choose_base_access(table, alias, residual)
-        if condition is not None:
-            residual.remove(condition)
-        if access == "const":
-            row = table.get(self._resolve(condition.value))
-            return [row] if row is not None else []
-        if access == "range":
-            keys = [self._resolve(v) for v in condition.value]
-            return [row for row in table.get_many(keys) if row is not None]
-        if access == "ref:pk-prefix":
-            return table.lookup_pk_prefix(self._resolve(condition.value))
-        if access == "ref:index":
-            return table.lookup_indexed(
-                condition.column.name, self._resolve(condition.value)
-            )
-        return list(table.scan())
-
-    def _aggregate_select(
-        self,
-        stmt: ast.Select,
-        env_rows: List[Dict[str, Dict[str, object]]],
-        tables: Dict[str, Table],
-    ) -> SQLResult:
-        """GROUP BY / aggregate evaluation over the filtered row set."""
-        group_refs = list(stmt.group_by)
-        group_slots = [self._locate(ref, tables) for ref in group_refs]
-        # Plain select items must be grouping columns (standard SQL rule).
-        group_names = {(ref.qualifier, ref.name) for ref in group_refs} | {
-            (None, ref.name) for ref in group_refs
-        }
-        for ref in stmt.columns:
-            if (ref.qualifier, ref.name) not in group_names:
-                raise ProgrammingError(
-                    f"column {ref!r} must appear in the GROUP BY clause"
-                )
-        aggregate_slots = [
-            (agg, self._locate(agg.column, tables) if agg.column is not None else None)
-            for agg in stmt.aggregates
-        ]
-
-        groups: Dict[tuple, List[Dict[str, Dict[str, object]]]] = {}
-        for env in env_rows:
-            key = tuple(env[alias][name] for alias, name in group_slots)
-            groups.setdefault(key, []).append(env)
-        if not group_refs and not groups:
-            groups[()] = []  # global aggregates over zero rows still report
-
-        out_rows: List[Dict[str, object]] = []
-        for key, members in groups.items():
-            row: Dict[str, object] = {}
-            for ref, value in zip(group_refs, key):
-                label = ref.name if ref.qualifier is None else f"{ref.qualifier}.{ref.name}"
-                row[label] = value
-            for agg, slot in aggregate_slots:
-                row[agg.label] = _evaluate_aggregate(agg, slot, members)
-            out_rows.append(row)
-
-        if stmt.order_by is not None:
-            label = (
-                stmt.order_by.name
-                if stmt.order_by.qualifier is None
-                else f"{stmt.order_by.qualifier}.{stmt.order_by.name}"
-            )
-            if out_rows and label not in out_rows[0]:
-                raise ProgrammingError(
-                    f"ORDER BY {label!r} must be a grouping column or aggregate label"
-                )
-            out_rows.sort(key=lambda r: _null_safe_key(r[label]), reverse=stmt.descending)
-        if stmt.limit is not None:
-            out_rows = out_rows[: stmt.limit]
-        return SQLResult(out_rows)
-
-    def _hash_join(
-        self,
-        env_rows: List[Dict[str, Dict[str, object]]],
-        join: ast.Join,
-        tables: Dict[str, Table],
-    ) -> List[Dict[str, Dict[str, object]]]:
-        right_alias = join.source.alias
-        right_table = tables[right_alias]
-
-        left_ref, right_ref = join.left, join.right
-        # Normalise so right_ref refers to the newly joined table.
-        if left_ref.qualifier == right_alias:
-            left_ref, right_ref = right_ref, left_ref
-        if right_ref.qualifier != right_alias:
-            raise ProgrammingError(
-                f"JOIN ON must reference {right_alias!r} on one side"
-            )
-        right_table.column(right_ref.name)
-        left_alias, left_name = self._locate_in_env(left_ref, tables, exclude=right_alias)
-
-        # Index nested-loop when the join column is the right table's
-        # primary key or an indexed column (MySQL's ref/eq_ref access);
-        # otherwise build a hash table over the right side.
-        probe = None
-        if (
-            len(right_table.primary_key) == 1
-            and right_ref.name == right_table.primary_key[0]
-        ):
-            def probe(key):
-                row = right_table.get(key)
-                return (row,) if row is not None else ()
-        elif right_table.has_index(right_ref.name):
-            def probe(key):
-                return right_table.lookup_indexed(right_ref.name, key)
-        else:
-            build: Dict[object, List[Dict[str, object]]] = {}
-            for row in right_table.scan():
-                key = row.get(right_ref.name)
-                if key is not None:
-                    build.setdefault(key, []).append(row)
-
-            def probe(key):
-                return build.get(key, ())
-
-        joined: List[Dict[str, Dict[str, object]]] = []
-        for env in env_rows:
-            key = env[left_alias][left_name]
-            if key is None:
-                continue
-            for right_row in probe(key):
-                merged = dict(env)
-                merged[right_alias] = right_row
-                joined.append(merged)
-        return joined
-
-    def _locate(self, ref: ast.ColumnRef, tables: Dict[str, Table]) -> Tuple[str, str]:
-        """Resolve a column reference to ``(alias, column_name)``."""
-        return self._locate_in_env(ref, tables, exclude=None)
-
-    def _locate_in_env(
-        self,
-        ref: ast.ColumnRef,
-        tables: Dict[str, Table],
-        exclude: Optional[str],
-    ) -> Tuple[str, str]:
-        if ref.qualifier is not None:
-            if ref.qualifier not in tables:
-                raise ProgrammingError(f"unknown table alias {ref.qualifier!r}")
-            tables[ref.qualifier].column(ref.name)
-            return ref.qualifier, ref.name
-        owners = [
-            alias
-            for alias, table in tables.items()
-            if alias != exclude and ref.name in table.column_names
-        ]
-        if not owners:
-            raise ProgrammingError(f"unknown column {ref.name!r}")
-        if len(owners) > 1:
-            raise ProgrammingError(f"ambiguous column {ref.name!r} (in {owners})")
-        return owners[0], ref.name
-
-    def _matches(
-        self,
-        env: Dict[str, Dict[str, object]],
-        condition: ast.Condition,
-        tables: Dict[str, Table],
-    ) -> bool:
-        alias, name = self._locate(condition.column, tables)
-        actual = env[alias][name]
-        op = condition.op
-        if op == "ISNULL":
-            return actual is None
-        if op == "NOTNULL":
-            return actual is not None
-        if op == "IN":
-            return actual in [self._resolve(v) for v in condition.value]
-        expected = self._resolve(condition.value)
-        if actual is None:
-            return False
-        if op == "=":
-            return actual == expected
-        if op == "!=":
-            return actual != expected
-        if op == "<":
-            return actual < expected
-        if op == ">":
-            return actual > expected
-        if op == "<=":
-            return actual <= expected
-        if op == ">=":
-            return actual >= expected
-        raise ProgrammingError(f"unsupported operator {op!r}")
-
-    def _project(
-        self,
-        env: Dict[str, Dict[str, object]],
-        columns: List[ast.ColumnRef],
-        tables: Dict[str, Table],
-    ) -> Dict[str, object]:
-        if not columns:  # SELECT *
-            merged: Dict[str, object] = {}
-            for alias, row in env.items():
-                for name, value in row.items():
-                    key = name if name not in merged else f"{alias}.{name}"
-                    merged[key] = value
-            return merged
-        out: Dict[str, object] = {}
-        for ref in columns:
-            alias, name = self._locate(ref, tables)
-            key = name if ref.qualifier is None else f"{alias}.{name}"
-            out[key] = env[alias][name]
-        return out
-
-    # -- UPDATE/DELETE ------------------------------------------------------------------
+    # -- UPDATE/DELETE ------------------------------------------------------------
     def _predicate(self, table: Table, alias: str, where: List[ast.Condition]):
-        tables = {alias: table}
+        builder = _SelectPlanBuilder.__new__(_SelectPlanBuilder)
+        builder.engine = self.engine
+        builder.stmt = None
+        builder.current_database = self.current_database
+        builder.tables = {alias: table}
+        builder.guards = []
+        compiled = [builder._env_predicate(condition) for condition in where]
+        params = self.params
 
         def predicate(row: Dict[str, object]) -> bool:
             env = {alias: row}
-            return all(self._matches(env, condition, tables) for condition in where)
+            return all(check(env, params) for check in compiled)
 
         return predicate
 
@@ -545,66 +732,18 @@ class _Executor:
 
     # -- EXPLAIN ------------------------------------------------------------------
     def _explain(self, stmt: ast.Explain):
-        """Report the access path per table without executing the query."""
-        select = stmt.select
-        sources = [select.source] + [join.source for join in select.joins]
-        tables = {source.alias: self._table(source) for source in sources}
-
-        plan: List[Dict[str, object]] = []
-        base_alias = select.source.alias
-        access, condition = self._choose_base_access(
-            tables[base_alias], base_alias, list(select.where)
-        )
-        plan.append(
-            {
-                "step": 1,
-                "table": base_alias,
-                "access": access,
-                "key": str(condition.column) if condition is not None else None,
-            }
-        )
-        for step, join in enumerate(select.joins, start=2):
-            right_alias = join.source.alias
-            right_table = tables[right_alias]
-            left_ref, right_ref = join.left, join.right
-            if left_ref.qualifier == right_alias:
-                left_ref, right_ref = right_ref, left_ref
-            if (
-                len(right_table.primary_key) == 1
-                and right_ref.name == right_table.primary_key[0]
-            ):
-                access = "eq_ref"
-            elif right_table.has_index(right_ref.name):
-                access = "ref:index"
-            else:
-                access = "hash-join"
-            plan.append(
-                {"step": step, "table": right_alias, "access": access,
-                 "key": str(right_ref)}
-            )
-        return SQLResult(plan), None
+        """Build (but do not run) the plan; one row per operator."""
+        plan = build_select_plan(self.engine, stmt.select, self.current_database)
+        return SQLResult(plan.explain()), None
 
 
-def _null_safe_key(value):
-    return (value is None, value)
-
-
-def _evaluate_aggregate(agg: ast.Aggregate, slot, members) -> object:
+def _run_aggregate(agg: ast.Aggregate, slot, members) -> object:
     """One aggregate over one group's rows (NULLs ignored, as in SQL)."""
     if agg.column is None:  # COUNT(*)
         return len(members)
     alias, name = slot
     values = [env[alias][name] for env in members if env[alias][name] is not None]
-    if agg.func == "count":
-        return len(values)
-    if not values:
-        return None
-    if agg.func == "sum":
-        return sum(values)
-    if agg.func == "min":
-        return min(values)
-    if agg.func == "max":
-        return max(values)
-    if agg.func == "avg":
-        return sum(values) / len(values)
-    raise ProgrammingError(f"unknown aggregate {agg.func!r}")  # pragma: no cover
+    try:
+        return evaluate_aggregate(agg.func, values)
+    except ValueError:  # pragma: no cover - parsers only emit known funcs
+        raise ProgrammingError(f"unknown aggregate {agg.func!r}") from None

@@ -5,6 +5,7 @@ from __future__ import annotations
 import re
 from typing import List, NamedTuple
 
+from repro.query import syntax_error_message
 from repro.sqldb.errors import SQLSyntaxError
 
 
@@ -36,7 +37,9 @@ def tokenize(text: str) -> List[Token]:
         match = _TOKEN_RE.match(text, position)
         if match is None:
             snippet = text[position:position + 20]
-            raise SQLSyntaxError(f"cannot tokenise SQL at {position}: {snippet!r}")
+            raise SQLSyntaxError(
+                syntax_error_message("cannot tokenise SQL", text, position, snippet)
+            )
         kind = match.lastgroup
         value = match.group()
         position = match.end()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.query import syntax_error_message
 from repro.sqldb.errors import SQLSyntaxError
 from repro.sqldb.sql import ast
 from repro.sqldb.sql.lexer import Token, tokenize, unquote_string
@@ -24,6 +25,7 @@ def parse(text: str) -> ast.Statement:
 
 class _Parser:
     def __init__(self, text: str) -> None:
+        self.text = text
         self.tokens = tokenize(text)
         self.position = 0
         self._n_placeholders = 0
@@ -40,7 +42,9 @@ class _Parser:
 
     def _error(self, message: str) -> SQLSyntaxError:
         token = self._peek()
-        return SQLSyntaxError(f"{message} at position {token.position} (near {token.text!r})")
+        return SQLSyntaxError(
+            syntax_error_message(message, self.text, token.position, token.text)
+        )
 
     def _accept_keyword(self, word: str) -> bool:
         token = self._peek()

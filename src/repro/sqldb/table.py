@@ -115,6 +115,16 @@ class Table:
     def has_index(self, column: str) -> bool:
         return column in self._secondary
 
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        """Names of the columns carrying a secondary index.
+
+        The query planner snapshots this as part of a cached plan's
+        validity signature: a CREATE INDEX changes it and invalidates
+        plans compiled before the index existed.
+        """
+        return tuple(self._secondary)
+
     # ------------------------------------------------------------------
     # row codec
     # ------------------------------------------------------------------

@@ -122,3 +122,24 @@ class TestRules:
         assert rules_of(
             lint_source(tmp_path, "sqldb/sql/mod.py", frontend)
         ) == {"REPRO005"}
+
+    def test_repro006_kernel_independence(self, tmp_path):
+        # The shared kernel must not import either engine...
+        for module in ("repro.sqldb.table", "repro.nosqldb.columnfamily",
+                       "repro.mapping.base"):
+            bad = f"""
+            from {module} import anything
+            """
+            assert rules_of(
+                lint_source(tmp_path, "repro/query/mod.py", bad)
+            ) == {"REPRO006"}
+        # ...but may import itself, and engines may import the kernel.
+        good = """
+        from repro.query.plan import PlanNode
+        from repro.query import expr
+        """
+        assert lint_source(tmp_path, "repro/query/mod.py", good).ok
+        engine_side = """
+        from repro.query import Plan, PlanCache
+        """
+        assert lint_source(tmp_path, "sqldb/mod.py", engine_side).ok

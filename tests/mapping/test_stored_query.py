@@ -9,7 +9,7 @@ from repro.mapping.mysql_dwarf import MySQLDwarfMapper
 from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
-from repro.mapping.stored_query import stored_point_query
+from repro.mapping.stored_query import explain_strategy, stored_point_query
 
 ALL_MAPPERS = [MySQLDwarfMapper, MySQLMinMapper, NoSQLDwarfMapper, NoSQLMinMapper]
 
@@ -71,9 +71,41 @@ class TestStoredPointQuery:
         assert stored_point_query(mapper, first_id, [ALL, ALL, ALL]) == cube.total()
 
 
+class TestPlanLayer:
+    def test_explain_strategy_uses_shared_vocabulary(self, stored):
+        mapper, schema_id, _ = stored
+        plans = explain_strategy(mapper, schema_id)
+        assert plans
+        for rows in plans.values():
+            assert rows
+            for row in rows:
+                assert set(row) == {"step", "node", "table", "key", "detail"}
+
+    def test_cell_match_is_a_batched_plan(self, stored):
+        mapper, schema_id, _ = stored
+        plans = explain_strategy(mapper, schema_id)
+        nodes = {row["node"] for rows in plans.values() for row in rows}
+        if mapper.name in ("NoSQL-DWARF", "MySQL-DWARF"):
+            assert "MultiGet" in nodes and "Filter" in nodes
+        elif mapper.name == "NoSQL-Min":
+            assert "IndexScan" in nodes and "Filter" in nodes
+        else:  # MySQL-Min reconstructs from one filtered scan
+            assert "FullScan" in nodes
+
+    def test_warm_walk_hits_plan_cache(self, stored):
+        mapper, schema_id, _ = stored
+        stored_point_query(mapper, schema_id, [ALL, ALL, ALL])
+        before = mapper.session.plan_cache.stats().hits
+        assert stored_point_query(mapper, schema_id, [ALL, ALL, ALL]) is not None
+        assert mapper.session.plan_cache.stats().hits > before
+
+
 def test_unknown_mapper_type_rejected(sample_cube):
     class Fake:
         pass
 
     with pytest.raises(MappingError, match="strategy"):
         stored_point_query(Fake(), 1, [ALL])
+
+    with pytest.raises(MappingError, match="strategy"):
+        explain_strategy(Fake())

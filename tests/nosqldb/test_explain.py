@@ -1,0 +1,115 @@
+"""CQL EXPLAIN: same plan vocabulary as the SQL engine.
+
+Both dialects render :mod:`repro.query` operator trees as
+``{"step", "node", "table", "key", "detail"}`` rows in execution order;
+the node names (PointLookup, MultiGet, IndexScan, FullScan, Filter,
+Sort, Limit, Aggregate, Project) are shared, so a plan reads the same
+whichever engine produced it.
+"""
+
+import pytest
+
+from repro.nosqldb.engine import NoSQLEngine
+from repro.nosqldb.errors import InvalidRequest
+
+
+@pytest.fixture
+def session():
+    s = NoSQLEngine().connect()
+    s.execute("CREATE KEYSPACE ks")
+    s.execute("USE ks")
+    s.execute("CREATE TABLE cells (id int PRIMARY KEY, k text, m int)")
+    for i in range(5):
+        s.execute(f"INSERT INTO cells (id, k, m) VALUES ({i}, 'k{i}', {10 - i})")
+    return s
+
+
+class TestAccessPaths:
+    def test_pk_point_is_point_lookup(self, session):
+        plan = session.execute("EXPLAIN SELECT * FROM cells WHERE id = 1").one()
+        assert plan == {
+            "step": 1, "node": "PointLookup", "table": "cells",
+            "key": "id", "detail": "primary key",
+        }
+
+    def test_pk_in_is_multi_get(self, session):
+        rows = list(session.execute("EXPLAIN SELECT k, m FROM cells WHERE id IN (1, 2)"))
+        assert rows[0]["node"] == "MultiGet"
+        assert rows[0]["detail"] == "primary key, batched"
+        assert rows[1]["node"] == "Project"
+        assert rows[1]["detail"] == "k, m"
+
+    def test_secondary_index_is_index_scan(self, session):
+        session.execute("CREATE INDEX ON cells (m)")
+        plan = session.execute("EXPLAIN SELECT * FROM cells WHERE m = 3").one()
+        assert plan["node"] == "IndexScan"
+        assert plan["detail"] == "secondary-index"
+        assert plan["key"] == "m"
+
+    def test_allow_filtering_is_scan_plus_filter(self, session):
+        rows = list(session.execute(
+            "EXPLAIN SELECT * FROM cells WHERE m = 3 ALLOW FILTERING"
+        ))
+        assert [r["node"] for r in rows] == ["FullScan", "Filter"]
+        assert rows[1]["detail"] == "m = 3"
+
+    def test_scan_without_allow_filtering_still_rejected(self, session):
+        with pytest.raises(InvalidRequest, match="ALLOW FILTERING"):
+            session.execute("EXPLAIN SELECT * FROM cells WHERE m = 3")
+
+    def test_explain_does_not_execute(self, session):
+        before = session.execute("SELECT count(*) FROM cells").one()["count"]
+        session.execute("EXPLAIN SELECT * FROM cells WHERE id = 0")
+        assert session.execute("SELECT count(*) FROM cells").one()["count"] == before
+
+
+class TestPipelineShape:
+    def test_count_applies_after_limit(self, session):
+        # CQL count semantics: LIMIT bounds the scanned rows, count reports
+        # what survived — so Aggregate sits above Limit in the plan.
+        rows = list(session.execute("EXPLAIN SELECT count(*) FROM cells LIMIT 5"))
+        assert [r["node"] for r in rows] == ["FullScan", "Limit", "Aggregate"]
+        assert session.execute("SELECT count(*) FROM cells LIMIT 3").one()["count"] == 3
+
+    def test_order_by_renders_sort_node(self, session):
+        rows = list(session.execute(
+            "EXPLAIN SELECT * FROM cells ORDER BY m DESC LIMIT 2"
+        ))
+        assert [r["node"] for r in rows] == ["FullScan", "Sort", "Limit"]
+        assert rows[1]["detail"] == "m DESC"
+
+
+class TestOrderByExecution:
+    def test_ascending_default(self, session):
+        rows = session.execute("SELECT id, m FROM cells ORDER BY m LIMIT 3").rows
+        assert rows == [{"id": 4, "m": 6}, {"id": 3, "m": 7}, {"id": 2, "m": 8}]
+
+    def test_descending(self, session):
+        rows = session.execute("SELECT id FROM cells ORDER BY m DESC").rows
+        assert [r["id"] for r in rows] == [0, 1, 2, 3, 4]
+
+    def test_order_by_unknown_column_rejected(self, session):
+        with pytest.raises(InvalidRequest, match="nope"):
+            session.execute("SELECT * FROM cells ORDER BY nope")
+
+    def test_order_by_on_point_lookup(self, session):
+        # ORDER BY forces the generic plan path even for a pk match.
+        rows = session.execute(
+            "SELECT id, m FROM cells WHERE id IN (0, 3, 1) ORDER BY m"
+        ).rows
+        assert [r["id"] for r in rows] == [3, 1, 0]
+
+
+class TestPlanCache:
+    def test_warm_select_hits_plan_cache(self, session):
+        session.execute("SELECT * FROM cells WHERE id = ?", (1,))
+        before = session.plan_cache.stats().hits
+        session.execute("SELECT * FROM cells WHERE id = ?", (1,))
+        assert session.plan_cache.stats().hits == before + 1
+
+    def test_index_ddl_invalidates_cached_plan(self, session):
+        query = "SELECT * FROM cells WHERE m = ? ALLOW FILTERING"
+        session.execute(query, (3,))
+        session.execute("CREATE INDEX ON cells (m)")
+        session.execute(query, (3,))
+        assert session.plan_cache.stats().invalidations >= 1

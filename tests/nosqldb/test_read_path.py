@@ -283,7 +283,9 @@ class TestExecuteMany:
         batched = session.execute_many(prepared, params)
         pointwise = [session.execute_prepared(prepared, p) for p in params]
         assert [r.rows for r in batched] == [r.rows for r in pointwise]
-        assert prepared._select_plan is not None  # fast path engaged
+        from repro.query import UNPLANNABLE
+
+        assert session._fused_plan_for(prepared) is not UNPLANNABLE  # fast path engaged
 
     def test_cql_string_accepted(self, session):
         results = session.execute_many(
@@ -294,7 +296,9 @@ class TestExecuteMany:
     def test_non_point_shape_falls_back(self, session):
         prepared = session.prepare("SELECT count(*) FROM cells")
         results = session.execute_many(prepared, [(), ()])
-        assert prepared._select_plan is None
+        from repro.query import UNPLANNABLE
+
+        assert session._fused_plan_for(prepared) is UNPLANNABLE
         assert [r.one()["count"] for r in results] == [30, 30]
 
     def test_in_clause_uses_multi_get(self, session):
@@ -321,4 +325,6 @@ class TestSelectManySQL:
         batched = session.select_many(prepared, params)
         pointwise = [session.execute_prepared(prepared, p) for p in params]
         assert [r.rows for r in batched] == [r.rows for r in pointwise]
-        assert prepared._select_plan is not None
+        from repro.query import UNPLANNABLE
+
+        assert session._fused_plan_for(prepared) is not UNPLANNABLE

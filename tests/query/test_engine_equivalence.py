@@ -1,0 +1,170 @@
+"""Differential testing: the same SELECT through both engines.
+
+Both sessions now compile onto the shared :mod:`repro.query` kernel, so
+any logical query must produce the same row *set* whichever engine runs
+it — with or without a secondary index, which only changes the access
+path, never the answer.  Hypothesis generates the data and the query
+shapes (point lookups, IN lists, filters, comparisons, ORDER BY, LIMIT,
+COUNT); the only dialect differences the harness knows about are CQL's
+``ALLOW FILTERING`` suffix and the engines' scan order (row sets are
+compared as multisets except under ORDER BY on the unique key, which
+must match exactly).
+
+COUNT+LIMIT combinations are deliberately out of scope: SQL counts the
+full filtered set while CQL counts what survives the limit, a dialect
+difference pinned by the engines' own test suites.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nosqldb.engine import NoSQLEngine
+from repro.sqldb.engine import SQLEngine
+
+GROUPS = ("g0", "g1", "g2")
+OPS = ("=", "<", "<=", ">", ">=")
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(GROUPS),
+        st.integers(min_value=0, max_value=4),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+query_strategy = st.one_of(
+    st.tuples(st.just("point"), st.integers(min_value=0, max_value=14)),
+    st.tuples(
+        st.just("in"),
+        st.lists(st.integers(min_value=0, max_value=14), min_size=1, max_size=5),
+    ),
+    st.tuples(st.just("eq"), st.sampled_from(GROUPS)),
+    st.tuples(
+        st.just("cmp"), st.sampled_from(OPS), st.integers(min_value=-1, max_value=5)
+    ),
+    st.tuples(
+        st.just("and"),
+        st.sampled_from(GROUPS),
+        st.sampled_from(OPS),
+        st.integers(min_value=-1, max_value=5),
+    ),
+    st.tuples(
+        st.just("order"),
+        st.booleans(),  # descending
+        st.one_of(st.none(), st.integers(min_value=0, max_value=6)),  # limit
+    ),
+    st.tuples(st.just("count"), st.one_of(st.none(), st.sampled_from(GROUPS))),
+)
+
+
+def render(spec):
+    """One logical query → (SQL text, CQL text, ordered?)."""
+    kind = spec[0]
+    if kind == "point":
+        where = f"WHERE id = {spec[1]}"
+        return f"SELECT * FROM t {where}", f"SELECT * FROM t {where}", False
+    if kind == "in":
+        members = ", ".join(str(k) for k in spec[1])
+        where = f"WHERE id IN ({members})"
+        return f"SELECT * FROM t {where}", f"SELECT * FROM t {where}", False
+    if kind == "eq":
+        where = f"WHERE grp = '{spec[1]}'"
+        return (
+            f"SELECT id, val FROM t {where}",
+            f"SELECT id, val FROM t {where} ALLOW FILTERING",
+            False,
+        )
+    if kind == "cmp":
+        where = f"WHERE val {spec[1]} {spec[2]}"
+        return (
+            f"SELECT id FROM t {where}",
+            f"SELECT id FROM t {where} ALLOW FILTERING",
+            False,
+        )
+    if kind == "and":
+        where = f"WHERE grp = '{spec[1]}' AND val {spec[2]} {spec[3]}"
+        return (
+            f"SELECT * FROM t {where}",
+            f"SELECT * FROM t {where} ALLOW FILTERING",
+            False,
+        )
+    if kind == "order":
+        direction = "DESC" if spec[1] else "ASC"
+        tail = f"ORDER BY id {direction}"
+        if spec[2] is not None:
+            tail += f" LIMIT {spec[2]}"
+        return f"SELECT id, grp FROM t {tail}", f"SELECT id, grp FROM t {tail}", True
+    if kind == "count":
+        if spec[1] is None:
+            return "SELECT COUNT(*) FROM t", "SELECT count(*) FROM t", True
+        where = f"WHERE grp = '{spec[1]}'"
+        return (
+            f"SELECT COUNT(*) FROM t {where}",
+            f"SELECT count(*) FROM t {where} ALLOW FILTERING",
+            True,
+        )
+    raise AssertionError(spec)
+
+
+def build_sessions(rows, indexed):
+    sql = SQLEngine().connect()
+    sql.execute("CREATE DATABASE d")
+    sql.execute("USE d")
+    sql.execute("CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(8), val INT)")
+    cql = NoSQLEngine().connect()
+    cql.execute("CREATE KEYSPACE k")
+    cql.execute("USE k")
+    cql.execute("CREATE TABLE t (id int PRIMARY KEY, grp text, val int)")
+    if indexed:
+        sql.execute("CREATE INDEX t_grp ON t (grp)")
+        cql.execute("CREATE INDEX ON t (grp)")
+    for rowid, (grp, val) in enumerate(rows):
+        statement = f"INSERT INTO t (id, grp, val) VALUES ({rowid}, '{grp}', {val})"
+        sql.execute(statement)
+        cql.execute(statement)
+    return sql, cql
+
+
+def canonical(rows):
+    return sorted(sorted(row.items()) for row in rows)
+
+
+@given(rows=rows_strategy, query=query_strategy, indexed=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_engines_agree(rows, query, indexed):
+    sql, cql = build_sessions(rows, indexed)
+    sql_text, cql_text, ordered = render(query)
+    sql_rows = sql.execute(sql_text).rows
+    cql_rows = cql.execute(cql_text).rows
+    if ordered:
+        assert sql_rows == cql_rows
+    else:
+        assert canonical(sql_rows) == canonical(cql_rows)
+
+
+@given(rows=rows_strategy, query=query_strategy)
+@settings(max_examples=30, deadline=None)
+def test_index_does_not_change_answers(rows, query):
+    plain_sql, plain_cql = build_sessions(rows, indexed=False)
+    indexed_sql, indexed_cql = build_sessions(rows, indexed=True)
+    sql_text, cql_text, _ = render(query)
+    assert canonical(plain_sql.execute(sql_text).rows) == canonical(
+        indexed_sql.execute(sql_text).rows
+    )
+    assert canonical(plain_cql.execute(cql_text).rows) == canonical(
+        indexed_cql.execute(cql_text).rows
+    )
+
+
+@given(rows=rows_strategy, query=query_strategy)
+@settings(max_examples=30, deadline=None)
+def test_warm_plan_cache_replays_identically(rows, query):
+    """The second (plan-cache-hit) execution returns the same rows."""
+    sql, cql = build_sessions(rows, indexed=False)
+    sql_text, cql_text, _ = render(query)
+    assert sql.execute(sql_text).rows == sql.execute(sql_text).rows
+    assert sql.plan_cache.stats().hits >= 1
+    assert cql.execute(cql_text).rows == cql.execute(cql_text).rows
+    assert cql.plan_cache.stats().hits >= 1

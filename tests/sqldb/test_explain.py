@@ -1,4 +1,10 @@
-"""EXPLAIN: the optimizer's access-path choices, made visible."""
+"""EXPLAIN: the planner's access-path choices, made visible.
+
+Both engines render plans with the shared :mod:`repro.query` vocabulary:
+each row is ``{"step", "node", "table", "key", "detail"}`` in execution
+(leaf-first) order.  These tests pin the SQL side; the CQL side is pinned
+by ``tests/nosqldb/test_explain.py`` with the same node names.
+"""
 
 import pytest
 
@@ -20,35 +26,44 @@ def session():
 
 
 class TestBaseAccess:
-    def test_pk_point_is_const(self, session):
+    def test_pk_point_is_point_lookup(self, session):
         plan = session.execute("EXPLAIN SELECT * FROM CELL WHERE id = 1").one()
-        assert plan["access"] == "const"
+        assert plan["node"] == "PointLookup"
+        assert plan["table"] == "CELL"
         assert plan["key"] == "id"
+        assert plan["detail"] == "primary key"
 
-    def test_pk_in_is_range(self, session):
+    def test_pk_in_is_multi_get(self, session):
         plan = session.execute("EXPLAIN SELECT * FROM CELL WHERE id IN (1, 2)").one()
-        assert plan["access"] == "range"
+        assert plan["node"] == "MultiGet"
+        assert plan["detail"] == "primary key, batched"
 
-    def test_composite_prefix_is_ref(self, session):
+    def test_composite_prefix_is_index_scan(self, session):
         plan = session.execute(
             "EXPLAIN SELECT * FROM NODE_CHILDREN WHERE node_id = 5"
         ).one()
-        assert plan["access"] == "ref:pk-prefix"
+        assert plan["node"] == "IndexScan"
+        assert plan["detail"] == "pk-prefix"
+        assert plan["key"] == "node_id"
 
-    def test_secondary_index_is_ref(self, session):
+    def test_secondary_index_is_index_scan(self, session):
         session.execute("CREATE INDEX m_idx ON CELL (measure)")
         plan = session.execute("EXPLAIN SELECT * FROM CELL WHERE measure = 3").one()
-        assert plan["access"] == "ref:index"
+        assert plan["node"] == "IndexScan"
+        assert plan["detail"] == "secondary-index"
+        assert plan["key"] == "measure"
 
     def test_unindexed_filter_is_full_scan(self, session):
-        plan = session.execute(
+        rows = list(session.execute(
             "EXPLAIN SELECT * FROM CELL WHERE cell_key = 'x'"
-        ).one()
-        assert plan["access"] == "ALL"
+        ))
+        assert rows[0]["node"] == "FullScan"
+        assert rows[1]["node"] == "Filter"
+        assert rows[1]["detail"] == "cell_key = 'x'"
 
     def test_no_where_is_full_scan(self, session):
         plan = session.execute("EXPLAIN SELECT * FROM CELL").one()
-        assert plan["access"] == "ALL"
+        assert plan["node"] == "FullScan"
         assert plan["key"] is None
 
 
@@ -58,24 +73,68 @@ class TestJoinAccess:
             "EXPLAIN SELECT * FROM NODE_CHILDREN nc "
             "JOIN CELL c ON nc.cell_id = c.id WHERE nc.node_id = 1"
         ))
-        assert rows[0]["access"] == "ref:pk-prefix"
-        assert rows[1] == {"step": 2, "table": "c", "access": "eq_ref", "key": "c.id"}
+        assert rows[0]["node"] == "IndexScan"
+        assert rows[0]["detail"] == "pk-prefix"
+        assert rows[1] == {
+            "step": 2, "node": "HashJoin", "table": "c",
+            "key": "c.id", "detail": "eq_ref",
+        }
 
     def test_join_on_indexed_column(self, session):
         session.execute("CREATE INDEX m_idx ON CELL (measure)")
         rows = list(session.execute(
             "EXPLAIN SELECT * FROM TAGS t JOIN CELL c ON t.id = c.measure"
         ))
-        assert rows[1]["access"] == "ref:index"
+        assert rows[1]["node"] == "HashJoin"
+        assert rows[1]["detail"] == "secondary-index"
 
-    def test_join_without_index_is_hash(self, session):
+    def test_join_without_index_is_hash_build(self, session):
         rows = list(session.execute(
             "EXPLAIN SELECT * FROM TAGS t JOIN CELL c ON t.id = c.measure"
         ))
-        assert rows[1]["access"] == "hash-join"
+        assert rows[1]["node"] == "HashJoin"
+        assert rows[1]["detail"] == "hash build"
 
     def test_explain_does_not_execute(self, session):
         session.execute("INSERT INTO CELL (id, measure) VALUES (1, 5)")
         before = session.execute("SELECT COUNT(*) FROM CELL").one()["count"]
         session.execute("EXPLAIN SELECT * FROM CELL WHERE id = 1")
         assert session.execute("SELECT COUNT(*) FROM CELL").one()["count"] == before
+
+
+class TestPipelineShape:
+    def test_steps_are_leaf_first_execution_order(self, session):
+        rows = list(session.execute(
+            "EXPLAIN SELECT measure, COUNT(*) FROM CELL "
+            "GROUP BY measure ORDER BY measure LIMIT 2"
+        ))
+        assert [r["step"] for r in rows] == [1, 2, 3, 4]
+        assert [r["node"] for r in rows] == ["FullScan", "Aggregate", "Sort", "Limit"]
+        assert rows[1]["detail"] == "count group by measure"
+        assert rows[2]["detail"] == "measure ASC"
+        assert rows[3]["detail"] == "2"
+
+    def test_projection_detail_lists_columns(self, session):
+        rows = list(session.execute(
+            "EXPLAIN SELECT id, measure FROM CELL WHERE id = 1"
+        ))
+        assert rows[-1]["node"] == "Project"
+        assert rows[-1]["detail"] == "id, measure"
+
+
+class TestPlanCache:
+    def test_warm_select_hits_plan_cache(self, session):
+        session.execute("INSERT INTO CELL (id, measure) VALUES (1, 5)")
+        session.execute("SELECT * FROM CELL WHERE id = ?", (1,))
+        before = session.plan_cache.stats().hits
+        session.execute("SELECT * FROM CELL WHERE id = ?", (1,))
+        assert session.plan_cache.stats().hits == before + 1
+
+    def test_index_ddl_invalidates_cached_plan(self, session):
+        query = "SELECT * FROM CELL WHERE measure = ?"
+        session.execute(query, (3,))
+        session.execute("CREATE INDEX m_idx ON CELL (measure)")
+        session.execute(query, (3,))
+        assert session.plan_cache.stats().invalidations >= 1
+        plan = session.execute("EXPLAIN " + query.replace("?", "3")).one()
+        assert plan["node"] == "IndexScan"
