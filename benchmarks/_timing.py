@@ -1,0 +1,66 @@
+"""Shared timing helpers for the standalone and pytest benchmarks.
+
+Every benchmark used to carry its own copy of the gc-paused best-of-N
+loop; this module is the single home for that machinery, built on the
+telemetry layer so benchmark passes show up as spans when
+``REPRO_TRACE=1`` and so committed ``BENCH_*.json`` files can embed the
+run's telemetry snapshot.
+
+This file and ``repro/telemetry/`` are the only places allowed to call
+``time.perf_counter`` directly (lint rule REPRO007).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+from typing import Callable, Tuple
+
+from repro.telemetry import get_registry, get_tracer, snapshot
+
+
+@contextmanager
+def gc_paused():
+    """Collector pauses are harness noise, not algorithm cost (mirrors
+    the pytest-benchmark configuration in ``benchmarks/conftest.py``)."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def timed(fn: Callable, label: str = "bench.pass") -> Tuple[object, float]:
+    """Run ``fn`` once under a ``label`` span; returns ``(result, seconds)``.
+
+    No gc pause — callers that want one wrap the whole measured region in
+    :func:`gc_paused` so nested timings share a single collector state.
+    """
+    with get_tracer().span(label):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def best_of(fn: Callable, repeats: int, label: str = "bench.pass") -> float:
+    """Best wall-clock seconds for ``fn`` over ``repeats`` gc-paused runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        with gc_paused():
+            _, elapsed = timed(fn, label=label)
+        best = min(best, elapsed)
+    return best
+
+
+def telemetry_snapshot() -> dict:
+    """The process-wide metrics + span snapshot, for ``BENCH_*.json``.
+
+    Cheap and always JSON-safe; with telemetry disabled it is simply
+    ``{"metrics": [], "spans": [], "slow_ops": []}``.
+    """
+    return snapshot(get_registry(), get_tracer())

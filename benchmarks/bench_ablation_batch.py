@@ -49,23 +49,23 @@ def test_bulk_vs_raw_inserts(benchmark, mode):
 
 def test_prepared_is_faster(benchmark):
     """One timed head-to-head: the bulk path must win clearly."""
-    import time
+    from benchmarks._timing import timed
 
     bundle = load_dataset("Day")
     cube = bundle.cube
 
-    def contest():
-        bulk_mapper = _fresh_mapper()
-        started = time.perf_counter()
-        bulk_mapper.store(cube, probe_size=False)
-        bulk_seconds = time.perf_counter() - started
-
+    def raw_store():
         raw_mapper = _fresh_mapper()
         session = raw_mapper.engine.connect(raw_mapper.keyspace_name)
-        started = time.perf_counter()
         for statement in raw_mapper.statements(cube, schema_id=1):
             session.execute(statement)
-        raw_seconds = time.perf_counter() - started
+
+    def contest():
+        bulk_mapper = _fresh_mapper()
+        _, bulk_seconds = timed(
+            lambda: bulk_mapper.store(cube, probe_size=False), label="bench.bulk"
+        )
+        _, raw_seconds = timed(raw_store, label="bench.raw")
         return bulk_seconds, raw_seconds
 
     bulk_seconds, raw_seconds = benchmark.pedantic(contest, rounds=1, iterations=1)

@@ -31,13 +31,10 @@ Emits machine-readable JSON (``--out``, default
 from __future__ import annotations
 
 import argparse
-import gc
 import json
 import os
 import platform
 import sys
-import time
-from contextlib import contextmanager
 from typing import Dict, List
 
 from repro.bench.datasets import current_scale, load_dataset
@@ -49,29 +46,10 @@ from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
 from repro.nosqldb.engine import NoSQLEngine
 
-
-@contextmanager
-def _gc_paused():
-    """Collector pauses are harness noise, not algorithm cost (mirrors the
-    pytest-benchmark configuration in ``benchmarks/conftest.py``)."""
-    gc.collect()
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        yield
-    finally:
-        if was_enabled:
-            gc.enable()
-
-
-def _best_of(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        with _gc_paused():
-            started = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - started)
-    return best
+try:
+    from benchmarks._timing import best_of, gc_paused, telemetry_snapshot, timed
+except ImportError:  # standalone `python benchmarks/bench_*.py`: script dir on path
+    from _timing import best_of, gc_paused, telemetry_snapshot, timed
 
 
 def bench_build(bundle, workers: int, repeats: int) -> Dict:
@@ -82,7 +60,9 @@ def bench_build(bundle, workers: int, repeats: int) -> Dict:
     ordered = facts.sorted()  # presort once so both paths time construction
 
     serial_cube = DwarfBuilder(schema).build(ordered)
-    serial_s = _best_of(lambda: DwarfBuilder(schema).build(ordered), repeats)
+    serial_s = best_of(
+        lambda: DwarfBuilder(schema).build(ordered), repeats, label="bench.build.serial"
+    )
 
     # min_parallel_tuples=2 keeps the partitioned machinery engaged even at
     # --quick scale, where the auto heuristic would fall back to serial.
@@ -90,7 +70,9 @@ def bench_build(bundle, workers: int, repeats: int) -> Dict:
         schema, workers=workers, mode="thread", min_parallel_tuples=2
     )
     parallel_cube = builder.build(ordered)
-    parallel_wall_s = _best_of(lambda: builder.build(ordered), repeats)
+    parallel_wall_s = best_of(
+        lambda: builder.build(ordered), repeats, label="bench.build.parallel"
+    )
 
     serial_records = transform_cube(serial_cube)
     parallel_records = transform_cube(parallel_cube)
@@ -110,16 +92,20 @@ def bench_build(bundle, workers: int, repeats: int) -> Dict:
     for _ in range(repeats):
         partition_times: List[float] = []
         parts = []
-        with _gc_paused():
+        with gc_paused():
             for chunk in partitions:
-                started = time.perf_counter()
-                parts.append(_build_partition(schema, chunk, True))
-                partition_times.append(time.perf_counter() - started)
-            started = time.perf_counter()
-            stitched = builder._stitch(
-                parts, n_source_tuples=len(ordered), pickled=False
+                part, elapsed = timed(
+                    lambda: _build_partition(schema, chunk, True),
+                    label="bench.build.partition",
+                )
+                parts.append(part)
+                partition_times.append(elapsed)
+            stitched, stitch_s = timed(
+                lambda: builder._stitch(
+                    parts, n_source_tuples=len(ordered), pickled=False
+                ),
+                label="bench.build.stitch",
             )
-            stitch_s = time.perf_counter() - started
         assert stitched.stats.cell_count == serial_cube.stats.cell_count
         loads = [0.0] * max(1, min(workers, len(partitions)))
         for cost in partition_times:
@@ -169,9 +155,9 @@ def bench_store(bundle, repeats: int, all_mappers: bool) -> Dict:
     def compiled_store():
         _fresh_nosql_dwarf().store(cube, probe_size=False, compiled=True)
 
-    text_s = _best_of(text_store, repeats)
-    prepared_s = _best_of(prepared_store, repeats)
-    compiled_s = _best_of(compiled_store, repeats)
+    text_s = best_of(text_store, repeats, label="bench.store.text")
+    prepared_s = best_of(prepared_store, repeats, label="bench.store.prepared")
+    compiled_s = best_of(compiled_store, repeats, label="bench.store.compiled")
 
     result = {
         "mapper": "NoSQL-DWARF",
@@ -185,13 +171,15 @@ def bench_store(bundle, repeats: int, all_mappers: bool) -> Dict:
         per_mapper = {}
         for name in MAPPER_FACTORIES:
             mapper = make_mapper(name)
-            started = time.perf_counter()
-            mapper.store(cube, probe_size=False, compiled=False)
-            mapper_prepared_s = time.perf_counter() - started
+            _, mapper_prepared_s = timed(
+                lambda: mapper.store(cube, probe_size=False, compiled=False),
+                label="bench.store.prepared",
+            )
             mapper.reset()
-            started = time.perf_counter()
-            mapper.store(cube, probe_size=False, compiled=True)
-            mapper_compiled_s = time.perf_counter() - started
+            _, mapper_compiled_s = timed(
+                lambda: mapper.store(cube, probe_size=False, compiled=True),
+                label="bench.store.compiled",
+            )
             per_mapper[name] = {
                 "prepared_s": mapper_prepared_s,
                 "compiled_s": mapper_compiled_s,
@@ -237,6 +225,7 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "build": build,
         "store": store,
+        "telemetry": telemetry_snapshot(),
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

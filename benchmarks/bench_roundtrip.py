@@ -37,10 +37,10 @@ def test_reload_week_cube(benchmark, schema_name):
 
 def test_incremental_merge_vs_rebuild(benchmark):
     """The §7 future-work path: merging a delta cube beats a full rebuild."""
-    import time
-
     from repro.dwarf.builder import DwarfBuilder, merge_cubes
     from repro.smartcity.bikes import bikes_pipeline
+
+    from benchmarks._timing import timed
 
     bundle = load_dataset("Month")
     documents = list(bundle.documents)
@@ -52,15 +52,14 @@ def test_incremental_merge_vs_rebuild(benchmark):
     standing = builder.build(standing_facts)
 
     def contest():
-        started = time.perf_counter()
-        delta = builder.build(delta_facts)
-        merged = merge_cubes(standing, delta)
-        merge_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        all_facts = pipeline.extract(documents)
-        rebuilt = builder.build(all_facts)
-        rebuild_seconds = time.perf_counter() - started
+        merged, merge_seconds = timed(
+            lambda: merge_cubes(standing, builder.build(delta_facts)),
+            label="bench.merge",
+        )
+        rebuilt, rebuild_seconds = timed(
+            lambda: builder.build(pipeline.extract(documents)),
+            label="bench.rebuild",
+        )
         return merged, rebuilt, merge_seconds, rebuild_seconds
 
     merged, rebuilt, merge_seconds, rebuild_seconds = benchmark.pedantic(

@@ -22,12 +22,10 @@ trajectory; CI asserts a nonzero warm block-cache hit rate from it.
 from __future__ import annotations
 
 import argparse
-import gc
 import json
 import os
 import platform
 import sys
-import time
 from contextlib import contextmanager
 from typing import Dict, List
 
@@ -37,6 +35,11 @@ from repro.bench.datasets import current_scale, load_dataset
 from repro.dwarf.cell import ALL
 from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
 from repro.mapping.stored_query import explain_strategy, stored_point_query
+
+try:
+    from benchmarks._timing import gc_paused, telemetry_snapshot, timed
+except ImportError:  # standalone `python benchmarks/bench_*.py`: script dir on path
+    from _timing import gc_paused, telemetry_snapshot, timed
 
 SCHEMAS = list(MAPPER_FACTORIES)
 N_QUERIES = 50
@@ -88,20 +91,6 @@ def test_stored_point_queries(benchmark, schema_name):
 # standalone cache-comparison mode
 # ----------------------------------------------------------------------
 @contextmanager
-def _gc_paused():
-    """Collector pauses are harness noise, not algorithm cost (mirrors the
-    pytest-benchmark configuration in ``benchmarks/conftest.py``)."""
-    gc.collect()
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        yield
-    finally:
-        if was_enabled:
-            gc.enable()
-
-
-@contextmanager
 def _cache_env(block_bytes=None, row_bytes=None):
     """Temporarily pin the cache budgets (read at table-creation time)."""
     names = ("REPRO_BLOCK_CACHE_BYTES", "REPRO_ROW_CACHE_BYTES")
@@ -118,16 +107,6 @@ def _cache_env(block_bytes=None, row_bytes=None):
                 os.environ.pop(name, None)
             else:
                 os.environ[name] = value
-
-
-def _best_of(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        with _gc_paused():
-            started = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - started)
-    return best
 
 
 def _flush_all(mapper) -> None:
@@ -170,11 +149,11 @@ def _stats_delta(after: Dict, before: Dict) -> Dict[str, Dict[str, int]]:
 
 def _timed_pass(mapper, schema_id, vectors):
     """One full query pass: ``(answers, seconds)``."""
-    with _gc_paused():
-        started = time.perf_counter()
-        answers = [stored_point_query(mapper, schema_id, v) for v in vectors]
-        elapsed = time.perf_counter() - started
-    return answers, elapsed
+    with gc_paused():
+        return timed(
+            lambda: [stored_point_query(mapper, schema_id, v) for v in vectors],
+            label="bench.query_pass",
+        )
 
 
 def bench_nosql_dwarf_configs(bundle, vectors, expected, repeats: int) -> Dict:
@@ -290,6 +269,7 @@ def main(argv=None) -> int:
         "answers_identical": identical,
         "nosql_dwarf_configs": configs,
         "per_schema": per_schema,
+        "telemetry": telemetry_snapshot(),
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -1,6 +1,6 @@
 """A repo-specific AST lint pass (stdlib ``ast`` only, no flake8).
 
-Five rules, each guarding a failure mode this codebase has actually to
+Seven rules, each guarding a failure mode this codebase has actually to
 care about:
 
 * **REPRO001 mutable-default** — a ``list``/``dict``/``set`` literal,
@@ -26,7 +26,13 @@ care about:
   (``repro/query/``) must not import any other ``repro`` subpackage:
   both engines compile their statements *onto* the kernel's operators,
   so an engine import from inside the kernel would make the dependency
-  circular and the plan vocabulary engine-specific.
+  circular and the plan vocabulary engine-specific.  The sole exception
+  is :mod:`repro.telemetry`, a stdlib-only leaf that every layer may
+  use for metrics and spans.
+* **REPRO007 raw-clock** — ``time.perf_counter`` may only be called
+  inside ``repro/telemetry/`` and ``benchmarks/_timing.py``; everything
+  else must time through telemetry spans or the shared benchmark
+  helpers so measurements stay comparable and trace-aware.
 
 Run via :func:`run_lint` or ``python -m repro check --lint``.
 """
@@ -71,9 +77,18 @@ def package_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
+def default_roots() -> List[Path]:
+    """Default lint roots: the package plus ``benchmarks/`` when present."""
+    roots = [package_root()]
+    benchmarks = package_root().parents[1] / "benchmarks"
+    if benchmarks.is_dir():
+        roots.append(benchmarks)
+    return roots
+
+
 def iter_source_files(paths: Optional[Sequence] = None) -> List[Path]:
     """Resolve ``paths`` (files or directories) to a sorted ``.py`` list."""
-    roots = [Path(p) for p in paths] if paths else [package_root()]
+    roots = [Path(p) for p in paths] if paths else default_roots()
     files = []
     for root in roots:
         if root.is_dir():
@@ -109,6 +124,8 @@ def lint_file(path: Path, report: CheckReport) -> None:
         _check_undocumented_raises(tree, location, report)
     _check_layering(tree, posix, location, report)
     _check_kernel_independence(tree, posix, location, report)
+    if not _raw_clock_allowed(posix):
+        _check_raw_clock(tree, location, report)
 
 
 def _display(path: Path) -> str:
@@ -324,11 +341,50 @@ def _check_kernel_independence(tree: ast.AST, posix: str, location: str,
     if _KERNEL_FRAGMENT not in posix:
         return
     for module, lineno in _imported_modules(tree):
-        inside_kernel = module == "repro.query" or module.startswith("repro.query.")
+        allowed = (
+            module == "repro.query" or module.startswith("repro.query.")
+            # telemetry is a stdlib-only leaf, importable from any layer
+            # without making the kernel engine-specific.
+            or module == "repro.telemetry"
+            or module.startswith("repro.telemetry.")
+        )
         report.check(
-            inside_kernel or not (module == "repro" or module.startswith("repro.")),
+            allowed or not (module == "repro" or module.startswith("repro.")),
             _CHECKER, "REPRO006", f"{location}:{lineno}",
             f"kernel violation: repro.query imports {module}; the query "
             "kernel must stay engine-agnostic (engines import it, never "
             "the reverse)",
+        )
+
+
+# ----------------------------------------------------------------------
+# REPRO007 — time.perf_counter only inside telemetry / benchmark helpers
+# ----------------------------------------------------------------------
+#: Path fragments where calling ``time.perf_counter`` directly is fine.
+_RAW_CLOCK_ALLOWED_PARTS = ("/repro/telemetry/", "/benchmarks/_timing.py")
+
+
+def _raw_clock_allowed(posix: str) -> bool:
+    return any(part in posix for part in _RAW_CLOCK_ALLOWED_PARTS)
+
+
+def _check_raw_clock(tree: ast.AST, location: str,
+                     report: CheckReport) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        direct = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "perf_counter"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+        bare = isinstance(func, ast.Name) and func.id == "perf_counter"
+        report.check(
+            not (direct or bare), _CHECKER, "REPRO007",
+            f"{location}:{node.lineno}",
+            "raw time.perf_counter() call; time through repro.telemetry "
+            "spans (or benchmarks/_timing.py helpers) so measurements "
+            "stay comparable and trace-aware",
         )

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.bench.datasets import DatasetBundle, load_dataset
 from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
+from repro.telemetry import get_tracer, wall_clock
 
 #: Paper values for Table 4 (MB used to store a DWARF cube).
 PAPER_TABLE4_MB: Dict[str, Sequence[float]] = {
@@ -55,9 +55,10 @@ def run_cell(schema_name: str, dataset_name: str, mapper=None) -> CellResult:
         mapper = make_mapper(schema_name)
     mapper.reset()
 
-    started = time.perf_counter()
-    schema_id = mapper.store(bundle.cube, probe_size=False)
-    insert_ms = (time.perf_counter() - started) * 1000.0
+    with get_tracer().span("bench.cell", schema=schema_name, dataset=dataset_name):
+        started = wall_clock()
+        schema_id = mapper.store(bundle.cube, probe_size=False)
+        insert_ms = (wall_clock() - started) * 1000.0
 
     mapper.probe_size(schema_id)
     # Report from the stored registry row: the exact byte count avoids the

@@ -16,6 +16,11 @@ Three commands cover the common workflows:
     The static-analysis gate: the repo-specific AST lint pass and/or the
     cross-layer invariant suite (build a dataset's cube, store it under
     every schema, and run every structural checker over the results).
+``stats``
+    Run one instrumented workload (ETL -> build -> store -> stored
+    queries) with telemetry force-enabled and print the merged span
+    tree, the metrics table, per-operator timings, and any slow ops —
+    or the same snapshot as JSON / Prometheus text via ``--format``.
 """
 
 from __future__ import annotations
@@ -79,6 +84,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DATASET",
         help="run the invariant suite on DATASET (default Month when the "
         "flag is given bare; plain `repro check` uses Day)",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="run an instrumented workload and print its telemetry"
+    )
+    stats.add_argument(
+        "--dataset", default="Month",
+        help="dataset name, case-insensitive (default Month)",
+    )
+    stats.add_argument(
+        "--schema", choices=tuple(MAPPER_FACTORIES), default="NoSQL-DWARF",
+        help="storage schema for the store/query phases",
+    )
+    stats.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text",
+        help="text report, JSON snapshot, or Prometheus exposition",
+    )
+    stats.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the --format payload to this file",
     )
     return parser
 
@@ -188,12 +213,26 @@ def _sample_query_vectors(cube, limit: int = 8):
     return vectors[:limit]
 
 
+def _live_cache_counts():
+    """Current process-wide cache counters from the metrics registry."""
+    from repro.telemetry import get_registry
+
+    registry = get_registry()
+    return {
+        (kind, metric): registry.value(f"nosqldb_cache_{metric}_total", kind)
+        for kind in ("row", "block")
+        for metric in ("hits", "misses")
+    }
+
+
 def _warm_query_pass(mapper, name: str, cube) -> bool:
     """Run sample stored queries twice and surface the cache counters.
 
     The second (warm) pass must return the same answers as the first and
-    as the in-memory cube; the printed hit rates make a cache bug that
-    silently stops caching (hit rate 0) visible in the gate logs.
+    as the in-memory cube.  Cache traffic is read as *live* deltas from
+    the telemetry registry (``nosqldb_cache_*_total``) — the same
+    counters the caches increment on the hot path — so a cache bug that
+    silently stops caching (hit rate 0) is visible in the gate logs.
     """
     from repro.dwarf.cell import ALL
     from repro.mapping.stored_query import stored_point_query
@@ -205,20 +244,22 @@ def _warm_query_pass(mapper, name: str, cube) -> bool:
         cube.value(**{n: m for n, m in zip(names, vector) if m is not ALL})
         for vector in vectors
     ]
+    before = _live_cache_counts()
     cold = [stored_point_query(mapper, schema_id, vector) for vector in vectors]
     warm = [stored_point_query(mapper, schema_id, vector) for vector in vectors]
+    after = _live_cache_counts()
     ok = cold == expected and warm == expected
     status = "answers agree" if ok else f"ANSWERS DIVERGE (cube={expected}, cold={cold}, warm={warm})"
     print(f"stored-query warm pass[{name}]: {len(vectors)} queries x2, {status}")
     if hasattr(mapper, "keyspace_name"):
-        for table in mapper.engine.keyspace(mapper.keyspace_name).tables:
-            stats = table.stats()
-            row, block = stats.row_cache, stats.block_cache
+        for kind in ("row", "block"):
+            hits = after[(kind, "hits")] - before[(kind, "hits")]
+            misses = after[(kind, "misses")] - before[(kind, "misses")]
+            requests = hits + misses
+            rate = hits / requests if requests else 0.0
             print(
-                f"  cache[{name}/{table.name}]: "
-                f"row {row.hits}/{row.requests} hit(s) ({row.hit_rate:.0%}), "
-                f"block {block.hits}/{block.requests} hit(s) ({block.hit_rate:.0%}), "
-                f"{block.entries} decoded block(s) cached"
+                f"  cache[{name}/{kind}]: {hits:.0f}/{requests:.0f} "
+                f"hit(s) ({rate:.0%}, live registry delta)"
             )
     return ok
 
@@ -231,6 +272,11 @@ def _check_invariants(dataset: str) -> bool:
     from repro.bench.datasets import load_dataset
     from repro.dwarf.parallel import ParallelDwarfBuilder
     from repro.smartcity.bikes import bikes_pipeline
+    from repro.telemetry import enable_metrics
+
+    # The warm-query pass reads cache traffic straight from the live
+    # registry, so the gate always runs with metrics on.
+    enable_metrics(True)
 
     if dataset not in DATASETS_BY_NAME:
         print(f"unknown dataset {dataset!r}; choose from {DATASET_ORDER}", file=sys.stderr)
@@ -260,6 +306,108 @@ def _check_invariants(dataset: str) -> bool:
     return ok
 
 
+def _operator_stat_lines(mapper):
+    """Per-operator counters from every plan the session has cached."""
+    lines = []
+    cache = getattr(getattr(mapper, "session", None), "plan_cache", None)
+    if cache is None:
+        return lines
+    for _key, plan in cache.entries():
+        stats = getattr(plan, "operator_stats", None)
+        if stats is None:
+            continue
+        for op in stats():
+            if not op.calls:
+                continue
+            where = f" on {op.table}" if op.table else ""
+            detail = f" [{op.detail}]" if op.detail else ""
+            lines.append(
+                f"  {op.node}{where}{detail}: calls={op.calls} "
+                f"rows_out={op.rows_out} wall={op.seconds * 1000:.3f}ms"
+            )
+    return lines
+
+
+def _cmd_stats(args) -> int:
+    from repro.bench.datasets import clear_cache, load_dataset
+    from repro.dwarf.cell import ALL
+    from repro.mapping.stored_query import stored_point_query
+    from repro.telemetry import (
+        enable_metrics,
+        enable_tracing,
+        get_registry,
+        get_tracer,
+        render_metrics_table,
+        render_span_tree,
+        snapshot,
+        to_json,
+        to_prometheus,
+    )
+
+    lookup = {name.lower(): name for name in DATASETS_BY_NAME}
+    dataset = lookup.get(args.dataset.lower())
+    if dataset is None:
+        print(f"unknown dataset {args.dataset!r}; choose from {DATASET_ORDER}",
+              file=sys.stderr)
+        return 2
+
+    enable_metrics(True)
+    enable_tracing(True)
+    registry, tracer = get_registry(), get_tracer()
+    registry.reset()
+    tracer.reset()
+    clear_cache()  # force a real ETL + build pass under the tracer
+
+    bundle = load_dataset(dataset)
+    mapper = make_mapper(args.schema)
+    with tracer.span("mapper.store", schema=mapper.name):
+        schema_id = mapper.store(bundle.cube, probe_size=False)
+
+    names = [d.name for d in bundle.cube.schema.dimensions]
+    vectors = _sample_query_vectors(bundle.cube)
+    expected = [
+        bundle.cube.value(**{n: m for n, m in zip(names, v) if m is not ALL})
+        for v in vectors
+    ]
+    cold = [stored_point_query(mapper, schema_id, v) for v in vectors]
+    warm = [stored_point_query(mapper, schema_id, v) for v in vectors]
+    ok = cold == expected and warm == expected
+
+    snap = snapshot(registry, tracer)
+    if args.format == "json":
+        payload = to_json(snap)
+    elif args.format == "prom":
+        payload = to_prometheus(snap)
+    else:
+        sections = [
+            f"dataset {dataset}: {bundle.n_tuples} tuples "
+            f"(REPRO_SCALE={current_scale():g}), schema {mapper.name}, "
+            f"{len(vectors)} stored queries x2, "
+            f"{'answers agree' if ok else 'ANSWERS DIVERGE'}",
+            "",
+            "spans",
+            render_span_tree(snap["spans"]) or "  (none)",
+            "",
+            "operators",
+        ]
+        sections.extend(_operator_stat_lines(mapper) or ["  (none)"])
+        sections += ["", "metrics", render_metrics_table(snap)]
+        if snap["slow_ops"]:
+            sections += ["", f"slow ops (>= {tracer.slow_ms:g} ms)"]
+            sections.extend(
+                f"  {op['name']}: {op['wall_ms']:.1f} ms {op.get('attrs', {})}"
+                for op in snap["slow_ops"]
+            )
+        payload = "\n".join(sections)
+
+    if args.out is not None:
+        args.out.write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if args.format != "text" or args.out is None:
+        print(payload)
+    return 0 if ok else 1
+
+
 def _cmd_check(args) -> int:
     from repro.analysis.lint import run_lint
 
@@ -286,6 +434,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,
         "check": _cmd_check,
+        "stats": _cmd_stats,
     }[args.command]
     return handler(args)
 

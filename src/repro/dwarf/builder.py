@@ -32,6 +32,17 @@ from repro.core.tuples import TupleSet, make_member_key_memo, member_sort_key
 from repro.dwarf.cell import ALL, DwarfCell
 from repro.dwarf.cube import DwarfCube
 from repro.dwarf.node import DwarfNode
+from repro.telemetry import get_registry, get_tracer, wall_clock
+
+_REGISTRY = get_registry()
+_M_BUILDS = _REGISTRY.counter("dwarf_builds_total", "DWARF cubes built", labels=("mode",))
+_M_MEMO_HITS = _REGISTRY.counter(
+    "dwarf_merge_memo_hits_total", "suffix-coalesce merges served from the memo"
+)
+_M_MERGES = _REGISTRY.counter("dwarf_merges_total", "sub-dwarf merges performed")
+_H_BUILD_SECONDS = _REGISTRY.histogram(
+    "dwarf_build_seconds", "wall time of DwarfBuilder.build", labels=("mode",)
+)
 
 #: Total order for dimension members of possibly mixed types (canonical
 #: definition lives in :mod:`repro.core.tuples`; re-exported here because
@@ -88,51 +99,63 @@ class DwarfBuilder:
                 f"tuple set has {tuple_set.schema.n_dimensions} dimensions, "
                 f"builder schema {self.schema.name!r} has {self.schema.n_dimensions}"
             )
-        ordered = tuple_set if tuple_set.is_sorted() else tuple_set.sorted()
-        self._merge_memo.clear()
-        self._member_key_memo = make_member_key_memo()
-
-        n_dims = self.schema.n_dimensions
-        agg = self._aggregator
-        root = DwarfNode(0)
-        path: List[Optional[DwarfNode]] = [root] + [None] * (n_dims - 1)
-        prev: Optional[Tuple] = None
-
-        for fact in ordered:
-            keys = fact.keys
-            if prev is not None:
-                divergence = self._divergence(prev, keys)
-                if divergence == n_dims:
-                    # Identical dimension vector: fold the measure into the
-                    # existing leaf cell.
-                    leaf = path[n_dims - 1].cell(keys[-1])
-                    leaf.value = agg.merge(leaf.value, agg.lift(fact.measure))
-                    continue
-                # Nodes strictly below the divergence point will never be
-                # revisited in sorted order: close them (SuffixCoalesce).
-                for level in range(n_dims - 1, divergence, -1):
-                    self._close(path[level])
-            else:
-                divergence = 0
-            # Open the new path below the divergence point.
-            for level in range(divergence, n_dims - 1):
-                child = DwarfNode(level + 1)
-                path[level].add_cell(DwarfCell(keys[level], node=child))
-                path[level + 1] = child
-            path[n_dims - 1].add_cell(DwarfCell(keys[-1], value=agg.lift(fact.measure)))
-            prev = keys
-
-        if prev is not None:
-            bottom = -1 if close_root else 0
-            for level in range(n_dims - 1, bottom, -1):
-                self._close(path[level])
-        n_merges = len(self._merge_memo)
-        if close_root:
+        t0 = wall_clock()
+        tracer = get_tracer()
+        mode = "serial" if close_root else "open-root"
+        with tracer.span("dwarf.build", schema=self.schema.name, tuples=len(tuple_set)):
+            with tracer.span("dwarf.sort"):
+                ordered = tuple_set if tuple_set.is_sorted() else tuple_set.sorted()
             self._merge_memo.clear()
-        # else: the partitioned builder harvests the memo so the final
-        # root close can reuse intra-partition merges exactly as the
-        # serial scan's accumulated memo would.
-        cube = DwarfCube(self.schema, root, n_source_tuples=len(tuple_set), n_merges=n_merges)
+            self._member_key_memo = make_member_key_memo()
+
+            n_dims = self.schema.n_dimensions
+            agg = self._aggregator
+            root = DwarfNode(0)
+            path: List[Optional[DwarfNode]] = [root] + [None] * (n_dims - 1)
+            prev: Optional[Tuple] = None
+
+            with tracer.span("dwarf.scan"):
+                for fact in ordered:
+                    keys = fact.keys
+                    if prev is not None:
+                        divergence = self._divergence(prev, keys)
+                        if divergence == n_dims:
+                            # Identical dimension vector: fold the measure into the
+                            # existing leaf cell.
+                            leaf = path[n_dims - 1].cell(keys[-1])
+                            leaf.value = agg.merge(leaf.value, agg.lift(fact.measure))
+                            continue
+                        # Nodes strictly below the divergence point will never be
+                        # revisited in sorted order: close them (SuffixCoalesce).
+                        for level in range(n_dims - 1, divergence, -1):
+                            self._close(path[level])
+                    else:
+                        divergence = 0
+                    # Open the new path below the divergence point.
+                    for level in range(divergence, n_dims - 1):
+                        child = DwarfNode(level + 1)
+                        path[level].add_cell(DwarfCell(keys[level], node=child))
+                        path[level + 1] = child
+                    path[n_dims - 1].add_cell(
+                        DwarfCell(keys[-1], value=agg.lift(fact.measure))
+                    )
+                    prev = keys
+
+                if prev is not None:
+                    bottom = -1 if close_root else 0
+                    for level in range(n_dims - 1, bottom, -1):
+                        self._close(path[level])
+            n_merges = len(self._merge_memo)
+            if close_root:
+                self._merge_memo.clear()
+            # else: the partitioned builder harvests the memo so the final
+            # root close can reuse intra-partition merges exactly as the
+            # serial scan's accumulated memo would.
+            cube = DwarfCube(
+                self.schema, root, n_source_tuples=len(tuple_set), n_merges=n_merges
+            )
+        _M_BUILDS.labels(mode).inc()
+        _H_BUILD_SECONDS.labels(mode).observe(wall_clock() - t0)
         if close_root and checks_enabled():
             # REPRO_CHECK=1 sanitizer mode: a freshly closed cube must
             # satisfy every structural invariant.  Open-root partition
@@ -190,7 +213,9 @@ class DwarfBuilder:
             memo_key = tuple(sorted(nodes, key=id))
             cached = self._merge_memo.get(memo_key)
             if cached is not None:
+                _M_MEMO_HITS.inc()
                 return cached
+        _M_MERGES.inc()
 
         level = nodes[0].level
         merged = DwarfNode(level)

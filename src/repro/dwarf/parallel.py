@@ -40,6 +40,13 @@ from repro.core.tuples import FactTuple, TupleSet
 from repro.dwarf.builder import DwarfBuilder
 from repro.dwarf.cube import DwarfCube
 from repro.dwarf.node import DwarfNode
+from repro.telemetry import get_registry, get_tracer
+
+_M_PARALLEL_BUILDS = get_registry().counter(
+    "dwarf_parallel_builds_total",
+    "ParallelDwarfBuilder builds by effective mode",
+    labels=("mode",),
+)
 
 #: Below this many tuples the serial builder wins outright.
 MIN_PARALLEL_TUPLES = 2048
@@ -126,16 +133,25 @@ class ParallelDwarfBuilder:
                 f"tuple set has {tuple_set.schema.n_dimensions} dimensions, "
                 f"builder schema {self.schema.name!r} has {self.schema.n_dimensions}"
             )
-        ordered = tuple_set if tuple_set.is_sorted() else tuple_set.sorted()
+        tracer = get_tracer()
+        with tracer.span("dwarf.parallel.sort"):
+            ordered = tuple_set if tuple_set.is_sorted() else tuple_set.sorted()
         mode = self._effective_mode(len(ordered))
+        _M_PARALLEL_BUILDS.labels(mode).inc()
         if mode == "serial":
             return DwarfBuilder(self.schema, coalesce=self.coalesce).build(ordered)
 
-        partitions = self._partition(ordered)
+        with tracer.span("dwarf.parallel.partition") as span:
+            partitions = self._partition(ordered)
+            span.set("partitions", len(partitions))
         if len(partitions) <= 1:
             return DwarfBuilder(self.schema, coalesce=self.coalesce).build(ordered)
-        parts, pickled = self._build_partitions(partitions, mode)
-        return self._stitch(parts, n_source_tuples=len(ordered), pickled=pickled)
+        with tracer.span(
+            "dwarf.parallel.build_partitions", mode=mode, partitions=len(partitions)
+        ):
+            parts, pickled = self._build_partitions(partitions, mode)
+        with tracer.span("dwarf.parallel.stitch"):
+            return self._stitch(parts, n_source_tuples=len(ordered), pickled=pickled)
 
     # ------------------------------------------------------------------
     def _effective_mode(self, n_tuples: int) -> str:

@@ -104,22 +104,47 @@ def describe(target):
     Accepts a :class:`~repro.dwarf.cube.DwarfCube` (traversed via
     :func:`compute_stats`), a query-kernel :class:`~repro.query.Plan` or
     operator node (per-operator execution counters via
-    ``operator_stats()``), or anything exposing a ``stats()`` method —
+    ``operator_stats()``), a telemetry
+    :class:`~repro.telemetry.MetricsRegistry` or
+    :class:`~repro.telemetry.Tracer` (rendered to their table / span-tree
+    text), a merged span forest (the list
+    :meth:`~repro.telemetry.Tracer.merged` returns, rendered the same
+    way), or anything exposing a ``stats()`` method —
     :class:`~repro.storage.btree.BTree`,
     :class:`~repro.nosqldb.sstable.SSTable`,
     :class:`~repro.nosqldb.columnfamily.ColumnFamily` and
     :class:`~repro.query.PlanCache` today.
 
-    Raises TypeError for objects with none of those shapes.
+    Raises TypeError for objects with none of those shapes, naming every
+    accepted one.
     """
     from repro.dwarf.cube import DwarfCube
     from repro.query import Plan, PlanNode
+    from repro.telemetry import (
+        MetricsRegistry,
+        Tracer,
+        render_metrics_table,
+        render_span_tree,
+        snapshot,
+    )
 
     if isinstance(target, DwarfCube):
         return compute_stats(target)
     if isinstance(target, (Plan, PlanNode)):
         return target.operator_stats()
+    if isinstance(target, MetricsRegistry):
+        return render_metrics_table(snapshot(registry=target, tracer=None))
+    if isinstance(target, Tracer):
+        return render_span_tree(target.merged())
+    if isinstance(target, list) and all(
+        isinstance(item, dict) and "name" in item for item in target
+    ):
+        return render_span_tree(target)
     stats = getattr(target, "stats", None)
     if callable(stats):
         return stats()
-    raise TypeError(f"no stats available for {type(target).__name__}")
+    raise TypeError(
+        f"no stats available for {type(target).__name__}; describe() accepts "
+        "a DwarfCube, a query Plan/PlanNode, a telemetry MetricsRegistry/"
+        "Tracer, a merged span list, or any object with a stats() method"
+    )

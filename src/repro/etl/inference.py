@@ -23,6 +23,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.errors import PipelineError
 from repro.core.schema import CubeSchema, Dimension
 from repro.etl.extractor import FactMapping
+from repro.telemetry import get_registry, get_tracer
+
+_M_INFERRED = get_registry().counter(
+    "etl_inferred_schemas_total", "schemas proposed by infer_mapping"
+)
 
 #: A field must appear in at least this fraction of sampled records.
 MIN_PRESENCE = 0.9
@@ -96,6 +101,21 @@ def infer_mapping(
     ``records`` must be a re-iterable sample (a list); raises
     :class:`PipelineError` when no viable measure or dimensions exist.
     """
+    with get_tracer().span("etl.infer", schema=name) as span:
+        mapping = _infer_mapping(records, name, measure, max_dimension_cardinality,
+                                 max_dimensions)
+        span.set("dimensions", len(mapping.schema.dimensions))
+        _M_INFERRED.inc()
+        return mapping
+
+
+def _infer_mapping(
+    records: Sequence[Dict[str, object]],
+    name: str,
+    measure: Optional[str],
+    max_dimension_cardinality: Optional[int],
+    max_dimensions: int,
+) -> FactMapping:
     profiles, n_records = profile_records(records)
     if n_records == 0:
         raise PipelineError("cannot infer a schema from zero records")

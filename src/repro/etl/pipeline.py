@@ -15,6 +15,14 @@ from repro.etl.documents import SourceDocument
 from repro.etl.extractor import FactMapping
 from repro.etl.json_source import parse_json_records
 from repro.etl.xml_source import parse_xml_records
+from repro.telemetry import get_registry, get_tracer
+
+_REGISTRY = get_registry()
+_M_DOCUMENTS = _REGISTRY.counter(
+    "etl_documents_total", "source documents parsed", labels=("content_type",)
+)
+_M_RECORDS = _REGISTRY.counter("etl_records_total", "flat records read from documents")
+_M_FACTS = _REGISTRY.counter("etl_facts_total", "fact tuples extracted (post-filter)")
 
 
 class EtlPipeline:
@@ -59,13 +67,31 @@ class EtlPipeline:
     def extract(self, documents: Iterable[SourceDocument]) -> TupleSet:
         """Run the full pipeline over ``documents``."""
         facts = TupleSet(self.mapping.schema)
-        for document in documents:
-            self.n_documents += 1
-            for record in self.records(document):
-                self.n_records += 1
-                fact = self.mapping.extract_one(record)
-                if fact is not None:
-                    facts.append(fact)
+        tracer = get_tracer()
+        with tracer.span("etl.extract", schema=self.mapping.schema.name) as span:
+            n_documents = n_records = 0
+            for document in documents:
+                n_documents += 1
+                _M_DOCUMENTS.labels(document.content_type).inc()
+                if tracer.enabled:
+                    # Parsing is lazy; materialize under the span so it
+                    # measures parse cost (disabled path stays a pure
+                    # generator pipeline).
+                    with tracer.span("etl.parse", content_type=document.content_type):
+                        records = list(self.records(document))
+                else:
+                    records = self.records(document)
+                for record in records:
+                    n_records += 1
+                    fact = self.mapping.extract_one(record)
+                    if fact is not None:
+                        facts.append(fact)
+            self.n_documents += n_documents
+            self.n_records += n_records
+            _M_RECORDS.inc(n_records)
+            _M_FACTS.inc(len(facts))
+            span.set("documents", n_documents)
+            span.set("facts", len(facts))
         return facts
 
     def __repr__(self) -> str:

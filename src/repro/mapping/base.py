@@ -19,6 +19,7 @@ from repro.dwarf.cube import DwarfCube
 from repro.dwarf.node import DwarfNode
 from repro.dwarf.traversal import breadth_first
 from repro.mapping.lookup import LookupTable
+from repro.telemetry import get_tracer
 
 #: Reserved ``key`` text of ALL cells in storage.
 ALL_KEY_TEXT = "__ALL__"
@@ -146,6 +147,15 @@ def transform_cube(
     ``int`` (Table 1-C), which covers SUM/COUNT/MIN/MAX over integer
     measures but not AVG states.
     """
+    with get_tracer().span("mapper.transform", schema=cube.schema.name):
+        return _transform_cube(cube, first_node_id, first_cell_id)
+
+
+def _transform_cube(
+    cube: DwarfCube,
+    first_node_id: int,
+    first_cell_id: int,
+) -> TransformedCube:
     node_table = LookupTable(first_node_id)
     cell_table = LookupTable(first_cell_id)
     nodes: Dict[int, NodeRecord] = {}
@@ -222,6 +232,19 @@ def rebuild_cube(
     Joins nodes and cells on their unique ids (paper §3: "reading the
     records ... and joining them based on their unique ids").
     """
+    with get_tracer().span(
+        "mapper.rebuild", schema=schema.name, nodes=len(nodes), cells=len(cells)
+    ):
+        return _rebuild_cube(schema, nodes, cells, entry_node_id, n_source_tuples)
+
+
+def _rebuild_cube(
+    schema: CubeSchema,
+    nodes: List[NodeRecord],
+    cells: List[CellRecord],
+    entry_node_id: int,
+    n_source_tuples: int,
+) -> DwarfCube:
     from repro.dwarf.builder import _member_key
 
     node_objects: Dict[int, DwarfNode] = {

@@ -40,6 +40,13 @@ from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
 from repro.query import Filter, IndexScan, MultiGet, Plan
+from repro.telemetry import get_registry, get_tracer
+
+_M_STORED_QUERIES = get_registry().counter(
+    "mapper_stored_queries_total",
+    "stored point queries answered, by storage schema",
+    labels=("schema",),
+)
 
 
 def _prepared(mapper, text: str):
@@ -161,7 +168,9 @@ def stored_point_query(
     if strategy is None:
         raise MappingError(f"no stored-query strategy for {type(mapper).__name__}")
     keys = [ALL_KEY_TEXT if c is ALL else encode_member(c) for c in coordinates]
-    return strategy(mapper, schema_id, keys)
+    _M_STORED_QUERIES.labels(mapper.name).inc()
+    with get_tracer().span("stored.point_query", schema=mapper.name):
+        return strategy(mapper, schema_id, keys)
 
 
 # ----------------------------------------------------------------------

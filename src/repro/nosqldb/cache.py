@@ -25,7 +25,25 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import List, NamedTuple, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.telemetry import get_registry
+
+# Live cache metrics (labelled by cache kind) so the warm-query pass and
+# `repro stats` read traffic as it happens instead of re-snapshotting
+# per-table stats tuples.  Children are bound once per cache instance.
+_M_CACHE_HITS = get_registry().counter(
+    "nosqldb_cache_hits_total", "cache hits", labels=("cache",)
+)
+_M_CACHE_MISSES = get_registry().counter(
+    "nosqldb_cache_misses_total", "cache misses", labels=("cache",)
+)
+_M_CACHE_EVICTIONS = get_registry().counter(
+    "nosqldb_cache_evictions_total", "LRU evictions", labels=("cache",)
+)
+_M_CACHE_INVALIDATIONS = get_registry().counter(
+    "nosqldb_cache_invalidations_total", "explicit invalidations", labels=("cache",)
+)
 
 #: Default decoded-block budget per column family (bytes).
 DEFAULT_BLOCK_CACHE_BYTES = 32 * 1024 * 1024
@@ -84,13 +102,23 @@ class CacheStats(NamedTuple):
         requests = self.hits + self.misses
         return self.hits / requests if requests else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe mapping including the derived ``requests``/``hit_rate``."""
+        out: Dict[str, object] = dict(self._asdict())
+        out["requests"] = self.requests
+        out["hit_rate"] = self.hit_rate
+        return out
+
 
 class _LRUBytes:
     """A byte-budgeted LRU map: shared machinery of both caches."""
 
+    KIND = "lru"
+
     __slots__ = (
         "_entries", "_capacity", "_used", "_hits", "_misses", "_evictions",
-        "_invalidations",
+        "_invalidations", "_m_hits", "_m_misses", "_m_evictions",
+        "_m_invalidations",
     )
 
     def __init__(self, capacity_bytes: int) -> None:
@@ -101,6 +129,11 @@ class _LRUBytes:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        kind = self.KIND
+        self._m_hits = _M_CACHE_HITS.labels(kind)
+        self._m_misses = _M_CACHE_MISSES.labels(kind)
+        self._m_evictions = _M_CACHE_EVICTIONS.labels(kind)
+        self._m_invalidations = _M_CACHE_INVALIDATIONS.labels(kind)
 
     @property
     def enabled(self) -> bool:
@@ -110,9 +143,11 @@ class _LRUBytes:
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
+            self._m_misses.inc()
             return default
         self._entries.move_to_end(key)
         self._hits += 1
+        self._m_hits.inc()
         return entry[0]
 
     def peek(self, key, default=None):
@@ -139,16 +174,21 @@ class _LRUBytes:
             _, (_, evicted_bytes) = self._entries.popitem(last=False)
             self._used -= evicted_bytes
             self._evictions += 1
+            self._m_evictions.inc()
 
     def _drop(self, key) -> None:
         entry = self._entries.pop(key, None)
         if entry is not None:
             self._used -= entry[1]
             self._invalidations += 1
+            self._m_invalidations.inc()
 
     def clear(self) -> None:
         """Invalidate everything (counted once per dropped entry)."""
-        self._invalidations += len(self._entries)
+        dropped = len(self._entries)
+        self._invalidations += dropped
+        if dropped:
+            self._m_invalidations.inc(dropped)
         self._entries.clear()
         self._used = 0
 
@@ -176,6 +216,8 @@ class BlockCache(_LRUBytes):
     exists only to release the budget of superseded tables (compaction,
     truncate).
     """
+
+    KIND = "block"
 
     def get(self, table_uid: int, index: int) -> Optional[Tuple[List, List]]:
         return self._get((table_uid, index))
@@ -209,6 +251,8 @@ class RowCache(_LRUBytes):
     — the strict-invalidation rules live in docs/read_path.md and are
     enforced by ``repro.analysis.sstable_check.columnfamily_check``.
     """
+
+    KIND = "row"
 
     def get(self, key):
         """The cached encoded row, :data:`NEGATIVE`, or None (uncached)."""

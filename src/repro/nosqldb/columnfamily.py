@@ -26,6 +26,21 @@ from repro.nosqldb.types import CQLType, SetType
 from repro.storage.btree import BTree
 from repro.storage.encoding import decode_text, encode_text
 from repro.storage.varint import decode_varint, encode_varint
+from repro.telemetry import get_registry, get_tracer
+
+_REGISTRY = get_registry()
+_M_WRITES = _REGISTRY.counter(
+    "nosqldb_writes_total", "rows written (insert/delete paths)", labels=("table",)
+)
+_M_FLUSHES = _REGISTRY.counter(
+    "nosqldb_memtable_flushes_total", "memtables materialised into SSTables"
+)
+_M_FLUSHED_ROWS = _REGISTRY.counter(
+    "nosqldb_flushed_rows_total", "rows written out by memtable flushes"
+)
+_M_COMPACTIONS = _REGISTRY.counter(
+    "nosqldb_compactions_total", "size-tiered compactions run"
+)
 
 #: Memtable flush threshold, bytes.
 FLUSH_THRESHOLD = 8 * 1024 * 1024
@@ -147,6 +162,7 @@ class ColumnFamily:
         self._data_dir = data_dir
         self._generation = 0
         self._n_writes = 0
+        self._m_writes = _M_WRITES.labels(name)
         # Read-path caches (docs/read_path.md); a zero budget disables.
         self._block_cache = BlockCache(
             block_cache_budget() if block_cache_bytes is None else block_cache_bytes
@@ -333,6 +349,7 @@ class ColumnFamily:
         if self._n_live is not None and not was_live:
             self._n_live += 1
         self._n_writes += 1
+        self._m_writes.inc()
         if self._memtable.approximate_bytes >= FLUSH_THRESHOLD:
             self.seal_memtable()
 
@@ -383,6 +400,10 @@ class ColumnFamily:
             if self._memtable.approximate_bytes >= FLUSH_THRESHOLD:
                 self.seal_memtable()
             count += 1
+        if count:
+            # One batched increment keeps the bulk loop free of per-row
+            # metric calls.
+            self._m_writes.inc(count)
         return count
 
     def update(self, key, assignments: Dict[str, object]) -> None:
@@ -445,26 +466,39 @@ class ColumnFamily:
         invalidating; the superseded tables of a compaction release their
         cached blocks via ``delete_file``.
         """
-        for memtable in self._pending:
-            self._sstables.append(
-                SSTable(
-                    memtable.sorted_items(),
-                    compressed=self.compression,
-                    tombstones=memtable.tombstones,
-                    path=self._next_data_path(),
-                    block_cache=self._block_cache,
-                )
-            )
-        self._pending.clear()
+        if self._pending:
+            with get_tracer().span(
+                "nosqldb.flush", table=self.name, memtables=len(self._pending)
+            ) as span:
+                flushed_rows = 0
+                for memtable in self._pending:
+                    flushed_rows += len(memtable)
+                    self._sstables.append(
+                        SSTable(
+                            memtable.sorted_items(),
+                            compressed=self.compression,
+                            tombstones=memtable.tombstones,
+                            path=self._next_data_path(),
+                            block_cache=self._block_cache,
+                        )
+                    )
+                _M_FLUSHES.inc(len(self._pending))
+                _M_FLUSHED_ROWS.inc(flushed_rows)
+                span.set("rows", flushed_rows)
+                self._pending.clear()
         if len(self._sstables) >= COMPACTION_THRESHOLD:
-            self._sstables = [
-                compact(
-                    self._sstables,
-                    compressed=self.compression,
-                    path=self._next_data_path(),
-                    block_cache=self._block_cache,
-                )
-            ]
+            with get_tracer().span(
+                "nosqldb.compaction", table=self.name, inputs=len(self._sstables)
+            ):
+                self._sstables = [
+                    compact(
+                        self._sstables,
+                        compressed=self.compression,
+                        path=self._next_data_path(),
+                        block_cache=self._block_cache,
+                    )
+                ]
+                _M_COMPACTIONS.inc()
 
     def truncate(self) -> None:
         self._memtable = Memtable()

@@ -14,6 +14,15 @@ from typing import Iterator, Tuple
 from repro.storage.btree import encode_key
 from repro.storage.encoding import decode_bytes, decode_text, encode_bytes, encode_text
 from repro.nosqldb.sstable import _decode_key
+from repro.telemetry import get_registry
+
+_REGISTRY = get_registry()
+_M_APPENDS = _REGISTRY.counter(
+    "nosqldb_commitlog_appends_total", "mutations appended to the commit log"
+)
+_M_APPEND_BYTES = _REGISTRY.counter(
+    "nosqldb_commitlog_bytes_total", "serialized bytes appended to the commit log"
+)
 
 #: Per-record header: segment id, position, checksum.
 RECORD_HEADER_BYTES = 12
@@ -30,11 +39,14 @@ class CommitLog:
 
     def append(self, table_name: str, key, encoded_row: bytes) -> None:
         """Record one mutation (called before the memtable write)."""
+        before = len(self._buffer)
         self._buffer += b"\x00" * RECORD_HEADER_BYTES
         self._buffer += encode_text(table_name)
         self._buffer += encode_key(key)
         self._buffer += encode_bytes(encoded_row)
         self._n_records += 1
+        _M_APPENDS.inc()
+        _M_APPEND_BYTES.inc(len(self._buffer) - before)
 
     def records(self) -> Iterator[Tuple[str, object, bytes]]:
         """Decode every logged ``(table, key, encoded_row)`` mutation."""

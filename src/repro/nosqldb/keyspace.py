@@ -7,6 +7,11 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.nosqldb.columnfamily import Column, ColumnFamily
 from repro.nosqldb.commitlog import CommitLog
 from repro.nosqldb.errors import AlreadyExists, InvalidRequest
+from repro.telemetry import get_registry, get_tracer
+
+_M_REPLAYED = get_registry().counter(
+    "nosqldb_commitlog_replayed_total", "mutations re-applied by crash recovery"
+)
 
 
 class Keyspace:
@@ -117,15 +122,18 @@ class Keyspace:
         if self._commit_log is None:
             raise InvalidRequest(f"keyspace {self.name!r} has durable_writes disabled")
         replayed = 0
-        for table_name, key, encoded_row in self._commit_log.records():
-            lowered = table_name.lower()
-            table = self._tables.get(lowered)
-            if table is None:
-                continue
-            table.apply_replayed(key, encoded_row)
-            replayed += 1
-        for table in self._tables.values():
-            table.rebuild_indexes()
+        with get_tracer().span("nosqldb.commitlog.replay", keyspace=self.name) as span:
+            for table_name, key, encoded_row in self._commit_log.records():
+                lowered = table_name.lower()
+                table = self._tables.get(lowered)
+                if table is None:
+                    continue
+                table.apply_replayed(key, encoded_row)
+                replayed += 1
+            for table in self._tables.values():
+                table.rebuild_indexes()
+            span.set("replayed", replayed)
+        _M_REPLAYED.inc(replayed)
         return replayed
 
     def __repr__(self) -> str:

@@ -18,6 +18,15 @@ from repro.nosqldb.cache import BlockCache
 from repro.storage.btree import encode_key
 from repro.storage.encoding import decode_bytes, encode_bytes
 from repro.storage.varint import decode_varint, encode_varint
+from repro.telemetry import get_registry
+
+_REGISTRY = get_registry()
+_M_SSTABLES_WRITTEN = _REGISTRY.counter(
+    "nosqldb_sstables_written_total", "SSTables built (flushes and compactions)"
+)
+_M_SSTABLE_ROWS = _REGISTRY.counter(
+    "nosqldb_sstable_rows_written_total", "rows written into SSTables"
+)
 
 #: Uncompressed block size target, bytes.  Small chunks with zlib level 1
 #: approximate the compression ratio of Cassandra's default LZ4 chunk
@@ -140,6 +149,8 @@ class SSTable:
         self._build(sorted_items)
         if path is not None:
             self._spill_to_disk()
+        _M_SSTABLES_WRITTEN.inc()
+        _M_SSTABLE_ROWS.inc(self._n_rows)
 
     def _spill_to_disk(self) -> None:
         offset = 0

@@ -22,9 +22,20 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.telemetry import get_tracer, wall_clock
+
+_TRACER = get_tracer()
+
 
 class OperatorStats(NamedTuple):
-    """One operator's cumulative execution counters."""
+    """One operator's cumulative execution counters.
+
+    ``seconds`` is cumulative wall time spent in the operator *including
+    its children* (volcano execution is pull-based, so a parent's clock
+    runs while its child produces rows).  It is only accumulated while
+    tracing is enabled (``REPRO_TRACE=1``); otherwise it stays 0.0 and
+    execution pays a single attribute check per operator call.
+    """
 
     node: str
     table: Optional[str]
@@ -34,6 +45,7 @@ class OperatorStats(NamedTuple):
     rows_out: int
     keys_batched: int
     blocks_cached: int
+    seconds: float = 0.0
 
 
 class _Context:
@@ -49,12 +61,13 @@ class PlanNode:
     """Base operator: counters, children, and the EXPLAIN contract."""
 
     kind = "PlanNode"
-    __slots__ = ("calls", "rows_in", "rows_out")
+    __slots__ = ("calls", "rows_in", "rows_out", "seconds")
 
     def __init__(self) -> None:
         self.calls = 0
         self.rows_in = 0
         self.rows_out = 0
+        self.seconds = 0.0
 
     # -- execution ---------------------------------------------------------
     def run(self, params: Sequence = ()) -> List[Dict[str, object]]:
@@ -62,6 +75,16 @@ class PlanNode:
         return self.rows(_Context(params))
 
     def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        """Produce this operator's row stream, timing it when tracing is on."""
+        if not _TRACER.enabled:
+            return self._execute(ctx)
+        t0 = wall_clock()
+        try:
+            return self._execute(ctx)
+        finally:
+            self.seconds += wall_clock() - t0
+
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         raise NotImplementedError
 
     # -- introspection -----------------------------------------------------
@@ -106,6 +129,7 @@ class PlanNode:
                 rows_out=node.rows_out,
                 keys_batched=getattr(node, "keys_batched", 0),
                 blocks_cached=getattr(node, "blocks_cached", 0),
+                seconds=node.seconds,
             )
             for node in self._postorder()
         ]
@@ -115,6 +139,7 @@ class PlanNode:
             node.calls = 0
             node.rows_in = 0
             node.rows_out = 0
+            node.seconds = 0.0
             if hasattr(node, "keys_batched"):
                 node.keys_batched = 0
                 node.blocks_cached = 0
@@ -186,7 +211,7 @@ class PointLookup(_Access):
         self.keys_batched = 0
         self.blocks_cached = 0
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         before = self.cache_probe() if self.cache_probe is not None else 0
         row = self.table.get(self.key(ctx.params))
         if self.cache_probe is not None:
@@ -215,7 +240,7 @@ class MultiGet(_Access):
         self.keys_batched = 0
         self.blocks_cached = 0
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         resolved = list(self.keys(ctx.params))
         self.keys_batched += len(resolved)
         before = self.cache_probe() if self.cache_probe is not None else 0
@@ -246,7 +271,7 @@ class IndexScan(_Access):
         self.value = value
         self.access = access
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         resolved = self.value(ctx.params)
         if self.access == self.PK_PREFIX:
             fetched = self.table.lookup_pk_prefix(resolved)
@@ -267,7 +292,7 @@ class FullScan(_Access):
     def __init__(self, table, table_name: str, wrap=None) -> None:
         super().__init__(table, table_name, None, wrap)
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         return self._emit(list(self.table.scan()))
 
     def detail(self) -> str:
@@ -308,7 +333,7 @@ class Filter(_Transform):
         super().__init__(child, detail)
         self.predicate = predicate
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         incoming = self.child.rows(ctx)
         predicate, params = self.predicate, ctx.params
         kept = [row for row in incoming if predicate(row, params)]
@@ -326,7 +351,7 @@ class Project(_Transform):
         super().__init__(child, detail)
         self.projector = projector
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         incoming = self.child.rows(ctx)
         projector = self.projector
         out = [projector(row) for row in incoming]
@@ -365,7 +390,7 @@ class HashJoin(_Transform):
     def key_desc(self) -> Optional[str]:
         return self._key_desc
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         incoming = self.child.rows(ctx)
         probe = self.probe_factory()
         key_of, merge = self.key_of, self.merge
@@ -395,7 +420,7 @@ class Aggregate(_Transform):
         super().__init__(child, detail)
         self.fold = fold
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         incoming = self.child.rows(ctx)
         out = self.fold(incoming, ctx.params)
         self._account(len(incoming), len(out))
@@ -413,7 +438,7 @@ class Sort(_Transform):
         self.key = key
         self.descending = descending
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         incoming = self.child.rows(ctx)
         out = sorted(incoming, key=self.key, reverse=self.descending)
         self._account(len(incoming), len(out))
@@ -433,7 +458,7 @@ class Limit(_Transform):
         super().__init__(child, str(count))
         self.count = count
 
-    def rows(self, ctx: _Context) -> List[Dict[str, object]]:
+    def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         incoming = self.child.rows(ctx)
         out = incoming[: self.count]
         self._account(len(incoming), len(out))

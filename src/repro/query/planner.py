@@ -31,6 +31,17 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, NamedTuple, Optional, Sequence, Tuple
 
+from repro.telemetry import get_registry
+
+# Live plan-cache traffic, summed across every session's cache
+# (per-session breakdowns stay available via PlanCache.stats()).
+_REGISTRY = get_registry()
+_M_PLAN_HITS = _REGISTRY.counter("query_plan_cache_hits_total", "plan-cache hits")
+_M_PLAN_MISSES = _REGISTRY.counter("query_plan_cache_misses_total", "plan-cache misses")
+_M_PLAN_INVALIDATIONS = _REGISTRY.counter(
+    "query_plan_cache_invalidations_total", "cached plans evicted by failed guards"
+)
+
 #: Access-path names :func:`choose_access` can return.
 ACCESS_POINT = "point"
 ACCESS_MULTIGET = "multiget"
@@ -133,6 +144,7 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            _M_PLAN_MISSES.inc()
             return None
         guards = getattr(entry, "guards", ())
         try:
@@ -143,9 +155,12 @@ class PlanCache:
             del self._entries[key]
             self.invalidations += 1
             self.misses += 1
+            _M_PLAN_INVALIDATIONS.inc()
+            _M_PLAN_MISSES.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        _M_PLAN_HITS.inc()
         return entry
 
     def put(self, key, plan) -> None:
@@ -157,6 +172,10 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def entries(self):
+        """Snapshot of cached ``(key, plan)`` pairs, LRU-first order."""
+        return list(self._entries.items())
 
     def stats(self) -> PlanCacheStats:
         return PlanCacheStats(

@@ -27,6 +27,19 @@ from repro.storage.encoding import (
     encode_text,
 )
 from repro.storage.varint import encode_varint
+from repro.telemetry import get_registry
+
+_REGISTRY = get_registry()
+_M_SPLITS = _REGISTRY.counter(
+    "btree_page_splits_total", "B-tree page splits", labels=("kind",)
+)
+_M_PAGES = _REGISTRY.counter(
+    "btree_pages_allocated_total", "B-tree pages allocated", labels=("kind",)
+)
+_M_SPLITS_LEAF = _M_SPLITS.labels("leaf")
+_M_SPLITS_INTERNAL = _M_SPLITS.labels("internal")
+_M_PAGES_LEAF = _M_PAGES.labels("leaf")
+_M_PAGES_INTERNAL = _M_PAGES.labels("internal")
 
 #: Maximum entries per page before a split (both leaf and internal).
 DEFAULT_PAGE_CAPACITY = 64
@@ -136,6 +149,7 @@ class BTree:
         self._n_entries = 0
         self._n_leaves = 1
         self._n_internal = 0
+        _M_PAGES_LEAF.inc()
 
     # ------------------------------------------------------------------
     # mutation
@@ -150,6 +164,7 @@ class BTree:
             new_root.children = [self._root, right]
             self._root = new_root
             self._n_internal += 1
+            _M_PAGES_INTERNAL.inc()
 
     def _insert(self, node, key, value):
         if isinstance(node, _Leaf):
@@ -193,6 +208,8 @@ class BTree:
         leaf.dirty = True
         right.dirty = True
         self._n_leaves += 1
+        _M_SPLITS_LEAF.inc()
+        _M_PAGES_LEAF.inc()
         return right.keys[0], right
 
     def _split_internal(self, node: _Internal) -> Tuple[object, _Internal]:
@@ -204,6 +221,8 @@ class BTree:
         node.keys = node.keys[:middle]
         node.children = node.children[:middle + 1]
         self._n_internal += 1
+        _M_SPLITS_INTERNAL.inc()
+        _M_PAGES_INTERNAL.inc()
         return separator, right
 
     def delete(self, key) -> bool:

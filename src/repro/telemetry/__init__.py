@@ -1,0 +1,81 @@
+"""Process-wide telemetry: metrics registry, hierarchical tracer, slow-op log.
+
+This package is a stdlib-only leaf: it imports nothing from the rest of
+``repro``, so every layer (storage, engines, kernel, mappers, ETL) may
+report into it without violating the layering rules (REPRO005/REPRO006).
+
+Gating
+------
+Two env vars control runtime cost (see :mod:`repro.telemetry.metrics` /
+:mod:`repro.telemetry.trace`):
+
+``REPRO_METRICS``
+    Enables counter/gauge/histogram recording.  Disabled (the default),
+    every ``inc``/``set``/``observe`` is a single attribute check.
+``REPRO_TRACE``
+    Enables span recording (and the slow-op log).  Disabled,
+    ``tracer.span(...)`` returns a shared no-op context manager.
+``REPRO_SLOW_MS``
+    Wall-time threshold (milliseconds) above which a finished span is
+    also recorded in the slow-op log.  Default 100.
+
+Both gates can be flipped at runtime with :func:`enable_metrics` /
+:func:`enable_tracing` (used by ``repro stats`` and the tests); the
+singletons returned by :func:`get_registry` / :func:`get_tracer` are
+mutated in place, never replaced, so references cached at import time in
+hot paths stay valid.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enable_metrics,
+    get_registry,
+)
+from repro.telemetry.trace import (
+    Span,
+    Tracer,
+    enable_tracing,
+    get_tracer,
+)
+from repro.telemetry.export import (
+    from_json,
+    from_prometheus,
+    render_metrics_table,
+    render_span_tree,
+    snapshot,
+    to_json,
+    to_prometheus,
+)
+
+#: The one sanctioned monotonic clock.  Instrumented code outside this
+#: package must use ``wall_clock()`` instead of ``time.perf_counter()``
+#: directly (lint rule REPRO007 enforces this).
+wall_clock = time.perf_counter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "enable_metrics",
+    "enable_tracing",
+    "from_json",
+    "from_prometheus",
+    "get_registry",
+    "get_tracer",
+    "render_metrics_table",
+    "render_span_tree",
+    "snapshot",
+    "to_json",
+    "to_prometheus",
+    "wall_clock",
+]

@@ -1,0 +1,320 @@
+"""Snapshot assembly and exporters (JSON, Prometheus text, terminal render).
+
+A *snapshot* is a plain dict: ``{"metrics": [...], "spans": [...],
+"slow_ops": [...]}``.  ``to_json``/``from_json`` round-trip the whole
+snapshot; ``to_prometheus``/``from_prometheus`` round-trip the metrics
+section only (spans have no Prometheus representation).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramChild,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import Tracer
+
+
+# ---------------------------------------------------------------------------
+# snapshot
+# ---------------------------------------------------------------------------
+def snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, Any]:
+    """Freeze the current telemetry state into a JSON-safe dict.
+
+    Families with no recorded samples are skipped so a snapshot taken
+    with telemetry disabled is compact (metric *registration* happens at
+    import time regardless of gating).
+    """
+    out: Dict[str, Any] = {"metrics": [], "spans": [], "slow_ops": []}
+    if registry is not None:
+        for family in registry.families():
+            samples: List[Dict[str, Any]] = []
+            for child in family.children():
+                labels = dict(zip(family.label_names, child.labels))
+                if isinstance(child, HistogramChild):
+                    if child.count == 0:
+                        continue
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": {
+                                str(b): c
+                                for b, c in zip(child.buckets, child.counts)
+                            },
+                            "inf": child.counts[-1],
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    if child.value == 0.0:
+                        continue
+                    samples.append({"labels": labels, "value": child.value})
+            if samples:
+                out["metrics"].append(
+                    {
+                        "name": family.name,
+                        "type": family.kind,
+                        "help": family.help,
+                        "labels": list(family.label_names),
+                        "samples": samples,
+                    }
+                )
+    if tracer is not None:
+        out["spans"] = tracer.merged()
+        out["slow_ops"] = list(tracer.slow_ops)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+def to_json(snap: Dict[str, Any], indent: int = 2) -> str:
+    return json.dumps(snap, indent=indent, sort_keys=False)
+
+
+def from_json(text: str) -> Dict[str, Any]:
+    snap = json.loads(text)
+    for key in ("metrics", "spans", "slow_ops"):
+        snap.setdefault(key, [])
+    return snap
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+def _fmt_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (
+            k,
+            str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
+        for k, v in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(snap: Dict[str, Any]) -> str:
+    """Render the metrics section in the Prometheus text format."""
+    lines: List[str] = []
+    for family in snap.get("metrics", []):
+        name = family["name"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if family["type"] == "histogram":
+                cumulative = 0
+                for bound, count in sample["buckets"].items():
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(labels, {'le': bound})} {cumulative}"
+                    )
+                cumulative += sample.get("inf", 0)
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(labels, {'le': '+Inf'})} {cumulative}"
+                )
+                lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(sample['sum'])}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_fmt_labels(labels)} {_fmt_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"malformed label set {text!r}"
+        j = eq + 2
+        value_chars = []
+        while text[j] != '"':
+            ch = text[j]
+            if ch == "\\":
+                j += 1
+                ch = {"n": "\n"}.get(text[j], text[j])
+            value_chars.append(ch)
+            j += 1
+        labels[key] = "".join(value_chars)
+        i = j + 1
+    return labels
+
+
+def _split_sample_line(line: str):
+    if "{" in line:
+        name = line[: line.index("{")]
+        rest = line[line.index("{") + 1 :]
+        label_text, _, value_text = rest.rpartition("}")
+        labels = _parse_labels(label_text)
+    else:
+        name, _, value_text = line.partition(" ")
+        labels = {}
+    return name, labels, float(value_text.strip())
+
+
+def from_prometheus(text: str) -> List[Dict[str, Any]]:
+    """Parse Prometheus text back into the snapshot's ``metrics`` list.
+
+    Inverse of :func:`to_prometheus` for output produced by it (it is
+    not a general scrape parser): ``from_prometheus(to_prometheus(s))``
+    equals ``s["metrics"]``.
+    """
+    families: List[Dict[str, Any]] = []
+    by_name: Dict[str, Dict[str, Any]] = {}
+    helps: Dict[str, str] = {}
+    hist_samples: Dict[str, Dict[tuple, Dict[str, Any]]] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            family = {
+                "name": name,
+                "type": kind.strip(),
+                "help": helps.get(name, ""),
+                "labels": [],
+                "samples": [],
+            }
+            families.append(family)
+            by_name[name] = family
+            if kind.strip() == "histogram":
+                hist_samples[name] = {}
+            continue
+        if line.startswith("#"):
+            continue
+
+        sample_name, labels, value = _split_sample_line(line)
+        # Histogram series carry _bucket/_sum/_count suffixes.
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if candidate in hist_samples:
+                base = candidate
+                break
+        if base is not None:
+            bare = {k: v for k, v in labels.items() if k != "le"}
+            key = tuple(sorted(bare.items()))
+            cell = hist_samples[base].setdefault(
+                key, {"labels": bare, "buckets": {}, "inf": 0, "sum": 0.0, "count": 0}
+            )
+            if sample_name.endswith("_bucket"):
+                cell["buckets"][labels["le"]] = int(value)
+            elif sample_name.endswith("_sum"):
+                cell["sum"] = value
+            else:
+                cell["count"] = int(value)
+            continue
+
+        family = by_name.get(sample_name)
+        if family is None:
+            family = {
+                "name": sample_name,
+                "type": "untyped",
+                "help": "",
+                "labels": [],
+                "samples": [],
+            }
+            families.append(family)
+            by_name[sample_name] = family
+        family["samples"].append({"labels": labels, "value": value})
+        if labels and not family["labels"]:
+            family["labels"] = list(labels)
+
+    # De-cumulate histogram buckets and strip the +Inf series back out.
+    for name, cells in hist_samples.items():
+        family = by_name[name]
+        for cell in cells.values():
+            inf_cumulative = cell["buckets"].pop("+Inf", cell["count"])
+            bounds = sorted(cell["buckets"], key=float)
+            previous = 0
+            decumulated = {}
+            for bound in bounds:
+                decumulated[bound] = cell["buckets"][bound] - previous
+                previous = cell["buckets"][bound]
+            cell["inf"] = inf_cumulative - previous
+            cell["buckets"] = decumulated
+            family["samples"].append(cell)
+            if cell["labels"] and not family["labels"]:
+                family["labels"] = list(cell["labels"])
+    return families
+
+
+# ---------------------------------------------------------------------------
+# terminal rendering
+# ---------------------------------------------------------------------------
+def render_metrics_table(snap: Dict[str, Any]) -> str:
+    """Fixed-width table of every non-zero metric sample."""
+    rows: List[tuple] = []
+    for family in snap.get("metrics", []):
+        for sample in family["samples"]:
+            label_text = ",".join(f"{k}={v}" for k, v in sample.get("labels", {}).items())
+            if family["type"] == "histogram":
+                mean = sample["sum"] / sample["count"] if sample["count"] else 0.0
+                value = f"count={sample['count']} mean={mean * 1000:.3f}ms"
+            else:
+                value = _fmt_value(sample["value"])
+            rows.append((family["name"], label_text, value))
+    if not rows:
+        return "(no metrics recorded)"
+    name_w = max(len(r[0]) for r in rows)
+    label_w = max(len(r[1]) for r in rows)
+    lines = [
+        f"{name:<{name_w}}  {labels:<{label_w}}  {value}"
+        for name, labels, value in rows
+    ]
+    return "\n".join(lines)
+
+
+def render_span_tree(spans: List[Dict[str, Any]], indent: int = 0) -> str:
+    """ASCII tree of a merged span forest (see :meth:`Tracer.merged`)."""
+    if not spans and indent == 0:
+        return "(no spans recorded)"
+    lines: List[str] = []
+    for node in spans:
+        lines.append(
+            "%s%s  count=%d wall=%.3fms cpu=%.3fms"
+            % (
+                "  " * indent,
+                node["name"],
+                node["count"],
+                node["wall_s"] * 1000.0,
+                node["cpu_s"] * 1000.0,
+            )
+        )
+        children = node.get("children") or []
+        if children:
+            lines.append(render_span_tree(children, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Labelled counters, gauges and fixed-bucket histograms.
+
+The design follows the Prometheus client-library model: a metric is a
+named family; ``metric.labels(v1, v2)`` returns a *child* bound to one
+label combination, and children are cached so hot paths can bind them
+once at construction time and pay only an attribute check per event
+when metrics are disabled.
+
+Registration is idempotent: asking the registry for an existing name
+returns the existing family (the declared type and label names must
+match, otherwise ``ValueError``).  This lets every module declare its
+metrics at import time against the process-wide singleton without
+coordination.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+_DISABLED = ("", "0", "false", "no", "off")
+
+#: Default histogram bucket upper bounds, in seconds.  Chosen to cover
+#: everything from a cached point read (~100 us) to a full SMonth build.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+
+def _env_enabled(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in _DISABLED
+
+
+class _Child:
+    """One (metric, label-values) pair.  Base for counter/gauge children."""
+
+    __slots__ = ("_registry", "labels", "value")
+
+    def __init__(self, registry: "MetricsRegistry", labels: Tuple[str, ...]) -> None:
+        self._registry = registry
+        self.labels = labels
+        self.value = 0.0
+
+
+class CounterChild(_Child):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class GaugeChild(_Child):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class HistogramChild:
+    __slots__ = ("_registry", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        labels: Tuple[str, ...],
+        buckets: Tuple[float, ...],
+    ) -> None:
+        self._registry = registry
+        self.labels = labels
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # trailing slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class _Family:
+    """A named metric family holding one child per label combination."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._children: Dict[Tuple[str, ...], object] = {}
+        # Label-less families get a single default child so call sites
+        # can write ``metric.inc()`` without a ``labels()`` hop.
+        self._default = self._make_child(()) if not label_names else None
+
+    def _make_child(self, values: Tuple[str, ...]):
+        raise NotImplementedError
+
+    def labels(self, *values: str):
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {len(key)} value(s)"
+            )
+        if self._default is not None:
+            return self._default
+        child = self._children.get(key)
+        if child is None:
+            with self._registry._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child(key)
+                    self._children[key] = child
+        return child
+
+    def children(self) -> List[object]:
+        if self._default is not None:
+            return [self._default]
+        return list(self._children.values())
+
+    def reset(self) -> None:
+        # Zero children in place: hot paths cache bound children at
+        # construction time and must keep recording after a reset.
+        for child in self.children():
+            if isinstance(child, HistogramChild):
+                child.counts = [0] * (len(child.buckets) + 1)
+                child.sum = 0.0
+                child.count = 0
+            else:
+                child.value = 0.0  # type: ignore[attr-defined]
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def _make_child(self, values: Tuple[str, ...]) -> CounterChild:
+        return CounterChild(self._registry, values)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for child in self.children())  # type: ignore[attr-defined]
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def _make_child(self, values: Tuple[str, ...]) -> GaugeChild:
+        return GaugeChild(self._registry, values)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)  # type: ignore[union-attr]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for child in self.children())  # type: ignore[attr-defined]
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, label_names, buckets=DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        super().__init__(registry, name, help, label_names)
+
+    def _make_child(self, values: Tuple[str, ...]) -> HistogramChild:
+        return HistogramChild(self._registry, values, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)  # type: ignore[union-attr]
+
+
+class MetricsRegistry:
+    """Process-wide collection of metric families.
+
+    ``enabled`` is the single gate every child checks on the hot path;
+    registration/snapshot take ``_lock`` but recording does not (CPython
+    attribute stores are atomic enough for monotonic counters, and the
+    registry is explicitly best-effort under free-threading).
+    """
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled = _env_enabled("REPRO_METRICS") if enabled is None else enabled
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- registration ---------------------------------------------------
+    def _register(self, cls, name: str, help: str, labels: Sequence[str], **kw):
+        label_names = tuple(labels)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            family = cls(self, name, help, label_names, **kw)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labels, buckets=tuple(buckets))
+
+    # -- inspection -----------------------------------------------------
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    def value(self, name: str, *labels: str) -> float:
+        """Current value of a counter/gauge child (0.0 when never touched)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        if labels:
+            child = family._children.get(tuple(str(v) for v in labels))
+            return child.value if child is not None else 0.0  # type: ignore[attr-defined]
+        return family.value  # type: ignore[attr-defined,union-attr]
+
+    def reset(self) -> None:
+        """Zero every family, keeping registrations (cached references stay valid)."""
+        with self._lock:
+            for family in self._families.values():
+                family.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry singleton (mutated in place, never swapped)."""
+    return _REGISTRY
+
+
+def enable_metrics(on: bool = True) -> None:
+    _REGISTRY.enabled = bool(on)

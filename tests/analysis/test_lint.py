@@ -143,3 +143,43 @@ class TestRules:
         from repro.query import Plan, PlanCache
         """
         assert lint_source(tmp_path, "sqldb/mod.py", engine_side).ok
+        # telemetry is a stdlib-only leaf, importable even from the kernel.
+        telemetry = """
+        from repro.telemetry import get_registry, get_tracer
+        from repro.telemetry.metrics import Counter
+        """
+        assert lint_source(tmp_path, "repro/query/mod.py", telemetry).ok
+
+    def test_repro007_raw_clock(self, tmp_path):
+        bad = """
+        import time
+        from time import perf_counter
+
+        def measure(fn):
+            started = time.perf_counter()
+            fn()
+            other = perf_counter()
+            return other - started
+        """
+        report = lint_source(tmp_path, "dwarf/mod.py", bad)
+        assert rules_of(report) == {"REPRO007"}
+        assert len(report.violations) == 2
+        # The telemetry package and the shared benchmark helpers own the clock.
+        assert lint_source(tmp_path, "repro/telemetry/mod.py", bad).ok
+        assert lint_source(tmp_path, "benchmarks/_timing.py", bad).ok
+        # The sanctioned alias does not trip the rule.
+        good = """
+        from repro.telemetry import wall_clock
+
+        def measure(fn):
+            started = wall_clock()
+            fn()
+            return wall_clock() - started
+        """
+        assert lint_source(tmp_path, "dwarf/mod.py", good).ok
+
+    def test_default_roots_cover_benchmarks(self):
+        from repro.analysis.lint import default_roots
+
+        names = {root.name for root in default_roots()}
+        assert "repro" in names and "benchmarks" in names

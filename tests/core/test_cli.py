@@ -4,7 +4,20 @@ import os
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def telemetry_restored():
+    """Restore the global telemetry switches after CLI commands flip them."""
+    from repro.telemetry import get_registry, get_tracer
+
+    reg, trc = get_registry(), get_tracer()
+    was = (reg.enabled, trc.enabled)
+    yield
+    reg.enabled, trc.enabled = was
+    reg.reset()
+    trc.reset()
 
 
 class TestGenerate:
@@ -69,6 +82,80 @@ class TestBench:
     def test_unknown_schema(self, capsys):
         assert main(["bench", "--schemas", "Mongo"]) == 2
         assert "unknown schema" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_text_report_covers_every_layer(self, capsys, monkeypatch,
+                                            telemetry_restored):
+        monkeypatch.setenv("REPRO_SCALE", "0.002")
+        code = main(["stats", "--dataset", "day"])  # case-insensitive name
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("etl.extract", "dwarf.build", "mapper.store",
+                       "stored.point_query", "answers agree",
+                       "nosqldb_writes_total", "PointLookup"):
+            assert marker in out, marker
+
+    def test_json_round_trips(self, capsys, monkeypatch, telemetry_restored):
+        from repro.telemetry import from_json
+
+        monkeypatch.setenv("REPRO_SCALE", "0.002")
+        assert main(["stats", "--dataset", "Day", "--format", "json"]) == 0
+        snap = from_json(capsys.readouterr().out)
+        assert snap["spans"] and snap["metrics"]
+
+    def test_prom_format_and_out_file(self, tmp_path, monkeypatch,
+                                      telemetry_restored):
+        from repro.telemetry import from_prometheus
+
+        monkeypatch.setenv("REPRO_SCALE", "0.002")
+        out = tmp_path / "metrics.prom"
+        code = main(["stats", "--dataset", "Day", "--format", "prom",
+                     "--out", str(out)])
+        assert code == 0
+        metrics = from_prometheus(out.read_text())
+        assert any(m["name"] == "dwarf_builds_total" for m in metrics)
+
+    def test_unknown_dataset(self, capsys, telemetry_restored):
+        assert main(["stats", "--dataset", "Year"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestHelpSync:
+    """Every subcommand's --help exits 0 and lists its parser's options."""
+
+    def subcommand_parsers(self):
+        parser = build_parser()
+        actions = [
+            a for a in parser._actions
+            if hasattr(a, "choices") and isinstance(a.choices, dict)
+        ]
+        assert actions, "no subparsers registered"
+        return actions[0].choices
+
+    def test_every_subcommand_registered(self):
+        assert set(self.subcommand_parsers()) == {
+            "generate", "pipeline", "bench", "check", "stats"
+        }
+
+    @pytest.mark.parametrize(
+        "command", ["generate", "pipeline", "bench", "check", "stats"]
+    )
+    def test_help_exits_zero_and_lists_options(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        subparser = self.subcommand_parsers()[command]
+        for action in subparser._actions:
+            for option in action.option_strings:
+                assert option in help_text, (command, option)
+
+    def test_every_subcommand_has_a_handler(self):
+        import repro.cli as cli
+
+        for command in self.subcommand_parsers():
+            assert hasattr(cli, f"_cmd_{command}")
 
 
 def test_requires_command():

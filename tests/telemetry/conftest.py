@@ -1,0 +1,45 @@
+"""Shared fixtures: fresh, private telemetry objects plus a guarded
+switch for the process-wide singletons (restored after every test so
+ordering never leaks an enabled tracer into unrelated suites)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import get_registry, get_tracer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    """A private, enabled registry (no global state touched)."""
+    return MetricsRegistry(enabled=True)
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    """A private, enabled tracer (no global state touched)."""
+    return Tracer(enabled=True)
+
+
+@pytest.fixture
+def live_telemetry():
+    """Enable the process-wide singletons for one test, then restore.
+
+    Yields ``(registry, tracer)`` — the same objects every instrumented
+    module holds a reference to, reset to a clean slate on entry.
+    """
+    reg, trc = get_registry(), get_tracer()
+    was_metrics, was_trace = reg.enabled, trc.enabled
+    reg.enabled = True
+    trc.enabled = True
+    reg.reset()
+    trc.reset()
+    try:
+        yield reg, trc
+    finally:
+        reg.enabled = was_metrics
+        trc.enabled = was_trace
+        reg.reset()
+        trc.reset()

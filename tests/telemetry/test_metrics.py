@@ -1,0 +1,100 @@
+"""The metrics registry: families, children, gating, reset semantics."""
+
+import pytest
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("ops_total", "operations")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert registry.value("ops_total") == 3.5
+
+    def test_labelled_children(self, registry):
+        c = registry.counter("reads_total", labels=("table",))
+        c.labels("a").inc(2)
+        c.labels("b").inc(3)
+        assert registry.value("reads_total", "a") == 2
+        assert registry.value("reads_total", "b") == 3
+        assert c.value == 5  # family value sums children
+
+    def test_child_identity_cached(self, registry):
+        c = registry.counter("hits_total", labels=("kind",))
+        assert c.labels("x") is c.labels("x")
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("ops_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_disabled_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("ops_total")
+        c.inc(100)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+
+
+class TestHistogram:
+    def test_observe_buckets(self, registry):
+        h = registry.histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        child = h.labels()
+        assert child.count == 4
+        assert child.sum == pytest.approx(5.555)
+        # one slot per bucket plus the +Inf tail
+        assert len(child.counts) == 4
+        assert child.counts == [1, 1, 1, 1]
+
+    def test_default_buckets_sorted(self, registry):
+        h = registry.histogram("t_seconds")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_registration_idempotent(self, registry):
+        a = registry.counter("x_total", labels=("k",))
+        b = registry.counter("x_total", labels=("k",))
+        assert a is b
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("b",))
+
+    def test_missing_metric_value_is_zero(self, registry):
+        assert registry.value("nope_total") == 0.0
+        assert registry.value("nope_total", "label") == 0.0
+
+    def test_families_sorted_by_name(self, registry):
+        registry.counter("z_total")
+        registry.counter("a_total")
+        assert [f.name for f in registry.families()] == ["a_total", "z_total"]
+
+    def test_reset_keeps_cached_children_recording(self, registry):
+        c = registry.counter("w_total", labels=("t",))
+        child = c.labels("x")
+        child.inc(7)
+        registry.reset()
+        assert registry.value("w_total", "x") == 0.0
+        # the reference bound before reset() keeps recording — hot paths
+        # cache children at import time and must never go stale
+        child.inc(2)
+        assert registry.value("w_total", "x") == 2.0
