@@ -1,0 +1,271 @@
+"""Ablation — row-major vs. columnar SSTable blocks (docs/columnar_blocks.md).
+
+The columnar layout exists for exactly one workload: filtered queries
+against a *stored* cube, where a pushed-down predicate probes a couple
+of columns of wide cell rows.  This bench measures that workload both
+ways — ``stored_select(..., strategy="scan")`` over NoSQL-DWARF built
+with ``block_format="row"`` and ``"columnar"`` — cold (empty block
+cache, every block decompressed) and warm (decoded blocks cached), and
+records the zone-map skip and dictionary counters that explain the gap.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_blockformat.py          # Month
+    PYTHONPATH=src python benchmarks/bench_ablation_blockformat.py --quick  # CI smoke
+
+Both modes use the Month dataset (the CI job asserts nonzero zone-map
+skips at Month scale); ``--quick`` trims the query list and repeats.
+Every pass asserts its answers equal the in-memory
+:func:`repro.dwarf.query.select`, and a cross-format sweep asserts
+byte-identical ``stored_point_query`` answers on all four schemas.
+Emits machine-readable JSON (``--out``, default
+``BENCH_columnar_blocks.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from contextlib import contextmanager
+from typing import Dict, List
+
+from repro.bench.datasets import current_scale, load_dataset
+from repro.dwarf.cell import ALL
+from repro.dwarf.query import Each, In, Member, select
+from repro.mapping.registry import MAPPER_FACTORIES, make_mapper
+from repro.mapping.stored_query import stored_point_query, stored_select
+
+try:
+    from benchmarks._timing import gc_paused, telemetry_snapshot, timed
+except ImportError:  # standalone `python benchmarks/bench_*.py`: script dir on path
+    from _timing import gc_paused, telemetry_snapshot, timed
+
+SCHEMAS = list(MAPPER_FACTORIES)
+FORMATS = ("row", "columnar")
+N_SELECTS = 10
+N_POINT_QUERIES = 20
+
+
+@contextmanager
+def _format_env(block_format: str):
+    """Pin ``REPRO_BLOCK_FORMAT`` (read at table-creation time)."""
+    saved = os.environ.get("REPRO_BLOCK_FORMAT")
+    os.environ["REPRO_BLOCK_FORMAT"] = block_format
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_BLOCK_FORMAT", None)
+        else:
+            os.environ["REPRO_BLOCK_FORMAT"] = saved
+
+
+def _flush_all(mapper) -> None:
+    """Materialise every column family so queries hit real SSTables."""
+    if hasattr(mapper, "keyspace_name"):
+        for table in mapper.engine.keyspace(mapper.keyspace_name).tables:
+            table.flush()
+
+
+def _select_specs(cube, count: int) -> List[Dict]:
+    """A deterministic mix of filtered selects: point members, IN lists,
+    member+member, and a grouped (``Each``) shape that exercises the
+    unkeyed ``cube_scan`` plan alongside the keyed ``cube_scan_keys``."""
+    stations = cube.members("station")
+    days = cube.members("day")
+    specs: List[Dict] = []
+    for index in range(count):
+        station = stations[index % len(stations)]
+        day = days[index % len(days)]
+        if index % 4 == 0:
+            specs.append({"station": Member(station)})
+        elif index % 4 == 1:
+            picks = [stations[(index + j) % len(stations)] for j in range(3)]
+            specs.append({"station": In(picks), "day": Member(day)})
+        elif index % 4 == 2:
+            specs.append({"station": Member(station), "day": Member(day)})
+        else:
+            specs.append({"station": Member(station), "day": Each()})
+    return specs
+
+
+def _storage_stats(mapper) -> Dict[str, object]:
+    """The dwarf_cell family's block-format counters (the scanned table)."""
+    stats = mapper.engine.keyspace(mapper.keyspace_name).table("dwarf_cell").stats()
+    return {
+        "block_format": stats.block_format,
+        "sstables": stats.sstables,
+        "columnar_blocks": stats.columnar_blocks,
+        "blocks_skipped": stats.blocks_skipped,
+        "dict_hit_ratio": round(stats.dict_hit_ratio, 4),
+    }
+
+
+def _timed_pass(mapper, schema_id, specs, strategy):
+    with gc_paused():
+        return timed(
+            lambda: [
+                list(stored_select(mapper, schema_id, strategy=strategy, **spec))
+                for spec in specs
+            ],
+            label=f"bench.blockformat.{strategy}_pass",
+        )
+
+
+def bench_filtered_selects(bundle, specs, expected, repeats: int) -> Dict:
+    """The headline: filtered ``stored_select`` per block format.
+
+    ``scan`` strategy cold and warm (best-of ``repeats``); one ``walk``
+    pass per format confirms the point-read path agrees too.  Cold
+    passes start with an empty block cache — the row-major pass decodes
+    every block row-wise, the columnar pass skips zone-refuted blocks
+    and late-materializes the survivors.
+    """
+    results: Dict[str, Dict] = {}
+    for block_format in FORMATS:
+        with _format_env(block_format):
+            mapper = make_mapper("NoSQL-DWARF")
+        schema_id = mapper.store(bundle.cube, probe_size=False)
+        _flush_all(mapper)
+        before = _storage_stats(mapper)
+        cold_answers, cold_s = _timed_pass(mapper, schema_id, specs, "scan")
+        after_cold = _storage_stats(mapper)
+        warm_best = float("inf")
+        warm_answers = None
+        for _ in range(repeats):
+            warm_answers, elapsed = _timed_pass(mapper, schema_id, specs, "scan")
+            warm_best = min(warm_best, elapsed)
+        walk_answers, walk_s = _timed_pass(mapper, schema_id, specs, "walk")
+        results[block_format] = {
+            "cold_s": cold_s,
+            "warm_s": warm_best,
+            "walk_s": walk_s,
+            "answers_identical": (
+                cold_answers == expected
+                and warm_answers == expected
+                and walk_answers == expected
+            ),
+            "cold_pass_blocks_skipped": (
+                after_cold["blocks_skipped"] - before["blocks_skipped"]
+            ),
+            "storage": _storage_stats(mapper),
+        }
+    row, col = results["row"], results["columnar"]
+    results["columnar"]["cold_speedup_vs_row"] = row["cold_s"] / col["cold_s"]
+    results["columnar"]["warm_speedup_vs_row"] = row["warm_s"] / col["warm_s"]
+    return results
+
+
+def _point_vectors(cube, count: int) -> List[List]:
+    stations = cube.members("station")
+    days = cube.members("day")
+    vectors = []
+    for index in range(count):
+        vector = [ALL] * cube.schema.n_dimensions
+        vector[cube.schema.dimension_index("station")] = stations[index % len(stations)]
+        if index % 2:
+            vector[cube.schema.dimension_index("day")] = days[index % len(days)]
+        vectors.append(vector)
+    return vectors
+
+
+def bench_format_identity(bundle, vectors) -> Dict[str, Dict]:
+    """Every schema, both formats: ``stored_point_query`` answers must be
+    identical across formats and equal to the in-memory cube."""
+    expected = [bundle.cube.value(v) for v in vectors]
+    per_schema: Dict[str, Dict] = {}
+    for name in SCHEMAS:
+        answers = {}
+        for block_format in FORMATS:
+            with _format_env(block_format):
+                mapper = make_mapper(name)
+            schema_id = mapper.store(bundle.cube, probe_size=False)
+            _flush_all(mapper)
+            answers[block_format] = [
+                stored_point_query(mapper, schema_id, v) for v in vectors
+            ]
+        per_schema[name] = {
+            "formats_agree": answers["row"] == answers["columnar"],
+            "matches_cube": answers["columnar"] == expected,
+        }
+    return per_schema
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="Month", help="dataset name (default Month)")
+    parser.add_argument("--selects", type=int, default=N_SELECTS, help="filtered selects per pass")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of warm repeats")
+    parser.add_argument("--out", default="BENCH_columnar_blocks.json", help="JSON output path")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer selects, single warm repeat (still Month "
+             "scale — the zone-skip assertion needs real block counts)",
+    )
+    args = parser.parse_args(argv)
+
+    n_selects = 4 if args.quick else args.selects
+    repeats = 1 if args.quick else args.repeats
+    n_points = 8 if args.quick else N_POINT_QUERIES
+
+    bundle = load_dataset(args.dataset)
+    specs = _select_specs(bundle.cube, n_selects)
+    expected = [list(select(bundle.cube, **spec)) for spec in specs]
+
+    ablation = bench_filtered_selects(bundle, specs, expected, repeats)
+    identity = bench_format_identity(bundle, _point_vectors(bundle.cube, n_points))
+
+    identical = all(
+        ablation[block_format]["answers_identical"] for block_format in FORMATS
+    ) and all(
+        cell["formats_agree"] and cell["matches_cube"] for cell in identity.values()
+    )
+    skips = ablation["columnar"]["cold_pass_blocks_skipped"]
+    report = {
+        "bench": "columnar_blocks",
+        "dataset": args.dataset,
+        "n_tuples": bundle.n_tuples,
+        "n_selects": n_selects,
+        "repeats": repeats,
+        "repro_scale": current_scale(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "answers_identical": identical,
+        "filtered_select": ablation,
+        "point_query_identity": identity,
+        "telemetry": telemetry_snapshot(),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"dataset={args.dataset} selects={n_selects} repeats={repeats} "
+          f"answers_identical={identical}")
+    for block_format in FORMATS:
+        cell = ablation[block_format]
+        print(f"{block_format:9s} cold {cell['cold_s'] * 1000:8.1f} ms   "
+              f"warm {cell['warm_s'] * 1000:8.1f} ms   "
+              f"walk {cell['walk_s'] * 1000:8.1f} ms   "
+              f"skips {cell['cold_pass_blocks_skipped']}")
+    print(f"columnar vs row: cold {ablation['columnar']['cold_speedup_vs_row']:.2f}x   "
+          f"warm {ablation['columnar']['warm_speedup_vs_row']:.2f}x   "
+          f"dict ratio {ablation['columnar']['storage']['dict_hit_ratio']:.2f}")
+    for name, cell in identity.items():
+        print(f"{name:12s} formats_agree={cell['formats_agree']} "
+              f"matches_cube={cell['matches_cube']}")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("FAIL: answers diverged across formats", file=sys.stderr)
+        return 1
+    if skips <= 0:
+        print("FAIL: cold columnar pass skipped no blocks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

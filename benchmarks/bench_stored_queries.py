@@ -17,6 +17,9 @@ pass per schema, asserting the answers identical to
 ``DwarfCube.value`` throughout.  Emits machine-readable JSON (``--out``,
 default ``BENCH_stored_queries.json``) so later PRs can track the
 trajectory; CI asserts a nonzero warm block-cache hit rate from it.
+The companion ``bench_ablation_blockformat.py`` covers the *filtered*
+stored-cube workload — row-major vs. columnar SSTable blocks with
+zone-map skipping (``BENCH_columnar_blocks.json``).
 """
 
 from __future__ import annotations

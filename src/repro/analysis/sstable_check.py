@@ -7,8 +7,13 @@ SSTable invariants (DESIGN.md "NoSQL engine", paper §5 storage model):
   not overlap (the binary-searched point read depends on all three).
 * **Bloom no-false-negative** — every stored key answers
   ``might_contain() == True``; a false negative silently loses rows.
-* **Codec/compression round-trip** — each block decompresses, decodes
-  entry-by-entry, and re-encodes to the exact stored bytes.
+* **Codec/compression round-trip** — each row-major block decompresses,
+  decodes entry-by-entry, and re-encodes to the exact stored bytes.
+* **Columnar round-trip** — each columnar block decodes into column
+  vectors, rematerializes every row byte-identically, re-encodes to the
+  exact stored payload, and its in-memory zone maps match a fresh
+  recomputation from the stored values (rule
+  ``sstable.columnar-roundtrip``; see docs/columnar_blocks.md).
 * **Row accounting** — entry count matches ``len(table)``; tombstoned
   keys never coexist with a live row in the same table.
 
@@ -30,12 +35,12 @@ Column-family invariants add the cross-structure checks:
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.btree_check import btree_check
 from repro.analysis.violations import CheckReport
 from repro.nosqldb.cache import NEGATIVE
+from repro.nosqldb.columnar import TAG_COLUMNAR, TAG_ROW
 from repro.nosqldb.columnfamily import ColumnFamily
 from repro.nosqldb.sstable import SSTable, _decode_key
 from repro.storage.btree import encode_key
@@ -76,7 +81,13 @@ def sstable_check(table: SSTable, name: str = "sstable") -> CheckReport:
     for index in range(len(block_keys)):
         location = f"{name}/block[{index}]"
         try:
-            entries = list(_block_entries(table, index))
+            tag, payload = table._block_payload(index)
+            if tag == TAG_COLUMNAR:
+                entries = _check_columnar_block(report, table, payload, index, location)
+            elif tag == TAG_ROW:
+                entries = list(_row_block_entries(payload))
+            else:
+                raise ValueError(f"unknown block format tag 0x{tag:02x}")
         except Exception as exc:  # corrupt bytes surface as a violation
             report.add(
                 _CHECKER, "sstable.corrupt-block", location,
@@ -109,12 +120,13 @@ def sstable_check(table: SSTable, name: str = "sstable") -> CheckReport:
                         f"uncomparable row key {key!r}",
                     )
             previous_key = key
-            expected = encode_key(key) + encode_bytes(row)
-            report.check(
-                raw_entry == encode_varint(len(expected)) + expected,
-                _CHECKER, "sstable.codec-roundtrip", location,
-                f"entry for key {key!r} does not re-encode to its stored bytes",
-            )
+            if raw_entry is not None:  # row-major entries carry stored bytes
+                expected = encode_key(key) + encode_bytes(row)
+                report.check(
+                    raw_entry == encode_varint(len(expected)) + expected,
+                    _CHECKER, "sstable.codec-roundtrip", location,
+                    f"entry for key {key!r} does not re-encode to its stored bytes",
+                )
             report.check(
                 table._bloom.might_contain(key), _CHECKER,
                 "sstable.bloom-false-negative", location,
@@ -134,12 +146,8 @@ def sstable_check(table: SSTable, name: str = "sstable") -> CheckReport:
     return report
 
 
-def _block_entries(
-    table: SSTable, index: int
-) -> Iterator[Tuple[object, bytes, bytes]]:
-    """Decode one block, yielding ``(key, row, raw_entry_bytes)``."""
-    data = table._block_data(index)
-    raw = zlib.decompress(data) if table.compressed else data
+def _row_block_entries(raw: bytes) -> Iterator[Tuple[object, bytes, bytes]]:
+    """Decode a row-major block payload, yielding ``(key, row, raw_entry)``."""
     offset = 0
     end = len(raw)
     while offset < end:
@@ -159,6 +167,41 @@ def _block_entries(
             )
         yield key, row, bytes(raw[start:entry_end])
         offset = entry_end
+
+
+def _check_columnar_block(
+    report: CheckReport, table: SSTable, payload: bytes, index: int, location: str
+) -> List[Tuple[object, bytes, None]]:
+    """Verify one columnar block and return its ``(key, row, None)`` entries.
+
+    The round-trip is exact both ways: decode -> rematerialize rows ->
+    re-encode must reproduce the stored payload byte-for-byte (the
+    encoder is deterministic), and the table's in-memory zone maps must
+    equal a fresh recomputation from the stored values.  Raises when the
+    payload cannot be decoded at all (reported as a corrupt block by the
+    caller).
+    """
+    codec = table._codec
+    if codec is None:
+        report.add(
+            _CHECKER, "sstable.columnar-roundtrip", location,
+            "columnar block in a table with no codec (unreadable by scans)",
+        )
+        return []
+    vectors = codec.decode_block(payload)
+    keys, rows = vectors.all_rows()
+    reencoded, zones, _, _ = codec.encode_block(list(zip(keys, rows)))
+    report.check(
+        reencoded == payload, _CHECKER, "sstable.columnar-roundtrip", location,
+        "columnar block does not re-encode to its stored payload",
+    )
+    stored_zones = table._zone_maps[index]
+    report.check(
+        stored_zones == zones, _CHECKER, "sstable.columnar-roundtrip", location,
+        "in-memory zone maps differ from a recomputation over the stored "
+        "values (block skipping could drop or retain the wrong blocks)",
+    )
+    return [(key, row, None) for key, row in zip(keys, rows)]
 
 
 # ----------------------------------------------------------------------

@@ -321,10 +321,34 @@ def _operator_stat_lines(mapper):
                 continue
             where = f" on {op.table}" if op.table else ""
             detail = f" [{op.detail}]" if op.detail else ""
+            pushed = ""
+            if op.blocks_skipped or op.rows_pruned:
+                pushed = (
+                    f" blocks_skipped={op.blocks_skipped}"
+                    f" rows_pruned={op.rows_pruned}"
+                )
             lines.append(
                 f"  {op.node}{where}{detail}: calls={op.calls} "
-                f"rows_out={op.rows_out} wall={op.seconds * 1000:.3f}ms"
+                f"rows_out={op.rows_out} wall={op.seconds * 1000:.3f}ms{pushed}"
             )
+    return lines
+
+
+def _storage_stat_lines(mapper):
+    """Per-column-family block-format stats for NoSQL-backed mappers."""
+    lines = []
+    session = getattr(mapper, "session", None)
+    keyspace_name = getattr(mapper, "keyspace_name", None)
+    if session is None or keyspace_name is None:
+        return lines
+    for table in session.engine.keyspace(keyspace_name).tables:
+        stats = table.stats()
+        lines.append(
+            f"  {table.name}: block_format={stats.block_format} "
+            f"sstables={stats.sstables} columnar_blocks={stats.columnar_blocks} "
+            f"blocks_skipped={stats.blocks_skipped} "
+            f"dict_hit_ratio={stats.dict_hit_ratio:.2f}"
+        )
     return lines
 
 
@@ -391,6 +415,9 @@ def _cmd_stats(args) -> int:
             "operators",
         ]
         sections.extend(_operator_stat_lines(mapper) or ["  (none)"])
+        storage = _storage_stat_lines(mapper)
+        if storage:
+            sections += ["", "storage"] + storage
         sections += ["", "metrics", render_metrics_table(snap)]
         if snap["slow_ops"]:
             sections += ["", f"slow ops (>= {tracer.slow_ms:g} ms)"]

@@ -39,7 +39,15 @@ from repro.mapping.mysql_dwarf import MySQLDwarfMapper
 from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
-from repro.query import Filter, IndexScan, MultiGet, Plan
+from repro.query import (
+    Filter,
+    FullScan,
+    IndexScan,
+    MultiGet,
+    Plan,
+    PushedCondition,
+    PushedPredicate,
+)
 from repro.telemetry import get_registry, get_tracer
 
 _M_STORED_QUERIES = get_registry().counter(
@@ -135,14 +143,44 @@ def _build_nosql_cell_match(mapper) -> Plan:
 
 
 def _build_nosql_min_sibling_match(mapper) -> Plan:
-    """NoSQL-Min: the per-level descent, ``IndexScan → Filter``."""
+    """NoSQL-Min: the per-level descent, an ``IndexScan`` with the name
+    match pushed into the storage layer (no Filter operator remains —
+    fetched siblings arrive pre-matched)."""
     table = mapper.session.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+    pushed = PushedPredicate(
+        (PushedCondition("name", "=", lambda params: params[1], "name = ?1"),)
+    )
     scan = IndexScan(
         table, "parentNodeId", lambda params: params[0], "dwarf_cell",
         cache_probe=lambda: table.block_cache_hits,
+        pushed=pushed,
     )
-    match = Filter(scan, lambda row, params: row["name"] == params[1], "name = ?1")
-    return Plan(match, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+    return Plan(scan, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+
+
+def _build_nosql_cube_scan(mapper) -> Plan:
+    """NoSQL-DWARF scan strategy: one pushed full scan over the cube.
+
+    ``schema_id = ?0`` travels into the storage layer, so zone-mapped
+    columnar blocks holding only other cubes' cells are skipped unread.
+    """
+    table = mapper.session.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+    pushed = PushedPredicate(
+        (PushedCondition("schema_id", "=", lambda params: params[0], "schema_id = ?0"),)
+    )
+    scan = FullScan(table, "dwarf_cell", pushed=pushed)
+    return Plan(scan, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+
+
+def _build_nosql_cube_scan_keys(mapper) -> Plan:
+    """The cube scan narrowed further by ``key IN ?1`` (all-keyed selects)."""
+    table = mapper.session.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+    pushed = PushedPredicate((
+        PushedCondition("schema_id", "=", lambda params: params[0], "schema_id = ?0"),
+        PushedCondition("key", "IN", lambda params: params[1], "key IN ?1"),
+    ))
+    scan = FullScan(table, "dwarf_cell", pushed=pushed)
+    return Plan(scan, guards=(_cql_guard(mapper, "dwarf_cell", table),))
 
 
 def _build_mysql_cell_match(mapper) -> Plan:
@@ -293,6 +331,9 @@ def _mysql_min_point(mapper: MySQLMinMapper, schema_id: int, keys: List[str]):
     # repeated queries walk the cached node map and only rescan after a
     # write invalidates it (cf. the paper's "DWARF Node reconstruction
     # is required" cost, paid once per table version instead of per query).
+    # The reconstruction statement's `cubeid = ?` condition is pushed
+    # into the storage layer by the SQL planner (FullScan pushed=...),
+    # so other cubes' rows are pruned before materialization.
     cache = getattr(mapper, "_reconstruction_cache", None)
     if cache is None:
         cache = {}
@@ -366,6 +407,9 @@ def explain_strategy(mapper, schema_id: Optional[int] = None) -> Dict[str, List[
             "cells": _kernel_plan(
                 mapper, "nosql_dwarf:cell_match", _build_nosql_cell_match
             ).explain(),
+            "cube_scan": _kernel_plan(
+                mapper, "nosql_dwarf:cube_scan", _build_nosql_cube_scan
+            ).explain(),
         }
     if kind is NoSQLMinMapper:
         return {
@@ -405,6 +449,7 @@ def stored_select(
     mapper: NoSQLDwarfMapper,
     schema_id: int,
     constraints: Optional[Mapping[str, object]] = None,
+    strategy: str = "walk",
     **by_name,
 ):
     """Run a :mod:`repro.dwarf.query`-style query against storage.
@@ -416,14 +461,30 @@ def stored_select(
     and cell is read from the column families on demand — nothing is
     rebuilt in memory.
 
+    ``strategy`` picks the read pattern:
+
+    * ``"walk"`` (default) — descend node by node; each level is one
+      node read plus one batched cell multi-get.
+    * ``"scan"`` — one pushed full scan (``schema_id = ?0``, plus
+      ``key IN ?1`` when every constraint is ``All``/``Member``/``In``)
+      fetches the cube's surviving cells in a single pass — zone-mapped
+      columnar blocks are skipped unread — then the walk runs over the
+      in-memory sibling groups.  Same answers, different I/O shape.
+
     Implemented for the paper's primary schema (NoSQL-DWARF), whose node
     rows make the walk a sequence of primary-key reads.
+
+    Raises :class:`~repro.core.errors.QueryError` for an unknown
+    ``strategy`` or constraint, :class:`MappingError` for a non-DWARF
+    mapper or a missing stored node.
     """
     from repro.dwarf.query import All, Constraint, Each, In, Member, Range
     from repro.mapping.base import decode_member, schema_from_rows
 
     if not isinstance(mapper, NoSQLDwarfMapper):
         raise MappingError("stored_select is implemented for NoSQL-DWARF storage")
+    if strategy not in ("walk", "scan"):
+        raise QueryError(f"unknown stored_select strategy {strategy!r}")
     spec = dict(constraints or {})
     spec.update(by_name)
 
@@ -444,15 +505,49 @@ def stored_select(
     info = mapper.info(schema_id)
     n_dims = schema.n_dimensions
 
-    node_statement = _prepared(mapper, "SELECT childrenIds FROM dwarf_node WHERE id = ?")
-    cells_plan = _kernel_plan(mapper, "nosql_dwarf:cells", _build_nosql_cells)
+    if strategy == "scan":
+        keyed = all(isinstance(c, (All, In, Member)) for c in per_level)
+        if keyed:
+            # Every level names its surviving keys outright, so the scan
+            # can also push `key IN wanted` — the union of ALL markers
+            # and requested members — and prune non-matching cells (or
+            # whole blocks) inside the storage layer.
+            wanted = set()
+            for constraint in per_level:
+                if isinstance(constraint, All):
+                    wanted.add(ALL_KEY_TEXT)
+                elif isinstance(constraint, Member):
+                    wanted.add(encode_member(constraint.key))
+                else:
+                    wanted.update(encode_member(k) for k in constraint.keys)
+            plan = _kernel_plan(
+                mapper, "nosql_dwarf:cube_scan_keys", _build_nosql_cube_scan_keys
+            )
+            fetched = plan.run((schema_id, sorted(wanted)))
+        else:
+            plan = _kernel_plan(mapper, "nosql_dwarf:cube_scan", _build_nosql_cube_scan)
+            fetched = plan.run((schema_id,))
+        by_parent: Dict[int, List[dict]] = {}
+        for row in fetched:
+            by_parent.setdefault(row["parentNode"], []).append(row)
+        for siblings in by_parent.values():
+            siblings.sort(key=lambda row: row["id"])
 
-    def cells_of(node_id: int) -> List[dict]:
-        node_row = session.execute_prepared(node_statement, (node_id,)).one()
-        if node_row is None:
-            raise MappingError(f"stored node {node_id} missing")
-        cell_ids = sorted(node_row["childrenIds"] or ())
-        return cells_plan.run((cell_ids,))
+        def cells_of(node_id: int) -> List[dict]:
+            return by_parent.get(node_id, [])
+
+    else:
+        node_statement = _prepared(
+            mapper, "SELECT childrenIds FROM dwarf_node WHERE id = ?"
+        )
+        cells_plan = _kernel_plan(mapper, "nosql_dwarf:cells", _build_nosql_cells)
+
+        def cells_of(node_id: int) -> List[dict]:
+            node_row = session.execute_prepared(node_statement, (node_id,)).one()
+            if node_row is None:
+                raise MappingError(f"stored node {node_id} missing")
+            cell_ids = sorted(node_row["childrenIds"] or ())
+            return cells_plan.run((cell_ids,))
 
     def matching(constraint, cells: List[dict]) -> List[dict]:
         ordinary = [c for c in cells if c["key"] != ALL_KEY_TEXT]

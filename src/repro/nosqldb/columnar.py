@@ -1,0 +1,495 @@
+"""Column-major SSTable block codec with zone maps and dictionaries.
+
+Row-major blocks store each row as one contiguous cell list; a scan
+that needs two of eight columns still decodes (and hashes, via the
+row-decode memo) every cell of every row.  This module implements the
+columnar alternative sketched in *Columnar Formats for Schemaless
+LSM-based Document Stores*: within one block, cell values are
+regrouped into per-column vectors so a pushed-down predicate touches
+only the vectors it reads, whole blocks are skipped via per-column
+zone maps, and surviving rows are materialized late.
+
+The layout is exact — no information is dropped.  A columnar block
+records, per row, the original cell *order* (Cassandra writes cells in
+statement order, not schema order) and, per cell, the raw value bytes
+and raw 8-byte timestamp.  :meth:`ColumnVectors.materialize` therefore
+reproduces the original encoded row byte-for-byte, which the
+``sstable.columnar-roundtrip`` invariant and the row-cache agreement
+checker both rely on.
+
+Block payload layout (before the 1-byte format tag and compression)::
+
+    varint n_rows
+    per row:    encode_key(key) · varint n_cells · n_cells x varint col_idx
+    varint n_cols
+    per column: encode_text(name) · flag(0=plain|1=dict)
+                8-byte timestamp per present cell (row order)
+                plain: encode_bytes(raw value) per present cell
+                dict:  encode_bytes_vector(distinct raws, first-occurrence
+                       order) · varint dictionary index per present cell
+
+Zone maps are *not* serialized: like the sparse block index they are an
+in-memory structure rebuilt whenever an SSTable is (re)built.  Each
+zone entry is ``(lo, hi, distinct)`` over the block's decoded non-NULL
+values; ``distinct`` is an exact frozenset when the block has at most
+:data:`ZONE_DISTINCT_MAX` distinct values (else None), and a column
+with *no* non-NULL value in the block gets ``(None, None, frozenset())``
+so equality predicates can skip it outright.  Set-typed columns and
+columns containing NaN are excluded (unordered / unorderable).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nosqldb.types import CQLType, SetType
+from repro.storage.btree import decode_key, encode_key
+from repro.storage.encoding import (
+    decode_bytes,
+    decode_bytes_vector,
+    decode_text,
+    encode_bytes,
+    encode_bytes_vector,
+    encode_text,
+)
+from repro.storage.varint import decode_varint, encode_varint
+
+BLOCK_FORMAT_ROW = "row"
+BLOCK_FORMAT_COLUMNAR = "columnar"
+BLOCK_FORMATS = (BLOCK_FORMAT_ROW, BLOCK_FORMAT_COLUMNAR)
+
+#: First byte of every stored block: the format tag ('R' / 'C').  The
+#: tag sits *outside* compression so readers can branch before paying
+#: zlib, and so mixed-format tables (e.g. mid-migration compactions)
+#: stay readable forever.
+TAG_ROW = 0x52
+TAG_COLUMNAR = 0x43
+
+#: Dictionary-encode a column chunk only when it is populated enough
+#: for the dictionary to amortize (>= DICT_MIN_ROWS present cells) and
+#: genuinely low-cardinality (distinct <= present / DICT_MAX_RATIO).
+DICT_MIN_ROWS = 8
+DICT_MAX_RATIO = 2
+
+#: Keep the exact distinct-value set in a zone map up to this many
+#: values.  DWARF dimension members are low-cardinality per block, and
+#: exact membership prunes equality/IN predicates that min/max ranges
+#: cannot (dense key domains make lo<=v<=hi nearly always true).  Sized
+#: to stay useful at columnar block granularity (tens of rows per
+#: block — see ``COLUMNAR_BLOCK_FACTOR`` in the sstable module).
+ZONE_DISTINCT_MAX = 64
+
+
+def default_block_format() -> str:
+    """Block format from ``REPRO_BLOCK_FORMAT``, default columnar."""
+    raw = os.environ.get("REPRO_BLOCK_FORMAT", "").strip().lower()
+    if raw in BLOCK_FORMATS:
+        return raw
+    return BLOCK_FORMAT_COLUMNAR
+
+
+class ColumnarCodec:
+    """Schema-aware block transcoder for one column family.
+
+    Cell values in the Cassandra row codec are not self-delimiting, so
+    splitting an encoded row into cells needs the column types; the
+    owning column family builds one codec from its schema and shares it
+    with every SSTable it flushes or compacts.
+    """
+
+    __slots__ = ("_types", "_order", "_encoded_names", "column_names")
+
+    def __init__(self, columns: Sequence[Tuple[str, CQLType]]) -> None:
+        self._types: Dict[str, CQLType] = dict(columns)
+        self._order = {name: i for i, (name, _) in enumerate(columns)}
+        self._encoded_names = {name: encode_text(name) for name, _ in columns}
+        self.column_names: Tuple[str, ...] = tuple(name for name, _ in columns)
+
+    # -- row codec bridge ---------------------------------------------
+    def split_cells(self, encoded: bytes) -> List[Tuple[str, bytes, bytes]]:
+        """Split an encoded row into ``(name, ts8, raw_value)`` cells in
+        stored order.  Raises KeyError for columns outside the schema
+        (the builder then falls back to a row-major block)."""
+        cells = []
+        count, offset = decode_varint(encoded, 0)
+        for _ in range(count):
+            name, offset = decode_text(encoded, offset)
+            ts = bytes(encoded[offset:offset + 8])
+            offset += 8
+            cql_type = self._types.get(name)
+            if cql_type is None:
+                raise KeyError(f"cell for unknown column {name!r}")
+            _, end = cql_type.decode(encoded, offset)
+            cells.append((name, ts, bytes(encoded[offset:end])))
+            offset = end
+        return cells
+
+    def decode_value(self, name: str, raw: bytes):
+        value, _ = self._types[name].decode(raw, 0)
+        return value
+
+    def encoded_name(self, name: str) -> bytes:
+        return self._encoded_names[name]
+
+    def zone_eligible(self, name: str) -> bool:
+        cql_type = self._types.get(name)
+        return cql_type is not None and not isinstance(cql_type, SetType)
+
+    # -- block encode --------------------------------------------------
+    def encode_block(self, items: Sequence[Tuple[object, bytes]]):
+        """Transcode sorted ``(key, encoded_row)`` entries into one
+        columnar payload.
+
+        Returns ``(payload, zones, dict_chunks, plain_chunks)`` where
+        ``zones`` maps zone-eligible column names to their
+        ``(lo, hi, distinct)`` entries for this block.
+        """
+        rows_cells = [self.split_cells(row) for _, row in items]
+        present = {name for cells in rows_cells for name, _, _ in cells}
+        names = sorted(present, key=lambda name: self._order[name])
+        index_of = {name: i for i, name in enumerate(names)}
+
+        parts = [encode_varint(len(items))]
+        for (key, _), cells in zip(items, rows_cells):
+            parts.append(encode_key(key))
+            parts.append(encode_varint(len(cells)))
+            for name, _, _ in cells:
+                parts.append(encode_varint(index_of[name]))
+
+        parts.append(encode_varint(len(names)))
+        dict_chunks = 0
+        zones: Dict[str, tuple] = {}
+        for name in names:
+            timestamps: List[bytes] = []
+            values: List[bytes] = []
+            for cells in rows_cells:
+                for cell_name, ts, raw in cells:
+                    if cell_name == name:
+                        timestamps.append(ts)
+                        values.append(raw)
+                        break
+            distinct_index: Dict[bytes, int] = {}
+            distinct_order: List[bytes] = []
+            for raw in values:
+                if raw not in distinct_index:
+                    distinct_index[raw] = len(distinct_order)
+                    distinct_order.append(raw)
+            use_dict = (
+                len(values) >= DICT_MIN_ROWS
+                and len(distinct_order) <= len(values) // DICT_MAX_RATIO
+            )
+            parts.append(encode_text(name))
+            parts.append(b"\x01" if use_dict else b"\x00")
+            parts.extend(timestamps)
+            if use_dict:
+                dict_chunks += 1
+                parts.append(encode_bytes_vector(distinct_order))
+                parts.extend(encode_varint(distinct_index[raw]) for raw in values)
+            else:
+                parts.extend(encode_bytes(raw) for raw in values)
+            if self.zone_eligible(name):
+                zone = self._zone_entry(name, distinct_order)
+                if zone is not None:
+                    zones[name] = zone
+        # Columns wholly absent from the block are exactly representable
+        # too: an all-NULL zone entry lets equality predicates skip it.
+        for name in self.column_names:
+            if name not in index_of and self.zone_eligible(name):
+                zones[name] = (None, None, frozenset())
+        return b"".join(parts), zones, dict_chunks, len(names) - dict_chunks
+
+    def _zone_entry(self, name: str, distinct_raw: Sequence[bytes]):
+        if not distinct_raw:
+            return (None, None, frozenset())
+        values = [self.decode_value(name, raw) for raw in distinct_raw]
+        for value in values:
+            if isinstance(value, float) and value != value:
+                return None  # NaN poisons ordering: no zone map
+        try:
+            lo, hi = min(values), max(values)
+        except TypeError:
+            return None
+        distinct = frozenset(values) if len(values) <= ZONE_DISTINCT_MAX else None
+        return (lo, hi, distinct)
+
+    # -- block decode --------------------------------------------------
+    def decode_block(self, payload: bytes) -> "ColumnVectors":
+        """Parse one columnar payload into a :class:`ColumnVectors`.
+
+        This is the cold-scan hot path — every non-skipped block of a
+        filtered scan comes through here — so the varint/key/length
+        reads are inlined (one-byte fast path, the overwhelmingly common
+        case for directory entries) instead of calling the shared
+        decoders per value, and timestamps are left in place in the
+        payload for lazy extraction (scans never look at them; only
+        :meth:`ColumnVectors.materialize` does).
+        """
+        buf = payload
+        o = 0
+        # n_rows (counts are non-negative, so zigzag is value << 1)
+        b = buf[o]
+        o += 1
+        if b < 0x80:
+            n_rows = b >> 1
+        else:
+            u = b & 0x7F
+            shift = 7
+            while True:
+                b = buf[o]
+                o += 1
+                u |= (b & 0x7F) << shift
+                if b < 0x80:
+                    break
+                shift += 7
+            n_rows = u >> 1
+
+        keys: List[object] = []
+        keys_append = keys.append
+        orders: List[Tuple[int, ...]] = []
+        orders_append = orders.append
+        for _ in range(n_rows):
+            tag = buf[o]
+            o += 1
+            if tag == 0x01:  # int key (the engines' usual primary key)
+                b = buf[o]
+                o += 1
+                if b < 0x80:
+                    u = b
+                else:
+                    u = b & 0x7F
+                    shift = 7
+                    while True:
+                        b = buf[o]
+                        o += 1
+                        u |= (b & 0x7F) << shift
+                        if b < 0x80:
+                            break
+                        shift += 7
+                keys_append((u >> 1) if not u & 1 else -((u + 1) >> 1))
+            elif tag == 0x02:  # text key
+                b = buf[o]
+                if b < 0x80:
+                    length = b >> 1
+                    o += 1
+                else:
+                    length, o = decode_varint(buf, o)
+                end = o + length
+                keys_append(bytes(buf[o:end]).decode("utf-8"))
+                o = end
+            else:
+                key, o = decode_key(buf, o - 1)
+                keys_append(key)
+            b = buf[o]
+            if b < 0x80:
+                n_cells = b >> 1
+                o += 1
+            else:
+                n_cells, o = decode_varint(buf, o)
+            # column indexes are tiny: the one-byte path is effectively
+            # always taken, the fallback only guards pathological widths
+            order = []
+            order_append = order.append
+            for _ in range(n_cells):
+                b = buf[o]
+                if b < 0x80:
+                    order_append(b >> 1)
+                    o += 1
+                else:
+                    col_index, o = decode_varint(buf, o)
+                    order_append(col_index)
+            orders_append(tuple(order))
+
+        b = buf[o]
+        if b < 0x80:
+            n_cols = b >> 1
+            o += 1
+        else:
+            n_cols, o = decode_varint(buf, o)
+        present_rows: List[List[int]] = [[] for _ in range(n_cols)]
+        for i, order in enumerate(orders):
+            for col_index in order:
+                present_rows[col_index].append(i)
+
+        names: List[str] = []
+        ts_offsets: List[int] = []
+        raw_cols: List[List[Optional[bytes]]] = []
+        for col_index in range(n_cols):
+            name, o = decode_text(buf, o)
+            names.append(name)
+            flag = buf[o]
+            o += 1
+            rows_here = present_rows[col_index]
+            ts_offsets.append(o)
+            o += 8 * len(rows_here)  # timestamps stay in place, read lazily
+            raw_vec: List[Optional[bytes]] = [None] * n_rows
+            if flag:
+                distinct, o = decode_bytes_vector(buf, o)
+                for i in rows_here:
+                    b = buf[o]
+                    if b < 0x80:
+                        raw_vec[i] = distinct[b >> 1]
+                        o += 1
+                    else:
+                        dict_idx, o = decode_varint(buf, o)
+                        raw_vec[i] = distinct[dict_idx]
+            else:
+                for i in rows_here:
+                    b = buf[o]
+                    o += 1
+                    if b < 0x80:
+                        length = b >> 1
+                    else:
+                        u = b & 0x7F
+                        shift = 7
+                        while True:
+                            b = buf[o]
+                            o += 1
+                            u |= (b & 0x7F) << shift
+                            if b < 0x80:
+                                break
+                            shift += 7
+                        length = u >> 1
+                    end = o + length
+                    raw_vec[i] = buf[o:end]
+                    o = end
+            raw_cols.append(raw_vec)
+        return ColumnVectors(
+            self, payload, keys, tuple(names), orders, present_rows,
+            ts_offsets, raw_cols,
+        )
+
+
+class ColumnVectors:
+    """One decoded columnar block: the form the block cache holds.
+
+    Raw value bytes are kept verbatim (typed decode is lazy and
+    memoized per column; per-cell timestamps stay inside the retained
+    payload until :meth:`materialize` asks for them), so caching a
+    block once serves both vector predicate evaluation and byte-exact
+    row rematerialization.
+    """
+
+    __slots__ = (
+        "codec", "keys", "names", "orders", "_payload", "_present",
+        "_ts_offsets", "_ts", "_raw", "_typed", "_val_memo", "_rows",
+        "nbytes",
+    )
+
+    def __init__(
+        self, codec, payload, keys, names, orders, present_rows,
+        ts_offsets, raw_cols,
+    ) -> None:
+        self.codec = codec
+        self.keys = keys
+        self.names = names
+        self.orders = orders
+        self._payload = payload
+        self._present = present_rows
+        self._ts_offsets = ts_offsets
+        self._ts: Dict[int, List[Optional[bytes]]] = {}
+        self._raw = raw_cols
+        self._typed: Dict[str, List] = {}
+        self._val_memo: Dict[Tuple[int, bytes], object] = {}
+        self._rows: Optional[List[bytes]] = None
+        self.nbytes = len(payload) + 16 * len(keys)  # payload + directory
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def typed(self, name: str) -> List:
+        """Column ``name`` decoded into a value vector (None where the
+        row has no such cell), memoized on the cached block.  Decoding
+        goes through a per-distinct-bytes memo: dictionary-encoded and
+        low-cardinality chunks (DWARF keys, schema ids, flags) decode
+        each distinct value once, not once per row."""
+        vector = self._typed.get(name)
+        if vector is None:
+            try:
+                col_index = self.names.index(name)
+            except ValueError:
+                vector = [None] * len(self.keys)
+            else:
+                decode = self.codec.decode_value
+                memo: Dict[bytes, object] = {}
+                vector = []
+                append = vector.append
+                for raw in self._raw[col_index]:
+                    if raw is None:
+                        append(None)
+                        continue
+                    value = memo.get(raw)
+                    if value is None and raw not in memo:
+                        value = decode(name, raw)
+                        memo[raw] = value
+                    append(value)
+            self._typed[name] = vector
+        return vector
+
+    def decoded_row(self, i: int) -> Dict[str, object]:
+        """Row ``i`` as the same dict ``ColumnFamily.decode_row`` would
+        produce from the materialized bytes (every schema column, None
+        where absent).  Decodes the row's own cells directly from the
+        raw vectors — late materialization never forces whole-column
+        decode of columns the predicate didn't touch."""
+        row = dict.fromkeys(self.codec.column_names)
+        names = self.names
+        raw_cols = self._raw
+        memo = self._val_memo
+        decode = self.codec.decode_value
+        for col_index in self.orders[i]:
+            raw = raw_cols[col_index][i]
+            memo_key = (col_index, raw)
+            value = memo.get(memo_key)
+            if value is None and memo_key not in memo:
+                value = decode(names[col_index], raw)
+                memo[memo_key] = value
+            row[names[col_index]] = value
+        return row
+
+    def rows_at(self, indices: List[int]) -> List[Dict[str, object]]:
+        """Decoded row dicts for the given row indexes (ascending).
+
+        Sparse hits decode cell-by-cell via :meth:`decoded_row`; dense
+        hits (a meaningful fraction of the block surviving a predicate)
+        switch to column-at-a-time decoding through the memoized
+        :meth:`typed` vectors, which pays each column's decode once per
+        block instead of once per surviving row.
+        """
+        if len(indices) * 4 < len(self.keys):
+            return [self.decoded_row(i) for i in indices]
+        pairs = [(name, self.typed(name)) for name in self.codec.column_names]
+        return [{name: vec[i] for name, vec in pairs} for i in indices]
+
+    def _ts_vec(self, col_index: int) -> List[Optional[bytes]]:
+        """Timestamps of column ``col_index`` sliced out of the payload
+        on first use (scans never need them; materialization does)."""
+        vec = self._ts.get(col_index)
+        if vec is None:
+            vec = [None] * len(self.keys)
+            payload = self._payload
+            offset = self._ts_offsets[col_index]
+            for i in self._present[col_index]:
+                vec[i] = payload[offset:offset + 8]
+                offset += 8
+            self._ts[col_index] = vec
+        return vec
+
+    def materialize(self, i: int) -> bytes:
+        """Row ``i`` re-encoded byte-identically to its row-major form."""
+        order = self.orders[i]
+        parts = [encode_varint(len(order))]
+        encoded_name = self.codec.encoded_name
+        names = self.names
+        for col_index in order:
+            parts.append(encoded_name(names[col_index]))
+            parts.append(self._ts_vec(col_index)[i])
+            parts.append(self._raw[col_index][i])
+        return b"".join(parts)
+
+    def all_rows(self) -> Tuple[List, List[bytes]]:
+        """The block in classic ``(keys, rows)`` form, materialized once
+        and memoized — point reads through columnar blocks use this."""
+        if self._rows is None:
+            self._rows = [self.materialize(i) for i in range(len(self.keys))]
+        return self.keys, self._rows

@@ -19,6 +19,11 @@ from repro.nosqldb.cache import (
     block_cache_budget,
     row_cache_budget,
 )
+from repro.nosqldb.columnar import (
+    BLOCK_FORMATS,
+    ColumnarCodec,
+    default_block_format,
+)
 from repro.nosqldb.errors import AlreadyExists, InvalidRequest
 from repro.nosqldb.memtable import Memtable
 from repro.nosqldb.sstable import SSTable, compact
@@ -64,6 +69,10 @@ class ColumnFamilyStats(NamedTuple):
     n_writes: int
     row_cache: CacheStats
     block_cache: CacheStats
+    block_format: str = "row"   # what newly flushed blocks are written as
+    columnar_blocks: int = 0    # columnar blocks across all SSTables
+    blocks_skipped: int = 0     # lifetime zone-map block skips
+    dict_hit_ratio: float = 0.0  # dictionary-encoded share of column chunks
 
 
 class Column:
@@ -136,18 +145,27 @@ class ColumnFamily:
         data_dir=None,
         block_cache_bytes: Optional[int] = None,
         row_cache_bytes: Optional[int] = None,
+        block_format: Optional[str] = None,
     ) -> None:
         """``block_cache_bytes`` / ``row_cache_bytes`` override the
-        environment-configured cache budgets (0 disables a cache)."""
+        environment-configured cache budgets (0 disables a cache);
+        ``block_format`` ("row" | "columnar") overrides the
+        ``REPRO_BLOCK_FORMAT`` default for newly written SSTable blocks."""
         names = [c.name for c in columns]
         if len(set(names)) != len(names):
             raise InvalidRequest(f"duplicate column in {name!r}")
         if primary_key not in names:
             raise InvalidRequest(f"primary key {primary_key!r} is not a column of {name!r}")
+        if block_format is not None and block_format not in BLOCK_FORMATS:
+            raise InvalidRequest(
+                f"unknown block_format {block_format!r}; expected one of {BLOCK_FORMATS}"
+            )
         self.name = name
         self.columns: Tuple[Column, ...] = tuple(columns)
         self.primary_key = primary_key
         self.compression = compression
+        self.block_format = block_format or default_block_format()
+        self._codec = ColumnarCodec([(c.name, c.cql_type) for c in columns])
         self._by_name: Dict[str, Column] = {c.name: c for c in self.columns}
         self._pk_index = names.index(primary_key)
         self._memtable = Memtable()
@@ -480,6 +498,8 @@ class ColumnFamily:
                             tombstones=memtable.tombstones,
                             path=self._next_data_path(),
                             block_cache=self._block_cache,
+                            block_format=self.block_format,
+                            codec=self._codec,
                         )
                     )
                 _M_FLUSHES.inc(len(self._pending))
@@ -496,6 +516,8 @@ class ColumnFamily:
                         compressed=self.compression,
                         path=self._next_data_path(),
                         block_cache=self._block_cache,
+                        block_format=self.block_format,
+                        codec=self._codec,
                     )
                 ]
                 _M_COMPACTIONS.inc()
@@ -699,19 +721,72 @@ class ColumnFamily:
                 yield key, encoded
             deleted |= set(sstable.tombstones)
 
-    def scan(self) -> Iterator[Dict[str, object]]:
-        for _, encoded in self._all_items():
-            yield self.decode_row(encoded)
+    def scan(self, pushed=None) -> Iterator[Dict[str, object]]:
+        """Every live row; with ``pushed`` (a bound predicate from
+        :mod:`repro.query.pushdown`) only the rows satisfying it.
 
-    def lookup_indexed(self, column: str, value) -> List[Dict[str, object]]:
-        """Raises InvalidRequest when ``column`` has no secondary index."""
+        The pushed path mirrors :meth:`_all_items` layer for layer —
+        same visit order, same LSM shadowing — but filters *inside* each
+        layer: memtable rows are tested after decode, SSTables evaluate
+        the predicate on column vectors (columnar blocks) or row-wise,
+        and the oldest SSTable layer may skip whole blocks via zone maps
+        (only there is a skipped key guaranteed not to shadow an older
+        version).  Predicate-failing keys in newer layers still enter
+        ``seen`` — an older, predicate-passing version of the same key
+        must stay hidden.
+        """
+        if pushed is None:
+            for _, encoded in self._all_items():
+                yield self.decode_row(encoded)
+            return
+        seen = set()
+        deleted = set()
+        for memtable in (self._memtable, *reversed(self._pending)):
+            for key, encoded in memtable:
+                if key in seen or key in deleted:
+                    continue
+                seen.add(key)
+                row = self.decode_row(encoded)
+                if pushed.matches(row):
+                    yield row
+                else:
+                    pushed.note_pruned(1)
+            deleted |= set(memtable.tombstones)
+        layers = list(reversed(self._sstables))
+        for position, sstable in enumerate(layers):
+            allow_skip = position == len(layers) - 1
+            for key, row in sstable.scan_filtered(
+                pushed, allow_skip, self.decode_row
+            ):
+                if key in seen or key in deleted:
+                    continue
+                seen.add(key)
+                if row is not None:
+                    yield row
+            deleted |= set(sstable.tombstones)
+
+    def lookup_indexed(self, column: str, value, pushed=None) -> List[Dict[str, object]]:
+        """Raises InvalidRequest when ``column`` has no secondary index.
+
+        ``pushed`` filters the fetched rows inside the storage layer
+        (index probes are point reads, so there is no block skipping —
+        just pruning before the rows reach the kernel)."""
         index = self._indexes.get(column)
         if index is None:
             raise InvalidRequest(
                 f"no secondary index on {self.name}.{column}; "
                 "use ALLOW FILTERING for a full scan"
             )
-        return [row for row in self.get_many(index.lookup(value)) if row is not None]
+        rows = [row for row in self.get_many(index.lookup(value)) if row is not None]
+        if pushed is None:
+            return rows
+        kept = []
+        for row in rows:
+            if pushed.matches(row):
+                kept.append(row)
+            else:
+                pushed.note_pruned(1)
+        return kept
 
     def has_index(self, column: str) -> bool:
         return column in self._indexes
@@ -738,6 +813,17 @@ class ColumnFamily:
 
     def stats(self) -> ColumnFamilyStats:
         """A read-only structural + cache snapshot (no block reads)."""
+        columnar_blocks = 0
+        blocks_skipped = 0
+        dict_chunks = 0
+        plain_chunks = 0
+        for sstable in self._sstables:
+            table_stats = sstable.stats()
+            columnar_blocks += table_stats.columnar_blocks
+            blocks_skipped += table_stats.blocks_skipped
+            dict_chunks += table_stats.dict_chunks
+            plain_chunks += table_stats.plain_chunks
+        chunks = dict_chunks + plain_chunks
         return ColumnFamilyStats(
             rows=len(self),
             memtable_rows=len(self._memtable),
@@ -747,6 +833,10 @@ class ColumnFamily:
             n_writes=self._n_writes,
             row_cache=self._row_cache.stats(),
             block_cache=self._block_cache.stats(),
+            block_format=self.block_format,
+            columnar_blocks=columnar_blocks,
+            blocks_skipped=blocks_skipped,
+            dict_hit_ratio=dict_chunks / chunks if chunks else 0.0,
         )
 
     def __repr__(self) -> str:

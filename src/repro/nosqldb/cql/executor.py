@@ -28,9 +28,12 @@ from repro.query import (
     IndexScan,
     Limit,
     MultiGet,
+    PUSHABLE_OPS,
     Plan,
     PointLookup,
     Project,
+    PushedCondition,
+    PushedPredicate,
     ResultSet as _KernelResultSet,
     Sort,
     TableMeta,
@@ -306,19 +309,25 @@ def build_select_plan(
             cache_probe=cache_probe,
         )
     elif access == ACCESS_INDEX:
+        pushed, residual = _split_pushdown(table, residual)
         node = IndexScan(
             table,
             column=condition.column,
             value=_compile_value(condition.value),
             table_name=table.name,
             access=IndexScan.SECONDARY,
+            pushed=pushed,
         )
     else:
+        # The ALLOW FILTERING gate judges the statement *before* pushdown:
+        # a scan with residual conditions stays an opt-in cost even when
+        # the storage layer will end up evaluating them itself.
         if residual and not stmt.allow_filtering:
             raise InvalidRequest(
                 "this query requires a full scan; add ALLOW FILTERING to accept the cost"
             )
-        node = FullScan(table, table.name)
+        pushed, residual = _split_pushdown(table, residual)
+        node = FullScan(table, table.name, pushed=pushed)
 
     for cond in residual:
         table.column(cond.column)  # validate
@@ -350,6 +359,34 @@ def build_select_plan(
             ", ".join(names),
         )
     return Plan(node, guards=guards)
+
+
+def _split_pushdown(table: ColumnFamily, residual):
+    """Partition residual conditions into ``(PushedPredicate, leftover)``.
+
+    Conditions with a pushable operator (see
+    :data:`repro.query.PUSHABLE_OPS`) move into the storage layer;
+    ``IS NULL`` / ``IS NOT NULL`` and anything else stay as Filter nodes
+    above the access path.  Raises :class:`InvalidRequest` (via
+    ``table.column``) for unknown column names, exactly as the Filter
+    construction it replaces did.
+    """
+    pushable = []
+    leftover = []
+    for cond in residual:
+        table.column(cond.column)  # validate
+        if cond.op not in PUSHABLE_OPS:
+            leftover.append(cond)
+            continue
+        if cond.op == "IN":
+            resolve = _compile_value_list(cond.value)
+        else:
+            resolve = _compile_value(cond.value)
+        pushable.append(
+            PushedCondition(cond.column, cond.op, resolve, _condition_desc(cond))
+        )
+    pushed = PushedPredicate(pushable) if pushable else None
+    return pushed, leftover
 
 
 def _predicate(condition: ast.Condition):

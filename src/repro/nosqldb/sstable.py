@@ -5,6 +5,15 @@ grouped into blocks of ~4 KiB, each block zlib-compressed (Cassandra
 compresses SSTables by default — this is the mechanism behind the NoSQL
 schemas' competitive sizes in Table 4).  A sparse index keeps the first
 key of every block for binary-searched point reads.
+
+Every stored block starts with a one-byte format tag: ``'R'`` for the
+classic row-major entry list, ``'C'`` for the column-major layout of
+:mod:`repro.nosqldb.columnar`.  Both formats stay readable forever; a
+table's ``block_format`` only chooses what *new* blocks are written, so
+compaction naturally rewrites row-major runs into columnar ones.
+Columnar blocks additionally carry in-memory per-column zone maps that
+:meth:`SSTable.scan_filtered` uses to skip whole blocks under a
+pushed-down predicate (see :mod:`repro.query.pushdown`).
 """
 
 from __future__ import annotations
@@ -15,7 +24,15 @@ import zlib
 from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.nosqldb.cache import BlockCache
-from repro.storage.btree import encode_key
+from repro.nosqldb.columnar import (
+    BLOCK_FORMAT_COLUMNAR,
+    BLOCK_FORMAT_ROW,
+    TAG_COLUMNAR,
+    TAG_ROW,
+    ColumnVectors,
+    ColumnarCodec,
+)
+from repro.storage.btree import decode_key, encode_key
 from repro.storage.encoding import decode_bytes, encode_bytes
 from repro.storage.varint import decode_varint, encode_varint
 from repro.telemetry import get_registry
@@ -27,11 +44,22 @@ _M_SSTABLES_WRITTEN = _REGISTRY.counter(
 _M_SSTABLE_ROWS = _REGISTRY.counter(
     "nosqldb_sstable_rows_written_total", "rows written into SSTables"
 )
+_M_BLOCKS_SKIPPED = _REGISTRY.counter(
+    "nosqldb_blocks_skipped_total",
+    "SSTable blocks skipped via zone maps under pushed-down predicates",
+)
 
 #: Uncompressed block size target, bytes.  Small chunks with zlib level 1
 #: approximate the compression ratio of Cassandra's default LZ4 chunk
 #: compressor on row data (~3:1 on these feeds); see DESIGN.md.
 BLOCK_BYTES = 1024
+
+#: Columnar blocks budget this many times more row bytes per block than
+#: row-major ones (Parquet-style: column groups only amortize their
+#: per-block directory/chunk overhead — and give dictionaries and zone
+#: maps enough rows to bite — when a block holds tens of rows, not a
+#: row-store page's handful).
+COLUMNAR_BLOCK_FACTOR = 8
 
 #: Fixed per-SSTable footer/metadata charge (stats, bloom filter stub).
 SSTABLE_OVERHEAD = 96
@@ -44,6 +72,10 @@ COMPRESSION_LEVEL = 1
 #: target ~1% false positives with ~10 bits/key).
 BLOOM_BITS_PER_KEY = 10
 BLOOM_HASHES = 3
+
+#: Backwards-compatible alias: the key decoder grew up here before the
+#: columnar codec needed it too and it moved next to ``encode_key``.
+_decode_key = decode_key
 
 
 class BloomFilter:
@@ -96,10 +128,21 @@ class SSTableStats(NamedTuple):
     index_bytes: int         # sparse block index
     bloom_bytes: int
     size_bytes: int          # data + index + bloom + fixed overhead
+    block_format: str = BLOCK_FORMAT_ROW   # what new blocks are written as
+    columnar_blocks: int = 0               # blocks actually stored columnar
+    dict_chunks: int = 0                   # dictionary-encoded column chunks
+    plain_chunks: int = 0                  # plain column chunks
+    blocks_skipped: int = 0                # lifetime zone-map block skips
 
     @property
     def rows_per_block(self) -> float:
         return self.rows / self.blocks if self.blocks else 0.0
+
+    @property
+    def dict_hit_ratio(self) -> float:
+        """Fraction of columnar column chunks that dictionary-encoded."""
+        chunks = self.dict_chunks + self.plain_chunks
+        return self.dict_chunks / chunks if chunks else 0.0
 
 
 #: Process-wide SSTable id allocator: block-cache keys must survive the
@@ -113,7 +156,8 @@ class SSTable:
     __slots__ = (
         "_block_keys", "_blocks", "_index_bytes", "_n_rows", "compressed",
         "_tombstones", "_bloom", "_path", "_offsets", "_uid", "_block_cache",
-        "_handle",
+        "_handle", "_block_format", "_codec", "_zone_maps", "_block_rows",
+        "_n_columnar", "_dict_chunks", "_plain_chunks", "_blocks_skipped",
     )
 
     def __init__(
@@ -123,6 +167,8 @@ class SSTable:
         tombstones: frozenset = frozenset(),
         path=None,
         block_cache: Optional[BlockCache] = None,
+        block_format: str = BLOCK_FORMAT_ROW,
+        codec: Optional[ColumnarCodec] = None,
     ) -> None:
         """Build an SSTable; with ``path`` the data blocks live on disk.
 
@@ -130,7 +176,11 @@ class SSTable:
         exist); block reads then really hit the filesystem.
         ``block_cache`` (usually the owning column family's) memoises
         decoded blocks so repeated reads skip decompression; without one
-        every read decodes its block from scratch.
+        every read decodes its block from scratch.  ``block_format``
+        selects the layout of newly written blocks; columnar needs a
+        :class:`~repro.nosqldb.columnar.ColumnarCodec` (blocks whose
+        rows the codec cannot split fall back to row-major, so a
+        columnar table is always buildable).
         """
         self.compressed = compressed
         self._block_keys: List[object] = []
@@ -143,6 +193,14 @@ class SSTable:
         self._uid = next(_uid_counter)
         self._block_cache = block_cache
         self._handle = None
+        self._block_format = block_format
+        self._codec = codec
+        self._zone_maps: List[Optional[Dict[str, tuple]]] = []
+        self._block_rows: List[int] = []
+        self._n_columnar = 0
+        self._dict_chunks = 0
+        self._plain_chunks = 0
+        self._blocks_skipped = 0
         self._bloom = BloomFilter(len(sorted_items))
         for key, _ in sorted_items:
             self._bloom.add(key)
@@ -194,38 +252,97 @@ class SSTable:
 
     # ------------------------------------------------------------------
     def _build(self, sorted_items: Sequence[Tuple[object, bytes]]) -> None:
+        # Block boundaries are budgeted on row-entry bytes for both
+        # formats; columnar blocks get a COLUMNAR_BLOCK_FACTOR-times
+        # larger budget (column chunks, dictionaries and zone maps only
+        # pay off across tens of rows).  Scans visit rows in the same
+        # order either way — only the block grouping differs.
+        columnar = (
+            self._block_format == BLOCK_FORMAT_COLUMNAR and self._codec is not None
+        )
+        budget = BLOCK_BYTES * COLUMNAR_BLOCK_FACTOR if columnar else BLOCK_BYTES
         buffer = bytearray()
+        pending: List[Tuple[object, bytes]] = []
+        count = 0
         first_key: Optional[object] = None
         for key, row in sorted_items:
             if first_key is None:
                 first_key = key
             entry = encode_key(key) + encode_bytes(row)
             buffer += encode_varint(len(entry)) + entry
-            if len(buffer) >= BLOCK_BYTES:
-                self._seal_block(first_key, bytes(buffer))
+            count += 1
+            if columnar:
+                pending.append((key, row))
+            if len(buffer) >= budget:
+                self._seal_block(first_key, bytes(buffer), count, pending or None)
                 buffer.clear()
+                pending = []
+                count = 0
                 first_key = None
         if buffer:
-            self._seal_block(first_key, bytes(buffer))
+            self._seal_block(first_key, bytes(buffer), count, pending or None)
 
-    def _seal_block(self, first_key, raw: bytes) -> None:
-        data = zlib.compress(raw, COMPRESSION_LEVEL) if self.compressed else raw
+    def _seal_block(self, first_key, raw: bytes, n_rows: int, items=None) -> None:
+        tag = TAG_ROW
+        payload = raw
+        zones = None
+        if items is not None:
+            try:
+                payload, zones, dict_chunks, plain_chunks = (
+                    self._codec.encode_block(items)
+                )
+            except Exception:
+                payload, zones = raw, None  # unsplittable rows: keep row-major
+            else:
+                tag = TAG_COLUMNAR
+                self._n_columnar += 1
+                self._dict_chunks += dict_chunks
+                self._plain_chunks += plain_chunks
+        body = zlib.compress(payload, COMPRESSION_LEVEL) if self.compressed else payload
         self._block_keys.append(first_key)
-        self._blocks.append(data)
+        self._blocks.append(bytes((tag,)) + body)
+        self._zone_maps.append(zones)
+        self._block_rows.append(n_rows)
         self._index_bytes += len(encode_key(first_key)) + 8  # key + offset
 
     # ------------------------------------------------------------------
-    def _block_items(self, block: bytes) -> Iterator[Tuple[object, bytes]]:
-        raw = zlib.decompress(block) if self.compressed else block
-        offset = 0
-        end = len(raw)
-        while offset < end:
-            entry_len, offset = decode_varint(raw, offset)
-            entry_end = offset + entry_len
-            key, key_end = _decode_key(raw, offset)
-            row, _ = decode_bytes(raw, key_end)
-            yield key, row
-            offset = entry_end
+    def _block_payload(self, index: int) -> Tuple[int, bytes]:
+        """Stored block ``index`` as ``(format_tag, uncompressed payload)``."""
+        data = self._block_data(index)
+        tag = data[0]
+        payload = data[1:]
+        if self.compressed:
+            payload = zlib.decompress(payload)
+        return tag, payload
+
+    def _decoded_obj(self, index: int):
+        """Block ``index`` in decoded form, through the block cache.
+
+        Row-major blocks decode to ``(keys, rows)`` lists; columnar
+        blocks decode to :class:`ColumnVectors` (vectors plus lazy
+        byte-exact rematerialization), cached as such so one decode
+        serves scans and point reads alike.
+        """
+        cache = self._block_cache
+        if cache is not None:
+            cached = cache.get(self._uid, index)
+            if cached is not None:
+                return cached
+        tag, payload = self._block_payload(index)
+        if tag == TAG_COLUMNAR:
+            obj = self._codec.decode_block(payload)
+            nbytes = obj.nbytes
+        else:
+            keys: List = []
+            rows: List[bytes] = []
+            for entry_key, row in _row_entries(payload):
+                keys.append(entry_key)
+                rows.append(row)
+            obj = (keys, rows)
+            nbytes = None  # BlockCache.put applies the row-block formula
+        if cache is not None:
+            cache.put_entry(self._uid, index, obj, nbytes)
+        return obj
 
     def _decoded_block(self, index: int) -> Tuple[List, List]:
         """Block ``index`` decoded once into sorted ``(keys, rows)`` lists.
@@ -234,19 +351,10 @@ class SSTable:
         and decodes the block, then caches the decoded form so the next
         read bisects instead of paying zlib again.
         """
-        cache = self._block_cache
-        if cache is not None:
-            cached = cache.get(self._uid, index)
-            if cached is not None:
-                return cached
-        keys: List = []
-        rows: List[bytes] = []
-        for entry_key, row in self._block_items(self._block_data(index)):
-            keys.append(entry_key)
-            rows.append(row)
-        if cache is not None:
-            cache.put(self._uid, index, keys, rows)
-        return keys, rows
+        obj = self._decoded_obj(index)
+        if isinstance(obj, ColumnVectors):
+            return obj.all_rows()
+        return obj
 
     def get(self, key) -> Optional[bytes]:
         """Encoded row for ``key`` or None (tombstoned keys return None)."""
@@ -302,6 +410,57 @@ class SSTable:
             keys, rows = self._decoded_block(index)
             yield from zip(keys, rows)
 
+    def scan_filtered(self, bound, allow_skip: bool, decode_row):
+        """Scan under a pushed-down predicate (duck-typed
+        :class:`~repro.query.pushdown.BoundPredicate`).
+
+        Yields ``(key, decoded_row_or_None)`` in key order: None marks a
+        row the predicate pruned, whose *key* the caller must still
+        record for LSM shadowing (a newer predicate-failing version
+        hides any older version of the same key).  With ``allow_skip``
+        (safe only on the oldest layer of a scan, where no skipped key
+        can shadow anything) blocks whose zone maps refute the predicate
+        are skipped without being read at all.  ``decode_row`` decodes
+        row-major entries (columnar blocks decode themselves).
+        """
+        for index in range(len(self._block_keys)):
+            zones = self._zone_maps[index]
+            if zones is not None and not bound.block_may_match(zones):
+                bound.note_pruned(self._block_rows[index])
+                if allow_skip:
+                    self._blocks_skipped += 1
+                    _M_BLOCKS_SKIPPED.inc()
+                    bound.note_skipped(1)
+                    continue
+                obj = self._decoded_obj(index)
+                keys = obj.keys if isinstance(obj, ColumnVectors) else obj[0]
+                for key in keys:
+                    yield key, None
+                continue
+            obj = self._decoded_obj(index)
+            if isinstance(obj, ColumnVectors):
+                keys = obj.keys
+                mask = bound.matches_vectors(obj.typed, len(keys))
+                matched = [i for i, hit in enumerate(mask) if hit]
+                rows = iter(obj.rows_at(matched)) if matched else iter(())
+                pruned = len(keys) - len(matched)
+                for i, key in enumerate(keys):
+                    yield key, next(rows) if mask[i] else None
+                if pruned:
+                    bound.note_pruned(pruned)
+            else:
+                keys, rows = obj
+                pruned = 0
+                for key, encoded in zip(keys, rows):
+                    row = decode_row(encoded)
+                    if bound.matches(row):
+                        yield key, row
+                    else:
+                        pruned += 1
+                        yield key, None
+                if pruned:
+                    bound.note_pruned(pruned)
+
     def __len__(self) -> int:
         return self._n_rows
 
@@ -316,6 +475,14 @@ class SSTable:
     @property
     def tombstones(self) -> frozenset:
         return self._tombstones
+
+    @property
+    def block_format(self) -> str:
+        return self._block_format
+
+    @property
+    def blocks_skipped(self) -> int:
+        return self._blocks_skipped
 
     def stats(self) -> SSTableStats:
         """A read-only :class:`SSTableStats` snapshot (no block reads)."""
@@ -333,42 +500,32 @@ class SSTable:
             index_bytes=self._index_bytes,
             bloom_bytes=self._bloom.size_bytes,
             size_bytes=data + self._index_bytes + self._bloom.size_bytes + SSTABLE_OVERHEAD,
+            block_format=self._block_format,
+            columnar_blocks=self._n_columnar,
+            dict_chunks=self._dict_chunks,
+            plain_chunks=self._plain_chunks,
+            blocks_skipped=self._blocks_skipped,
         )
 
     def __repr__(self) -> str:
         where = "disk" if self._path is not None else "memory"
         return (
             f"SSTable(rows={self._n_rows}, blocks={len(self._block_keys)}, "
-            f"compressed={self.compressed}, {where})"
+            f"format={self._block_format}, compressed={self.compressed}, {where})"
         )
 
 
-def _decode_key(buffer, offset: int) -> Tuple[object, int]:
-    """Inverse of :func:`repro.storage.btree.encode_key`."""
-    from repro.storage.encoding import decode_bool, decode_float, decode_text
-
-    tag = buffer[offset]
-    offset += 1
-    if tag == 0x00:
-        return None, offset
-    if tag == 0x01:
-        return decode_varint(buffer, offset)
-    if tag == 0x02:
-        return decode_text(buffer, offset)
-    if tag == 0x03:
-        return decode_float(buffer, offset)
-    if tag == 0x04:
-        return decode_bool(buffer, offset)
-    if tag == 0x06:
-        return decode_bytes(buffer, offset)
-    if tag == 0x05:
-        count, offset = decode_varint(buffer, offset)
-        items = []
-        for _ in range(count):
-            item, offset = _decode_key(buffer, offset)
-            items.append(item)
-        return tuple(items), offset
-    raise ValueError(f"corrupt key tag 0x{tag:02x}")
+def _row_entries(payload: bytes) -> Iterator[Tuple[object, bytes]]:
+    """Decode a row-major block payload (tag stripped, decompressed)."""
+    offset = 0
+    end = len(payload)
+    while offset < end:
+        entry_len, offset = decode_varint(payload, offset)
+        entry_end = offset + entry_len
+        key, key_end = decode_key(payload, offset)
+        row, _ = decode_bytes(payload, key_end)
+        yield key, row
+        offset = entry_end
 
 
 def compact(
@@ -376,13 +533,17 @@ def compact(
     compressed: bool = True,
     path=None,
     block_cache: Optional[BlockCache] = None,
+    block_format: str = BLOCK_FORMAT_ROW,
+    codec: Optional[ColumnarCodec] = None,
 ) -> SSTable:
     """Size-tiered compaction: merge runs newest-last wins, drop shadowed rows.
 
     Tombstones are applied (deleted keys vanish) and then discarded — the
     result is a single clean run, like a Cassandra major compaction.  The
     superseded tables' cached blocks are released (``delete_file``); the
-    merged table starts cold under ``block_cache``.
+    merged table starts cold under ``block_cache``.  The merged table is
+    written in ``block_format`` regardless of what the inputs stored, so
+    compacting is also how row-major history migrates to columnar.
     """
     merged = {}
     deleted = set()
@@ -394,7 +555,14 @@ def compact(
     for key in deleted:
         merged.pop(key, None)
     items = sorted(merged.items(), key=lambda item: item[0])
-    result = SSTable(items, compressed=compressed, path=path, block_cache=block_cache)
+    result = SSTable(
+        items,
+        compressed=compressed,
+        path=path,
+        block_cache=block_cache,
+        block_format=block_format,
+        codec=codec,
+    )
     for table in tables:
         table.delete_file()
     return result

@@ -38,6 +38,12 @@ from repro.query.planner import (
     choose_access,
     choose_join_access,
 )
+from repro.query.pushdown import (
+    PUSHABLE_OPS,
+    BoundPredicate,
+    PushedCondition,
+    PushedPredicate,
+)
 from repro.query.result import ResultSet
 
 __all__ = [
@@ -47,6 +53,7 @@ __all__ = [
     "ACCESS_POINT",
     "ACCESS_SCAN",
     "Aggregate",
+    "BoundPredicate",
     "COMPARISON_OPS",
     "Filter",
     "FullScan",
@@ -55,12 +62,15 @@ __all__ = [
     "Limit",
     "MultiGet",
     "OperatorStats",
+    "PUSHABLE_OPS",
     "Plan",
     "PlanCache",
     "PlanCacheStats",
     "PlanNode",
     "PointLookup",
     "Project",
+    "PushedCondition",
+    "PushedPredicate",
     "ResultSet",
     "Sort",
     "TableMeta",

@@ -46,6 +46,8 @@ class OperatorStats(NamedTuple):
     keys_batched: int
     blocks_cached: int
     seconds: float = 0.0
+    blocks_skipped: int = 0   # blocks zone maps skipped for a pushed predicate
+    rows_pruned: int = 0      # rows the storage layer pruned before emitting
 
 
 class _Context:
@@ -130,6 +132,8 @@ class PlanNode:
                 keys_batched=getattr(node, "keys_batched", 0),
                 blocks_cached=getattr(node, "blocks_cached", 0),
                 seconds=node.seconds,
+                blocks_skipped=getattr(node, "blocks_skipped", 0),
+                rows_pruned=getattr(node, "rows_pruned", 0),
             )
             for node in self._postorder()
         ]
@@ -143,6 +147,9 @@ class PlanNode:
             if hasattr(node, "keys_batched"):
                 node.keys_batched = 0
                 node.blocks_cached = 0
+            if hasattr(node, "rows_pruned"):
+                node.rows_pruned = 0
+                node.blocks_skipped = 0
 
     def _postorder(self) -> List["PlanNode"]:
         out: List[PlanNode] = []
@@ -257,45 +264,84 @@ class MultiGet(_Access):
 
 class IndexScan(_Access):
     """An equality probe through a secondary index — or, for relational
-    composite keys, a clustered primary-key *prefix* scan."""
+    composite keys, a clustered primary-key *prefix* scan.
+
+    ``pushed`` (an optional :class:`repro.query.pushdown.PushedPredicate`)
+    carries the residual conditions the storage layer can evaluate
+    itself; the fetched rows arrive pre-filtered and the pruning counts
+    accumulate on the node (``rows_pruned``/``blocks_skipped``).
+    """
 
     kind = "IndexScan"
     PK_PREFIX = "pk-prefix"
     SECONDARY = "secondary-index"
-    __slots__ = ("column", "value", "access")
+    __slots__ = ("column", "value", "access", "pushed", "blocks_skipped", "rows_pruned")
 
     def __init__(self, table, column: str, value: Callable, table_name: str,
-                 access: str = SECONDARY, wrap=None, cache_probe=None) -> None:
+                 access: str = SECONDARY, wrap=None, cache_probe=None,
+                 pushed=None) -> None:
         super().__init__(table, table_name, column, wrap, cache_probe)
         self.column = column
         self.value = value
         self.access = access
+        self.pushed = pushed
+        self.blocks_skipped = 0
+        self.rows_pruned = 0
 
     def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         resolved = self.value(ctx.params)
-        if self.access == self.PK_PREFIX:
+        if self.pushed is not None:
+            bound = self.pushed.bind(ctx.params)
+            if self.access == self.PK_PREFIX:
+                fetched = self.table.lookup_pk_prefix(resolved, pushed=bound)
+            else:
+                fetched = self.table.lookup_indexed(
+                    self.column, resolved, pushed=bound
+                )
+            self.blocks_skipped += bound.blocks_skipped
+            self.rows_pruned += bound.rows_pruned
+        elif self.access == self.PK_PREFIX:
             fetched = self.table.lookup_pk_prefix(resolved)
         else:
             fetched = self.table.lookup_indexed(self.column, resolved)
         return self._emit(fetched)
 
     def detail(self) -> str:
+        if self.pushed is not None:
+            return f"{self.access}, pushed={self.pushed.describe()}"
         return self.access
 
 
 class FullScan(_Access):
-    """Read every live row — the path of last resort."""
+    """Read every live row — the path of last resort.
+
+    With a ``pushed`` predicate the storage layer filters during the
+    scan: zone-mapped columnar blocks may be skipped unread, and rows
+    failing the predicate are pruned before materialization (see
+    :mod:`repro.query.pushdown`).
+    """
 
     kind = "FullScan"
-    __slots__ = ()
+    __slots__ = ("pushed", "blocks_skipped", "rows_pruned")
 
-    def __init__(self, table, table_name: str, wrap=None) -> None:
+    def __init__(self, table, table_name: str, wrap=None, pushed=None) -> None:
         super().__init__(table, table_name, None, wrap)
+        self.pushed = pushed
+        self.blocks_skipped = 0
+        self.rows_pruned = 0
 
     def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
-        return self._emit(list(self.table.scan()))
+        if self.pushed is None:
+            return self._emit(list(self.table.scan()))
+        bound = self.pushed.bind(ctx.params)
+        fetched = list(self.table.scan(pushed=bound))
+        self.blocks_skipped += bound.blocks_skipped
+        self.rows_pruned += bound.rows_pruned
+        return self._emit(fetched)
 
     def detail(self) -> str:
+        if self.pushed is not None:
+            return f"full scan, pushed={self.pushed.describe()}"
         return "full scan"
 
 

@@ -1,0 +1,205 @@
+"""Predicate pushdown: filters evaluated inside the storage layer.
+
+Both executors historically translated every residual WHERE condition
+into a kernel :class:`~repro.query.plan.Filter` above the access node,
+so a scan decoded (and, on the NoSQL engine, materialized) every row
+only for most of them to be discarded one operator later.  Pushdown
+moves the cheap, storage-evaluable conditions *into* ``FullScan`` /
+``IndexScan``: the planner extracts the pushable subset of the residual
+filter, wraps it in a :class:`PushedPredicate`, and the access node
+hands a per-execution :class:`BoundPredicate` to the table's
+``scan(pushed=...)`` / ``lookup_indexed(..., pushed=...)`` methods.
+
+The storage layers duck-type the bound object — they never import the
+kernel — and may exploit it three ways, in decreasing strength:
+
+1. **block skipping** — columnar SSTable blocks carry per-column zone
+   maps; :meth:`BoundPredicate.block_may_match` proves a whole block
+   cannot contribute and the reader never even decodes it;
+2. **late materialization** — columnar blocks evaluate the predicate on
+   the needed column vectors only and materialize surviving rows;
+3. **row pruning** — row-major blocks, memtables and the relational
+   B-tree evaluate the predicate row-wise before handing rows upward.
+
+Semantics are exactly those of the :class:`Filter` chain the predicate
+replaced: conditions are evaluated in residual order with the same
+NULL-rejecting :func:`~repro.query.expr.compare`, so pushed and
+unpushed plans return identical answers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, NamedTuple, Tuple
+
+from repro.query.expr import compare
+from repro.telemetry import get_registry
+
+_REGISTRY = get_registry()
+_M_ROWS_PRUNED = _REGISTRY.counter(
+    "query_pushdown_rows_pruned_total",
+    "rows discarded inside the storage layer by pushed-down predicates",
+)
+
+#: Operators a storage layer can evaluate (and zone maps can reason
+#: about).  ``ISNULL``/``NOTNULL`` stay in kernel Filters: SQL NULL
+#: tests are rare and their zone semantics are subtle.
+PUSHABLE_OPS = frozenset({"=", "!=", "<", ">", "<=", ">=", "IN"})
+
+
+class PushedCondition(NamedTuple):
+    """One pushable WHERE condition in planner-compiled form."""
+
+    column: str
+    op: str
+    resolve: Callable  # params -> expected value (list for IN)
+    desc: str          # dialect-rendered text for EXPLAIN
+
+
+class PushedPredicate:
+    """An immutable conjunction of pushable conditions, attached to an
+    access node at plan time.  Parameter markers resolve at execution
+    via :meth:`bind`."""
+
+    __slots__ = ("conditions",)
+
+    def __init__(self, conditions: Tuple[PushedCondition, ...]) -> None:
+        self.conditions = tuple(conditions)
+
+    def bind(self, params) -> "BoundPredicate":
+        """Resolve parameter markers for one execution."""
+        return BoundPredicate(
+            tuple(
+                (cond.column, cond.op, cond.resolve(params))
+                for cond in self.conditions
+            )
+        )
+
+    def describe(self) -> str:
+        """EXPLAIN rendering, e.g. ``key = ?1 AND measure > 0``."""
+        return " AND ".join(cond.desc for cond in self.conditions)
+
+    def __repr__(self) -> str:
+        return f"PushedPredicate({self.describe()!r})"
+
+
+class BoundPredicate:
+    """A pushed predicate with parameters resolved, plus the pruning
+    counters the storage layer fills in while scanning."""
+
+    __slots__ = ("conditions", "blocks_skipped", "rows_pruned")
+
+    def __init__(self, conditions: Tuple[Tuple[str, str, object], ...]) -> None:
+        self.conditions = conditions
+        self.blocks_skipped = 0
+        self.rows_pruned = 0
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """The distinct columns the predicate reads, in condition order."""
+        seen = []
+        for column, _, _ in self.conditions:
+            if column not in seen:
+                seen.append(column)
+        return tuple(seen)
+
+    def matches(self, row: Mapping) -> bool:
+        """Evaluate against a decoded row (or a partial dict holding at
+        least :attr:`columns`).  Mirrors the Filter chain: conditions in
+        order, short-circuiting, NULL-rejecting."""
+        for column, op, expected in self.conditions:
+            if not compare(op, row.get(column), expected):
+                return False
+        return True
+
+    def matches_vectors(self, column_vector: Callable, n_rows: int) -> list:
+        """Evaluate the predicate over a whole decoded block at once.
+
+        ``column_vector(name)`` must return the column as a list of
+        ``n_rows`` decoded values (None where absent).  Returns a
+        boolean mask in row order.  Semantically identical to calling
+        :meth:`matches` per row: conditions are applied in order and
+        later conditions are only evaluated where earlier ones still
+        hold (the ``mask[i] and ...`` short-circuit), preserving the
+        Filter chain's short-circuit behaviour exactly.
+        """
+        mask = None
+        for column, op, expected in self.conditions:
+            if op == "IN":
+                try:
+                    expected = frozenset(expected)
+                except TypeError:
+                    pass  # unhashable members: linear membership as-is
+            vector = column_vector(column)
+            if mask is None:
+                mask = [compare(op, value, expected) for value in vector]
+            else:
+                mask = [
+                    held and compare(op, vector[i], expected)
+                    for i, held in enumerate(mask)
+                ]
+        return mask if mask is not None else [True] * n_rows
+
+    def block_may_match(self, zones: Mapping) -> bool:
+        """Can any row in a block with these zone maps satisfy the
+        predicate?  ``zones`` maps column name to ``(lo, hi, distinct)``
+        where ``distinct`` is an exact frozenset of the block's values
+        (or None when cardinality exceeded the tracking cap) and an
+        all-NULL column is ``(None, None, frozenset())``.  Columns
+        absent from ``zones`` are unknown and assumed to match."""
+        for column, op, expected in self.conditions:
+            zone = zones.get(column)
+            if zone is None:
+                continue
+            try:
+                if not _zone_may_match(zone, op, expected):
+                    return False
+            except TypeError:
+                continue  # incomparable constant: cannot prune
+        return True
+
+    def note_skipped(self, blocks: int = 1) -> None:
+        self.blocks_skipped += blocks
+
+    def note_pruned(self, rows: int) -> None:
+        self.rows_pruned += rows
+        _M_ROWS_PRUNED.inc(rows)
+
+
+def _zone_may_match(zone, op: str, expected) -> bool:
+    lo, hi, distinct = zone
+    if op == "IN":
+        members = list(expected)
+        if any(member is None for member in members):
+            return True  # NULL member: compare() semantics, cannot prune
+        if distinct is not None:
+            return any(member in distinct for member in members)
+        if lo is None:
+            return False  # all-NULL block column matches nothing
+        return any(lo <= member <= hi for member in members)
+    if op == "=":
+        if expected is None:
+            return False  # compare("=", x, None) is never true
+        if distinct is not None:
+            return expected in distinct
+        if lo is None:
+            return False
+        return lo <= expected <= hi
+    if op == "!=":
+        if distinct is not None:
+            return any(value != expected for value in distinct)
+        if lo is None:
+            return False
+        return not (lo == hi == expected)
+    if lo is None:
+        return False  # ordered comparison against an all-NULL column
+    if expected is None:
+        return False
+    if op == "<":
+        return lo < expected
+    if op == "<=":
+        return lo <= expected
+    if op == ">":
+        return hi > expected
+    if op == ">=":
+        return hi >= expected
+    return True  # unknown operator: never prune

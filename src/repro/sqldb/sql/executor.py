@@ -27,9 +27,12 @@ from repro.query import (
     IndexScan,
     Limit,
     MultiGet,
+    PUSHABLE_OPS,
     Plan,
     PointLookup,
     Project,
+    PushedCondition,
+    PushedPredicate,
     ResultSet,
     Sort,
     TableMeta,
@@ -373,6 +376,7 @@ class _SelectPlanBuilder:
                 wrap=wrap,
             )
         elif access == ACCESS_PK_PREFIX:
+            pushed, residual = self._split_pushdown(alias, residual)
             node = IndexScan(
                 table,
                 column=condition.column.name,
@@ -380,8 +384,10 @@ class _SelectPlanBuilder:
                 table_name=alias,
                 access=IndexScan.PK_PREFIX,
                 wrap=wrap,
+                pushed=pushed,
             )
         elif access == ACCESS_INDEX:
+            pushed, residual = self._split_pushdown(alias, residual)
             node = IndexScan(
                 table,
                 column=condition.column.name,
@@ -389,10 +395,50 @@ class _SelectPlanBuilder:
                 table_name=alias,
                 access=IndexScan.SECONDARY,
                 wrap=wrap,
+                pushed=pushed,
             )
         else:
-            node = FullScan(table, alias, wrap=wrap)
+            pushed, residual = self._split_pushdown(alias, residual)
+            node = FullScan(table, alias, wrap=wrap, pushed=pushed)
         return node, residual
+
+    def _split_pushdown(self, alias: str, residual: List[ast.Condition]):
+        """Partition residual conditions into ``(PushedPredicate, leftover)``.
+
+        A condition moves into the storage layer only when its operator
+        is pushable (:data:`repro.query.PUSHABLE_OPS` — IS NULL and
+        IS NOT NULL stay in Filter nodes) *and* it resolves unambiguously
+        to a column of the base table ``alias``.  Conditions on joined
+        tables, ambiguous references, or unknown columns stay residual,
+        so their errors surface exactly where Filter construction always
+        raised them.  Pushing base-table conditions below the join stack
+        is sound because every join here is an inner equi-join: dropping
+        a base row early can only remove output rows the Filter would
+        have removed later.
+        """
+        pushable = []
+        leftover = []
+        for cond in residual:
+            if cond.op not in PUSHABLE_OPS:
+                leftover.append(cond)
+                continue
+            try:
+                located_alias, name = self._locate(cond.column)
+            except ProgrammingError:
+                leftover.append(cond)
+                continue
+            if located_alias != alias:
+                leftover.append(cond)
+                continue
+            if cond.op == "IN":
+                resolve = _compile_value_list(cond.value)
+            else:
+                resolve = _compile_value(cond.value)
+            pushable.append(
+                PushedCondition(name, cond.op, resolve, _condition_desc(cond))
+            )
+        pushed = PushedPredicate(pushable) if pushable else None
+        return pushed, leftover
 
     # -- joins ---------------------------------------------------------------
     def _join(self, node, join: ast.Join):

@@ -354,11 +354,19 @@ class Table:
             results.append(decode(encoded) if encoded is not None else None)
         return results
 
-    def scan(self) -> Iterator[Dict[str, object]]:
+    def scan(self, pushed=None) -> Iterator[Dict[str, object]]:
+        """Every row in key order; with ``pushed`` (a bound predicate
+        from :mod:`repro.query.pushdown`) only the rows satisfying it.
+        The clustered B-tree has no zone maps, so pushdown here is
+        row-wise pruning before rows reach the kernel."""
         for _, encoded in self._clustered.items():
-            yield self.decode_row(encoded)
+            row = self.decode_row(encoded)
+            if pushed is not None and not pushed.matches(row):
+                pushed.note_pruned(1)
+                continue
+            yield row
 
-    def lookup_pk_prefix(self, value) -> List[Dict[str, object]]:
+    def lookup_pk_prefix(self, value, pushed=None) -> List[Dict[str, object]]:
         """Rows whose *first* primary-key component equals ``value``.
 
         The clustered-index prefix scan InnoDB uses for composite keys
@@ -366,15 +374,24 @@ class Table:
         """
         if len(self.primary_key) < 2:
             row = self.get(value)
-            return [row] if row is not None else []
-        rows = []
-        for key, encoded in self._clustered.items(lo=(value,)):
-            if key[0] != value:
-                break
-            rows.append(self.decode_row(encoded))
-        return rows
+            rows = [row] if row is not None else []
+        else:
+            rows = []
+            for key, encoded in self._clustered.items(lo=(value,)):
+                if key[0] != value:
+                    break
+                rows.append(self.decode_row(encoded))
+        if pushed is None:
+            return rows
+        kept = []
+        for row in rows:
+            if pushed.matches(row):
+                kept.append(row)
+            else:
+                pushed.note_pruned(1)
+        return kept
 
-    def lookup_indexed(self, column: str, value) -> List[Dict[str, object]]:
+    def lookup_indexed(self, column: str, value, pushed=None) -> List[Dict[str, object]]:
         """Raises ProgrammingError when ``column`` has no secondary index."""
         tree = self._secondary.get(column)
         if tree is None:
@@ -384,8 +401,12 @@ class Table:
             if composite[0] != value:
                 break
             row = self.get(composite[1])
-            if row is not None:
-                rows.append(row)
+            if row is None:
+                continue
+            if pushed is not None and not pushed.matches(row):
+                pushed.note_pruned(1)
+                continue
+            rows.append(row)
         return rows
 
     def __len__(self) -> int:

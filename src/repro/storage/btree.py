@@ -72,6 +72,43 @@ def encode_key(key) -> bytes:
     raise TypeError(f"unsupported index key type: {type(key).__name__}")
 
 
+def decode_key(buffer, offset: int = 0) -> Tuple[object, int]:
+    """Inverse of :func:`encode_key`; returns ``(key, end_offset)``.
+
+    Raises ValueError for a corrupt key tag.
+    """
+    from repro.storage.encoding import (
+        decode_bool,
+        decode_bytes,
+        decode_float,
+        decode_text,
+    )
+    from repro.storage.varint import decode_varint
+
+    tag = buffer[offset]
+    offset += 1
+    if tag == 0x00:
+        return None, offset
+    if tag == 0x01:
+        return decode_varint(buffer, offset)
+    if tag == 0x02:
+        return decode_text(buffer, offset)
+    if tag == 0x03:
+        return decode_float(buffer, offset)
+    if tag == 0x04:
+        return decode_bool(buffer, offset)
+    if tag == 0x06:
+        return decode_bytes(buffer, offset)
+    if tag == 0x05:
+        count, offset = decode_varint(buffer, offset)
+        items = []
+        for _ in range(count):
+            item, offset = decode_key(buffer, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise ValueError(f"corrupt key tag 0x{tag:02x}")
+
+
 class _Leaf:
     __slots__ = ("keys", "values", "next", "encoded", "dirty")
 

@@ -36,6 +36,23 @@ def decode_bytes(buffer, offset: int = 0) -> Tuple[bytes, int]:
     return bytes(buffer[offset:end]), end
 
 
+def encode_bytes_vector(values) -> bytes:
+    """A counted vector of byte strings: varint count, then each value
+    length-prefixed.  Used for columnar block dictionaries."""
+    parts = [encode_varint(len(values))]
+    parts.extend(encode_bytes(value) for value in values)
+    return b"".join(parts)
+
+
+def decode_bytes_vector(buffer, offset: int = 0) -> Tuple[list, int]:
+    count, offset = decode_varint(buffer, offset)
+    values = []
+    for _ in range(count):
+        value, offset = decode_bytes(buffer, offset)
+        values.append(value)
+    return values, offset
+
+
 def encode_bool(value: bool) -> bytes:
     return b"\x01" if value else b"\x00"
 

@@ -1,0 +1,272 @@
+"""Columnar SSTable blocks: round-trip identity, zone-map skipping,
+dictionary encoding, mixed-format compaction (docs/columnar_blocks.md).
+
+The columnar layout must be *invisible* except for performance: every
+read path — point get, multi-get, scan, compaction input — produces the
+same answers, and the same bytes, whichever ``block_format`` the table
+was built with.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.sstable_check import columnfamily_check, sstable_check
+from repro.nosqldb.columnar import (
+    BLOCK_FORMAT_COLUMNAR,
+    BLOCK_FORMAT_ROW,
+    TAG_COLUMNAR,
+    TAG_ROW,
+    ColumnarCodec,
+    default_block_format,
+)
+from repro.nosqldb.columnfamily import Column, ColumnFamily
+from repro.nosqldb.errors import InvalidRequest
+from repro.nosqldb.sstable import SSTable, compact
+from repro.nosqldb.types import parse_type
+from repro.query.pushdown import PushedCondition, PushedPredicate
+
+
+def make_cf(block_format, **kwargs) -> ColumnFamily:
+    return ColumnFamily(
+        "t",
+        [
+            Column("id", parse_type("int")),
+            Column("name", parse_type("text")),
+            Column("m", parse_type("int")),
+        ],
+        "id",
+        block_format=block_format,
+        **kwargs,
+    )
+
+
+def fill(cf, n=60, names=("a", "b", "c")):
+    for i in range(n):
+        cf.insert({"id": i, "name": names[i % len(names)], "m": i})
+
+
+def bound_eq(column, value):
+    pred = PushedPredicate(
+        (PushedCondition(column, "=", lambda params: params[0], f"{column} = ?0"),)
+    )
+    return pred.bind((value,))
+
+
+# ----------------------------------------------------------------------
+# property: both formats are byte-identical through every read path
+# ----------------------------------------------------------------------
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),                    # id
+        st.one_of(st.none(), st.text(max_size=8)),                 # name
+        st.one_of(st.none(), st.integers(-10**6, 10**6)),          # m
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_formats_agree_byte_for_byte(rows):
+    row_cf = make_cf(BLOCK_FORMAT_ROW)
+    col_cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+    for cf in (row_cf, col_cf):
+        for id_, name, m in rows:
+            cf.insert({"id": id_, "name": name, "m": m})
+        cf.flush()
+    row_t, col_t = row_cf._sstables[0], col_cf._sstables[0]
+    assert row_t.block_format == BLOCK_FORMAT_ROW
+    assert col_t.block_format == BLOCK_FORMAT_COLUMNAR
+    # identical encoded items; columnar groups rows into larger blocks
+    # (COLUMNAR_BLOCK_FACTOR) so it never has more of them
+    assert list(row_t.items()) == list(col_t.items())
+    assert len(col_t._block_keys) <= len(row_t._block_keys)
+    assert col_t._block_keys[0] == row_t._block_keys[0]
+    # identical decoded reads
+    assert list(row_cf.scan()) == list(col_cf.scan())
+    for id_, _, _ in rows:
+        assert row_cf.get(id_) == col_cf.get(id_)
+    # the columnar table really holds columnar blocks
+    assert col_t.stats().columnar_blocks == len(col_t._blocks)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_codec_block_roundtrip_is_exact(rows):
+    cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+    for id_, name, m in rows:
+        cf.insert({"id": id_, "name": name, "m": m})
+    cf.flush()
+    table = cf._sstables[0]
+    codec = cf._codec
+    for index in range(len(table._blocks)):
+        tag, payload = table._block_payload(index)
+        assert tag == TAG_COLUMNAR
+        vectors = codec.decode_block(payload)
+        keys, encoded_rows = vectors.all_rows()
+        # decode -> rematerialize -> re-encode reproduces the payload
+        reencoded, zones, _, _ = codec.encode_block(list(zip(keys, encoded_rows)))
+        assert reencoded == payload
+        assert zones == table._zone_maps[index]
+
+
+# ----------------------------------------------------------------------
+# zone maps and dictionary encoding
+# ----------------------------------------------------------------------
+class TestZoneMaps:
+    def test_scan_skips_refuted_blocks(self):
+        cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+        # sorted key order puts all 'z' names in the trailing blocks
+        # (enough rows for several columnar-sized blocks)
+        for i in range(2000):
+            cf.insert({"id": i, "name": "a" if i < 1000 else "z", "m": i})
+        cf.flush()
+        table = cf._sstables[0]
+        before = table.blocks_skipped
+        fetched = table.scan_filtered(bound_eq("name", "z"), True, cf.decode_row)
+        rows = [(key, row) for key, row in fetched if row is not None]
+        assert {row["name"] for _, row in rows} == {"z"}
+        assert len(rows) == 1000
+        assert table.blocks_skipped > before
+
+    def test_zone_skip_counts_surface_in_stats(self):
+        cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+        fill(cf, 120)
+        cf.flush()
+        list(cf.scan(pushed=bound_eq("m", -1)))  # refutes every block
+        stats = cf.stats()
+        assert stats.block_format == BLOCK_FORMAT_COLUMNAR
+        assert stats.columnar_blocks > 0
+        assert stats.blocks_skipped > 0
+
+    def test_pruned_rows_still_shadow_older_layers(self):
+        # A newer layer's non-matching row must hide the older layer's
+        # matching one — zone skips may only drop oldest-layer blocks.
+        cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+        cf.insert({"id": 1, "name": "old", "m": 1})
+        cf.flush()
+        cf.insert({"id": 1, "name": "new", "m": 1})
+        cf.flush()
+        assert list(cf.scan(pushed=bound_eq("name", "old"))) == []
+
+    def test_all_null_column_is_skippable(self):
+        cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+        for i in range(40):
+            cf.insert({"id": i, "name": None, "m": i})
+        cf.flush()
+        bound = bound_eq("name", "x")
+        assert list(cf.scan(pushed=bound)) == []
+        assert bound.blocks_skipped > 0
+
+
+class TestDictionaries:
+    def test_low_cardinality_column_dictionary_encodes(self):
+        cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+        fill(cf, 120, names=("x", "y"))
+        cf.flush()
+        stats = cf._sstables[0].stats()
+        assert stats.dict_chunks > 0
+        assert 0.0 < stats.dict_hit_ratio <= 1.0
+
+    def test_unique_column_stays_plain(self):
+        cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+        for i in range(60):
+            cf.insert({"id": i, "name": f"unique-{i}", "m": i})
+        cf.flush()
+        # 'name' and 'm' are unique per row; only low-cardinality chunks
+        # may dictionary-encode, so plain chunks must dominate.
+        stats = cf._sstables[0].stats()
+        assert stats.plain_chunks > stats.dict_chunks
+
+
+# ----------------------------------------------------------------------
+# format plumbing and compaction
+# ----------------------------------------------------------------------
+class TestFormatSelection:
+    def test_invalid_format_rejected(self):
+        with pytest.raises(InvalidRequest, match="block_format"):
+            make_cf("parquet")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCK_FORMAT", "row")
+        assert default_block_format() == BLOCK_FORMAT_ROW
+        assert make_cf(None).block_format == BLOCK_FORMAT_ROW
+        monkeypatch.setenv("REPRO_BLOCK_FORMAT", "columnar")
+        assert default_block_format() == BLOCK_FORMAT_COLUMNAR
+
+    def test_row_format_keeps_row_tags(self):
+        cf = make_cf(BLOCK_FORMAT_ROW)
+        fill(cf)
+        cf.flush()
+        table = cf._sstables[0]
+        assert all(
+            table._block_payload(i)[0] == TAG_ROW for i in range(len(table._blocks))
+        )
+
+
+class TestMixedCompaction:
+    @pytest.fixture(autouse=True)
+    def _armed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+
+    def test_compaction_rewrites_row_inputs_to_columnar(self):
+        codec = ColumnarCodec(
+            [("id", parse_type("int")), ("m", parse_type("int"))]
+        )
+        # one row-major and one columnar input, overlapping keys
+        def encode(i, m):
+            from repro.storage.encoding import encode_text
+            from repro.storage.varint import encode_varint
+            cell = codec._types["m"].encode(m)
+            return encode_varint(1) + encode_text("m") + b"\x00" * 8 + cell
+
+        old = SSTable(
+            [(i, encode(i, i)) for i in range(40)],
+            block_format=BLOCK_FORMAT_ROW, codec=codec,
+        )
+        new = SSTable(
+            [(i, encode(i, i * 10)) for i in range(20, 60)],
+            block_format=BLOCK_FORMAT_COLUMNAR, codec=codec,
+        )
+        merged = compact(
+            [old, new], block_format=BLOCK_FORMAT_COLUMNAR, codec=codec
+        )
+        assert merged.block_format == BLOCK_FORMAT_COLUMNAR
+        assert len(merged) == 60
+        # newest layer wins on overlap, all blocks columnar
+        items = dict(merged.items())
+        assert items[30] == encode(30, 300)
+        assert items[5] == encode(5, 5)
+        report = sstable_check(merged)
+        assert report.ok, report.format_lines()
+
+    def test_family_compaction_under_checkers(self):
+        cf = make_cf(BLOCK_FORMAT_COLUMNAR)
+        # force enough flushes to trigger compaction (threshold 4)
+        for round_ in range(5):
+            for i in range(30):
+                cf.insert({"id": i, "name": f"r{round_}", "m": round_ * 100 + i})
+            cf.flush()
+        assert len(cf._sstables) < 5  # compaction ran
+        assert all(t.block_format == BLOCK_FORMAT_COLUMNAR for t in cf._sstables)
+        assert {r["name"] for r in cf.scan()} == {"r4"}
+        report = columnfamily_check(cf)
+        assert report.ok, report.format_lines()
+
+    def test_migration_row_to_columnar_via_compaction(self):
+        # a table created row-major, later switched: compaction rewrites
+        cf = make_cf(BLOCK_FORMAT_ROW)
+        fill(cf, 50)
+        cf.flush()
+        assert cf._sstables[0].block_format == BLOCK_FORMAT_ROW
+        cf.block_format = BLOCK_FORMAT_COLUMNAR
+        for round_ in range(4):
+            for i in range(50, 60):
+                cf.insert({"id": i, "name": "x", "m": round_})
+            cf.flush()
+        assert any(t.block_format == BLOCK_FORMAT_COLUMNAR for t in cf._sstables)
+        assert len(list(cf.scan())) == 60
+        report = columnfamily_check(cf)
+        assert report.ok, report.format_lines()

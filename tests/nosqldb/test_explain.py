@@ -46,12 +46,14 @@ class TestAccessPaths:
         assert plan["detail"] == "secondary-index"
         assert plan["key"] == "m"
 
-    def test_allow_filtering_is_scan_plus_filter(self, session):
+    def test_allow_filtering_pushes_condition_into_scan(self, session):
+        # The residual condition is absorbed by the scan (predicate
+        # pushdown) — no Filter stage remains in the rendered plan.
         rows = list(session.execute(
             "EXPLAIN SELECT * FROM cells WHERE m = 3 ALLOW FILTERING"
         ))
-        assert [r["node"] for r in rows] == ["FullScan", "Filter"]
-        assert rows[1]["detail"] == "m = 3"
+        assert [r["node"] for r in rows] == ["FullScan"]
+        assert rows[0]["detail"] == "full scan, pushed=m = 3"
 
     def test_scan_without_allow_filtering_still_rejected(self, session):
         with pytest.raises(InvalidRequest, match="ALLOW FILTERING"):

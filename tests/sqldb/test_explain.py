@@ -53,13 +53,15 @@ class TestBaseAccess:
         assert plan["detail"] == "secondary-index"
         assert plan["key"] == "measure"
 
-    def test_unindexed_filter_is_full_scan(self, session):
+    def test_unindexed_filter_is_pushed_full_scan(self, session):
+        # The condition is absorbed by the scan (predicate pushdown) —
+        # no Filter stage remains in the rendered plan.
         rows = list(session.execute(
             "EXPLAIN SELECT * FROM CELL WHERE cell_key = 'x'"
         ))
         assert rows[0]["node"] == "FullScan"
-        assert rows[1]["node"] == "Filter"
-        assert rows[1]["detail"] == "cell_key = 'x'"
+        assert rows[0]["detail"] == "full scan, pushed=cell_key = 'x'"
+        assert rows[1]["node"] == "Project"
 
     def test_no_where_is_full_scan(self, session):
         plan = session.execute("EXPLAIN SELECT * FROM CELL").one()
