@@ -35,24 +35,54 @@ _LAZY = {
     "CheckRunner": "repro.analysis.runner",
     "runtime_check": "repro.analysis.runner",
     "run_lint": "repro.analysis.lint",
+    "lint_file": "repro.analysis.lint",
+    "build_cfg": "repro.analysis.cfg",
+    "functions_in": "repro.analysis.cfg",
+    "dominators": "repro.analysis.cfg",
+    "solve": "repro.analysis.dataflow",
+    "ReachingDefinitions": "repro.analysis.dataflow",
+    "LiveVariables": "repro.analysis.dataflow",
+    "build_import_graph": "repro.analysis.imports",
+    "layering_violations": "repro.analysis.imports",
+    "import_cycles": "repro.analysis.imports",
+    "load_baseline": "repro.analysis.baseline",
+    "apply_baseline": "repro.analysis.baseline",
+    "write_baseline": "repro.analysis.baseline",
+    "sarif_report": "repro.analysis.sarif",
+    "sarif_dumps": "repro.analysis.sarif",
 }
 
 __all__ = [
     "CheckReport",
     "CheckRunner",
     "InvariantViolationError",
+    "LiveVariables",
+    "ReachingDefinitions",
     "Violation",
+    "apply_baseline",
     "btree_check",
+    "build_cfg",
+    "build_import_graph",
     "check_build_equivalence",
     "checks_enabled",
     "columnfamily_check",
+    "dominators",
     "dwarf_check",
+    "functions_in",
     "heap_check",
+    "import_cycles",
+    "layering_violations",
+    "lint_file",
+    "load_baseline",
     "mapping_check",
     "run_lint",
     "runtime_check",
+    "sarif_dumps",
+    "sarif_report",
+    "solve",
     "sstable_check",
     "structural_signature",
+    "write_baseline",
 ]
 
 

@@ -1,0 +1,130 @@
+"""Finding baselines: adopt the checker on a codebase with known debt.
+
+A baseline file records accepted findings so ``repro check`` can fail
+only on *new* ones.  Matching deliberately ignores line numbers —
+``(rule, path, message)`` identifies a finding across unrelated edits
+that shift it up or down the file — and consumes baseline entries as a
+multiset, so two identical findings need two baseline entries and
+fixing one of them surfaces the other.
+
+The repo ships an empty ``analysis-baseline.json``: the codebase lints
+clean, and the file exists so CI's ``--baseline`` invocation has a
+stable anchor (and so new debt has an explicit, reviewable place to be
+parked if it ever must be).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.analysis.violations import CheckReport, Violation
+
+#: Current baseline file schema version.
+VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or has an unsupported version."""
+
+
+def _location_path(location: str) -> str:
+    """``path.py`` from ``path.py:42`` (lines do not identify findings)."""
+    path, sep, line = location.rpartition(":")
+    if sep and line.isdigit():
+        return path
+    return location
+
+
+def _key(violation: Violation) -> Tuple[str, str, str]:
+    return (violation.rule, _location_path(violation.location),
+            violation.message)
+
+
+class BaselineResult(NamedTuple):
+    """Split of a report against a baseline."""
+
+    new: List[Violation]        # not in the baseline: should fail the run
+    known: List[Violation]      # matched a baseline entry
+    stale: List[Dict[str, str]]  # baseline entries nothing matched
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a ``(rule, path, message) -> count``
+    multiset.
+
+    Raises BaselineError on malformed content — a truncated baseline
+    must not silently approve everything.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected an object with version={VERSION}")
+    findings = data.get("findings")
+    if not isinstance(findings, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    counts: Counter = Counter()
+    for i, entry in enumerate(findings):
+        if not isinstance(entry, dict) or not all(
+                isinstance(entry.get(k), str)
+                for k in ("rule", "path", "message")):
+            raise BaselineError(
+                f"baseline {path}: finding #{i} needs string "
+                "rule/path/message fields")
+        counts[(entry["rule"], entry["path"], entry["message"])] += 1
+    return counts
+
+
+def apply_baseline(report: CheckReport, baseline: Counter) -> BaselineResult:
+    """Split ``report``'s violations into new vs baselined.
+
+    Consumes ``baseline`` entries one finding per entry (multiset
+    semantics); leftover entries come back as ``stale`` so the baseline
+    file shrinks as debt is paid down.
+    """
+    remaining = Counter(baseline)
+    new: List[Violation] = []
+    known: List[Violation] = []
+    for violation in report.violations:
+        key = _key(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            known.append(violation)
+        else:
+            new.append(violation)
+    stale = [
+        {"rule": rule, "path": path, "message": message}
+        for (rule, path, message), count in sorted(remaining.items())
+        for _ in range(count)
+    ]
+    return BaselineResult(new, known, stale)
+
+
+def write_baseline(path: Path, report: CheckReport) -> None:
+    """Serialise ``report``'s current findings as the new baseline."""
+    findings = sorted(
+        (
+            {"rule": v.rule, "path": _location_path(v.location),
+             "message": v.message}
+            for v in report.violations
+        ),
+        key=lambda e: (e["rule"], e["path"], e["message"]),
+    )
+    payload = {"version": VERSION, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+__all__ = [
+    "BaselineError",
+    "BaselineResult",
+    "VERSION",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

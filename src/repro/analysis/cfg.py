@@ -1,0 +1,541 @@
+"""Per-function control-flow graphs built from stdlib ``ast``.
+
+:func:`build_cfg` turns one ``FunctionDef`` into a :class:`CFG` of
+:class:`BasicBlock` nodes covering the control constructs the lint rules
+care about: ``if``/``elif``/``else``, ``while``/``for`` (with ``break``,
+``continue`` and ``else``), ``try``/``except``/``else``/``finally``,
+``with``, ``match``, early ``return`` and ``raise``.  The graph is the
+substrate for the flow-aware REPRO rules (docs/static_analysis.md) and
+for the generic solver in :mod:`repro.analysis.dataflow`.
+
+Design points
+-------------
+* **Edge kinds.**  Every edge is labelled :data:`NORMAL`, :data:`EXCEPT`
+  (flow into an exception handler, or exception propagation out of the
+  function) or :data:`BACK` (a loop back edge).  May-analyses that only
+  care about non-exceptional completion (the resource-leak rule) filter
+  on the kind.
+* **Exceptions are conservative.**  Every block created inside a ``try``
+  body gets an :data:`EXCEPT` edge to each of its handlers — any
+  statement may raise.  ``finally`` bodies are on every path out of
+  their ``try``: abrupt exits (``return``/``break``/``continue``/
+  ``raise``) are routed *through* the finally block to their real
+  target, including through nested ``finally`` chains.
+* **Block statements are flat.**  A block's ``statements`` hold simple
+  statements plus the evaluated fragments of compound headers (an
+  ``if``/``while`` test expression, a ``For`` node for its
+  target-binding header, ``withitem`` nodes for context entry).  Bodies
+  of compound statements always live in *other* blocks, so a dataflow
+  transfer function never sees nested statement lists.
+* **``with`` contexts are block attributes.**  Each block carries the
+  dotted source text of every enclosing ``with`` context expression
+  (``('self._lock',)`` inside ``with self._lock:``).  Because a ``with``
+  body is lexically scoped, every block it generates is dominated by the
+  context entry — this is what the lock-discipline rule reads.
+
+:func:`dominators` computes the classic iterative dominator sets for
+guard analyses that need more than lexical ``with`` scoping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+#: Edge kinds.
+NORMAL = "normal"
+EXCEPT = "except"
+BACK = "back"
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class Edge(NamedTuple):
+    """One directed CFG edge."""
+
+    target: "BasicBlock"
+    kind: str
+
+
+class BasicBlock:
+    """A straight-line run of statements with labelled out-edges."""
+
+    __slots__ = ("index", "label", "statements", "edges", "preds",
+                 "with_contexts")
+
+    def __init__(self, index: int, label: str,
+                 with_contexts: Tuple[str, ...] = ()) -> None:
+        self.index = index
+        self.label = label
+        self.statements: List[ast.AST] = []
+        self.edges: List[Edge] = []
+        self.preds: List["BasicBlock"] = []
+        self.with_contexts = with_contexts
+
+    # ------------------------------------------------------------------
+    def add_edge(self, target: "BasicBlock", kind: str = NORMAL) -> None:
+        for edge in self.edges:
+            if edge.target is target and edge.kind == kind:
+                return
+        self.edges.append(Edge(target, kind))
+        target.preds.append(self)
+
+    def successors(self, kinds: Optional[Iterable[str]] = None
+                   ) -> List["BasicBlock"]:
+        if kinds is None:
+            return [edge.target for edge in self.edges]
+        allowed = set(kinds)
+        return [edge.target for edge in self.edges if edge.kind in allowed]
+
+    def describe(self) -> str:
+        """``B2 loop.body(1) -> B1(back), B3`` — one stable line per block."""
+        outs = []
+        for edge in self.edges:
+            suffix = "" if edge.kind == NORMAL else f"({edge.kind})"
+            outs.append(f"B{edge.target.index}{suffix}")
+        arrow = " -> " + ", ".join(outs) if outs else ""
+        return f"B{self.index} {self.label}({len(self.statements)}){arrow}"
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock B{self.index} {self.label}>"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: List[BasicBlock] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self._node_block: Dict[int, BasicBlock] = {}
+
+    # ------------------------------------------------------------------
+    def new_block(self, label: str,
+                  with_contexts: Tuple[str, ...] = ()) -> BasicBlock:
+        block = BasicBlock(len(self.blocks), label, with_contexts)
+        self.blocks.append(block)
+        return block
+
+    def block_of(self, node: ast.AST) -> Optional[BasicBlock]:
+        """The block whose evaluation covers ``node`` (None if unmapped)."""
+        return self._node_block.get(id(node))
+
+    def reachable(self, kinds: Optional[Iterable[str]] = None
+                  ) -> Set[BasicBlock]:
+        """Blocks reachable from the entry along edges of ``kinds``."""
+        seen: Set[BasicBlock] = set()
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block in seen:
+                continue
+            seen.add(block)
+            stack.extend(b for b in block.successors(kinds) if b not in seen)
+        return seen
+
+    def describe(self) -> str:
+        """A stable multi-line rendering for golden tests."""
+        return "\n".join(block.describe() for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"CFG({self.name!r}, {len(self.blocks)} blocks)"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``self._lock`` / ``threading.Lock`` as source-ish dotted text.
+
+    Calls render with a ``()`` suffix (``self._pool.get()``); anything
+    unresolvable (subscripts, literals) returns None.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Call):
+        base = dotted_name(node.func)
+        return f"{base}()" if base else None
+    return None
+
+
+class _FinallyFrame:
+    """One active ``finally`` body plus the continuations routed through it."""
+
+    __slots__ = ("block", "loop_depth", "pending", "entered")
+
+    def __init__(self, block: BasicBlock, loop_depth: int) -> None:
+        self.block = block
+        self.loop_depth = loop_depth
+        #: (target block, edge kind) pairs the finally must forward to.
+        self.pending: List[Tuple[BasicBlock, str]] = []
+        self.entered = False  # any abrupt edge routed into this finally
+
+
+class _TryFrame:
+    """Exception-routing context of one ``try`` statement."""
+
+    __slots__ = ("handlers", "finally_frame")
+
+    def __init__(self, handlers: List[BasicBlock],
+                 finally_frame: Optional[_FinallyFrame]) -> None:
+        self.handlers = handlers
+        self.finally_frame = finally_frame
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg: Optional[CFG] = None
+        self.current: Optional[BasicBlock] = None
+        #: (header, after) per active loop.
+        self.loops: List[Tuple[BasicBlock, BasicBlock]] = []
+        self.tries: List[_TryFrame] = []
+        self.finallies: List[_FinallyFrame] = []
+        self.with_stack: List[str] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _contexts(self) -> Tuple[str, ...]:
+        return tuple(self.with_stack)
+
+    def _new_block(self, label: str) -> BasicBlock:
+        return self.cfg.new_block(label, self._contexts())
+
+    def _ensure_block(self, label: str = "unreachable") -> BasicBlock:
+        if self.current is None:
+            self.current = self._new_block(label)
+        return self.current
+
+    def _append(self, node: ast.AST, *, deep: bool = True) -> None:
+        block = self._ensure_block()
+        block.statements.append(node)
+        if deep:
+            for child in ast.walk(node):
+                self.cfg._node_block[id(child)] = block
+        else:
+            self.cfg._node_block[id(node)] = block
+
+    # -- abrupt-exit routing -------------------------------------------
+    def _route_through_finallies(self, frames: List[_FinallyFrame],
+                                 target: BasicBlock, kind: str) -> None:
+        """Connect ``self.current`` to ``target`` via a finally chain."""
+        if not frames:
+            self.current.add_edge(target, kind)
+            return
+        self.current.add_edge(frames[0].block, NORMAL)
+        for frame, nxt in zip(frames, frames[1:]):
+            frame.entered = True
+            frame.pending.append((nxt.block, NORMAL))
+        frames[0].entered = True
+        frames[-1].entered = True
+        frames[-1].pending.append((target, kind))
+
+    def _do_return(self) -> None:
+        frames = list(reversed(self.finallies))
+        self._route_through_finallies(frames, self.cfg.exit, NORMAL)
+
+    def _do_loop_jump(self, target: BasicBlock, kind: str) -> None:
+        depth = len(self.loops)
+        frames = [f for f in reversed(self.finallies) if f.loop_depth >= depth]
+        self._route_through_finallies(frames, target, kind)
+
+    def _do_raise(self) -> None:
+        """Edge(s) for a ``raise``: innermost handlers, else finally chain."""
+        frames: List[_FinallyFrame] = []
+        for frame in reversed(self.tries):
+            if frame.handlers:
+                if frames:
+                    self._route_through_finallies(
+                        frames, frame.handlers[0], EXCEPT)
+                    for handler in frame.handlers[1:]:
+                        frames[-1].pending.append((handler, EXCEPT))
+                else:
+                    for handler in frame.handlers:
+                        self.current.add_edge(handler, EXCEPT)
+                return
+            if frame.finally_frame is not None:
+                frames.append(frame.finally_frame)
+        self._route_through_finallies(frames, self.cfg.exit, EXCEPT)
+
+    # -- construction --------------------------------------------------
+    def build(self, func: ast.AST) -> CFG:
+        self.cfg = CFG(getattr(func, "name", "<lambda>"))
+        self.current = self.cfg.entry
+        self._visit_body(func.body)
+        if self.current is not None:
+            self.current.add_edge(self.cfg.exit, NORMAL)
+        return self.cfg
+
+    def _visit_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt)
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        handler = getattr(self, f"_visit_{type(stmt).__name__}", None)
+        if handler is not None:
+            handler(stmt)
+            return
+        # Nested defs/classes are opaque single statements: their bodies
+        # have their own CFGs and their own dataflow.
+        self._append(stmt, deep=not isinstance(stmt, (*FunctionNode,
+                                                      ast.ClassDef)))
+
+    # -- straight-line exits -------------------------------------------
+    def _visit_Return(self, stmt: ast.Return) -> None:
+        self._append(stmt)
+        self._do_return()
+        self.current = None
+
+    def _visit_Raise(self, stmt: ast.Raise) -> None:
+        self._append(stmt)
+        self._do_raise()
+        self.current = None
+
+    def _visit_Break(self, stmt: ast.Break) -> None:
+        self._append(stmt)
+        if self.loops:
+            self._do_loop_jump(self.loops[-1][1], NORMAL)
+        self.current = None
+
+    def _visit_Continue(self, stmt: ast.Continue) -> None:
+        self._append(stmt)
+        if self.loops:
+            self._do_loop_jump(self.loops[-1][0], BACK)
+        self.current = None
+
+    # -- branches ------------------------------------------------------
+    def _visit_If(self, stmt: ast.If) -> None:
+        cond = self._ensure_block()
+        cond.statements.append(stmt.test)
+        for child in ast.walk(stmt.test):
+            self.cfg._node_block[id(child)] = cond
+        then_block = self._new_block("if.then")
+        cond.add_edge(then_block, NORMAL)
+        self.current = then_block
+        self._visit_body(stmt.body)
+        then_end = self.current
+
+        else_end = cond
+        if stmt.orelse:
+            else_block = self._new_block("if.else")
+            cond.add_edge(else_block, NORMAL)
+            self.current = else_block
+            self._visit_body(stmt.orelse)
+            else_end = self.current
+
+        if then_end is None and else_end is None:
+            self.current = None
+            return
+        join = self._new_block("if.join")
+        if stmt.orelse:
+            if else_end is not None:
+                else_end.add_edge(join, NORMAL)
+        else:
+            cond.add_edge(join, NORMAL)
+        if then_end is not None:
+            then_end.add_edge(join, NORMAL)
+        self.current = join
+
+    def _visit_Match(self, stmt: ast.Match) -> None:
+        subject = self._ensure_block()
+        subject.statements.append(stmt.subject)
+        for child in ast.walk(stmt.subject):
+            self.cfg._node_block[id(child)] = subject
+        join = None
+        has_wildcard = False
+        for case in stmt.cases:
+            body = self._new_block("match.case")
+            subject.add_edge(body, NORMAL)
+            self.current = body
+            self._visit_body(case.body)
+            if self.current is not None:
+                if join is None:
+                    join = self._new_block("match.join")
+                self.current.add_edge(join, NORMAL)
+            if (isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None and case.guard is None):
+                has_wildcard = True
+        if not has_wildcard:
+            if join is None:
+                join = self._new_block("match.join")
+            subject.add_edge(join, NORMAL)
+        self.current = join
+
+    # -- loops ---------------------------------------------------------
+    def _loop(self, stmt, header_payload: ast.AST, label: str) -> None:
+        before = self._ensure_block()
+        header = self._new_block(f"{label}.header")
+        before.add_edge(header, NORMAL)
+        header.statements.append(header_payload)
+        for child in ast.walk(header_payload):
+            self.cfg._node_block[id(child)] = header
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # The For node itself marks the header (target binding).
+            self.cfg._node_block[id(stmt)] = header
+
+        after = self._new_block(f"{label}.after")
+        body = self._new_block(f"{label}.body")
+        header.add_edge(body, NORMAL)
+
+        self.loops.append((header, after))
+        self.current = body
+        self._visit_body(stmt.body)
+        if self.current is not None:
+            self.current.add_edge(header, BACK)
+        self.loops.pop()
+
+        if stmt.orelse:
+            else_block = self._new_block(f"{label}.else")
+            header.add_edge(else_block, NORMAL)
+            self.current = else_block
+            self._visit_body(stmt.orelse)
+            if self.current is not None:
+                self.current.add_edge(after, NORMAL)
+        else:
+            header.add_edge(after, NORMAL)
+        self.current = after
+
+    def _visit_While(self, stmt: ast.While) -> None:
+        self._loop(stmt, stmt.test, "while")
+
+    def _visit_For(self, stmt: ast.For) -> None:
+        self._loop(stmt, stmt, "for")
+
+    def _visit_AsyncFor(self, stmt: ast.AsyncFor) -> None:
+        self._loop(stmt, stmt, "for")
+
+    # -- with ----------------------------------------------------------
+    def _visit_With(self, stmt) -> None:
+        entry = self._ensure_block()
+        self.cfg._node_block[id(stmt)] = entry
+        names = []
+        for item in stmt.items:
+            entry.statements.append(item)
+            for child in ast.walk(item):
+                self.cfg._node_block[id(child)] = entry
+            name = dotted_name(item.context_expr)
+            if name:
+                names.append(name)
+        self.with_stack.extend(names)
+        body = self._new_block("with.body")
+        entry.add_edge(body, NORMAL)
+        self.current = body
+        self._visit_body(stmt.body)
+        if names:
+            del self.with_stack[-len(names):]
+        if self.current is not None:
+            after = self._new_block("with.after")
+            self.current.add_edge(after, NORMAL)
+            self.current = after
+        # else: every path out of the with body already terminated.
+
+    _visit_AsyncWith = _visit_With
+
+    # -- try -----------------------------------------------------------
+    def _visit_Try(self, stmt: ast.Try) -> None:
+        before = self._ensure_block()
+        handlers = [self._new_block("except")
+                    for _ in stmt.handlers]
+        finally_frame = None
+        if stmt.finalbody:
+            finally_frame = _FinallyFrame(
+                self._new_block("finally"), len(self.loops))
+            self.finallies.append(finally_frame)
+        self.tries.append(_TryFrame(handlers, finally_frame))
+
+        body = self._new_block("try.body")
+        before.add_edge(body, NORMAL)
+        first_new = body.index
+        self.current = body
+        self._visit_body(stmt.body)
+        body_end = self.current
+        # Any statement in the try body may raise into any handler.
+        for block in self.cfg.blocks[first_new:]:
+            for handler in handlers:
+                block.add_edge(handler, EXCEPT)
+        self.tries.pop()
+
+        exits: List[BasicBlock] = []
+        if body_end is not None:
+            if stmt.orelse:
+                else_block = self._new_block("try.else")
+                body_end.add_edge(else_block, NORMAL)
+                self.current = else_block
+                self._visit_body(stmt.orelse)
+                if self.current is not None:
+                    exits.append(self.current)
+            else:
+                exits.append(body_end)
+
+        for handler_block, handler in zip(handlers, stmt.handlers):
+            self.current = handler_block
+            self._visit_body(handler.body)
+            if self.current is not None:
+                exits.append(self.current)
+
+        if finally_frame is None:
+            if not exits:
+                self.current = None
+                return
+            after = self._new_block("try.after")
+            for block in exits:
+                block.add_edge(after, NORMAL)
+            self.current = after
+            return
+
+        self.finallies.pop()
+        for block in exits:
+            block.add_edge(finally_frame.block, NORMAL)
+        self.current = finally_frame.block
+        self._visit_body(stmt.finalbody)
+        finally_end = self.current
+        self.current = None
+        if finally_end is None:
+            return
+        if exits:
+            after = self._new_block("try.after")
+            finally_end.add_edge(after, NORMAL)
+            self.current = after
+        for target, kind in finally_frame.pending:
+            finally_end.add_edge(target, kind)
+        if self.current is None and not finally_frame.pending:
+            # finally completed but nothing flows on (body always raised
+            # with no handlers and no pending continuations).
+            finally_end.add_edge(self.cfg.exit, EXCEPT)
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef``/``AsyncFunctionDef``."""
+    if not isinstance(func, FunctionNode):
+        raise TypeError(f"build_cfg wants a function node, got "
+                        f"{type(func).__name__}")
+    return _Builder().build(func)
+
+
+def functions_in(tree: ast.AST) -> Iterable[ast.AST]:
+    """Every (possibly nested) function definition in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, FunctionNode):
+            yield node
+
+
+def dominators(cfg: CFG) -> Dict[BasicBlock, FrozenSet[BasicBlock]]:
+    """Iterative dominator sets: ``dom(b)`` = blocks on every entry path."""
+    blocks = cfg.blocks
+    universe = frozenset(blocks)
+    dom: Dict[BasicBlock, FrozenSet[BasicBlock]] = {
+        block: universe for block in blocks
+    }
+    dom[cfg.entry] = frozenset([cfg.entry])
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is cfg.entry:
+                continue
+            preds = [dom[p] for p in block.preds]
+            new = frozenset.intersection(*preds) if preds else frozenset()
+            new = new | {block}
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom

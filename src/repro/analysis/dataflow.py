@@ -1,0 +1,308 @@
+"""A generic worklist dataflow solver over :mod:`repro.analysis.cfg`.
+
+The classic monotone framework, stdlib only: a :class:`DataflowProblem`
+names a direction, a lattice join (set union for may-problems,
+intersection for must-problems) and a per-block transfer function; the
+:func:`solve` worklist iterates block transfers to a fixpoint.  For the
+common bit-vector shape, :class:`GenKillProblem` derives the transfer
+from per-block *gen* and *kill* sets, which makes the fixpoint guarantee
+trivial (transfer functions are monotone over a finite powerset).
+
+Two ready-made instances:
+
+* :class:`ReachingDefinitions` — forward-may; which assignments can
+  reach each block.  Used by the framework's own property tests.
+* :class:`LiveVariables` — backward-may; which names are read later.
+
+Flow-aware lint rules build their own problems on the same solver (the
+resource-leak rule tracks possibly-open handles forward over
+non-exceptional edges).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Hashable, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.analysis.cfg import CFG, BasicBlock
+
+FactSet = FrozenSet[Hashable]
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem:
+    """Interface of one analysis: direction, join, boundary, transfer."""
+
+    direction = FORWARD
+
+    #: Edge kinds facts may flow along (None = all edges).
+    edge_kinds: Optional[Tuple[str, ...]] = None
+
+    def boundary(self) -> FactSet:
+        """Facts at the entry (forward) / exit (backward) boundary."""
+        return frozenset()
+
+    def initial(self) -> FactSet:
+        """Starting value of every interior block (empty for may-joins)."""
+        return frozenset()
+
+    def join(self, facts: List[FactSet]) -> FactSet:
+        """Merge predecessor facts (union = may, intersection = must)."""
+        if not facts:
+            return frozenset()
+        return frozenset().union(*facts)
+
+    def transfer(self, block: BasicBlock, facts: FactSet) -> FactSet:
+        raise NotImplementedError
+
+
+class GenKillProblem(DataflowProblem):
+    """A problem whose transfer is ``gen(b) | (in - kill(b))``.
+
+    ``gen``/``kill`` are computed once per block and cached, so the
+    solver's inner loop is two frozenset operations.
+    """
+
+    def __init__(self) -> None:
+        self._gen: Dict[int, FactSet] = {}
+        self._kill: Dict[int, FactSet] = {}
+
+    def gen(self, block: BasicBlock) -> FactSet:
+        raise NotImplementedError
+
+    def kill(self, block: BasicBlock) -> FactSet:
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, facts: FactSet) -> FactSet:
+        gen = self._gen.get(block.index)
+        if gen is None:
+            gen = self._gen[block.index] = frozenset(self.gen(block))
+            self._kill[block.index] = frozenset(self.kill(block))
+        return gen | (facts - self._kill[block.index])
+
+
+class BlockFacts(NamedTuple):
+    """The solved IN/OUT pair of one block."""
+
+    in_facts: FactSet
+    out_facts: FactSet
+
+
+def solve(cfg: CFG, problem: DataflowProblem,
+          max_passes: int = 10_000) -> Dict[int, BlockFacts]:
+    """Run ``problem`` to a fixpoint; returns ``block.index -> (in, out)``.
+
+    The worklist is seeded with every block so unreachable blocks still
+    get their (boundary-free) solution.  ``max_passes`` bounds total
+    block evaluations as a defence against a non-monotone transfer; the
+    bit-vector problems here converge in a handful of sweeps.
+
+    Raises RuntimeError if the fixpoint is not reached within
+    ``max_passes`` evaluations (a broken transfer function).
+    """
+    forward = problem.direction == FORWARD
+    kinds = problem.edge_kinds
+
+    def flow_preds(block: BasicBlock) -> List[BasicBlock]:
+        if forward:
+            if kinds is None:
+                return block.preds
+            allowed = set(kinds)
+            return [p for p in block.preds
+                    if any(e.target is block and e.kind in allowed
+                           for e in p.edges)]
+        return block.successors(kinds)
+
+    def flow_succs(block: BasicBlock) -> List[BasicBlock]:
+        if forward:
+            return block.successors(kinds)
+        if kinds is None:
+            return block.preds
+        allowed = set(kinds)
+        return [p for p in block.preds
+                if any(e.target is block and e.kind in allowed
+                       for e in p.edges)]
+
+    boundary_block = cfg.entry if forward else cfg.exit
+    in_facts: Dict[int, FactSet] = {}
+    out_facts: Dict[int, FactSet] = {}
+    for block in cfg.blocks:
+        in_facts[block.index] = (problem.boundary()
+                                 if block is boundary_block
+                                 else problem.initial())
+        out_facts[block.index] = problem.transfer(block,
+                                                  in_facts[block.index])
+
+    worklist = list(cfg.blocks)
+    queued = {block.index for block in worklist}
+    passes = 0
+    while worklist:
+        passes += 1
+        if passes > max_passes:
+            raise RuntimeError(
+                f"dataflow on {cfg.name!r} did not converge in "
+                f"{max_passes} block evaluations")
+        block = worklist.pop(0)
+        queued.discard(block.index)
+        preds = flow_preds(block)
+        if preds:
+            merged = problem.join([out_facts[p.index] for p in preds])
+            if block is boundary_block:
+                merged = problem.join([merged, problem.boundary()])
+            in_facts[block.index] = merged
+        new_out = problem.transfer(block, in_facts[block.index])
+        if new_out != out_facts[block.index]:
+            out_facts[block.index] = new_out
+            for succ in flow_succs(block):
+                if succ.index not in queued:
+                    worklist.append(succ)
+                    queued.add(succ.index)
+    return {
+        index: BlockFacts(in_facts[index], out_facts[index])
+        for index in in_facts
+    }
+
+
+# ----------------------------------------------------------------------
+# Statement-level def/use extraction (CFG blocks hold flat fragments:
+# simple statements, test expressions, For headers, withitems).
+# ----------------------------------------------------------------------
+def assigned_names(node: ast.AST) -> List[Tuple[str, int]]:
+    """``(name, lineno)`` for every plain-name binding in one fragment."""
+    out: List[Tuple[str, int]] = []
+
+    def targets_of(node: ast.AST) -> Iterable[ast.expr]:
+        if isinstance(node, (ast.Assign,)):
+            return node.targets
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target] if node.target is not None else []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return [node.target]
+        if isinstance(node, ast.withitem):
+            return [node.optional_vars] if node.optional_vars else []
+        if isinstance(node, (ast.NamedExpr,)):
+            return [node.target]
+        return []
+
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        for target in targets_of(item):
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    out.append((leaf.id, getattr(leaf, "lineno",
+                                                 getattr(item, "lineno", 0))))
+        if isinstance(item, (ast.For, ast.AsyncFor)):
+            stack.append(item.iter)  # header fragment: skip the body
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef, ast.Lambda)):
+            continue
+        else:
+            stack.extend(ast.iter_child_nodes(item))
+    return out
+
+
+def used_names(node: ast.AST) -> List[str]:
+    """Names read (Load context) in one block fragment."""
+    out = []
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        if isinstance(item, ast.Name) and isinstance(item.ctx, ast.Load):
+            out.append(item.id)
+        if isinstance(item, (ast.For, ast.AsyncFor)):
+            stack.append(item.iter)
+        else:
+            stack.extend(ast.iter_child_nodes(item))
+    return out
+
+
+class Definition(NamedTuple):
+    """One reaching-definitions fact: ``name`` defined at a site."""
+
+    name: str
+    block: int
+    lineno: int
+
+
+class ReachingDefinitions(GenKillProblem):
+    """Forward-may: the definitions that can reach each block."""
+
+    direction = FORWARD
+
+    def __init__(self, cfg: CFG) -> None:
+        super().__init__()
+        self.cfg = cfg
+        self._defs_by_block: Dict[int, List[Definition]] = {}
+        self._defs_by_name: Dict[str, List[Definition]] = {}
+        for block in cfg.blocks:
+            defs = []
+            for stmt in block.statements:
+                for name, lineno in assigned_names(stmt):
+                    defs.append(Definition(name, block.index, lineno))
+            self._defs_by_block[block.index] = defs
+            for definition in defs:
+                self._defs_by_name.setdefault(definition.name,
+                                              []).append(definition)
+
+    def gen(self, block: BasicBlock) -> FactSet:
+        # The *last* definition of each name in the block survives it.
+        last: Dict[str, Definition] = {}
+        for definition in self._defs_by_block[block.index]:
+            last[definition.name] = definition
+        # Facts form a set; iteration order cannot leak into results.
+        return frozenset(last.values())  # repro: noqa[REPRO003]
+
+    def kill(self, block: BasicBlock) -> FactSet:
+        killed = set()
+        for definition in self._defs_by_block[block.index]:
+            killed.update(self._defs_by_name[definition.name])
+        return frozenset(killed) - self.gen(block)
+
+
+class LiveVariables(GenKillProblem):
+    """Backward-may: names whose current value may be read later."""
+
+    direction = BACKWARD
+
+    def __init__(self, cfg: CFG) -> None:
+        super().__init__()
+        self.cfg = cfg
+
+    def gen(self, block: BasicBlock) -> FactSet:
+        # use-before-def within the block, scanned in order.
+        defined: set = set()
+        used: set = set()
+        for stmt in block.statements:
+            for name in used_names(stmt):
+                if name not in defined:
+                    used.add(name)
+            for name, _ in assigned_names(stmt):
+                defined.add(name)
+        return frozenset(used)
+
+    def kill(self, block: BasicBlock) -> FactSet:
+        return frozenset(
+            name for stmt in block.statements
+            for name, _ in assigned_names(stmt)
+        )
+
+
+__all__ = [
+    "BACKWARD",
+    "BlockFacts",
+    "DataflowProblem",
+    "Definition",
+    "FORWARD",
+    "GenKillProblem",
+    "LiveVariables",
+    "ReachingDefinitions",
+    "assigned_names",
+    "solve",
+    "used_names",
+]

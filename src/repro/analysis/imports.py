@@ -1,0 +1,373 @@
+"""The repo-wide import graph and the declared layer order.
+
+:func:`build_import_graph` parses every module under a package root and
+records its ``repro.*`` import edges, keeping module-level ("top")
+imports separate from function-level lazy ones.  On top of the graph,
+:func:`layering_violations` enforces :data:`LAYERS` — the architecture
+DAG of README/DESIGN — and :func:`import_cycles` finds module-level
+strongly-connected components.  Both feed the REPRO012 lint rule.
+
+The declared order (low to high; a module may import strictly lower
+layers, plus its own package):
+
+====  =======================================
+rank  packages
+====  =======================================
+0     ``repro.core``, ``repro.telemetry``
+1     ``repro.storage``
+2     ``repro.query`` (the shared kernel)
+3     ``repro.sqldb``, ``repro.nosqldb``
+4     ``repro.dwarf``, ``repro.etl``
+5     ``repro.mapping``, ``repro.smartcity``
+6     ``repro.bench``, ``repro.analysis``
+7     ``repro.cli``
+8     ``repro.__main__``
+====  =======================================
+
+Two kinds of sanctioned exceptions:
+
+* **Leaf modules** (:data:`LEAF_MODULES`) may be imported from any
+  layer: ``repro.telemetry`` (stdlib-only metrics/tracing) and
+  ``repro.analysis.flags`` (the dependency-free ``REPRO_CHECK`` gate the
+  engine hot paths read).
+* **Lazy imports** (inside a function body) are exempt from the rank
+  check: they are the deliberate cycle-breaking mechanism — the checker
+  facade imports the engines it inspects lazily, the CLI imports
+  everything lazily.  Module-level cycles are still flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+#: Layer rank -> packages (module-name prefixes) at that rank.
+LAYERS: Tuple[Tuple[str, ...], ...] = (
+    ("repro.core", "repro.telemetry"),
+    ("repro.storage",),
+    ("repro.query",),
+    ("repro.sqldb", "repro.nosqldb"),
+    ("repro.dwarf", "repro.etl"),
+    ("repro.mapping", "repro.smartcity"),
+    ("repro.bench", "repro.analysis"),
+    ("repro.cli",),
+    ("repro.__main__",),
+)
+
+#: Modules importable from any layer (stdlib-only leaves).
+LEAF_MODULES: Tuple[str, ...] = ("repro.telemetry", "repro.analysis.flags")
+
+#: Importing modules the rank check skips: the package root re-exports
+#: the public API and is not itself a layer.
+EXEMPT_IMPORTERS: Tuple[str, ...] = ("repro",)
+
+
+class ImportEdge(NamedTuple):
+    """One ``importer -> imported`` edge."""
+
+    importer: str
+    imported: str
+    lineno: int
+    toplevel: bool
+
+
+class ModuleInfo(NamedTuple):
+    """One parsed module in the graph."""
+
+    name: str
+    path: Path
+    edges: Tuple[ImportEdge, ...]
+
+
+class ImportGraph(NamedTuple):
+    """Every module plus its outgoing ``repro.*`` edges."""
+
+    modules: Dict[str, ModuleInfo]
+
+    def edges(self, toplevel_only: bool = False) -> List[ImportEdge]:
+        out: List[ImportEdge] = []
+        for info in self.modules.values():
+            for edge in info.edges:
+                if toplevel_only and not edge.toplevel:
+                    continue
+                out.append(edge)
+        return out
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name of ``path``, anchored at its ``repro`` segment.
+
+    Works for the installed tree (``src/repro/...``) and for synthetic
+    test trees (``tmp/repro/...``); returns None for files outside a
+    ``repro`` package directory (benchmarks, tests).
+    """
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = list(parts[anchor:])
+    dotted[-1] = Path(dotted[-1]).stem
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+class _RawImport(NamedTuple):
+    """One import statement before submodule resolution."""
+
+    module: str          # the dotted module named by the statement
+    aliases: Tuple[str, ...]  # names bound by `from module import ...`
+    lineno: int
+    toplevel: bool
+
+
+def _raw_imports_of(tree: ast.Module, module: str) -> List[_RawImport]:
+    toplevel = {id(stmt) for stmt in tree.body}
+    # Imports directly inside a top-level `if` (TYPE_CHECKING guards,
+    # version gates) still bind at module import time.
+    for stmt in tree.body:
+        if isinstance(stmt, ast.If):
+            for sub in ast.walk(stmt):
+                toplevel.add(id(sub))
+    raw: List[_RawImport] = []
+    package = module.rsplit(".", 1)[0] if "." in module else module
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                raw.append(_RawImport(alias.name, (), node.lineno,
+                                      id(node) in toplevel))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if not node.module:
+                    continue
+                base_name = node.module
+            else:
+                # Resolve a relative import against this module's package.
+                parts = package.split(".")
+                up = node.level - 1
+                if up >= len(parts):
+                    continue
+                prefix = ".".join(parts[: len(parts) - up])
+                base_name = (f"{prefix}.{node.module}"
+                             if node.module else prefix)
+            raw.append(_RawImport(
+                base_name, tuple(alias.name for alias in node.names),
+                node.lineno, id(node) in toplevel))
+    return [r for r in raw
+            if r.module == "repro" or r.module.startswith("repro.")]
+
+
+def _resolve_edges(module: str, raw: List[_RawImport],
+                   known: Set[str]) -> List[ImportEdge]:
+    """Refine ``from pkg import name`` to ``pkg.name`` when that is a
+    known module: submodule imports through a package ``__init__`` must
+    not read as edges onto the package itself (they would make every
+    package look like a cycle with its own members)."""
+    edges: List[ImportEdge] = []
+    for item in raw:
+        targets: Set[str] = set()
+        for alias in item.aliases:
+            candidate = f"{item.module}.{alias}"
+            if candidate in known:
+                targets.add(candidate)
+            else:
+                # A plain attribute import depends on the module itself.
+                targets.add(item.module)
+        if not item.aliases:
+            targets.add(item.module)
+        for target in sorted(targets):
+            edges.append(ImportEdge(module, target, item.lineno,
+                                    item.toplevel))
+    return edges
+
+
+def build_import_graph(files: Iterable[Path]) -> ImportGraph:
+    """Parse ``files`` into an :class:`ImportGraph` (non-repro files and
+    unparseable files are skipped; the lint driver reports those
+    separately as REPRO000)."""
+    parsed: List[Tuple[Path, ast.Module]] = []
+    for path in files:
+        if module_name_for(path) is None:
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        parsed.append((path, tree))
+    return graph_from_trees(parsed)
+
+
+def graph_from_trees(
+    parsed: Sequence[Tuple[Path, ast.Module]]) -> ImportGraph:
+    """Build the graph from already-parsed ``(path, tree)`` pairs."""
+    raw: Dict[str, Tuple[Path, List[_RawImport]]] = {}
+    for path, tree in parsed:
+        name = module_name_for(path)
+        if name is None:
+            continue
+        raw[name] = (path, _raw_imports_of(tree, name))
+    known = set(raw)
+    modules: Dict[str, ModuleInfo] = {}
+    for name, (path, items) in raw.items():
+        modules[name] = ModuleInfo(
+            name, path, tuple(_resolve_edges(name, items, known)))
+    return ImportGraph(modules)
+
+
+def layer_of(module: str) -> Optional[int]:
+    """The declared rank of ``module``'s package (None if undeclared)."""
+    best: Optional[Tuple[int, int]] = None  # (prefix length, rank)
+    for rank, packages in enumerate(LAYERS):
+        for package in packages:
+            if module == package or module.startswith(package + "."):
+                if best is None or len(package) > best[0]:
+                    best = (len(package), rank)
+    return best[1] if best else None
+
+
+def package_of(module: str) -> str:
+    """The declared package prefix owning ``module`` (longest match)."""
+    best = ""
+    for packages in LAYERS:
+        for package in packages:
+            if module == package or module.startswith(package + "."):
+                if len(package) > len(best):
+                    best = package
+    return best or module
+
+
+def _is_leaf(module: str) -> bool:
+    return any(module == leaf or module.startswith(leaf + ".")
+               for leaf in LEAF_MODULES)
+
+
+class LayerViolation(NamedTuple):
+    """One import that breaks the declared DAG."""
+
+    edge: ImportEdge
+    message: str
+
+
+def layering_violations(graph: ImportGraph) -> List[LayerViolation]:
+    """Top-level imports that climb the layer order or cross a rank."""
+    out: List[LayerViolation] = []
+    for edge in graph.edges(toplevel_only=True):
+        if edge.importer in EXEMPT_IMPORTERS or edge.imported == "repro":
+            continue
+        if _is_leaf(edge.imported):
+            continue
+        src_pkg, dst_pkg = package_of(edge.importer), package_of(edge.imported)
+        if src_pkg == dst_pkg:
+            continue
+        src_rank, dst_rank = layer_of(edge.importer), layer_of(edge.imported)
+        if src_rank is None:
+            out.append(LayerViolation(
+                edge,
+                f"{edge.importer} belongs to no declared layer; add its "
+                "package to repro.analysis.imports.LAYERS"))
+            continue
+        if dst_rank is None:
+            out.append(LayerViolation(
+                edge,
+                f"{edge.importer} imports {edge.imported}, which belongs to "
+                "no declared layer; add it to "
+                "repro.analysis.imports.LAYERS"))
+            continue
+        if dst_rank > src_rank:
+            out.append(LayerViolation(
+                edge,
+                f"{edge.importer} (layer {src_rank}, {src_pkg}) imports "
+                f"{edge.imported} (layer {dst_rank}, {dst_pkg}): imports "
+                "must point down the layer order; use a function-level "
+                "lazy import if the dependency is genuinely runtime-only"))
+        elif dst_rank == src_rank:
+            out.append(LayerViolation(
+                edge,
+                f"{edge.importer} imports sibling package {dst_pkg}: "
+                f"packages at layer {src_rank} are independent peers"))
+    return out
+
+
+def import_cycles(graph: ImportGraph) -> List[List[str]]:
+    """Module-level import cycles (SCCs of the top-level edge graph).
+
+    Returns each cycle as a sorted module list; singleton SCCs only
+    count when the module imports itself.
+    """
+    adjacency: Dict[str, List[str]] = {name: [] for name in graph.modules}
+    for edge in graph.edges(toplevel_only=True):
+        # Only edges to modules in the graph matter (importing a package
+        # lands on its __init__, which is registered under the package
+        # name); edges out of the analyzed tree cannot close a cycle.
+        if edge.imported in adjacency:
+            adjacency[edge.importer].append(edge.imported)
+
+    # Tarjan, iterative.
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(adjacency[root]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in adjacency[node]:
+                    cycles.append(sorted(component))
+
+    for name in sorted(adjacency):
+        if name not in index:
+            strongconnect(name)
+    return sorted(cycles)
+
+
+__all__ = [
+    "EXEMPT_IMPORTERS",
+    "ImportEdge",
+    "ImportGraph",
+    "LAYERS",
+    "LEAF_MODULES",
+    "LayerViolation",
+    "ModuleInfo",
+    "build_import_graph",
+    "graph_from_trees",
+    "import_cycles",
+    "layer_of",
+    "layering_violations",
+    "module_name_for",
+    "package_of",
+]

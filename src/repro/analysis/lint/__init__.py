@@ -1,0 +1,147 @@
+"""The repo-specific lint pass (stdlib ``ast`` only, no flake8).
+
+Thirteen rules, each guarding a failure mode this codebase has actually
+to care about, one module per rule family:
+
+========= ===================== ==========================================
+REPRO000  unparseable           a lint root contains a file ast cannot
+                                parse (driver pseudo-rule)
+REPRO001  mutable-default       :mod:`~repro.analysis.lint.mutability`
+REPRO002  bare-except           :mod:`~repro.analysis.lint.exceptions`
+REPRO003  dict-order-hash       :mod:`~repro.analysis.lint.hashing`
+REPRO004  undocumented-raise    :mod:`~repro.analysis.lint.exceptions`
+REPRO005  layering              :mod:`~repro.analysis.lint.layering`
+REPRO006  kernel-independence   :mod:`~repro.analysis.lint.layering`
+REPRO007  raw-clock             :mod:`~repro.analysis.lint.timing`
+REPRO008  lock-discipline       :mod:`~repro.analysis.lint.concurrency`
+REPRO009  resource-leak         :mod:`~repro.analysis.lint.resources`
+REPRO010  thread-shared-state   :mod:`~repro.analysis.lint.concurrency`
+REPRO011  exception-flow        :mod:`~repro.analysis.lint.exceptions`
+REPRO012  import-layering       :mod:`~repro.analysis.lint.layering`
+REPRO013  unused-suppression    stale ``# repro: noqa`` pragma (driver
+                                pseudo-rule)
+========= ===================== ==========================================
+
+Findings on a line can be silenced with ``# repro: noqa[REPRO001]`` (see
+:mod:`~repro.analysis.lint.pragmas`); pragmas that never fire are
+themselves findings.  Run via :func:`run_lint` or
+``python -m repro check --lint``; see ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.lint import registry
+from repro.analysis.lint.context import FileContext, ProjectContext
+from repro.analysis.lint.registry import (
+    DRIVER,
+    Rule,
+    all_rules,
+    rule_ids,
+    select_rules,
+)
+from repro.analysis.violations import CheckReport
+
+# Registering the driver pseudo-rules first keeps ids sorted == grouped.
+registry.register(Rule(
+    "REPRO000", "unparseable",
+    "a lint root contains a file the parser rejects", scope=DRIVER))
+registry.register(Rule(
+    "REPRO013", "unused-suppression",
+    "a `# repro: noqa` pragma suppressed nothing", scope=DRIVER))
+
+# Rule families register themselves on import.
+from repro.analysis.lint import (  # noqa: E402  (registration order)
+    concurrency,
+    exceptions,
+    hashing,
+    layering,
+    mutability,
+    resources,
+    timing,
+)
+
+
+def package_root() -> Path:
+    """The ``repro`` package directory this lint defends by default."""
+    return Path(__file__).resolve().parents[2]
+
+
+def default_roots() -> List[Path]:
+    """Default lint roots: the package plus ``benchmarks/`` when present."""
+    roots = [package_root()]
+    benchmarks = package_root().parents[1] / "benchmarks"
+    if benchmarks.is_dir():
+        roots.append(benchmarks)
+    return roots
+
+
+def iter_source_files(paths: Optional[Sequence] = None) -> List[Path]:
+    """Resolve ``paths`` (files or directories) to a sorted ``.py`` list."""
+    roots = [Path(p) for p in paths] if paths else default_roots()
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    return files
+
+
+def run_lint(paths: Optional[Sequence] = None,
+             rules: Optional[Sequence[str]] = None,
+             exclude_rules: Optional[Sequence[str]] = None) -> CheckReport:
+    """Lint every file under ``paths`` (default: the repro package).
+
+    ``rules``/``exclude_rules`` narrow the run to a subset of rule ids;
+    unknown ids raise ValueError (reject a typo, don't run nothing).
+    """
+    selected = select_rules(rules, exclude_rules)
+    report = CheckReport("lint")
+    contexts: List[FileContext] = []
+    for path in iter_source_files(paths):
+        ctx = FileContext.parse(path, report,
+                                report_errors="REPRO000" in selected)
+        if ctx is None:
+            continue
+        contexts.append(ctx)
+        _run_file_rules(ctx, selected)
+    project = ProjectContext(contexts, report)
+    for entry in registry.checks(registry.PROJECT, selected):
+        entry.check(project)
+    for ctx in contexts:
+        ctx.flush_unused_suppressions(selected)
+    return report
+
+
+def lint_file(path: Path, report: CheckReport) -> None:
+    """Run every file-scope rule over one file (the classic entry point).
+
+    Project-scope rules (REPRO012) need the whole tree and only run via
+    :func:`run_lint`.
+    """
+    ctx = FileContext.parse(path, report)
+    if ctx is None:
+        return
+    selected = set(rule_ids())
+    _run_file_rules(ctx, selected)
+    ctx.flush_unused_suppressions(selected)
+
+
+def _run_file_rules(ctx: FileContext, selected: Set[str]) -> None:
+    for entry in registry.checks(registry.FILE, selected):
+        entry.check(ctx)
+
+
+__all__ = [
+    "all_rules",
+    "default_roots",
+    "iter_source_files",
+    "lint_file",
+    "package_root",
+    "rule_ids",
+    "run_lint",
+    "select_rules",
+]

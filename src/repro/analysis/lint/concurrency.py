@@ -1,0 +1,322 @@
+"""Concurrency-safety rules: REPRO008 lock discipline, REPRO010 shared state.
+
+* **REPRO008 lock-discipline** — a class that builds a lock in
+  ``__init__`` (``self._lock = threading.Lock()`` or RLock/Condition)
+  establishes a discipline: any instance field mutated under ``with
+  self._lock:`` *somewhere* in the class is lock-protected *everywhere*.
+  A mutation of such a field on a CFG path not dominated by the lock's
+  ``with`` context (or an explicit ``.acquire()``) is a race.
+  ``__init__``/``__new__`` and ``reset``-style methods are exempt —
+  construction and teardown happen before/after the object is shared.
+* **REPRO010 thread-shared-state** — module-level mutable containers
+  (dict/list/set/OrderedDict/defaultdict/deque literals or constructor
+  calls) in the concurrent packages (``nosqldb/``, ``query/``,
+  ``telemetry/``) may only be written from inside ``with <lock>:`` or
+  from a ``reset``/``clear``-named setup function; anything else is a
+  cross-thread data race waiting for load.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG, FunctionNode, dominators, dotted_name
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import rule
+
+#: threading constructors whose result makes an attribute a lock.
+_LOCK_FACTORIES = ("Lock", "RLock", "Condition")
+
+#: Method-name fragments exempt from lock discipline (single-threaded
+#: construction / explicit teardown phases).
+_EXEMPT_METHOD_PARTS = ("reset", "clear", "close")
+
+#: Path fragments whose module globals REPRO010 applies to.
+_SHARED_STATE_PARTS = ("/nosqldb/", "/query/", "/telemetry/")
+
+#: Module-level constructor names that build a mutable container.
+_CONTAINER_CALLS = ("dict", "list", "set", "OrderedDict", "defaultdict",
+                    "Counter", "deque")
+
+_CONTAINER_LITERALS = (ast.Dict, ast.List, ast.Set)
+
+#: Container methods that mutate in place.
+_MUTATING_METHODS = ("append", "extend", "add", "update", "setdefault",
+                     "pop", "popitem", "remove", "discard", "insert",
+                     "clear", "appendleft", "extendleft")
+
+
+def _walk_shallow(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``func``'s subtree, skipping nested defs/lambdas/classes.
+
+    Rules over a function's own CFG must not see statements of nested
+    scopes — those blocks belong to a different graph.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*FunctionNode, ast.Lambda, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_exempt_method(name: str) -> bool:
+    if name in ("__init__", "__new__", "__del__", "__enter__", "__exit__"):
+        return True
+    return any(part in name.lower() for part in _EXEMPT_METHOD_PARTS)
+
+
+def _is_lock_factory(call: ast.AST) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    name = None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    return name in _LOCK_FACTORIES
+
+
+# ----------------------------------------------------------------------
+# REPRO008 — lock-guarded field discipline within a class
+# ----------------------------------------------------------------------
+def _class_locks(cls: ast.ClassDef) -> Set[str]:
+    """Lock attribute names: ``self.X = threading.Lock()`` in any method."""
+    locks: Set[str] = set()
+    for method in cls.body:
+        if not isinstance(method, FunctionNode):
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_lock_factory(node.value):
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    locks.add(target.attr)
+    return locks
+
+
+def _self_field_mutations(method: ast.AST) -> Iterable[Tuple[str, ast.stmt]]:
+    """``(field, stmt)`` for each ``self.field`` store/augstore in a stmt.
+
+    Only direct statements of the method body count (nested defs have
+    their own discipline); mutating *method calls* on containers
+    (``self.x.append(...)``) count as writes too.
+    """
+    for node in _walk_shallow(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                base = target
+                # self.x[k] = v and self.x.y = v mutate self.x's object.
+                while isinstance(base, (ast.Subscript,)):
+                    base = base.value
+                if (isinstance(base, ast.Attribute)
+                        and isinstance(base.value, ast.Name)
+                        and base.value.id == "self"):
+                    yield base.attr, node
+        elif (isinstance(node, ast.Expr)
+              and isinstance(node.value, ast.Call)
+              and isinstance(node.value.func, ast.Attribute)
+              and node.value.func.attr in _MUTATING_METHODS):
+            owner = node.value.func.value
+            if (isinstance(owner, ast.Attribute)
+                    and isinstance(owner.value, ast.Name)
+                    and owner.value.id == "self"):
+                yield owner.attr, node
+
+
+def _guarded(cfg: CFG, stmt: ast.stmt, lock_contexts: Set[str],
+             doms=None) -> bool:
+    """True when ``stmt``'s block is inside a lock's ``with`` context or
+    dominated by a block containing ``<lock>.acquire()``."""
+    block = cfg.block_of(stmt)
+    if block is None:
+        return False
+    if any(ctx_name in lock_contexts for ctx_name in block.with_contexts):
+        return True
+    if doms is None:
+        doms = dominators(cfg)
+    for dom in doms.get(block, ()):
+        if any(ctx_name in lock_contexts for ctx_name in dom.with_contexts):
+            return True
+        for node in dom.statements:
+            for call in ast.walk(node):
+                if (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "acquire"):
+                    owner = dotted_name(call.func.value)
+                    if owner in lock_contexts:
+                        return True
+    return False
+
+
+@rule("REPRO008", "lock-discipline",
+      "lock-guarded field mutated on an unguarded CFG path")
+def check_lock_discipline(ctx: FileContext) -> None:
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks = _class_locks(cls)
+        if not locks:
+            continue
+        lock_contexts = {f"self.{name}" for name in locks}
+        methods = [m for m in cls.body if isinstance(m, FunctionNode)]
+        # Pass 1: which fields does this class ever mutate under a lock?
+        guarded_fields: Set[str] = set()
+        per_method: Dict[int, List[Tuple[str, ast.stmt]]] = {}
+        dom_cache: Dict[int, dict] = {}
+        for method in methods:
+            mutations = [(field, stmt)
+                         for field, stmt in _self_field_mutations(method)
+                         if field not in locks]
+            per_method[id(method)] = mutations
+            if not mutations:
+                continue
+            cfg = ctx.cfg(method)
+            doms = dom_cache.setdefault(id(method), dominators(cfg))
+            for field, stmt in mutations:
+                if _guarded(cfg, stmt, lock_contexts, doms):
+                    guarded_fields.add(field)
+        if not guarded_fields:
+            continue
+        # Pass 2: every mutation of a guarded field must itself be guarded.
+        for method in methods:
+            if _is_exempt_method(method.name):
+                continue
+            mutations = [m for m in per_method[id(method)]
+                         if m[0] in guarded_fields]
+            if not mutations:
+                continue
+            cfg = ctx.cfg(method)
+            doms = dom_cache.setdefault(id(method), dominators(cfg))
+            for field, stmt in mutations:
+                ctx.check(
+                    _guarded(cfg, stmt, lock_contexts, doms),
+                    "REPRO008", stmt.lineno,
+                    f"{cls.name}.{method.name}() mutates self.{field} "
+                    "outside its lock; the class guards this field with "
+                    f"`with self.{sorted(locks)[0]}:` elsewhere, so this "
+                    "write can race",
+                )
+
+
+# ----------------------------------------------------------------------
+# REPRO010 — module-level mutable containers written without a lock
+# ----------------------------------------------------------------------
+def _module_containers(tree: ast.Module) -> Dict[str, int]:
+    """``name -> lineno`` of module-level mutable container bindings."""
+    containers: Dict[str, int] = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = stmt.value
+        if value is None:
+            continue
+        is_container = isinstance(value, _CONTAINER_LITERALS) or (
+            isinstance(value, ast.Call)
+            and ((isinstance(value.func, ast.Name)
+                  and value.func.id in _CONTAINER_CALLS)
+                 or (isinstance(value.func, ast.Attribute)
+                     and value.func.attr in _CONTAINER_CALLS)))
+        if not is_container:
+            continue
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if isinstance(target, ast.Name):
+                containers[target.id] = stmt.lineno
+    return containers
+
+
+def _module_locks(tree: ast.Module) -> Set[str]:
+    """Module-level lock names: Lock()-assigned or name-contains-lock."""
+    locks: Set[str] = set()
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_lock_factory(stmt.value) or "lock" in target.id.lower():
+                locks.add(target.id)
+    return locks
+
+
+def _container_writes(func: ast.AST, names: Set[str]
+                      ) -> Iterable[Tuple[str, ast.stmt]]:
+    """Statements in ``func`` that write a module-level container.
+
+    A write is a mutating method call, a subscript store, an augmented
+    assignment, or a rebinding via ``global``.
+    """
+    declared_global: Set[str] = set()
+    for node in _walk_shallow(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in _walk_shallow(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in names):
+                    yield target.value.id, node
+                elif (isinstance(target, ast.Name)
+                      and target.id in names
+                      and target.id in declared_global):
+                    yield target.id, node
+        elif (isinstance(node, ast.Expr)
+              and isinstance(node.value, ast.Call)
+              and isinstance(node.value.func, ast.Attribute)
+              and node.value.func.attr in _MUTATING_METHODS
+              and isinstance(node.value.func.value, ast.Name)
+              and node.value.func.value.id in names):
+            yield node.value.func.value.id, node
+        elif (isinstance(node, ast.Delete)):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in names):
+                    yield target.value.id, node
+
+
+@rule("REPRO010", "thread-shared-state",
+      "module-level mutable container written without a lock")
+def check_shared_state(ctx: FileContext) -> None:
+    if not any(part in ctx.posix for part in _SHARED_STATE_PARTS):
+        return
+    containers = _module_containers(ctx.tree)
+    if not containers:
+        return
+    names = set(containers)
+    locks = _module_locks(ctx.tree)
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, FunctionNode):
+            continue
+        if _is_exempt_method(func.name):
+            continue
+        writes = list(_container_writes(func, names))
+        if not writes:
+            continue
+        cfg = ctx.cfg(func)
+        doms = dominators(cfg)
+        for name, stmt in writes:
+            ctx.check(
+                bool(locks) and _guarded(cfg, stmt, locks, doms),
+                "REPRO010", stmt.lineno,
+                f"{func.name}() writes module-level container {name} "
+                "without holding a module lock; wrap the write in "
+                "`with <lock>:` (or rename the function to a reset/clear "
+                "setup helper if it runs before threads start)",
+            )

@@ -1,0 +1,162 @@
+"""Per-file and per-project state handed to lint rule checks.
+
+A :class:`FileContext` owns one parsed module: its AST, source, display
+path, suppression table and a memoised CFG cache so several flow-aware
+rules share one graph per function.  A :class:`ProjectContext` wraps the
+full set of parsed files plus the lazily-built import graph for
+project-scope rules (REPRO012).
+
+All finding traffic goes through ``ctx.check``/``ctx.add`` — that is
+where ``# repro: noqa`` suppression is applied, so individual rules
+never need to know pragmas exist.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.imports import ImportGraph, graph_from_trees
+from repro.analysis.lint.pragmas import Suppressions, parse_suppressions
+from repro.analysis.violations import CheckReport
+
+_CHECKER = "lint"
+
+
+def display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class FileContext:
+    """One successfully parsed file plus everything rules need on it."""
+
+    __slots__ = ("path", "posix", "display", "tree", "source", "report",
+                 "suppressions", "_cfgs")
+
+    def __init__(self, path: Path, tree: ast.Module, source: str,
+                 report: CheckReport,
+                 suppressions: Optional[Suppressions] = None) -> None:
+        self.path = path
+        self.posix = path.resolve().as_posix()
+        self.display = display_path(path)
+        self.tree = tree
+        self.source = source
+        self.report = report
+        self.suppressions = (parse_suppressions(source)
+                             if suppressions is None else suppressions)
+        self._cfgs: Dict[int, CFG] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, path: Path, report: CheckReport,
+              report_errors: bool = True) -> Optional["FileContext"]:
+        """Parse ``path``; on failure record REPRO000 and return None.
+
+        The parse itself counts as one evaluated check, so a run over
+        broken files is never indistinguishable from a clean run in
+        ``report.summary()``.  With ``report_errors=False`` (REPRO000
+        deselected) the failure is counted but not reported.
+        """
+        location = display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            if report_errors:
+                report.check(False, _CHECKER, "REPRO000", location,
+                             f"unparseable: {exc}")
+            else:
+                report.record()
+            return None
+        report.record()
+        return cls(path, tree, source, report)
+
+    # ------------------------------------------------------------------
+    def add(self, rule_id: str, lineno: int, message: str) -> None:
+        """Record one finding unless a pragma on its line suppresses it."""
+        if self.suppressions.suppressed(rule_id, lineno):
+            return
+        self.report.add(_CHECKER, rule_id, f"{self.display}:{lineno}",
+                        message)
+
+    def check(self, condition: bool, rule_id: str, lineno: int,
+              message: str) -> bool:
+        """Count one invariant evaluation; record a finding on failure."""
+        self.report.record()
+        if not condition:
+            self.add(rule_id, lineno, message)
+        return condition
+
+    def record(self, n: int = 1) -> None:
+        self.report.record(n)
+
+    # ------------------------------------------------------------------
+    def cfg(self, func: ast.AST) -> CFG:
+        """The (memoised) CFG of one function node in this file."""
+        cached = self._cfgs.get(id(func))
+        if cached is None:
+            cached = self._cfgs[id(func)] = build_cfg(func)
+        return cached
+
+    def flush_unused_suppressions(self, selected) -> None:
+        """Emit REPRO013 for pragmas that never matched a finding."""
+        if "REPRO013" not in selected:
+            return
+        for lineno, rule_id in self.suppressions.unused(selected):
+            label = ("any rule" if rule_id == "*" else rule_id)
+            self.report.check(
+                False, _CHECKER, "REPRO013", f"{self.display}:{lineno}",
+                f"unused suppression: no {label} finding on this line; "
+                "remove the stale `# repro: noqa` pragma")
+
+
+class ProjectContext:
+    """Cross-file state for project-scope rules."""
+
+    __slots__ = ("files", "report", "_graph", "_by_path")
+
+    def __init__(self, files: List[FileContext],
+                 report: CheckReport) -> None:
+        self.files = files
+        self.report = report
+        self._graph: Optional[ImportGraph] = None
+        self._by_path: Optional[Dict[str, FileContext]] = None
+
+    @property
+    def graph(self) -> ImportGraph:
+        """The import graph over every parsed file (built once)."""
+        if self._graph is None:
+            self._graph = graph_from_trees(
+                [(ctx.path, ctx.tree) for ctx in self.files])
+        return self._graph
+
+    def context_for(self, path: Path) -> Optional[FileContext]:
+        if self._by_path is None:
+            self._by_path = {ctx.posix: ctx for ctx in self.files}
+        return self._by_path.get(path.resolve().as_posix())
+
+    # ------------------------------------------------------------------
+    def check(self, condition: bool, rule_id: str, path: Path, lineno: int,
+              message: str) -> bool:
+        """Like :meth:`FileContext.check`, routed through the right
+        file's suppression table (project findings are suppressible on
+        the offending line, e.g. an import)."""
+        ctx = self.context_for(path)
+        if ctx is not None:
+            return ctx.check(condition, rule_id, lineno, message)
+        self.report.record()
+        if not condition:
+            self.report.add(_CHECKER, rule_id,
+                            f"{display_path(path)}:{lineno}", message)
+        return condition
+
+    def record(self, n: int = 1) -> None:
+        self.report.record(n)
+
+
+__all__ = ["FileContext", "ProjectContext", "display_path"]

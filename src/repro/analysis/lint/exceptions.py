@@ -1,0 +1,269 @@
+"""Exception-contract rules: REPRO002, REPRO004 and flow-aware REPRO011.
+
+* **REPRO002 bare-except** — ``except:`` swallows ``KeyboardInterrupt``
+  and ``SystemExit`` and hides checker/engine bugs; catch something.
+* **REPRO004 undocumented-raise** — public functions of the engine
+  packages (``storage/``, ``sqldb/``, ``nosqldb/``, minus the query
+  front-ends) must name every error type they directly raise in their
+  docstring; callers program against those docstrings.
+* **REPRO011 exception-flow** — the CFG-based upgrade of REPRO004: a
+  public engine function that calls a *private* same-module helper can
+  raise whatever the helper raises on a reachable CFG path.  Those
+  propagated error types must be documented too (or caught at the call
+  site).  Inference is one helper level deep by design: public helpers
+  document their own contracts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import FunctionNode
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import rule
+
+#: Suffixes of exception class names REPRO004/REPRO011 require
+#: docstrings to name.
+_ERROR_SUFFIXES = ("Error", "Exception", "Exists", "Request", "Warning")
+
+#: Handler types treated as catching anything.
+_BROAD_HANDLERS = ("Exception", "BaseException")
+
+
+@rule("REPRO002", "bare-except",
+      "bare `except:` swallows KeyboardInterrupt/SystemExit")
+def check_bare_except(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler):
+            ctx.check(
+                node.type is not None, "REPRO002", node.lineno,
+                "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception or something narrower",
+            )
+
+
+# ----------------------------------------------------------------------
+# Shared raise-contract helpers
+# ----------------------------------------------------------------------
+def raise_docs_apply(posix: str) -> bool:
+    if "/sql/" in posix or "/cql/" in posix:
+        return False
+    return any(
+        part in posix for part in ("/storage/", "/sqldb/", "/nosqldb/")
+    )
+
+
+def public_functions(tree: ast.Module):
+    """Top-level public functions and public methods of top-level classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not item.name.startswith("_"):
+                        yield item
+
+
+def raised_in(func: ast.AST) -> Iterable[ast.Raise]:
+    """Direct ``raise Name(...)``/``raise Name`` statements in ``func``.
+
+    Nested defs are skipped — their raises are not part of the enclosing
+    function's visible contract until the closure is called.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                             ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Raise):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def error_name(raise_node: ast.Raise) -> Optional[str]:
+    exc = raise_node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = None
+    if isinstance(exc, ast.Name):
+        name = exc.id
+    elif isinstance(exc, ast.Attribute):
+        name = exc.attr
+    if name == "NotImplementedError":
+        # An abstract-method stub is a contract for implementers, not an
+        # error callers of a concrete engine can observe.
+        return None
+    if name and name.endswith(_ERROR_SUFFIXES):
+        return name
+    return None
+
+
+@rule("REPRO004", "undocumented-raise",
+      "public engine API raises an error its docstring does not name")
+def check_undocumented_raises(ctx: FileContext) -> None:
+    if not raise_docs_apply(ctx.posix):
+        return
+    for func in public_functions(ctx.tree):
+        docstring = ast.get_docstring(func) or ""
+        for raise_node in raised_in(func):
+            name = error_name(raise_node)
+            if name is None:
+                continue
+            ctx.check(
+                name in docstring, "REPRO004", raise_node.lineno,
+                f"public {func.name}() raises {name} but its docstring "
+                "does not mention it; callers program against docstrings",
+            )
+
+
+# ----------------------------------------------------------------------
+# REPRO011 — raise-set inference through private helpers
+# ----------------------------------------------------------------------
+def _reachable_raise_set(ctx: FileContext, func: ast.AST) -> Set[str]:
+    """Error names raised on a CFG-reachable path of ``func``.
+
+    CFG-based so a raise in dead code (after an unconditional return)
+    does not widen the helper's inferred contract.
+    """
+    cfg = ctx.cfg(func)
+    live_blocks = cfg.reachable()
+    names: Set[str] = set()
+    for raise_node in raised_in(func):
+        block = cfg.block_of(raise_node)
+        if block is not None and block not in live_blocks:
+            continue
+        name = error_name(raise_node)
+        if name:
+            names.add(name)
+    return names
+
+
+def _private_helpers(tree: ast.Module) -> Dict[Tuple[str, str], ast.AST]:
+    """``(scope, name) -> def`` for private module- and class-level helpers.
+
+    Module scope uses ``("", name)``; methods use ``(class_name, name)``.
+    """
+    helpers: Dict[Tuple[str, str], ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, FunctionNode) and node.name.startswith("_"):
+            helpers[("", node.name)] = node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if (isinstance(item, FunctionNode)
+                        and item.name.startswith("_")
+                        and not item.name.startswith("__")):
+                    helpers[(node.name, item.name)] = item
+    return helpers
+
+
+def _enclosing_class(tree: ast.Module, func: ast.AST) -> Optional[str]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and func in node.body:
+            return node.name
+    return None
+
+
+def _helper_calls(func: ast.AST) -> Iterable[Tuple[ast.Call, str, bool]]:
+    """``(call, helper_name, is_method)`` for private-helper call sites."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*FunctionNode, ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id.startswith("_")):
+                yield node, node.func.id, False
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr.startswith("_")
+                  and isinstance(node.func.value, ast.Name)
+                  and node.func.value.id in ("self", "cls")):
+                yield node, node.func.attr, True
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _caught_names(func: ast.AST, call: ast.Call) -> Set[str]:
+    """Exception names caught by ``try`` statements enclosing ``call``."""
+    caught: Set[str] = set()
+
+    def handler_names(handler: ast.ExceptHandler) -> Iterable[str]:
+        if handler.type is None:
+            yield "BaseException"
+            return
+        types = (handler.type.elts
+                 if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        for node in types:
+            if isinstance(node, ast.Name):
+                yield node.id
+            elif isinstance(node, ast.Attribute):
+                yield node.attr
+
+    def walk(node: ast.AST, active: List[ast.Try]) -> bool:
+        if node is call:
+            for try_node in active:
+                for handler in try_node.handlers:
+                    caught.update(handler_names(handler))
+            return True
+        if isinstance(node, (*FunctionNode, ast.Lambda, ast.ClassDef)):
+            if node is not func:
+                return False
+        if isinstance(node, ast.Try):
+            for child in node.body + node.orelse:
+                if walk(child, active + [node]):
+                    return True
+            for handler in node.handlers:
+                for child in handler.body:
+                    if walk(child, active):
+                        return True
+            for child in node.finalbody:
+                if walk(child, active):
+                    return True
+            return False
+        for child in ast.iter_child_nodes(node):
+            if walk(child, active):
+                return True
+        return False
+
+    walk(func, [])
+    return caught
+
+
+@rule("REPRO011", "exception-flow",
+      "public engine API propagates an undocumented error via a helper")
+def check_exception_flow(ctx: FileContext) -> None:
+    if not raise_docs_apply(ctx.posix):
+        return
+    helpers = _private_helpers(ctx.tree)
+    if not helpers:
+        return
+    raise_sets: Dict[Tuple[str, str], Set[str]] = {}
+    for func in public_functions(ctx.tree):
+        docstring = ast.get_docstring(func) or ""
+        own_class = _enclosing_class(ctx.tree, func)
+        for call, helper_name, is_method in _helper_calls(func):
+            scope = (own_class or "") if is_method else ""
+            helper = helpers.get((scope, helper_name))
+            if helper is None:
+                continue
+            key = (scope, helper_name)
+            if key not in raise_sets:
+                raise_sets[key] = _reachable_raise_set(ctx, helper)
+            propagated = raise_sets[key]
+            if not propagated:
+                ctx.record()
+                continue
+            caught = _caught_names(func, call)
+            broad = any(name in caught for name in _BROAD_HANDLERS)
+            for name in sorted(propagated):
+                ctx.check(
+                    name in docstring or name in caught or broad,
+                    "REPRO011", call.lineno,
+                    f"public {func.name}() can raise {name} via "
+                    f"{helper_name}() but neither documents nor catches "
+                    "it; name it in the docstring or handle it here",
+                )

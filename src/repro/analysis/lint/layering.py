@@ -1,0 +1,125 @@
+"""Layering rules: path-scoped REPRO005/REPRO006 and graph-wide REPRO012.
+
+* **REPRO005 layering** — the query front-ends (``sqldb/sql/``,
+  ``nosqldb/cql/``) must not import :mod:`repro.mapping` (parsers sit
+  *below* mappers), and ``storage/`` must not import any higher layer
+  (dwarf, sqldb, nosqldb, mapping, etl).
+* **REPRO006 kernel-independence** — the shared query kernel
+  (``repro/query/``) must not import any other ``repro`` subpackage:
+  both engines compile their statements *onto* the kernel's operators,
+  so an engine import from inside the kernel would make the dependency
+  circular and the plan vocabulary engine-specific.  The sole exception
+  is :mod:`repro.telemetry`, a stdlib-only leaf that every layer may
+  use for metrics and spans.
+* **REPRO012 import-layering** — the project-scope generalisation: the
+  whole repo-wide import graph must respect the declared layer order in
+  :data:`repro.analysis.imports.LAYERS` (top-level imports only —
+  function-level lazy imports are the sanctioned way to call *up* the
+  stack at runtime) and must contain no top-level import cycles.
+
+REPRO005/REPRO006 stay as cheap per-file rules so linting a single file
+still enforces them; REPRO012 subsumes them when the whole tree is
+linted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from repro.analysis.imports import import_cycles, layering_violations
+from repro.analysis.lint.context import FileContext, ProjectContext
+from repro.analysis.lint.registry import PROJECT, rule
+
+#: Layering rules: (path fragment, forbidden import prefixes).
+_LAYERING = (
+    ("/sqldb/sql/", ("repro.mapping",)),
+    ("/nosqldb/cql/", ("repro.mapping",)),
+    (
+        "/storage/",
+        ("repro.dwarf", "repro.sqldb", "repro.nosqldb", "repro.mapping",
+         "repro.etl"),
+    ),
+)
+
+_KERNEL_FRAGMENT = "/repro/query/"
+
+
+def _imported_modules(tree: ast.AST) -> Iterable[Tuple[str, int]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module:
+                yield node.module, node.lineno
+
+
+@rule("REPRO005", "layering",
+      "front-end/storage code imports a layer above it")
+def check_layering(ctx: FileContext) -> None:
+    for fragment, forbidden in _LAYERING:
+        if fragment not in ctx.posix:
+            continue
+        for module, lineno in _imported_modules(ctx.tree):
+            for prefix in forbidden:
+                ctx.check(
+                    not (module == prefix or module.startswith(prefix + ".")),
+                    "REPRO005", lineno,
+                    f"layer violation: {fragment.strip('/')} code imports "
+                    f"{module} (must stay below {prefix})",
+                )
+
+
+@rule("REPRO006", "kernel-independence",
+      "the query kernel imports another repro subpackage")
+def check_kernel_independence(ctx: FileContext) -> None:
+    if _KERNEL_FRAGMENT not in ctx.posix:
+        return
+    for module, lineno in _imported_modules(ctx.tree):
+        allowed = (
+            module == "repro.query" or module.startswith("repro.query.")
+            # telemetry is a stdlib-only leaf, importable from any layer
+            # without making the kernel engine-specific.
+            or module == "repro.telemetry"
+            or module.startswith("repro.telemetry.")
+        )
+        ctx.check(
+            allowed or not (module == "repro" or module.startswith("repro.")),
+            "REPRO006", lineno,
+            f"kernel violation: repro.query imports {module}; the query "
+            "kernel must stay engine-agnostic (engines import it, never "
+            "the reverse)",
+        )
+
+
+@rule("REPRO012", "import-layering",
+      "the repo-wide import graph breaks the declared layer DAG",
+      scope=PROJECT)
+def check_import_layering(ctx: ProjectContext) -> None:
+    graph = ctx.graph
+    violations = layering_violations(graph)
+    for violation in violations:
+        info = graph.modules.get(violation.edge.importer)
+        path = info.path if info else None
+        if path is None:
+            ctx.record()
+            continue
+        ctx.check(False, "REPRO012", path, violation.edge.lineno,
+                  violation.message)
+    # One evaluated check per clean top-level edge keeps n_checks an
+    # honest measure of graph coverage.
+    ctx.record(max(0, len(graph.edges(toplevel_only=True)) - len(violations)))
+    for cycle in import_cycles(graph):
+        anchor = cycle[0]
+        info = graph.modules.get(anchor)
+        if info is None:
+            ctx.record()
+            continue
+        lineno = next(
+            (edge.lineno for edge in info.edges
+             if edge.toplevel and edge.imported in cycle), 1)
+        ctx.check(False, "REPRO012", info.path, lineno,
+                  "top-level import cycle: " + " -> ".join(cycle) +
+                  " -> " + anchor +
+                  "; break it with a function-level lazy import")

@@ -1,0 +1,53 @@
+"""REPRO001 — mutable default arguments.
+
+A ``list``/``dict``/``set`` literal, comprehension or constructor call
+as a parameter default is shared across calls; engines and mappers are
+long-lived objects, so the aliasing bites late and far from the
+definition.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import rule
+
+#: Constructor names whose call as a default value is a shared mutable.
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "OrderedDict",
+                  "Counter")
+
+#: AST nodes that literally build a fresh mutable per evaluation site.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@rule("REPRO001", "mutable-default",
+      "mutable default arguments are shared across calls")
+def check_mutable_defaults(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            ctx.check(
+                not _is_mutable_default(default), "REPRO001",
+                default.lineno,
+                f"mutable default argument in {node.name}() is shared "
+                "across calls; default to None and build inside",
+            )

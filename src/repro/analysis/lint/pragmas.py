@@ -1,0 +1,112 @@
+"""``# repro: noqa[REPROxxx]`` suppression pragmas.
+
+A pragma on a line suppresses matching findings *on that exact line*:
+
+* ``# repro: noqa[REPRO001]`` — one rule;
+* ``# repro: noqa[REPRO001,REPRO009]`` — several;
+* ``# repro: noqa`` — every rule (use sparingly; the unused-suppression
+  check cannot tell which rule a bare pragma was meant for).
+
+Pragmas are read from real COMMENT tokens (``tokenize``), so the text
+inside a string literal never suppresses anything.  Every pragma is
+tracked: ids that never suppressed a finding are reported as REPRO013
+*unused-suppression* so stale pragmas cannot silently disable future
+findings.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+#: Matches the pragma inside one comment token.
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?")
+
+#: Pseudo-id recorded for a bare (id-less) noqa pragma.
+ALL = "*"
+
+
+class Suppressions:
+    """The pragma table of one file, with per-id usage tracking."""
+
+    __slots__ = ("_by_line", "_used")
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        self._used: Set[Tuple[int, str]] = set()
+
+    # ------------------------------------------------------------------
+    def add(self, lineno: int, rule_id: str) -> None:
+        self._by_line.setdefault(lineno, set()).add(rule_id)
+
+    def suppressed(self, rule_id: str, lineno: int) -> bool:
+        """True (and marks the pragma used) when a pragma covers this."""
+        ids = self._by_line.get(lineno)
+        if not ids:
+            return False
+        if rule_id in ids:
+            self._used.add((lineno, rule_id))
+            return True
+        if ALL in ids:
+            self._used.add((lineno, ALL))
+            return True
+        return False
+
+    def unused(self, selected: Set[str]) -> List[Tuple[int, str]]:
+        """``(lineno, id)`` pragmas that never fired.
+
+        Only pragmas for rules in ``selected`` count — running with a
+        ``--rules`` subset must not flag pragmas for rules that did not
+        run.  Bare pragmas (``*``) count only when every rule ran.
+        """
+        out = []
+        all_ran = self._all_selected(selected)
+        for lineno in sorted(self._by_line):
+            for rule_id in sorted(self._by_line[lineno]):
+                if (lineno, rule_id) in self._used:
+                    continue
+                if rule_id == ALL:
+                    if all_ran:
+                        out.append((lineno, rule_id))
+                elif rule_id in selected:
+                    out.append((lineno, rule_id))
+        return out
+
+    @staticmethod
+    def _all_selected(selected: Set[str]) -> bool:
+        from repro.analysis.lint.registry import rule_ids
+
+        return selected >= set(rule_ids())
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every pragma from ``source``'s comment tokens."""
+    table = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return table
+    for lineno, text in comments:
+        match = _PRAGMA.search(text)
+        if not match:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            table.add(lineno, ALL)
+        else:
+            for rule_id in ids.split(","):
+                rule_id = rule_id.strip()
+                if rule_id:
+                    table.add(lineno, rule_id)
+    return table
+
+
+__all__ = ["ALL", "Suppressions", "parse_suppressions"]

@@ -1,0 +1,124 @@
+"""The rule registry: one :class:`Rule` per REPROxxx identifier.
+
+Rule families register themselves at import time via the :func:`rule`
+decorator; the driver in :mod:`repro.analysis.lint` asks the registry
+which checks to run, the CLI validates ``--rules``/``--exclude-rules``
+against it, and the SARIF emitter reads it for tool metadata.  Two
+pseudo-rules (REPRO000 parse failure, REPRO013 unused suppression) have
+no check function — the driver itself emits them — but are registered
+so selection and SARIF metadata treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Set
+
+#: Rule scopes.
+FILE = "file"        # check(FileContext), once per parsed file
+PROJECT = "project"  # check(ProjectContext), once per run
+DRIVER = "driver"    # emitted by the driver itself, no check function
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one lint rule."""
+
+    id: str
+    name: str
+    summary: str
+    scope: str = FILE
+
+
+class RegisteredRule(NamedTuple):
+    rule: Rule
+    check: Optional[Callable]
+
+
+_REGISTRY: Dict[str, RegisteredRule] = {}
+
+
+def register(rule_meta: Rule, check: Optional[Callable] = None) -> None:
+    if rule_meta.id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule_meta.id!r}")
+    if rule_meta.scope not in (FILE, PROJECT, DRIVER):
+        raise ValueError(f"unknown rule scope {rule_meta.scope!r}")
+    if (check is None) != (rule_meta.scope == DRIVER):
+        raise ValueError(
+            f"rule {rule_meta.id}: driver rules have no check function, "
+            "file/project rules need one")
+    _REGISTRY[rule_meta.id] = RegisteredRule(rule_meta, check)
+
+
+def rule(id: str, name: str, summary: str, scope: str = FILE) -> Callable:
+    """Decorator: ``@rule("REPRO001", "mutable-default", "...")``."""
+
+    def decorate(check: Callable) -> Callable:
+        register(Rule(id, name, summary, scope), check)
+        return check
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    return [entry.rule for _, entry in sorted(_REGISTRY.items())]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Metadata for one id.  Raises KeyError for unknown ids."""
+    return _REGISTRY[rule_id].rule
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def checks(scope: str, selected: Optional[Set[str]] = None
+           ) -> List[RegisteredRule]:
+    """Registered checks of ``scope``, filtered to ``selected`` ids."""
+    out = []
+    for rule_id in sorted(_REGISTRY):
+        entry = _REGISTRY[rule_id]
+        if entry.rule.scope != scope:
+            continue
+        if selected is not None and rule_id not in selected:
+            continue
+        out.append(entry)
+    return out
+
+
+def select_rules(include: Optional[Sequence[str]] = None,
+                 exclude: Optional[Sequence[str]] = None) -> Set[str]:
+    """Resolve ``--rules``/``--exclude-rules`` to a set of rule ids.
+
+    Raises ValueError naming every unknown id so the CLI can reject a
+    typo'd selection instead of silently running nothing.
+    """
+    known = set(_REGISTRY)
+    unknown = [rule_id for rule_id in (*(include or ()), *(exclude or ()))
+               if rule_id not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(sorted(set(unknown)))}; "
+            f"known: {', '.join(sorted(known))}")
+    selected = set(include) if include else set(known)
+    if exclude:
+        selected -= set(exclude)
+    return selected
+
+
+__all__ = [
+    "DRIVER",
+    "FILE",
+    "PROJECT",
+    "RegisteredRule",
+    "Rule",
+    "all_rules",
+    "checks",
+    "get_rule",
+    "register",
+    "rule",
+    "rule_ids",
+    "select_rules",
+]

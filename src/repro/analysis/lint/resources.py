@@ -1,0 +1,232 @@
+"""REPRO009 — file handles that may escape a function without close().
+
+A forward-may gen/kill dataflow over *normal* (non-exception) CFG
+edges: opening calls (``open``, ``*.open``, ``socket.socket``,
+``tempfile.*TemporaryFile``) bound to a local name *gen* a handle fact;
+the fact is *killed* when the handle is closed, returned, yielded,
+passed to another call, stored into an object, aliased or rebound.  A
+fact that survives to the exit block is a handle some non-exceptional
+path can drop without closing — the finding points at the ``open``.
+
+Exception edges are deliberately excluded: "leaks only when something
+raised" is the job of ``with``-conversion, and flagging every handle
+that is live across any call would drown the signal.  An opening call
+whose result is neither bound, returned nor managed by ``with`` is
+flagged immediately (there is nothing left to close).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG, FunctionNode, NORMAL
+from repro.analysis.dataflow import FactSet, GenKillProblem, solve
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import rule
+
+#: ``module.attr`` constructor attributes that return an OS resource.
+_OPEN_ATTRS = ("open", "socket", "NamedTemporaryFile", "TemporaryFile",
+               "mkstemp_file", "popen")
+
+
+def _is_opening_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "open"
+    if isinstance(func, ast.Attribute):
+        return func.attr in _OPEN_ATTRS
+    return False
+
+
+class Handle(NamedTuple):
+    """One possibly-open resource: the bound name and the open() line."""
+
+    name: str
+    lineno: int
+
+
+def _open_binding(stmt: ast.AST) -> Optional[Handle]:
+    """``name = open(...)`` (single plain-name target) in this fragment."""
+    if (isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and _is_opening_call(stmt.value)):
+        return Handle(stmt.targets[0].id, stmt.value.lineno)
+    if (isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.value is not None
+            and _is_opening_call(stmt.value)):
+        return Handle(stmt.target.id, stmt.value.lineno)
+    return None
+
+
+def _escaped_names(stmt: ast.AST) -> Set[str]:
+    """Names whose handle this fragment closes or hands off.
+
+    Closing (``f.close()``), returning, yielding, passing as a call
+    argument, storing into an attribute/subscript/container, aliasing to
+    another name, or ``del`` all end this function's responsibility for
+    the handle.  Plain reads (``f.read()``, ``for line in f``) do not.
+    """
+    out: Set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("close", "detach", "release")
+                    and isinstance(func.value, ast.Name)):
+                out.add(func.value.id)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name):
+                    out.add(arg.id)
+                elif isinstance(arg, ast.Starred) and isinstance(
+                        arg.value, ast.Name):
+                    out.add(arg.value.id)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            # `return f` / `yield f` transfers ownership to the caller;
+            # `return f.read()` is a read and keeps the leak alive.
+            if node.value is not None:
+                values = (node.value.elts
+                          if isinstance(node.value, (ast.Tuple, ast.List))
+                          else [node.value])
+                for value in values:
+                    if isinstance(value, ast.Name):
+                        out.add(value.id)
+        elif isinstance(node, ast.Assign):
+            # Direct aliasing (`g = f`, `pair = (f, g)`) hands the handle
+            # off; a method-call RHS (`data = f.read()`) is just a read.
+            values = (node.value.elts
+                      if isinstance(node.value, (ast.Tuple, ast.List))
+                      else [node.value])
+            for value in values:
+                if isinstance(value, ast.Name):
+                    out.add(value.id)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+class OpenHandles(GenKillProblem):
+    """Forward-may over NORMAL edges: handles possibly open and owned."""
+
+    direction = "forward"
+    edge_kinds = (NORMAL,)
+
+    def __init__(self, cfg: CFG) -> None:
+        super().__init__()
+        self.cfg = cfg
+        self._handles_by_name: Dict[str, List[Handle]] = {}
+        self._block_gen: Dict[int, Set[Handle]] = {}
+        self._block_killed: Dict[int, Set[str]] = {}
+        for block in cfg.blocks:
+            gen, killed = self._scan(block)
+            self._block_gen[block.index] = gen
+            self._block_killed[block.index] = killed
+            for handle in gen:
+                self._handles_by_name.setdefault(handle.name,
+                                                 []).append(handle)
+
+    @staticmethod
+    def _scan(block) -> Tuple[Set[Handle], Set[str]]:
+        opened: Dict[str, Handle] = {}
+        killed: Set[str] = set()
+        for stmt in block.statements:
+            if isinstance(stmt, ast.withitem):
+                # `with open(...) as f` is managed; never a fact.
+                if stmt.optional_vars is not None:
+                    for leaf in ast.walk(stmt.optional_vars):
+                        if isinstance(leaf, ast.Name):
+                            killed.add(leaf.id)
+                            opened.pop(leaf.id, None)
+                continue
+            for name in _escaped_names(stmt):
+                killed.add(name)
+                opened.pop(name, None)
+            binding = _open_binding(stmt)
+            if binding is not None:
+                killed.add(binding.name)  # rebind ends the old handle
+                opened[binding.name] = binding
+        return set(opened.values()), killed
+
+    def gen(self, block) -> FactSet:
+        return frozenset(self._block_gen[block.index])
+
+    def kill(self, block) -> FactSet:
+        killed = set()
+        for name in self._block_killed[block.index]:
+            killed.update(self._handles_by_name.get(name, ()))
+        return frozenset(killed) - frozenset(self._block_gen[block.index])
+
+    def any_handles(self) -> bool:
+        return bool(self._handles_by_name)
+
+
+def _unmanaged_open_calls(func: ast.AST) -> Iterable[ast.Call]:
+    """Opening calls whose handle is neither bound, returned nor with-managed."""
+
+    def visit(node: ast.AST, managed: bool) -> Iterable[ast.Call]:
+        if isinstance(node, (*FunctionNode, ast.Lambda, ast.ClassDef)):
+            if node is not func:
+                return
+        for child in ast.iter_child_nodes(node):
+            child_managed = managed
+            if _is_opening_call(child):
+                if isinstance(node, ast.Assign) and child is node.value:
+                    child_managed = True
+                elif isinstance(node, ast.AnnAssign) and child is node.value:
+                    child_managed = True
+                elif isinstance(node, ast.withitem) and (
+                        child is node.context_expr):
+                    child_managed = True
+                elif isinstance(node, (ast.Return, ast.Yield)) and (
+                        child is node.value):
+                    child_managed = True
+                elif isinstance(node, ast.Call) and (
+                        child in node.args
+                        or child in [kw.value for kw in node.keywords]):
+                    child_managed = True
+                if not child_managed:
+                    yield child
+                    child_managed = True
+            yield from visit(child, child_managed)
+
+    yield from visit(func, False)
+
+
+@rule("REPRO009", "resource-leak",
+      "an opened handle can reach the function exit without close()")
+def check_resource_leaks(ctx: FileContext) -> None:
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, FunctionNode):
+            continue
+        for call in _unmanaged_open_calls(func):
+            ctx.check(
+                False, "REPRO009", call.lineno,
+                f"{func.name}() opens a handle and discards it; bind it, "
+                "use `with`, or return it",
+            )
+        cfg = ctx.cfg(func)
+        problem = OpenHandles(cfg)
+        if not problem.any_handles():
+            ctx.record()
+            continue
+        facts = solve(cfg, problem)
+        leaked = sorted(facts[cfg.exit.index].in_facts,
+                        key=lambda h: (h.lineno, h.name))
+        reported: Set[Handle] = set()
+        for handle in leaked:
+            if handle in reported:
+                continue
+            reported.add(handle)
+            ctx.check(
+                False, "REPRO009", handle.lineno,
+                f"{func.name}() opens {handle.name} here but some path "
+                "reaches the end of the function without closing it; use "
+                "`with` or close() on every path",
+            )
+        ctx.record()

@@ -1,0 +1,41 @@
+"""REPRO007 — raw clock calls outside telemetry/benchmark helpers.
+
+``time.perf_counter`` may only be called inside ``repro/telemetry/``
+and ``benchmarks/_timing.py``; everything else must time through
+telemetry spans or the shared benchmark helpers so measurements stay
+comparable and trace-aware.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import rule
+
+#: Path fragments where calling ``time.perf_counter`` directly is fine.
+_RAW_CLOCK_ALLOWED_PARTS = ("/repro/telemetry/", "/benchmarks/_timing.py")
+
+
+@rule("REPRO007", "raw-clock",
+      "time.perf_counter() outside telemetry/benchmark helpers")
+def check_raw_clock(ctx: FileContext) -> None:
+    if any(part in ctx.posix for part in _RAW_CLOCK_ALLOWED_PARTS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        direct = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "perf_counter"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+        bare = isinstance(func, ast.Name) and func.id == "perf_counter"
+        ctx.check(
+            not (direct or bare), "REPRO007", node.lineno,
+            "raw time.perf_counter() call; time through repro.telemetry "
+            "spans (or benchmarks/_timing.py helpers) so measurements "
+            "stay comparable and trace-aware",
+        )

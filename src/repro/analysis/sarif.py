@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 output for ``repro check`` findings.
+
+One run object: the tool section lists every registered lint rule (so
+viewers can show rule metadata for ids that produced no findings this
+run), each violation becomes a ``result`` with a physical location, and
+— when a baseline was applied — ``baselineState`` distinguishes new
+findings from accepted ones.  Only stdlib ``json`` is involved; the
+schema reference lets downstream uploaders (GitHub code scanning, VS
+Code SARIF viewer) validate and render the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Set
+
+from repro.analysis.violations import CheckReport, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: repro check findings are warnings at most — the exit code, not the
+#: per-result level, is what gates CI.
+_LEVEL = "warning"
+
+
+def _location(violation: Violation) -> Dict[str, Any]:
+    path, sep, line = violation.location.rpartition(":")
+    uri, start_line = (path, int(line)) if sep and line.isdigit() else (
+        violation.location, 1)
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri},
+            "region": {"startLine": max(1, start_line)},
+        }
+    }
+
+
+def _tool_rules() -> List[Dict[str, Any]]:
+    from repro.analysis.lint.registry import all_rules
+
+    return [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in all_rules()
+    ]
+
+
+def sarif_report(report: CheckReport,
+                 new: Optional[Set[int]] = None) -> Dict[str, Any]:
+    """Build the SARIF document for ``report`` as a plain dict.
+
+    ``new`` holds ``id()``s of the violations a baseline did *not*
+    cover; when given, every result carries a ``baselineState`` of
+    either ``"new"`` or ``"unchanged"``.
+    """
+    rules = _tool_rules()
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for violation in report.violations:
+        result: Dict[str, Any] = {
+            "ruleId": violation.rule,
+            "level": _LEVEL,
+            "message": {"text": violation.message},
+            "locations": [_location(violation)],
+            "properties": {"checker": violation.checker},
+        }
+        if violation.rule in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule]
+        if new is not None:
+            result["baselineState"] = (
+                "new" if id(violation) in new else "unchanged")
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_dumps(report: CheckReport,
+                new: Optional[Set[int]] = None) -> str:
+    """The SARIF document as a JSON string (two-space indent)."""
+    return json.dumps(sarif_report(report, new), indent=2) + "\n"
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "sarif_dumps", "sarif_report"]

@@ -26,6 +26,7 @@ Three commands cover the common workflows:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -84,6 +85,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DATASET",
         help="run the invariant suite on DATASET (default Month when the "
         "flag is given bare; plain `repro check` uses Day)",
+    )
+    check.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated lint rule ids to run (e.g. REPRO008,REPRO009);"
+        " default: all; unknown ids exit 2",
+    )
+    check.add_argument(
+        "--exclude-rules", default=None, metavar="IDS",
+        help="comma-separated lint rule ids to skip",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="lint findings as text (default), a JSON report, or a "
+        "SARIF 2.1.0 document",
+    )
+    check.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the --format payload to this file",
+    )
+    check.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="only fail on lint findings absent from this baseline file "
+        "(see analysis-baseline.json); stale entries are reported",
+    )
+    check.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="FILE",
+        help="write the current lint findings to FILE as a new baseline "
+        "and exit 0",
     )
 
     stats = commands.add_parser(
@@ -435,6 +464,37 @@ def _cmd_stats(args) -> int:
     return 0 if ok else 1
 
 
+def _split_ids(raw: Optional[str]) -> Optional[list]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _lint_payload(args, report, new_ids) -> Optional[str]:
+    """The ``--format`` payload for the lint report (None for text)."""
+    if args.format == "sarif":
+        from repro.analysis.sarif import sarif_dumps
+
+        return sarif_dumps(report, new_ids).rstrip("\n")
+    if args.format == "json":
+        violations = []
+        for violation in report.violations:
+            entry = dict(violation._asdict())
+            if new_ids is not None:
+                entry["new"] = id(violation) in new_ids
+            violations.append(entry)
+        return json.dumps(
+            {
+                "name": report.name,
+                "n_checks": report.n_checks,
+                "ok": report.ok,
+                "violations": violations,
+            },
+            indent=2,
+        )
+    return None
+
+
 def _cmd_check(args) -> int:
     from repro.analysis.lint import run_lint
 
@@ -447,7 +507,54 @@ def _cmd_check(args) -> int:
 
     ok = True
     if run_lint_pass:
-        ok &= _print_report(run_lint())
+        try:
+            report = run_lint(rules=_split_ids(args.rules),
+                              exclude_rules=_split_ids(args.exclude_rules))
+        except ValueError as exc:
+            print(f"check: {exc}", file=sys.stderr)
+            return 2
+        if args.write_baseline is not None:
+            from repro.analysis.baseline import write_baseline
+
+            write_baseline(args.write_baseline, report)
+            print(f"wrote baseline {args.write_baseline} "
+                  f"({len(report.violations)} finding(s))")
+        new_ids = None
+        if args.baseline is not None:
+            from repro.analysis.baseline import BaselineError, apply_baseline, load_baseline
+
+            try:
+                baseline = load_baseline(args.baseline)
+            except BaselineError as exc:
+                print(f"check: {exc}", file=sys.stderr)
+                return 2
+            result = apply_baseline(report, baseline)
+            new_ids = {id(v) for v in result.new}
+            ok &= not result.new
+            print(f"{report.summary()} "
+                  f"[baseline: {len(result.new)} new, "
+                  f"{len(result.known)} known, {len(result.stale)} stale]")
+            for violation in result.new:
+                print(f"  NEW {violation.format()}")
+            for entry in result.stale:
+                print(f"  stale baseline entry: [{entry['rule']}] "
+                      f"{entry['path']}: {entry['message']}")
+        else:
+            ok &= report.ok
+            if args.format == "text":
+                _print_report(report)
+        payload = _lint_payload(args, report, new_ids)
+        if payload is not None:
+            if args.out is not None:
+                args.out.write_text(payload + "\n", encoding="utf-8")
+                print(f"wrote {args.out}")
+            else:
+                print(payload)
+        elif args.out is not None:
+            args.out.write_text(
+                "\n".join([report.summary()] + report.format_lines()) + "\n",
+                encoding="utf-8")
+            print(f"wrote {args.out}")
     if dataset is not None:
         ok &= _check_invariants(dataset)
     print("check: OK" if ok else "check: FAILED")

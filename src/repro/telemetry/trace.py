@@ -137,9 +137,10 @@ class Tracer:
         name = __name
         if not self.enabled:
             return _NOOP_SPAN
-        if self._n_spans >= MAX_SPANS:
-            return _NOOP_SPAN
-        self._n_spans += 1
+        with self._lock:
+            if self._n_spans >= MAX_SPANS:
+                return _NOOP_SPAN
+            self._n_spans += 1
         span = Span(self, name, attrs)
         stack = getattr(self._local, "stack", None)
         if stack is None:

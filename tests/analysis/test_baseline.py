@@ -1,0 +1,113 @@
+"""Baseline load/apply/write semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.violations import CheckReport
+
+
+def report_with(*findings):
+    report = CheckReport("lint")
+    for rule, location, message in findings:
+        report.check(False, "lint", rule, location, message)
+    return report
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        report = report_with(
+            ("REPRO001", "src/a.py:10", "mutable default"),
+            ("REPRO009", "src/b.py:20", "leaked handle"),
+        )
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report)
+        baseline = load_baseline(path)
+        result = apply_baseline(report, baseline)
+        assert result.new == []
+        assert len(result.known) == 2
+        assert result.stale == []
+
+    def test_empty_baseline_marks_all_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, CheckReport("lint"))
+        report = report_with(("REPRO001", "src/a.py:10", "mutable default"))
+        result = apply_baseline(report, load_baseline(path))
+        assert len(result.new) == 1
+        assert result.known == []
+
+    def test_committed_baseline_is_empty_and_loads(self):
+        from pathlib import Path
+
+        committed = Path(__file__).resolve().parents[2] / (
+            "analysis-baseline.json")
+        baseline = load_baseline(committed)
+        assert sum(baseline.values()) == 0
+
+
+class TestMatching:
+    def test_line_drift_still_matches(self, tmp_path):
+        old = report_with(("REPRO001", "src/a.py:10", "mutable default"))
+        path = tmp_path / "baseline.json"
+        write_baseline(path, old)
+        drifted = report_with(("REPRO001", "src/a.py:99", "mutable default"))
+        result = apply_baseline(drifted, load_baseline(path))
+        assert result.new == []
+        assert len(result.known) == 1
+
+    def test_message_change_is_new(self, tmp_path):
+        old = report_with(("REPRO001", "src/a.py:10", "mutable default"))
+        path = tmp_path / "baseline.json"
+        write_baseline(path, old)
+        changed = report_with(("REPRO001", "src/a.py:10", "other message"))
+        result = apply_baseline(changed, load_baseline(path))
+        assert len(result.new) == 1
+        assert len(result.stale) == 1
+
+    def test_multiset_consumption(self, tmp_path):
+        # Two identical findings need two baseline entries.
+        twice = report_with(
+            ("REPRO001", "src/a.py:10", "mutable default"),
+            ("REPRO001", "src/a.py:30", "mutable default"),
+        )
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report_with(
+            ("REPRO001", "src/a.py:10", "mutable default")))
+        result = apply_baseline(twice, load_baseline(path))
+        assert len(result.new) == 1
+        assert len(result.known) == 1
+
+    def test_stale_entries_surface(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, report_with(
+            ("REPRO001", "src/a.py:10", "mutable default")))
+        result = apply_baseline(CheckReport("lint"), load_baseline(path))
+        assert result.stale == [{
+            "rule": "REPRO001", "path": "src/a.py",
+            "message": "mutable default",
+        }]
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_malformed_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"version": 1, "findings": [{"rule": "REPRO001"}]}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)

@@ -1,0 +1,242 @@
+"""Golden-shape tests for the per-function CFG builder."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import (
+    BACK,
+    EXCEPT,
+    NORMAL,
+    build_cfg,
+    dominators,
+    dotted_name,
+    functions_in,
+)
+
+
+def cfg_of(source):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(func)
+
+
+class TestGoldenShapes:
+    def test_loop_with_break(self):
+        cfg = cfg_of(
+            """
+            def f(xs):
+                total = 0
+                for x in xs:
+                    if x < 0:
+                        break
+                    total += x
+                return total
+            """
+        )
+        assert cfg.describe() == "\n".join([
+            "B0 entry(1) -> B2",
+            "B1 exit(0)",
+            "B2 for.header(1) -> B4, B3",
+            "B3 for.after(1) -> B1",
+            "B4 for.body(1) -> B5, B6",
+            "B5 if.then(1) -> B3",       # break jumps to for.after
+            "B6 if.join(1) -> B2(back)",  # loop back edge
+        ])
+
+    def test_try_finally_routes_return(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                fh = acquire(path)
+                try:
+                    return read(fh)
+                finally:
+                    release(fh)
+            """
+        )
+        # The return flows *through* the finally block to the exit.
+        assert cfg.describe() == "\n".join([
+            "B0 entry(1) -> B3",
+            "B1 exit(0)",
+            "B2 finally(1) -> B1",
+            "B3 try.body(1) -> B2",
+        ])
+
+    def test_with_body_is_its_own_block(self):
+        cfg = cfg_of(
+            """
+            def f(self):
+                with self._lock:
+                    self.n += 1
+                return self.n
+            """
+        )
+        assert cfg.describe() == "\n".join([
+            "B0 entry(1) -> B2",
+            "B1 exit(0)",
+            "B2 with.body(1) -> B3",
+            "B3 with.after(1) -> B1",
+        ])
+        body = cfg.blocks[2]
+        assert body.with_contexts == ("self._lock",)
+        assert cfg.blocks[0].with_contexts == ()
+
+    def test_nested_ifs(self):
+        cfg = cfg_of(
+            """
+            def f(a, b):
+                if a:
+                    if b:
+                        r = 1
+                    else:
+                        r = 2
+                else:
+                    r = 3
+                return r
+            """
+        )
+        assert cfg.describe() == "\n".join([
+            "B0 entry(1) -> B2, B6",
+            "B1 exit(0)",
+            "B2 if.then(1) -> B3, B4",
+            "B3 if.then(1) -> B5",
+            "B4 if.else(1) -> B5",
+            "B5 if.join(0) -> B7",
+            "B6 if.else(1) -> B7",
+            "B7 if.join(1) -> B1",
+        ])
+
+    def test_early_return(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x is None:
+                    return 0
+                y = x + 1
+                return y
+            """
+        )
+        assert cfg.describe() == "\n".join([
+            "B0 entry(1) -> B2, B3",
+            "B1 exit(0)",
+            "B2 if.then(1) -> B1",
+            "B3 if.join(2) -> B1",
+        ])
+
+
+class TestEdgesAndMapping:
+    def test_try_except_edges(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    fallback()
+                done()
+            """
+        )
+        body = next(b for b in cfg.blocks if b.label == "try.body")
+        handler = next(b for b in cfg.blocks if b.label == "except")
+        kinds = {e.kind for e in body.edges if e.target is handler}
+        assert kinds == {EXCEPT}
+        # The exception edge is invisible to NORMAL-only traversals.
+        assert handler not in body.successors([NORMAL])
+        assert handler in body.successors([EXCEPT])
+
+    def test_block_of_maps_statements(self):
+        source = textwrap.dedent(
+            """
+            def f(x):
+                y = x + 1
+                while y:
+                    y -= 1
+                return y
+            """
+        )
+        func = ast.parse(source).body[0]
+        cfg = build_cfg(func)
+        assign = func.body[0]
+        loop_body_stmt = func.body[1].body[0]
+        assert cfg.block_of(assign) is cfg.entry
+        assert cfg.block_of(loop_body_stmt).label == "while.body"
+
+    def test_continue_is_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(xs):
+                for x in xs:
+                    if x:
+                        continue
+                    use(x)
+            """
+        )
+        header = next(b for b in cfg.blocks if b.label == "for.header")
+        back_preds = [
+            b for b in cfg.blocks
+            if any(e.target is header and e.kind == BACK for e in b.edges)
+        ]
+        assert len(back_preds) == 2  # continue + natural loop end
+
+    def test_raise_targets_handler(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    raise ValueError("x")
+                except ValueError:
+                    return 1
+            """
+        )
+        body = next(b for b in cfg.blocks if b.label == "try.body")
+        handler = next(b for b in cfg.blocks if b.label == "except")
+        assert handler in body.successors([EXCEPT])
+        # No normal fall-through out of an always-raising body.
+        assert cfg.exit not in body.successors([NORMAL])
+
+    def test_build_cfg_rejects_non_functions(self):
+        with pytest.raises(TypeError):
+            build_cfg(ast.parse("x = 1"))
+
+    def test_functions_in_finds_nested(self):
+        tree = ast.parse(
+            "def a():\n    def b():\n        pass\nclass C:\n"
+            "    def m(self):\n        pass\n")
+        assert sorted(f.name for f in functions_in(tree)) == ["a", "b", "m"]
+
+    def test_dotted_name(self):
+        expr = ast.parse("self._pool.get()", mode="eval").body
+        assert dotted_name(expr) == "self._pool.get()"
+        assert dotted_name(ast.parse("x[0]", mode="eval").body) is None
+
+
+class TestDominators:
+    def test_with_entry_dominates_body(self):
+        cfg = cfg_of(
+            """
+            def f(self):
+                with self._lock:
+                    self.n += 1
+            """
+        )
+        doms = dominators(cfg)
+        body = next(b for b in cfg.blocks if b.label == "with.body")
+        assert cfg.entry in doms[body]
+
+    def test_branch_does_not_dominate_join(self):
+        cfg = cfg_of(
+            """
+            def f(a):
+                if a:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        doms = dominators(cfg)
+        then_block = next(b for b in cfg.blocks if b.label == "if.then")
+        join = next(b for b in cfg.blocks if b.label == "if.join")
+        assert then_block not in doms[join]
+        assert cfg.entry in doms[join]

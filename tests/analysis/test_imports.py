@@ -1,0 +1,150 @@
+"""Import-graph construction, layering enforcement and cycle detection."""
+
+import textwrap
+
+from repro.analysis.imports import (
+    build_import_graph,
+    import_cycles,
+    layer_of,
+    layering_violations,
+    module_name_for,
+)
+from repro.analysis.lint import iter_source_files
+
+
+def make_tree(tmp_path, files):
+    """Write ``{"repro/pkg/mod.py": source}`` under tmp_path."""
+    paths = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths.append(path)
+    return sorted(paths)
+
+
+class TestGraphConstruction:
+    def test_module_names_anchor_at_repro(self, tmp_path):
+        path = tmp_path / "repro" / "storage" / "btree.py"
+        assert module_name_for(path) == "repro.storage.btree"
+        init = tmp_path / "repro" / "storage" / "__init__.py"
+        assert module_name_for(init) == "repro.storage"
+        assert module_name_for(tmp_path / "benchmarks" / "x.py") is None
+
+    def test_toplevel_vs_lazy_edges(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/storage/a.py": """
+                import repro.telemetry
+
+                def late():
+                    from repro.dwarf import cube
+                    return cube
+            """,
+            "repro/telemetry/__init__.py": "",
+            "repro/dwarf/cube.py": "",
+        })
+        graph = build_import_graph(paths)
+        edges = {(e.imported, e.toplevel) for e in
+                 graph.modules["repro.storage.a"].edges}
+        assert ("repro.telemetry", True) in edges
+        assert ("repro.dwarf.cube", False) in edges
+
+    def test_from_package_import_submodule_resolves(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/sqldb/sql/__init__.py":
+                "from repro.sqldb.sql.parser import parse\n",
+            "repro/sqldb/sql/parser.py":
+                "from repro.sqldb.sql import ast\n",
+            "repro/sqldb/sql/ast.py": "",
+        })
+        graph = build_import_graph(paths)
+        parser_edges = {e.imported for e in
+                        graph.modules["repro.sqldb.sql.parser"].edges}
+        # Resolved onto the submodule, not the package __init__.
+        assert parser_edges == {"repro.sqldb.sql.ast"}
+        assert import_cycles(graph) == []
+
+
+class TestLayering:
+    def test_upward_import_flagged(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/storage/bad.py": "import repro.dwarf.cube\n",
+            "repro/dwarf/cube.py": "",
+        })
+        violations = layering_violations(build_import_graph(paths))
+        assert len(violations) == 1
+        assert "must point down the layer order" in violations[0].message
+        assert violations[0].edge.importer == "repro.storage.bad"
+
+    def test_sibling_import_flagged(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/sqldb/x.py": "from repro.nosqldb.cache import thing\n",
+            "repro/nosqldb/cache.py": "thing = 1\n",
+        })
+        violations = layering_violations(build_import_graph(paths))
+        assert len(violations) == 1
+        assert "sibling" in violations[0].message
+
+    def test_leaf_and_lazy_imports_exempt(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/storage/ok.py": """
+                from repro.telemetry import metrics
+
+                def runtime_only():
+                    import repro.nosqldb.cache
+                    return repro.nosqldb.cache
+            """,
+            "repro/telemetry/metrics.py": "",
+            "repro/nosqldb/cache.py": "",
+        })
+        assert layering_violations(build_import_graph(paths)) == []
+
+    def test_downward_import_ok(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/dwarf/builder.py": "from repro.storage import btree\n",
+            "repro/storage/btree.py": "",
+        })
+        assert layering_violations(build_import_graph(paths)) == []
+
+    def test_declared_ranks_match_reality(self):
+        assert layer_of("repro.core.pipeline") < layer_of("repro.storage.x")
+        assert layer_of("repro.query.plan") < layer_of("repro.sqldb.engine")
+        assert layer_of("repro.mapping.x") < layer_of("repro.cli")
+
+
+class TestCycles:
+    def test_two_module_cycle(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/dwarf/a.py": "import repro.dwarf.b\n",
+            "repro/dwarf/b.py": "import repro.dwarf.a\n",
+        })
+        cycles = import_cycles(build_import_graph(paths))
+        assert cycles == [["repro.dwarf.a", "repro.dwarf.b"]]
+
+    def test_lazy_import_breaks_cycle(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/dwarf/a.py": "import repro.dwarf.b\n",
+            "repro/dwarf/b.py": """
+                def f():
+                    import repro.dwarf.a
+                    return repro.dwarf.a
+            """,
+        })
+        assert import_cycles(build_import_graph(paths)) == []
+
+    def test_self_import_cycle(self, tmp_path):
+        paths = make_tree(tmp_path, {
+            "repro/dwarf/a.py": "import repro.dwarf.a\n",
+        })
+        cycles = import_cycles(build_import_graph(paths))
+        assert cycles == [["repro.dwarf.a"]]
+
+
+class TestRealRepo:
+    def test_package_layering_is_clean(self):
+        graph = build_import_graph(iter_source_files())
+        assert layering_violations(graph) == []
+
+    def test_package_has_no_import_cycles(self):
+        graph = build_import_graph(iter_source_files())
+        assert import_cycles(graph) == []

@@ -183,3 +183,357 @@ class TestRules:
 
         names = {root.name for root in default_roots()}
         assert "repro" in names and "benchmarks" in names
+
+
+class TestFlowRules:
+    def test_repro008_unguarded_mutation_fires(self, tmp_path):
+        report = lint_source(
+            tmp_path, "nosqldb/mod.py",
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._n = 0
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+                        self._n += 1
+
+                def bump(self):
+                    self._n += 1
+            """,
+        )
+        assert rules_of(report) == {"REPRO008"}
+        assert len(report.violations) == 1
+        assert "bump" in report.violations[0].message
+
+    def test_repro008_guarded_and_exempt_paths_quiet(self, tmp_path):
+        report = lint_source(
+            tmp_path, "nosqldb/mod.py",
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._n = 0
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+                        self._n += 1
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def reset(self):
+                    self._n = 0
+
+                def drain(self):
+                    self._lock.acquire()
+                    self._n = 0
+                    self._lock.release()
+            """,
+        )
+        assert report.ok, "\n".join(report.format_lines())
+
+    def test_repro008_ignores_lockless_classes(self, tmp_path):
+        report = lint_source(
+            tmp_path, "core/mod.py",
+            """
+            class Plain:
+                def __init__(self):
+                    self.n = 0
+
+                def bump(self):
+                    self.n += 1
+            """,
+        )
+        assert report.ok
+
+    def test_repro009_leak_on_some_path_fires(self, tmp_path):
+        report = lint_source(
+            tmp_path, "etl/mod.py",
+            """
+            def leak(path):
+                fh = open(path)
+                data = fh.read()
+                return data
+
+            def maybe_leak(path, flag):
+                fh = open(path)
+                if flag:
+                    fh.close()
+                return None
+            """,
+        )
+        assert rules_of(report) == {"REPRO009"}
+        assert len(report.violations) == 2
+
+    def test_repro009_discarded_handle_fires(self, tmp_path):
+        report = lint_source(
+            tmp_path, "etl/mod.py",
+            """
+            def touch(path):
+                open(path, "w")
+            """,
+        )
+        assert rules_of(report) == {"REPRO009"}
+
+    def test_repro009_managed_handles_quiet(self, tmp_path):
+        report = lint_source(
+            tmp_path, "etl/mod.py",
+            """
+            def with_managed(path):
+                with open(path) as fh:
+                    return fh.read()
+
+            def closed_in_finally(path):
+                fh = open(path)
+                try:
+                    return fh.read()
+                finally:
+                    fh.close()
+
+            def ownership_transferred(path):
+                fh = open(path)
+                return fh
+
+            def handed_off(path, sink):
+                fh = open(path)
+                sink.adopt(fh)
+                return None
+            """,
+        )
+        assert report.ok, "\n".join(report.format_lines())
+
+    def test_repro010_unlocked_module_state_fires(self, tmp_path):
+        report = lint_source(
+            tmp_path, "nosqldb/mod.py",
+            """
+            _CACHE = {}
+
+            def put(key, value):
+                _CACHE[key] = value
+            """,
+        )
+        assert rules_of(report) == {"REPRO010"}
+
+    def test_repro010_locked_or_reset_writes_quiet(self, tmp_path):
+        report = lint_source(
+            tmp_path, "nosqldb/mod.py",
+            """
+            import threading
+
+            _CACHE = {}
+            _LOCK = threading.Lock()
+
+            def put(key, value):
+                with _LOCK:
+                    _CACHE[key] = value
+
+            def _reset_cache():
+                _CACHE.clear()
+            """,
+        )
+        assert report.ok, "\n".join(report.format_lines())
+        # Outside the concurrent packages the rule does not apply.
+        other = lint_source(
+            tmp_path, "smartcity/mod.py",
+            """
+            _CACHE = {}
+
+            def put(key, value):
+                _CACHE[key] = value
+            """,
+        )
+        assert other.ok
+
+    def test_repro011_propagated_raise_fires(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sqldb/mod.py",
+            """
+            def _decode(raw):
+                if not raw:
+                    raise CodecError("empty")
+                return raw
+
+            def fetch(raw):
+                '''Fetch a row.'''
+                return _decode(raw)
+            """,
+        )
+        assert rules_of(report) == {"REPRO011"}
+        assert "CodecError" in report.violations[0].message
+
+    def test_repro011_documented_caught_or_dead_quiet(self, tmp_path):
+        report = lint_source(
+            tmp_path, "sqldb/mod.py",
+            """
+            def _decode(raw):
+                if not raw:
+                    raise CodecError("empty")
+                return raw
+
+            def _never_raises(raw):
+                return raw
+                raise CodecError("dead code")
+
+            def fetch(raw):
+                '''Fetch a row.
+
+                Raises CodecError on empty input.
+                '''
+                return _decode(raw)
+
+            def fetch_or_none(raw):
+                '''Fetch a row or return None.'''
+                try:
+                    return _decode(raw)
+                except CodecError:
+                    return None
+
+            def fetch_raw(raw):
+                '''No helper contract involved.'''
+                return _never_raises(raw)
+            """,
+        )
+        assert report.ok, "\n".join(report.format_lines())
+
+
+class TestProjectRules:
+    def test_repro012_upward_import_fires(self, tmp_path):
+        path = tmp_path / "repro" / "storage" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import repro.dwarf.cube\n", encoding="utf-8")
+        cube = tmp_path / "repro" / "dwarf" / "cube.py"
+        cube.parent.mkdir(parents=True)
+        cube.write_text("", encoding="utf-8")
+        report = run_lint(paths=[tmp_path], rules=["REPRO012"])
+        assert rules_of(report) == {"REPRO012"}
+        assert "layer" in report.violations[0].message
+
+    def test_repro012_cycle_fires(self, tmp_path):
+        pkg = tmp_path / "repro" / "dwarf"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("import repro.dwarf.b\n", encoding="utf-8")
+        (pkg / "b.py").write_text("import repro.dwarf.a\n", encoding="utf-8")
+        report = run_lint(paths=[tmp_path], rules=["REPRO012"])
+        assert rules_of(report) == {"REPRO012"}
+        assert any("cycle" in v.message for v in report.violations)
+
+    def test_repro012_lazy_import_quiet(self, tmp_path):
+        path = tmp_path / "repro" / "storage" / "ok.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "def late():\n    import repro.dwarf.cube\n", encoding="utf-8")
+        cube = tmp_path / "repro" / "dwarf" / "cube.py"
+        cube.parent.mkdir(parents=True)
+        cube.write_text("", encoding="utf-8")
+        report = run_lint(paths=[tmp_path], rules=["REPRO012"])
+        assert report.ok, "\n".join(report.format_lines())
+
+
+class TestSuppressionsAndSelection:
+    def test_noqa_suppresses_exact_rule(self, tmp_path):
+        report = lint_source(
+            tmp_path, "mod.py",
+            """
+            def collect(items=[]):  # repro: noqa[REPRO001]
+                return items
+            """,
+        )
+        assert report.ok, "\n".join(report.format_lines())
+
+    def test_noqa_other_rule_does_not_suppress(self, tmp_path):
+        report = lint_source(
+            tmp_path, "mod.py",
+            """
+            def collect(items=[]):  # repro: noqa[REPRO002]
+                return items
+            """,
+        )
+        # REPRO001 still fires, and the REPRO002 pragma is unused.
+        assert rules_of(report) == {"REPRO001", "REPRO013"}
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        report = lint_source(
+            tmp_path, "mod.py",
+            """
+            def collect(items=[]):  # repro: noqa
+                return items
+            """,
+        )
+        assert report.ok
+
+    def test_pragma_in_string_literal_is_inert(self, tmp_path):
+        report = lint_source(
+            tmp_path, "mod.py",
+            """
+            def collect(items=[]):
+                return "# repro: noqa[REPRO001]"
+            """,
+        )
+        assert rules_of(report) == {"REPRO001"}
+
+    def test_unused_suppression_reported(self, tmp_path):
+        report = lint_source(
+            tmp_path, "mod.py",
+            """
+            def fine():  # repro: noqa[REPRO001]
+                return 1
+            """,
+        )
+        assert rules_of(report) == {"REPRO013"}
+
+    def test_rules_selection_narrows_run(self, tmp_path):
+        source = """
+        def collect(items=[]):
+            try:
+                return items
+            except:
+                return None
+        """
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        both = run_lint(paths=[path])
+        assert rules_of(both) == {"REPRO001", "REPRO002"}
+        only = run_lint(paths=[path], rules=["REPRO002"])
+        assert rules_of(only) == {"REPRO002"}
+        without = run_lint(paths=[path], exclude_rules=["REPRO002"])
+        assert rules_of(without) == {"REPRO001"}
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="REPRO999"):
+            run_lint(paths=[tmp_path], rules=["REPRO999"])
+
+    def test_selection_keeps_subset_pragmas_quiet(self, tmp_path):
+        # A pragma for a rule that did not run must not be "unused".
+        source = """
+        def fine():  # repro: noqa[REPRO002]
+            return 1
+        """
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        report = run_lint(paths=[path], rules=["REPRO001", "REPRO013"])
+        assert report.ok, "\n".join(report.format_lines())
+
+
+class TestUnparseableCounted:
+    def test_parse_failure_counts_as_a_check(self, tmp_path):
+        """REPRO000 runs must be distinguishable from empty runs."""
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n", encoding="utf-8")
+        report = run_lint(paths=[path])
+        assert rules_of(report) == {"REPRO000"}
+        assert report.n_checks >= 1
+        assert "0 checks" not in report.summary()
+        assert "1 violation" in report.summary()

@@ -1,0 +1,193 @@
+"""SARIF 2.1.0 output: structural checks plus JSON-Schema validation.
+
+The full OASIS schema is not vendored; the test validates against an
+embedded subset that pins every structural requirement the spec imposes
+on the parts we emit (required run/tool/result members, version enum,
+baselineState enum, region line numbers >= 1).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, sarif_dumps, sarif_report
+from repro.analysis.violations import CheckReport
+
+#: Condensed SARIF 2.1.0 schema: the spec's constraints for the subset
+#: of the format repro-check emits.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0},
+                                "level": {"enum": ["none", "note",
+                                                   "warning", "error"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}},
+                                },
+                                "baselineState": {
+                                    "enum": ["new", "unchanged",
+                                             "updated", "absent"]},
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {"type":
+                                                                    "string"},
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def report_with(*findings):
+    report = CheckReport("lint")
+    for rule, location, message in findings:
+        report.check(False, "lint", rule, location, message)
+    return report
+
+
+class TestStructure:
+    def test_document_shape(self):
+        doc = sarif_report(report_with(
+            ("REPRO001", "src/a.py:10", "mutable default")))
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        result = run["results"][0]
+        assert result["ruleId"] == "REPRO001"
+        assert result["message"]["text"] == "mutable default"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["region"]["startLine"] == 10
+
+    def test_rules_metadata_from_registry(self):
+        doc = sarif_report(CheckReport("lint"))
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        ids = [rule["id"] for rule in rules]
+        assert ids == sorted(ids)
+        assert "REPRO001" in ids and "REPRO012" in ids
+        by_id = {rule["id"]: rule for rule in rules}
+        assert by_id["REPRO009"]["name"] == "resource-leak"
+        assert by_id["REPRO009"]["shortDescription"]["text"]
+
+    def test_rule_index_matches_rules_array(self):
+        doc = sarif_report(report_with(
+            ("REPRO009", "src/a.py:1", "leak")))
+        run = doc["runs"][0]
+        result = run["results"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "REPRO009"
+
+    def test_baseline_state(self):
+        report = report_with(
+            ("REPRO001", "src/a.py:10", "known finding"),
+            ("REPRO001", "src/b.py:20", "new finding"),
+        )
+        new_ids = {id(report.violations[1])}
+        doc = sarif_report(report, new_ids)
+        states = [r["baselineState"] for r in doc["runs"][0]["results"]]
+        assert states == ["unchanged", "new"]
+        # Without a baseline, no baselineState member at all.
+        plain = sarif_report(report)
+        assert all("baselineState" not in r
+                   for r in plain["runs"][0]["results"])
+
+    def test_location_without_line(self):
+        doc = sarif_report(report_with(("REPRO012", "src/a.py", "graph")))
+        location = doc["runs"][0]["results"][0]["locations"][0]
+        assert location["physicalLocation"]["region"]["startLine"] == 1
+
+    def test_dumps_is_valid_json(self):
+        payload = sarif_dumps(report_with(("REPRO001", "a.py:1", "x")))
+        assert json.loads(payload)["version"] == "2.1.0"
+
+
+class TestSchemaValidation:
+    def test_validates_against_sarif_subset_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        report = report_with(
+            ("REPRO001", "src/a.py:10", "mutable default"),
+            ("REPRO012", "src/b.py", "layering"),
+        )
+        new_ids = {id(report.violations[0])}
+        for doc in (sarif_report(report), sarif_report(report, new_ids),
+                    sarif_report(CheckReport("lint"))):
+            jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
