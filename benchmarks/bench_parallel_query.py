@@ -1,0 +1,230 @@
+"""Scatter-gather stored-cube queries over a shard × worker grid.
+
+The sharded keyspace layer (docs/parallel_query.md) divides the
+NoSQL-DWARF column families across a consistent-hash ring and lets the
+query kernel scatter full scans and decomposable aggregates shard by
+shard.  This bench measures the two stored-query shapes that scatter —
+the ``COUNT(*)`` cube audit (``stored_cell_count``) and the full-scan
+``stored_select(strategy="scan")`` — over a ``(REPRO_SHARDS,
+REPRO_WORKERS)`` grid, asserting byte-identical answers at every point.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_query.py          # Month
+    PYTHONPATH=src python benchmarks/bench_parallel_query.py --quick  # CI smoke
+
+Two cubes share the keyspace so the pushed ``schema_id = ?0`` predicate
+has blocks to refute: the measured cube's count must *skip* the other
+cube's zone-refuted blocks unread.  The headline is the count query: a
+compacted shard counts predicate masks via ``SSTable.count_filtered``
+without materialising a single row, while the single-shard classic path
+decodes every surviving row.  The scan query is expected ~flat on a
+single-CPU container (the GIL serialises row decode); it is here to pin
+that scatter never changes its answers.  Emits machine-readable JSON
+(``--out``, default ``BENCH_parallel_query.json``); CI asserts the
+count speedup and the nonzero skip count from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from contextlib import contextmanager
+from typing import Dict, List
+
+from repro.bench.datasets import current_scale, load_dataset
+from repro.mapping.registry import make_mapper
+from repro.mapping.stored_query import stored_cell_count, stored_select
+from repro.telemetry import get_tracer
+
+try:
+    from benchmarks._timing import gc_paused, telemetry_snapshot, timed
+except ImportError:  # standalone `python benchmarks/bench_*.py`
+    from _timing import gc_paused, telemetry_snapshot, timed
+
+#: (shards, workers) grid points; (1, 1) is the pre-sharding baseline.
+GRID = ((1, 1), (2, 2), (4, 4))
+
+
+@contextmanager
+def _env(**overrides):
+    saved = {name: os.environ.get(name) for name in overrides}
+    os.environ.update({name: str(value) for name, value in overrides.items()})
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _build_mapper(bundle, other_bundle, shards):
+    """A NoSQL-DWARF keyspace holding two cubes, compacted to the
+    steady state (one SSTable per shard; the count fast path's shape).
+    Returns ``(mapper, measured_schema_id)``."""
+    with _env(REPRO_SHARDS=shards):
+        mapper = make_mapper("NoSQL-DWARF")
+    other_id = mapper.store(other_bundle.cube, probe_size=False)
+    schema_id = mapper.store(bundle.cube, probe_size=False)
+    assert other_id != schema_id
+    for table in mapper.engine.keyspace(mapper.keyspace_name).tables:
+        table.compact()
+    return mapper, schema_id
+
+
+def _cell_family(mapper):
+    return mapper.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+
+
+def _per_shard_skips(family) -> List[int]:
+    return [
+        sum(sstable.blocks_skipped for sstable in shard.sstables)
+        for shard in family.shards
+    ]
+
+
+def _span_count(spans, name) -> int:
+    total = 0
+    for span in spans:
+        if span["name"] == name:
+            total += span["count"]
+        total += _span_count(span.get("children", ()), name)
+    return total
+
+
+def _measure(fn, repeats, label):
+    """Best-of-``repeats`` seconds plus the last pass's answer and the
+    number of ``query.shard_scan`` spans one pass opens."""
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    best, answer = float("inf"), None
+    try:
+        for _ in range(repeats):
+            tracer.enabled = True
+            tracer.reset()
+            with gc_paused():
+                answer, elapsed = timed(fn, label=label)
+            best = min(best, elapsed)
+        shard_scans = _span_count(tracer.merged(), "query.shard_scan")
+    finally:
+        tracer.enabled = was_enabled
+        tracer.reset()
+    return answer, best, shard_scans
+
+
+def bench_grid(bundle, other_bundle, repeats: int) -> Dict[str, Dict]:
+    results: Dict[str, Dict] = {}
+    for shards, workers in GRID:
+        mapper, schema_id = _build_mapper(bundle, other_bundle, shards)
+        family = _cell_family(mapper)
+        with _env(REPRO_WORKERS=workers):
+            skips_before = _per_shard_skips(family)
+            count, count_s, count_scans = _measure(
+                lambda: stored_cell_count(mapper, schema_id),
+                repeats, "bench.parallel.count_pass",
+            )
+            count_skips = [
+                after - before
+                for after, before in zip(_per_shard_skips(family), skips_before)
+            ]
+            scan_rows, scan_s, scan_scans = _measure(
+                lambda: sorted(stored_select(mapper, schema_id, strategy="scan")),
+                repeats, "bench.parallel.scan_pass",
+            )
+        results[f"{shards}x{workers}"] = {
+            "shards": shards,
+            "workers": workers,
+            "count": count,
+            "count_s": count_s,
+            "count_shard_scan_spans": count_scans,
+            "count_pass_blocks_skipped_per_shard": count_skips,
+            "scan_rows": len(scan_rows),
+            "scan_s": scan_s,
+            "scan_shard_scan_spans": scan_scans,
+            "_scan_answer": scan_rows,
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="Month", help="measured cube (default Month)")
+    parser.add_argument("--other", default="Day", help="co-resident cube (default Day)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--out", default="BENCH_parallel_query.json", help="JSON output path")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: Day-scale measured cube, single repeat",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = "Day" if args.quick else args.dataset
+    other = "Week" if args.quick else args.other
+    repeats = 1 if args.quick else args.repeats
+
+    bundle = load_dataset(dataset)
+    other_bundle = load_dataset(other)
+    grid = bench_grid(bundle, other_bundle, repeats)
+
+    baseline = grid["1x1"]
+    scan_reference = baseline.pop("_scan_answer")
+    identical = True
+    for key, cell in grid.items():
+        if key != "1x1":
+            identical &= cell["count"] == baseline["count"]
+            identical &= cell.pop("_scan_answer") == scan_reference
+        cell["count_speedup_vs_1x1"] = baseline["count_s"] / cell["count_s"]
+        cell["scan_speedup_vs_1x1"] = baseline["scan_s"] / cell["scan_s"]
+
+    headline = grid[f"{GRID[-1][0]}x{GRID[-1][1]}"]
+    skips = sum(headline["count_pass_blocks_skipped_per_shard"])
+    report = {
+        "bench": "parallel_query",
+        "dataset": dataset,
+        "other_dataset": other,
+        "n_tuples": bundle.n_tuples,
+        "repeats": repeats,
+        "repro_scale": current_scale(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "answers_identical": identical,
+        "grid": grid,
+        "telemetry": telemetry_snapshot(),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"dataset={dataset} (+{other} co-resident) repeats={repeats} "
+          f"answers_identical={identical}")
+    for key, cell in grid.items():
+        print(f"{key:4s} count {cell['count_s'] * 1000:8.2f} ms "
+              f"({cell['count_speedup_vs_1x1']:5.2f}x, "
+              f"{cell['count_shard_scan_spans']} shard span(s), "
+              f"skips {cell['count_pass_blocks_skipped_per_shard']})   "
+              f"scan {cell['scan_s'] * 1000:8.2f} ms "
+              f"({cell['scan_speedup_vs_1x1']:5.2f}x)")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not identical:
+        failures.append("answers diverged across the shard grid")
+    if skips <= 0:
+        failures.append("headline count pass skipped zero zone-refuted blocks")
+    if not args.quick and headline["count_speedup_vs_1x1"] < 2.0:
+        failures.append(
+            f"count speedup {headline['count_speedup_vs_1x1']:.2f}x < 2x at "
+            f"{GRID[-1][0]} shards"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

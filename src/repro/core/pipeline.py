@@ -57,8 +57,9 @@ class CubeConstructionPipeline:
         Suffix coalescing toggle, passed to the DWARF builder.
     workers:
         Construction worker count for the partitioned parallel builder.
-        ``None`` defers to ``REPRO_WORKERS`` / the CPU count; ``1`` pins
-        the classic serial scan.
+        ``None`` resolves via :func:`repro.core.workers.resolve_workers`
+        (``REPRO_WORKERS`` > CPU count); ``1`` pins the classic serial
+        scan.
     """
 
     def __init__(self, etl, mapper=None, coalesce: bool = True,

@@ -1,0 +1,84 @@
+"""Shared worker-count resolution and the process-wide query thread pool.
+
+``REPRO_WORKERS`` historically resolved in two places — the parallel
+DWARF builder and the pipeline docstring both described the same
+"explicit argument > environment > CPU count" rule.  This module is the
+single home of that rule (:func:`resolve_workers`) plus the lazily
+created thread pool the sharded read path fans out on
+(:func:`map_tasks`).
+
+The pool is deliberately a *thread* pool: scatter-gather query tasks
+touch live engine objects (memtables, SSTable block caches) that cannot
+be pickled to a process pool, and each shard's task holds the GIL only
+while doing real decode work.  ``REPRO_WORKERS=1`` (or a single task)
+keeps execution on the calling thread — the serial path stays exactly
+the pre-sharding code path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["resolve_workers", "map_tasks", "shutdown_pool"]
+
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+_POOL_LOCK = threading.Lock()
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_WORKERS`` > CPU count."""
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            workers = int(env)
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def _get_pool(size: int) -> ThreadPoolExecutor:
+    """The shared pool, recreated when the resolved size changes (tests
+    flip ``REPRO_WORKERS`` between runs; a stale pool would pin the old
+    width)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE != size:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="repro-query"
+            )
+            _POOL_SIZE = size
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear the shared pool down (interpreter exit, tests)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+            _POOL = None
+            _POOL_SIZE = 0
+
+
+def map_tasks(tasks: Sequence[Callable[[], object]],
+              workers: Optional[int] = None) -> List[object]:
+    """Run ``tasks`` (zero-argument callables) and return their results
+    in task order.
+
+    Serial — on the calling thread, preserving today's single-thread
+    semantics exactly — when the resolved worker count is 1 or there is
+    at most one task; otherwise fanned out on the shared thread pool.
+    The first task exception propagates to the caller either way.
+    """
+    resolved = resolve_workers(workers)
+    if resolved <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    pool = _get_pool(resolved)
+    futures = [pool.submit(task) for task in tasks]
+    return [future.result() for future in futures]

@@ -29,7 +29,6 @@ below a few thousand tuples.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -37,6 +36,7 @@ from repro.analysis.flags import checks_enabled
 from repro.core.errors import TupleShapeError
 from repro.core.schema import CubeSchema
 from repro.core.tuples import FactTuple, TupleSet
+from repro.core.workers import resolve_workers
 from repro.dwarf.builder import DwarfBuilder
 from repro.dwarf.cube import DwarfCube
 from repro.dwarf.node import DwarfNode
@@ -54,17 +54,6 @@ MIN_PARALLEL_TUPLES = 2048
 #: sub-dwarf graphs back costs more than true parallelism recovers, so
 #: the thread pool (shared address space, no pickling) is used instead.
 MIN_PROCESS_TUPLES = 65536
-
-
-def resolve_workers(workers: Optional[int] = None) -> int:
-    """Worker count: explicit argument > ``REPRO_WORKERS`` > CPU count."""
-    if workers is None:
-        env = os.environ.get("REPRO_WORKERS", "").strip()
-        if env:
-            workers = int(env)
-        else:
-            workers = os.cpu_count() or 1
-    return max(1, int(workers))
 
 
 def _build_partition(schema: CubeSchema, facts: List[FactTuple], coalesce: bool):

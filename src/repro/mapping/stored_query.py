@@ -40,6 +40,7 @@ from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
 from repro.query import (
+    Aggregate,
     Filter,
     FullScan,
     IndexScan,
@@ -47,6 +48,7 @@ from repro.query import (
     Plan,
     PushedCondition,
     PushedPredicate,
+    count_partial,
 )
 from repro.telemetry import get_registry, get_tracer
 
@@ -181,6 +183,44 @@ def _build_nosql_cube_scan_keys(mapper) -> Plan:
     ))
     scan = FullScan(table, "dwarf_cell", pushed=pushed)
     return Plan(scan, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+
+
+def _build_nosql_cube_count(mapper) -> Plan:
+    """NoSQL-DWARF: count one stored cube's cells, ``Aggregate(FullScan)``.
+
+    The ``schema_id = ?0`` pushdown skips zone-refuted columnar blocks,
+    and the count partial lets a sharded family answer from per-shard
+    ``count_shard`` calls — no cell row is ever materialised on the
+    all-flushed fast path (docs/parallel_query.md).
+    """
+    table = mapper.session.engine.keyspace(mapper.keyspace_name).table("dwarf_cell")
+    pushed = PushedPredicate(
+        (PushedCondition("schema_id", "=", lambda params: params[0], "schema_id = ?0"),)
+    )
+    scan = FullScan(table, "dwarf_cell", pushed=pushed)
+    count = Aggregate(
+        scan,
+        lambda rows, params: [{"count": len(rows)}],
+        "count(*)",
+        partial=count_partial(),
+    )
+    return Plan(count, guards=(_cql_guard(mapper, "dwarf_cell", table),))
+
+
+def stored_cell_count(mapper, schema_id: int) -> int:
+    """How many cells the stored cube ``schema_id`` holds, counted in
+    storage (NoSQL-DWARF only).
+
+    Equals ``len(list(stored_select(mapper, schema_id, strategy="scan",
+    ...)))`` over every cell rather than a constrained slice — the
+    benchmark-grade aggregate the scatter-gather path accelerates.
+    """
+    if not isinstance(mapper, NoSQLDwarfMapper):
+        raise MappingError("stored_cell_count is implemented for NoSQL-DWARF storage")
+    mapper.info(schema_id)  # validate
+    plan = _kernel_plan(mapper, "nosql_dwarf:cube_count", _build_nosql_cube_count)
+    with get_tracer().span("stored.cell_count", schema=mapper.name):
+        return plan.run((schema_id,))[0]["count"]
 
 
 def _build_mysql_cell_match(mapper) -> Plan:
@@ -409,6 +449,9 @@ def explain_strategy(mapper, schema_id: Optional[int] = None) -> Dict[str, List[
             ).explain(),
             "cube_scan": _kernel_plan(
                 mapper, "nosql_dwarf:cube_scan", _build_nosql_cube_scan
+            ).explain(),
+            "cube_count": _kernel_plan(
+                mapper, "nosql_dwarf:cube_count", _build_nosql_cube_count
             ).explain(),
         }
     if kind is NoSQLMinMapper:

@@ -5,12 +5,23 @@ The write path mirrors Cassandra: commit log append, memtable insert
 memtable flush to a compressed SSTable past a threshold, size-tiered
 compaction.  ``size_bytes`` flushes and reports real encoded bytes —
 this is what the paper's ``size_as_mb`` probe reads (§4).
+
+A column family is divided into **shards** by partition-key hash on a
+consistent-hash ring (:mod:`repro.nosqldb.sharding`), the way Cassandra
+distributes this workload across its token ring.  Each shard owns its
+own memtable, sealed-memtable list, SSTable set and block-cache
+partition, so shard-local reads never contend and scatter-gather
+queries can fan out per shard (docs/parallel_query.md).  The default
+single-shard layout (``REPRO_SHARDS`` unset) is byte-identical to the
+pre-sharding engine: same file names, same flush points, same scan
+order.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.core.workers import map_tasks
 from repro.nosqldb.cache import (
     NEGATIVE,
     BlockCache,
@@ -26,6 +37,7 @@ from repro.nosqldb.columnar import (
 )
 from repro.nosqldb.errors import AlreadyExists, InvalidRequest
 from repro.nosqldb.memtable import Memtable
+from repro.nosqldb.sharding import HashRing, resolve_shards
 from repro.nosqldb.sstable import SSTable, compact
 from repro.nosqldb.types import CQLType, SetType
 from repro.storage.btree import BTree
@@ -47,10 +59,10 @@ _M_COMPACTIONS = _REGISTRY.counter(
     "nosqldb_compactions_total", "size-tiered compactions run"
 )
 
-#: Memtable flush threshold, bytes.
+#: Memtable flush threshold, bytes (per shard).
 FLUSH_THRESHOLD = 8 * 1024 * 1024
 
-#: Number of SSTables that triggers a size-tiered compaction.
+#: Number of SSTables (per shard) that triggers a size-tiered compaction.
 COMPACTION_THRESHOLD = 4
 
 #: Entry cap for the per-table decoded-row memo (cleared wholesale when
@@ -62,7 +74,7 @@ class ColumnFamilyStats(NamedTuple):
     """A read-only structural + cache summary of one column family."""
 
     rows: int                 # live rows (memtables + SSTables, deduplicated)
-    memtable_rows: int        # rows in the active memtable
+    memtable_rows: int        # rows in the active memtable(s)
     pending_memtables: int    # sealed memtables awaiting the flusher
     sstables: int
     indexes: int
@@ -73,6 +85,7 @@ class ColumnFamilyStats(NamedTuple):
     columnar_blocks: int = 0    # columnar blocks across all SSTables
     blocks_skipped: int = 0     # lifetime zone-map block skips
     dict_hit_ratio: float = 0.0  # dictionary-encoded share of column chunks
+    shards: int = 1             # consistent-hash shard count
 
 
 class Column:
@@ -132,8 +145,39 @@ class SecondaryIndex:
         return len(self._tree)
 
 
+class _Shard:
+    """One ring partition's private storage: memtable lineage, SSTables
+    and a block-cache slice.  Only its owner column family touches it;
+    scatter-gather tasks for different shards never share mutable state,
+    which is what makes the fan-out thread-safe."""
+
+    __slots__ = (
+        "shard_id", "memtable", "pending", "sstables", "block_cache",
+        "generation", "n_live",
+    )
+
+    def __init__(self, shard_id: int, block_cache: BlockCache) -> None:
+        self.shard_id = shard_id
+        self.memtable = Memtable()
+        # Memtables handed to the (simulated) background flusher: sealed,
+        # not yet built into SSTables.  Clients don't wait for flushes —
+        # and reads search the sealed memtables directly, so a read never
+        # forces materialisation as a side effect (docs/read_path.md).
+        self.pending: List[Memtable] = []
+        self.sstables: List[SSTable] = []
+        self.block_cache = block_cache
+        self.generation = 0
+        # Live-row count maintained by the write path; None = unknown
+        # (recomputed lazily after crash recovery dropped the memtables).
+        self.n_live: Optional[int] = 0
+
+
 class ColumnFamily:
-    """One table: schema, memtable, SSTables and secondary indexes."""
+    """One table: schema, sharded memtables/SSTables, secondary indexes."""
+
+    #: Kernel duck-typing flag: point and multi-get reads route through
+    #: the consistent-hash ring (EXPLAIN renders per-shard fan-out).
+    scatter_reads = True
 
     def __init__(
         self,
@@ -146,11 +190,14 @@ class ColumnFamily:
         block_cache_bytes: Optional[int] = None,
         row_cache_bytes: Optional[int] = None,
         block_format: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         """``block_cache_bytes`` / ``row_cache_bytes`` override the
         environment-configured cache budgets (0 disables a cache);
         ``block_format`` ("row" | "columnar") overrides the
-        ``REPRO_BLOCK_FORMAT`` default for newly written SSTable blocks."""
+        ``REPRO_BLOCK_FORMAT`` default for newly written SSTable blocks;
+        ``shards`` overrides the ``REPRO_SHARDS`` consistent-hash layout
+        (the block-cache budget is split evenly across shards)."""
         names = [c.name for c in columns]
         if len(set(names)) != len(names):
             raise InvalidRequest(f"duplicate column in {name!r}")
@@ -168,33 +215,92 @@ class ColumnFamily:
         self._codec = ColumnarCodec([(c.name, c.cql_type) for c in columns])
         self._by_name: Dict[str, Column] = {c.name: c for c in self.columns}
         self._pk_index = names.index(primary_key)
-        self._memtable = Memtable()
-        # Memtables handed to the (simulated) background flusher: sealed,
-        # not yet built into SSTables.  Clients don't wait for flushes —
-        # and reads search the sealed memtables directly, so a read never
-        # forces materialisation as a side effect (docs/read_path.md).
-        self._pending: List[Memtable] = []
-        self._sstables: List[SSTable] = []
+        self.shard_count = resolve_shards(shards)
+        self._ring = HashRing(self.shard_count)
+        block_budget = (
+            block_cache_budget() if block_cache_bytes is None else block_cache_bytes
+        )
+        per_shard_budget = block_budget // self.shard_count
+        self._shards: Tuple[_Shard, ...] = tuple(
+            _Shard(shard_id, BlockCache(per_shard_budget))
+            for shard_id in range(self.shard_count)
+        )
         self._indexes: Dict[str, SecondaryIndex] = {}
         self._commit_log = commit_log
         self._data_dir = data_dir
-        self._generation = 0
         self._n_writes = 0
         self._m_writes = _M_WRITES.labels(name)
-        # Read-path caches (docs/read_path.md); a zero budget disables.
-        self._block_cache = BlockCache(
-            block_cache_budget() if block_cache_bytes is None else block_cache_bytes
-        )
+        # Read-path row cache (docs/read_path.md); a zero budget disables.
+        # Family-level, not per shard: it is keyed by primary key and
+        # only the caller thread ever writes it.
         self._row_cache = RowCache(
             row_cache_budget() if row_cache_bytes is None else row_cache_bytes
         )
         # Content-addressed decode memo: encoded row bytes -> decoded dict.
         self._decode_memo: Dict[bytes, Dict[str, object]] = {}
-        # Live-row count maintained by the write path; None = unknown
-        # (recomputed lazily after crash recovery dropped the memtables).
-        self._n_live: Optional[int] = 0
         # Deterministic write clock standing in for microsecond timestamps.
         self._write_clock = 1_400_000_000_000_000
+
+    # ------------------------------------------------------------------
+    # shard layout
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Tuple[_Shard, ...]:
+        """The shard tuple, in ring order (checkers iterate this)."""
+        return self._shards
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def shard_for(self, key) -> int:
+        """The shard id owning ``key`` on the ring."""
+        return self._ring.shard_for(key)
+
+    def run_sharded(self, tasks) -> List[object]:
+        """Run shard-local tasks on the ``REPRO_WORKERS`` pool, results
+        in task order.  The query kernel duck-types this hook (it cannot
+        import :mod:`repro.core` itself): each task must only touch one
+        shard's state, which the per-shard scan/count methods guarantee.
+        """
+        return map_tasks(tasks)
+
+    def _shard_of(self, key) -> _Shard:
+        if self.shard_count == 1:
+            return self._shards[0]
+        return self._shards[self._ring.shard_for(key)]
+
+    # -- single-shard compatibility views -------------------------------
+    # The engine grew up single-sharded; tests and checkers reach for
+    # these names.  At one shard they are exactly the old attributes.
+    @property
+    def _memtable(self) -> Memtable:
+        return self._shards[0].memtable
+
+    @property
+    def _pending(self) -> List[Memtable]:
+        if self.shard_count == 1:
+            return self._shards[0].pending
+        return [m for shard in self._shards for m in shard.pending]
+
+    @property
+    def _sstables(self) -> List[SSTable]:
+        if self.shard_count == 1:
+            return self._shards[0].sstables
+        return [s for shard in self._shards for s in shard.sstables]
+
+    @property
+    def _block_cache(self) -> BlockCache:
+        return self._shards[0].block_cache
+
+    @property
+    def _n_live(self) -> Optional[int]:
+        total = 0
+        for shard in self._shards:
+            if shard.n_live is None:
+                return None
+            total += shard.n_live
+        return total
 
     # ------------------------------------------------------------------
     # schema
@@ -248,12 +354,12 @@ class ColumnFamily:
 
     @property
     def block_cache_hits(self) -> int:
-        """Cumulative block-cache hit count (a cheap counter read).
+        """Cumulative block-cache hit count across shards (cheap reads).
 
         The query kernel probes this around each batched read to
         attribute cache-backed block fetches to the plan's access node.
         """
-        return self._block_cache.stats().hits
+        return sum(shard.block_cache.stats().hits for shard in self._shards)
 
     # ------------------------------------------------------------------
     # row codec (Cassandra 2.x storage format)
@@ -348,6 +454,7 @@ class ColumnFamily:
         encoded = b"".join(parts)
         if self._commit_log is not None:
             self._commit_log.append(self.name, key, encoded)
+        shard = self._shard_of(key)
         if self._indexes:
             previous = self._read_encoded(key)
             if previous is not None:
@@ -358,18 +465,18 @@ class ColumnFamily:
             for column_name, index in self._indexes.items():
                 index.add(new_values.get(column_name), key)
             was_live = previous is not None
-        elif self._n_live is not None:
-            was_live = self._is_live(key)
+        elif shard.n_live is not None:
+            was_live = self._is_live_in(shard, key)
         else:
             was_live = True  # counter dirty; the value is unused
-        self._memtable.put(key, encoded)
+        shard.memtable.put(key, encoded)
         self._row_cache.invalidate(key)
-        if self._n_live is not None and not was_live:
-            self._n_live += 1
+        if shard.n_live is not None and not was_live:
+            shard.n_live += 1
         self._n_writes += 1
         self._m_writes.inc()
-        if self._memtable.approximate_bytes >= FLUSH_THRESHOLD:
-            self.seal_memtable()
+        if shard.memtable.approximate_bytes >= FLUSH_THRESHOLD:
+            self._seal_shard(shard)
 
     def insert_bound_many(self, items) -> int:
         """Bulk write path: many ``(key, bound)`` rows in one tight loop.
@@ -384,6 +491,7 @@ class ColumnFamily:
         commit_log = self._commit_log
         indexes = self._indexes
         row_cache = self._row_cache
+        shard_of = self._shard_of
         count = 0
         for key, bound in items:
             self._write_clock += 1
@@ -396,6 +504,7 @@ class ColumnFamily:
             encoded = b"".join(parts)
             if commit_log is not None:
                 commit_log.append(self.name, key, encoded)
+            shard = shard_of(key)
             if indexes:
                 previous = self._read_encoded(key)
                 if previous is not None:
@@ -406,17 +515,17 @@ class ColumnFamily:
                 for column_name, index in indexes.items():
                     index.add(new_values.get(column_name), key)
                 was_live = previous is not None
-            elif self._n_live is not None:
-                was_live = self._is_live(key)
+            elif shard.n_live is not None:
+                was_live = self._is_live_in(shard, key)
             else:
                 was_live = True
-            self._memtable.put(key, encoded)
+            shard.memtable.put(key, encoded)
             row_cache.invalidate(key)
-            if self._n_live is not None and not was_live:
-                self._n_live += 1
+            if shard.n_live is not None and not was_live:
+                shard.n_live += 1
             self._n_writes += 1
-            if self._memtable.approximate_bytes >= FLUSH_THRESHOLD:
-                self.seal_memtable()
+            if shard.memtable.approximate_bytes >= FLUSH_THRESHOLD:
+                self._seal_shard(shard)
             count += 1
         if count:
             # One batched increment keeps the bulk loop free of per-row
@@ -439,6 +548,7 @@ class ColumnFamily:
         self.insert({k: v for k, v in current.items() if v is not None})
 
     def delete(self, key) -> None:
+        shard = self._shard_of(key)
         if self._indexes:
             previous = self._read_encoded(key)
             if previous is not None:
@@ -446,91 +556,123 @@ class ColumnFamily:
                 for column_name, index in self._indexes.items():
                     index.remove(old_row.get(column_name), key)
             was_live = previous is not None
-        elif self._n_live is not None:
-            was_live = self._is_live(key)
+        elif shard.n_live is not None:
+            was_live = self._is_live_in(shard, key)
         else:
             was_live = False
         if self._commit_log is not None:
             # tombstones are logged as empty row payloads
             self._commit_log.append(self.name, key, b"")
-        self._memtable.delete(key)
+        shard.memtable.delete(key)
         self._row_cache.invalidate(key)
-        if self._n_live is not None and was_live:
-            self._n_live -= 1
+        if shard.n_live is not None and was_live:
+            shard.n_live -= 1
+
+    def _seal_shard(self, shard: _Shard) -> None:
+        if len(shard.memtable) == 0 and not shard.memtable.tombstones:
+            return
+        shard.pending.append(shard.memtable)
+        shard.memtable = Memtable()
 
     def seal_memtable(self) -> None:
-        """Hand the active memtable to the background flusher (cheap)."""
-        if len(self._memtable) == 0 and not self._memtable.tombstones:
-            return
-        self._pending.append(self._memtable)
-        self._memtable = Memtable()
+        """Hand every shard's active memtable to the background flusher."""
+        for shard in self._shards:
+            self._seal_shard(shard)
 
     def flush(self) -> None:
-        """Seal the memtable and materialise all pending SSTables."""
+        """Seal the memtables and materialise all pending SSTables."""
         self.seal_memtable()
-        self._materialize()
+        for shard in self._shards:
+            self._materialize_shard(shard)
 
-    def _next_data_path(self):
-        """File path for the next SSTable generation (None = in-memory)."""
+    def _next_data_path(self, shard: _Shard):
+        """File path for the shard's next SSTable generation (None =
+        in-memory).  The single-shard layout keeps the historical
+        ``{table}-{generation}-Data.db`` names byte-for-byte."""
         if self._data_dir is None:
             return None
-        self._generation += 1
-        return self._data_dir / f"{self.name.lower()}-{self._generation}-Data.db"
+        shard.generation += 1
+        if self.shard_count == 1:
+            return self._data_dir / f"{self.name.lower()}-{shard.generation}-Data.db"
+        return self._data_dir / (
+            f"{self.name.lower()}-s{shard.shard_id}-{shard.generation}-Data.db"
+        )
 
-    def _materialize(self) -> None:
-        """Build SSTables for every sealed memtable (the flusher's work).
+    def _materialize_shard(self, shard: _Shard) -> None:
+        """Build SSTables for the shard's sealed memtables (the
+        flusher's work).
 
         The live key→row mapping is unchanged, so neither cache needs
         invalidating; the superseded tables of a compaction release their
         cached blocks via ``delete_file``.
         """
-        if self._pending:
+        if shard.pending:
             with get_tracer().span(
-                "nosqldb.flush", table=self.name, memtables=len(self._pending)
+                "nosqldb.flush", table=self.name, memtables=len(shard.pending)
             ) as span:
                 flushed_rows = 0
-                for memtable in self._pending:
+                for memtable in shard.pending:
                     flushed_rows += len(memtable)
-                    self._sstables.append(
+                    shard.sstables.append(
                         SSTable(
                             memtable.sorted_items(),
                             compressed=self.compression,
                             tombstones=memtable.tombstones,
-                            path=self._next_data_path(),
-                            block_cache=self._block_cache,
+                            path=self._next_data_path(shard),
+                            block_cache=shard.block_cache,
                             block_format=self.block_format,
                             codec=self._codec,
                         )
                     )
-                _M_FLUSHES.inc(len(self._pending))
+                _M_FLUSHES.inc(len(shard.pending))
                 _M_FLUSHED_ROWS.inc(flushed_rows)
                 span.set("rows", flushed_rows)
-                self._pending.clear()
-        if len(self._sstables) >= COMPACTION_THRESHOLD:
-            with get_tracer().span(
-                "nosqldb.compaction", table=self.name, inputs=len(self._sstables)
-            ):
-                self._sstables = [
-                    compact(
-                        self._sstables,
-                        compressed=self.compression,
-                        path=self._next_data_path(),
-                        block_cache=self._block_cache,
-                        block_format=self.block_format,
-                        codec=self._codec,
-                    )
-                ]
-                _M_COMPACTIONS.inc()
+                if self.shard_count > 1:
+                    span.set("shard", shard.shard_id)
+                shard.pending.clear()
+        if len(shard.sstables) >= COMPACTION_THRESHOLD:
+            self._compact_shard(shard)
+
+    def _compact_shard(self, shard: _Shard) -> None:
+        if len(shard.sstables) <= 1:
+            return
+        with get_tracer().span(
+            "nosqldb.compaction", table=self.name, inputs=len(shard.sstables)
+        ):
+            shard.sstables = [
+                compact(
+                    shard.sstables,
+                    compressed=self.compression,
+                    path=self._next_data_path(shard),
+                    block_cache=shard.block_cache,
+                    block_format=self.block_format,
+                    codec=self._codec,
+                )
+            ]
+            _M_COMPACTIONS.inc()
+
+    def compact(self) -> None:
+        """Flush, then major-compact every shard down to one SSTable.
+
+        Size-tiered compaction normally waits for ``COMPACTION_THRESHOLD``
+        tables; this forces the steady state a long-lived stored cube
+        reaches anyway — one compacted table per shard, which is also the
+        shape :meth:`count_shard` needs for its no-materialize fast path.
+        """
+        self.flush()
+        for shard in self._shards:
+            self._compact_shard(shard)
 
     def truncate(self) -> None:
-        self._memtable = Memtable()
-        self._pending = []
-        for sstable in self._sstables:
-            sstable.delete_file()
-        self._sstables = []
+        for shard in self._shards:
+            shard.memtable = Memtable()
+            shard.pending = []
+            for sstable in shard.sstables:
+                sstable.delete_file()
+            shard.sstables = []
+            shard.n_live = 0
         self._row_cache.clear()
         self._decode_memo.clear()
-        self._n_live = 0
         for column_name in list(self._indexes):
             index = self._indexes[column_name]
             self._indexes[column_name] = SecondaryIndex(index.name, index.column)
@@ -541,26 +683,30 @@ class ColumnFamily:
     def drop_volatile_state(self) -> None:
         """Lose everything a crash loses: memtables, not SSTables.
 
-        The row cache dies with the process, and the live-row counter is
-        marked unknown — ``__len__`` recounts lazily after replay.
+        The row cache dies with the process, and the live-row counters
+        are marked unknown — ``__len__`` recounts lazily after replay.
         """
-        self._memtable = Memtable()
-        self._pending = []
+        for shard in self._shards:
+            shard.memtable = Memtable()
+            shard.pending = []
+            shard.n_live = None
         self._row_cache.clear()
         self._decode_memo.clear()
-        self._n_live = None
 
     def apply_replayed(self, key, encoded_row: bytes) -> None:
         """Re-apply one commit-log mutation (empty payload = tombstone)."""
-        was_live = self._is_live(key) if self._n_live is not None else False
+        shard = self._shard_of(key)
+        was_live = (
+            self._is_live_in(shard, key) if shard.n_live is not None else False
+        )
         if encoded_row:
-            self._memtable.put(key, encoded_row)
-            if self._n_live is not None and not was_live:
-                self._n_live += 1
+            shard.memtable.put(key, encoded_row)
+            if shard.n_live is not None and not was_live:
+                shard.n_live += 1
         else:
-            self._memtable.delete(key)
-            if self._n_live is not None and was_live:
-                self._n_live -= 1
+            shard.memtable.delete(key)
+            if shard.n_live is not None and was_live:
+                shard.n_live -= 1
         self._row_cache.invalidate(key)
 
     def rebuild_indexes(self) -> None:
@@ -593,21 +739,22 @@ class ColumnFamily:
         return encoded
 
     def _read_encoded_uncached(self, key) -> Optional[bytes]:
-        """Walk active memtable → sealed memtables → SSTables, newest
-        first.  Sealed memtables are searched in place — a read never
-        forces the flusher's work as a side effect."""
-        encoded = self._memtable.get(key)
+        """Walk the owning shard's active memtable → sealed memtables →
+        SSTables, newest first.  Sealed memtables are searched in place —
+        a read never forces the flusher's work as a side effect."""
+        shard = self._shard_of(key)
+        encoded = shard.memtable.get(key)
         if encoded is not None:
             return encoded
-        if self._memtable.is_deleted(key):
+        if shard.memtable.is_deleted(key):
             return None
-        for memtable in reversed(self._pending):
+        for memtable in reversed(shard.pending):
             encoded = memtable.get(key)
             if encoded is not None:
                 return encoded
             if memtable.is_deleted(key):
                 return None
-        for sstable in reversed(self._sstables):
+        for sstable in reversed(shard.sstables):
             if sstable.is_deleted(key):
                 return None
             encoded = sstable.get(key)
@@ -615,29 +762,32 @@ class ColumnFamily:
                 return encoded
         return None
 
-    def _is_live(self, key) -> bool:
-        """Whether ``key`` currently has a live row — the write path's
-        cheap probe for maintaining the live-row counter.  Uses
-        ``RowCache.peek`` so these internal probes leave the hit/miss
-        statistics to real read traffic."""
+    def _is_live_in(self, shard: _Shard, key) -> bool:
+        """Whether ``key`` currently has a live row in its owning shard —
+        the write path's cheap probe for maintaining the live-row
+        counter.  Uses ``RowCache.peek`` so these internal probes leave
+        the hit/miss statistics to real read traffic."""
         cached = self._row_cache.peek(key)
         if cached is not None:
             return cached is not NEGATIVE
-        if key in self._memtable:
+        if key in shard.memtable:
             return True
-        if self._memtable.is_deleted(key):
+        if shard.memtable.is_deleted(key):
             return False
-        for memtable in reversed(self._pending):
+        for memtable in reversed(shard.pending):
             if key in memtable:
                 return True
             if memtable.is_deleted(key):
                 return False
-        for sstable in reversed(self._sstables):
+        for sstable in reversed(shard.sstables):
             if sstable.is_deleted(key):
                 return False
             if sstable.get(key) is not None:
                 return True
         return False
+
+    def _is_live(self, key) -> bool:
+        return self._is_live_in(self._shard_of(key), key)
 
     def get(self, key) -> Optional[Dict[str, object]]:
         encoded = self._read_encoded(key)
@@ -647,9 +797,12 @@ class ColumnFamily:
         """Encoded rows for ``keys`` (None for absent), order-preserving.
 
         Equivalent to ``[self._read_encoded(k) for k in keys]`` but keys
-        that miss the row cache are resolved in one batched walk: per
-        SSTable a single :meth:`SSTable.get_many` groups them by block,
-        so each block is decompressed at most once per call.
+        that miss the row cache are resolved in one batched walk per
+        shard: a single :meth:`SSTable.get_many` per SSTable groups them
+        by block, so each block is decompressed at most once per call.
+        With several shards involved, the shard walks scatter onto the
+        ``REPRO_WORKERS`` pool and the row cache is written only after
+        the gather, on the calling thread.
         """
         results: List[Optional[bytes]] = [None] * len(keys)
         positions: Dict[object, List[int]] = {}
@@ -661,9 +814,32 @@ class ColumnFamily:
                 positions.setdefault(key, []).append(position)
         if not positions:
             return results
+        by_shard: Dict[int, List[object]] = {}
+        for key in positions:
+            by_shard.setdefault(self._ring.shard_for(key), []).append(key)
+        shard_ids = sorted(by_shard)
+        if len(shard_ids) == 1:
+            shard_id = shard_ids[0]
+            gathered = [self._resolve_shard_keys(shard_id, by_shard[shard_id])]
+        else:
+            gathered = self.run_sharded([
+                (lambda sid=shard_id: self._resolve_shard_keys(sid, by_shard[sid]))
+                for shard_id in shard_ids
+            ])
+        for resolved in gathered:
+            for key, encoded in resolved.items():
+                self._row_cache.put(key, encoded)
+                for position in positions[key]:
+                    results[position] = encoded
+        return results
+
+    def _resolve_shard_keys(self, shard_id: int, keys: List) -> Dict[object, Optional[bytes]]:
+        """Batched layered walk of one shard for ``keys`` (shard-local:
+        safe as a scatter task)."""
+        shard = self._shards[shard_id]
         resolved: Dict[object, Optional[bytes]] = {}
-        unresolved = set(positions)
-        for memtable in (self._memtable, *reversed(self._pending)):
+        unresolved = set(keys)
+        for memtable in (shard.memtable, *reversed(shard.pending)):
             if not unresolved:
                 break
             for key in list(unresolved):
@@ -674,7 +850,7 @@ class ColumnFamily:
                 elif memtable.is_deleted(key):
                     resolved[key] = None
                     unresolved.discard(key)
-        for sstable in reversed(self._sstables):
+        for sstable in reversed(shard.sstables):
             if not unresolved:
                 break
             for key in [k for k in unresolved if sstable.is_deleted(k)]:
@@ -685,11 +861,7 @@ class ColumnFamily:
                 unresolved.discard(key)
         for key in unresolved:
             resolved[key] = None
-        for key, encoded in resolved.items():
-            self._row_cache.put(key, encoded)
-            for position in positions[key]:
-                results[position] = encoded
-        return results
+        return resolved
 
     def get_many(self, keys: Sequence) -> List[Optional[Dict[str, object]]]:
         """Decoded rows for ``keys``; ``get_many(ks) == [get(k) for k in ks]``."""
@@ -699,21 +871,23 @@ class ColumnFamily:
             for encoded in self.get_many_encoded(keys)
         ]
 
-    def _all_items(self) -> Iterator[Tuple[object, bytes]]:
-        """Every live ``(key, encoded_row)``, newest version wins.
-
-        Sealed memtables are layered between the active memtable and the
-        SSTables, so scanning never forces materialisation."""
+    def _shard_items(self, shard: _Shard) -> Iterator[Tuple[object, bytes]]:
+        """Every live ``(key, encoded_row)`` of one shard, newest version
+        wins.  Sealed memtables are layered between the active memtable
+        and the SSTables, so scanning never forces materialisation.  The
+        ring assigns each key to exactly one shard, so per-shard
+        ``seen``/``deleted`` sets implement the same LSM shadowing the
+        unsharded walk did."""
         seen = set()
         deleted = set()
-        for memtable in (self._memtable, *reversed(self._pending)):
+        for memtable in (shard.memtable, *reversed(shard.pending)):
             for key, encoded in memtable:
                 if key in seen or key in deleted:
                     continue
                 seen.add(key)
                 yield key, encoded
             deleted |= set(memtable.tombstones)
-        for sstable in reversed(self._sstables):
+        for sstable in reversed(shard.sstables):
             for key, encoded in sstable.items():
                 if key in seen or key in deleted:
                     continue
@@ -721,27 +895,39 @@ class ColumnFamily:
                 yield key, encoded
             deleted |= set(sstable.tombstones)
 
-    def scan(self, pushed=None) -> Iterator[Dict[str, object]]:
-        """Every live row; with ``pushed`` (a bound predicate from
-        :mod:`repro.query.pushdown`) only the rows satisfying it.
+    def _all_items(self) -> Iterator[Tuple[object, bytes]]:
+        """Every live ``(key, encoded_row)`` across shards, in shard
+        order (identical to the historical order at one shard)."""
+        for shard in self._shards:
+            yield from self._shard_items(shard)
 
-        The pushed path mirrors :meth:`_all_items` layer for layer —
+    def scan_shard(self, shard_id: int, pushed=None) -> Iterator[Dict[str, object]]:
+        """Every live row of one shard; with ``pushed`` (a bound
+        predicate from :mod:`repro.query.pushdown`) only the rows
+        satisfying it.
+
+        The pushed path mirrors :meth:`_shard_items` layer for layer —
         same visit order, same LSM shadowing — but filters *inside* each
         layer: memtable rows are tested after decode, SSTables evaluate
         the predicate on column vectors (columnar blocks) or row-wise,
-        and the oldest SSTable layer may skip whole blocks via zone maps
-        (only there is a skipped key guaranteed not to shadow an older
-        version).  Predicate-failing keys in newer layers still enter
-        ``seen`` — an older, predicate-passing version of the same key
-        must stay hidden.
+        and the shard's oldest SSTable layer may skip whole blocks via
+        zone maps (only there is a skipped key guaranteed not to shadow
+        an older version; shards are disjoint, so other shards' layers
+        never matter).  Predicate-failing keys in newer layers still
+        enter ``seen`` — an older, predicate-passing version of the same
+        key must stay hidden.
+
+        Shard-local by construction: the kernel fans these out as
+        scatter tasks, one per shard.
         """
+        shard = self._shards[shard_id]
         if pushed is None:
-            for _, encoded in self._all_items():
+            for _, encoded in self._shard_items(shard):
                 yield self.decode_row(encoded)
             return
         seen = set()
         deleted = set()
-        for memtable in (self._memtable, *reversed(self._pending)):
+        for memtable in (shard.memtable, *reversed(shard.pending)):
             for key, encoded in memtable:
                 if key in seen or key in deleted:
                     continue
@@ -752,7 +938,7 @@ class ColumnFamily:
                 else:
                     pushed.note_pruned(1)
             deleted |= set(memtable.tombstones)
-        layers = list(reversed(self._sstables))
+        layers = list(reversed(shard.sstables))
         for position, sstable in enumerate(layers):
             allow_skip = position == len(layers) - 1
             for key, row in sstable.scan_filtered(
@@ -764,6 +950,37 @@ class ColumnFamily:
                 if row is not None:
                     yield row
             deleted |= set(sstable.tombstones)
+
+    def scan(self, pushed=None) -> Iterator[Dict[str, object]]:
+        """Every live row; with ``pushed`` only the rows satisfying it.
+
+        Shards are visited in ring order, each with the full layered
+        walk of :meth:`scan_shard` — at one shard this is exactly the
+        historical scan, order included.
+        """
+        for shard in self._shards:
+            yield from self.scan_shard(shard.shard_id, pushed)
+
+    def count_shard(self, shard_id: int, pushed=None) -> int:
+        """Number of live rows in one shard satisfying ``pushed``.
+
+        When the shard is fully materialised into a single compacted
+        SSTable with no tombstones (the steady state of a stored cube),
+        counting never touches row bytes: :meth:`SSTable.count_filtered`
+        skips zone-refuted blocks and counts predicate masks without
+        materialising a single row.  Any unflushed or layered state
+        falls back to the scan, which is always correct.
+        """
+        shard = self._shards[shard_id]
+        if (
+            len(shard.memtable) == 0
+            and not shard.memtable.tombstones
+            and not shard.pending
+            and len(shard.sstables) == 1
+            and not shard.sstables[0].tombstones
+        ):
+            return shard.sstables[0].count_filtered(pushed, self.decode_row)
+        return sum(1 for _ in self.scan_shard(shard_id, pushed))
 
     def lookup_indexed(self, column: str, value, pushed=None) -> List[Dict[str, object]]:
         """Raises InvalidRequest when ``column`` has no secondary index.
@@ -795,9 +1012,12 @@ class ColumnFamily:
     # accounting
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        if self._n_live is None:
-            self._n_live = sum(1 for _ in self._all_items())
-        return self._n_live
+        total = 0
+        for shard in self._shards:
+            if shard.n_live is None:
+                shard.n_live = sum(1 for _ in self._shard_items(shard))
+            total += shard.n_live
+        return total
 
     @property
     def n_writes(self) -> int:
@@ -810,6 +1030,14 @@ class ColumnFamily:
         total = sum(s.size_bytes for s in self._sstables)
         total += sum(ix.size_bytes for ix in self._indexes.values())
         return total
+
+    def _merged_block_cache_stats(self) -> CacheStats:
+        merged = [0] * 7
+        for shard in self._shards:
+            stats = shard.block_cache.stats()
+            for index, value in enumerate(stats):
+                merged[index] += value
+        return CacheStats(*merged)
 
     def stats(self) -> ColumnFamilyStats:
         """A read-only structural + cache snapshot (no block reads)."""
@@ -826,17 +1054,18 @@ class ColumnFamily:
         chunks = dict_chunks + plain_chunks
         return ColumnFamilyStats(
             rows=len(self),
-            memtable_rows=len(self._memtable),
-            pending_memtables=len(self._pending),
-            sstables=len(self._sstables),
+            memtable_rows=sum(len(shard.memtable) for shard in self._shards),
+            pending_memtables=sum(len(shard.pending) for shard in self._shards),
+            sstables=sum(len(shard.sstables) for shard in self._shards),
             indexes=len(self._indexes),
             n_writes=self._n_writes,
             row_cache=self._row_cache.stats(),
-            block_cache=self._block_cache.stats(),
+            block_cache=self._merged_block_cache_stats(),
             block_format=self.block_format,
             columnar_blocks=columnar_blocks,
             blocks_skipped=blocks_skipped,
             dict_hit_ratio=dict_chunks / chunks if chunks else 0.0,
+            shards=self.shard_count,
         )
 
     def __repr__(self) -> str:

@@ -39,6 +39,7 @@ from repro.query import (
     TableMeta,
     choose_access,
     compare,
+    count_partial,
     null_safe_key,
 )
 
@@ -347,8 +348,16 @@ def build_select_plan(
     if stmt.count:
         # CQL counts what the statement returns, so LIMIT applies first
         # (unlike SQL, where COUNT ignores it) — the Aggregate sits
-        # above the Limit node.
-        node = Aggregate(node, lambda rows, params: [{"count": len(rows)}], "count(*)")
+        # above the Limit node.  The partial decomposition only engages
+        # when the Aggregate sits directly on a sharded FullScan, so a
+        # LIMIT (or any other interposed operator) keeps the serial,
+        # statement-faithful order of operations.
+        node = Aggregate(
+            node,
+            lambda rows, params: [{"count": len(rows)}],
+            "count(*)",
+            partial=count_partial(),
+        )
     elif stmt.columns:
         names = list(stmt.columns)
         for name in names:

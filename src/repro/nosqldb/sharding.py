@@ -1,0 +1,118 @@
+"""Consistent-hash sharding of column families (Cassandra's token ring).
+
+Cassandra distributes the paper's workload by hashing each partition key
+onto a token ring that virtual nodes divide into many small ranges
+(``num_tokens`` in cassandra.yaml).  This module reproduces that layout
+in-process: :class:`HashRing` places ``n_shards * vnodes`` points on a
+64-bit ring and routes every key to the shard owning the first point at
+or clockwise-after the key's token.  Virtual nodes keep the per-shard
+key share balanced (a single point per shard would make shard sizes
+follow the gaps between just N random points).
+
+Tokens are ``blake2b`` digests of the *encoded* key bytes
+(:func:`repro.storage.btree.encode_key`), so routing is:
+
+* deterministic across processes and runs — Python's ``hash()`` is
+  seed-randomized and unusable for a persistent layout;
+* type-faithful — the same tagged encoding that orders the B-tree and
+  SSTable key space distinguishes ``1`` from ``"1"`` here too;
+* total — every key type the engines accept (ints, strings, tuples of
+  both, ...) already encodes.
+
+``REPRO_SHARDS`` selects the layout (:func:`resolve_shards`); the
+default of 1 keeps a single shard whose on-disk format is byte-identical
+to the pre-sharding engine.  See docs/parallel_query.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.storage.btree import encode_key
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "key_token", "resolve_shards"]
+
+#: Virtual nodes per shard — enough to keep the largest/smallest shard
+#: key share within a few percent at 2-8 shards, small enough that ring
+#: construction is negligible.
+DEFAULT_VNODES = 16
+
+_TOKEN_BYTES = 8  # 64-bit ring, like Murmur3Partitioner's token space
+
+
+def resolve_shards(shards: Optional[int] = None) -> int:
+    """Shard count: explicit argument > ``REPRO_SHARDS`` > 1.
+
+    Mirrors :func:`repro.core.workers.resolve_workers`; malformed or
+    non-positive values fall back to the single-shard layout.
+    """
+    if shards is None:
+        env = os.environ.get("REPRO_SHARDS", "").strip()
+        if env:
+            try:
+                shards = int(env)
+            except ValueError:
+                shards = 1
+        else:
+            shards = 1
+    return max(1, int(shards))
+
+
+def key_token(key) -> int:
+    """The key's position on the 64-bit ring (deterministic)."""
+    digest = hashlib.blake2b(encode_key(key), digest_size=_TOKEN_BYTES)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def _vnode_token(shard: int, vnode: int) -> int:
+    label = b"shard:%d:vnode:%d" % (shard, vnode)
+    digest = hashlib.blake2b(label, digest_size=_TOKEN_BYTES)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """A consistent-hash ring over ``n_shards`` shards.
+
+    The single-shard ring short-circuits to shard 0 without hashing, so
+    the default layout adds zero routing cost to today's write path.
+    """
+
+    __slots__ = ("n_shards", "vnodes", "_tokens", "_owners")
+
+    def __init__(self, n_shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = [
+            (_vnode_token(shard, vnode), shard)
+            for shard in range(n_shards)
+            for vnode in range(vnodes)
+        ]
+        points.sort()
+        self._tokens = [token for token, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_for(self, key) -> int:
+        """The shard owning ``key`` (first vnode clockwise of its token)."""
+        if self.n_shards == 1:
+            return 0
+        index = bisect_right(self._tokens, key_token(key))
+        if index == len(self._tokens):
+            index = 0  # wrap past the highest token
+        return self._owners[index]
+
+    def spread(self, keys: Iterable) -> Dict[int, int]:
+        """Keys-per-shard histogram (balance diagnostics and tests)."""
+        counts: Dict[int, int] = {shard: 0 for shard in range(self.n_shards)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"HashRing(n_shards={self.n_shards}, vnodes={self.vnodes})"

@@ -461,6 +461,50 @@ class SSTable:
                 if pruned:
                     bound.note_pruned(pruned)
 
+    def count_filtered(self, bound, decode_row) -> int:
+        """Count the rows matching ``bound`` without materialising any.
+
+        Valid only when this table is a scan's sole layer and carries no
+        tombstones (the column family's ``count_shard`` fast path
+        guarantees both): every key here is live, so counting needs no
+        shadowing bookkeeping.  Zone-refuted blocks are skipped exactly
+        as on :meth:`scan_filtered`'s oldest layer, and columnar blocks
+        count predicate-mask hits without ever calling ``rows_at`` —
+        matching rows are not rematerialised either, which is what makes
+        the partial-aggregate COUNT path beat the row-producing scan.
+        ``bound`` may be None (count everything).
+        """
+        if bound is None:
+            return self._n_rows
+        total = 0
+        for index in range(len(self._block_keys)):
+            zones = self._zone_maps[index]
+            if zones is not None and not bound.block_may_match(zones):
+                bound.note_pruned(self._block_rows[index])
+                self._blocks_skipped += 1
+                _M_BLOCKS_SKIPPED.inc()
+                bound.note_skipped(1)
+                continue
+            obj = self._decoded_obj(index)
+            if isinstance(obj, ColumnVectors):
+                n_keys = len(obj.keys)
+                mask = bound.matches_vectors(obj.typed, n_keys)
+                hits = sum(1 for hit in mask if hit)
+                total += hits
+                if n_keys - hits:
+                    bound.note_pruned(n_keys - hits)
+            else:
+                keys, rows = obj
+                pruned = 0
+                for encoded in rows:
+                    if bound.matches(decode_row(encoded)):
+                        total += 1
+                    else:
+                        pruned += 1
+                if pruned:
+                    bound.note_pruned(pruned)
+        return total
+
     def __len__(self) -> int:
         return self._n_rows
 

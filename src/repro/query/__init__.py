@@ -19,11 +19,13 @@ from repro.query.plan import (
     Limit,
     MultiGet,
     OperatorStats,
+    PartialAggregate,
     Plan,
     PlanNode,
     PointLookup,
     Project,
     Sort,
+    count_partial,
 )
 from repro.query.planner import (
     ACCESS_INDEX,
@@ -63,6 +65,7 @@ __all__ = [
     "MultiGet",
     "OperatorStats",
     "PUSHABLE_OPS",
+    "PartialAggregate",
     "Plan",
     "PlanCache",
     "PlanCacheStats",
@@ -78,6 +81,7 @@ __all__ = [
     "choose_access",
     "choose_join_access",
     "compare",
+    "count_partial",
     "describe_position",
     "evaluate_aggregate",
     "line_and_column",

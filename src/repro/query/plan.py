@@ -27,6 +27,52 @@ from repro.telemetry import get_tracer, wall_clock
 _TRACER = get_tracer()
 
 
+def _shard_count(table) -> int:
+    """How many consistent-hash shards the storage object exposes."""
+    return getattr(table, "shard_count", 1)
+
+
+def _run_sharded(table, tasks):
+    """Run per-shard tasks through the table's scatter hook.
+
+    Sharded storage objects expose ``run_sharded(tasks)`` (backed by the
+    ``REPRO_WORKERS`` pool); the kernel duck-types it — it cannot import
+    the pool itself, the engines sit above it (REPRO006) — and falls
+    back to serial execution for plain tables.  Results come back in
+    task (= shard) order either way.
+    """
+    runner = getattr(table, "run_sharded", None)
+    if runner is None:
+        return [task() for task in tasks]
+    return runner(tasks)
+
+
+class PartialAggregate(NamedTuple):
+    """A distributive aggregate split into per-shard fold + global merge.
+
+    ``fold_shard(rows, params)`` runs inside each shard's scatter task
+    and reduces that shard's rows to a small state object;
+    ``merge(states, params)`` combines the per-shard states — in shard
+    order — into the final aggregate output rows.  ``count_only`` marks
+    the pure COUNT(*) shape, which lets a sharded ``FullScan`` child
+    answer from ``count_shard`` without materialising any row at all.
+    """
+
+    fold_shard: Callable
+    merge: Callable
+    count_only: bool = False
+
+
+def count_partial() -> PartialAggregate:
+    """The COUNT(*) decomposition both dialects share: per-shard row
+    counts, summed at the gather."""
+    return PartialAggregate(
+        fold_shard=lambda rows, params: len(rows),
+        merge=lambda states, params: [{"count": sum(states)}],
+        count_only=True,
+    )
+
+
 class OperatorStats(NamedTuple):
     """One operator's cumulative execution counters.
 
@@ -106,9 +152,28 @@ class PlanNode:
         return ""
 
     def explain(self) -> List[Dict[str, object]]:
-        """One row per operator, numbered in execution (leaf-first) order."""
+        """One row per operator, numbered in execution (leaf-first) order.
+
+        Operators that scatter across shards additionally render one
+        ``fanout shard=<i>`` row per shard *before* their own row — the
+        same vocabulary in both dialects.  Single-shard layouts render
+        no fanout rows, so the historical EXPLAIN output is unchanged.
+        """
         rows: List[Dict[str, object]] = []
-        for step, node in enumerate(self._postorder(), start=1):
+        step = 0
+        for node in self._postorder():
+            for fan_detail in node._explain_fanout():
+                step += 1
+                rows.append(
+                    {
+                        "step": step,
+                        "node": node.kind,
+                        "table": node.table_name,
+                        "key": node.key_desc,
+                        "detail": fan_detail,
+                    }
+                )
+            step += 1
             rows.append(
                 {
                     "step": step,
@@ -119,6 +184,10 @@ class PlanNode:
                 }
             )
         return rows
+
+    def _explain_fanout(self) -> Tuple[str, ...]:
+        """Per-shard EXPLAIN rows this operator scatters into (default none)."""
+        return ()
 
     def operator_stats(self) -> List[OperatorStats]:
         return [
@@ -258,6 +327,16 @@ class MultiGet(_Access):
             self.blocks_cached += self.cache_probe() - before
         return self._emit(fetched)
 
+    def _explain_fanout(self) -> Tuple[str, ...]:
+        # Batched reads scatter-gather inside storage objects that route
+        # point reads through the ring (``scatter_reads``); the fanout
+        # rows surface that worst case — at runtime only the shards the
+        # key list actually hits are walked.
+        shards = _shard_count(self.table)
+        if shards <= 1 or not getattr(self.table, "scatter_reads", False):
+            return ()
+        return tuple(f"fanout shard={i}" for i in range(shards))
+
     def detail(self) -> str:
         return "primary key, batched"
 
@@ -331,6 +410,8 @@ class FullScan(_Access):
         self.rows_pruned = 0
 
     def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
+        if _shard_count(self.table) > 1:
+            return self._emit(self._scatter_rows(ctx))
         if self.pushed is None:
             return self._emit(list(self.table.scan()))
         bound = self.pushed.bind(ctx.params)
@@ -338,6 +419,49 @@ class FullScan(_Access):
         self.blocks_skipped += bound.blocks_skipped
         self.rows_pruned += bound.rows_pruned
         return self._emit(fetched)
+
+    def _scatter_rows(self, ctx: _Context) -> List[Dict[str, object]]:
+        """Morsel-parallel scan: one shard-local task per shard on the
+        table's worker pool, gathered in shard order.
+
+        Each task binds its *own* predicate (the pruning counters on a
+        :class:`~repro.query.pushdown.BoundPredicate` are mutable, so
+        sharing one across threads would race) and only walks its
+        shard's block lists — zone-map skips stay per-shard.  The
+        per-shard counters fold into this node's totals at the gather,
+        and each task runs under a ``query.shard_scan`` span that
+        ``Tracer.merged()`` folds across worker roots.
+        """
+        table, pushed, params = self.table, self.pushed, ctx.params
+
+        def scan_one(shard_id: int):
+            bound = pushed.bind(params) if pushed is not None else None
+            with _TRACER.span(
+                "query.shard_scan", table=self._table_name, shard=shard_id
+            ):
+                rows = list(table.scan_shard(shard_id, bound))
+            return rows, bound
+
+        results = _run_sharded(
+            table,
+            [
+                (lambda shard_id=shard_id: scan_one(shard_id))
+                for shard_id in range(_shard_count(table))
+            ],
+        )
+        fetched: List[Dict[str, object]] = []
+        for rows, bound in results:
+            fetched.extend(rows)
+            if bound is not None:
+                self.blocks_skipped += bound.blocks_skipped
+                self.rows_pruned += bound.rows_pruned
+        return fetched
+
+    def _explain_fanout(self) -> Tuple[str, ...]:
+        shards = _shard_count(self.table)
+        if shards <= 1:
+            return ()
+        return tuple(f"fanout shard={i}" for i in range(shards))
 
     def detail(self) -> str:
         if self.pushed is not None:
@@ -415,18 +539,26 @@ class HashJoin(_Transform):
     """
 
     kind = "HashJoin"
-    __slots__ = ("probe_factory", "key_of", "merge", "_table_name", "_key_desc")
+    __slots__ = ("probe_factory", "key_of", "merge", "_table_name", "_key_desc",
+                 "build_table", "build_key")
 
     def __init__(self, child: PlanNode, probe_factory: Callable,
                  key_of: Callable, merge: Callable,
                  table_name: str, detail: str,
-                 key_desc: Optional[str] = None) -> None:
+                 key_desc: Optional[str] = None,
+                 build_table=None, build_key: Optional[str] = None) -> None:
         super().__init__(child, detail)
         self.probe_factory = probe_factory
         self.key_of = key_of
         self.merge = merge
         self._table_name = table_name
         self._key_desc = key_desc
+        # Optional declarative build-side spec: when the probe side is a
+        # full-relation hash build over a sharded table, the kernel can
+        # build per-shard partial hash tables in parallel and merge them,
+        # instead of calling the single-threaded ``probe_factory``.
+        self.build_table = build_table
+        self.build_key = build_key
 
     @property
     def table_name(self) -> Optional[str]:
@@ -436,9 +568,47 @@ class HashJoin(_Transform):
     def key_desc(self) -> Optional[str]:
         return self._key_desc
 
+    def _probe(self):
+        table, key_column = self.build_table, self.build_key
+        if table is None or key_column is None or _shard_count(table) <= 1:
+            return self.probe_factory()
+
+        def build_one(shard_id: int) -> Dict[object, List]:
+            with _TRACER.span(
+                "query.shard_scan", table=self._table_name, shard=shard_id
+            ):
+                partial: Dict[object, List] = {}
+                for row in table.scan_shard(shard_id):
+                    key = row.get(key_column)
+                    if key is not None:
+                        partial.setdefault(key, []).append(row)
+            return partial
+
+        partials = _run_sharded(
+            table,
+            [
+                (lambda shard_id=shard_id: build_one(shard_id))
+                for shard_id in range(_shard_count(table))
+            ],
+        )
+        build: Dict[object, List] = {}
+        for partial in partials:  # shard order keeps the merge deterministic
+            for key, rows in partial.items():
+                build.setdefault(key, []).extend(rows)
+        return lambda key: build.get(key, ())
+
+    def _explain_fanout(self) -> Tuple[str, ...]:
+        table = self.build_table
+        if table is None or self.build_key is None:
+            return ()
+        shards = _shard_count(table)
+        if shards <= 1:
+            return ()
+        return tuple(f"fanout shard={i}" for i in range(shards))
+
     def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         incoming = self.child.rows(ctx)
-        probe = self.probe_factory()
+        probe = self._probe()
         key_of, merge = self.key_of, self.merge
         joined: List[Dict[str, object]] = []
         for row in incoming:
@@ -457,19 +627,91 @@ class Aggregate(_Transform):
     The fold callable ``(rows, params) -> rows`` carries the dialect's
     grouping/labelling rules, compiled by the engine front-end from the
     shared :func:`repro.query.expr.evaluate_aggregate` primitive.
+
+    When the engine also supplies a :class:`PartialAggregate` and the
+    child is a :class:`FullScan` over a sharded table, the fold
+    decomposes: each shard folds its own rows to a partial state in a
+    worker (``fold_shard``), and the gather merges the states
+    (``merge``) — the classic two-phase parallel aggregate.  Count-only
+    partials additionally skip row materialization entirely when the
+    table exposes ``count_shard``.
     """
 
     kind = "Aggregate"
-    __slots__ = ("fold",)
+    __slots__ = ("fold", "partial")
 
-    def __init__(self, child: PlanNode, fold: Callable, detail: str) -> None:
+    def __init__(self, child: PlanNode, fold: Callable, detail: str,
+                 partial: Optional["PartialAggregate"] = None) -> None:
         super().__init__(child, detail)
         self.fold = fold
+        self.partial = partial
 
     def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
+        if (
+            self.partial is not None
+            and isinstance(self.child, FullScan)
+            and _shard_count(self.child.table) > 1
+        ):
+            return self._execute_scatter(ctx)
         incoming = self.child.rows(ctx)
         out = self.fold(incoming, ctx.params)
         self._account(len(incoming), len(out))
+        return out
+
+    def _execute_scatter(self, ctx: _Context) -> List[Dict[str, object]]:
+        """Scatter ``fold_shard`` across the child scan's shards, merge
+        the partial states at the gather.
+
+        The child FullScan never materializes a full-relation row list:
+        each worker folds its shard's rows to a state immediately (and
+        the count-only fast path asks the table to count without
+        decoding rows at all).  The child's counters are accounted here
+        so EXPLAIN/stats stay truthful about rows scanned and blocks
+        skipped per shard.
+        """
+        child, partial, params = self.child, self.partial, ctx.params
+        table, pushed, wrap = child.table, child.pushed, child.wrap
+        use_count = (
+            partial.count_only
+            and wrap is None
+            and hasattr(table, "count_shard")
+        )
+
+        def fold_one(shard_id: int):
+            bound = pushed.bind(params) if pushed is not None else None
+            with _TRACER.span(
+                "query.shard_scan", table=child.table_name, shard=shard_id
+            ):
+                if use_count:
+                    state = table.count_shard(shard_id, bound)
+                    rows_seen = state
+                else:
+                    rows = list(table.scan_shard(shard_id, bound))
+                    if wrap is not None:
+                        rows = [wrap(row) for row in rows]
+                    state = partial.fold_shard(rows, params)
+                    rows_seen = len(rows)
+            return state, rows_seen, bound
+
+        results = _run_sharded(
+            table,
+            [
+                (lambda shard_id=shard_id: fold_one(shard_id))
+                for shard_id in range(_shard_count(table))
+            ],
+        )
+        states: List[object] = []
+        total_rows = 0
+        for state, rows_seen, bound in results:
+            states.append(state)
+            total_rows += rows_seen
+            if bound is not None:
+                child.blocks_skipped += bound.blocks_skipped
+                child.rows_pruned += bound.rows_pruned
+        child.calls += 1
+        child.rows_out += total_rows
+        out = partial.merge(states, params)
+        self._account(total_rows, len(out))
         return out
 
 

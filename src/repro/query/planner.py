@@ -24,6 +24,14 @@ zero-argument *guards* (see :class:`repro.query.plan.Plan`) that
 revalidate table identity and index signatures on every hit, so DDL
 (DROP/CREATE TABLE, CREATE INDEX) invalidates stale plans instead of
 silently replaying them.
+
+Access selection is orthogonal to shard scatter: ``scan`` (and the
+aggregate/hash-build shapes above it) parallelises at *execution* time
+over however many shards the bound storage object exposes, so the
+planner needs no shard awareness and a cached plan stays valid across
+executions — a table's consistent-hash layout is fixed at construction,
+and the table-identity guard already evicts plans when the object is
+replaced.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ from repro.query import (
     Limit,
     MultiGet,
     PUSHABLE_OPS,
+    PartialAggregate,
     Plan,
     PointLookup,
     Project,
@@ -39,6 +40,7 @@ from repro.query import (
     choose_access,
     choose_join_access,
     compare,
+    count_partial,
     evaluate_aggregate,
     null_safe_key,
 )
@@ -307,9 +309,16 @@ class _SelectPlanBuilder:
 
         if stmt.count:
             # SELECT COUNT(*) counts the filtered set; ORDER BY/LIMIT are
-            # ignored, as they always were on this fast path.
+            # ignored, as they always were on this fast path.  The count
+            # partial lets a sharded FullScan child answer from per-shard
+            # counts without materializing rows.
             return self._finish(
-                Aggregate(node, lambda rows, params: [{"count": len(rows)}], "count(*)")
+                Aggregate(
+                    node,
+                    lambda rows, params: [{"count": len(rows)}],
+                    "count(*)",
+                    partial=count_partial(),
+                )
             )
         if stmt.aggregates:
             return self._finish(self._aggregate_tail(node))
@@ -463,6 +472,7 @@ class _SelectPlanBuilder:
             _table_meta(right_table, right_alias), right_ref.name
         )
         right_name = right_ref.name
+        build_table = None
         if access == ACCESS_POINT:
             detail = "eq_ref"
 
@@ -484,6 +494,10 @@ class _SelectPlanBuilder:
 
         else:
             detail = "hash build"
+            # Declaring the build side lets the kernel scatter the hash
+            # build across the right table's shards instead of calling
+            # the serial factory.
+            build_table = right_table
 
             def probe_factory():
                 build: Dict[object, List[Dict[str, object]]] = {}
@@ -509,6 +523,8 @@ class _SelectPlanBuilder:
             table_name=right_alias,
             detail=detail,
             key_desc=str(right_ref),
+            build_table=build_table,
+            build_key=right_name if build_table is not None else None,
         )
 
     # -- filters --------------------------------------------------------------
@@ -572,7 +588,13 @@ class _SelectPlanBuilder:
         detail = ", ".join(agg.label for agg in stmt.aggregates)
         if group_labels:
             detail += f" group by {', '.join(group_labels)}"
-        node = Aggregate(node, fold, detail)
+        node = Aggregate(
+            node,
+            fold,
+            detail,
+            partial=_aggregate_partial(group_refs, group_slots, group_labels,
+                                       aggregate_slots),
+        )
 
         if stmt.order_by is not None:
             label = (
@@ -793,3 +815,91 @@ def _run_aggregate(agg: ast.Aggregate, slot, members) -> object:
         return evaluate_aggregate(agg.func, values)
     except ValueError:  # pragma: no cover - parsers only emit known funcs
         raise ProgrammingError(f"unknown aggregate {agg.func!r}") from None
+
+
+# ----------------------------------------------------------------------
+# partial (two-phase) aggregation
+# ----------------------------------------------------------------------
+#: Aggregates with a distributive/algebraic decomposition: per-shard
+#: partial states merge into the exact serial answer.  AVG is algebraic
+#: — its state is a (sum, count) pair.
+_DECOMPOSABLE = frozenset({"count", "sum", "min", "max", "avg"})
+
+
+def _partial_state(agg: ast.Aggregate, slot, members) -> object:
+    """One shard's partial state for one aggregate over one group."""
+    if agg.column is None:  # COUNT(*)
+        return len(members)
+    alias, name = slot
+    values = [env[alias][name] for env in members if env[alias][name] is not None]
+    if agg.func == "count":
+        return len(values)
+    if agg.func == "avg":
+        return (sum(values), len(values)) if values else (None, 0)
+    # sum/min/max: None marks an all-NULL (or empty) shard slice
+    return evaluate_aggregate(agg.func, values) if values else None
+
+
+def _merge_partial(agg: ast.Aggregate, states: List[object]) -> object:
+    """Combine one aggregate's per-shard states into its final value,
+    matching :func:`_run_aggregate` over the union of the shards' rows."""
+    if agg.column is None or agg.func == "count":
+        return sum(states)
+    if agg.func == "avg":
+        count = sum(n for _, n in states)
+        if count == 0:
+            return None
+        return sum(total for total, n in states if n) / count
+    present = [state for state in states if state is not None]
+    if not present:
+        return None
+    if agg.func == "sum":
+        return sum(present)
+    return min(present) if agg.func == "min" else max(present)
+
+
+def _aggregate_partial(
+    group_refs, group_slots, group_labels, aggregate_slots
+) -> Optional[PartialAggregate]:
+    """The two-phase decomposition of a GROUP BY / aggregate tail.
+
+    Returns ``None`` when any aggregate lacks a decomposition, pinning
+    the serial fold.  Group output order under scatter follows
+    first-appearance in shard-gather order rather than row-stream order
+    — SQL guarantees no order without ORDER BY, and the Sort node (when
+    present) sits above the Aggregate either way.
+    """
+    for agg, _ in aggregate_slots:
+        if agg.column is not None and agg.func not in _DECOMPOSABLE:
+            return None
+
+    def fold_shard(env_rows, params):
+        groups: Dict[tuple, List[Dict[str, Dict[str, object]]]] = {}
+        for env in env_rows:
+            key = tuple(env[alias][name] for alias, name in group_slots)
+            groups.setdefault(key, []).append(env)
+        return {
+            key: [_partial_state(agg, slot, members) for agg, slot in aggregate_slots]
+            for key, members in groups.items()
+        }
+
+    def merge(shard_states, params):
+        merged: Dict[tuple, List[List[object]]] = {}
+        for shard_groups in shard_states:
+            for key, agg_states in shard_groups.items():
+                slots = merged.setdefault(key, [[] for _ in aggregate_slots])
+                for index, state in enumerate(agg_states):
+                    slots[index].append(state)
+        if not group_refs and not merged:
+            merged[()] = [[] for _ in aggregate_slots]  # zero rows still report
+        out_rows: List[Dict[str, object]] = []
+        for key, slots in merged.items():
+            row: Dict[str, object] = {}
+            for label, value in zip(group_labels, key):
+                row[label] = value
+            for (agg, _), states in zip(aggregate_slots, slots):
+                row[agg.label] = _merge_partial(agg, states)
+            out_rows.append(row)
+        return out_rows
+
+    return PartialAggregate(fold_shard=fold_shard, merge=merge)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.workers import map_tasks
 from repro.sqldb.errors import IntegrityError, ProgrammingError
 from repro.sqldb.types import SQLType
 from repro.storage.btree import BTree
@@ -80,6 +81,17 @@ class Table:
         self._binlog = binlog
         self._n_rows = 0
         self._dirty_bytes = 0
+        # Virtual shards: the clustered B-tree stays one physical tree
+        # (InnoDB has no per-shard files), but the table partitions its
+        # key space with the same consistent-hash ring the NoSQL engine
+        # uses, so the shared kernel can scatter FullScan/Aggregate/
+        # HashJoin-build work across both engines identically.  The
+        # sibling-engine ring is a runtime-only dependency, hence the
+        # function-level import (layering: sqldb and nosqldb are peers).
+        from repro.nosqldb.sharding import HashRing, resolve_shards
+
+        self.shard_count = resolve_shards()
+        self._ring = HashRing(self.shard_count)
         # Monotonic mutation counter; readers snapshot it to build
         # version-guarded caches (e.g. the MySQL-Min reconstruction
         # cache in repro.mapping.stored_query).
@@ -365,6 +377,35 @@ class Table:
                 pushed.note_pruned(1)
                 continue
             yield row
+
+    def scan_shard(self, shard_id: int, pushed=None) -> Iterator[Dict[str, object]]:
+        """The virtual shard's slice of :meth:`scan`.
+
+        Each shard walks the shared clustered tree but decodes only the
+        primary keys its ring slice owns, so N scatter tasks together
+        decode every row exactly once (key iteration is repeated per
+        shard, decode — the dominant cost — is not).  Shard slices are
+        disjoint and exhaustive: chaining ``scan_shard(0..N-1)`` yields
+        the same multiset of rows as :meth:`scan`.
+        """
+        if self.shard_count == 1:
+            yield from self.scan(pushed)
+            return
+        shard_for = self._ring.shard_for
+        decode = self.decode_row
+        for pk, encoded in self._clustered.items():
+            if shard_for(pk) != shard_id:
+                continue
+            row = decode(encoded)
+            if pushed is not None and not pushed.matches(row):
+                pushed.note_pruned(1)
+                continue
+            yield row
+
+    def run_sharded(self, tasks):
+        """Scatter hook the kernel duck-types: run per-shard tasks on the
+        ``REPRO_WORKERS`` pool, results in task (= shard) order."""
+        return map_tasks(tasks)
 
     def lookup_pk_prefix(self, value, pushed=None) -> List[Dict[str, object]]:
         """Rows whose *first* primary-key component equals ``value``.

@@ -1,0 +1,132 @@
+"""EXPLAIN and tracing for scatter-gather plans.
+
+Both dialects compile onto the same kernel, so a scattered scan must
+render the same ``fanout shard=<i>`` vocabulary in SQL and CQL EXPLAIN
+output — one row per shard, interleaved before the scattering
+operator's own row.  Single-shard layouts render no fanout rows at all
+(the historical EXPLAIN output, pinned by the per-dialect suites).
+
+Every scatter task opens a ``query.shard_scan`` span; worker-thread
+spans are independent roots that :meth:`Tracer.merged` folds into one
+entry, so the trace summary shows the fan-out width regardless of the
+worker count.
+"""
+
+import pytest
+
+from repro.nosqldb.engine import NoSQLEngine
+from repro.sqldb.engine import SQLEngine
+from repro.telemetry import get_tracer
+
+from tests.query.test_sharded_equivalence import env
+
+ROWS = [(i, f"g{i % 3}", i * 10) for i in range(12)]
+
+
+def build_sql(shards):
+    with env(REPRO_SHARDS=shards):
+        session = SQLEngine().connect()
+        session.execute("CREATE DATABASE d")
+        session.execute("USE d")
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(8), val INT)")
+        for rowid, grp, val in ROWS:
+            session.execute(
+                f"INSERT INTO t (id, grp, val) VALUES ({rowid}, '{grp}', {val})"
+            )
+    return session
+
+
+def build_cql(shards):
+    with env(REPRO_SHARDS=shards):
+        session = NoSQLEngine().connect()
+        session.execute("CREATE KEYSPACE k")
+        session.execute("USE k")
+        session.execute("CREATE TABLE t (id int PRIMARY KEY, grp text, val int)")
+        for rowid, grp, val in ROWS:
+            session.execute(
+                f"INSERT INTO t (id, grp, val) VALUES ({rowid}, '{grp}', {val})"
+            )
+    return session
+
+
+def node_details(rows):
+    return [(r["node"], r["detail"]) for r in rows]
+
+
+class TestExplainFanout:
+    def test_scan_fanout_rows_match_across_dialects(self):
+        sql, cql = build_sql(4), build_cql(4)
+        sql_rows = sql.execute("EXPLAIN SELECT id FROM t WHERE val > 50").rows
+        cql_rows = cql.execute(
+            "EXPLAIN SELECT id FROM t WHERE val > 50 ALLOW FILTERING"
+        ).rows
+        expected = [("FullScan", f"fanout shard={i}") for i in range(4)]
+        assert node_details(sql_rows)[:4] == expected
+        assert node_details(cql_rows)[:4] == expected
+        # Steps stay dense and ordered across the interleaved rows.
+        assert [r["step"] for r in sql_rows] == list(range(1, len(sql_rows) + 1))
+        assert [r["step"] for r in cql_rows] == list(range(1, len(cql_rows) + 1))
+
+    def test_count_scatter_renders_fanout_then_aggregate(self):
+        for rows in (
+            build_sql(4).execute("EXPLAIN SELECT COUNT(*) FROM t").rows,
+            build_cql(4).execute("EXPLAIN SELECT count(*) FROM t").rows,
+        ):
+            details = node_details(rows)
+            assert details[:4] == [("FullScan", f"fanout shard={i}") for i in range(4)]
+            assert details[4][0] == "FullScan"
+            assert details[5][0] == "Aggregate"
+
+    def test_single_shard_renders_no_fanout(self):
+        sql, cql = build_sql(1), build_cql(1)
+        for rows in (
+            sql.execute("EXPLAIN SELECT id FROM t WHERE val > 50").rows,
+            cql.execute("EXPLAIN SELECT id FROM t WHERE val > 50 ALLOW FILTERING").rows,
+        ):
+            assert all("fanout" not in r["detail"] for r in rows)
+
+    def test_point_read_never_fans_out(self):
+        cql = build_cql(4)
+        rows = cql.execute("EXPLAIN SELECT * FROM t WHERE id = 3").rows
+        assert [r["node"] for r in rows] == ["PointLookup"]
+
+
+@pytest.fixture
+def live_tracer():
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enabled = True
+    tracer.reset()
+    try:
+        yield tracer
+    finally:
+        tracer.enabled = was_enabled
+        tracer.reset()
+
+
+def find_span(nodes, name):
+    for node in nodes:
+        if node["name"] == name:
+            return node
+        hit = find_span(node.get("children", ()), name)
+        if hit is not None:
+            return hit
+    return None
+
+
+class TestShardScanSpans:
+    def test_pooled_workers_fold_per_shard_spans(self, live_tracer):
+        cql = build_cql(4)
+        with env(REPRO_WORKERS=2):
+            assert cql.execute("SELECT count(*) FROM t").rows == [{"count": 12}]
+        span = find_span(live_tracer.merged(), "query.shard_scan")
+        assert span is not None
+        assert span["count"] == 4
+
+    def test_inline_workers_trace_the_same_fanout(self, live_tracer):
+        cql = build_cql(4)
+        with env(REPRO_WORKERS=1):
+            cql.execute("SELECT id FROM t WHERE val > 50 ALLOW FILTERING")
+        span = find_span(live_tracer.merged(), "query.shard_scan")
+        assert span is not None
+        assert span["count"] == 4
