@@ -1,0 +1,304 @@
+"""Streaming-ingest benchmark: sustained micro-batch appends vs. query latency.
+
+The incremental maintenance loop trades a little query-time work (the
+pre-merge overlay folds one answer per physical cube) for never blocking
+ingest on a full rebuild.  This bench drives the whole loop the way
+``repro ingest`` does — ``FeedTailer`` micro-batches through
+``CubeMaintainer.append`` with a background merge every
+``merge_every`` deltas — and measures both sides of the trade:
+
+* **Ingest** — sustained facts/second over the full feed, split into
+  append time (delta build + delta store) and merge time (memo-seeded
+  fold + epoch flip).  Structural identity of the final merged cube with
+  a cold rebuild is asserted on every run.
+
+* **Query** — warm stored point-query latency sampled *during* ingest:
+  on the overlay right before each merge (worst case: base +
+  ``merge_every`` deltas) and on the merged base right after the flip
+  (steady state).  A static baseline — the same vectors against a plain
+  cold-stored cube, i.e. the PR 3 cached-read path — anchors the budget:
+  the steady-state warm latency must stay within ``BUDGET_FACTOR``× the
+  baseline while merges run in the background.
+
+Run standalone (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py --quick
+
+Emits machine-readable JSON (``--out``, default ``BENCH_streaming.json``)
+so later PRs can track the trajectory; CI asserts the signature identity
+and the query budget from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Dict, List
+
+from repro.analysis.dwarf_check import structural_signature
+from repro.bench.datasets import current_scale, load_dataset
+from repro.dwarf.builder import build_cube
+from repro.dwarf.cell import ALL
+from repro.etl.stream import FeedTailer, resolve_ingest_batch
+from repro.mapping.incremental import CubeMaintainer, resolve_merge_deltas
+from repro.mapping.registry import make_mapper
+from repro.mapping.stored_query import stored_point_query
+from repro.smartcity.bikes import bikes_pipeline
+from repro.telemetry import enable_metrics, enable_tracing
+
+try:
+    from benchmarks._timing import best_of, gc_paused, telemetry_snapshot, timed
+except ImportError:  # standalone `python benchmarks/bench_*.py`: script dir on path
+    from _timing import best_of, gc_paused, telemetry_snapshot, timed
+
+N_QUERIES = 30
+
+# Steady-state warm queries read one merged cube through one epoch
+# lookup; the epoch indirection plus freshly rebuilt plan/row caches
+# after each flip must not cost more than this multiple of the static
+# cached-read path.
+BUDGET_FACTOR = 2.0
+
+
+def _query_vectors(cube, count: int) -> List[List]:
+    """A deterministic mix of full-point and partial-ALL queries."""
+    stations = cube.members("station")
+    days = cube.members("day")
+    vectors = []
+    for index in range(count):
+        vector = [ALL] * cube.schema.n_dimensions
+        vector[cube.schema.dimension_index("station")] = stations[index % len(stations)]
+        if index % 2:
+            vector[cube.schema.dimension_index("day")] = days[index % len(days)]
+        vectors.append(vector)
+    return vectors
+
+
+def _query_pass(mapper, schema_id, vectors):
+    """One warm-up pass, then one timed pass; returns seconds."""
+    run = lambda: [stored_point_query(mapper, schema_id, v) for v in vectors]
+    run()
+    with gc_paused():
+        _, elapsed = timed(run, label="bench.streaming.query_pass")
+    return elapsed
+
+
+def bench_static_baseline(bundle, schema_name: str, vectors, repeats: int) -> Dict:
+    """Warm point-query latency on a plain cold-stored cube.
+
+    This is the cached-read path the stored-query bench certifies; the
+    streaming loop's steady-state latency is judged against it.
+    """
+    mapper = make_mapper(schema_name)
+    schema_id = mapper.store(bundle.cube, probe_size=False)
+    if hasattr(mapper, "keyspace_name"):
+        for table in mapper.engine.keyspace(mapper.keyspace_name).tables:
+            table.flush()
+    run = lambda: [stored_point_query(mapper, schema_id, v) for v in vectors]
+    answers = run()  # cold pass doubles as the warm-up
+    assert answers == [bundle.cube.value(v) for v in vectors]
+    warm_s = best_of(run, repeats, label="bench.streaming.baseline_pass")
+    return {"warm_s": warm_s, "warm_ms_per_query": warm_s * 1000 / len(vectors)}
+
+
+def bench_streaming(bundle, schema_name: str, batch_size: int,
+                    merge_every: int, vectors) -> Dict:
+    """The maintenance loop end to end, instrumented per phase."""
+    pipeline = bikes_pipeline()
+    mapper = make_mapper(schema_name)
+    tailer = FeedTailer(bundle.documents, batch_size=batch_size)
+
+    first = tailer.poll()
+    assert first is not None, "dataset produced no documents"
+    with gc_paused():
+        maintainer, open_s = timed(
+            lambda: CubeMaintainer.open(
+                mapper, build_cube(pipeline.extract(first.documents))
+            ),
+            label="bench.streaming.open",
+        )
+
+    append_s = merge_s = 0.0
+    appends = merges = 0
+    overlay_pass_s: List[float] = []
+    merged_pass_s: List[float] = []
+    while True:
+        batch = tailer.poll()
+        if batch is None:
+            break
+        rows = pipeline.extract(batch.documents)
+        with gc_paused():
+            _, elapsed = timed(
+                lambda: maintainer.append(rows), label="bench.streaming.append"
+            )
+        append_s += elapsed
+        appends += 1
+        if maintainer.pending_deltas >= merge_every:
+            # Worst-case read, sampled while the merge thread is folding:
+            # base + merge_every deltas per answer until the flip publishes.
+            with gc_paused():
+                _, elapsed = timed(
+                    lambda: (
+                        maintainer.merge_async(),
+                        overlay_pass_s.append(
+                            _query_pass(mapper, maintainer.logical_id, vectors)
+                        ),
+                        maintainer.wait(),
+                    ),
+                    label="bench.streaming.merge",
+                )
+            merge_s += elapsed
+            merges += 1
+            # Steady state: one merged cube, caches rebuilt post-flip.
+            merged_pass_s.append(
+                _query_pass(mapper, maintainer.logical_id, vectors)
+            )
+    if maintainer.pending_deltas:
+        with gc_paused():
+            _, elapsed = timed(maintainer.merge, label="bench.streaming.merge")
+        merge_s += elapsed
+        merges += 1
+    with gc_paused():
+        reclaimed, compact_s = timed(
+            maintainer.compact, label="bench.streaming.compact"
+        )
+
+    view = maintainer.view()
+    answers = [stored_point_query(mapper, maintainer.logical_id, v) for v in vectors]
+    assert answers == [bundle.cube.value(v) for v in vectors], (
+        "maintained cube diverged from the reference answers"
+    )
+    identical = structural_signature(mapper.load(view.base_id)) == (
+        structural_signature(bundle.cube)
+    )
+    assert identical, "merged cube diverged from a cold rebuild"
+
+    ingest_s = open_s + append_s + merge_s
+    n_queries = len(vectors)
+    return {
+        "n_facts": bundle.n_tuples,
+        "micro_batches": appends + 1,
+        "batch_size": batch_size,
+        "merge_every": merge_every,
+        "merges": merges,
+        "final_epoch": view.epoch,
+        "tombstoned_rows_compacted": reclaimed,
+        "open_s": open_s,
+        "append_s": append_s,
+        "merge_s": merge_s,
+        "compact_s": compact_s,
+        "ingest_s": ingest_s,
+        "facts_per_second": bundle.n_tuples / ingest_s if ingest_s else float("inf"),
+        "overlay_warm_ms_per_query": (
+            min(overlay_pass_s) * 1000 / n_queries if overlay_pass_s else None
+        ),
+        "merged_warm_ms_per_query": (
+            min(merged_pass_s) * 1000 / n_queries if merged_pass_s else None
+        ),
+        "signature_identical_to_rebuild": identical,
+    }
+
+
+def _count_ingest_spans(spans) -> int:
+    total = 0
+    for node in spans:
+        if node.get("name", "").startswith("ingest."):
+            total += node.get("count", 0)
+        total += _count_ingest_spans(node.get("children", ()))
+    return total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="Month", help="dataset name (default Month)")
+    parser.add_argument("--schema", default="NoSQL-DWARF", help="mapper schema")
+    parser.add_argument(
+        "--batch", type=int, default=None,
+        help="micro-batch size in documents (default: 4, quick: 1 — small "
+             "enough that the merge cadence fires mid-feed)",
+    )
+    parser.add_argument(
+        "--merge-every", type=int, default=None,
+        help="merge cadence in deltas (default: REPRO_MERGE_DELTAS or 4)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--out", default="BENCH_streaming.json", help="JSON output path")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: Day dataset, small batches, single repeat",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = "Day" if args.quick else args.dataset
+    repeats = 1 if args.quick else args.repeats
+    if args.batch is None:
+        batch_size = 1 if args.quick else 4
+    else:
+        batch_size = resolve_ingest_batch(args.batch)
+    merge_every = resolve_merge_deltas(args.merge_every)
+
+    enable_metrics(True)
+    enable_tracing(True)
+
+    bundle = load_dataset(dataset)
+    vectors = _query_vectors(bundle.cube, N_QUERIES)
+    streaming = bench_streaming(bundle, args.schema, batch_size, merge_every, vectors)
+    baseline = bench_static_baseline(bundle, args.schema, vectors, repeats)
+
+    merged_ms = streaming["merged_warm_ms_per_query"]
+    within_budget = None
+    if merged_ms is not None:
+        within_budget = merged_ms <= BUDGET_FACTOR * baseline["warm_ms_per_query"]
+
+    telemetry = telemetry_snapshot()
+    report = {
+        "bench": "streaming_ingest",
+        "dataset": dataset,
+        "schema": args.schema,
+        "repro_scale": current_scale(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "repeats": repeats,
+        "streaming": streaming,
+        "static_baseline": baseline,
+        "budget_factor": BUDGET_FACTOR,
+        "query_latency_within_budget": within_budget,
+        "ingest_spans": _count_ingest_spans(telemetry["spans"]),
+        "telemetry": telemetry,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"dataset={dataset} schema={args.schema} facts={streaming['n_facts']} "
+          f"batches={streaming['micro_batches']} (size <= {batch_size}) "
+          f"merges={streaming['merges']} (cadence {merge_every})")
+    print(f"ingest  open {streaming['open_s'] * 1000:8.1f} ms   "
+          f"append {streaming['append_s'] * 1000:8.1f} ms   "
+          f"merge {streaming['merge_s'] * 1000:8.1f} ms   "
+          f"compact {streaming['compact_s'] * 1000:8.1f} ms")
+    print(f"        sustained {streaming['facts_per_second']:,.0f} facts/s, "
+          f"final epoch {streaming['final_epoch']}, "
+          f"{streaming['tombstoned_rows_compacted']} tombstoned row(s) compacted")
+    if merged_ms is not None:
+        print(f"query   overlay {streaming['overlay_warm_ms_per_query']:.3f} ms/q   "
+              f"merged {merged_ms:.3f} ms/q   "
+              f"static baseline {baseline['warm_ms_per_query']:.3f} ms/q")
+        print(f"        merged/static {merged_ms / baseline['warm_ms_per_query']:.2f}x "
+              f"(budget {BUDGET_FACTOR:.1f}x) -> "
+              + ("WITHIN budget" if within_budget else "OVER budget"))
+    print(f"signature {'IDENTICAL to' if streaming['signature_identical_to_rebuild'] else 'DIVERGES from'} cold rebuild; "
+          f"ingest.* spans recorded: {report['ingest_spans']}")
+    print(f"wrote {args.out}")
+    ok = streaming["signature_identical_to_rebuild"] and (
+        within_budget is not False
+    ) and report["ingest_spans"] > 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

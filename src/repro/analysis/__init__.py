@@ -27,6 +27,7 @@ _LAZY = {
     "dwarf_check": "repro.analysis.dwarf_check",
     "structural_signature": "repro.analysis.dwarf_check",
     "check_build_equivalence": "repro.analysis.dwarf_check",
+    "delta_check": "repro.analysis.delta_check",
     "btree_check": "repro.analysis.btree_check",
     "sstable_check": "repro.analysis.sstable_check",
     "columnfamily_check": "repro.analysis.sstable_check",
@@ -66,6 +67,7 @@ __all__ = [
     "check_build_equivalence",
     "checks_enabled",
     "columnfamily_check",
+    "delta_check",
     "dominators",
     "dwarf_check",
     "functions_in",

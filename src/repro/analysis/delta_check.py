@@ -1,0 +1,148 @@
+"""Invariant checker for incremental (delta) cube maintenance.
+
+The append path (:mod:`repro.dwarf.delta`, :mod:`repro.mapping.incremental`)
+rests on one algebraic fact: folding delta cubes into a base with the
+multi-way SuffixCoalesce merge is *equivalent to a cold rebuild* over the
+union of every input's facts — in structure (signature-identical DAGs)
+and in answers (every point query agrees).  The ``cube.delta-consistency``
+rule checks that fact from three directions:
+
+* **merge == rebuild** — ``merge(base, d1, …, dn)`` has the same
+  :func:`~repro.analysis.dwarf_check.structural_signature` as one serial
+  build over the concatenated facts;
+* **order-insensitivity / associativity** — folding the deltas reversed,
+  or one at a time (left fold), produces that same signature;
+* **overlay == merged == rebuild** — for a probe set of point queries,
+  the *overlay* answer (the aggregator's merge of each unmerged cube's
+  answer — exactly what :func:`repro.mapping.stored_query.stored_point_query`
+  computes pre-merge) equals the merged cube's answer equals the
+  rebuild's answer, so a reader sees the same numbers on either side of
+  an epoch flip.
+
+Surfaced through ``repro check --invariants`` and importable for tests.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.dwarf_check import _states_equal, structural_signature
+from repro.analysis.violations import CheckReport
+from repro.core.schema import CubeSchema
+from repro.core.tuples import FactTuple
+from repro.dwarf.builder import DwarfBuilder
+from repro.dwarf.cell import ALL
+from repro.dwarf.delta import DeltaDwarfBuilder
+
+_CHECKER = "dwarf"
+_RULE = "cube.delta-consistency"
+
+#: Probe-set ceiling: enough coordinates to cover every fact row of a
+#: `repro check` dataset plus its ALL-marginals without making the rule
+#: quadratic on large inputs.
+_MAX_PROBES = 256
+
+
+def _default_probes(rows: Sequence[Sequence], n_dims: int) -> List[Tuple]:
+    """Point probes drawn from the facts themselves.
+
+    The grand total, every distinct full coordinate vector, and each
+    vector's single-dimension ALL marginals — the mix of exact hits and
+    aggregate walks the stored-query strategies serve.
+    """
+    probes: List[Tuple] = [tuple([ALL] * n_dims)]
+    seen = set(probes)
+    for row in rows:
+        coords = tuple(row.keys) if isinstance(row, FactTuple) else tuple(row[:-1])
+        candidates = [coords]
+        for position in range(n_dims):
+            marginal = coords[:position] + (ALL,) + coords[position + 1 :]
+            candidates.append(marginal)
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                probes.append(candidate)
+            if len(probes) >= _MAX_PROBES:
+                return probes
+    return probes
+
+
+def delta_check(
+    schema: CubeSchema,
+    partitions: Sequence[Iterable[Sequence]],
+    probes: Optional[Sequence[Tuple]] = None,
+) -> CheckReport:
+    """Check ``cube.delta-consistency`` over ``partitions``; never raises.
+
+    ``partitions`` is the micro-batch decomposition of one fact stream:
+    the first entry seeds the base cube, the rest become delta cubes.
+    ``probes`` overrides the generated point-query probe set.
+    """
+    report = CheckReport("delta_check")
+    batches = [list(batch) for batch in partitions]
+    if not batches:
+        report.check(
+            False, _CHECKER, _RULE, "partitions",
+            "delta_check needs at least one fact partition",
+        )
+        return report
+
+    builder = DeltaDwarfBuilder(schema)
+    cubes = [builder.build_delta(batch) for batch in batches]
+    base, deltas = cubes[0], cubes[1:]
+    merged = builder.merge(base, *deltas)
+    union = [row for batch in batches for row in batch]
+    rebuild = DwarfBuilder(schema).build(union)
+    expected_signature = structural_signature(rebuild)
+
+    report.check(
+        structural_signature(merged) == expected_signature,
+        _CHECKER, _RULE, "merge",
+        f"merge of base + {len(deltas)} deltas is not signature-identical "
+        f"to a cold rebuild over the union ({len(union)} facts)",
+    )
+    report.check(
+        merged.n_source_tuples == rebuild.n_source_tuples,
+        _CHECKER, _RULE, "merge",
+        f"merged cube counts {merged.n_source_tuples} source tuples, "
+        f"rebuild counts {rebuild.n_source_tuples}",
+    )
+
+    if deltas:
+        reversed_merge = DeltaDwarfBuilder(schema).merge(base, *reversed(deltas))
+        report.check(
+            structural_signature(reversed_merge) == expected_signature,
+            _CHECKER, _RULE, "order",
+            "folding the deltas in reverse order changed the structural "
+            "signature (multi-way merge must be order-insensitive)",
+        )
+        folded = base
+        left_fold = DeltaDwarfBuilder(schema)
+        for delta in deltas:
+            folded = left_fold.merge(folded, delta)
+        report.check(
+            structural_signature(folded) == expected_signature,
+            _CHECKER, _RULE, "associativity",
+            "folding the deltas one at a time changed the structural "
+            "signature (merge must be associative)",
+        )
+
+    aggregator = schema.aggregator
+    for probe in probes if probes is not None else _default_probes(union, schema.n_dimensions):
+        expected = rebuild.value(probe)
+        answers = [value for value in (cube.value(probe) for cube in cubes) if value is not None]
+        overlay = reduce(aggregator.merge, answers) if answers else None
+        report.check(
+            _states_equal(merged.value(probe), expected),
+            _CHECKER, _RULE, f"merged{probe!r}",
+            f"merged cube answers {merged.value(probe)!r}, rebuild answers "
+            f"{expected!r}",
+        )
+        report.check(
+            _states_equal(overlay, expected),
+            _CHECKER, _RULE, f"overlay{probe!r}",
+            f"base+delta overlay answers {overlay!r}, rebuild answers "
+            f"{expected!r} (a pre-merge reader would see different numbers)",
+        )
+    return report

@@ -9,6 +9,7 @@ paper discusses.
 from repro.dwarf.builder import DwarfBuilder, build_cube, merge_cubes
 from repro.dwarf.cell import ALL, DwarfCell
 from repro.dwarf.cube import DwarfCube
+from repro.dwarf.delta import DeltaDwarfBuilder, merge_many
 from repro.dwarf.hierarchy import DimensionHierarchy, drilldown, rollup
 from repro.dwarf.node import DwarfNode
 from repro.dwarf.parallel import ParallelDwarfBuilder, build_cube_parallel, resolve_workers
@@ -23,6 +24,7 @@ __all__ = [
     "All",
     "Constraint",
     "CubeStats",
+    "DeltaDwarfBuilder",
     "DimensionHierarchy",
     "DwarfBuilder",
     "DwarfCell",
@@ -45,6 +47,7 @@ __all__ = [
     "iter_cells",
     "iter_nodes",
     "merge_cubes",
+    "merge_many",
     "resolve_workers",
     "rollup",
     "select",

@@ -5,7 +5,14 @@ from repro.etl.extractor import FactMapping
 from repro.etl.inference import infer_mapping, profile_records
 from repro.etl.json_source import parse_json_records
 from repro.etl.pipeline import EtlPipeline
-from repro.etl.stream import DocumentStream, window_by_count, window_by_period
+from repro.etl.stream import (
+    DocumentStream,
+    FeedTailer,
+    MicroBatch,
+    resolve_ingest_batch,
+    window_by_count,
+    window_by_period,
+)
 from repro.etl.xml_source import count_xml_records, parse_xml_records
 
 __all__ = [
@@ -13,7 +20,10 @@ __all__ = [
     "DocumentStream",
     "EtlPipeline",
     "FactMapping",
+    "FeedTailer",
+    "MicroBatch",
     "SourceDocument",
+    "resolve_ingest_batch",
     "count_xml_records",
     "infer_mapping",
     "parse_json_records",

@@ -16,6 +16,15 @@ from repro.mapping.base import (
     schema_to_rows,
     transform_cube,
 )
+from repro.mapping.incremental import (
+    CubeMaintainer,
+    EpochView,
+    compact_epoch,
+    open_epoch,
+    recover_epoch,
+    resolve_epoch,
+    store_delta,
+)
 from repro.mapping.lookup import LookupTable
 from repro.mapping.mysql_dwarf import MySQLDwarfMapper
 from repro.mapping.mysql_min import MySQLMinMapper
@@ -28,8 +37,10 @@ from repro.mapping.stored_query import stored_point_query, stored_select
 __all__ = [
     "ALL_KEY_TEXT",
     "CellRecord",
+    "CubeMaintainer",
     "CubeMapper",
     "DimensionTableStore",
+    "EpochView",
     "LookupTable",
     "MAPPER_FACTORIES",
     "MappingError",
@@ -41,13 +52,18 @@ __all__ = [
     "StoredSchemaInfo",
     "TransformedCube",
     "all_mappers",
+    "compact_epoch",
     "decode_member",
     "derive_levels",
     "encode_member",
     "make_mapper",
+    "open_epoch",
     "rebuild_cube",
+    "recover_epoch",
+    "resolve_epoch",
     "schema_from_rows",
     "schema_to_rows",
+    "store_delta",
     "stored_point_query",
     "stored_select",
     "transform_cube",

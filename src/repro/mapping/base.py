@@ -323,6 +323,25 @@ class CubeMapper:
     #: Label used in benchmark tables, e.g. ``"NoSQL-DWARF"``.
     name = "?"
 
+    #: Monotone counter bumped on every epoch flip of a maintained cube.
+    #: Plan-cache keys for stored-query kernels include it, so a flip
+    #: makes every pre-flip cached walk unreachable (it LRU-evicts)
+    #: instead of serving rows from a superseded physical cube.
+    cube_epoch = 0
+
+    def bump_cube_epoch(self) -> None:
+        """Invalidate per-mapper derived caches after an epoch flip.
+
+        Clears the mapper-local memoisations that outlive a single
+        statement (entry-node and reconstruction caches); storage-level
+        row caches are invalidated by the merge's own writes.
+        """
+        self.cube_epoch += 1
+        for attr in ("_entry_cache", "_reconstruction_cache", "_aggregator_cache"):
+            cache = getattr(self, attr, None)
+            if cache is not None:
+                cache.clear()
+
     def install(self) -> None:
         """Create the keyspace/database and its tables (idempotent)."""
         raise NotImplementedError
@@ -354,6 +373,25 @@ class CubeMapper:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def cached_statement(mapper: CubeMapper, text: str):
+    """A per-mapper prepared-statement cache.
+
+    Each distinct statement shape is parsed once per mapper; its plan
+    lives in the session's :class:`~repro.query.PlanCache`, so repeated
+    executions only bind parameters.  Shared by the stored-query walks
+    and the incremental-maintenance paths.
+    """
+    cache = getattr(mapper, "_query_statements", None)
+    if cache is None:
+        cache = {}
+        mapper._query_statements = cache
+    statement = cache.get(text)
+    if statement is None:
+        statement = mapper.session.prepare(text)
+        cache[text] = statement
+    return statement
 
 
 # ----------------------------------------------------------------------

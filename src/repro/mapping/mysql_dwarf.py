@@ -21,6 +21,7 @@ from repro.mapping.base import (
     MappingError,
     NodeRecord,
     StoredSchemaInfo,
+    cached_statement,
     derive_levels,
     rebuild_cube,
     schema_from_rows,
@@ -86,6 +87,16 @@ _DDL = [
       aggregator VARCHAR(16)
     )
     """,
+    """
+    CREATE TABLE IF NOT EXISTS DWARF_EPOCH (
+      id INT PRIMARY KEY,
+      epoch INT,
+      base_id INT,
+      delta_ids TEXT,
+      retired_ids TEXT,
+      pending_id INT
+    )
+    """,
 ]
 
 
@@ -93,6 +104,9 @@ class MySQLDwarfMapper(CubeMapper):
     """Fully relational DWARF schema with explicit link tables."""
 
     name = "MySQL-DWARF"
+    registry_table = "DWARF_SCHEMA"
+    dimension_table = "DWARF_DIMENSION"
+    epoch_table = "DWARF_EPOCH"
 
     def __init__(self, engine: Optional[SQLEngine] = None, database: str = DEFAULT_DATABASE) -> None:
         self.engine = engine or SQLEngine()
@@ -310,6 +324,42 @@ class MySQLDwarfMapper(CubeMapper):
         return rebuild_cube(schema, nodes, cells, info.entry_node_id)
 
     # ------------------------------------------------------------------
+    def delete_cube_rows(self, schema_id: int) -> int:
+        """Remove one stored cube's entity/link/dimension rows (compaction).
+
+        The ``DWARF_SCHEMA`` registry row is kept as an allocation
+        watermark so ``_next_ids`` never reissues the reclaimed range.
+        """
+        node_ids = [
+            row["id"]
+            for row in self.session.execute(
+                "SELECT id FROM NODE WHERE schema_id = ?", (schema_id,)
+            )
+        ]
+        cell_ids = [
+            row["id"]
+            for row in self.session.execute(
+                "SELECT id FROM CELL WHERE schema_id = ?", (schema_id,)
+            )
+        ]
+        reclaimed = 0
+        node_child = cached_statement(
+            self, "DELETE FROM NODE_CHILDREN WHERE node_id = ?"
+        )
+        for node_id in node_ids:
+            reclaimed += self.session.execute_prepared(node_child, (node_id,)).rowcount
+        cell_child = cached_statement(
+            self, "DELETE FROM CELL_CHILDREN WHERE cell_id = ?"
+        )
+        for cell_id in cell_ids:
+            reclaimed += self.session.execute_prepared(cell_child, (cell_id,)).rowcount
+        for table in ("NODE", "CELL", "DWARF_DIMENSION"):
+            reclaimed += self.session.execute(
+                f"DELETE FROM {table} WHERE schema_id = ?", (schema_id,)
+            ).rowcount
+        return reclaimed
+
+    # ------------------------------------------------------------------
     def size_bytes(self) -> int:
         return self.engine.database(self.database_name).size_bytes
 
@@ -317,7 +367,7 @@ class MySQLDwarfMapper(CubeMapper):
         database = self.engine.database(self.database_name)
         for table in (
             "DWARF_SCHEMA", "NODE", "CELL", "NODE_CHILDREN", "CELL_CHILDREN",
-            "DWARF_DIMENSION",
+            "DWARF_DIMENSION", "DWARF_EPOCH",
         ):
             if database.has_table(table):
                 self.session.execute(f"TRUNCATE {self.database_name}.{table}")

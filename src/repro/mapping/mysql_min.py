@@ -63,6 +63,16 @@ _DDL = [
       aggregator VARCHAR(16)
     )
     """,
+    """
+    CREATE TABLE IF NOT EXISTS DWARF_EPOCH (
+      id INT PRIMARY KEY,
+      epoch INT,
+      base_id INT,
+      delta_ids TEXT,
+      retired_ids TEXT,
+      pending_id INT
+    )
+    """,
 ]
 
 
@@ -70,6 +80,9 @@ class MySQLMinMapper(CubeMapper):
     """Single flat cell table in the relational engine."""
 
     name = "MySQL-Min"
+    registry_table = "DWARF_CUBE"
+    dimension_table = "DWARF_DIMENSION"
+    epoch_table = "DWARF_EPOCH"
 
     def __init__(self, engine: Optional[SQLEngine] = None, database: str = DEFAULT_DATABASE) -> None:
         self.engine = engine or SQLEngine()
@@ -249,12 +262,27 @@ class MySQLMinMapper(CubeMapper):
         ]
 
     # ------------------------------------------------------------------
+    def delete_cube_rows(self, cube_id: int) -> int:
+        """Remove one stored cube's cell/dimension rows (compaction).
+
+        The ``DWARF_CUBE`` registry row is kept as an allocation
+        watermark so ``_next_ids`` never reissues the reclaimed range.
+        """
+        reclaimed = self.session.execute(
+            "DELETE FROM DWARF_CELL WHERE cubeid = ?", (cube_id,)
+        ).rowcount
+        reclaimed += self.session.execute(
+            "DELETE FROM DWARF_DIMENSION WHERE schema_id = ?", (cube_id,)
+        ).rowcount
+        return reclaimed
+
+    # ------------------------------------------------------------------
     def size_bytes(self) -> int:
         return self.engine.database(self.database_name).size_bytes
 
     def reset(self) -> None:
         database = self.engine.database(self.database_name)
-        for table in ("DWARF_CUBE", "DWARF_CELL", "DWARF_DIMENSION"):
+        for table in ("DWARF_CUBE", "DWARF_CELL", "DWARF_DIMENSION", "DWARF_EPOCH"):
             if database.has_table(table):
                 self.session.execute(f"TRUNCATE {self.database_name}.{table}")
         database.checkpoint()

@@ -19,6 +19,7 @@ from repro.mapping.base import (
     MappingError,
     NodeRecord,
     StoredSchemaInfo,
+    cached_statement,
     derive_levels,
     rebuild_cube,
     schema_from_rows,
@@ -77,11 +78,25 @@ CREATE TABLE IF NOT EXISTS dwarf_dimension (
 )
 """
 
+_EPOCH_DDL = """
+CREATE TABLE IF NOT EXISTS dwarf_epoch (
+  id int PRIMARY KEY,
+  epoch int,
+  base_id int,
+  delta_ids text,
+  retired_ids text,
+  pending_id int
+)
+"""
+
 
 class NoSQLDwarfMapper(CubeMapper):
     """Bi-directional DWARF ⇄ columnar-NoSQL mapping (the paper's model)."""
 
     name = "NoSQL-DWARF"
+    registry_table = "dwarf_schema"
+    dimension_table = "dwarf_dimension"
+    epoch_table = "dwarf_epoch"
 
     def __init__(
         self,
@@ -101,7 +116,7 @@ class NoSQLDwarfMapper(CubeMapper):
         self.session.execute(f"CREATE KEYSPACE IF NOT EXISTS {self.keyspace_name}")
         self.session.execute(f"USE {self.keyspace_name}")
         suffix = "" if self.compression else " WITH COMPRESSION = false"
-        for ddl in (_SCHEMA_DDL, _NODE_DDL, _CELL_DDL, _DIMENSION_DDL):
+        for ddl in (_SCHEMA_DDL, _NODE_DDL, _CELL_DDL, _DIMENSION_DDL, _EPOCH_DDL):
             self.session.execute(ddl.strip() + suffix)
         self._prepared = {
             "schema": self.session.prepare(
@@ -347,12 +362,36 @@ class NoSQLDwarfMapper(CubeMapper):
         return rebuild_cube(schema, nodes, cells, info.entry_node_id)
 
     # ------------------------------------------------------------------
+    def delete_cube_rows(self, schema_id: int) -> int:
+        """Remove one stored cube's node/cell/dimension rows (compaction).
+
+        The ``dwarf_schema`` registry row is kept as an allocation
+        watermark so ``_next_ids`` never reissues the reclaimed range.
+        """
+        reclaimed = 0
+        for table in ("dwarf_node", "dwarf_cell", "dwarf_dimension"):
+            rows = list(
+                self.session.execute(
+                    f"SELECT id FROM {table} WHERE schema_id = ? ALLOW FILTERING",
+                    (schema_id,),
+                )
+            )
+            delete = cached_statement(self, f"DELETE FROM {table} WHERE id = ?")
+            for row in rows:
+                self.session.execute_prepared(delete, (row["id"],))
+            reclaimed += len(rows)
+        return reclaimed
+
+    # ------------------------------------------------------------------
     def size_bytes(self) -> int:
         return self.engine.keyspace(self.keyspace_name).size_bytes
 
     def reset(self) -> None:
         keyspace = self.engine.keyspace(self.keyspace_name)
-        for table in ("dwarf_schema", "dwarf_node", "dwarf_cell", "dwarf_dimension"):
+        for table in (
+            "dwarf_schema", "dwarf_node", "dwarf_cell", "dwarf_dimension",
+            "dwarf_epoch",
+        ):
             if keyspace.has_table(table):
                 self.session.execute(f"TRUNCATE {self.keyspace_name}.{table}")
         keyspace.clear_commit_log()

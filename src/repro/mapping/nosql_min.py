@@ -20,6 +20,7 @@ from repro.mapping.base import (
     MappingError,
     NodeRecord,
     StoredSchemaInfo,
+    cached_statement,
     derive_levels,
     rebuild_cube,
     schema_from_rows,
@@ -66,11 +67,25 @@ CREATE TABLE IF NOT EXISTS dwarf_dimension (
 )
 """
 
+_EPOCH_DDL = """
+CREATE TABLE IF NOT EXISTS dwarf_epoch (
+  id int PRIMARY KEY,
+  epoch int,
+  base_id int,
+  delta_ids text,
+  retired_ids text,
+  pending_id int
+)
+"""
+
 
 class NoSQLMinMapper(CubeMapper):
     """Node-less NoSQL schema with the two mandatory secondary indexes."""
 
     name = "NoSQL-Min"
+    registry_table = "dwarf_cube"
+    dimension_table = "dwarf_dimension"
+    epoch_table = "dwarf_epoch"
 
     def __init__(self, engine: Optional[NoSQLEngine] = None, keyspace: str = DEFAULT_KEYSPACE) -> None:
         self.engine = engine or NoSQLEngine()
@@ -86,7 +101,7 @@ class NoSQLMinMapper(CubeMapper):
     def install(self) -> None:
         self.session.execute(f"CREATE KEYSPACE IF NOT EXISTS {self.keyspace_name}")
         self.session.execute(f"USE {self.keyspace_name}")
-        for ddl in (_CUBE_DDL, _CELL_DDL, _DIMENSION_DDL):
+        for ddl in (_CUBE_DDL, _CELL_DDL, _DIMENSION_DDL, _EPOCH_DDL):
             self.session.execute(ddl)
         # The node-less design forces both secondary indexes (paper §5.1).
         self.session.execute("CREATE INDEX IF NOT EXISTS ON dwarf_cell (parentNodeId)")
@@ -276,12 +291,34 @@ class NoSQLMinMapper(CubeMapper):
         ]
 
     # ------------------------------------------------------------------
+    def delete_cube_rows(self, cube_id: int) -> int:
+        """Remove one stored cube's cell/dimension rows (compaction).
+
+        The ``dwarf_cube`` registry row is kept as an allocation
+        watermark so ``_next_ids`` never reissues the reclaimed range.
+        """
+        reclaimed = 0
+        for table, column in (("dwarf_cell", "cubeid"), ("dwarf_dimension", "schema_id")):
+            rows = list(
+                self.session.execute(
+                    f"SELECT id FROM {table} WHERE {column} = ? ALLOW FILTERING",
+                    (cube_id,),
+                )
+            )
+            delete = cached_statement(self, f"DELETE FROM {table} WHERE id = ?")
+            for row in rows:
+                self.session.execute_prepared(delete, (row["id"],))
+            reclaimed += len(rows)
+        self._entry_cache.pop(cube_id, None)
+        return reclaimed
+
+    # ------------------------------------------------------------------
     def size_bytes(self) -> int:
         return self.engine.keyspace(self.keyspace_name).size_bytes
 
     def reset(self) -> None:
         keyspace = self.engine.keyspace(self.keyspace_name)
-        for table in ("dwarf_cube", "dwarf_cell", "dwarf_dimension"):
+        for table in ("dwarf_cube", "dwarf_cell", "dwarf_dimension", "dwarf_epoch"):
             if keyspace.has_table(table):
                 self.session.execute(f"TRUNCATE {self.keyspace_name}.{table}")
         keyspace.clear_commit_log()

@@ -30,15 +30,25 @@ each strategy's access paths in the shared EXPLAIN vocabulary.
 
 from __future__ import annotations
 
+from functools import reduce
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.core.aggregators import Aggregator
 from repro.core.errors import QueryError
+from repro.core.tuples import member_sort_key
 from repro.dwarf.cell import ALL
-from repro.mapping.base import ALL_KEY_TEXT, MappingError, encode_member
+from repro.mapping.base import (
+    ALL_KEY_TEXT,
+    MappingError,
+    cached_statement,
+    encode_member,
+)
+from repro.mapping.incremental import EpochView, resolve_epoch
 from repro.mapping.mysql_dwarf import MySQLDwarfMapper
 from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
+from repro.nosqldb.sharding import resolve_shards
 from repro.query import (
     Aggregate,
     Filter,
@@ -59,35 +69,28 @@ _M_STORED_QUERIES = get_registry().counter(
 )
 
 
-def _prepared(mapper, text: str):
-    """A per-mapper prepared-statement cache for the stored-query walks.
-
-    Each distinct statement shape is parsed once per mapper; its plan
-    lives in the session's :class:`~repro.query.PlanCache`, so after the
-    first execution the walks only bind parameters.
-    """
-    cache = getattr(mapper, "_query_statements", None)
-    if cache is None:
-        cache = {}
-        mapper._query_statements = cache
-    statement = cache.get(text)
-    if statement is None:
-        statement = mapper.session.prepare(text)
-        cache[text] = statement
-    return statement
+# A per-mapper prepared-statement cache for the stored-query walks: each
+# distinct statement shape is parsed once per mapper; its plan lives in
+# the session's PlanCache, so after the first execution the walks only
+# bind parameters.
+_prepared = cached_statement
 
 
 def _kernel_plan(mapper, label: str, build) -> Plan:
     """A direct :mod:`repro.query` plan, memoised in the session's cache.
 
-    Keyed ``(scope, "stored:<label>")`` next to the statement-text
-    entries, so warm stored-query walks register as plan-cache hits and
-    DDL on the underlying table invalidates them through the plan's
-    guards like any other cached plan.
+    Keyed ``(scope, "stored:<label>", shards, cube_epoch)`` next to the
+    statement-text entries, so warm stored-query walks register as
+    plan-cache hits and DDL on the underlying table invalidates them
+    through the plan's guards like any other cached plan.  The key's
+    tail closes two staleness windows: a changed ``REPRO_SHARDS`` layout
+    (a fanout plan cached under the old shard count must not serve the
+    new one) and an epoch flip of a maintained cube (pre-flip kernels
+    become unreachable and LRU-evict instead of walking superseded rows).
     """
     session = mapper.session
     scope = getattr(mapper, "keyspace_name", None) or mapper.database_name
-    key = (scope, "stored:" + label)
+    key = (scope, "stored:" + label, resolve_shards(), mapper.cube_epoch)
     plan = session.plan_cache.get(key)
     if plan is None:
         plan = build(mapper)
@@ -99,11 +102,14 @@ def _cql_guard(mapper, name: str, table):
     engine = mapper.session.engine
     keyspace = mapper.keyspace_name
     signature = frozenset(table.indexed_columns)
+    shards = getattr(table, "shard_count", 1)
 
     def guard() -> bool:
+        current = engine.keyspace(keyspace).table(name)
         return (
-            engine.keyspace(keyspace).table(name) is table
+            current is table
             and frozenset(table.indexed_columns) == signature
+            and getattr(current, "shard_count", 1) == shards
         )
 
     return guard
@@ -113,14 +119,44 @@ def _sql_guard(mapper, name: str, table):
     engine = mapper.session.engine
     database = mapper.database_name
     signature = frozenset(table.indexed_columns)
+    shards = getattr(table, "shard_count", 1)
 
     def guard() -> bool:
+        current = engine.database(database).table(name)
         return (
-            engine.database(database).table(name) is table
+            current is table
             and frozenset(table.indexed_columns) == signature
+            and getattr(current, "shard_count", 1) == shards
         )
 
     return guard
+
+
+def _stored_aggregator(mapper, view: EpochView) -> Aggregator:
+    """The maintained cube's aggregate function, read from the dimension
+    registry of the current base and cached per ``(logical id, epoch)``
+    (an epoch flip clears the cache through ``bump_cube_epoch``)."""
+    cache = getattr(mapper, "_aggregator_cache", None)
+    if cache is None:
+        cache = {}
+        mapper._aggregator_cache = cache
+    key = (view.logical_id, view.epoch)
+    aggregator = cache.get(key)
+    if aggregator is None:
+        text = f"SELECT * FROM {mapper.dimension_table} WHERE schema_id = ?"
+        if getattr(mapper, "keyspace_name", None) is not None:
+            text += " ALLOW FILTERING"
+        row = mapper.session.execute_prepared(
+            _prepared(mapper, text), (view.base_id,)
+        ).one()
+        if row is None:
+            raise MappingError(
+                f"maintained cube {view.logical_id} has no dimension rows "
+                f"for base {view.base_id}"
+            )
+        aggregator = Aggregator.get(row["aggregator"])
+        cache[key] = aggregator
+    return aggregator
 
 
 def _build_nosql_cells(mapper) -> Plan:
@@ -217,10 +253,13 @@ def stored_cell_count(mapper, schema_id: int) -> int:
     """
     if not isinstance(mapper, NoSQLDwarfMapper):
         raise MappingError("stored_cell_count is implemented for NoSQL-DWARF storage")
-    mapper.info(schema_id)  # validate
+    view = resolve_epoch(mapper, schema_id)
+    cube_ids = (schema_id,) if view is None else view.cube_ids
+    for physical_id in cube_ids:
+        mapper.info(physical_id)  # validate
     plan = _kernel_plan(mapper, "nosql_dwarf:cube_count", _build_nosql_cube_count)
     with get_tracer().span("stored.cell_count", schema=mapper.name):
-        return plan.run((schema_id,))[0]["count"]
+        return sum(plan.run((physical_id,))[0]["count"] for physical_id in cube_ids)
 
 
 def _build_mysql_cell_match(mapper) -> Plan:
@@ -241,14 +280,36 @@ def stored_point_query(
     ``coordinates`` holds one entry per dimension — a member value or
     :data:`~repro.dwarf.ALL`.  Returns the aggregate (or ``None`` when no
     fact matches), identical to ``mapper.load(schema_id).value(...)``.
+
+    When ``schema_id`` names a *maintained* cube (one with an epoch row,
+    see :mod:`repro.mapping.incremental`), the walk reads through the
+    epoch: the same strategy runs once per physical cube of the snapshot
+    — base plus any unmerged deltas — and the per-cube answers combine
+    with the schema's aggregate function.  The epoch row is resolved in
+    one primary-key read, so a query observes either the pre-merge
+    overlay or the post-merge base, never a torn mix of the two.
     """
     strategy = _STRATEGIES.get(type(mapper))
     if strategy is None:
         raise MappingError(f"no stored-query strategy for {type(mapper).__name__}")
     keys = [ALL_KEY_TEXT if c is ALL else encode_member(c) for c in coordinates]
     _M_STORED_QUERIES.labels(mapper.name).inc()
+    view = resolve_epoch(mapper, schema_id)
     with get_tracer().span("stored.point_query", schema=mapper.name):
-        return strategy(mapper, schema_id, keys)
+        if view is None:
+            return strategy(mapper, schema_id, keys)
+        if len(view.cube_ids) == 1:
+            return strategy(mapper, view.base_id, keys)
+        answers = [
+            answer
+            for physical_id in view.cube_ids
+            for answer in (strategy(mapper, physical_id, keys),)
+            if answer is not None
+        ]
+        if not answers:
+            return None
+        aggregator = _stored_aggregator(mapper, view)
+        return reduce(aggregator.merge, answers)
 
 
 # ----------------------------------------------------------------------
@@ -517,12 +578,18 @@ def stored_select(
     Implemented for the paper's primary schema (NoSQL-DWARF), whose node
     rows make the walk a sequence of primary-key reads.
 
+    A maintained cube (one with an epoch row) is read through its epoch
+    exactly like :func:`stored_point_query`: the walk runs over every
+    physical cube of the snapshot, per-coordinate values merge with the
+    schema's aggregate function, and the overlay's rows stream out in
+    the canonical member order the single-cube walk produces.
+
     Raises :class:`~repro.core.errors.QueryError` for an unknown
     ``strategy`` or constraint, :class:`MappingError` for a non-DWARF
     mapper or a missing stored node.
     """
-    from repro.dwarf.query import All, Constraint, Each, In, Member, Range
-    from repro.mapping.base import decode_member, schema_from_rows
+    from repro.dwarf.query import All, Constraint
+    from repro.mapping.base import schema_from_rows
 
     if not isinstance(mapper, NoSQLDwarfMapper):
         raise MappingError("stored_select is implemented for NoSQL-DWARF storage")
@@ -531,10 +598,12 @@ def stored_select(
     spec = dict(constraints or {})
     spec.update(by_name)
 
+    view = resolve_epoch(mapper, schema_id)
+    base_id = schema_id if view is None else view.base_id
     dimension_rows = list(
         mapper.session.execute(
             "SELECT * FROM dwarf_dimension WHERE schema_id = ? ALLOW FILTERING",
-            (schema_id,),
+            (base_id,),
         )
     )
     schema = schema_from_rows(dimension_rows)
@@ -543,6 +612,38 @@ def stored_select(
         if not isinstance(constraint, Constraint):
             raise QueryError(f"constraint for {name!r} must be a Constraint")
         per_level[schema.dimension_index(name)] = constraint
+
+    if view is None or len(view.cube_ids) == 1:
+        yield from _select_one(mapper, base_id, schema, per_level, strategy)
+        return
+
+    # Pre-merge overlay: run the same walk over base + deltas, fold the
+    # per-coordinate values with the cube's aggregate function, and emit
+    # in canonical member order (the order one merged walk would yield).
+    aggregator = _stored_aggregator(mapper, view)
+    merged: Dict[tuple, object] = {}
+    for physical_id in view.cube_ids:
+        for coords, value in _select_one(mapper, physical_id, schema, per_level, strategy):
+            previous = merged.get(coords)
+            merged[coords] = (
+                value if previous is None else aggregator.merge(previous, value)
+            )
+    for coords in sorted(
+        merged, key=lambda c: tuple(member_sort_key(member) for member in c)
+    ):
+        yield coords, merged[coords]
+
+
+def _select_one(
+    mapper: NoSQLDwarfMapper,
+    schema_id: int,
+    schema,
+    per_level: List[object],
+    strategy: str,
+):
+    """The :func:`stored_select` walk over one physical stored cube."""
+    from repro.dwarf.query import All, Each, In, Member, Range
+    from repro.mapping.base import decode_member
 
     session = mapper.session
     info = mapper.info(schema_id)

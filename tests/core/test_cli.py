@@ -135,11 +135,11 @@ class TestHelpSync:
 
     def test_every_subcommand_registered(self):
         assert set(self.subcommand_parsers()) == {
-            "generate", "pipeline", "bench", "check", "stats"
+            "generate", "pipeline", "bench", "check", "stats", "ingest"
         }
 
     @pytest.mark.parametrize(
-        "command", ["generate", "pipeline", "bench", "check", "stats"]
+        "command", ["generate", "pipeline", "bench", "check", "stats", "ingest"]
     )
     def test_help_exits_zero_and_lists_options(self, command, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,94 @@
+"""Micro-batch feed tailing: bounded batches, watermarks, resumability."""
+
+import pytest
+
+from repro.etl.documents import DocumentBatch, SourceDocument
+from repro.etl.stream import DocumentStream, FeedTailer, resolve_ingest_batch
+
+
+def docs(n, start=0):
+    return [
+        SourceDocument(f"<d>{i}</d>", "xml", sequence=i)
+        for i in range(start, start + n)
+    ]
+
+
+class TestResolveIngestBatch:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INGEST_BATCH", "7")
+        assert resolve_ingest_batch(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INGEST_BATCH", "9")
+        assert resolve_ingest_batch() == 9
+
+    def test_default_and_garbage(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INGEST_BATCH", raising=False)
+        assert resolve_ingest_batch() == 64
+        monkeypatch.setenv("REPRO_INGEST_BATCH", "banana")
+        assert resolve_ingest_batch() == 64
+
+    def test_floor_of_one(self):
+        assert resolve_ingest_batch(0) == 1
+        assert resolve_ingest_batch(-5) == 1
+
+
+class TestFeedTailer:
+    def test_bounded_batches_cover_stream_in_order(self):
+        tailer = FeedTailer(DocumentStream(docs(7)), batch_size=3)
+        batches = list(tailer)
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert [b.index for b in batches] == [0, 1, 2]
+        assert [(b.start_offset, b.end_offset) for b in batches] == [
+            (0, 3), (3, 6), (6, 7),
+        ]
+        sequences = [d.sequence for b in batches for d in b]
+        assert sequences == list(range(7))
+
+    def test_poll_returns_none_when_caught_up(self):
+        tailer = FeedTailer(DocumentStream(docs(2)), batch_size=5)
+        assert tailer.poll() is not None
+        assert tailer.poll() is None
+        assert tailer.lag == 0
+
+    def test_watermark_advances_with_sequences(self):
+        tailer = FeedTailer(DocumentStream(docs(4)), batch_size=2)
+        assert tailer.watermark == -1
+        assert tailer.poll().watermark == 1
+        assert tailer.poll().watermark == 3
+        assert tailer.watermark == 3
+
+    def test_growing_stream_makes_poll_productive_again(self):
+        stream = DocumentStream(docs(2))
+        tailer = FeedTailer(stream, batch_size=2)
+        assert tailer.poll() is not None
+        assert tailer.poll() is None
+        stream.extend(docs(3, start=2))
+        batch = tailer.poll()
+        assert [d.sequence for d in batch] == [2, 3]
+        assert tailer.lag == 1
+
+    def test_offset_resumes_a_previous_tail(self):
+        stream = DocumentStream(docs(6))
+        first = FeedTailer(stream, batch_size=2)
+        first.poll()
+        resumed = FeedTailer(stream, batch_size=2, offset=first.offset)
+        assert [d.sequence for d in resumed.poll()] == [2, 3]
+
+    def test_seek_repositions(self):
+        tailer = FeedTailer(DocumentStream(docs(4)), batch_size=10)
+        tailer.poll()
+        tailer.seek(1)
+        assert [d.sequence for d in tailer.poll()] == [1, 2, 3]
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            FeedTailer(DocumentStream(docs(1)), offset=-1)
+        tailer = FeedTailer(DocumentStream(docs(1)))
+        with pytest.raises(ValueError):
+            tailer.seek(-2)
+
+    def test_accepts_plain_document_containers(self):
+        batch = DocumentBatch(docs(3))
+        tailer = FeedTailer(batch, batch_size=2)
+        assert [len(b) for b in tailer] == [2, 1]

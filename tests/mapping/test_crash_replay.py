@@ -1,0 +1,152 @@
+"""Crash-replay of maintained cubes with the sanitizers on.
+
+A crash that lands in the middle of a merge flip — the folded cube is
+stored but the publishing UPDATE never ran — must leave the last
+published epoch authoritative.  On the NoSQL engines the crash wipes the
+memtables and the commit log replays every row (including the epoch row
+and its intent marker); on the SQL engines the heap survives in-process
+and recovery only has to resolve the orphaned intent.  Either way the
+overlay answers exactly as before the crash, and with ``REPRO_CHECK=1``
+every build, merge and replayed structure runs its invariant checker.
+"""
+
+import pytest
+
+from repro.core.schema import CubeSchema
+from repro.dwarf.builder import DwarfBuilder
+from repro.dwarf.cell import ALL
+from repro.mapping.incremental import (
+    CubeMaintainer,
+    _predict_physical_id,
+    _update_epoch_row,
+    require_epoch,
+)
+from repro.mapping.mysql_dwarf import MySQLDwarfMapper
+from repro.mapping.mysql_min import MySQLMinMapper
+from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
+from repro.mapping.nosql_min import NoSQLMinMapper
+from repro.mapping.stored_query import stored_point_query
+
+BATCHES = [
+    [("a", 1, "x", 5), ("a", 2, "y", 3), ("b", 1, "x", 2)],
+    [("a", 1, "x", 4), ("b", 3, "z", 7)],
+]
+
+PROBES = [("a", 1, "x"), ("a", ALL, ALL), (ALL, ALL, ALL), ("b", 3, "z")]
+
+
+def schema():
+    return CubeSchema("crash", ["d1", "d2", "d3"])
+
+
+def reference():
+    return DwarfBuilder(schema()).build([r for b in BATCHES for r in b])
+
+
+@pytest.fixture(autouse=True)
+def sanitizers_on(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+
+
+def maintained(mapper_cls):
+    mapper = mapper_cls()
+    mapper.install()
+    maintainer = CubeMaintainer.open(
+        mapper, DwarfBuilder(schema()).build(BATCHES[0])
+    )
+    maintainer.append(BATCHES[1])
+    return mapper, maintainer
+
+
+def interrupt_merge_before_publish(mapper, maintainer):
+    """Drive a merge up to — but not through — the publishing UPDATE.
+
+    Exactly what ``flip_epoch`` does, stopped one statement short: the
+    intent marker is set, the folded cube's rows are fully stored, and
+    then the process "dies" before the single-row flip.
+    """
+    merged = maintainer._delta_builder.merge(
+        maintainer._base_cube, *maintainer._delta_cubes
+    )
+    view = require_epoch(mapper, maintainer.logical_id)
+    view.pending_id = _predict_physical_id(mapper)
+    _update_epoch_row(mapper, view)
+    mapper.store(merged, is_cube=True)
+    # crash here: the epoch row still shows epoch 0 + the intent marker
+
+
+def assert_pre_crash_answers(mapper, logical_id):
+    expected = reference()
+    for probe in PROBES:
+        assert stored_point_query(mapper, logical_id, probe) == expected.value(probe)
+
+
+@pytest.mark.parametrize(
+    "mapper_cls", [NoSQLDwarfMapper, NoSQLMinMapper], ids=lambda cls: cls.name
+)
+class TestNoSQLCrashReplay:
+    def test_crash_during_merge_replays_to_published_epoch(self, mapper_cls):
+        mapper, maintainer = maintained(mapper_cls)
+        logical_id = maintainer.logical_id
+        interrupt_merge_before_publish(mapper, maintainer)
+
+        keyspace = mapper.engine.keyspace(mapper.keyspace_name)
+        keyspace.simulate_crash()
+        assert keyspace.replay_commit_log() > 0
+        mapper.bump_cube_epoch()  # in-memory caches died with the process
+
+        # Recovery tombstones the orphaned merge output, keeps epoch 0,
+        # and the replayed overlay answers exactly as before the crash.
+        resumed = CubeMaintainer.attach(mapper, logical_id)
+        view = resumed.view()
+        assert view.pending_id == 0
+        assert view.epoch == 0
+        assert len(view.retired_ids) == 1
+        assert resumed.pending_deltas == 1
+        assert_pre_crash_answers(mapper, logical_id)
+
+        # The resumed loop completes the interrupted work: merge, flip,
+        # compact — all under REPRO_CHECK=1.
+        assert resumed.merge() == 1
+        assert resumed.compact() > 0
+        assert_pre_crash_answers(mapper, logical_id)
+
+    def test_crash_before_delta_store_leaves_clean_intent(self, mapper_cls):
+        mapper, maintainer = maintained(mapper_cls)
+        logical_id = maintainer.logical_id
+        view = require_epoch(mapper, logical_id)
+        view.pending_id = _predict_physical_id(mapper)
+        _update_epoch_row(mapper, view)  # intent recorded, store never ran
+
+        keyspace = mapper.engine.keyspace(mapper.keyspace_name)
+        keyspace.simulate_crash()
+        keyspace.replay_commit_log()
+        mapper.bump_cube_epoch()
+
+        resumed = CubeMaintainer.attach(mapper, logical_id)
+        view = resumed.view()
+        assert view.pending_id == 0
+        assert view.retired_ids == ()  # nothing was written, nothing to retire
+        assert_pre_crash_answers(mapper, logical_id)
+
+
+@pytest.mark.parametrize(
+    "mapper_cls", [MySQLDwarfMapper, MySQLMinMapper], ids=lambda cls: cls.name
+)
+class TestSQLCrashRecovery:
+    def test_interrupted_merge_recovers_to_published_epoch(self, mapper_cls):
+        mapper, maintainer = maintained(mapper_cls)
+        logical_id = maintainer.logical_id
+        interrupt_merge_before_publish(mapper, maintainer)
+        mapper.bump_cube_epoch()
+
+        resumed = CubeMaintainer.attach(mapper, logical_id)
+        view = resumed.view()
+        assert view.pending_id == 0
+        assert view.epoch == 0
+        assert len(view.retired_ids) == 1
+        assert_pre_crash_answers(mapper, logical_id)
+
+        assert resumed.merge() == 1
+        assert resumed.compact() > 0
+        assert_pre_crash_answers(mapper, logical_id)
