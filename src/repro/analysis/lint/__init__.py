@@ -1,6 +1,6 @@
 """The repo-specific lint pass (stdlib ``ast`` only, no flake8).
 
-Thirteen rules, each guarding a failure mode this codebase has actually
+Fourteen rules, each guarding a failure mode this codebase has actually
 to care about, one module per rule family:
 
 ========= ===================== ==========================================
@@ -20,6 +20,7 @@ REPRO011  exception-flow        :mod:`~repro.analysis.lint.exceptions`
 REPRO012  import-layering       :mod:`~repro.analysis.lint.layering`
 REPRO013  unused-suppression    stale ``# repro: noqa`` pragma (driver
                                 pseudo-rule)
+REPRO014  telemetry-name-catalog :mod:`~repro.analysis.lint.telemetry_names`
 ========= ===================== ==========================================
 
 Findings on a line can be silenced with ``# repro: noqa[REPRO001]`` (see
@@ -60,6 +61,7 @@ from repro.analysis.lint import (  # noqa: E402  (registration order)
     layering,
     mutability,
     resources,
+    telemetry_names,
     timing,
 )
 

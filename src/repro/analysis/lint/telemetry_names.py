@@ -1,0 +1,54 @@
+"""REPRO014 — telemetry names must come from the central catalog.
+
+Every metric family (``registry.counter/gauge/histogram``) and span
+(``tracer.span``) carries a name that dashboards, ``repro top``, the
+debug-bundle readers and the docs refer to by exact string.  Those
+names are declared once, in :mod:`repro.telemetry.catalog`; a literal
+name used anywhere else that the catalog does not list is either a typo
+(a silently separate time series) or an undocumented signal.  Dynamic
+names (non-literal first argument) are out of static reach and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import rule
+from repro.telemetry.catalog import METRIC_NAMES, SPAN_NAMES
+
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+
+#: The telemetry package defines the primitives that accept arbitrary
+#: names by design (and the catalog itself lives there).
+_TELEMETRY_INTERNAL = "/repro/telemetry/"
+
+
+@rule("REPRO014", "telemetry-name-catalog",
+      "metric/span name not declared in repro.telemetry.catalog")
+def check_telemetry_names(ctx: FileContext) -> None:
+    if _TELEMETRY_INTERNAL in ctx.posix:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue
+        attr = node.func.attr
+        if attr in _METRIC_FACTORIES:
+            ctx.check(
+                first.value in METRIC_NAMES, "REPRO014", node.lineno,
+                f"metric name {first.value!r} is not declared in "
+                "repro.telemetry.catalog.METRIC_NAMES; declare it there "
+                "so every exported series is discoverable",
+            )
+        elif attr == "span":
+            ctx.check(
+                first.value in SPAN_NAMES, "REPRO014", node.lineno,
+                f"span name {first.value!r} is not declared in "
+                "repro.telemetry.catalog.SPAN_NAMES; declare it there "
+                "so every trace signal is discoverable",
+            )

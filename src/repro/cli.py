@@ -24,8 +24,17 @@ Three commands cover the common workflows:
 ``stats``
     Run one instrumented workload (ETL -> build -> store -> stored
     queries) with telemetry force-enabled and print the merged span
-    tree, the metrics table, per-operator timings, and any slow ops —
-    or the same snapshot as JSON / Prometheus text via ``--format``.
+    tree, the metrics table, per-operator timings, the query-history
+    profiles, and any slow ops — or the same snapshot as JSON /
+    Prometheus text via ``--format``.  ``--bundle FILE`` re-renders a
+    saved debug bundle offline instead of running a workload.
+``top``
+    Run the same workload (or read a saved bundle) and print the top
+    query fingerprints ranked by total time or p99 latency.
+``debug-bundle``
+    Run the workload and write a flight-recorder JSON artifact: metrics
+    snapshot, merged span tree, slow-op log, query history, plan-cache
+    entries, cube epoch rows, shard layout and every ``REPRO_*`` knob.
 """
 
 from __future__ import annotations
@@ -163,6 +172,56 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--out", type=Path, default=None,
         help="also write the --format payload to this file",
+    )
+    stats.add_argument(
+        "--bundle", type=Path, default=None, metavar="FILE",
+        help="re-render a saved debug bundle offline instead of "
+        "running a workload",
+    )
+
+    top = commands.add_parser(
+        "top", help="rank query fingerprints by total time or p99 latency"
+    )
+    top.add_argument(
+        "--dataset", default="Month",
+        help="dataset name, case-insensitive (default Month)",
+    )
+    top.add_argument(
+        "--schema", choices=tuple(MAPPER_FACTORIES), default="NoSQL-DWARF",
+        help="storage schema for the workload",
+    )
+    top.add_argument(
+        "--by", choices=("total", "p99"), default="total",
+        help="ranking key: total wall time (default) or p99 latency",
+    )
+    top.add_argument(
+        "--limit", type=int, default=10, metavar="N",
+        help="show at most N fingerprints (default 10)",
+    )
+    top.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text table (default) or the ranked profiles as JSON",
+    )
+    top.add_argument(
+        "--bundle", type=Path, default=None, metavar="FILE",
+        help="rank a saved debug bundle's query history instead of "
+        "running a workload",
+    )
+
+    debug_bundle = commands.add_parser(
+        "debug-bundle", help="write a flight-recorder JSON debug bundle"
+    )
+    debug_bundle.add_argument(
+        "--dataset", default="Month",
+        help="dataset name, case-insensitive (default Month)",
+    )
+    debug_bundle.add_argument(
+        "--schema", choices=tuple(MAPPER_FACTORIES), default="NoSQL-DWARF",
+        help="storage schema for the workload",
+    )
+    debug_bundle.add_argument(
+        "--out", type=Path, required=True,
+        help="path for the bundle JSON artifact",
     )
     return parser
 
@@ -342,23 +401,24 @@ def _cmd_ingest(args) -> int:
     from repro.smartcity.bikes import bikes_pipeline
     from repro.telemetry import (
         enable_metrics,
+        enable_query_log,
         enable_tracing,
+        get_query_log,
         get_registry,
         get_tracer,
         snapshot,
     )
 
-    lookup = {name.lower(): name for name in DATASETS_BY_NAME}
-    dataset = lookup.get(args.dataset.lower())
+    dataset = _resolve_dataset(args.dataset)
     if dataset is None:
-        print(f"unknown dataset {args.dataset!r}; choose from {DATASET_ORDER}",
-              file=sys.stderr)
         return 2
 
     enable_metrics(True)
     enable_tracing(True)
+    enable_query_log(True)
     registry, tracer = get_registry(), get_tracer()
     tracer.reset()
+    get_query_log().reset()
 
     bundle = load_dataset(dataset)
     batch_size = resolve_ingest_batch(args.batch)
@@ -415,6 +475,7 @@ def _cmd_ingest(args) -> int:
            else "DIVERGES from cold rebuild")
     )
     print(f"ingest.* spans recorded: {ingest_spans}")
+    print(f"query-log records: {len(get_query_log())}")
     ok = signatures_match and ingest_spans > 0
     print("ingest: OK" if ok else "ingest: FAILED")
     return 0 if ok else 1
@@ -517,38 +578,48 @@ def _storage_stat_lines(mapper):
     return lines
 
 
-def _cmd_stats(args) -> int:
+def _resolve_dataset(raw: str) -> Optional[str]:
+    """Canonical dataset name (case-insensitive), or None after an error."""
+    lookup = {name.lower(): name for name in DATASETS_BY_NAME}
+    dataset = lookup.get(raw.lower())
+    if dataset is None:
+        print(f"unknown dataset {raw!r}; choose from {DATASET_ORDER}",
+              file=sys.stderr)
+    return dataset
+
+
+def _run_workload(dataset: str, schema: str):
+    """The instrumented observability workload shared by ``stats``,
+    ``top`` and ``debug-bundle``: ETL -> build -> store -> stored
+    queries x2, with metrics, tracing and the query log force-enabled
+    (and reset, so the report covers exactly this run).
+
+    Returns ``(bundle, mapper, n_queries, ok)`` where ``ok`` means every
+    stored answer matched the in-memory cube, cold and warm.
+    """
     from repro.bench.datasets import clear_cache, load_dataset
     from repro.dwarf.cell import ALL
     from repro.mapping.stored_query import stored_point_query
     from repro.telemetry import (
         enable_metrics,
+        enable_query_log,
         enable_tracing,
+        get_query_log,
         get_registry,
         get_tracer,
-        render_metrics_table,
-        render_span_tree,
-        snapshot,
-        to_json,
-        to_prometheus,
     )
-
-    lookup = {name.lower(): name for name in DATASETS_BY_NAME}
-    dataset = lookup.get(args.dataset.lower())
-    if dataset is None:
-        print(f"unknown dataset {args.dataset!r}; choose from {DATASET_ORDER}",
-              file=sys.stderr)
-        return 2
 
     enable_metrics(True)
     enable_tracing(True)
+    enable_query_log(True)
     registry, tracer = get_registry(), get_tracer()
     registry.reset()
     tracer.reset()
+    get_query_log().reset()
     clear_cache()  # force a real ETL + build pass under the tracer
 
     bundle = load_dataset(dataset)
-    mapper = make_mapper(args.schema)
+    mapper = make_mapper(schema)
     with tracer.span("mapper.store", schema=mapper.name):
         schema_id = mapper.store(bundle.cube, probe_size=False)
 
@@ -561,35 +632,176 @@ def _cmd_stats(args) -> int:
     cold = [stored_point_query(mapper, schema_id, v) for v in vectors]
     warm = [stored_point_query(mapper, schema_id, v) for v in vectors]
     ok = cold == expected and warm == expected
+    return bundle, mapper, len(vectors), ok
 
-    snap = snapshot(registry, tracer)
+
+def _query_log_lines(profiles, limit: int = 10):
+    """Text lines for the top fingerprint profiles, total-time order."""
+    lines = []
+    for p in profiles[:limit]:
+        lines.append(
+            f"  {p['dialect']:<6} n={p['count']:<4} "
+            f"total={p['total_s'] * 1000:8.1f}ms "
+            f"p50={p['p50_s'] * 1000:7.2f}ms p99={p['p99_s'] * 1000:7.2f}ms "
+            f"rows={p['rows']:<6} {p['fingerprint'][:72]}"
+        )
+    return lines
+
+
+def _plan_cache_rows(mapper):
+    """Serialized plan-cache entries (key + EXPLAIN rows) for the bundle."""
+    rows = []
+    cache = getattr(getattr(mapper, "session", None), "plan_cache", None)
+    if cache is None:
+        return rows
+    for key, entry in cache.entries():
+        # AnalyzedStatement wraps its SELECT plan; fused multi-get plans
+        # and UNPLANNABLE sentinels have no EXPLAIN rendering.
+        plan = getattr(entry, "plan", entry)
+        explain = getattr(plan, "explain", None)
+        rows.append(
+            {
+                "key": list(key) if isinstance(key, tuple) else [key],
+                "plan": explain() if callable(explain) else None,
+            }
+        )
+    return rows
+
+
+def _epoch_rows(mapper):
+    """Every row of the mapper's cube-epoch table (empty when absent)."""
+    table = getattr(mapper, "epoch_table", None)
+    session = getattr(mapper, "session", None)
+    if table is None or session is None:
+        return []
+    try:
+        result = session.execute(f"SELECT * FROM {table}")
+    except Exception:  # epoch table never installed
+        return []
+    return [dict(row) for row in result] if result is not None else []
+
+
+def _shard_layout(mapper):
+    """Configured shard fanout plus the per-column-family layout."""
+    from repro.nosqldb.sharding import resolve_shards
+
+    layout = {"configured": resolve_shards()}
+    session = getattr(mapper, "session", None)
+    keyspace = getattr(mapper, "keyspace_name", None)
+    if session is not None and keyspace is not None:
+        layout["tables"] = {
+            table.name: getattr(table, "shard_count", 1)
+            for table in session.engine.keyspace(keyspace).tables
+        }
+    return layout
+
+
+def _collect_bundle(mapper):
+    """Assemble a validated debug bundle from the live telemetry state."""
+    from repro.telemetry import (
+        build_bundle,
+        get_query_log,
+        get_registry,
+        get_tracer,
+        validate_bundle,
+    )
+
+    bundle = build_bundle(
+        registry=get_registry(),
+        tracer=get_tracer(),
+        query_log=get_query_log(),
+        plan_cache=_plan_cache_rows(mapper),
+        epochs=_epoch_rows(mapper),
+        shards=_shard_layout(mapper),
+    )
+    validate_bundle(bundle)
+    return bundle
+
+
+def _load_bundle(path: Path):
+    """Read + validate a bundle file; None (after an error) on failure."""
+    from repro.telemetry import from_bundle
+
+    try:
+        return from_bundle(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot load debug bundle {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_stats(args) -> int:
+    from repro.telemetry import (
+        get_query_log,
+        get_registry,
+        get_tracer,
+        render_metrics_table,
+        render_span_tree,
+        snapshot,
+        to_json,
+        to_prometheus,
+    )
+
+    if args.bundle is not None:
+        # Offline re-render: no workload, no engines — just the artifact.
+        bundle = _load_bundle(args.bundle)
+        if bundle is None:
+            return 2
+        snap = bundle["telemetry"]
+        profiles = bundle["query_log"]["profiles"]
+        mapper = None
+        ok = True
+        header = (
+            f"debug bundle {args.bundle} "
+            f"(schema_version {bundle['schema_version']}, "
+            f"{len(bundle['query_log']['records'])} query record(s)), "
+            "offline re-render"
+        )
+    else:
+        dataset = _resolve_dataset(args.dataset)
+        if dataset is None:
+            return 2
+        data, mapper, n_queries, ok = _run_workload(dataset, args.schema)
+        snap = snapshot(get_registry(), get_tracer())
+        profiles = get_query_log().profiles()
+        header = (
+            f"dataset {dataset}: {data.n_tuples} tuples "
+            f"(REPRO_SCALE={current_scale():g}), schema {mapper.name}, "
+            f"{n_queries} stored queries x2, "
+            f"{'answers agree' if ok else 'ANSWERS DIVERGE'}"
+        )
+
     if args.format == "json":
         payload = to_json(snap)
     elif args.format == "prom":
         payload = to_prometheus(snap)
     else:
         sections = [
-            f"dataset {dataset}: {bundle.n_tuples} tuples "
-            f"(REPRO_SCALE={current_scale():g}), schema {mapper.name}, "
-            f"{len(vectors)} stored queries x2, "
-            f"{'answers agree' if ok else 'ANSWERS DIVERGE'}",
+            header,
             "",
             "spans",
             render_span_tree(snap["spans"]) or "  (none)",
             "",
             "operators",
         ]
-        sections.extend(_operator_stat_lines(mapper) or ["  (none)"])
-        storage = _storage_stat_lines(mapper)
+        sections.extend(
+            (_operator_stat_lines(mapper) if mapper is not None else [])
+            or ["  (none)"]
+        )
+        storage = _storage_stat_lines(mapper) if mapper is not None else []
         if storage:
             sections += ["", "storage"] + storage
         sections += ["", "metrics", render_metrics_table(snap)]
+        sections += ["", "query log"]
+        sections.extend(_query_log_lines(profiles) or ["  (none)"])
+        dropped = snap.get("slow_ops_dropped", 0)
+        sections += ["", f"slow ops ({dropped} dropped)"]
         if snap["slow_ops"]:
-            sections += ["", f"slow ops (>= {tracer.slow_ms:g} ms)"]
             sections.extend(
                 f"  {op['name']}: {op['wall_ms']:.1f} ms {op.get('attrs', {})}"
                 for op in snap["slow_ops"]
             )
+        else:
+            sections.append("  (none)")
         payload = "\n".join(sections)
 
     if args.out is not None:
@@ -597,6 +809,56 @@ def _cmd_stats(args) -> int:
         print(f"wrote {args.out}")
     if args.format != "text" or args.out is None:
         print(payload)
+    return 0 if ok else 1
+
+
+def _cmd_top(args) -> int:
+    from repro.telemetry import get_query_log
+
+    if args.bundle is not None:
+        bundle = _load_bundle(args.bundle)
+        if bundle is None:
+            return 2
+        profiles = bundle["query_log"]["profiles"]
+        source = f"debug bundle {args.bundle}"
+        ok = True
+    else:
+        dataset = _resolve_dataset(args.dataset)
+        if dataset is None:
+            return 2
+        _, _, _, ok = _run_workload(dataset, args.schema)
+        profiles = get_query_log().profiles()
+        source = f"dataset {dataset} ({args.schema})"
+
+    key = "total_s" if args.by == "total" else "p99_s"
+    ranked = sorted(profiles, key=lambda p: p[key], reverse=True)[: args.limit]
+    if args.format == "json":
+        print(json.dumps(ranked, indent=2))
+    else:
+        print(
+            f"top {len(ranked)} of {len(profiles)} fingerprint(s) "
+            f"by {args.by}, {source}"
+        )
+        for line in _query_log_lines(ranked, limit=len(ranked)):
+            print(line)
+    return 0 if ok else 1
+
+
+def _cmd_debug_bundle(args) -> int:
+    from repro.telemetry import bundle_to_json
+
+    dataset = _resolve_dataset(args.dataset)
+    if dataset is None:
+        return 2
+    _, mapper, _, ok = _run_workload(dataset, args.schema)
+    bundle = _collect_bundle(mapper)
+    args.out.write_text(bundle_to_json(bundle) + "\n", encoding="utf-8")
+    print(
+        f"wrote {args.out} (schema_version {bundle['schema_version']}, "
+        f"{len(bundle['query_log']['records'])} query record(s), "
+        f"{len(bundle['plan_cache'])} cached plan(s), "
+        f"{len(bundle['epochs'])} epoch row(s))"
+    )
     return 0 if ok else 1
 
 
@@ -706,6 +968,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ingest": _cmd_ingest,
         "check": _cmd_check,
         "stats": _cmd_stats,
+        "top": _cmd_top,
+        "debug-bundle": _cmd_debug_bundle,
     }[args.command]
     return handler(args)
 

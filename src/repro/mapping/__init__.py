@@ -32,7 +32,13 @@ from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
 from repro.mapping.registry import MAPPER_FACTORIES, all_mappers, make_mapper
 from repro.mapping.dimension_tables import DimensionTableStore
-from repro.mapping.stored_query import stored_point_query, stored_select
+from repro.mapping.stored_query import (
+    analyze_strategy,
+    explain_strategy,
+    stored_cell_count,
+    stored_point_query,
+    stored_select,
+)
 
 __all__ = [
     "ALL_KEY_TEXT",
@@ -64,6 +70,9 @@ __all__ = [
     "schema_from_rows",
     "schema_to_rows",
     "store_delta",
+    "analyze_strategy",
+    "explain_strategy",
+    "stored_cell_count",
     "stored_point_query",
     "stored_select",
     "transform_cube",

@@ -58,15 +58,20 @@ from repro.query import (
     Plan,
     PushedCondition,
     PushedPredicate,
+    annotate_explain,
     count_partial,
+    counter_totals,
+    snapshot_counters,
 )
-from repro.telemetry import get_registry, get_tracer
+from repro.telemetry import get_query_log, get_registry, get_tracer, wall_clock
 
 _M_STORED_QUERIES = get_registry().counter(
     "mapper_stored_queries_total",
     "stored point queries answered, by storage schema",
     labels=("schema",),
 )
+
+_QUERY_LOG = get_query_log()
 
 
 # A per-mapper prepared-statement cache for the stored-query walks: each
@@ -253,13 +258,29 @@ def stored_cell_count(mapper, schema_id: int) -> int:
     """
     if not isinstance(mapper, NoSQLDwarfMapper):
         raise MappingError("stored_cell_count is implemented for NoSQL-DWARF storage")
+    t0 = wall_clock() if _QUERY_LOG.enabled else 0.0
     view = resolve_epoch(mapper, schema_id)
     cube_ids = (schema_id,) if view is None else view.cube_ids
     for physical_id in cube_ids:
         mapper.info(physical_id)  # validate
     plan = _kernel_plan(mapper, "nosql_dwarf:cube_count", _build_nosql_cube_count)
+    before = counter_totals(plan) if _QUERY_LOG.enabled else None
     with get_tracer().span("stored.cell_count", schema=mapper.name):
-        return sum(plan.run((physical_id,))[0]["count"] for physical_id in cube_ids)
+        total = sum(plan.run((physical_id,))[0]["count"] for physical_id in cube_ids)
+    if _QUERY_LOG.enabled:
+        now = counter_totals(plan)
+        _QUERY_LOG.record(
+            f"stored:{mapper.name}:cell_count",
+            "stored",
+            wall_clock() - t0,
+            rows=len(cube_ids),
+            cache_hits=now["cache_hits"] - before["cache_hits"],
+            blocks_skipped=now["blocks_skipped"] - before["blocks_skipped"],
+            rows_pruned=now["rows_pruned"] - before["rows_pruned"],
+            shards=resolve_shards(),
+            epoch=mapper.cube_epoch,
+        )
+    return total
 
 
 def _build_mysql_cell_match(mapper) -> Plan:
@@ -289,6 +310,36 @@ def stored_point_query(
     one primary-key read, so a query observes either the pre-merge
     overlay or the post-merge base, never a torn mix of the two.
     """
+    if not _QUERY_LOG.enabled:
+        return _point_query(mapper, schema_id, coordinates)
+    # Query-history path: frame the walk's plan counters so the record
+    # carries this query's cache/pushdown actuals, not lifetime totals.
+    t0 = wall_clock()
+    plans = [plan for plan in _strategy_plans(mapper).values() if plan is not None]
+    before = [counter_totals(plan) for plan in plans]
+    answer = _point_query(mapper, schema_id, coordinates)
+    deltas = {"cache_hits": 0, "blocks_skipped": 0, "rows_pruned": 0}
+    for plan, b in zip(plans, before):
+        now = counter_totals(plan)
+        for name in deltas:
+            deltas[name] += now[name] - b[name]
+    _QUERY_LOG.record(
+        f"stored:{mapper.name}:point_query",
+        "stored",
+        wall_clock() - t0,
+        rows=0 if answer is None else 1,
+        cache_hits=deltas["cache_hits"],
+        blocks_skipped=deltas["blocks_skipped"],
+        rows_pruned=deltas["rows_pruned"],
+        shards=resolve_shards(),
+        epoch=mapper.cube_epoch,
+    )
+    return answer
+
+
+def _point_query(mapper, schema_id: int, coordinates: Sequence):
+    """The :func:`stored_point_query` walk, shared by the plain, logged
+    and analyzed entry points."""
     strategy = _STRATEGIES.get(type(mapper))
     if strategy is None:
         raise MappingError(f"no stored-query strategy for {type(mapper).__name__}")
@@ -546,6 +597,88 @@ def explain_strategy(mapper, schema_id: Optional[int] = None) -> Dict[str, List[
     raise MappingError(f"no stored-query strategy for {kind.__name__}")
 
 
+def _strategy_plans(mapper) -> Dict[str, Optional[Plan]]:
+    """Walk step → live plan for the mapper's point-query access paths.
+
+    Kernel plans are fetched (building on first use) through
+    :func:`_kernel_plan`; statement plans are *peeked* from the session's
+    cache under their ``(scope, text)`` key — a statement that has never
+    executed maps to ``None`` rather than being compiled here, so
+    reading the plans never changes what a later execution would do.
+    """
+    kind = type(mapper)
+    if kind not in _STRATEGIES:
+        raise MappingError(f"no stored-query strategy for {kind.__name__}")
+    session = mapper.session
+    scope = getattr(mapper, "keyspace_name", None) or mapper.database_name
+
+    def stmt(text: str) -> Optional[Plan]:
+        plan = session.plan_cache.peek((scope, text))
+        return plan if isinstance(plan, Plan) else None
+
+    if kind is NoSQLDwarfMapper:
+        return {
+            "node": stmt("SELECT childrenIds FROM dwarf_node WHERE id = ?"),
+            "cells": _kernel_plan(
+                mapper, "nosql_dwarf:cell_match", _build_nosql_cell_match
+            ),
+        }
+    if kind is NoSQLMinMapper:
+        return {
+            "entry": stmt(
+                "SELECT * FROM dwarf_cell WHERE root = true AND cubeid = ? ALLOW FILTERING"
+            ),
+            "siblings": _kernel_plan(
+                mapper, "nosql_min:sibling_match", _build_nosql_min_sibling_match
+            ),
+        }
+    if kind is MySQLDwarfMapper:
+        return {
+            "children": stmt("SELECT cell_id FROM NODE_CHILDREN WHERE node_id = ?"),
+            "cells": _kernel_plan(
+                mapper, "mysql_dwarf:cell_match", _build_mysql_cell_match
+            ),
+            "pointer": stmt("SELECT node_id FROM CELL_CHILDREN WHERE cell_id = ?"),
+        }
+    return {
+        "cells": stmt("SELECT * FROM DWARF_CELL WHERE cubeid = ?"),
+    }
+
+
+def analyze_strategy(mapper, schema_id: int, coordinates: Sequence) -> Dict[str, object]:
+    """EXPLAIN ANALYZE for a :func:`stored_point_query` walk.
+
+    Runs the point query once — per-operator timing forced on for the
+    duration — and frames every access-path plan's counters around the
+    run, so each step of :func:`explain_strategy` comes back annotated
+    with this query's actuals (:data:`repro.query.ACTUAL_COLUMNS`).
+
+    Returns ``{"answer": ..., "steps": {step: rows}}``; the answer is
+    exactly what a plain :func:`stored_point_query` returns.  A step the
+    walk never reached (say, the reconstruction scan of a warm MySQL-Min
+    cache) reports zero actuals; a statement plan that has never been
+    compiled only appears once the analyzed run itself creates it.
+    """
+    before = {
+        step: snapshot_counters(plan)
+        for step, plan in _strategy_plans(mapper).items()
+        if plan is not None
+    }
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enabled = True  # accrue per-operator wall/CPU for this run
+    try:
+        answer = stored_point_query(mapper, schema_id, coordinates)
+    finally:
+        tracer.enabled = was_enabled
+    steps = {
+        step: annotate_explain(plan, before.get(step))
+        for step, plan in _strategy_plans(mapper).items()
+        if plan is not None
+    }
+    return {"answer": answer, "steps": steps}
+
+
 # ----------------------------------------------------------------------
 # declarative select over the stored NoSQL-DWARF cube
 # ----------------------------------------------------------------------
@@ -588,6 +721,39 @@ def stored_select(
     ``strategy`` or constraint, :class:`MappingError` for a non-DWARF
     mapper or a missing stored node.
     """
+    rows = _stored_select_impl(mapper, schema_id, constraints, strategy, **by_name)
+    if not _QUERY_LOG.enabled:
+        return rows
+    return _logged_select(mapper, strategy, rows)
+
+
+def _logged_select(mapper, strategy: str, rows):
+    """Drain a :func:`stored_select` generator, recording one query-log
+    entry (rows yielded, wall time) once it is exhausted."""
+    t0 = wall_clock()
+    count = 0
+    for item in rows:
+        count += 1
+        yield item
+    _QUERY_LOG.record(
+        f"stored:{mapper.name}:select:{strategy}",
+        "stored",
+        wall_clock() - t0,
+        rows=count,
+        shards=resolve_shards(),
+        epoch=mapper.cube_epoch,
+    )
+
+
+def _stored_select_impl(
+    mapper: NoSQLDwarfMapper,
+    schema_id: int,
+    constraints: Optional[Mapping[str, object]] = None,
+    strategy: str = "walk",
+    **by_name,
+):
+    """The :func:`stored_select` walk (a generator; errors surface at
+    first iteration, as they always have)."""
     from repro.dwarf.query import All, Constraint
     from repro.mapping.base import schema_from_rows
 

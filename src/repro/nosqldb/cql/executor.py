@@ -37,6 +37,7 @@ from repro.query import (
     ResultSet as _KernelResultSet,
     Sort,
     TableMeta,
+    analyze_plan,
     choose_access,
     compare,
     count_partial,
@@ -542,6 +543,12 @@ class _Executor:
 
     # -- EXPLAIN ------------------------------------------------------------------
     def _explain(self, stmt: ast.Explain):
-        """Build (but do not run) the plan; one row per operator."""
+        """Build the plan; one row per operator.  With ANALYZE the plan
+        is also executed and every row carries actual counters."""
         plan = build_select_plan(self.engine, stmt.select, self.current_keyspace)
-        return ResultSet(plan.explain()), None
+        if not stmt.analyze:
+            return ResultSet(plan.explain()), None
+        analyzed = analyze_plan(plan, self.params)
+        result = ResultSet(analyzed.report)
+        result.analyzed = analyzed
+        return result, None

@@ -77,8 +77,9 @@ class _Parser:
 
     def _statement(self) -> ast.Statement:
         if self._accept_keyword("EXPLAIN"):
+            analyze = self._accept_keyword("ANALYZE")
             self._expect_keyword("SELECT")
-            return ast.Explain(self._select())
+            return ast.Explain(self._select(), analyze=analyze)
         if self._accept_keyword("BEGIN"):
             return self._batch()
         if self._accept_keyword("CREATE"):

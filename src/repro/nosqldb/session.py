@@ -22,7 +22,18 @@ from repro.nosqldb.cql.executor import (
 )
 from repro.nosqldb.cql.parser import parse
 from repro.nosqldb.errors import InvalidRequest
-from repro.query import UNPLANNABLE, Plan, PlanCache
+from repro.query import (
+    UNPLANNABLE,
+    AnalyzedStatement,
+    Plan,
+    PlanCache,
+    analyze_plan,
+    counter_totals,
+    record_query,
+)
+from repro.telemetry import get_query_log, wall_clock
+
+_QUERY_LOG = get_query_log()
 
 
 class CompiledInsert:
@@ -116,11 +127,50 @@ class Session:
     # ------------------------------------------------------------------
     def execute(self, cql: str, params: Sequence = ()) -> Optional[ResultSet]:
         """Parse and run one CQL statement."""
+        if _QUERY_LOG.enabled:
+            return self._execute_logged(cql, params)
         key = (self.keyspace, cql)
         plan = self.plan_cache.get(key)
         if isinstance(plan, Plan):
             return ResultSet(plan.run(params))
+        if isinstance(plan, AnalyzedStatement):
+            return self._run_analyzed(plan, params)
         return self._dispatch(parse(cql), cql, params)
+
+    def _execute_logged(self, cql: str, params: Sequence) -> Optional[ResultSet]:
+        """The :meth:`execute` body with query-history recording.
+
+        A separate method so the REPRO_QUERY_LOG=0 hot path above pays
+        exactly one attribute check and allocates nothing extra."""
+        t0 = wall_clock()
+        key = (self.keyspace, cql)
+        plan = self.plan_cache.get(key)
+        if isinstance(plan, Plan):
+            before = counter_totals(plan)
+            result = ResultSet(plan.run(params))
+            record_query(_QUERY_LOG, cql, "cql", wall_clock() - t0,
+                         len(result), plan=plan, before=before)
+            return result
+        if isinstance(plan, AnalyzedStatement):
+            result = self._run_analyzed(plan, params)
+            record_query(_QUERY_LOG, cql, "cql", wall_clock() - t0,
+                         len(result), analyzed=result.analyzed)
+            return result
+        result = self._dispatch(parse(cql), cql, params)
+        # A cold SELECT (or EXPLAIN ANALYZE) was just compiled and cached;
+        # its fresh counters are exactly this execution's actuals.  peek()
+        # keeps the read out of the plan-cache hit/miss metrics.
+        record_query(_QUERY_LOG, cql, "cql", wall_clock() - t0,
+                     len(result) if result is not None else 0,
+                     plan=self.plan_cache.peek(key),
+                     analyzed=getattr(result, "analyzed", None))
+        return result
+
+    def _run_analyzed(self, entry: AnalyzedStatement, params: Sequence) -> ResultSet:
+        analyzed = analyze_plan(entry.plan, params)
+        result = ResultSet(analyzed.report)
+        result.analyzed = analyzed
+        return result
 
     def prepare(self, cql: str) -> PreparedStatement:
         return PreparedStatement(cql, parse(cql))
@@ -128,11 +178,17 @@ class Session:
     def _dispatch(
         self, statement: ast.Statement, text: str, params: Sequence
     ) -> Optional[ResultSet]:
-        """Plan-and-cache SELECTs; everything else runs the generic executor."""
+        """Plan-and-cache SELECTs (and analyzed EXPLAINs); everything
+        else runs the generic executor."""
         if type(statement) is ast.Select:
             plan = build_select_plan(self.engine, statement, self.keyspace)
             self.plan_cache.put((self.keyspace, text), plan)
             return ResultSet(plan.run(params))
+        if type(statement) is ast.Explain and statement.analyze:
+            plan = build_select_plan(self.engine, statement.select, self.keyspace)
+            entry = AnalyzedStatement(plan)
+            self.plan_cache.put((self.keyspace, text), entry)
+            return self._run_analyzed(entry, params)
         result, new_keyspace = execute(self.engine, statement, params, self.keyspace)
         if new_keyspace is not None:
             self.keyspace = new_keyspace
@@ -158,10 +214,14 @@ class Session:
     def execute_prepared(
         self, prepared: PreparedStatement, params: Sequence = ()
     ) -> Optional[ResultSet]:
+        if _QUERY_LOG.enabled:
+            return self._execute_logged(prepared.text, params)
         key = (self.keyspace, prepared.text)
         plan = self.plan_cache.get(key)
         if isinstance(plan, Plan):
             return ResultSet(plan.run(params))
+        if isinstance(plan, AnalyzedStatement):
+            return self._run_analyzed(plan, params)
         return self._dispatch(prepared.statement, prepared.text, params)
 
     def execute_batch(
@@ -173,7 +233,9 @@ class Session:
         parse per statement shape, one execution plan per statement, then
         pure engine work per row.
         """
+        t0 = wall_clock() if _QUERY_LOG.enabled else 0.0
         count = 0
+        per_text: dict = {}
         for prepared, params in operations:
             plan = self._plan_for(prepared)
             if plan is not None:
@@ -181,7 +243,15 @@ class Session:
             else:
                 execute(self.engine, prepared.statement, params, self.keyspace)
             count += 1
+            if _QUERY_LOG.enabled:
+                per_text[prepared.text] = per_text.get(prepared.text, 0) + 1
         self._maybe_check()
+        if _QUERY_LOG.enabled:
+            # One record per statement shape in the batch.
+            elapsed = wall_clock() - t0
+            for text, rows in per_text.items():
+                record_query(_QUERY_LOG, text, "cql",
+                             elapsed * rows / max(1, count), rows)
         return count
 
     def execute_many(
@@ -202,7 +272,9 @@ class Session:
         rows_list = list(param_rows)
         fused = self._fused_plan_for(statement)
         if fused is UNPLANNABLE:
+            # Per-row fallback logs per statement through execute_prepared.
             return [self.execute_prepared(statement, params) for params in rows_list]
+        t0 = wall_clock() if _QUERY_LOG.enabled else 0.0
         is_bind, value = fused.key_slot
         columns, limit = fused.columns, fused.limit
         keys = [params[value] if is_bind else value for params in rows_list]
@@ -214,6 +286,10 @@ class Session:
             if columns:
                 rows = [{name: r[name] for name in columns} for r in rows]
             results.append(ResultSet(rows))
+        if _QUERY_LOG.enabled:
+            # One record for the fused multi-get batch.
+            record_query(_QUERY_LOG, statement.text, "cql", wall_clock() - t0,
+                         sum(len(r) for r in results))
         return results
 
     def _fused_plan_for(self, prepared: PreparedStatement):

@@ -8,6 +8,17 @@ their dialects down to this layer; this package must never import an
 engine (lint rule REPRO006).
 """
 
+from repro.query.analyze import (
+    ACTUAL_COLUMNS,
+    AnalyzedRun,
+    AnalyzedStatement,
+    analyze_plan,
+    annotate_explain,
+    counter_totals,
+    record_query,
+    shard_fanout,
+    snapshot_counters,
+)
 from repro.query.errors import describe_position, line_and_column, syntax_error_message
 from repro.query.expr import COMPARISON_OPS, compare, evaluate_aggregate, null_safe_key
 from repro.query.plan import (
@@ -54,7 +65,16 @@ __all__ = [
     "ACCESS_PK_PREFIX",
     "ACCESS_POINT",
     "ACCESS_SCAN",
+    "ACTUAL_COLUMNS",
     "Aggregate",
+    "AnalyzedRun",
+    "AnalyzedStatement",
+    "analyze_plan",
+    "annotate_explain",
+    "counter_totals",
+    "record_query",
+    "shard_fanout",
+    "snapshot_counters",
     "BoundPredicate",
     "COMPARISON_OPS",
     "Filter",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from repro.telemetry import get_tracer, wall_clock
+from repro.telemetry import cpu_clock, get_tracer, wall_clock
 
 _TRACER = get_tracer()
 
@@ -94,42 +94,53 @@ class OperatorStats(NamedTuple):
     seconds: float = 0.0
     blocks_skipped: int = 0   # blocks zone maps skipped for a pushed predicate
     rows_pruned: int = 0      # rows the storage layer pruned before emitting
+    cpu_seconds: float = 0.0  # CPU time companion to ``seconds``
 
 
 class _Context:
-    """Per-execution state threaded through the operator tree."""
+    """Per-execution state threaded through the operator tree.
 
-    __slots__ = ("params",)
+    ``timed`` forces per-operator timing for this execution regardless
+    of the tracer gate — EXPLAIN ANALYZE sets it so actuals carry
+    wall/CPU seconds even when ``REPRO_TRACE`` is off.
+    """
 
-    def __init__(self, params: Sequence) -> None:
+    __slots__ = ("params", "timed")
+
+    def __init__(self, params: Sequence, timed: bool = False) -> None:
         self.params = tuple(params)
+        self.timed = timed
 
 
 class PlanNode:
     """Base operator: counters, children, and the EXPLAIN contract."""
 
     kind = "PlanNode"
-    __slots__ = ("calls", "rows_in", "rows_out", "seconds")
+    __slots__ = ("calls", "rows_in", "rows_out", "seconds", "cpu_seconds")
 
     def __init__(self) -> None:
         self.calls = 0
         self.rows_in = 0
         self.rows_out = 0
         self.seconds = 0.0
+        self.cpu_seconds = 0.0
 
     # -- execution ---------------------------------------------------------
-    def run(self, params: Sequence = ()) -> List[Dict[str, object]]:
+    def run(self, params: Sequence = (), timed: bool = False) -> List[Dict[str, object]]:
         """Execute the subtree rooted here with ``params`` bound."""
-        return self.rows(_Context(params))
+        return self.rows(_Context(params, timed))
 
     def rows(self, ctx: _Context) -> List[Dict[str, object]]:
-        """Produce this operator's row stream, timing it when tracing is on."""
-        if not _TRACER.enabled:
+        """Produce this operator's row stream, timing it when tracing is
+        on (or the execution asked to be timed)."""
+        if not (_TRACER.enabled or ctx.timed):
             return self._execute(ctx)
         t0 = wall_clock()
+        c0 = cpu_clock()
         try:
             return self._execute(ctx)
         finally:
+            self.cpu_seconds += cpu_clock() - c0
             self.seconds += wall_clock() - t0
 
     def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
@@ -203,6 +214,7 @@ class PlanNode:
                 seconds=node.seconds,
                 blocks_skipped=getattr(node, "blocks_skipped", 0),
                 rows_pruned=getattr(node, "rows_pruned", 0),
+                cpu_seconds=node.cpu_seconds,
             )
             for node in self._postorder()
         ]
@@ -213,12 +225,15 @@ class PlanNode:
             node.rows_in = 0
             node.rows_out = 0
             node.seconds = 0.0
+            node.cpu_seconds = 0.0
             if hasattr(node, "keys_batched"):
                 node.keys_batched = 0
                 node.blocks_cached = 0
             if hasattr(node, "rows_pruned"):
                 node.rows_pruned = 0
                 node.blocks_skipped = 0
+            if hasattr(node, "shard_rows"):
+                node.shard_rows.clear()
 
     def _postorder(self) -> List["PlanNode"]:
         out: List[PlanNode] = []
@@ -401,13 +416,16 @@ class FullScan(_Access):
     """
 
     kind = "FullScan"
-    __slots__ = ("pushed", "blocks_skipped", "rows_pruned")
+    __slots__ = ("pushed", "blocks_skipped", "rows_pruned", "shard_rows")
 
     def __init__(self, table, table_name: str, wrap=None, pushed=None) -> None:
         super().__init__(table, table_name, None, wrap)
         self.pushed = pushed
         self.blocks_skipped = 0
         self.rows_pruned = 0
+        # Cumulative rows gathered per shard id; EXPLAIN ANALYZE reads
+        # this to annotate the ``fanout shard=<i>`` rows with actuals.
+        self.shard_rows: Dict[int, int] = {}
 
     def _execute(self, ctx: _Context) -> List[Dict[str, object]]:
         if _shard_count(self.table) > 1:
@@ -450,8 +468,9 @@ class FullScan(_Access):
             ],
         )
         fetched: List[Dict[str, object]] = []
-        for rows, bound in results:
+        for shard_id, (rows, bound) in enumerate(results):
             fetched.extend(rows)
+            self.shard_rows[shard_id] = self.shard_rows.get(shard_id, 0) + len(rows)
             if bound is not None:
                 self.blocks_skipped += bound.blocks_skipped
                 self.rows_pruned += bound.rows_pruned
@@ -540,7 +559,7 @@ class HashJoin(_Transform):
 
     kind = "HashJoin"
     __slots__ = ("probe_factory", "key_of", "merge", "_table_name", "_key_desc",
-                 "build_table", "build_key")
+                 "build_table", "build_key", "shard_rows")
 
     def __init__(self, child: PlanNode, probe_factory: Callable,
                  key_of: Callable, merge: Callable,
@@ -559,6 +578,8 @@ class HashJoin(_Transform):
         # instead of calling the single-threaded ``probe_factory``.
         self.build_table = build_table
         self.build_key = build_key
+        # Cumulative build-side rows hashed per shard id (see FullScan).
+        self.shard_rows: Dict[int, int] = {}
 
     @property
     def table_name(self) -> Optional[str]:
@@ -592,9 +613,13 @@ class HashJoin(_Transform):
             ],
         )
         build: Dict[object, List] = {}
-        for partial in partials:  # shard order keeps the merge deterministic
+        for shard_id, partial in enumerate(partials):
+            # shard order keeps the merge deterministic
+            built = 0
             for key, rows in partial.items():
                 build.setdefault(key, []).extend(rows)
+                built += len(rows)
+            self.shard_rows[shard_id] = self.shard_rows.get(shard_id, 0) + built
         return lambda key: build.get(key, ())
 
     def _explain_fanout(self) -> Tuple[str, ...]:
@@ -702,9 +727,10 @@ class Aggregate(_Transform):
         )
         states: List[object] = []
         total_rows = 0
-        for state, rows_seen, bound in results:
+        for shard_id, (state, rows_seen, bound) in enumerate(results):
             states.append(state)
             total_rows += rows_seen
+            child.shard_rows[shard_id] = child.shard_rows.get(shard_id, 0) + rows_seen
             if bound is not None:
                 child.blocks_skipped += bound.blocks_skipped
                 child.rows_pruned += bound.rows_pruned
@@ -774,8 +800,8 @@ class Plan:
         self.guards = tuple(guards)
         self.meta = meta
 
-    def run(self, params: Sequence = ()) -> List[Dict[str, object]]:
-        return self.root.run(params)
+    def run(self, params: Sequence = (), timed: bool = False) -> List[Dict[str, object]]:
+        return self.root.run(params, timed)
 
     def valid(self) -> bool:
         return all(guard() for guard in self.guards)

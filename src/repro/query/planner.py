@@ -171,6 +171,13 @@ class PlanCache:
         _M_PLAN_HITS.inc()
         return entry
 
+    def peek(self, key):
+        """The cached entry for ``key`` with *no* side effects — no LRU
+        bump, no guard revalidation, no hit/miss accounting.  The query
+        log uses this to read a plan's counters after execution without
+        perturbing the cache metrics the record is about to report."""
+        return self._entries.get(key)
+
     def put(self, key, plan) -> None:
         if key in self._entries:
             self._entries.move_to_end(key)

@@ -14,13 +14,19 @@ from typing import Dict, List, Optional
 
 class ResultSet:
     """Rows returned by a read (list of column-name -> value dicts),
-    plus the affected-row count for DML statements."""
+    plus the affected-row count for DML statements.
 
-    __slots__ = ("rows", "rowcount")
+    ``analyzed`` is set only by EXPLAIN ANALYZE: the rendered rows live
+    in ``rows`` while the :class:`repro.query.analyze.AnalyzedRun`
+    (per-operator actuals plus the byte-identical result rows the
+    statement produced) rides along for programmatic consumers."""
+
+    __slots__ = ("rows", "rowcount", "analyzed")
 
     def __init__(self, rows: Optional[List[Dict[str, object]]] = None, rowcount: int = 0) -> None:
         self.rows = rows if rows is not None else []
         self.rowcount = rowcount
+        self.analyzed = None
 
     def __iter__(self):
         return iter(self.rows)

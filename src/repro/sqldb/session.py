@@ -10,7 +10,15 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from repro.analysis.flags import checks_enabled
-from repro.query import UNPLANNABLE, Plan, PlanCache
+from repro.query import (
+    UNPLANNABLE,
+    AnalyzedStatement,
+    Plan,
+    PlanCache,
+    analyze_plan,
+    counter_totals,
+    record_query,
+)
 from repro.sqldb.errors import ProgrammingError
 from repro.sqldb.sql import ast
 from repro.sqldb.sql.executor import (
@@ -22,6 +30,9 @@ from repro.sqldb.sql.executor import (
     plan_insert_template,
 )
 from repro.sqldb.sql.parser import parse
+from repro.telemetry import get_query_log, wall_clock
+
+_QUERY_LOG = get_query_log()
 
 
 class SQLCompiledInsert:
@@ -106,21 +117,65 @@ class SQLSession:
         self.plan_cache = PlanCache()
 
     def execute(self, sql: str, params: Sequence = ()) -> SQLResult:
+        if _QUERY_LOG.enabled:
+            return self._execute_logged(sql, params)
         key = (self.database, sql)
         plan = self.plan_cache.get(key)
         if isinstance(plan, Plan):
             return SQLResult(plan.run(params))
+        if isinstance(plan, AnalyzedStatement):
+            return self._run_analyzed(plan, params)
         return self._dispatch(parse(sql), sql, params)
+
+    def _execute_logged(self, sql: str, params: Sequence) -> SQLResult:
+        """The :meth:`execute` body with query-history recording.
+
+        A separate method so the REPRO_QUERY_LOG=0 hot path above pays
+        exactly one attribute check and allocates nothing extra."""
+        t0 = wall_clock()
+        key = (self.database, sql)
+        plan = self.plan_cache.get(key)
+        if isinstance(plan, Plan):
+            before = counter_totals(plan)
+            result = SQLResult(plan.run(params))
+            record_query(_QUERY_LOG, sql, "sql", wall_clock() - t0,
+                         len(result), plan=plan, before=before)
+            return result
+        if isinstance(plan, AnalyzedStatement):
+            result = self._run_analyzed(plan, params)
+            record_query(_QUERY_LOG, sql, "sql", wall_clock() - t0,
+                         len(result), analyzed=result.analyzed)
+            return result
+        result = self._dispatch(parse(sql), sql, params)
+        # A cold SELECT (or EXPLAIN ANALYZE) was just compiled and cached;
+        # its fresh counters are exactly this execution's actuals.  peek()
+        # keeps the read out of the plan-cache hit/miss metrics.
+        record_query(_QUERY_LOG, sql, "sql", wall_clock() - t0, len(result),
+                     plan=self.plan_cache.peek(key),
+                     analyzed=getattr(result, "analyzed", None))
+        return result
+
+    def _run_analyzed(self, entry: AnalyzedStatement, params: Sequence) -> SQLResult:
+        analyzed = analyze_plan(entry.plan, params)
+        result = SQLResult(analyzed.report)
+        result.analyzed = analyzed
+        return result
 
     def prepare(self, sql: str) -> SQLPreparedStatement:
         return SQLPreparedStatement(sql, parse(sql))
 
     def _dispatch(self, statement: ast.Statement, text: str, params: Sequence) -> SQLResult:
-        """Plan-and-cache SELECTs; everything else runs the generic executor."""
+        """Plan-and-cache SELECTs (and analyzed EXPLAINs); everything
+        else runs the generic executor."""
         if type(statement) is ast.Select:
             plan = build_select_plan(self.engine, statement, self.database)
             self.plan_cache.put((self.database, text), plan)
             return SQLResult(plan.run(params))
+        if type(statement) is ast.Explain and statement.analyze:
+            plan = build_select_plan(self.engine, statement.select, self.database)
+            entry = AnalyzedStatement(plan)
+            self.plan_cache.put((self.database, text), entry)
+            return self._run_analyzed(entry, params)
         result, new_database = execute(self.engine, statement, params, self.database)
         if new_database is not None:
             self.database = new_database
@@ -145,16 +200,21 @@ class SQLSession:
     def execute_prepared(
         self, prepared: SQLPreparedStatement, params: Sequence = ()
     ) -> SQLResult:
+        if _QUERY_LOG.enabled:
+            return self._execute_logged(prepared.text, params)
         key = (self.database, prepared.text)
         plan = self.plan_cache.get(key)
         if isinstance(plan, Plan):
             return SQLResult(plan.run(params))
+        if isinstance(plan, AnalyzedStatement):
+            return self._run_analyzed(plan, params)
         return self._dispatch(prepared.statement, prepared.text, params)
 
     def execute_many(
         self, prepared: SQLPreparedStatement, rows: Iterable[Sequence]
     ) -> int:
         """Run one prepared DML statement per parameter row; returns the count."""
+        t0 = wall_clock() if _QUERY_LOG.enabled else 0.0
         key = (id(self.engine), self.database)
         if prepared._plan_key != key:
             prepared._plan_key = key
@@ -165,12 +225,15 @@ class SQLSession:
             for params in rows:
                 plan(params)
                 count += 1
-            self._maybe_check(prepared)
-            return count
-        for params in rows:
-            execute(self.engine, prepared.statement, params, self.database)
-            count += 1
+        else:
+            for params in rows:
+                execute(self.engine, prepared.statement, params, self.database)
+                count += 1
         self._maybe_check(prepared)
+        if _QUERY_LOG.enabled:
+            # One record per batch: rows = parameter rows executed.
+            record_query(_QUERY_LOG, prepared.text, "sql",
+                         wall_clock() - t0, count)
         return count
 
     def select_many(
@@ -189,7 +252,9 @@ class SQLSession:
         rows_list = list(param_rows)
         fused = self._fused_plan_for(statement)
         if fused is UNPLANNABLE:
+            # Per-row fallback logs per statement through execute_prepared.
             return [self.execute_prepared(statement, params) for params in rows_list]
+        t0 = wall_clock() if _QUERY_LOG.enabled else 0.0
         is_bind, value = fused.key_slot
         columns, limit = fused.columns, fused.limit
         keys = [params[value] if is_bind else value for params in rows_list]
@@ -201,6 +266,10 @@ class SQLSession:
             if columns:
                 rows = [{name: r[name] for name in columns} for r in rows]
             results.append(SQLResult(rows))
+        if _QUERY_LOG.enabled:
+            # One record for the fused multi-get batch.
+            record_query(_QUERY_LOG, statement.text, "sql", wall_clock() - t0,
+                         sum(len(r) for r in results))
         return results
 
     def _fused_plan_for(self, prepared: SQLPreparedStatement):

@@ -212,9 +212,14 @@ class Truncate(Statement):
 
 
 class Explain(Statement):
-    """``EXPLAIN SELECT ...``: report the chosen access paths."""
+    """``EXPLAIN [ANALYZE] SELECT ...``: report the chosen access paths.
 
-    __slots__ = ("select",)
+    With ``analyze`` set the statement is also *executed* and every
+    operator row carries actual counters (see
+    :mod:`repro.query.analyze`)."""
 
-    def __init__(self, select: "Select") -> None:
+    __slots__ = ("select", "analyze")
+
+    def __init__(self, select: "Select", analyze: bool = False) -> None:
         self.select = select
+        self.analyze = analyze

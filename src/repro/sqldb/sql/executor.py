@@ -37,6 +37,7 @@ from repro.query import (
     ResultSet,
     Sort,
     TableMeta,
+    analyze_plan,
     choose_access,
     choose_join_access,
     compare,
@@ -800,9 +801,15 @@ class _Executor:
 
     # -- EXPLAIN ------------------------------------------------------------------
     def _explain(self, stmt: ast.Explain):
-        """Build (but do not run) the plan; one row per operator."""
+        """Build the plan; one row per operator.  With ANALYZE the plan
+        is also executed and every row carries actual counters."""
         plan = build_select_plan(self.engine, stmt.select, self.current_database)
-        return SQLResult(plan.explain()), None
+        if not stmt.analyze:
+            return SQLResult(plan.explain()), None
+        analyzed = analyze_plan(plan, self.params)
+        result = SQLResult(analyzed.report)
+        result.analyzed = analyzed
+        return result, None
 
 
 def _run_aggregate(agg: ast.Aggregate, slot, members) -> object:

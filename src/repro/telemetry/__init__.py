@@ -18,6 +18,12 @@ Two env vars control runtime cost (see :mod:`repro.telemetry.metrics` /
 ``REPRO_SLOW_MS``
     Wall-time threshold (milliseconds) above which a finished span is
     also recorded in the slow-op log.  Default 100.
+``REPRO_QUERY_LOG``
+    Enables the per-statement query history (:mod:`repro.telemetry.querylog`).
+    Disabled (the default), instrumented call sites pay one attribute
+    check per statement and allocate nothing.
+``REPRO_QUERY_LOG_MAX``
+    Ring-buffer capacity of the query history.  Default 4096.
 
 Both gates can be flipped at runtime with :func:`enable_metrics` /
 :func:`enable_tracing` (used by ``repro stats`` and the tests); the
@@ -35,6 +41,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     enable_metrics,
     get_registry,
 )
@@ -53,23 +60,57 @@ from repro.telemetry.export import (
     to_json,
     to_prometheus,
 )
+from repro.telemetry.querylog import (
+    QueryLog,
+    QueryRecord,
+    enable_query_log,
+    fingerprint,
+    get_query_log,
+)
+from repro.telemetry.bundle import (
+    BUNDLE_SCHEMA_VERSION,
+    build_bundle,
+    bundle_to_json,
+    collect_env,
+    from_bundle,
+    validate_bundle,
+)
+from repro.telemetry.catalog import METRIC_NAMES, SPAN_NAMES
 
 #: The one sanctioned monotonic clock.  Instrumented code outside this
 #: package must use ``wall_clock()`` instead of ``time.perf_counter()``
 #: directly (lint rule REPRO007 enforces this).
 wall_clock = time.perf_counter
 
+#: CPU-time companion to ``wall_clock``; EXPLAIN ANALYZE uses both to
+#: report per-operator wall vs. CPU seconds.
+cpu_clock = time.process_time
+
 __all__ = [
+    "BUNDLE_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "Histogram",
+    "METRIC_NAMES",
     "MetricsRegistry",
+    "QueryLog",
+    "QueryRecord",
+    "SPAN_NAMES",
     "Span",
     "Tracer",
+    "bucket_quantile",
+    "build_bundle",
+    "bundle_to_json",
+    "collect_env",
+    "cpu_clock",
     "enable_metrics",
+    "enable_query_log",
     "enable_tracing",
+    "fingerprint",
+    "from_bundle",
     "from_json",
     "from_prometheus",
+    "get_query_log",
     "get_registry",
     "get_tracer",
     "render_metrics_table",
@@ -77,5 +118,6 @@ __all__ = [
     "snapshot",
     "to_json",
     "to_prometheus",
+    "validate_bundle",
     "wall_clock",
 ]

@@ -34,7 +34,12 @@ def snapshot(
     with telemetry disabled is compact (metric *registration* happens at
     import time regardless of gating).
     """
-    out: Dict[str, Any] = {"metrics": [], "spans": [], "slow_ops": []}
+    out: Dict[str, Any] = {
+        "metrics": [],
+        "spans": [],
+        "slow_ops": [],
+        "slow_ops_dropped": 0,
+    }
     if registry is not None:
         for family in registry.families():
             samples: List[Dict[str, Any]] = []
@@ -72,6 +77,7 @@ def snapshot(
     if tracer is not None:
         out["spans"] = tracer.merged()
         out["slow_ops"] = list(tracer.slow_ops)
+        out["slow_ops_dropped"] = tracer.slow_ops_dropped
     return out
 
 
@@ -86,6 +92,7 @@ def from_json(text: str) -> Dict[str, Any]:
     snap = json.loads(text)
     for key in ("metrics", "spans", "slow_ops"):
         snap.setdefault(key, [])
+    snap.setdefault("slow_ops_dropped", 0)
     return snap
 
 

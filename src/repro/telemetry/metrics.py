@@ -15,6 +15,7 @@ coordination.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -81,6 +82,33 @@ class GaugeChild(_Child):
         self.inc(-amount)
 
 
+def bucket_quantile(
+    buckets: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Nearest-rank quantile over fixed-bucket counts.
+
+    ``counts`` has one slot per bucket plus a trailing +Inf slot.  The
+    answer is the upper bound of the bucket holding the ``ceil(q * n)``-th
+    observation — *exact at bucket boundaries*: when every observation
+    equals a bucket bound, ``quantile`` of any rank inside that bucket
+    returns that bound, not an interpolation.  Observations past the last
+    finite bound clamp to it (the Prometheus convention).  Returns None
+    when no observations were recorded.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = max(1, math.ceil(q * total))
+    cumulative = 0
+    for bound, count in zip(buckets, counts):
+        cumulative += count
+        if cumulative >= rank:
+            return bound
+    return buckets[-1] if buckets else None
+
+
 class HistogramChild:
     __slots__ = ("_registry", "labels", "buckets", "counts", "sum", "count")
 
@@ -107,6 +135,21 @@ class HistogramChild:
                 self.counts[i] += 1
                 return
         self.counts[-1] += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of recorded observations (see
+        :func:`bucket_quantile`); None when nothing was observed."""
+        return bucket_quantile(self.buckets, self.counts, q)
+
+    def percentiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)) -> Dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` for the given quantiles,
+        skipping entries while the histogram is empty."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            value = self.quantile(q)
+            if value is not None:
+                out[f"p{q * 100:g}"] = value
+        return out
 
 
 class _Family:
@@ -214,6 +257,23 @@ class Histogram(_Family):
 
     def observe(self, value: float) -> None:
         self._default.observe(value)  # type: ignore[union-attr]
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile across every label combination's child
+        (bucket counts are summed before ranking)."""
+        merged = [0] * (len(self.buckets) + 1)
+        for child in self.children():
+            for i, count in enumerate(child.counts):  # type: ignore[attr-defined]
+                merged[i] += count
+        return bucket_quantile(self.buckets, merged, q)
+
+    def percentiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for q in qs:
+            value = self.quantile(q)
+            if value is not None:
+                out[f"p{q * 100:g}"] = value
+        return out
 
 
 class MetricsRegistry:

@@ -16,7 +16,17 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.telemetry.metrics import get_registry
+
 _DISABLED = ("", "0", "false", "no", "off")
+
+# Slow-op entries discarded past MAX_SLOW_OPS (oldest-first truncation).
+# The tracer also keeps its own always-on ``slow_ops_dropped`` count so
+# the loss is visible even when metrics are gated off.
+_M_SLOW_OPS_DROPPED = get_registry().counter(
+    "telemetry_slow_ops_dropped_total",
+    "slow-op log entries discarded by the retention cap",
+)
 
 #: Hard cap on recorded spans per tracer; past it new spans become no-ops
 #: (a runaway per-row span cannot exhaust memory).
@@ -125,6 +135,7 @@ class Tracer:
         self._lock = threading.Lock()
         self.roots: List[Span] = []
         self.slow_ops: List[Dict[str, Any]] = []
+        self.slow_ops_dropped = 0
         self._n_spans = 0
 
     # -- recording ------------------------------------------------------
@@ -172,8 +183,11 @@ class Tracer:
                         "attrs": dict(span.attrs),
                     }
                 )
-                if len(self.slow_ops) > MAX_SLOW_OPS:
-                    del self.slow_ops[: len(self.slow_ops) - MAX_SLOW_OPS]
+                overflow = len(self.slow_ops) - MAX_SLOW_OPS
+                if overflow > 0:
+                    del self.slow_ops[:overflow]
+                    self.slow_ops_dropped += overflow
+                    _M_SLOW_OPS_DROPPED.inc(overflow)
 
     # -- inspection -----------------------------------------------------
     def span_count(self) -> int:
@@ -234,6 +248,7 @@ class Tracer:
         with self._lock:
             self.roots.clear()
             self.slow_ops.clear()
+            self.slow_ops_dropped = 0
             self._n_spans = 0
         self._local = threading.local()
 

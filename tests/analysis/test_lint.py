@@ -537,3 +537,54 @@ class TestUnparseableCounted:
         assert report.n_checks >= 1
         assert "0 checks" not in report.summary()
         assert "1 violation" in report.summary()
+
+
+class TestRepro014TelemetryNameCatalog:
+    BAD = """
+    from repro.telemetry import get_registry, get_tracer
+
+    _C = get_registry().counter("made_up_total", "not in the catalog")
+
+    def traced():
+        with get_tracer().span("made.up"):
+            pass
+    """
+
+    def test_uncataloged_names_flagged(self, tmp_path):
+        report = lint_source(tmp_path, "etl/mod.py", self.BAD)
+        assert rules_of(report) == {"REPRO014"}
+        assert len(report.violations) == 2
+        messages = "\n".join(report.format_lines())
+        assert "made_up_total" in messages and "made.up" in messages
+
+    def test_cataloged_names_pass(self, tmp_path):
+        report = lint_source(
+            tmp_path, "etl/mod.py",
+            """
+            from repro.telemetry import get_registry, get_tracer
+
+            _C = get_registry().counter("etl_records_total", "cataloged")
+            _H = get_registry().histogram("dwarf_build_seconds", "cataloged")
+
+            def traced():
+                with get_tracer().span("etl.parse"):
+                    pass
+            """,
+        )
+        assert report.ok, "\n".join(report.format_lines())
+
+    def test_telemetry_package_itself_exempt(self, tmp_path):
+        report = lint_source(tmp_path, "repro/telemetry/mod.py", self.BAD)
+        assert report.ok, "\n".join(report.format_lines())
+
+    def test_dynamic_names_out_of_static_reach(self, tmp_path):
+        report = lint_source(
+            tmp_path, "etl/mod.py",
+            """
+            from repro.telemetry import get_registry
+
+            def make(name):
+                return get_registry().counter(name, "dynamic")
+            """,
+        )
+        assert report.ok, "\n".join(report.format_lines())

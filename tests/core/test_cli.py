@@ -10,14 +10,15 @@ from repro.cli import build_parser, main
 @pytest.fixture
 def telemetry_restored():
     """Restore the global telemetry switches after CLI commands flip them."""
-    from repro.telemetry import get_registry, get_tracer
+    from repro.telemetry import get_query_log, get_registry, get_tracer
 
-    reg, trc = get_registry(), get_tracer()
-    was = (reg.enabled, trc.enabled)
+    reg, trc, qlog = get_registry(), get_tracer(), get_query_log()
+    was = (reg.enabled, trc.enabled, qlog.enabled)
     yield
-    reg.enabled, trc.enabled = was
+    reg.enabled, trc.enabled, qlog.enabled = was
     reg.reset()
     trc.reset()
+    qlog.reset()
 
 
 class TestGenerate:
@@ -135,11 +136,14 @@ class TestHelpSync:
 
     def test_every_subcommand_registered(self):
         assert set(self.subcommand_parsers()) == {
-            "generate", "pipeline", "bench", "check", "stats", "ingest"
+            "generate", "pipeline", "bench", "check", "stats", "ingest",
+            "top", "debug-bundle",
         }
 
     @pytest.mark.parametrize(
-        "command", ["generate", "pipeline", "bench", "check", "stats", "ingest"]
+        "command",
+        ["generate", "pipeline", "bench", "check", "stats", "ingest",
+         "top", "debug-bundle"],
     )
     def test_help_exits_zero_and_lists_options(self, command, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -155,7 +159,7 @@ class TestHelpSync:
         import repro.cli as cli
 
         for command in self.subcommand_parsers():
-            assert hasattr(cli, f"_cmd_{command}")
+            assert hasattr(cli, f"_cmd_{command.replace('-', '_')}")
 
 
 def test_requires_command():

@@ -9,7 +9,12 @@ from repro.mapping.mysql_dwarf import MySQLDwarfMapper
 from repro.mapping.mysql_min import MySQLMinMapper
 from repro.mapping.nosql_dwarf import NoSQLDwarfMapper
 from repro.mapping.nosql_min import NoSQLMinMapper
-from repro.mapping.stored_query import explain_strategy, stored_point_query
+from repro.mapping.stored_query import (
+    analyze_strategy,
+    explain_strategy,
+    stored_point_query,
+)
+from repro.query import ACTUAL_COLUMNS
 
 ALL_MAPPERS = [MySQLDwarfMapper, MySQLMinMapper, NoSQLDwarfMapper, NoSQLMinMapper]
 
@@ -102,6 +107,95 @@ class TestPlanLayer:
         before = mapper.session.plan_cache.stats().hits
         assert stored_point_query(mapper, schema_id, [ALL, ALL, ALL]) is not None
         assert mapper.session.plan_cache.stats().hits > before
+
+
+class TestAnalyzeStrategy:
+    def test_answer_matches_plain_run(self, stored):
+        mapper, schema_id, _ = stored
+        coords = ["Ireland", "Dublin", "Fenian St"]
+        plain = stored_point_query(mapper, schema_id, coords)
+        out = analyze_strategy(mapper, schema_id, coords)
+        assert out["answer"] == plain == 3
+
+    def test_steps_carry_explain_vocabulary_plus_actuals(self, stored):
+        mapper, schema_id, _ = stored
+        out = analyze_strategy(mapper, schema_id, ["Ireland", ALL, ALL])
+        assert out["steps"]
+        for rows in out["steps"].values():
+            assert rows
+            for row in rows:
+                assert {"step", "node", "table", "key", "detail"} <= set(row)
+                for column in ACTUAL_COLUMNS:
+                    assert column in row
+
+    def test_missing_member_analyzes_to_none(self, stored):
+        mapper, schema_id, _ = stored
+        out = analyze_strategy(mapper, schema_id, ["Spain", ALL, ALL])
+        assert out["answer"] is None
+
+    def test_repeated_analysis_is_stable(self, stored):
+        """Cumulative counters are framed per run: analyzing twice gives
+        the same answer and never-doubled per-step actuals (a warm
+        mapper cache may legitimately drop them to zero — the statement
+        simply did not re-execute)."""
+        mapper, schema_id, _ = stored
+        coords = [ALL, "Dublin", ALL]
+        first = analyze_strategy(mapper, schema_id, coords)
+        second = analyze_strategy(mapper, schema_id, coords)
+        assert second["answer"] == first["answer"] == 8
+        shared = set(first["steps"]) & set(second["steps"])
+        assert shared
+        for step in shared:
+            for one, two in zip(first["steps"][step], second["steps"][step]):
+                if isinstance(one["rows"], int) and isinstance(two["rows"], int):
+                    assert two["rows"] <= one["rows"]
+
+    def test_query_log_records_the_stored_walk(self, stored, monkeypatch):
+        from repro.telemetry import get_query_log
+
+        log = get_query_log()
+        monkeypatch.setattr(log, "enabled", True)
+        log.reset()
+        try:
+            mapper, schema_id, _ = stored
+            stored_point_query(mapper, schema_id, ["Ireland", ALL, ALL])
+            records = [r for r in log.records() if r.dialect == "stored"]
+            assert records
+            assert records[-1].fingerprint.startswith(
+                f"STORED:{mapper.name.upper()}:POINT_QUERY"
+            )
+            assert records[-1].rows == 1
+        finally:
+            log.reset()
+
+
+class TestAnalyzeWithLiveDeltas:
+    """EXPLAIN ANALYZE over a maintained cube whose epoch has unmerged
+    delta overlays still answers exactly like the plain stored walk."""
+
+    @pytest.mark.parametrize("mapper_cls", ALL_MAPPERS, ids=lambda c: c.name)
+    def test_epoch_overlay_answers_match(self, mapper_cls):
+        from repro.core.schema import CubeSchema
+        from repro.dwarf.builder import DwarfBuilder
+        from repro.mapping.incremental import CubeMaintainer
+
+        schema = CubeSchema("inc", ["d1", "d2", "d3"])
+        base = [("a", 1, "x", 5), ("a", 2, "y", 3), ("b", 1, "x", 2)]
+        delta = [("a", 1, "x", 4), ("b", 3, "z", 7)]
+        mapper = mapper_cls()
+        mapper.install()
+        maintainer = CubeMaintainer.open(mapper, DwarfBuilder(schema).build(base))
+        maintainer.append(delta)
+        assert maintainer.pending_deltas == 1  # overlay, not merged
+
+        reference = DwarfBuilder(schema).build(base + delta)
+        for probe in (("a", 1, "x"), ("a", ALL, ALL), (ALL, ALL, ALL)):
+            expected = reference.value(probe)
+            plain = stored_point_query(mapper, maintainer.logical_id, probe)
+            out = analyze_strategy(mapper, maintainer.logical_id, probe)
+            assert plain == expected
+            assert out["answer"] == expected
+            assert out["steps"]
 
 
 def test_unknown_mapper_type_rejected(sample_cube):

@@ -29,7 +29,7 @@ def populated(registry, tracer):
 class TestSnapshot:
     def test_shape(self, registry, tracer):
         snap = populated(registry, tracer)
-        assert set(snap) == {"metrics", "spans", "slow_ops"}
+        assert set(snap) == {"metrics", "spans", "slow_ops", "slow_ops_dropped"}
         names = [m["name"] for m in snap["metrics"]]
         assert names == sorted(names)
         assert snap["spans"][0]["name"] == "outer"
@@ -41,7 +41,12 @@ class TestSnapshot:
 
     def test_disabled_snapshot_is_empty(self, registry, tracer):
         snap = snapshot(registry=None, tracer=None)
-        assert snap == {"metrics": [], "spans": [], "slow_ops": []}
+        assert snap == {
+            "metrics": [],
+            "spans": [],
+            "slow_ops": [],
+            "slow_ops_dropped": 0,
+        }
 
 
 class TestJsonRoundTrip:
@@ -84,3 +89,20 @@ class TestRenderers:
         assert lines[0].startswith("outer")
         assert lines[1].startswith("  inner")
         assert "count=1" in lines[0]
+
+
+class TestSlowOpDropCount:
+    def test_snapshot_carries_the_drop_count(self, registry, tracer):
+        tracer.slow_ops_dropped = 7
+        snap = snapshot(registry, tracer)
+        assert snap["slow_ops_dropped"] == 7
+        assert from_json(to_json(snap))["slow_ops_dropped"] == 7
+
+    def test_from_json_defaults_missing_drop_count(self):
+        # snapshots from before the counter existed still load
+        assert from_json('{"metrics": [], "spans": []}') == {
+            "metrics": [],
+            "spans": [],
+            "slow_ops": [],
+            "slow_ops_dropped": 0,
+        }

@@ -98,3 +98,61 @@ class TestRegistry:
         # cache children at import time and must never go stale
         child.inc(2)
         assert registry.value("w_total", "x") == 2.0
+
+
+class TestQuantile:
+    """Nearest-rank bucket quantiles (exact at bucket boundaries)."""
+
+    def test_exact_when_observations_sit_on_a_bound(self):
+        from repro.telemetry.metrics import bucket_quantile
+
+        # 5 observations, all in the bucket bounded by 2: any rank
+        # inside that bucket answers exactly 2, never an interpolation.
+        buckets, counts = (1, 2, 3), [0, 5, 0, 0]
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert bucket_quantile(buckets, counts, q) == 2
+
+    def test_nearest_rank_walks_the_cumulative_counts(self):
+        from repro.telemetry.metrics import bucket_quantile
+
+        buckets, counts = (1, 2, 3), [2, 2, 0, 0]
+        assert bucket_quantile(buckets, counts, 0.5) == 1   # rank 2 of 4
+        assert bucket_quantile(buckets, counts, 0.75) == 2  # rank 3 of 4
+        assert bucket_quantile(buckets, counts, 0.0) == 1   # rank clamps to 1
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        from repro.telemetry.metrics import bucket_quantile
+
+        assert bucket_quantile((1, 2, 3), [0, 0, 0, 4], 0.5) == 3
+
+    def test_empty_returns_none(self):
+        from repro.telemetry.metrics import bucket_quantile
+
+        assert bucket_quantile((1, 2), [0, 0, 0], 0.5) is None
+
+    def test_out_of_range_q_rejected(self):
+        from repro.telemetry.metrics import bucket_quantile
+
+        for q in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                bucket_quantile((1,), [1, 0], q)
+
+    def test_child_quantile_and_percentiles(self, registry):
+        h = registry.histogram("q_seconds", buckets=(0.01, 0.1, 1.0))
+        child = h.labels()
+        assert child.quantile(0.5) is None
+        assert child.percentiles() == {}
+        for _ in range(9):
+            child.observe(0.01)
+        child.observe(1.0)
+        assert child.quantile(0.5) == 0.01
+        assert child.percentiles() == {"p50": 0.01, "p90": 0.01, "p99": 1.0}
+
+    def test_family_quantile_merges_labelled_children(self, registry):
+        h = registry.histogram("m_seconds", labels=("op",), buckets=(0.01, 1.0))
+        h.labels("read").observe(0.01)
+        h.labels("write").observe(1.0)
+        h.labels("write").observe(1.0)
+        # merged counts: [1, 2, 0] -> rank 2 of 3 lands in the 1.0 bucket
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.25) == 0.01

@@ -119,3 +119,25 @@ class TestReset:
         assert tracer.roots == []
         assert tracer.slow_ops == []
         assert tracer.span_count() == 0
+
+
+class TestSlowOpRetention:
+    def test_overflow_counted_not_silent(self, tracer):
+        from repro.telemetry.trace import MAX_SLOW_OPS
+
+        tracer.slow_ms = 0.0
+        for _ in range(MAX_SLOW_OPS + 3):
+            with tracer.span("op"):
+                pass
+        assert len(tracer.slow_ops) == MAX_SLOW_OPS
+        assert tracer.slow_ops_dropped == 3
+
+    def test_reset_clears_drop_count(self, tracer):
+        from repro.telemetry.trace import MAX_SLOW_OPS
+
+        tracer.slow_ms = 0.0
+        for _ in range(MAX_SLOW_OPS + 1):
+            with tracer.span("op"):
+                pass
+        tracer.reset()
+        assert tracer.slow_ops_dropped == 0
